@@ -1,0 +1,35 @@
+// Ablation — throughput and p99 latency as a function of batch size: the
+// knob behind the paper's "maximum sustainable throughput" methodology
+// (batch interval 10 ms, p99 limit 10 ms). Prints the full curve for MQ-MF
+// so the sustainability cliff is visible.
+#include <iostream>
+
+#include "benchutil/table.hpp"
+#include "cases.hpp"
+
+int main() {
+  using namespace prog;
+  const bool fast = benchutil::fast_mode();
+  benchutil::TrialOptions opts;
+  opts.modeled = true;
+  opts.modeled_workers = 20;
+  opts.warmup_batches = 2;
+  opts.measured_batches = fast ? 5 : 10;
+
+  sched::EngineConfig cfg;
+  cfg.workers = 20;
+
+  benchutil::Table table({"batch size", "throughput tx/s", "p99 ms",
+                          "abort rate %", "sustainable"});
+  for (std::size_t n = 8; n <= (fast ? 2048u : 8192u); n *= 2) {
+    const auto s = benchutil::run_trial(bench::tpcc_factory(10), cfg, n, opts);
+    table.row({std::to_string(n), benchutil::fmt_si(s.throughput_tps),
+               benchutil::fmt(s.p99_ms, 2), benchutil::fmt(s.abort_pct, 2),
+               s.sustainable ? "yes" : "no"});
+    if (!s.sustainable) break;
+  }
+  std::cout << "=== Ablation: throughput/latency vs batch size (TPC-C, 10 "
+               "warehouses, MQ-MF) ===\n";
+  table.print();
+  return 0;
+}

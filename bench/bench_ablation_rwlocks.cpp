@@ -1,0 +1,38 @@
+// Ablation — exclusive per-key queues (the paper's Figure-2 lock table) vs
+// reader-sharing grants (Calvin-style reader/writer locks). Answers the
+// DESIGN.md question: how much parallelism does exclusive-only locking give
+// up on TPC-C, where update transactions also read hot rows?
+#include <iostream>
+
+#include "benchutil/table.hpp"
+#include "cases.hpp"
+
+int main() {
+  using namespace prog;
+  const bool fast = benchutil::fast_mode();
+  benchutil::TrialOptions opts;
+  opts.modeled = true;
+  opts.modeled_workers = 20;
+  opts.warmup_batches = 2;
+  opts.measured_batches = fast ? 5 : 10;
+
+  benchutil::Table table({"lock mode", "warehouses", "batch size",
+                          "throughput tx/s", "abort rate %"});
+  for (int w : {10, 1}) {
+    for (bool shared : {false, true}) {
+      sched::EngineConfig cfg;
+      cfg.workers = 20;
+      cfg.shared_read_locks = shared;
+      const auto r = benchutil::max_sustainable(
+          bench::tpcc_factory(w), cfg, opts, fast ? 2048 : 8192);
+      table.row({shared ? "shared-read" : "exclusive", std::to_string(w),
+                 std::to_string(r.batch_size),
+                 benchutil::fmt_si(r.stats.throughput_tps),
+                 benchutil::fmt(r.stats.abort_pct, 2)});
+    }
+  }
+  std::cout << "=== Ablation: exclusive vs shared-read lock-table grants "
+               "(TPC-C) ===\n";
+  table.print();
+  return 0;
+}

@@ -1,0 +1,64 @@
+// Figure 3 — maximum sustainable throughput (3a) and normalized abort rate
+// (3b) for TPC-C at three contention levels (100 / 10 / 1 warehouses),
+// comparing MQ-MF, MQ-SF, Calvin-100, Calvin-200, NODO and SEQ.
+//
+// Batches arrive every 10 ms; a configuration is sustainable while the p99
+// transaction latency stays below 10 ms (paper, Section IV-B). Durations are
+// modeled onto 20 workers from single-worker traces (see benchutil/model.hpp)
+// so the figure reproduces on any host; set PROG_BENCH_WALLCLOCK=1 on a
+// many-core machine to measure wall-clock instead.
+#include <cstdlib>
+#include <iostream>
+
+#include "baselines/variants.hpp"
+#include "benchutil/table.hpp"
+#include "cases.hpp"
+
+int main() {
+  using namespace prog;
+  const bool fast = benchutil::fast_mode();
+  const bool wallclock = std::getenv("PROG_BENCH_WALLCLOCK") != nullptr;
+
+  benchutil::TrialOptions opts;
+  opts.modeled = !wallclock;
+  opts.modeled_workers = 20;
+  opts.warmup_batches = 2;
+  opts.measured_batches = fast ? 6 : 12;
+  const std::size_t max_batch = fast ? 2048 : 8192;
+
+  const std::vector<int> warehouses = fast ? std::vector<int>{10, 1}
+                                           : std::vector<int>{100, 10, 1};
+  const auto systems = baselines::figure3_systems(20);
+
+  benchutil::Table tput({"system", "warehouses", "batch size",
+                         "throughput tx/s", "p99 ms"});
+  benchutil::Table aborts({"system", "warehouses", "abort rate %"});
+
+  for (int w : warehouses) {
+    std::cout << "--- contention level: " << w << " warehouse(s) ---\n";
+    for (const auto& variant : systems) {
+      const auto r = benchutil::max_sustainable(
+          bench::tpcc_factory(w), variant.config, opts, max_batch);
+      tput.row({variant.name, std::to_string(w),
+                std::to_string(r.batch_size),
+                benchutil::fmt_si(r.stats.throughput_tps),
+                benchutil::fmt(r.stats.p99_ms, 2)});
+      aborts.row({variant.name, std::to_string(w),
+                  benchutil::fmt(r.stats.abort_pct, 2)});
+      std::cout << "  " << variant.name << ": "
+                << benchutil::fmt_si(r.stats.throughput_tps) << " tx/s, "
+                << benchutil::fmt(r.stats.abort_pct, 2) << "% aborts\n";
+    }
+  }
+
+  std::cout << "\n=== Figure 3a: TPC-C maximum sustainable throughput ===\n";
+  tput.print();
+  std::cout << "\n=== Figure 3b: TPC-C normalized abort rates ===\n";
+  aborts.print();
+  std::cout << "\nPaper shape check: Prognosticator (MQ-*) leads at 100 and "
+               "10 warehouses\n(paper: 5x and 2.3x over the runner-up); NODO "
+               "never aborts and edges ahead at\n1 warehouse; Calvin-200 "
+               "aborts more than Calvin-100; MF beats SF at low\ncontention, "
+               "SF beats MF at 1 warehouse; SEQ trails.\n";
+  return 0;
+}

@@ -1,0 +1,129 @@
+// Micro-benchmarks (google-benchmark) for the building blocks: lock table,
+// versioned store, constraint solver, profile prediction, interpreter.
+#include <benchmark/benchmark.h>
+
+#include "lang/builder.hpp"
+#include "lang/interp.hpp"
+#include "sched/lock_table.hpp"
+#include "solver/solver.hpp"
+#include "store/store.hpp"
+#include "sym/symexec.hpp"
+#include "workloads/tpcc.hpp"
+
+namespace {
+
+using namespace prog;
+
+void BM_LockTableEnqueueRelease(benchmark::State& state) {
+  const int keys_per_tx = static_cast<int>(state.range(0));
+  sched::LockTable lt;
+  std::vector<sched::TxIdx> granted;
+  std::uint64_t tx = 0;
+  for (auto _ : state) {
+    const sched::TxIdx id = static_cast<sched::TxIdx>(tx++);
+    for (int k = 0; k < keys_per_tx; ++k) {
+      lt.enqueue(id, {1, static_cast<Key>((tx * 7 + k) % 1024)}, true);
+    }
+    for (int k = 0; k < keys_per_tx; ++k) {
+      lt.release(id, {1, static_cast<Key>((tx * 7 + k) % 1024)}, granted);
+    }
+    granted.clear();
+  }
+  state.SetItemsProcessed(state.iterations() * keys_per_tx);
+}
+BENCHMARK(BM_LockTableEnqueueRelease)->Arg(4)->Arg(16)->Arg(32);
+
+void BM_StoreGet(benchmark::State& state) {
+  store::VersionedStore s;
+  for (Key k = 0; k < 100000; ++k) {
+    s.put({1, k}, store::Row{{0, static_cast<Value>(k)}}, 0);
+  }
+  Key k = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(s.get({1, (k++ * 2654435761u) % 100000}));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_StoreGet);
+
+void BM_StorePut(benchmark::State& state) {
+  store::VersionedStore s;
+  Key k = 0;
+  BatchId b = 1;
+  for (auto _ : state) {
+    s.put({1, k++ % 65536}, store::Row{{0, 1}, {1, 2}}, b);
+    if (k % 65536 == 0) ++b;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_StorePut);
+
+void BM_SolverFeasibility(benchmark::State& state) {
+  expr::ExprPool pool;
+  solver::DomainMap domains;
+  const expr::Expr* x = pool.input(0);
+  const expr::Expr* y = pool.input(1);
+  domains.declare(x, {0, 100});
+  domains.declare(y, {0, 100});
+  std::vector<const expr::Expr*> cs{
+      pool.cmp(expr::Op::kLt, x, y),
+      pool.cmp(expr::Op::kGe, pool.add(x, y), pool.constant(50)),
+      pool.cmp(expr::Op::kLe, y, pool.constant(80)),
+  };
+  for (auto _ : state) {
+    solver::Solver s;
+    benchmark::DoNotOptimize(s.check(cs, domains));
+  }
+}
+BENCHMARK(BM_SolverFeasibility);
+
+void BM_ProfileBuildNewOrder(benchmark::State& state) {
+  const auto sc = workloads::tpcc::Scale::small(4);
+  const lang::Proc proc = workloads::tpcc::build_new_order(sc);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sym::Profiler::profile(proc));
+  }
+}
+BENCHMARK(BM_ProfileBuildNewOrder);
+
+void BM_ProfilePredictNewOrder(benchmark::State& state) {
+  const auto sc = workloads::tpcc::Scale::small(4);
+  const lang::Proc proc = workloads::tpcc::build_new_order(sc);
+  auto profile = sym::Profiler::profile(proc);
+  store::VersionedStore s;
+  workloads::tpcc::load(s, sc);
+  store::SnapshotView view(s, 0);
+  lang::TxInput in;
+  in.add(0).add(3).add(7).add(10);
+  in.add_array({1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15});
+  in.add_array(std::vector<Value>(15, 0));
+  in.add_array(std::vector<Value>(15, 5));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(profile->predict(in, view));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ProfilePredictNewOrder);
+
+void BM_InterpNewOrder(benchmark::State& state) {
+  const auto sc = workloads::tpcc::Scale::small(4);
+  const lang::Proc proc = workloads::tpcc::build_new_order(sc);
+  store::VersionedStore s;
+  workloads::tpcc::load(s, sc);
+  store::SnapshotView view(s, 0);
+  lang::Interp interp;
+  lang::TxInput in;
+  in.add(0).add(3).add(7).add(10);
+  in.add_array({1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15});
+  in.add_array(std::vector<Value>(15, 0));
+  in.add_array(std::vector<Value>(15, 5));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(interp.run(proc, in, view));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_InterpNewOrder);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,141 @@
+// Shared workload cases for the paper-reproduction benches.
+//
+// Trials are stamped from cached templates: the offline SE profiles are
+// analyzed once per scale and shared (they are immutable), and the loaded
+// initial store is cloned per trial (rows are immutable and shared), so a
+// sweep of dozens of trials does not re-run the loader dozens of times.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <mutex>
+
+#include "benchutil/harness.hpp"
+#include "common/rng.hpp"
+#include "db/database.hpp"
+#include "workloads/rubis.hpp"
+#include "workloads/tpcc.hpp"
+
+namespace prog::bench {
+
+struct TpccTemplate {
+  std::vector<std::shared_ptr<const lang::Proc>> procs;
+  std::vector<std::shared_ptr<const sym::TxProfile>> profiles;
+  store::VersionedStore initial;
+
+  explicit TpccTemplate(const workloads::tpcc::Scale& sc) {
+    auto add = [&](lang::Proc p) {
+      procs.push_back(std::make_shared<const lang::Proc>(std::move(p)));
+      profiles.emplace_back(sym::Profiler::profile(*procs.back()));
+    };
+    add(workloads::tpcc::build_new_order(sc));
+    add(workloads::tpcc::build_payment(sc));
+    add(workloads::tpcc::build_delivery(sc));
+    add(workloads::tpcc::build_order_status(sc));
+    add(workloads::tpcc::build_stock_level(sc));
+    workloads::tpcc::load(initial, sc);
+  }
+
+  static const TpccTemplate& get(int warehouses) {
+    static std::mutex mu;
+    static std::map<int, std::unique_ptr<TpccTemplate>> cache;
+    std::scoped_lock lock(mu);
+    auto& slot = cache[warehouses];
+    if (slot == nullptr) {
+      slot = std::make_unique<TpccTemplate>(
+          workloads::tpcc::Scale::small(warehouses));
+    }
+    return *slot;
+  }
+};
+
+class TpccCase final : public benchutil::CaseContext {
+ public:
+  TpccCase(const sched::EngineConfig& cfg, int warehouses, std::uint64_t seed)
+      : db_(cfg), rng_(seed) {
+    const TpccTemplate& tpl = TpccTemplate::get(warehouses);
+    for (std::size_t i = 0; i < tpl.procs.size(); ++i) {
+      db_.register_procedure_shared(tpl.procs[i], tpl.profiles[i]);
+    }
+    tpl.initial.clone_visible_into(db_.store());
+    wl_ = std::make_unique<workloads::tpcc::Workload>(
+        db_, workloads::tpcc::Scale::small(warehouses),
+        workloads::tpcc::Workload::AttachOnly{});
+    // Emulate the paper's RocksDB(-over-JNI) access cost; loading above ran
+    // at memory speed. See DESIGN.md "Substitutions".
+    db_.store().set_access_delay_ns(1000);
+  }
+  db::Database& database() override { return db_; }
+  std::vector<sched::TxRequest> make_batch(std::size_t n) override {
+    return wl_->batch(n, rng_);
+  }
+
+ private:
+  db::Database db_;
+  std::unique_ptr<workloads::tpcc::Workload> wl_;
+  Rng rng_;
+};
+
+struct RubisTemplate {
+  std::vector<std::shared_ptr<const lang::Proc>> procs;
+  std::vector<std::shared_ptr<const sym::TxProfile>> profiles;
+  store::VersionedStore initial;
+  workloads::rubis::Scale scale{2000, 2000};
+
+  RubisTemplate() {
+    auto add = [&](lang::Proc p) {
+      procs.push_back(std::make_shared<const lang::Proc>(std::move(p)));
+      profiles.emplace_back(sym::Profiler::profile(*procs.back()));
+    };
+    add(workloads::rubis::build_store_bid(scale));
+    add(workloads::rubis::build_store_buy_now(scale));
+    add(workloads::rubis::build_store_comment(scale));
+    add(workloads::rubis::build_register_user(scale));
+    add(workloads::rubis::build_register_item(scale));
+    workloads::rubis::load(initial, scale);
+  }
+
+  static const RubisTemplate& get() {
+    static RubisTemplate tpl;
+    return tpl;
+  }
+};
+
+class RubisCase final : public benchutil::CaseContext {
+ public:
+  RubisCase(const sched::EngineConfig& cfg, std::uint64_t seed)
+      : db_(cfg), rng_(seed) {
+    const RubisTemplate& tpl = RubisTemplate::get();
+    for (std::size_t i = 0; i < tpl.procs.size(); ++i) {
+      db_.register_procedure_shared(tpl.procs[i], tpl.profiles[i]);
+    }
+    tpl.initial.clone_visible_into(db_.store());
+    wl_ = std::make_unique<workloads::rubis::Workload>(
+        db_, tpl.scale, workloads::rubis::Workload::AttachOnly{});
+    db_.store().set_access_delay_ns(2000);
+  }
+  db::Database& database() override { return db_; }
+  std::vector<sched::TxRequest> make_batch(std::size_t n) override {
+    return wl_->batch(n, rng_);
+  }
+
+ private:
+  db::Database db_;
+  std::unique_ptr<workloads::rubis::Workload> wl_;
+  Rng rng_;
+};
+
+inline benchutil::CaseFactory tpcc_factory(int warehouses,
+                                           std::uint64_t seed = 42) {
+  return [warehouses, seed](const sched::EngineConfig& cfg) {
+    return std::make_unique<TpccCase>(cfg, warehouses, seed);
+  };
+}
+
+inline benchutil::CaseFactory rubis_factory(std::uint64_t seed = 42) {
+  return [seed](const sched::EngineConfig& cfg) {
+    return std::make_unique<RubisCase>(cfg, seed);
+  };
+}
+
+}  // namespace prog::bench

@@ -1,0 +1,70 @@
+// End-to-end replicated deployment: three full replicas behind the Raft
+// sequencer, fed TPC-C batches, with a follower crash and catch-up in the
+// middle. Demonstrates the paper's system picture: consensus fixes the batch
+// order, the deterministic engine guarantees replicas never diverge.
+#include <iostream>
+#include <memory>
+
+#include "consensus/replicated_db.hpp"
+#include "workloads/tpcc.hpp"
+
+int main() {
+  using namespace prog;
+  sched::EngineConfig cfg;
+  cfg.workers = 2;
+
+  std::vector<std::unique_ptr<workloads::tpcc::Workload>> wls;
+  consensus::ReplicatedDb cluster(
+      3, /*seed=*/2026,
+      [&](db::Database& d) {
+        wls.push_back(std::make_unique<workloads::tpcc::Workload>(
+            d, workloads::tpcc::Scale::small(2)));
+      },
+      cfg);
+
+  cluster.run_ms(1000);  // leader election
+  std::cout << "leader elected: node " << cluster.raft().leader() << "\n";
+
+  Rng rng(3);
+  auto pump = [&](int batches) {
+    int ok = 0;
+    for (int i = 0; i < batches; ++i) {
+      if (cluster.submit_batch(wls[0]->batch(25, rng))) ++ok;
+      cluster.run_ms(100);
+    }
+    return ok;
+  };
+
+  std::cout << "submitting 5 batches...\n";
+  pump(5);
+
+  const int leader = cluster.raft().leader();
+  const consensus::NodeId victim = leader == 0 ? 1 : 0;
+  std::cout << "crashing follower " << victim << " and submitting 5 more\n";
+  cluster.raft().crash(victim);
+  pump(5);
+
+  std::cout << "restarting follower " << victim << " (log catch-up)\n";
+  cluster.raft().restart(victim);
+  cluster.run_ms(3000);
+
+  if (!cluster.converged()) {
+    std::cout << "replicas did not converge!\n";
+    return 1;
+  }
+  const auto hashes = cluster.state_hashes();
+  std::cout << "replica state hashes:";
+  for (auto h : hashes) std::cout << " " << std::hex << h << std::dec;
+  std::cout << "\n";
+  if (hashes[0] == hashes[1] && hashes[1] == hashes[2]) {
+    std::cout << "all three replicas hold byte-identical state.\n";
+    const auto bad =
+        workloads::tpcc::check_invariants(cluster.replica(0).store(),
+                                          wls[0]->scale());
+    std::cout << (bad.empty() ? "TPC-C invariants hold on the replicated state.\n"
+                              : "invariant violations found!\n");
+    return bad.empty() ? 0 : 1;
+  }
+  std::cout << "replica divergence!\n";
+  return 1;
+}

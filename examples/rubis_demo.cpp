@@ -1,0 +1,74 @@
+// RUBiS-C on Prognosticator: every update transaction is dependent (its
+// insert key comes from a sequence read from the store), which makes this
+// the high-contention showcase for the failed-transaction strategies.
+// Runs the same workload under MF and SF and compares abort rates.
+//
+// Usage: rubis_demo [batches] [batch_size]
+#include <cstdlib>
+#include <iostream>
+
+#include "common/rng.hpp"
+#include "db/database.hpp"
+#include "workloads/rubis.hpp"
+
+namespace {
+
+struct RunResult {
+  std::uint64_t committed = 0;
+  std::uint64_t aborts = 0;
+  std::uint64_t hash = 0;
+};
+
+RunResult run(bool parallel_failed, int batches, std::size_t batch_size) {
+  using namespace prog;
+  sched::EngineConfig cfg;
+  cfg.workers = 4;
+  cfg.parallel_failed = parallel_failed;
+  cfg.check_containment = true;
+  db::Database db(cfg);
+  workloads::rubis::Workload wl(db, workloads::rubis::Scale::small());
+  Rng rng(99);
+  RunResult out;
+  for (int b = 0; b < batches; ++b) {
+    const auto r = db.execute(wl.batch(batch_size, rng));
+    out.committed += r.committed;
+    out.aborts += r.validation_aborts;
+  }
+  const auto bad = workloads::rubis::check_invariants(db.store(), wl.scale());
+  if (!bad.empty()) {
+    std::cerr << "invariant violation: " << bad.front() << "\n";
+    std::exit(1);
+  }
+  out.hash = db.state_hash();
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int batches = argc > 1 ? std::atoi(argv[1]) : 50;
+  const std::size_t batch_size =
+      argc > 2 ? static_cast<std::size_t>(std::atoi(argv[2])) : 60;
+
+  std::cout << "RUBiS-C, " << batches << " batches x " << batch_size
+            << " update transactions\n";
+  const RunResult mf = run(true, batches, batch_size);
+  std::cout << "MQ-MF: " << mf.committed << " committed, " << mf.aborts
+            << " aborts (failed DT executions)\n";
+  const RunResult sf = run(false, batches, batch_size);
+  std::cout << "MQ-SF: " << sf.committed << " committed, " << sf.aborts
+            << " aborts\n";
+  std::cout << "(the paper's RUBiS finding: sequential re-execution of "
+               "failed transactions\n aborts far less on id-generation "
+               "hotspots — here MF/SF = "
+            << (sf.aborts == 0 ? 0.0
+                               : static_cast<double>(mf.aborts) /
+                                     static_cast<double>(sf.aborts))
+            << "x)\n";
+  if (mf.hash != sf.hash) {
+    std::cout << "note: MF and SF diverged — this must never happen!\n";
+    return 1;
+  }
+  std::cout << "MF and SF converged to the same final state.\n";
+  return 0;
+}

@@ -1,0 +1,61 @@
+// TPC-C on Prognosticator: loads the benchmark, runs the standard mix for a
+// few hundred batches under MQ-MF, and verifies the TPC-C consistency
+// conditions afterwards.
+//
+// Usage: tpcc_demo [warehouses] [batches] [batch_size]
+#include <cstdlib>
+#include <iostream>
+
+#include "common/rng.hpp"
+#include "common/stopwatch.hpp"
+#include "db/database.hpp"
+#include "workloads/tpcc.hpp"
+
+int main(int argc, char** argv) {
+  using namespace prog;
+  const int warehouses = argc > 1 ? std::atoi(argv[1]) : 4;
+  const int batches = argc > 2 ? std::atoi(argv[2]) : 100;
+  const std::size_t batch_size =
+      argc > 3 ? static_cast<std::size_t>(std::atoi(argv[3])) : 100;
+
+  sched::EngineConfig cfg;
+  cfg.workers = 4;
+  cfg.check_containment = true;  // assert profile soundness while running
+  db::Database db(cfg);
+  workloads::tpcc::Workload wl(db,
+                               workloads::tpcc::Scale::small(warehouses));
+
+  std::cout << "TPC-C with " << warehouses << " warehouse(s), " << batches
+            << " batches x " << batch_size << " transactions\n";
+  for (sched::ProcId id = 0; id < db.procedure_count(); ++id) {
+    const auto& prof = db.profile(id);
+    std::cout << "  " << db.procedure(id).name << ": "
+              << sym::to_string(prof.klass()) << ", "
+              << prof.metrics().unique_key_sets << " key-set(s), "
+              << prof.pivot_site_count() << " pivot(s)\n";
+  }
+
+  Rng rng(7);
+  Stopwatch wall;
+  std::uint64_t committed = 0, aborts = 0, rolled_back = 0;
+  for (int b = 0; b < batches; ++b) {
+    const auto r = db.execute(wl.batch(batch_size, rng));
+    committed += r.committed;
+    aborts += r.validation_aborts;
+    rolled_back += r.rolled_back;
+  }
+  const double secs = wall.elapsed_seconds();
+  std::cout << "committed " << committed << " tx in " << secs << "s ("
+            << static_cast<std::uint64_t>(committed / secs) << " tx/s), "
+            << aborts << " validation aborts, " << rolled_back
+            << " business rollbacks\n";
+
+  const auto bad = workloads::tpcc::check_invariants(db.store(), wl.scale());
+  if (bad.empty()) {
+    std::cout << "TPC-C consistency conditions hold.\n";
+    return 0;
+  }
+  std::cout << bad.size() << " invariant violations, first: " << bad.front()
+            << "\n";
+  return 1;
+}

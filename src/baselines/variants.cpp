@@ -1,0 +1,67 @@
+#include "baselines/variants.hpp"
+
+namespace prog::baselines {
+
+using sched::EngineConfig;
+using sched::System;
+
+Variant prognosticator(bool multi_queue, bool parallel_failed, bool recon,
+                       unsigned workers) {
+  EngineConfig c;
+  c.system = System::kPrognosticator;
+  c.workers = workers;
+  c.multi_queue_prepare = multi_queue;
+  c.parallel_failed = parallel_failed;
+  c.use_recon = recon;
+  std::string name = multi_queue ? "MQ" : "1Q";
+  name += parallel_failed ? "-MF" : "-SF";
+  if (recon) name += "-R";
+  return {std::move(name), c};
+}
+
+Variant calvin(unsigned n_ms, unsigned workers) {
+  EngineConfig c;
+  c.system = System::kCalvin;
+  c.workers = workers;
+  c.calvin_prepare_lag = n_ms / 10;  // 10 ms batch interval
+  return {"Calvin-" + std::to_string(n_ms), c};
+}
+
+Variant nodo(unsigned workers) {
+  EngineConfig c;
+  c.system = System::kNodo;
+  c.workers = workers;
+  return {"NODO", c};
+}
+
+Variant seq() {
+  EngineConfig c;
+  c.system = System::kSeq;
+  c.workers = 1;
+  return {"SEQ", c};
+}
+
+std::vector<Variant> figure3_systems(unsigned workers) {
+  return {
+      prognosticator(true, true, false, workers),   // MQ-MF
+      prognosticator(true, false, false, workers),  // MQ-SF
+      calvin(100, workers),
+      calvin(200, workers),
+      nodo(workers),
+      seq(),
+  };
+}
+
+std::vector<Variant> figure5_variants(unsigned workers) {
+  std::vector<Variant> out;
+  for (bool mq : {true, false}) {
+    for (bool mf : {true, false}) {
+      for (bool recon : {false, true}) {
+        out.push_back(prognosticator(mq, mf, recon, workers));
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace prog::baselines

@@ -1,0 +1,40 @@
+// Named engine configurations — the systems and Prognosticator variants the
+// paper evaluates (Sections IV-B and IV-C).
+//
+//   MQ-MF / MQ-SF / 1Q-MF / 1Q-SF and their -R (reconnaissance) twins,
+//   Calvin-N (N ms of client-side prepare lag), NODO, SEQ.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sched/engine.hpp"
+
+namespace prog::baselines {
+
+/// A named configuration, as labeled in the paper's figures.
+struct Variant {
+  std::string name;
+  sched::EngineConfig config;
+};
+
+/// Prognosticator variant from the paper's axes. multi_queue => "MQ",
+/// parallel_failed => "MF", recon => "-R" suffix.
+Variant prognosticator(bool multi_queue, bool parallel_failed, bool recon,
+                       unsigned workers);
+
+/// Calvin with client-side preparation `n_ms` ahead of execution
+/// (batch interval is 10 ms, matching the paper's setup).
+Variant calvin(unsigned n_ms, unsigned workers);
+
+Variant nodo(unsigned workers);
+Variant seq();
+
+/// The six systems of Figure 3/4: MQ-MF, MQ-SF, Calvin-100, Calvin-200,
+/// NODO, SEQ.
+std::vector<Variant> figure3_systems(unsigned workers);
+
+/// The eight Prognosticator variants of Figure 5.
+std::vector<Variant> figure5_variants(unsigned workers);
+
+}  // namespace prog::baselines

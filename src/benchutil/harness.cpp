@@ -1,0 +1,185 @@
+#include "benchutil/harness.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "common/check.hpp"
+
+namespace prog::benchutil {
+
+namespace {
+
+double percentile(std::vector<double>& v, double p) {
+  if (v.empty()) return 0;
+  std::sort(v.begin(), v.end());
+  const auto idx = static_cast<std::size_t>(p * (v.size() - 1));
+  return v[idx];
+}
+
+}  // namespace
+
+bool fast_mode() { return std::getenv("PROG_BENCH_FAST") != nullptr; }
+
+TrialStats run_trial(const CaseFactory& factory, sched::EngineConfig config,
+                     std::size_t batch_size, const TrialOptions& opts) {
+  const unsigned target_workers =
+      opts.modeled ? opts.modeled_workers : config.workers;
+  if (opts.modeled) {
+    // Single-threaded measurement: uncontended service times even on a
+    // one-core host; the model projects onto target_workers.
+    config.workers = 1;
+    config.serial_measurement = true;
+  }
+  auto ctx = factory(config);
+
+  sched::BatchTrace trace;
+  // The facade owns the engine; reach it through a batch-level knob.
+  // (Database has no trace API; we attach via the config-independent sink.)
+  ctx->database();  // ensure constructed
+
+  TrialStats stats;
+  std::vector<double> latencies;
+  std::vector<sched::TxRequest> deferred;
+  double clock_ms = 0;  // virtual completion clock
+  std::int64_t prepare_us = 0, reexec_us = 0;
+  std::uint64_t prepared = 0, reexecuted = 0;
+  const int total_batches = opts.warmup_batches + opts.measured_batches;
+
+  for (int b = 0; b < total_batches; ++b) {
+    const double arrival_ms = b * opts.interval_ms;
+    // Closed-loop clients: Calvin resubmissions displace fresh load. As in
+    // the paper's accounting, a resubmission counts as a new attempt — the
+    // failed attempt shows up in the abort rate, not as latency.
+    const std::size_t fresh =
+        deferred.size() >= batch_size ? 0 : batch_size - deferred.size();
+    std::vector<sched::TxRequest> reqs = ctx->make_batch(fresh);
+    for (auto& d : deferred) reqs.push_back(std::move(d));
+    deferred.clear();
+    for (auto& r : reqs) {
+      r.tag = static_cast<std::uint64_t>(arrival_ms * 1000.0);
+    }
+
+    std::vector<std::uint64_t> tags;
+    tags.reserve(reqs.size());
+    for (const auto& r : reqs) tags.push_back(r.tag);
+
+    sched::BatchResult result =
+        ctx->database().execute_traced(std::move(reqs), &trace);
+
+    ModelParams mp;
+    mp.workers =
+        config.system == sched::System::kSeq ? 1 : target_workers;
+    mp.multi_queue_prepare = config.multi_queue_prepare;
+    mp.include_prepare = config.system != sched::System::kCalvin;
+    mp.enqueue_ways = config.parallel_enqueue ? target_workers + 1 : 1;
+    const double duration_ms =
+        opts.modeled
+            ? static_cast<double>(modeled_makespan_us(trace, mp)) / 1000.0
+            : static_cast<double>(result.wall_micros) / 1000.0;
+    const double start_ms = std::max(arrival_ms, clock_ms);
+    const double finish_ms = start_ms + duration_ms;
+    clock_ms = finish_ms;
+
+    // Deferred transactions have not completed; drop one tag instance each.
+    for (const auto& d : result.deferred) {
+      auto it = std::find(tags.begin(), tags.end(), d.tag);
+      if (it != tags.end()) tags.erase(it);
+    }
+
+    if (b >= opts.warmup_batches) {
+      for (std::uint64_t tag : tags) {
+        latencies.push_back(finish_ms - static_cast<double>(tag) / 1000.0);
+      }
+      stats.committed += result.committed;
+      stats.aborts += result.validation_aborts;
+      prepare_us += result.prepare_micros;
+      prepared += result.prepared;
+      reexec_us += result.reexec_micros;
+      reexecuted += result.reexecuted;
+    }
+    deferred = std::move(result.deferred);
+
+    // Early exit: hopeless backlog.
+    if (finish_ms - arrival_ms > 50.0 * opts.interval_ms) {
+      stats.sustainable = false;
+      stats.p99_ms = finish_ms - arrival_ms;
+      return stats;
+    }
+  }
+
+  // Transactions still deferred at trial end never committed; the closed
+  // loop already charges them by displacing fresh load (lower committed
+  // throughput). Report p99 over commits.
+  stats.p99_ms = percentile(latencies, 0.99);
+  stats.sustainable = stats.p99_ms <= opts.p99_limit_ms;
+  const double measured_ms = opts.measured_batches * opts.interval_ms;
+  stats.throughput_tps =
+      static_cast<double>(stats.committed) / (measured_ms / 1000.0);
+  stats.abort_pct = stats.committed == 0
+                        ? 0
+                        : 100.0 * static_cast<double>(stats.aborts) /
+                              static_cast<double>(stats.committed);
+  stats.prepare_us_per_dt =
+      prepared == 0 ? 0
+                    : static_cast<double>(prepare_us) /
+                          static_cast<double>(prepared);
+  stats.reexec_us_per_failed =
+      reexecuted == 0 ? 0
+                      : static_cast<double>(reexec_us) /
+                            static_cast<double>(reexecuted);
+  return stats;
+}
+
+SustainableResult max_sustainable(const CaseFactory& factory,
+                                  const sched::EngineConfig& config,
+                                  const TrialOptions& opts,
+                                  std::size_t max_batch) {
+  // A single trial can spike (an unlucky mix draw puts several heavy ROT
+  // scans in one batch), so an unsustainable verdict is only accepted after
+  // a confirming retry — otherwise one outlier truncates the whole ladder.
+  auto probe = [&](std::size_t n) {
+    TrialStats s = run_trial(factory, config, n, opts);
+    if (!s.sustainable) {
+      const TrialStats retry = run_trial(factory, config, n, opts);
+      if (retry.sustainable) return retry;
+    }
+    return s;
+  };
+
+  SustainableResult best;
+  std::size_t lo = 0, hi = 0;
+  for (std::size_t n = 4; n <= max_batch; n *= 2) {
+    const TrialStats s = probe(n);
+    if (s.sustainable) {
+      best = {n, s};
+      lo = n;
+    } else {
+      hi = n;
+      break;
+    }
+  }
+  if (lo == 0) {
+    // Even the smallest probe failed: try the floor sizes.
+    for (std::size_t n : {2u, 1u}) {
+      const TrialStats s = probe(n);
+      if (s.sustainable) return {n, s};
+    }
+    return best;  // batch_size 0: nothing sustainable
+  }
+  if (hi == 0) return best;  // sustained everything up to max_batch
+  // Binary refinement between lo (good) and hi (bad).
+  for (int iter = 0; iter < 3 && hi - lo > std::max<std::size_t>(1, lo / 8);
+       ++iter) {
+    const std::size_t mid = (lo + hi) / 2;
+    const TrialStats s = probe(mid);
+    if (s.sustainable) {
+      best = {mid, s};
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return best;
+}
+
+}  // namespace prog::benchutil

@@ -1,0 +1,80 @@
+// Maximum-sustainable-throughput harness (paper, Section IV-B setup):
+// batches arrive every 10 ms; the per-batch transaction count is raised
+// until the 99th-percentile transaction latency exceeds 10 ms; the reported
+// throughput is the largest sustainable rate.
+//
+// Latency of a transaction = completion time of its batch - its arrival
+// time. Calvin-deferred transactions keep their original arrival tag across
+// resubmissions, so their latency correctly spans multiple batches.
+//
+// Two timing modes:
+//   - modeled (default): the engine runs with 1 worker recording a trace;
+//     batch duration = benchutil::modeled_makespan_us(trace, W). Fully
+//     deterministic and machine-independent.
+//   - wall-clock: batch duration is the engine's measured wall time with
+//     real worker threads (use on a many-core host).
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "db/database.hpp"
+#include "benchutil/model.hpp"
+#include "sched/engine.hpp"
+
+namespace prog::benchutil {
+
+/// A freshly-initialized database + workload generator for one trial.
+class CaseContext {
+ public:
+  virtual ~CaseContext() = default;
+  virtual db::Database& database() = 0;
+  virtual std::vector<sched::TxRequest> make_batch(std::size_t n) = 0;
+};
+
+/// Builds a fresh CaseContext for `config` (trials never share state).
+using CaseFactory =
+    std::function<std::unique_ptr<CaseContext>(const sched::EngineConfig&)>;
+
+struct TrialOptions {
+  int warmup_batches = 3;
+  int measured_batches = 12;
+  double interval_ms = 10.0;
+  double p99_limit_ms = 10.0;
+  bool modeled = true;
+  unsigned modeled_workers = 20;
+};
+
+struct TrialStats {
+  bool sustainable = false;
+  double p99_ms = 0;
+  double throughput_tps = 0;  // committed transactions per second
+  double abort_pct = 0;       // validation aborts / committed * 100
+  double prepare_us_per_dt = 0;
+  double reexec_us_per_failed = 0;
+  std::uint64_t committed = 0;
+  std::uint64_t aborts = 0;
+};
+
+/// Runs one trial at a fixed batch size.
+TrialStats run_trial(const CaseFactory& factory, sched::EngineConfig config,
+                     std::size_t batch_size, const TrialOptions& opts);
+
+struct SustainableResult {
+  std::size_t batch_size = 0;  // largest sustainable
+  TrialStats stats;            // stats at that size
+};
+
+/// Doubles the batch size until the p99 limit breaks, then binary-refines.
+SustainableResult max_sustainable(const CaseFactory& factory,
+                                  const sched::EngineConfig& config,
+                                  const TrialOptions& opts,
+                                  std::size_t max_batch = 4096);
+
+/// True when PROG_BENCH_FAST is set: benches shrink their sweeps so the
+/// whole suite stays in CI-friendly time.
+bool fast_mode();
+
+}  // namespace prog::benchutil

@@ -1,0 +1,144 @@
+#include "benchutil/model.hpp"
+
+#include <algorithm>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "common/check.hpp"
+
+namespace prog::benchutil {
+
+namespace {
+
+using sched::TraceAttempt;
+using sched::TxIdx;
+
+/// Greedy multiprocessor makespan for independent tasks.
+std::int64_t independent_makespan(const std::vector<std::int64_t>& tasks,
+                                  unsigned workers) {
+  if (tasks.empty()) return 0;
+  std::priority_queue<std::int64_t, std::vector<std::int64_t>,
+                      std::greater<>>
+      free_at;
+  for (unsigned w = 0; w < workers; ++w) free_at.push(0);
+  for (std::int64_t t : tasks) {
+    const std::int64_t start = free_at.top();
+    free_at.pop();
+    free_at.push(start + t);
+  }
+  std::int64_t makespan = 0;
+  while (!free_at.empty()) {
+    makespan = free_at.top();
+    free_at.pop();
+  }
+  return makespan;
+}
+
+/// List scheduling of one round's attempts under lock-table precedence.
+std::int64_t dag_makespan(const std::vector<const TraceAttempt*>& attempts,
+                          unsigned workers) {
+  if (attempts.empty()) return 0;
+  std::unordered_map<TxIdx, std::size_t> index;
+  index.reserve(attempts.size());
+  for (std::size_t i = 0; i < attempts.size(); ++i) {
+    index[attempts[i]->tx] = i;
+  }
+  const std::size_t n = attempts.size();
+  std::vector<std::vector<std::size_t>> succs(n);
+  std::vector<unsigned> indeg(n, 0);
+  std::vector<std::int64_t> ready_at(n, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (TxIdx p : attempts[i]->preds) {
+      auto it = index.find(p);
+      if (it == index.end() || it->second == i) continue;
+      succs[it->second].push_back(i);
+      ++indeg[i];
+    }
+  }
+
+  // Event-driven list schedule: tasks become available when their last
+  // predecessor finishes; the earliest-available task runs on the earliest
+  // free worker (ties broken by enqueue order for determinism).
+  using Avail = std::pair<std::int64_t, std::size_t>;  // (ready time, index)
+  std::priority_queue<Avail, std::vector<Avail>, std::greater<>> avail;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (indeg[i] == 0) avail.push({0, i});
+  }
+  std::priority_queue<std::int64_t, std::vector<std::int64_t>,
+                      std::greater<>>
+      free_at;
+  for (unsigned w = 0; w < workers; ++w) free_at.push(0);
+
+  std::int64_t makespan = 0;
+  std::size_t scheduled = 0;
+  while (!avail.empty()) {
+    const auto [ready, i] = avail.top();
+    avail.pop();
+    const std::int64_t worker_free = free_at.top();
+    free_at.pop();
+    const std::int64_t start = std::max(ready, worker_free);
+    const std::int64_t finish = start + attempts[i]->service_us;
+    free_at.push(finish);
+    makespan = std::max(makespan, finish);
+    ++scheduled;
+    for (std::size_t s : succs[i]) {
+      ready_at[s] = std::max(ready_at[s], finish);
+      if (--indeg[s] == 0) avail.push({ready_at[s], s});
+    }
+  }
+  PROG_CHECK_MSG(scheduled == n,
+                 "dependency cycle in trace (lock table order violated?)");
+  return makespan;
+}
+
+}  // namespace
+
+std::int64_t modeled_makespan_us(const sched::BatchTrace& trace,
+                                 const ModelParams& params,
+                                 ModelBreakdown* breakdown) {
+  const unsigned w = params.workers == 0 ? 1 : params.workers;
+
+  // Phase 1: ROTs on the workers, preparation shared (MQ) or queuer-only.
+  std::vector<std::int64_t> rot_tasks;
+  std::int64_t rot_total = 0;
+  std::int64_t rot_max = 0;
+  for (const TraceAttempt& a : trace.attempts) {
+    if (a.rot) {
+      rot_tasks.push_back(a.service_us);
+      rot_total += a.service_us;
+      rot_max = std::max(rot_max, a.service_us);
+    }
+  }
+  const std::int64_t prepare_us =
+      params.include_prepare ? trace.prepare_total_us : 0;
+  std::int64_t phase1 = 0;
+  if (params.multi_queue_prepare) {
+    // Workers and queuer drain the combined ROT + preparation pool.
+    const std::int64_t pool = rot_total + prepare_us;
+    phase1 = std::max<std::int64_t>(rot_max, pool / (w + 1));
+  } else {
+    // The queuer prepares alone while workers run ROTs.
+    phase1 = std::max(independent_makespan(rot_tasks, w), prepare_us);
+  }
+
+  // Rounds of update execution under lock-table precedence.
+  std::int64_t rounds_us = 0;
+  for (std::uint16_t r = 0; r <= trace.rounds; ++r) {
+    std::vector<const TraceAttempt*> round;
+    for (const TraceAttempt& a : trace.attempts) {
+      if (!a.rot && a.round == r) round.push_back(&a);
+    }
+    rounds_us += dag_makespan(round, w);
+  }
+
+  const std::int64_t enqueue_us =
+      trace.enqueue_us /
+      static_cast<std::int64_t>(std::max(1u, params.enqueue_ways));
+  if (breakdown != nullptr) {
+    *breakdown = {phase1, enqueue_us, rounds_us, trace.sf_serial_us};
+  }
+  return phase1 + enqueue_us + rounds_us + trace.sf_serial_us;
+}
+
+}  // namespace prog::benchutil

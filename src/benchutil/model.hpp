@@ -1,0 +1,46 @@
+// Scheduling model: projects a recorded batch trace onto W workers.
+//
+// The engine (run with one worker so service times are uncontended) records
+// per-attempt service times and the lock-table dependency DAG. The model
+// replays the engine's phase structure analytically:
+//   phase 1: ROT execution + key-set preparation (MQ shares the preparation
+//            pool across workers + queuer; 1Q leaves it on the queuer);
+//   serial lock-table enqueueing by the queuer;
+//   one list-scheduled DAG execution per round (main + MF re-executions);
+//   the SF tail, which is serial by definition.
+// This makes the paper's throughput figures machine-independent: on a
+// many-core box the harness can also measure wall-clock directly and the two
+// agree in shape.
+#pragma once
+
+#include <cstdint>
+
+#include "sched/trace.hpp"
+
+namespace prog::benchutil {
+
+struct ModelParams {
+  unsigned workers = 20;
+  bool multi_queue_prepare = true;
+  /// Calvin prepares at the *client* (the reconnaissance phase), so its
+  /// preparation cost is off the server's critical path.
+  bool include_prepare = true;
+  /// How many participants populate the lock table (1 = the paper's single
+  /// queuer; workers+1 under EngineConfig::parallel_enqueue).
+  unsigned enqueue_ways = 1;
+};
+
+/// Optional per-phase decomposition of the modeled duration.
+struct ModelBreakdown {
+  std::int64_t phase1_us = 0;   // ROT execution + preparation
+  std::int64_t enqueue_us = 0;  // serial queuer work
+  std::int64_t rounds_us = 0;   // update-phase DAG rounds
+  std::int64_t sf_us = 0;       // serial failed-transaction tail
+};
+
+/// Modeled duration (µs) of the traced batch on `params.workers` workers.
+std::int64_t modeled_makespan_us(const sched::BatchTrace& trace,
+                                 const ModelParams& params,
+                                 ModelBreakdown* breakdown = nullptr);
+
+}  // namespace prog::benchutil

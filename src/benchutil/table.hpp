@@ -1,0 +1,64 @@
+// Fixed-width ASCII table printer for the paper-reproduction benches.
+#pragma once
+
+#include <iomanip>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace prog::benchutil {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers)
+      : headers_(std::move(headers)) {}
+
+  void row(std::vector<std::string> cells) { rows_.push_back(std::move(cells)); }
+
+  void print(std::ostream& os = std::cout) const {
+    std::vector<std::size_t> widths(headers_.size());
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+      widths[c] = headers_[c].size();
+    }
+    for (const auto& r : rows_) {
+      for (std::size_t c = 0; c < r.size() && c < widths.size(); ++c) {
+        widths[c] = std::max(widths[c], r[c].size());
+      }
+    }
+    auto line = [&](const std::vector<std::string>& cells) {
+      os << "| ";
+      for (std::size_t c = 0; c < widths.size(); ++c) {
+        const std::string& s = c < cells.size() ? cells[c] : "";
+        os << std::left << std::setw(static_cast<int>(widths[c])) << s
+           << " | ";
+      }
+      os << '\n';
+    };
+    line(headers_);
+    os << '|';
+    for (std::size_t c = 0; c < widths.size(); ++c) {
+      os << std::string(widths[c] + 2, '-') << '|';
+    }
+    os << '\n';
+    for (const auto& r : rows_) line(r);
+  }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+inline std::string fmt(double v, int prec = 1) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(prec) << v;
+  return os.str();
+}
+
+inline std::string fmt_si(double v) {
+  if (v >= 1e6) return fmt(v / 1e6, 2) + "M";
+  if (v >= 1e3) return fmt(v / 1e3, 1) + "k";
+  return fmt(v, 0);
+}
+
+}  // namespace prog::benchutil

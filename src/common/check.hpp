@@ -1,0 +1,45 @@
+// Always-on invariant checks.
+//
+// PROG_CHECK is used for conditions that must hold in a correct build of the
+// system (scheduler invariants, profile soundness at runtime, ...). Unlike
+// assert() it is active in release builds: a deterministic database that
+// silently diverges is worse than one that stops.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace prog {
+
+/// Thrown when an internal invariant is violated.
+class InvariantError : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+/// Thrown on user-facing misuse of the public API (bad DSL, bad config, ...).
+class UsageError : public std::invalid_argument {
+ public:
+  using std::invalid_argument::invalid_argument;
+};
+
+[[noreturn]] inline void check_failed(const char* cond, const char* file,
+                                      int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "PROG_CHECK failed: " << cond << " at " << file << ':' << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw InvariantError(os.str());
+}
+
+}  // namespace prog
+
+#define PROG_CHECK(cond)                                          \
+  do {                                                            \
+    if (!(cond)) ::prog::check_failed(#cond, __FILE__, __LINE__, {}); \
+  } while (false)
+
+#define PROG_CHECK_MSG(cond, msg)                                    \
+  do {                                                               \
+    if (!(cond)) ::prog::check_failed(#cond, __FILE__, __LINE__, (msg)); \
+  } while (false)

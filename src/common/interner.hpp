@@ -1,0 +1,52 @@
+// String interning: the store holds only int64 values, so user-visible strings
+// (customer names, RUBiS comments, ...) are mapped to dense integer ids.
+// Interning is append-only; ids are stable for the lifetime of the interner.
+#pragma once
+
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/types.hpp"
+
+namespace prog {
+
+/// Thread-safe bidirectional string <-> int64 mapping.
+class StringInterner {
+ public:
+  /// Returns the id for `s`, creating one on first sight.
+  Value intern(std::string_view s) {
+    std::scoped_lock lock(mu_);
+    auto it = ids_.find(std::string(s));
+    if (it != ids_.end()) return it->second;
+    const Value id = static_cast<Value>(strings_.size());
+    strings_.emplace_back(s);
+    ids_.emplace(strings_.back(), id);
+    return id;
+  }
+
+  /// Reverse lookup; throws UsageError for unknown ids.
+  std::string lookup(Value id) const {
+    std::scoped_lock lock(mu_);
+    if (id < 0 || static_cast<std::size_t>(id) >= strings_.size()) {
+      throw UsageError("StringInterner::lookup: unknown id " +
+                       std::to_string(id));
+    }
+    return strings_[static_cast<std::size_t>(id)];
+  }
+
+  std::size_t size() const {
+    std::scoped_lock lock(mu_);
+    return strings_.size();
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<std::string> strings_;
+  std::unordered_map<std::string, Value> ids_;
+};
+
+}  // namespace prog

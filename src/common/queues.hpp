@@ -1,0 +1,91 @@
+// Queue building blocks for the deterministic scheduler.
+//
+// The engine needs two shapes:
+//  - TicketDispenser: fan out a fixed, already-ordered work list (the DT
+//    prepare list, per-worker ROT queues) with a single fetch_add;
+//  - MpmcQueue: the "ready queue" of the paper, fed by the queuer and by
+//    workers releasing lock-table heads, drained concurrently by workers.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+#include "common/check.hpp"
+
+namespace prog {
+
+/// Distributes indexes [0, size) to concurrent claimants. Wait-free.
+class TicketDispenser {
+ public:
+  explicit TicketDispenser(std::size_t size = 0) : size_(size) {}
+
+  void reset(std::size_t size) {
+    size_ = size;
+    next_.store(0, std::memory_order_relaxed);
+  }
+
+  /// Claims the next index, or nullopt when the list is exhausted.
+  std::optional<std::size_t> claim() noexcept {
+    const std::size_t i = next_.fetch_add(1, std::memory_order_relaxed);
+    if (i >= size_) return std::nullopt;
+    return i;
+  }
+
+  std::size_t size() const noexcept { return size_; }
+
+ private:
+  std::size_t size_ = 0;
+  std::atomic<std::size_t> next_{0};
+};
+
+/// Unbounded multi-producer multi-consumer FIFO. A mutex-guarded deque is
+/// deliberately chosen over a lock-free ring: ready-queue operations are a few
+/// dozen nanoseconds against transaction executions of microseconds, and the
+/// deterministic-state property must not depend on queue internals anyway.
+template <typename T>
+class MpmcQueue {
+ public:
+  void push(T value) {
+    std::scoped_lock lock(mu_);
+    items_.push_back(std::move(value));
+  }
+
+  template <typename It>
+  void push_many(It first, It last) {
+    std::scoped_lock lock(mu_);
+    items_.insert(items_.end(), first, last);
+  }
+
+  std::optional<T> try_pop() {
+    std::scoped_lock lock(mu_);
+    if (items_.empty()) return std::nullopt;
+    T v = std::move(items_.front());
+    items_.pop_front();
+    return v;
+  }
+
+  bool empty() const {
+    std::scoped_lock lock(mu_);
+    return items_.empty();
+  }
+
+  std::size_t size() const {
+    std::scoped_lock lock(mu_);
+    return items_.size();
+  }
+
+  void clear() {
+    std::scoped_lock lock(mu_);
+    items_.clear();
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::deque<T> items_;
+};
+
+}  // namespace prog

@@ -1,0 +1,95 @@
+// Light-weight synchronization primitives used by the execution engine.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <thread>
+
+#include "common/check.hpp"
+
+namespace prog {
+
+/// Test-and-test-and-set spin lock for very short critical sections
+/// (individual lock-table queues). Satisfies Lockable.
+class SpinLock {
+ public:
+  void lock() noexcept {
+    for (;;) {
+      if (!flag_.exchange(true, std::memory_order_acquire)) return;
+      while (flag_.load(std::memory_order_relaxed)) {
+        std::this_thread::yield();
+      }
+    }
+  }
+
+  bool try_lock() noexcept {
+    return !flag_.exchange(true, std::memory_order_acquire);
+  }
+
+  void unlock() noexcept { flag_.store(false, std::memory_order_release); }
+
+ private:
+  std::atomic<bool> flag_{false};
+};
+
+/// Sense-reversing barrier for the worker-thread phase transitions
+/// (ROT phase -> update phase -> failed-tx rounds). Reusable across batches.
+class PhaseBarrier {
+ public:
+  explicit PhaseBarrier(unsigned parties) : parties_(parties) {
+    PROG_CHECK(parties > 0);
+  }
+
+  /// Blocks until all parties arrive. Returns true for exactly one caller
+  /// (the "serial" party), which may run a phase-transition action.
+  bool arrive_and_wait() {
+    std::unique_lock lock(mu_);
+    const std::uint64_t gen = generation_;
+    if (++arrived_ == parties_) {
+      arrived_ = 0;
+      ++generation_;
+      cv_.notify_all();
+      return true;
+    }
+    cv_.wait(lock, [&] { return generation_ != gen; });
+    return false;
+  }
+
+ private:
+  const unsigned parties_;
+  unsigned arrived_ = 0;
+  std::uint64_t generation_ = 0;
+  std::mutex mu_;
+  std::condition_variable cv_;
+};
+
+/// One-shot latch used to release workers into a batch.
+class Gate {
+ public:
+  void open() {
+    {
+      std::scoped_lock lock(mu_);
+      open_ = true;
+    }
+    cv_.notify_all();
+  }
+
+  void close() {
+    std::scoped_lock lock(mu_);
+    open_ = false;
+  }
+
+  void wait() {
+    std::unique_lock lock(mu_);
+    cv_.wait(lock, [&] { return open_; });
+  }
+
+ private:
+  bool open_ = false;
+  std::mutex mu_;
+  std::condition_variable cv_;
+};
+
+}  // namespace prog

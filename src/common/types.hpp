@@ -1,0 +1,66 @@
+// Core identifier types shared by every Prognosticator module.
+//
+// The data model follows the paper's key/value GET/PUT interface: a data item
+// is addressed by a (table, key) pair, where the key is a 64-bit integer.
+// Composite benchmark keys (e.g. TPC-C's (warehouse, district)) are packed
+// arithmetically so that symbolic key expressions stay linear in the inputs.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+namespace prog {
+
+/// Identifies a table (conflict-class namespace) in the store.
+using TableId = std::uint16_t;
+
+/// Identifies a record within a table.
+using Key = std::uint64_t;
+
+/// Identifies a field within a row. Rows are small field->int64 maps.
+using FieldId = std::uint16_t;
+
+/// Identifies a DSL variable inside one procedure.
+using VarId = std::uint32_t;
+
+/// Position of a transaction in the total order agreed by consensus.
+using TxSeq = std::uint64_t;
+
+/// Monotonically increasing batch number; also the store version tag.
+using BatchId = std::uint64_t;
+
+/// All scalar values in the system are 64-bit integers (strings are interned).
+using Value = std::int64_t;
+
+/// Fully-qualified key of a data item: the unit of conflict detection.
+struct TKey {
+  TableId table = 0;
+  Key key = 0;
+
+  friend bool operator==(const TKey&, const TKey&) = default;
+  friend auto operator<=>(const TKey&, const TKey&) = default;
+};
+
+/// 64-bit finalizer from SplitMix64; good avalanche for hash tables.
+constexpr std::uint64_t mix64(std::uint64_t x) noexcept {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+struct TKeyHash {
+  std::size_t operator()(const TKey& k) const noexcept {
+    return static_cast<std::size_t>(
+        mix64((static_cast<std::uint64_t>(k.table) << 48) ^ k.key));
+  }
+};
+
+}  // namespace prog
+
+template <>
+struct std::hash<prog::TKey> {
+  std::size_t operator()(const prog::TKey& k) const noexcept {
+    return prog::TKeyHash{}(k);
+  }
+};

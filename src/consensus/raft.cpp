@@ -1,0 +1,255 @@
+#include "consensus/raft.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace prog::consensus {
+
+namespace {
+constexpr SimTime kTickMs = 10;
+constexpr SimTime kHeartbeatMs = 50;
+constexpr SimTime kElectionMinMs = 150;
+constexpr SimTime kElectionJitterMs = 150;
+}  // namespace
+
+RaftNode::RaftNode(NodeId id, unsigned cluster_size, RaftCluster& cluster)
+    : id_(id), n_(cluster_size), cluster_(cluster) {
+  next_index_.assign(n_, 1);
+  match_index_.assign(n_, 0);
+  reset_election_deadline();
+  // Self-rescheduling tick for the lifetime of the simulation.
+  cluster_.net_for_node().schedule(kTickMs, [this] { tick_pump(); });
+}
+
+void RaftNode::tick_pump() {
+  if (!cluster_.node_down(id_)) tick();
+  cluster_.net_for_node().schedule(kTickMs, [this] { tick_pump(); });
+}
+
+void RaftNode::reset_election_deadline() {
+  election_deadline_ =
+      cluster_.net_for_node().now() + kElectionMinMs +
+      static_cast<SimTime>(cluster_.net_for_node().rng().bounded(
+          kElectionJitterMs));
+}
+
+void RaftNode::on_restart() {
+  role_ = Role::kFollower;
+  votes_ = 0;
+  next_index_.assign(n_, last_index() + 1);
+  match_index_.assign(n_, 0);
+  reset_election_deadline();
+}
+
+void RaftNode::become_follower(Term term) {
+  term_ = term;
+  role_ = Role::kFollower;
+  voted_for_ = -1;
+  votes_ = 0;
+  reset_election_deadline();
+}
+
+void RaftNode::tick() {
+  const SimTime now = cluster_.net_for_node().now();
+  if (role_ == Role::kLeader) {
+    if (now >= next_heartbeat_) {
+      broadcast_append();
+      next_heartbeat_ = now + kHeartbeatMs;
+    }
+    return;
+  }
+  if (now >= election_deadline_) start_election();
+}
+
+void RaftNode::start_election() {
+  ++term_;
+  role_ = Role::kCandidate;
+  voted_for_ = static_cast<std::int64_t>(id_);
+  votes_ = 1;
+  reset_election_deadline();
+  const RequestVote rv{term_, id_, last_index(), last_term()};
+  for (NodeId p = 0; p < n_; ++p) {
+    if (p == id_) continue;
+    cluster_.rpc(id_, p, rv, &RaftNode::on_request_vote);
+  }
+}
+
+void RaftNode::on_request_vote(const RequestVote& rv) {
+  if (rv.term > term_) become_follower(rv.term);
+  bool granted = false;
+  if (rv.term == term_ &&
+      (voted_for_ < 0 ||
+       voted_for_ == static_cast<std::int64_t>(rv.candidate))) {
+    // Up-to-date check (Raft §5.4.1).
+    const bool up_to_date =
+        rv.last_log_term > last_term() ||
+        (rv.last_log_term == last_term() && rv.last_log_index >= last_index());
+    if (up_to_date) {
+      granted = true;
+      voted_for_ = static_cast<std::int64_t>(rv.candidate);
+      reset_election_deadline();
+    }
+  }
+  cluster_.rpc(id_, rv.candidate, VoteReply{term_, granted, id_},
+               &RaftNode::on_vote_reply);
+}
+
+void RaftNode::on_vote_reply(const VoteReply& vr) {
+  if (vr.term > term_) {
+    become_follower(vr.term);
+    return;
+  }
+  if (role_ != Role::kCandidate || vr.term != term_ || !vr.granted) return;
+  if (++votes_ > n_ / 2) become_leader();
+}
+
+void RaftNode::become_leader() {
+  role_ = Role::kLeader;
+  next_index_.assign(n_, last_index() + 1);
+  match_index_.assign(n_, 0);
+  match_index_[id_] = last_index();
+  next_heartbeat_ = 0;
+  broadcast_append();
+}
+
+bool RaftNode::submit(Command cmd) {
+  if (role_ != Role::kLeader) return false;
+  log_.push_back({term_, cmd});
+  match_index_[id_] = last_index();
+  broadcast_append();
+  if (n_ == 1) {
+    advance_commit();
+  }
+  return true;
+}
+
+void RaftNode::broadcast_append() {
+  for (NodeId p = 0; p < n_; ++p) {
+    if (p != id_) send_append_to(p);
+  }
+}
+
+void RaftNode::send_append_to(NodeId peer) {
+  const LogIndex prev = next_index_[peer] - 1;
+  AppendEntries ae;
+  ae.term = term_;
+  ae.leader = id_;
+  ae.prev_index = prev;
+  ae.prev_term = term_at(prev);
+  ae.leader_commit = commit_index_;
+  for (LogIndex i = next_index_[peer]; i <= last_index(); ++i) {
+    ae.entries.push_back(log_[static_cast<std::size_t>(i - 1)]);
+  }
+  cluster_.rpc(id_, peer, std::move(ae), &RaftNode::on_append_entries);
+}
+
+void RaftNode::on_append_entries(const AppendEntries& ae) {
+  if (ae.term > term_) become_follower(ae.term);
+  AppendReply reply{term_, false, id_, 0};
+  if (ae.term == term_) {
+    if (role_ != Role::kFollower) role_ = Role::kFollower;
+    reset_election_deadline();
+    const bool prev_ok =
+        ae.prev_index <= last_index() &&
+        term_at(ae.prev_index) == ae.prev_term;
+    if (prev_ok) {
+      // Append, truncating conflicting suffixes.
+      LogIndex idx = ae.prev_index;
+      for (const LogEntry& e : ae.entries) {
+        ++idx;
+        if (idx <= last_index()) {
+          if (term_at(idx) != e.term) {
+            log_.resize(static_cast<std::size_t>(idx - 1));
+            log_.push_back(e);
+          }
+        } else {
+          log_.push_back(e);
+        }
+      }
+      const LogIndex match = ae.prev_index + ae.entries.size();
+      if (ae.leader_commit > commit_index_) {
+        commit_index_ = std::min(ae.leader_commit, last_index());
+        apply_committed();
+      }
+      reply.success = true;
+      reply.match_index = match;
+    }
+  }
+  cluster_.rpc(id_, ae.leader, reply, &RaftNode::on_append_reply);
+}
+
+void RaftNode::on_append_reply(const AppendReply& ar) {
+  if (ar.term > term_) {
+    become_follower(ar.term);
+    return;
+  }
+  if (role_ != Role::kLeader || ar.term != term_) return;
+  if (ar.success) {
+    match_index_[ar.follower] =
+        std::max(match_index_[ar.follower], ar.match_index);
+    next_index_[ar.follower] = match_index_[ar.follower] + 1;
+    advance_commit();
+  } else {
+    if (next_index_[ar.follower] > 1) --next_index_[ar.follower];
+    send_append_to(ar.follower);
+  }
+}
+
+void RaftNode::advance_commit() {
+  // Largest N with majority match and log[N].term == current term (§5.4.2).
+  for (LogIndex n = last_index(); n > commit_index_; --n) {
+    if (term_at(n) != term_) break;
+    unsigned count = 0;
+    for (NodeId p = 0; p < n_; ++p) {
+      if (match_index_[p] >= n) ++count;
+    }
+    if (count > n_ / 2) {
+      commit_index_ = n;
+      apply_committed();
+      break;
+    }
+  }
+}
+
+void RaftNode::apply_committed() {
+  while (last_applied_ < commit_index_) {
+    ++last_applied_;
+    cluster_.record_apply(
+        id_, log_[static_cast<std::size_t>(last_applied_ - 1)].command);
+  }
+}
+
+// --- cluster -------------------------------------------------------------------
+
+RaftCluster::RaftCluster(unsigned n, std::uint64_t seed,
+                         SimNet::Options net_opts, ApplyFn apply)
+    : net_(seed, net_opts), applied_(n), apply_(std::move(apply)) {
+  PROG_CHECK(n >= 1);
+  nodes_.reserve(n);
+  for (NodeId i = 0; i < n; ++i) {
+    nodes_.push_back(std::make_unique<RaftNode>(i, n, *this));
+  }
+}
+
+int RaftCluster::leader() const {
+  int best = -1;
+  Term best_term = 0;
+  for (NodeId i = 0; i < nodes_.size(); ++i) {
+    const RaftNode& node = *nodes_[i];
+    if (net_.is_down(i)) continue;
+    if (node.role() == RaftNode::Role::kLeader && node.term() >= best_term) {
+      best = static_cast<int>(i);
+      best_term = node.term();
+    }
+  }
+  return best;
+}
+
+bool RaftCluster::submit(Command cmd) {
+  const int l = leader();
+  if (l < 0) return false;
+  return nodes_[static_cast<std::size_t>(l)]->submit(cmd);
+}
+
+}  // namespace prog::consensus

@@ -1,0 +1,186 @@
+// Raft-lite: leader election + log replication over the simulated network.
+//
+// Orders opaque 64-bit commands (the replicated database maps them to
+// transaction batches). Implements the core Raft safety machinery: terms,
+// randomized election timeouts, vote granting with the up-to-date-log check,
+// AppendEntries consistency checking with conflict truncation, and
+// majority-match commit advancement restricted to the leader's current term.
+//
+// Simplifications relative to the full protocol (documented in DESIGN.md):
+// no snapshotting/log compaction, and commitIndex/lastApplied survive
+// restarts (equivalent to a node restoring from a durable snapshot), so the
+// apply callback fires exactly once per (node, index).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "consensus/sim_net.hpp"
+
+namespace prog::consensus {
+
+using Command = std::uint64_t;
+using Term = std::uint64_t;
+using LogIndex = std::uint64_t;  // 1-based; 0 is the sentinel
+
+struct LogEntry {
+  Term term = 0;
+  Command command = 0;
+};
+
+class RaftCluster;
+
+class RaftNode {
+ public:
+  enum class Role : std::uint8_t { kFollower, kCandidate, kLeader };
+
+  RaftNode(NodeId id, unsigned cluster_size, RaftCluster& cluster);
+
+  NodeId id() const noexcept { return id_; }
+  Role role() const noexcept { return role_; }
+  Term term() const noexcept { return term_; }
+  LogIndex commit_index() const noexcept { return commit_index_; }
+  const std::vector<LogEntry>& log() const noexcept { return log_; }
+
+  /// Leader-only: appends a command for replication. False if not leader.
+  bool submit(Command cmd);
+
+  // --- driven by the cluster/simulator ------------------------------------
+  void tick();
+  /// Self-rescheduling timer pump (skips logic while the node is down).
+  void tick_pump();
+  void on_restart();
+
+  struct RequestVote {
+    Term term;
+    NodeId candidate;
+    LogIndex last_log_index;
+    Term last_log_term;
+  };
+  struct VoteReply {
+    Term term;
+    bool granted;
+    NodeId voter;
+  };
+  struct AppendEntries {
+    Term term;
+    NodeId leader;
+    LogIndex prev_index;
+    Term prev_term;
+    std::vector<LogEntry> entries;
+    LogIndex leader_commit;
+  };
+  struct AppendReply {
+    Term term;
+    bool success;
+    NodeId follower;
+    LogIndex match_index;
+  };
+
+  void on_request_vote(const RequestVote& rv);
+  void on_vote_reply(const VoteReply& vr);
+  void on_append_entries(const AppendEntries& ae);
+  void on_append_reply(const AppendReply& ar);
+
+ private:
+  void become_follower(Term term);
+  void start_election();
+  void become_leader();
+  void broadcast_append();
+  void send_append_to(NodeId peer);
+  void advance_commit();
+  void apply_committed();
+  void reset_election_deadline();
+
+  LogIndex last_index() const noexcept {
+    return static_cast<LogIndex>(log_.size());
+  }
+  Term last_term() const noexcept {
+    return log_.empty() ? 0 : log_.back().term;
+  }
+  Term term_at(LogIndex i) const {
+    return i == 0 ? 0 : log_[static_cast<std::size_t>(i - 1)].term;
+  }
+
+  const NodeId id_;
+  const unsigned n_;
+  RaftCluster& cluster_;
+
+  // Persistent state.
+  Term term_ = 0;
+  std::int64_t voted_for_ = -1;
+  std::vector<LogEntry> log_;
+
+  // Volatile state.
+  Role role_ = Role::kFollower;
+  unsigned votes_ = 0;
+  LogIndex commit_index_ = 0;  // persisted here (snapshot simplification)
+  LogIndex last_applied_ = 0;
+  std::vector<LogIndex> next_index_;
+  std::vector<LogIndex> match_index_;
+  SimTime election_deadline_ = 0;
+  SimTime next_heartbeat_ = 0;
+};
+
+/// Owns the nodes and the simulated network; wires RPCs and timers.
+class RaftCluster {
+ public:
+  /// `apply(node, index, command)` fires when `node` applies a committed
+  /// entry — exactly once per (node, index), in index order.
+  using ApplyFn = std::function<void(NodeId, LogIndex, Command)>;
+
+  RaftCluster(unsigned n, std::uint64_t seed, SimNet::Options net_opts = {},
+              ApplyFn apply = {});
+
+  void run_ms(SimTime ms) { net_.run_until(net_.now() + ms); }
+
+  /// Current leader with the highest term, or -1 when none is visible.
+  int leader() const;
+
+  /// Submits to the current leader. False when there is no leader.
+  bool submit(Command cmd);
+
+  /// Commands node `i` has applied so far, in order.
+  const std::vector<Command>& applied(NodeId i) const {
+    return applied_[i];
+  }
+
+  RaftNode& node(NodeId i) { return *nodes_[i]; }
+  const RaftNode& node(NodeId i) const { return *nodes_[i]; }
+  unsigned size() const noexcept { return static_cast<unsigned>(nodes_.size()); }
+  SimNet& net() noexcept { return net_; }
+
+  void crash(NodeId i) { net_.crash(i); }
+  void restart(NodeId i) {
+    net_.restart(i);
+    nodes_[i]->on_restart();
+  }
+
+  // --- internal plumbing used by RaftNode ----------------------------------
+  template <typename Msg, typename Handler>
+  void rpc(NodeId from, NodeId to, Msg msg, Handler handler) {
+    net_.send(from, to, [this, to, msg = std::move(msg), handler] {
+      (nodes_[to].get()->*handler)(msg);
+    });
+  }
+  SimNet& net_for_node() noexcept { return net_; }
+  bool node_down(NodeId i) const { return net_.is_down(i); }
+  void record_apply(NodeId node, Command cmd) {
+    applied_[node].push_back(cmd);
+    if (apply_) {
+      apply_(node, static_cast<LogIndex>(applied_[node].size()), cmd);
+    }
+  }
+
+ private:
+  SimNet net_;
+  std::vector<std::unique_ptr<RaftNode>> nodes_;
+  std::vector<std::vector<Command>> applied_;
+  ApplyFn apply_;
+
+  friend class RaftNode;
+};
+
+}  // namespace prog::consensus

@@ -1,0 +1,122 @@
+// Deterministic discrete-event network simulator.
+//
+// The paper treats the consensus layer as a black box that delivers batches
+// in the same order to every replica. We reproduce it with a Raft-lite
+// sequencer (consensus/raft.hpp) running over this simulator: virtual time,
+// seeded message delays, probabilistic drops, crash and partition injection —
+// everything reproducible from one seed, so the consensus safety tests are
+// exact, not flaky.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+
+namespace prog::consensus {
+
+using NodeId = std::uint32_t;
+using SimTime = std::uint64_t;  // virtual milliseconds
+
+class SimNet {
+ public:
+  struct Options {
+    SimTime min_delay_ms = 1;
+    SimTime max_delay_ms = 5;
+    /// Probability (percent) that a message is silently dropped.
+    unsigned drop_percent = 0;
+  };
+
+  /// `deliver(to, from, payload_index)` is resolved by the owner; the net
+  /// stores opaque callbacks instead so any message type works.
+  explicit SimNet(std::uint64_t seed) : SimNet(seed, Options{}) {}
+  SimNet(std::uint64_t seed, Options opts) : rng_(seed), opts_(opts) {}
+
+  SimTime now() const noexcept { return now_; }
+  Rng& rng() noexcept { return rng_; }
+
+  /// Schedules `fn` to run at now() + delay_ms (a timer; never dropped).
+  void schedule(SimTime delay_ms, std::function<void()> fn) {
+    queue_.push({now_ + delay_ms, seq_++, std::move(fn)});
+  }
+
+  /// Schedules `fn` as a network message from `from` to `to`: subject to
+  /// random delay, drops, crashes and partitions at *delivery* time.
+  void send(NodeId from, NodeId to, std::function<void()> fn) {
+    if (opts_.drop_percent > 0 && rng_.percent(opts_.drop_percent)) return;
+    const SimTime delay =
+        static_cast<SimTime>(rng_.uniform(
+            static_cast<std::int64_t>(opts_.min_delay_ms),
+            static_cast<std::int64_t>(opts_.max_delay_ms)));
+    queue_.push({now_ + delay, seq_++, [this, from, to, fn = std::move(fn)] {
+                   if (!can_deliver(from, to)) return;
+                   fn();
+                 }});
+  }
+
+  /// Runs all events with time <= until.
+  void run_until(SimTime until) {
+    while (!queue_.empty() && queue_.top().at <= until) {
+      Event ev = queue_.top();
+      queue_.pop();
+      now_ = ev.at;
+      ev.fn();
+    }
+    now_ = until;
+  }
+
+  void run_for(SimTime ms) { run_until(now_ + ms); }
+
+  // --- fault injection -----------------------------------------------------
+  void crash(NodeId n) { set_down(n, true); }
+  void restart(NodeId n) { set_down(n, false); }
+  bool is_down(NodeId n) const {
+    return n < down_.size() && down_[n];
+  }
+  /// Splits the cluster: nodes in `group` can only talk to each other.
+  void partition(std::vector<NodeId> group) { partition_ = std::move(group); }
+  void heal() { partition_.clear(); }
+
+ private:
+  struct Event {
+    SimTime at;
+    std::uint64_t seq;  // FIFO tie-break keeps the simulation deterministic
+    std::function<void()> fn;
+    bool operator>(const Event& o) const {
+      return at != o.at ? at > o.at : seq > o.seq;
+    }
+  };
+
+  void set_down(NodeId n, bool v) {
+    if (down_.size() <= n) down_.resize(n + 1, false);
+    down_[n] = v;
+  }
+
+  bool in_partition(NodeId n) const {
+    for (NodeId g : partition_) {
+      if (g == n) return true;
+    }
+    return false;
+  }
+
+  bool can_deliver(NodeId from, NodeId to) const {
+    if (is_down(from) || is_down(to)) return false;
+    if (!partition_.empty() && in_partition(from) != in_partition(to)) {
+      return false;
+    }
+    return true;
+  }
+
+  Rng rng_;
+  Options opts_;
+  SimTime now_ = 0;
+  std::uint64_t seq_ = 0;
+  std::priority_queue<Event, std::vector<Event>, std::greater<>> queue_;
+  std::vector<bool> down_;
+  std::vector<NodeId> partition_;
+};
+
+}  // namespace prog::consensus

@@ -1,0 +1,94 @@
+#include "db/database.hpp"
+
+#include "common/check.hpp"
+
+namespace prog::db {
+
+Database::Database(sched::EngineConfig config) : config_(config) {}
+
+Database::~Database() = default;
+
+sched::ProcId Database::register_procedure(
+    lang::Proc proc, const sym::Profiler::Options& opts) {
+  auto owned = std::make_shared<const lang::Proc>(std::move(proc));
+  std::shared_ptr<const sym::TxProfile> profile =
+      sym::Profiler::profile(*owned, opts);
+  return register_procedure_shared(std::move(owned), std::move(profile));
+}
+
+sched::ProcId Database::register_procedure_shared(
+    std::shared_ptr<const lang::Proc> proc,
+    std::shared_ptr<const sym::TxProfile> profile) {
+  PROG_CHECK_MSG(engine_ == nullptr,
+                 "register_procedure after finalize() is not allowed");
+  PROG_CHECK(proc != nullptr && profile != nullptr);
+  PROG_CHECK_MSG(&profile->proc() == proc.get(),
+                 "profile was built for a different procedure instance");
+  for (const auto& p : procs_) {
+    if (p->name == proc->name) {
+      throw UsageError("duplicate procedure name: " + proc->name);
+    }
+  }
+  procs_.push_back(std::move(proc));
+  profiles_.push_back(std::move(profile));
+  entries_.push_back({procs_.back().get(), profiles_.back().get()});
+  return static_cast<sched::ProcId>(entries_.size() - 1);
+}
+
+void Database::finalize() {
+  PROG_CHECK_MSG(engine_ == nullptr, "finalize() called twice");
+  engine_ = std::make_unique<sched::Engine>(store_, entries_, config_);
+}
+
+sched::BatchResult Database::execute(
+    std::vector<sched::TxRequest> requests) {
+  PROG_CHECK_MSG(engine_ != nullptr, "execute() before finalize()");
+  return engine_->run_batch(std::move(requests));
+}
+
+sched::BatchResult Database::execute_traced(
+    std::vector<sched::TxRequest> requests, sched::BatchTrace* trace) {
+  PROG_CHECK_MSG(engine_ != nullptr, "execute_traced() before finalize()");
+  engine_->set_trace_sink(trace);
+  sched::BatchResult r = engine_->run_batch(std::move(requests));
+  engine_->set_trace_sink(nullptr);
+  return r;
+}
+
+const lang::Proc& Database::procedure(sched::ProcId id) const {
+  PROG_CHECK(id < procs_.size());
+  return *procs_[id];
+}
+
+const sym::TxProfile& Database::profile(sched::ProcId id) const {
+  PROG_CHECK(id < profiles_.size());
+  return *profiles_[id];
+}
+
+namespace {
+/// Clients hold no data: an IT prediction must never touch the store.
+class NoDataView final : public store::ReadView {
+ public:
+  store::RowPtr get(TKey) const override {
+    throw InvariantError(
+        "client-side prediction attempted a data-store read (not an IT?)");
+  }
+};
+}  // namespace
+
+std::shared_ptr<const sym::Prediction> Database::predict_client(
+    sched::ProcId id, const lang::TxInput& input) const {
+  const sym::TxProfile& prof = profile(id);
+  if (prof.klass() != sym::TxClass::kIndependent) return nullptr;
+  NoDataView view;
+  return std::make_shared<const sym::Prediction>(prof.predict(input, view));
+}
+
+sched::ProcId Database::find_procedure(const std::string& name) const {
+  for (sched::ProcId i = 0; i < procs_.size(); ++i) {
+    if (procs_[i]->name == name) return i;
+  }
+  throw UsageError("unknown procedure: " + name);
+}
+
+}  // namespace prog::db

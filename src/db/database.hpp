@@ -1,0 +1,89 @@
+// Public facade: a single-replica deterministic database instance.
+//
+// Usage:
+//   db::Database db(config);
+//   ProcId transfer = db.register_procedure(build_transfer());  // runs SE
+//   ... load initial state via db.store() (batch 0) ...
+//   db.finalize();
+//   BatchResult r = db.execute(batch);   // one totally-ordered batch
+//
+// register_procedure runs the offline symbolic analysis and keeps the
+// profile; finalize() constructs the execution engine. For replication,
+// create one Database per replica with the same procedures and feed every
+// replica the same batch sequence (see consensus::ReplicatedDb).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sched/engine.hpp"
+#include "store/store.hpp"
+#include "sym/symexec.hpp"
+
+namespace prog::db {
+
+class Database {
+ public:
+  explicit Database(sched::EngineConfig config = {});
+  ~Database();
+
+  Database(const Database&) = delete;
+  Database& operator=(const Database&) = delete;
+
+  /// Registers a stored procedure: runs the offline SE analysis and stores
+  /// the transaction profile. Must be called before finalize().
+  sched::ProcId register_procedure(lang::Proc proc,
+                                   const sym::Profiler::Options& opts = {});
+
+  /// Registers a pre-analyzed procedure (profiles are immutable and may be
+  /// shared across database instances — e.g. every replica, or benchmark
+  /// trials stamped from a template).
+  sched::ProcId register_procedure_shared(
+      std::shared_ptr<const lang::Proc> proc,
+      std::shared_ptr<const sym::TxProfile> profile);
+
+  /// Builds the execution engine. Loading initial state through store()
+  /// must happen before the first execute() (it is tagged batch 0).
+  void finalize();
+
+  /// Executes one totally-ordered batch (runs the queuer on this thread).
+  sched::BatchResult execute(std::vector<sched::TxRequest> requests);
+
+  /// Like execute(), additionally recording the scheduling trace used by
+  /// the benchutil throughput model.
+  sched::BatchResult execute_traced(std::vector<sched::TxRequest> requests,
+                                    sched::BatchTrace* trace);
+
+  store::VersionedStore& store() noexcept { return store_; }
+  const store::VersionedStore& store() const noexcept { return store_; }
+
+  const lang::Proc& procedure(sched::ProcId id) const;
+  const sym::TxProfile& profile(sched::ProcId id) const;
+  sched::ProcId find_procedure(const std::string& name) const;
+  std::size_t procedure_count() const noexcept { return procs_.size(); }
+
+  /// Commutative hash of the full visible state (replica comparison).
+  std::uint64_t state_hash() const { return store_.state_hash(); }
+
+  /// Client-side key-set prediction (paper, Section III-C): for independent
+  /// transactions the key-set is a pure function of the inputs, so clients
+  /// can compute it and ship it with the request. Returns nullptr for
+  /// ROT/DT procedures. Attach the result to TxRequest::client_pred and set
+  /// EngineConfig::accept_client_predictions.
+  std::shared_ptr<const sym::Prediction> predict_client(
+      sched::ProcId id, const lang::TxInput& input) const;
+
+  const sched::EngineConfig& config() const noexcept { return config_; }
+  bool finalized() const noexcept { return engine_ != nullptr; }
+
+ private:
+  sched::EngineConfig config_;
+  store::VersionedStore store_;
+  std::vector<std::shared_ptr<const lang::Proc>> procs_;
+  std::vector<std::shared_ptr<const sym::TxProfile>> profiles_;
+  std::vector<sched::ProcEntry> entries_;
+  std::unique_ptr<sched::Engine> engine_;
+};
+
+}  // namespace prog::db

@@ -1,0 +1,442 @@
+#include "expr/expr.hpp"
+
+#include <sstream>
+
+namespace prog::expr {
+
+namespace {
+
+constexpr bool is_commutative(Op op) noexcept {
+  switch (op) {
+    case Op::kAdd:
+    case Op::kMul:
+    case Op::kMin:
+    case Op::kMax:
+    case Op::kEq:
+    case Op::kNe:
+    case Op::kAnd:
+    case Op::kOr:
+      return true;
+    default:
+      return false;
+  }
+}
+
+constexpr Value apply_binary(Op op, Value a, Value b) {
+  switch (op) {
+    case Op::kAdd:
+      return static_cast<Value>(static_cast<std::uint64_t>(a) +
+                                static_cast<std::uint64_t>(b));
+    case Op::kSub:
+      return static_cast<Value>(static_cast<std::uint64_t>(a) -
+                                static_cast<std::uint64_t>(b));
+    case Op::kMul:
+      return static_cast<Value>(static_cast<std::uint64_t>(a) *
+                                static_cast<std::uint64_t>(b));
+    case Op::kDiv:
+      return b == 0 ? 0 : a / b;
+    case Op::kMod:
+      return b == 0 ? 0 : a % b;
+    case Op::kMin:
+      return a < b ? a : b;
+    case Op::kMax:
+      return a > b ? a : b;
+    case Op::kEq:
+      return a == b;
+    case Op::kNe:
+      return a != b;
+    case Op::kLt:
+      return a < b;
+    case Op::kLe:
+      return a <= b;
+    case Op::kGt:
+      return a > b;
+    case Op::kGe:
+      return a >= b;
+    case Op::kAnd:
+      return (a != 0 && b != 0) ? 1 : 0;
+    case Op::kOr:
+      return (a != 0 || b != 0) ? 1 : 0;
+    default:
+      throw InvariantError("apply_binary: not a binary op");
+  }
+}
+
+constexpr Op negate_cmp(Op op) noexcept {
+  switch (op) {
+    case Op::kEq:
+      return Op::kNe;
+    case Op::kNe:
+      return Op::kEq;
+    case Op::kLt:
+      return Op::kGe;
+    case Op::kLe:
+      return Op::kGt;
+    case Op::kGt:
+      return Op::kLe;
+    case Op::kGe:
+      return Op::kLt;
+    default:
+      return op;
+  }
+}
+
+constexpr bool is_cmp(Op op) noexcept {
+  switch (op) {
+    case Op::kEq:
+    case Op::kNe:
+    case Op::kLt:
+    case Op::kLe:
+    case Op::kGt:
+    case Op::kGe:
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace
+
+bool is_boolean_op(Op op) noexcept {
+  return is_cmp(op) || op == Op::kAnd || op == Op::kOr || op == Op::kNot;
+}
+
+std::size_t ExprPool::NodeKeyHash::operator()(const NodeKey& k) const noexcept {
+  std::uint64_t h = mix64(static_cast<std::uint64_t>(k.op));
+  h = mix64(h ^ static_cast<std::uint64_t>(k.cval));
+  h = mix64(h ^ (static_cast<std::uint64_t>(k.slot) << 16 ^ k.field));
+  h = mix64(h ^ reinterpret_cast<std::uintptr_t>(k.lhs));
+  h = mix64(h ^ reinterpret_cast<std::uintptr_t>(k.rhs));
+  return static_cast<std::size_t>(h);
+}
+
+const Expr* ExprPool::intern(NodeKey key) {
+  if (auto it = dedup_.find(key); it != dedup_.end()) return it->second;
+  Expr node;
+  node.op = key.op;
+  node.cval = key.cval;
+  node.slot = key.slot;
+  node.field = key.field;
+  node.lhs = key.lhs;
+  node.rhs = key.rhs;
+  node.id = static_cast<std::uint32_t>(nodes_.size());
+  node.direct = key.op != Op::kPivotField &&
+                (key.lhs == nullptr || key.lhs->direct) &&
+                (key.rhs == nullptr || key.rhs->direct);
+  nodes_.push_back(node);
+  const Expr* p = &nodes_.back();
+  dedup_.emplace(key, p);
+  return p;
+}
+
+const Expr* ExprPool::constant(Value v) {
+  return intern({Op::kConst, v, 0, 0, nullptr, nullptr});
+}
+
+const Expr* ExprPool::input(std::uint32_t slot) {
+  return intern({Op::kInput, 0, slot, 0, nullptr, nullptr});
+}
+
+const Expr* ExprPool::input_elem(std::uint32_t slot, const Expr* index) {
+  PROG_CHECK(index != nullptr);
+  return intern({Op::kInputElem, 0, slot, 0, index, nullptr});
+}
+
+const Expr* ExprPool::pivot_field(std::uint32_t site, FieldId field) {
+  return intern({Op::kPivotField, 0, site, field, nullptr, nullptr});
+}
+
+const Expr* ExprPool::binary(Op op, const Expr* a, const Expr* b) {
+  PROG_CHECK(a != nullptr && b != nullptr);
+  // Constant folding.
+  if (a->is_const() && b->is_const()) {
+    return constant(apply_binary(op, a->cval, b->cval));
+  }
+  // Cheap algebraic identities that keep profiles small and canonical.
+  switch (op) {
+    case Op::kAdd:
+      if (a->is_const() && a->cval == 0) return b;
+      if (b->is_const() && b->cval == 0) return a;
+      break;
+    case Op::kSub:
+      if (b->is_const() && b->cval == 0) return a;
+      if (a == b) return constant(0);
+      break;
+    case Op::kMul:
+      if (a->is_const() && a->cval == 1) return b;
+      if (b->is_const() && b->cval == 1) return a;
+      if ((a->is_const() && a->cval == 0) || (b->is_const() && b->cval == 0)) {
+        return constant(0);
+      }
+      break;
+    case Op::kAnd:
+      if (a->is_const()) return a->cval != 0 ? b : constant(0);
+      if (b->is_const()) return b->cval != 0 ? a : constant(0);
+      if (a == b) return a;
+      break;
+    case Op::kOr:
+      if (a->is_const()) return a->cval != 0 ? constant(1) : b;
+      if (b->is_const()) return b->cval != 0 ? constant(1) : a;
+      if (a == b) return a;
+      break;
+    case Op::kMin:
+    case Op::kMax:
+      if (a == b) return a;
+      break;
+    case Op::kEq:
+      if (a == b) return constant(1);
+      break;
+    case Op::kNe:
+    case Op::kLt:
+    case Op::kGt:
+      if (a == b) return constant(0);
+      break;
+    case Op::kLe:
+    case Op::kGe:
+      if (a == b) return constant(1);
+      break;
+    default:
+      break;
+  }
+  // Canonicalize commutative operand order by creation id.
+  if (is_commutative(op) && b->id < a->id) std::swap(a, b);
+  return intern({op, 0, 0, 0, a, b, });
+}
+
+const Expr* ExprPool::add(const Expr* a, const Expr* b) {
+  return binary(Op::kAdd, a, b);
+}
+const Expr* ExprPool::sub(const Expr* a, const Expr* b) {
+  return binary(Op::kSub, a, b);
+}
+const Expr* ExprPool::mul(const Expr* a, const Expr* b) {
+  return binary(Op::kMul, a, b);
+}
+const Expr* ExprPool::div(const Expr* a, const Expr* b) {
+  return binary(Op::kDiv, a, b);
+}
+const Expr* ExprPool::mod(const Expr* a, const Expr* b) {
+  return binary(Op::kMod, a, b);
+}
+const Expr* ExprPool::min(const Expr* a, const Expr* b) {
+  return binary(Op::kMin, a, b);
+}
+const Expr* ExprPool::max(const Expr* a, const Expr* b) {
+  return binary(Op::kMax, a, b);
+}
+
+const Expr* ExprPool::neg(const Expr* a) {
+  PROG_CHECK(a != nullptr);
+  if (a->is_const()) {
+    return constant(static_cast<Value>(0 - static_cast<std::uint64_t>(a->cval)));
+  }
+  return sub(constant(0), a);
+}
+
+namespace {
+
+/// Linear form over opaque leaves: sum(coeff_i * leaf_i) + constant.
+/// Non-linear subexpressions become opaque leaves with coefficient 1.
+struct LinearForm {
+  std::unordered_map<const Expr*, Value> coeffs;
+  Value constant = 0;
+
+  void add_term(const Expr* leaf, Value c) {
+    if (c == 0) return;
+    auto [it, inserted] = coeffs.try_emplace(leaf, c);
+    if (!inserted) {
+      it->second += c;
+      if (it->second == 0) coeffs.erase(it);
+    }
+  }
+};
+
+void linearize(const Expr* e, Value scale, LinearForm& lf) {
+  if (scale == 0) return;
+  switch (e->op) {
+    case Op::kConst:
+      lf.constant += scale * e->cval;
+      return;
+    case Op::kAdd:
+      linearize(e->lhs, scale, lf);
+      linearize(e->rhs, scale, lf);
+      return;
+    case Op::kSub:
+      linearize(e->lhs, scale, lf);
+      linearize(e->rhs, -scale, lf);
+      return;
+    case Op::kMul:
+      if (e->lhs->is_const()) {
+        linearize(e->rhs, scale * e->lhs->cval, lf);
+        return;
+      }
+      if (e->rhs->is_const()) {
+        linearize(e->lhs, scale * e->rhs->cval, lf);
+        return;
+      }
+      lf.add_term(e, scale);
+      return;
+    default:
+      lf.add_term(e, scale);
+      return;
+  }
+}
+
+}  // namespace
+
+const Expr* ExprPool::cmp(Op op, const Expr* a, const Expr* b) {
+  PROG_CHECK_MSG(is_cmp(op), "ExprPool::cmp requires a comparison op");
+  // Canonicalize `a <op> b` as `(a - b) <op> 0` over linear forms; if every
+  // symbolic term cancels the comparison folds to a constant. This is what
+  // collapses unrolled-loop guards like (next - 20 + k) < next.
+  LinearForm lf;
+  linearize(a, 1, lf);
+  linearize(b, -1, lf);
+  if (lf.coeffs.empty()) {
+    return constant(apply_binary(op, lf.constant, 0));
+  }
+  return binary(op, a, b);
+}
+
+const Expr* ExprPool::logical_and(const Expr* a, const Expr* b) {
+  return binary(Op::kAnd, a, b);
+}
+
+const Expr* ExprPool::logical_or(const Expr* a, const Expr* b) {
+  return binary(Op::kOr, a, b);
+}
+
+const Expr* ExprPool::logical_not(const Expr* a) {
+  PROG_CHECK(a != nullptr);
+  if (a->is_const()) return constant(a->cval == 0 ? 1 : 0);
+  if (a->op == Op::kNot) return a->lhs;
+  if (is_cmp(a->op)) return binary(negate_cmp(a->op), a->lhs, a->rhs);
+  return intern({Op::kNot, 0, 0, 0, a, nullptr});
+}
+
+std::size_t ExprPool::memory_bytes() const noexcept {
+  return nodes_.size() * sizeof(Expr) +
+         dedup_.size() * (sizeof(NodeKey) + sizeof(void*) * 2);
+}
+
+Value eval(const Expr* e, const EvalContext& ctx) {
+  PROG_CHECK(e != nullptr);
+  switch (e->op) {
+    case Op::kConst:
+      return e->cval;
+    case Op::kInput:
+      return ctx.input(e->slot);
+    case Op::kInputElem:
+      return ctx.input_elem(e->slot, eval(e->lhs, ctx));
+    case Op::kPivotField:
+      return ctx.pivot(e->slot, e->field);
+    case Op::kNeg:
+      return -eval(e->lhs, ctx);
+    case Op::kNot:
+      return eval(e->lhs, ctx) == 0 ? 1 : 0;
+    default:
+      return apply_binary(e->op, eval(e->lhs, ctx), eval(e->rhs, ctx));
+  }
+}
+
+void collect_pivot_sites(const Expr* e,
+                         std::unordered_set<std::uint32_t>& out) {
+  if (e == nullptr || e->direct) return;
+  if (e->op == Op::kPivotField) out.insert(e->slot);
+  collect_pivot_sites(e->lhs, out);
+  collect_pivot_sites(e->rhs, out);
+}
+
+namespace {
+
+const char* op_symbol(Op op) {
+  switch (op) {
+    case Op::kAdd:
+      return "+";
+    case Op::kSub:
+      return "-";
+    case Op::kMul:
+      return "*";
+    case Op::kDiv:
+      return "/";
+    case Op::kMod:
+      return "%";
+    case Op::kEq:
+      return "==";
+    case Op::kNe:
+      return "!=";
+    case Op::kLt:
+      return "<";
+    case Op::kLe:
+      return "<=";
+    case Op::kGt:
+      return ">";
+    case Op::kGe:
+      return ">=";
+    case Op::kAnd:
+      return "&&";
+    case Op::kOr:
+      return "||";
+    case Op::kMin:
+      return "min";
+    case Op::kMax:
+      return "max";
+    default:
+      return "?";
+  }
+}
+
+void render(const Expr* e, std::ostringstream& os) {
+  switch (e->op) {
+    case Op::kConst:
+      os << e->cval;
+      return;
+    case Op::kInput:
+      os << "in" << e->slot;
+      return;
+    case Op::kInputElem:
+      os << "in" << e->slot << '[';
+      render(e->lhs, os);
+      os << ']';
+      return;
+    case Op::kPivotField:
+      os << "pivot" << e->slot << ".f" << e->field;
+      return;
+    case Op::kNeg:
+      os << "-(";
+      render(e->lhs, os);
+      os << ')';
+      return;
+    case Op::kNot:
+      os << "!(";
+      render(e->lhs, os);
+      os << ')';
+      return;
+    case Op::kMin:
+    case Op::kMax:
+      os << op_symbol(e->op) << '(';
+      render(e->lhs, os);
+      os << ", ";
+      render(e->rhs, os);
+      os << ')';
+      return;
+    default:
+      os << '(';
+      render(e->lhs, os);
+      os << ' ' << op_symbol(e->op) << ' ';
+      render(e->rhs, os);
+      os << ')';
+      return;
+  }
+}
+
+}  // namespace
+
+std::string to_string(const Expr* e) {
+  if (e == nullptr) return "<null>";
+  std::ostringstream os;
+  render(e, os);
+  return os.str();
+}
+
+}  // namespace prog::expr

@@ -1,0 +1,143 @@
+// Symbolic expressions — the vocabulary of transaction profiles.
+//
+// During symbolic execution every DSL value is an Expr over:
+//   - transaction inputs  (kInput / kInputElem)      -> "direct" dependence
+//   - values read from the data store (kPivotField)  -> "indirect" dependence
+// following the paper's terminology (Section III-B): an expression that is a
+// function of the inputs only is *direct*; one that depends on a pivot item
+// read from the database is *indirect*.
+//
+// Expressions are immutable and hash-consed inside an ExprPool: structurally
+// equal expressions are the same pointer, so read/write-set comparison during
+// profile-tree pruning is a pointer comparison, and every expression carries a
+// stable creation id used for canonical ordering.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/types.hpp"
+
+namespace prog::expr {
+
+enum class Op : std::uint8_t {
+  kConst,       // literal value
+  kInput,       // scalar procedure parameter (slot)
+  kInputElem,   // array procedure parameter element (slot, index expr)
+  kPivotField,  // field of a row returned by a GET site (site id, field)
+  kAdd,
+  kSub,
+  kMul,
+  kDiv,  // total: x / 0 == 0
+  kMod,  // total: x % 0 == 0
+  kNeg,
+  kMin,
+  kMax,
+  kEq,
+  kNe,
+  kLt,
+  kLe,
+  kGt,
+  kGe,
+  kAnd,
+  kOr,
+  kNot,
+};
+
+/// True for comparison / boolean operators (result is 0 or 1).
+bool is_boolean_op(Op op) noexcept;
+
+/// Immutable expression node. Create only through ExprPool.
+struct Expr {
+  Op op = Op::kConst;
+  Value cval = 0;          // kConst
+  std::uint32_t slot = 0;  // kInput/kInputElem: param index; kPivotField: site
+  FieldId field = 0;       // kPivotField
+  const Expr* lhs = nullptr;
+  const Expr* rhs = nullptr;
+  std::uint32_t id = 0;  // creation index within the pool; canonical order
+  bool direct = true;    // false iff some kPivotField occurs in the subtree
+
+  bool is_const() const noexcept { return op == Op::kConst; }
+};
+
+/// Supplies concrete values when evaluating an expression.
+class EvalContext {
+ public:
+  virtual ~EvalContext() = default;
+  virtual Value input(std::uint32_t slot) const = 0;
+  virtual Value input_elem(std::uint32_t slot, Value index) const = 0;
+  /// Value of `field` of the row fetched by GET site `site`.
+  virtual Value pivot(std::uint32_t site, FieldId field) const = 0;
+};
+
+/// Evaluates `e` to a concrete value under `ctx`. Division/modulo by zero
+/// yield 0 (total semantics shared with the solver).
+Value eval(const Expr* e, const EvalContext& ctx);
+
+/// Collects the GET-site ids of every pivot occurring in `e`.
+void collect_pivot_sites(const Expr* e, std::unordered_set<std::uint32_t>& out);
+
+/// Human-readable rendering, e.g. "(in0 * 10 + in1)".
+std::string to_string(const Expr* e);
+
+/// Owning, hash-consing factory for Expr nodes. Not thread-safe: one pool is
+/// used per offline profile build, and at runtime profiles are read-only.
+class ExprPool {
+ public:
+  ExprPool() = default;
+  ExprPool(const ExprPool&) = delete;
+  ExprPool& operator=(const ExprPool&) = delete;
+
+  const Expr* constant(Value v);
+  const Expr* input(std::uint32_t slot);
+  const Expr* input_elem(std::uint32_t slot, const Expr* index);
+  const Expr* pivot_field(std::uint32_t site, FieldId field);
+
+  const Expr* add(const Expr* a, const Expr* b);
+  const Expr* sub(const Expr* a, const Expr* b);
+  const Expr* mul(const Expr* a, const Expr* b);
+  const Expr* div(const Expr* a, const Expr* b);
+  const Expr* mod(const Expr* a, const Expr* b);
+  const Expr* neg(const Expr* a);
+  const Expr* min(const Expr* a, const Expr* b);
+  const Expr* max(const Expr* a, const Expr* b);
+
+  const Expr* cmp(Op op, const Expr* a, const Expr* b);
+  const Expr* logical_and(const Expr* a, const Expr* b);
+  const Expr* logical_or(const Expr* a, const Expr* b);
+  const Expr* logical_not(const Expr* a);
+
+  std::size_t size() const noexcept { return nodes_.size(); }
+
+  /// Approximate resident bytes, reported in the Table I "memory" column.
+  std::size_t memory_bytes() const noexcept;
+
+ private:
+  struct NodeKey {
+    Op op;
+    Value cval;
+    std::uint32_t slot;
+    FieldId field;
+    const Expr* lhs;
+    const Expr* rhs;
+    friend bool operator==(const NodeKey&, const NodeKey&) = default;
+  };
+  struct NodeKeyHash {
+    std::size_t operator()(const NodeKey& k) const noexcept;
+  };
+
+  const Expr* intern(NodeKey key);
+  const Expr* binary(Op op, const Expr* a, const Expr* b);
+
+  std::deque<Expr> nodes_;  // stable addresses
+  std::unordered_map<NodeKey, const Expr*, NodeKeyHash> dedup_;
+};
+
+}  // namespace prog::expr

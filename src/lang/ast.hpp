@@ -1,0 +1,156 @@
+// The stored-procedure DSL.
+//
+// Transactions are written against a key/value GET/PUT interface, exactly the
+// model the paper assumes (Section III-B): integer-typed expressions compute
+// key identities; rows are field->int64 records. The same AST is consumed by
+//   - the concrete interpreter (runtime execution, lang/interp.hpp),
+//   - the relevance (taint) analysis (lang/relevance.hpp), and
+//   - the symbolic executor (sym/symexec.hpp) that builds transaction
+//     profiles offline.
+//
+// Expressions live in a per-procedure arena (`Proc::exprs`) addressed by
+// ExprId; statements form a nested tree.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/types.hpp"
+
+namespace prog::lang {
+
+using ExprId = std::int32_t;
+constexpr ExprId kNoExpr = -1;
+
+/// Reserved pseudo-field: `exists(handle)` is modeled as reading this field
+/// (1 if the row exists, 0 otherwise) so existence checks flow through the
+/// same pivot machinery as ordinary field reads.
+constexpr FieldId kExistsField = 0xFFFF;
+
+enum class EKind : std::uint8_t {
+  kConst,      // cval
+  kParam,      // scalar parameter (param index)
+  kParamElem,  // array parameter element (param index, index expr in a)
+  kVar,        // scalar variable
+  kField,      // field of a row handle (var = handle, field)
+  kAdd,
+  kSub,
+  kMul,
+  kDiv,
+  kMod,
+  kMin,
+  kMax,
+  kEq,
+  kNe,
+  kLt,
+  kLe,
+  kGt,
+  kGe,
+  kAnd,
+  kOr,
+  kNot,
+};
+
+struct SExpr {
+  EKind kind = EKind::kConst;
+  Value cval = 0;
+  std::uint32_t param = 0;  // kParam / kParamElem
+  VarId var = 0;            // kVar / kField (handle)
+  FieldId field = 0;        // kField
+  ExprId a = kNoExpr;       // left operand / array index
+  ExprId b = kNoExpr;       // right operand
+};
+
+enum class SKind : std::uint8_t {
+  kAssign,   // var = expr(a)
+  kGet,      // handle_var = GET(table, key=a)
+  kPut,      // PUT(table, key=a, fields)
+  kDel,      // DEL(table, key=a)
+  kIf,       // if expr(a) then body else else_body
+  kFor,      // for var in [a, b) with max_iters, run body
+  kAbortIf,  // roll the transaction back when expr(a) is truthy
+  kEmit,     // append expr(a) to the transaction's result tuple
+};
+
+struct Stmt {
+  SKind kind = SKind::kAssign;
+  VarId var = 0;
+  TableId table = 0;
+  ExprId a = kNoExpr;
+  ExprId b = kNoExpr;
+  std::int64_t max_iters = 0;  // kFor: static unroll bound for SE
+  std::vector<std::pair<FieldId, ExprId>> fields;  // kPut
+  std::vector<Stmt> body;
+  std::vector<Stmt> else_body;
+};
+
+enum class VarType : std::uint8_t { kScalar, kHandle };
+
+struct Param {
+  std::string name;
+  Value lo = 0;  // declared benchmark bounds (used by the solver)
+  Value hi = 0;
+  bool is_array = false;
+  std::uint32_t max_len = 0;  // arrays only
+};
+
+/// A compiled stored procedure.
+struct Proc {
+  std::string name;
+  std::vector<Param> params;
+  std::vector<SExpr> exprs;
+  std::vector<VarType> var_types;
+  std::vector<std::string> var_names;
+  std::vector<Stmt> body;
+
+  const SExpr& expr(ExprId id) const {
+    PROG_CHECK(id >= 0 && static_cast<std::size_t>(id) < exprs.size());
+    return exprs[static_cast<std::size_t>(id)];
+  }
+};
+
+/// One argument of a transaction invocation.
+struct Arg {
+  Value scalar = 0;
+  std::vector<Value> array;
+  bool is_array = false;
+
+  static Arg of(Value v) { return {v, {}, false}; }
+  static Arg of_array(std::vector<Value> vs) { return {0, std::move(vs), true}; }
+};
+
+/// Concrete inputs for one transaction instance.
+struct TxInput {
+  std::vector<Arg> args;
+
+  TxInput& add(Value v) {
+    args.push_back(Arg::of(v));
+    return *this;
+  }
+  TxInput& add_array(std::vector<Value> vs) {
+    args.push_back(Arg::of_array(std::move(vs)));
+    return *this;
+  }
+
+  Value scalar(std::size_t i) const {
+    PROG_CHECK(i < args.size() && !args[i].is_array);
+    return args[i].scalar;
+  }
+  Value elem(std::size_t i, Value idx) const {
+    PROG_CHECK(i < args.size() && args[i].is_array);
+    PROG_CHECK_MSG(idx >= 0 &&
+                       static_cast<std::size_t>(idx) < args[i].array.size(),
+                   "array parameter index out of range");
+    return args[i].array[static_cast<std::size_t>(idx)];
+  }
+};
+
+/// Checks `input` against `proc`'s declared parameter shapes and bounds.
+/// Transaction profiles are only valid for in-bounds inputs (the symbolic
+/// analysis prunes paths using the declared domains), so front ends should
+/// validate before submission. Throws UsageError on violation.
+void validate_input(const Proc& proc, const TxInput& input);
+
+}  // namespace prog::lang

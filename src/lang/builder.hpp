@@ -1,0 +1,156 @@
+// Fluent builder for DSL procedures.
+//
+//   ProcBuilder b("payment");
+//   auto w = b.param("w_id", 1, W);
+//   auto amt = b.param("amount", 1, 5000);
+//   auto wh = b.get(WAREHOUSE, w);
+//   b.put(WAREHOUSE, w, {{W_YTD, b.field(wh, W_YTD) + amt}});
+//   Proc proc = std::move(b).build();
+//
+// Val carries natural operator overloads; blocks are built with lambdas:
+//   b.if_(cond, [&](ProcBuilder& t) { ... }, [&](ProcBuilder& e) { ... });
+//   b.for_(lo, hi, kMax, [&](ProcBuilder& body, Val i) { ... });
+#pragma once
+
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "lang/ast.hpp"
+
+namespace prog::lang {
+
+class ProcBuilder;
+
+/// A scalar expression under construction. Cheap to copy.
+class Val {
+ public:
+  Val() = default;
+  Val(ProcBuilder* b, ExprId id) : b_(b), id_(id) {}
+
+  ExprId id() const { return id_; }
+  ProcBuilder* builder() const { return b_; }
+
+  Val operator+(Val o) const;
+  Val operator-(Val o) const;
+  Val operator*(Val o) const;
+  Val operator/(Val o) const;
+  Val operator%(Val o) const;
+  Val operator==(Val o) const;
+  Val operator!=(Val o) const;
+  Val operator<(Val o) const;
+  Val operator<=(Val o) const;
+  Val operator>(Val o) const;
+  Val operator>=(Val o) const;
+  Val operator&&(Val o) const;
+  Val operator||(Val o) const;
+  Val operator!() const;
+
+  Val operator+(Value c) const;
+  Val operator-(Value c) const;
+  Val operator*(Value c) const;
+  Val operator/(Value c) const;
+  Val operator%(Value c) const;
+  Val operator==(Value c) const;
+  Val operator!=(Value c) const;
+  Val operator<(Value c) const;
+  Val operator<=(Value c) const;
+  Val operator>(Value c) const;
+  Val operator>=(Value c) const;
+
+ private:
+  ProcBuilder* b_ = nullptr;
+  ExprId id_ = kNoExpr;
+};
+
+/// An array parameter; index with any Val or constant.
+class ArrParam {
+ public:
+  ArrParam() = default;
+  ArrParam(ProcBuilder* b, std::uint32_t param) : b_(b), param_(param) {}
+  Val operator[](Val idx) const;
+  Val operator[](Value idx) const;
+  std::uint32_t index() const { return param_; }
+
+ private:
+  ProcBuilder* b_ = nullptr;
+  std::uint32_t param_ = 0;
+};
+
+/// A row handle produced by GET.
+class Handle {
+ public:
+  Handle() = default;
+  Handle(ProcBuilder* b, VarId var) : b_(b), var_(var) {}
+  /// Field accessor (0 when the row or the field is absent).
+  Val field(FieldId f) const;
+  /// 1 iff the row exists at the read snapshot.
+  Val exists() const;
+  VarId var() const { return var_; }
+
+ private:
+  ProcBuilder* b_ = nullptr;
+  VarId var_ = 0;
+};
+
+class ProcBuilder {
+ public:
+  explicit ProcBuilder(std::string name);
+
+  ProcBuilder(const ProcBuilder&) = delete;
+  ProcBuilder& operator=(const ProcBuilder&) = delete;
+
+  // --- declarations -------------------------------------------------------
+  /// Scalar parameter with declared (inclusive) bounds.
+  Val param(std::string name, Value lo, Value hi);
+  /// Array parameter of at most `max_len` elements within [lo, hi] each.
+  ArrParam param_array(std::string name, std::uint32_t max_len, Value lo,
+                       Value hi);
+
+  // --- expressions --------------------------------------------------------
+  Val lit(Value v);
+  Val field(Handle h, FieldId f);
+  Val exists(Handle h);
+  Val min(Val a, Val b);
+  Val max(Val a, Val b);
+
+  // --- statements ---------------------------------------------------------
+  /// Names and materializes an expression as a local variable.
+  Val let(std::string name, Val e);
+  /// Reassigns an existing local variable (for accumulators).
+  void assign(Val var_ref, Val e);
+  Handle get(TableId table, Val key);
+  void put(TableId table, Val key,
+           std::vector<std::pair<FieldId, Val>> fields);
+  void del(TableId table, Val key);
+  void abort_if(Val cond);
+  void emit(Val e);
+
+  void if_(Val cond, const std::function<void(ProcBuilder&)>& then_fn);
+  void if_(Val cond, const std::function<void(ProcBuilder&)>& then_fn,
+           const std::function<void(ProcBuilder&)>& else_fn);
+  /// for (i = lo; i < hi; ++i), statically bounded by max_iters.
+  void for_(Val lo, Val hi, std::int64_t max_iters,
+            const std::function<void(ProcBuilder&, Val)>& body_fn);
+
+  /// Finalizes the procedure; the builder is consumed.
+  Proc build() &&;
+
+  // --- internal (used by Val/Handle/ArrParam) -----------------------------
+  ExprId add_expr(SExpr e);
+  Val wrap(ExprId id) { return Val(this, id); }
+
+ private:
+  friend class Val;
+
+  Val binary(EKind k, Val a, Val b);
+  void push(Stmt s);
+  VarId new_var(std::string name, VarType type);
+
+  Proc proc_;
+  std::vector<std::vector<Stmt>*> blocks_;  // innermost last
+  bool built_ = false;
+};
+
+}  // namespace prog::lang

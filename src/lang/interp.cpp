@@ -1,0 +1,279 @@
+#include "lang/interp.hpp"
+
+#include <unordered_set>
+
+#include "common/check.hpp"
+
+namespace prog::lang {
+
+namespace {
+
+/// Exception used to unwind the interpreter on AbortIf. Internal only.
+struct TxAborted {};
+
+class Frame {
+ public:
+  Frame(const Proc& proc, const TxInput& input, const store::ReadView& base,
+        std::uint64_t max_steps)
+      : proc_(proc), input_(input), base_(base), steps_left_(max_steps) {
+    vars_.resize(proc.var_types.size(), 0);
+    handles_.resize(proc.var_types.size());
+  }
+
+  void exec_block(const std::vector<Stmt>& block) {
+    for (const Stmt& s : block) exec_stmt(s);
+  }
+
+  ExecResult finish(bool committed) {
+    ExecResult r;
+    r.committed = committed;
+    r.emitted = std::move(emitted_);
+    r.reads = std::move(read_order_);
+    r.writes = std::move(write_order_);
+    if (committed) {
+      r.ops.reserve(buffer_.size());
+      for (const TKey& k : r.writes) {
+        auto it = buffer_.find(k);
+        PROG_CHECK(it != buffer_.end());
+        r.ops.push_back({k, it->second});
+      }
+    }
+    return r;
+  }
+
+ private:
+  void step() {
+    if (steps_left_-- == 0) {
+      throw InvariantError("Interp: step limit exceeded (runaway loop?)");
+    }
+  }
+
+  Value eval(ExprId id) {
+    const SExpr& e = proc_.expr(id);
+    switch (e.kind) {
+      case EKind::kConst:
+        return e.cval;
+      case EKind::kParam:
+        return input_.scalar(e.param);
+      case EKind::kParamElem:
+        return input_.elem(e.param, eval(e.a));
+      case EKind::kVar:
+        return vars_[e.var];
+      case EKind::kField: {
+        const store::RowPtr& row = handles_[e.var];
+        if (e.field == kExistsField) return row != nullptr ? 1 : 0;
+        return row != nullptr ? row->get_or(e.field, 0) : 0;
+      }
+      case EKind::kAdd:
+        return wrap_add(eval(e.a), eval(e.b));
+      case EKind::kSub:
+        return wrap_sub(eval(e.a), eval(e.b));
+      case EKind::kMul:
+        return wrap_mul(eval(e.a), eval(e.b));
+      case EKind::kDiv: {
+        const Value d = eval(e.b);
+        return d == 0 ? 0 : eval_again(e.a) / d;
+      }
+      case EKind::kMod: {
+        const Value d = eval(e.b);
+        return d == 0 ? 0 : eval_again(e.a) % d;
+      }
+      case EKind::kMin: {
+        const Value a = eval(e.a);
+        const Value b = eval(e.b);
+        return a < b ? a : b;
+      }
+      case EKind::kMax: {
+        const Value a = eval(e.a);
+        const Value b = eval(e.b);
+        return a > b ? a : b;
+      }
+      case EKind::kEq:
+        return eval(e.a) == eval(e.b);
+      case EKind::kNe:
+        return eval(e.a) != eval(e.b);
+      case EKind::kLt:
+        return eval(e.a) < eval(e.b);
+      case EKind::kLe:
+        return eval(e.a) <= eval(e.b);
+      case EKind::kGt:
+        return eval(e.a) > eval(e.b);
+      case EKind::kGe:
+        return eval(e.a) >= eval(e.b);
+      case EKind::kAnd:
+        return (eval(e.a) != 0 && eval(e.b) != 0) ? 1 : 0;
+      case EKind::kOr:
+        return (eval(e.a) != 0 || eval(e.b) != 0) ? 1 : 0;
+      case EKind::kNot:
+        return eval(e.a) == 0 ? 1 : 0;
+    }
+    throw InvariantError("Interp: unknown expression kind");
+  }
+
+  // Division operands: evaluate left after the divisor check; the DSL has no
+  // side effects in expressions so re-evaluation is safe and keeps the
+  // zero-divisor short-circuit simple.
+  Value eval_again(ExprId id) { return eval(id); }
+
+  static Value wrap_add(Value a, Value b) {
+    return static_cast<Value>(static_cast<std::uint64_t>(a) +
+                              static_cast<std::uint64_t>(b));
+  }
+  static Value wrap_sub(Value a, Value b) {
+    return static_cast<Value>(static_cast<std::uint64_t>(a) -
+                              static_cast<std::uint64_t>(b));
+  }
+  static Value wrap_mul(Value a, Value b) {
+    return static_cast<Value>(static_cast<std::uint64_t>(a) *
+                              static_cast<std::uint64_t>(b));
+  }
+
+  /// Buffered read: the transaction sees its own writes.
+  store::RowPtr read(TKey key) {
+    if (auto it = buffer_.find(key); it != buffer_.end()) {
+      if (read_seen_.insert(key).second) read_order_.push_back(key);
+      return it->second.has_value()
+                 ? store::make_row(*it->second)
+                 : nullptr;
+    }
+    if (read_seen_.insert(key).second) read_order_.push_back(key);
+    return base_.get(key);
+  }
+
+  void note_write(TKey key) {
+    if (write_seen_.insert(key).second) write_order_.push_back(key);
+  }
+
+  void exec_stmt(const Stmt& s) {
+    step();
+    switch (s.kind) {
+      case SKind::kAssign:
+        vars_[s.var] = eval(s.a);
+        return;
+      case SKind::kGet: {
+        const TKey key{s.table, static_cast<Key>(eval(s.a))};
+        handles_[s.var] = read(key);
+        return;
+      }
+      case SKind::kPut: {
+        const TKey key{s.table, static_cast<Key>(eval(s.a))};
+        // Upsert-merge: start from the currently visible row (buffer first).
+        store::Row next;
+        if (auto it = buffer_.find(key); it != buffer_.end()) {
+          if (it->second.has_value()) next = *it->second;
+        } else if (store::RowPtr cur = base_.get(key); cur != nullptr) {
+          next = *cur;
+        }
+        for (const auto& [f, eid] : s.fields) next.set(f, eval(eid));
+        buffer_[key] = std::move(next);
+        note_write(key);
+        return;
+      }
+      case SKind::kDel: {
+        const TKey key{s.table, static_cast<Key>(eval(s.a))};
+        buffer_[key] = std::nullopt;
+        note_write(key);
+        return;
+      }
+      case SKind::kIf:
+        exec_block(eval(s.a) != 0 ? s.body : s.else_body);
+        return;
+      case SKind::kFor: {
+        const Value lo = eval(s.a);
+        const Value hi = eval(s.b);
+        std::int64_t iters = 0;
+        for (Value i = lo; i < hi; ++i) {
+          PROG_CHECK_MSG(++iters <= s.max_iters,
+                         "for loop exceeded its declared static bound in " +
+                             proc_.name);
+          vars_[s.var] = i;
+          exec_block(s.body);
+        }
+        return;
+      }
+      case SKind::kAbortIf:
+        if (eval(s.a) != 0) throw TxAborted{};
+        return;
+      case SKind::kEmit:
+        emitted_.push_back(eval(s.a));
+        return;
+    }
+    throw InvariantError("Interp: unknown statement kind");
+  }
+
+  const Proc& proc_;
+  const TxInput& input_;
+  const store::ReadView& base_;
+  std::uint64_t steps_left_;
+
+  std::vector<Value> vars_;
+  std::vector<store::RowPtr> handles_;
+  std::unordered_map<TKey, std::optional<store::Row>, TKeyHash> buffer_;
+  std::unordered_set<TKey, TKeyHash> read_seen_;
+  std::unordered_set<TKey, TKeyHash> write_seen_;
+  std::vector<TKey> read_order_;
+  std::vector<TKey> write_order_;
+  std::vector<Value> emitted_;
+};
+
+}  // namespace
+
+ExecResult Interp::run(const Proc& proc, const TxInput& input,
+                       const store::ReadView& base) const {
+  if (input.args.size() != proc.params.size()) {
+    throw UsageError("argument count mismatch for procedure " + proc.name);
+  }
+  Frame frame(proc, input, base, opts_.max_steps);
+  try {
+    frame.exec_block(proc.body);
+  } catch (const TxAborted&) {
+    return frame.finish(/*committed=*/false);
+  }
+  return frame.finish(/*committed=*/true);
+}
+
+void validate_input(const Proc& proc, const TxInput& input) {
+  if (input.args.size() != proc.params.size()) {
+    throw UsageError("argument count mismatch for procedure " + proc.name);
+  }
+  for (std::size_t i = 0; i < proc.params.size(); ++i) {
+    const Param& p = proc.params[i];
+    const Arg& a = input.args[i];
+    if (p.is_array != a.is_array) {
+      throw UsageError("parameter '" + p.name + "' of " + proc.name +
+                       (p.is_array ? " expects an array" : " expects a scalar"));
+    }
+    if (p.is_array) {
+      if (a.array.size() != p.max_len) {
+        throw UsageError("parameter '" + p.name + "' of " + proc.name +
+                         " expects exactly " + std::to_string(p.max_len) +
+                         " elements");
+      }
+      for (Value v : a.array) {
+        if (v < p.lo || v > p.hi) {
+          throw UsageError("element of parameter '" + p.name + "' of " +
+                           proc.name + " out of declared bounds");
+        }
+      }
+    } else if (a.scalar < p.lo || a.scalar > p.hi) {
+      throw UsageError("parameter '" + p.name + "' of " + proc.name + " = " +
+                       std::to_string(a.scalar) + " out of declared bounds [" +
+                       std::to_string(p.lo) + ", " + std::to_string(p.hi) +
+                       "]");
+    }
+  }
+}
+
+void apply_writes(store::VersionedStore& store, const ExecResult& result,
+                  BatchId batch) {
+  PROG_CHECK_MSG(result.committed, "apply_writes on an aborted transaction");
+  for (const WriteOp& op : result.ops) {
+    if (op.row.has_value()) {
+      store.put(op.key, *op.row, batch);
+    } else {
+      store.del(op.key, batch);
+    }
+  }
+}
+
+}  // namespace prog::lang

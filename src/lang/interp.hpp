@@ -1,0 +1,59 @@
+// Concrete interpreter: runtime execution of DSL procedures.
+//
+// Reads go through a transaction-private write buffer layered over a
+// ReadView (snapshot or live head); writes are buffered and only published by
+// the caller after the transaction logic commits, which gives AbortIf
+// rollback semantics for free. The interpreter also records the *actual*
+// read/write key trace — used by the RECON predictor variants, by the
+// profile-soundness property tests, and by the runtime guard asserting that
+// every access was covered by the predicted key-set.
+#pragma once
+
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "lang/ast.hpp"
+#include "store/store.hpp"
+
+namespace prog::lang {
+
+/// Buffered effect of a committed transaction, in final (deduplicated) form.
+struct WriteOp {
+  TKey key;
+  std::optional<store::Row> row;  // nullopt == delete
+};
+
+struct ExecResult {
+  bool committed = false;
+  std::vector<Value> emitted;
+  std::vector<TKey> reads;    // first-access order, deduplicated
+  std::vector<TKey> writes;   // first-access order, deduplicated
+  std::vector<WriteOp> ops;   // buffered effects to publish on commit
+};
+
+class Interp {
+ public:
+  struct Options {
+    /// Hard cap on interpreted statements — catches runaway loops.
+    std::uint64_t max_steps = 1u << 22;
+  };
+
+  Interp() : Interp(Options{}) {}
+  explicit Interp(Options opts) : opts_(opts) {}
+
+  /// Executes `proc` with `input` against `base`. Never mutates the store;
+  /// the caller publishes `ops` if and only if `committed` is true.
+  ExecResult run(const Proc& proc, const TxInput& input,
+                 const store::ReadView& base) const;
+
+ private:
+  Options opts_;
+};
+
+/// Publishes the buffered effects of a committed execution into `store`
+/// tagged with `batch`.
+void apply_writes(store::VersionedStore& store, const ExecResult& result,
+                  BatchId batch);
+
+}  // namespace prog::lang

@@ -1,0 +1,21 @@
+// Human-readable rendering of DSL procedures — debugging/tooling aid used
+// by the profile explorer and tests.
+#pragma once
+
+#include <string>
+
+#include "lang/ast.hpp"
+
+namespace prog::lang {
+
+/// Renders an expression of `proc` in infix form, e.g. "(w_id * 10 + d_id)".
+std::string expr_to_string(const Proc& proc, ExprId id);
+
+/// Renders the whole procedure, e.g.:
+///   proc payment(w_id in [0,99], amount in [1,5000]) {
+///     h0 = GET(t1, w_id)
+///     PUT(t1, w_id, {f0: (h0.f0 + amount)})
+///   }
+std::string to_string(const Proc& proc);
+
+}  // namespace prog::lang

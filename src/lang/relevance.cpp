@@ -1,0 +1,226 @@
+#include "lang/relevance.hpp"
+
+#include "common/check.hpp"
+
+namespace prog::lang {
+
+namespace {
+
+/// Visits every variable / parameter mention in an expression.
+template <typename VarFn, typename ParamFn>
+void visit_symbols(const Proc& proc, ExprId id, const VarFn& on_var,
+                   const ParamFn& on_param) {
+  if (id == kNoExpr) return;
+  const SExpr& e = proc.expr(id);
+  switch (e.kind) {
+    case EKind::kConst:
+      return;
+    case EKind::kParam:
+      on_param(e.param);
+      return;
+    case EKind::kParamElem:
+      on_param(e.param);
+      visit_symbols(proc, e.a, on_var, on_param);
+      return;
+    case EKind::kVar:
+      on_var(e.var);
+      return;
+    case EKind::kField:
+      on_var(e.var);  // the row handle
+      return;
+    default:
+      visit_symbols(proc, e.a, on_var, on_param);
+      visit_symbols(proc, e.b, on_var, on_param);
+      return;
+  }
+}
+
+/// True if the subtree rooted at `block` contains a data access whose
+/// presence/identity the RWS depends on.
+bool contains_access(const std::vector<Stmt>& block) {
+  for (const Stmt& s : block) {
+    switch (s.kind) {
+      case SKind::kGet:
+      case SKind::kPut:
+      case SKind::kDel:
+        return true;
+      case SKind::kIf:
+        if (contains_access(s.body) || contains_access(s.else_body)) {
+          return true;
+        }
+        break;
+      case SKind::kFor:
+        if (contains_access(s.body)) return true;
+        break;
+      default:
+        break;
+    }
+  }
+  return false;
+}
+
+class Analyzer {
+ public:
+  explicit Analyzer(const Proc& proc) : proc_(proc) {
+    rel_.var_relevant.assign(proc.var_types.size(), false);
+    rel_.param_relevant.assign(proc.params.size(), false);
+  }
+
+  Relevance run() {
+    // Fixpoint: each round propagates explicit and implicit flows backward.
+    do {
+      changed_ = false;
+      walk(proc_.body);
+      PROG_CHECK(control_.empty());
+    } while (changed_);
+
+    // Final forking decision per If/For.
+    collect_forking(proc_.body);
+    return std::move(rel_);
+  }
+
+ private:
+  void mark_var(VarId v) {
+    if (!rel_.var_relevant[v]) {
+      rel_.var_relevant[v] = true;
+      changed_ = true;
+    }
+  }
+  void mark_param(std::uint32_t p) {
+    if (!rel_.param_relevant[p]) {
+      rel_.param_relevant[p] = true;
+      changed_ = true;
+    }
+  }
+
+  void mark_expr(ExprId e) {
+    visit_symbols(
+        proc_, e, [&](VarId v) { mark_var(v); },
+        [&](std::uint32_t p) { mark_param(p); });
+  }
+
+  /// Marks every condition currently on the control stack: information flows
+  /// implicitly from those predicates into whatever we just marked.
+  void mark_control() {
+    for (ExprId c : control_) mark_expr(c);
+  }
+
+  void walk(const std::vector<Stmt>& block) {
+    for (const Stmt& s : block) {
+      switch (s.kind) {
+        case SKind::kAssign:
+          if (rel_.var_relevant[s.var]) {
+            mark_expr(s.a);
+            mark_control();
+          }
+          break;
+        case SKind::kGet:
+          // The key identifies a read item: always RWS-determining. The
+          // access is also control-dependent on the enclosing predicates.
+          mark_expr(s.a);
+          mark_control();
+          break;
+        case SKind::kPut:
+        case SKind::kDel:
+          mark_expr(s.a);
+          mark_control();
+          break;
+        case SKind::kIf:
+          control_.push_back(s.a);
+          walk(s.body);
+          walk(s.else_body);
+          control_.pop_back();
+          break;
+        case SKind::kFor:
+          // The loop variable is assigned implicitly; bounds control how
+          // many body iterations (and hence accesses) happen.
+          if (rel_.var_relevant[s.var] || contains_access(s.body)) {
+            mark_expr(s.a);
+            mark_expr(s.b);
+            mark_control();
+          }
+          control_.push_back(s.b);
+          walk(s.body);
+          control_.pop_back();
+          break;
+        case SKind::kAbortIf:
+          // Aborts shrink the actual RWS; profiles over-approximate instead
+          // of forking, so abort predicates carry no relevance (Section
+          // "Known deviations" in DESIGN.md).
+          break;
+        case SKind::kEmit:
+          break;
+      }
+    }
+  }
+
+  bool assigns_relevant(const std::vector<Stmt>& block) const {
+    for (const Stmt& s : block) {
+      switch (s.kind) {
+        case SKind::kAssign:
+          if (rel_.var_relevant[s.var]) return true;
+          break;
+        case SKind::kGet:
+          if (rel_.var_relevant[s.var]) return true;
+          break;
+        case SKind::kIf:
+          if (assigns_relevant(s.body) || assigns_relevant(s.else_body)) {
+            return true;
+          }
+          break;
+        case SKind::kFor:
+          if (rel_.var_relevant[s.var] || assigns_relevant(s.body)) {
+            return true;
+          }
+          break;
+        default:
+          break;
+      }
+    }
+    return false;
+  }
+
+  void collect_forking(const std::vector<Stmt>& block) {
+    for (const Stmt& s : block) {
+      switch (s.kind) {
+        case SKind::kIf:
+          if (contains_access(s.body) || contains_access(s.else_body) ||
+              assigns_relevant(s.body) || assigns_relevant(s.else_body)) {
+            rel_.forking.insert(&s);
+          }
+          collect_forking(s.body);
+          collect_forking(s.else_body);
+          break;
+        case SKind::kFor:
+          if (contains_access(s.body) || assigns_relevant(s.body) ||
+              rel_.var_relevant[s.var]) {
+            rel_.forking.insert(&s);
+          }
+          collect_forking(s.body);
+          break;
+        default:
+          break;
+      }
+    }
+  }
+
+  const Proc& proc_;
+  Relevance rel_;
+  std::vector<ExprId> control_;
+  bool changed_ = false;
+};
+
+}  // namespace
+
+Relevance analyze_relevance(const Proc& proc) { return Analyzer(proc).run(); }
+
+bool expr_irrelevant(const Proc& proc, ExprId e, const Relevance& rel) {
+  bool relevant = false;
+  visit_symbols(
+      proc, e,
+      [&](VarId v) { relevant = relevant || rel.var_relevant[v]; },
+      [&](std::uint32_t p) { relevant = relevant || rel.param_relevant[p]; });
+  return !relevant;
+}
+
+}  // namespace prog::lang

@@ -1,0 +1,37 @@
+// Static "irrelevant variable" analysis (the paper's Soot-based step).
+//
+// A variable is *relevant* when there is an explicit (assignment) or implicit
+// (control-flow) information flow from it to something that determines the
+// read/write-set: a GET/PUT/DEL key expression or the trip count of a loop
+// containing accesses. Everything else is irrelevant and may be treated as
+// concrete during symbolic execution — a conditional whose branch subtrees
+// contain no accesses and no assignments to relevant variables is followed
+// concolically on a single path (the paper's critical optimization that
+// collapses newOrder from 2^olCnt paths to 1).
+#pragma once
+
+#include <unordered_set>
+#include <vector>
+
+#include "lang/ast.hpp"
+
+namespace prog::lang {
+
+struct Relevance {
+  std::vector<bool> var_relevant;    // indexed by VarId
+  std::vector<bool> param_relevant;  // indexed by parameter index
+  /// If/For statements the symbolic executor must fork on (identified by
+  /// address — valid for the lifetime of the analyzed Proc instance).
+  std::unordered_set<const Stmt*> forking;
+
+  bool is_forking(const Stmt& s) const { return forking.contains(&s); }
+};
+
+/// Runs the flow analysis to fixpoint. O(statements * fixpoint rounds).
+Relevance analyze_relevance(const Proc& proc);
+
+/// True when `e` mentions no relevant variable or parameter (its value can
+/// safely be concretized during symbolic execution).
+bool expr_irrelevant(const Proc& proc, ExprId e, const Relevance& rel);
+
+}  // namespace prog::lang

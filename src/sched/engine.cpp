@@ -1,0 +1,621 @@
+#include "sched/engine.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+#include "common/stopwatch.hpp"
+
+namespace prog::sched {
+
+const char* to_string(System s) noexcept {
+  switch (s) {
+    case System::kPrognosticator:
+      return "prognosticator";
+    case System::kCalvin:
+      return "calvin";
+    case System::kNodo:
+      return "nodo";
+    case System::kSeq:
+      return "seq";
+  }
+  return "?";
+}
+
+namespace {
+
+/// NODO's conflict classes: one sentinel key per accessed table.
+sym::Prediction nodo_prediction(const sym::TxProfile& profile) {
+  sym::Prediction pred;
+  for (TableId t : profile.tables_touched()) {
+    pred.keys.push_back({t, 0});
+    pred.write_keys.push_back({t, 0});
+  }
+  return pred;
+}
+
+/// Reconnaissance prediction (Calvin's OLLP): execute the full transaction
+/// logic against the prepare snapshot to estimate the key-set. Validation
+/// happens at execution time by key-set containment — the transaction aborts
+/// iff it tries to access a key outside the locked set, exactly OLLP's rule
+/// (value changes that do not alter the key-set are harmless).
+sym::Prediction recon_prediction(const lang::Interp& interp,
+                                 const lang::Proc& proc,
+                                 const lang::TxInput& input,
+                                 const store::VersionedStore& store,
+                                 BatchId snapshot) {
+  store::SnapshotView view(store, snapshot);
+  const lang::ExecResult r = interp.run(proc, input, view);
+  sym::Prediction pred;
+  pred.keys = r.reads;
+  pred.keys.insert(pred.keys.end(), r.writes.begin(), r.writes.end());
+  std::sort(pred.keys.begin(), pred.keys.end());
+  pred.keys.erase(std::unique(pred.keys.begin(), pred.keys.end()),
+                  pred.keys.end());
+  pred.write_keys = r.writes;
+  std::sort(pred.write_keys.begin(), pred.write_keys.end());
+  return pred;
+}
+
+bool sorted_contains(const std::vector<TKey>& sorted, TKey key) {
+  return std::binary_search(sorted.begin(), sorted.end(), key);
+}
+
+}  // namespace
+
+Engine::Engine(store::VersionedStore& store, std::vector<ProcEntry> procs,
+               EngineConfig config)
+    : store_(store),
+      procs_(std::move(procs)),
+      config_([&config] {
+        if (config.workers == 0) config.workers = 1;
+        return config;
+      }()),
+      lock_table_(LockTable::Options{config_.shared_read_locks, 64}),
+      barrier_(config_.workers + 1) {
+  for (const ProcEntry& e : procs_) {
+    PROG_CHECK_MSG(e.proc != nullptr && e.profile != nullptr,
+                   "ProcEntry must carry both procedure and profile");
+  }
+  // Static read-only-table elision: a table no registered procedure ever
+  // writes cannot be the source of any conflict, so reads of it take no
+  // lock-table entries. (Capped profiles might under-report writes; treat
+  // every table they touch as written, conservatively.)
+  std::unordered_set<TableId> touched, written;
+  for (const ProcEntry& e : procs_) {
+    for (TableId t : e.profile->tables_touched()) touched.insert(t);
+    const auto& w = e.profile->complete() ? e.profile->tables_written()
+                                          : e.profile->tables_touched();
+    for (TableId t : w) written.insert(t);
+  }
+  for (TableId t : touched) {
+    if (!written.contains(t)) immutable_tables_.insert(t);
+  }
+  rot_queues_.resize(config_.workers);
+  workers_.reserve(config_.workers);
+  for (unsigned i = 0; i < config_.workers; ++i) {
+    workers_.emplace_back([this, i] { worker_main(i); });
+  }
+}
+
+Engine::~Engine() {
+  phase_.store(Phase::kShutdown);
+  barrier_.arrive_and_wait();
+  for (std::thread& t : workers_) t.join();
+}
+
+void Engine::worker_main(unsigned worker_idx) {
+  for (;;) {
+    barrier_.arrive_and_wait();  // phase announced
+    const Phase p = phase_.load(std::memory_order_acquire);
+    if (p == Phase::kShutdown) return;
+    if (p == Phase::kRotPrepare) {
+      do_rot_prepare(worker_idx);
+    } else if (p == Phase::kEnqueue) {
+      do_enqueue_partition(worker_idx + 1);
+    } else {
+      do_exec();
+    }
+    barrier_.arrive_and_wait();  // phase complete
+  }
+}
+
+template <typename Fn>
+void Engine::run_phase(Phase p, const Fn& own_work) {
+  if (config_.serial_measurement) {
+    // The queuer performs the workers' share too, single-threaded.
+    if (p == Phase::kRotPrepare) {
+      for (unsigned w = 0; w < config_.workers; ++w) {
+        for (TxIdx t : rot_queues_[w]) execute_rot(t);
+      }
+      while (auto i = prep_tickets_.claim()) prepare_tx(prep_list_[*i]);
+    } else if (p == Phase::kEnqueue) {
+      for (unsigned w = 0; w < config_.workers; ++w) {
+        do_enqueue_partition(w + 1);
+      }
+    } else if (p == Phase::kExec) {
+      do_exec();
+    }
+    own_work();  // drains whatever the shared claims left over (no-ops)
+    return;
+  }
+  phase_.store(p, std::memory_order_release);
+  barrier_.arrive_and_wait();
+  own_work();
+  barrier_.arrive_and_wait();
+}
+
+sym::TxClass Engine::effective_class(const ProcEntry& entry) const {
+  const sym::TxClass k = entry.profile->klass();
+  if (k == sym::TxClass::kReadOnly) return k;
+  if (config_.system == System::kNodo) return sym::TxClass::kIndependent;
+  // Reconnaissance validates reads against the snapshot, so every update
+  // transaction behaves like a DT under it.
+  if (config_.system == System::kCalvin || config_.use_recon ||
+      !entry.profile->complete()) {
+    return sym::TxClass::kDependent;
+  }
+  return k;
+}
+
+void Engine::prepare_tx(TxIdx idx) {
+  TxnSlot& s = slots_[idx];
+  Stopwatch sw;
+  if (config_.accept_client_predictions && s.req->client_pred != nullptr &&
+      s.klass == sym::TxClass::kIndependent &&
+      config_.system == System::kPrognosticator && !config_.use_recon) {
+    s.pred = *s.req->client_pred;
+    return;  // server-side preparation fully offloaded
+  }
+  if (config_.system == System::kNodo) {
+    s.pred = nodo_prediction(*s.entry->profile);
+  } else if (config_.system == System::kCalvin || config_.use_recon ||
+             !s.entry->profile->complete()) {
+    // Calvin resubmissions carry a fresh reconnaissance (recon_fresh).
+    const BatchId snap = (config_.system == System::kCalvin &&
+                          s.req->recon_fresh)
+                             ? batch_ - 1
+                             : prep_snapshot_;
+    s.pred = recon_prediction(interp_, *s.entry->proc, s.req->input, store_,
+                              snap);
+  } else {
+    store::SnapshotView view(store_, prep_snapshot_);
+    s.pred = s.entry->profile->predict(s.req->input, view);
+  }
+  const std::int64_t us = sw.elapsed_micros();
+  ctr_all_prepare_us_.fetch_add(us, std::memory_order_relaxed);
+  if (s.klass == sym::TxClass::kDependent) {
+    s.prepare_us = us;
+    ctr_prepare_us_.fetch_add(us, std::memory_order_relaxed);
+    ctr_prepared_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void Engine::capture_output(TxIdx idx, std::vector<Value> emitted) {
+  if (!config_.capture_outputs || emitted.empty()) return;
+  std::scoped_lock lock(commit_mu_);
+  outputs_.emplace_back(idx, std::move(emitted));
+}
+
+void Engine::execute_rot(TxIdx idx) {
+  const TxnSlot& s = slots_[idx];
+  Stopwatch sw;
+  store::SnapshotView view(store_, batch_ - 1);
+  lang::ExecResult r = interp_.run(*s.entry->proc, s.req->input, view);
+  capture_output(idx, std::move(r.emitted));
+  if (config_.check_containment) {
+    // ROT key-sets are not predicted (they take no locks); just confirm the
+    // profile's table classes cover the accesses.
+    for (const TKey& k : r.reads) {
+      const auto& tables = s.entry->profile->tables_touched();
+      PROG_CHECK_MSG(std::find(tables.begin(), tables.end(), k.table) !=
+                         tables.end(),
+                     "ROT read outside its profiled tables");
+    }
+  }
+  ctr_committed_.fetch_add(1, std::memory_order_relaxed);
+  if (trace_ != nullptr) {
+    std::scoped_lock lock(trace_mu_);
+    trace_->attempts.push_back(
+        {idx, 0, /*rot=*/true, /*failed=*/false, sw.elapsed_micros(), {}});
+  }
+}
+
+void Engine::do_rot_prepare(unsigned worker_idx) {
+  for (TxIdx t : rot_queues_[worker_idx]) execute_rot(t);
+  if (config_.multi_queue_prepare) {
+    while (auto i = prep_tickets_.claim()) prepare_tx(prep_list_[*i]);
+  }
+}
+
+void Engine::enqueue_tx(TxIdx idx) {
+  TxnSlot& s = slots_[idx];
+  s.trace_preds.clear();
+  int total = 0;
+  for (const TKey& key : s.pred.keys) total += needs_lock(key) ? 1 : 0;
+  s.locks_remaining.store(total, std::memory_order_relaxed);
+  if (total == 0) {
+    ready_.push(idx);
+    return;
+  }
+  int granted_now = 0;
+  for (const TKey& key : s.pred.keys) {
+    if (!needs_lock(key)) continue;
+    const bool write = sorted_contains(s.pred.write_keys, key);
+    TxIdx pred = idx;
+    if (lock_table_.enqueue(idx, key, write,
+                            trace_ != nullptr ? &pred : nullptr)) {
+      ++granted_now;
+    } else if (trace_ != nullptr && pred != idx) {
+      s.trace_preds.push_back(pred);
+    }
+  }
+  if (granted_now > 0 &&
+      s.locks_remaining.fetch_sub(granted_now, std::memory_order_acq_rel) ==
+          granted_now) {
+    ready_.push(idx);
+  }
+}
+
+void Engine::do_enqueue_partition(unsigned partition) {
+  const unsigned parts = config_.workers + 1;
+  for (TxIdx idx : *enqueue_order_) {
+    TxnSlot& s = slots_[idx];
+    for (const TKey& key : s.pred.keys) {
+      if (!needs_lock(key)) continue;
+      if (TKeyHash{}(key) % parts != partition) continue;
+      const bool write = sorted_contains(s.pred.write_keys, key);
+      TxIdx pred = idx;
+      if (lock_table_.enqueue(idx, key, write,
+                              trace_ != nullptr ? &pred : nullptr)) {
+        if (s.locks_remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+          ready_.push(idx);
+        }
+      } else if (trace_ != nullptr && pred != idx) {
+        std::scoped_lock lock(trace_mu_);
+        s.trace_preds.push_back(pred);
+      }
+    }
+  }
+}
+
+void Engine::enqueue_all(const std::vector<TxIdx>& order) {
+  Stopwatch sw;
+  if (!config_.parallel_enqueue) {
+    for (TxIdx i : order) enqueue_tx(i);
+  } else {
+    // Pre-pass: lock counts must be in place before any partition grants.
+    for (TxIdx idx : order) {
+      TxnSlot& s = slots_[idx];
+      s.trace_preds.clear();
+      int total = 0;
+      for (const TKey& key : s.pred.keys) total += needs_lock(key) ? 1 : 0;
+      s.locks_remaining.store(total, std::memory_order_relaxed);
+      if (total == 0) ready_.push(idx);
+    }
+    enqueue_order_ = &order;
+    run_phase(Phase::kEnqueue, [&] { do_enqueue_partition(0); });
+    enqueue_order_ = nullptr;
+  }
+  if (trace_ != nullptr) trace_->enqueue_us += sw.elapsed_micros();
+}
+
+void Engine::release_locks(TxIdx idx) {
+  TxnSlot& s = slots_[idx];
+  std::vector<TxIdx> granted;
+  for (const TKey& key : s.pred.keys) {
+    if (!needs_lock(key)) continue;
+    lock_table_.release(idx, key, granted);
+  }
+  for (TxIdx g : granted) {
+    if (slots_[g].locks_remaining.fetch_sub(1, std::memory_order_acq_rel) ==
+        1) {
+      ready_.push(g);
+    }
+  }
+}
+
+void Engine::execute_ready_tx(TxIdx idx) {
+  TxnSlot& s = slots_[idx];
+  Stopwatch sw;
+  const bool recon_style = config_.system == System::kCalvin ||
+                           config_.use_recon ||
+                           !s.entry->profile->complete();
+  auto fail = [&] {
+    ctr_validation_aborts_.fetch_add(1, std::memory_order_relaxed);
+    {
+      std::scoped_lock lock(failed_mu_);
+      failed_.push_back(idx);
+    }
+    if (trace_ != nullptr) {
+      std::scoped_lock lock(trace_mu_);
+      trace_->attempts.push_back({idx, current_round_, false, /*failed=*/true,
+                                  sw.elapsed_micros(),
+                                  std::move(s.trace_preds)});
+    }
+    release_locks(idx);
+    remaining_.fetch_sub(1, std::memory_order_acq_rel);
+  };
+
+  if (!recon_style && s.klass == sym::TxClass::kDependent) {
+    // Prognosticator: re-read the pivot items; any change invalidates the
+    // predicted key-set (paper, Section III-C).
+    if (!sym::TxProfile::validate_pivots(s.pred, store_)) {
+      fail();
+      return;
+    }
+  }
+  store::LiveView live(store_);
+  lang::ExecResult r = interp_.run(*s.entry->proc, s.req->input, live);
+  if (recon_style && s.klass == sym::TxClass::kDependent) {
+    // OLLP rule: abort iff the execution stepped outside the locked set.
+    // The commit decision is deterministic: every in-set read is serialized
+    // by the lock table, and once an out-of-set access occurs the
+    // transaction aborts no matter what it read there.
+    auto contained = [&](const std::vector<TKey>& actual,
+                         const std::vector<TKey>& allowed) {
+      return std::all_of(actual.begin(), actual.end(), [&](TKey k) {
+        return sorted_contains(allowed, k);
+      });
+    };
+    if (!contained(r.reads, s.pred.keys) ||
+        !contained(r.writes, s.pred.write_keys)) {
+      fail();
+      return;
+    }
+  }
+  if (config_.check_containment) {
+    auto check = [&](const std::vector<TKey>& actual, const char* what) {
+      for (const TKey& k : actual) {
+        const bool ok = config_.system == System::kNodo
+                            ? sorted_contains(s.pred.keys, TKey{k.table, 0})
+                            : sorted_contains(s.pred.keys, k);
+        PROG_CHECK_MSG(
+            ok, std::string("actual ") + what +
+                    " key escaped the predicted key-set in " +
+                    s.entry->proc->name);
+      }
+    };
+    check(r.reads, "read");
+    check(r.writes, "write");
+  }
+  if (r.committed) {
+    lang::apply_writes(store_, r, batch_);
+    capture_output(idx, std::move(r.emitted));
+  } else {
+    ctr_rolled_back_.fetch_add(1, std::memory_order_relaxed);
+  }
+  ctr_committed_.fetch_add(1, std::memory_order_relaxed);
+  if (config_.audit_commit_order) {
+    std::scoped_lock lock(commit_mu_);
+    commit_order_.push_back(idx);
+  }
+  if (trace_ != nullptr) {
+    std::scoped_lock lock(trace_mu_);
+    trace_->attempts.push_back({idx, current_round_, false, /*failed=*/false,
+                                sw.elapsed_micros(),
+                                std::move(s.trace_preds)});
+  }
+  release_locks(idx);
+  remaining_.fetch_sub(1, std::memory_order_acq_rel);
+}
+
+void Engine::do_exec() {
+  for (;;) {
+    if (auto t = ready_.try_pop()) {
+      execute_ready_tx(*t);
+      continue;
+    }
+    if (remaining_.load(std::memory_order_acquire) == 0) return;
+    std::this_thread::yield();
+  }
+}
+
+void Engine::run_seq_batch(BatchResult& result) {
+  for (TxIdx i = 0; i < requests_.size(); ++i) {
+    const TxnSlot& s = slots_[i];
+    Stopwatch sw;
+    if (s.klass == sym::TxClass::kReadOnly) {
+      store::SnapshotView view(store_, batch_ - 1);
+      lang::ExecResult r = interp_.run(*s.entry->proc, s.req->input, view);
+      capture_output(i, std::move(r.emitted));
+      ++result.committed;
+    } else {
+      store::LiveView live(store_);
+      lang::ExecResult r = interp_.run(*s.entry->proc, s.req->input, live);
+      if (r.committed) {
+        lang::apply_writes(store_, r, batch_);
+        capture_output(i, std::move(r.emitted));
+      } else {
+        ++result.rolled_back;
+      }
+      ++result.committed;
+      if (config_.audit_commit_order) result.commit_order.push_back(i);
+    }
+    if (trace_ != nullptr) {
+      // Sequential baseline: everything is one serial chain; the model sees
+      // it as SF-tail time so no worker count can parallelize it.
+      trace_->sf_serial_us += sw.elapsed_micros();
+    }
+  }
+}
+
+void Engine::handle_failed_sf(const std::vector<TxIdx>& failed,
+                              BatchResult& result) {
+  // Single-threaded re-execution in the agreed order: prepare and execution
+  // are atomic with respect to each other, so nothing can fail again.
+  Stopwatch sw;
+  for (TxIdx idx : failed) {
+    const TxnSlot& s = slots_[idx];
+    store::LiveView live(store_);
+    lang::ExecResult r = interp_.run(*s.entry->proc, s.req->input, live);
+    if (r.committed) {
+      lang::apply_writes(store_, r, batch_);
+      capture_output(idx, std::move(r.emitted));
+    } else {
+      ctr_rolled_back_.fetch_add(1, std::memory_order_relaxed);
+    }
+    ctr_committed_.fetch_add(1, std::memory_order_relaxed);
+    if (config_.audit_commit_order) {
+      std::scoped_lock lock(commit_mu_);
+      commit_order_.push_back(idx);
+    }
+  }
+  result.reexec_micros += sw.elapsed_micros();
+  result.reexecuted += failed.size();
+}
+
+BatchResult Engine::run_batch(std::vector<TxRequest> requests) {
+  Stopwatch wall;
+  batch_ = next_batch_++;
+  BatchResult result;
+  result.batch = batch_;
+
+  requests_ = std::move(requests);
+  slots_.clear();
+  for (auto& q : rot_queues_) q.clear();
+  prep_list_.clear();
+  failed_.clear();
+  commit_order_.clear();
+  outputs_.clear();
+  ready_.clear();
+  ctr_committed_.store(0);
+  ctr_rolled_back_.store(0);
+  ctr_validation_aborts_.store(0);
+  ctr_prepare_us_.store(0);
+  ctr_prepared_.store(0);
+  ctr_all_prepare_us_.store(0);
+  current_round_ = 0;
+  if (trace_ != nullptr) trace_->clear();
+
+  // Classify and distribute.
+  std::size_t rot_rr = 0;
+  for (TxIdx i = 0; i < requests_.size(); ++i) {
+    const TxRequest& req = requests_[i];
+    PROG_CHECK_MSG(req.proc < procs_.size(), "unknown procedure id");
+    slots_.emplace_back();
+    TxnSlot& s = slots_.back();
+    s.req = &requests_[i];
+    s.entry = &procs_[req.proc];
+    s.klass = effective_class(*s.entry);
+    if (config_.system == System::kSeq) continue;
+    if (s.klass == sym::TxClass::kReadOnly) {
+      rot_queues_[rot_rr++ % rot_queues_.size()].push_back(i);
+    } else {
+      prep_list_.push_back(i);
+    }
+  }
+
+  if (config_.system == System::kSeq) {
+    run_seq_batch(result);
+    result.outputs = std::move(outputs_);
+    result.wall_micros = wall.elapsed_micros();
+    return result;
+  }
+
+  // Phase 1: ROTs + DT/IT preparation against the previous batch's snapshot
+  // (Calvin: an older snapshot, emulating client-side reconnaissance lag).
+  prep_snapshot_ = batch_ - 1;
+  if (config_.system == System::kCalvin) {
+    const BatchId lag = config_.calvin_prepare_lag;
+    prep_snapshot_ = batch_ - 1 > lag ? batch_ - 1 - lag : 0;
+  }
+  prep_tickets_.reset(prep_list_.size());
+  run_phase(Phase::kRotPrepare, [&] {
+    while (auto i = prep_tickets_.claim()) prepare_tx(prep_list_[*i]);
+  });
+
+  // Enqueue into the lock table: DTs ahead of ITs (both in agreed order).
+  std::vector<TxIdx> order;
+  order.reserve(prep_list_.size());
+  if (config_.dt_before_it) {
+    for (TxIdx i : prep_list_) {
+      if (slots_[i].klass == sym::TxClass::kDependent) order.push_back(i);
+    }
+    for (TxIdx i : prep_list_) {
+      if (slots_[i].klass != sym::TxClass::kDependent) order.push_back(i);
+    }
+  } else {
+    order = prep_list_;
+  }
+  remaining_.store(order.size(), std::memory_order_release);
+  enqueue_all(order);
+
+  // Phase 2: parallel execution of update transactions.
+  run_phase(Phase::kExec, [&] { do_exec(); });
+
+  // Failed-transaction rounds.
+  std::vector<TxIdx> failed;
+  {
+    std::scoped_lock lock(failed_mu_);
+    failed.swap(failed_);
+  }
+  std::sort(failed.begin(), failed.end());
+
+  while (!failed.empty()) {
+    ++result.rounds;
+    if (config_.system == System::kCalvin) {
+      // Bounce back to the client for re-preparation in a future batch.
+      for (TxIdx idx : failed) {
+        result.deferred.push_back(*slots_[idx].req);
+        result.deferred.back().recon_fresh = true;
+      }
+      break;
+    }
+    if (!config_.parallel_failed) {
+      handle_failed_sf(failed, result);
+      break;
+    }
+    // MF: re-prepare against the current (quiesced) state, re-enqueue, and
+    // run another parallel round.
+    Stopwatch sw;
+    ++current_round_;
+    for (auto& q : rot_queues_) q.clear();
+    prep_list_ = failed;
+    prep_snapshot_ = batch_;  // everything committed so far is visible
+    prep_tickets_.reset(prep_list_.size());
+    run_phase(Phase::kRotPrepare, [&] {
+      while (auto i = prep_tickets_.claim()) prepare_tx(prep_list_[*i]);
+    });
+    remaining_.store(failed.size(), std::memory_order_release);
+    enqueue_all(failed);
+    run_phase(Phase::kExec, [&] { do_exec(); });
+    result.reexec_micros += sw.elapsed_micros();
+    result.reexecuted += failed.size();
+    {
+      std::scoped_lock lock(failed_mu_);
+      failed.clear();
+      failed.swap(failed_);
+    }
+    std::sort(failed.begin(), failed.end());
+  }
+
+  PROG_CHECK_MSG(lock_table_.empty(),
+                 "lock table must drain by the end of the batch");
+
+  result.committed = ctr_committed_.load();
+  result.rolled_back = ctr_rolled_back_.load();
+  result.validation_aborts = ctr_validation_aborts_.load();
+  result.prepare_micros = ctr_prepare_us_.load();
+  result.prepared = ctr_prepared_.load();
+  result.commit_order = std::move(commit_order_);
+  std::sort(outputs_.begin(), outputs_.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  result.outputs = std::move(outputs_);
+  result.wall_micros = wall.elapsed_micros();
+  if (trace_ != nullptr) {
+    trace_->prepare_total_us = ctr_all_prepare_us_.load();
+    trace_->sf_serial_us = config_.parallel_failed ? 0 : result.reexec_micros;
+    trace_->rounds = current_round_;
+  }
+
+  if (config_.gc_horizon > 0) {
+    const BatchId horizon =
+        std::max<BatchId>(config_.gc_horizon, config_.calvin_prepare_lag + 2);
+    if (batch_ > horizon && batch_ % horizon == 0) {
+      store_.gc_before(batch_ - horizon);
+    }
+  }
+  return result;
+}
+
+}  // namespace prog::sched

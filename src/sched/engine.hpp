@@ -1,0 +1,282 @@
+// The deterministic multi-threaded execution engine (paper, Section III-C),
+// plus the three baselines evaluated against it — all sharing this code base
+// and lock table, mirroring the paper's methodology ("we implemented all
+// approaches in the same code base ... the measured differences correspond
+// to the design decision of how to leverage the transaction profiles").
+//
+// Batch lifecycle (Prognosticator):
+//   1. classify: ROTs to per-worker queues; DTs and ITs to the update list;
+//   2. phase 1 — workers drain their ROT queues against the previous batch's
+//      snapshot (lock-free) while DT key-sets are prepared: by the queuer
+//      alone (1Q) or by the queuer plus every idle worker (MQ);
+//   3. the queuer enqueues update transactions into the lock table in the
+//      agreed order, DTs ahead of ITs; fully granted transactions enter the
+//      ready queue;
+//   4. phase 2 — workers drain the ready queue: DTs first re-validate their
+//      pivot observations against the live store and abort deterministically
+//      on mismatch; commits apply buffered writes and release lock-table
+//      entries, readying successors;
+//   5. failed transactions are re-executed: sequentially in agreed order by
+//      one thread (SF) or re-prepared and re-enqueued for another parallel
+//      round (MF), repeating until none fail.
+//
+// Baseline mapping:
+//   - Calvin-N: DTs are prepared by full reconnaissance execution against a
+//     snapshot N/10 batches old (the client prepared them N ms before
+//     submission) and failed DTs are *deferred* — handed back for
+//     resubmission in a later batch instead of re-executed here;
+//   - NODO: key-sets are the accessed tables (coarse conflict classes), so
+//     every transaction is independent and nothing ever aborts;
+//   - SEQ: single-threaded execution in the agreed order.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <unordered_set>
+#include <vector>
+
+#include "common/queues.hpp"
+#include "common/sync.hpp"
+#include "lang/interp.hpp"
+#include "sched/lock_table.hpp"
+#include "sched/trace.hpp"
+#include "sym/profile.hpp"
+#include "store/store.hpp"
+
+namespace prog::sched {
+
+using ProcId = std::uint32_t;
+
+/// A registered stored procedure with its offline profile.
+struct ProcEntry {
+  const lang::Proc* proc = nullptr;
+  const sym::TxProfile* profile = nullptr;
+};
+
+/// One transaction instance submitted for execution.
+struct TxRequest {
+  ProcId proc = 0;
+  lang::TxInput input;
+  /// Opaque harness tag (e.g. arrival timestamp) carried through deferral.
+  std::uint64_t tag = 0;
+  /// Calvin resubmission: OLLP re-ran reconnaissance after the abort, so
+  /// this attempt's key-set is prepared against a fresh snapshot instead of
+  /// the N-ms-stale one (set automatically on deferred requests).
+  bool recon_fresh = false;
+  /// Client-supplied key-set prediction (paper, Section III-C: independent
+  /// transactions' key-sets depend only on inputs, so the client can compute
+  /// them and relieve the server). Honored when EngineConfig::
+  /// accept_client_predictions is set and the transaction is an IT.
+  std::shared_ptr<const sym::Prediction> client_pred;
+};
+
+enum class System : std::uint8_t {
+  kPrognosticator,
+  kCalvin,
+  kNodo,
+  kSeq,
+};
+
+const char* to_string(System s) noexcept;
+
+struct EngineConfig {
+  System system = System::kPrognosticator;
+  /// Worker thread count (the queuer is the caller's thread).
+  unsigned workers = 4;
+  /// MQ (true): workers help prepare DT key-sets; 1Q (false): queuer only.
+  bool multi_queue_prepare = true;
+  /// MF (true): failed transactions are re-prepared and re-enqueued for
+  /// parallel rounds; SF (false): one thread re-executes them in order.
+  bool parallel_failed = true;
+  /// -R variants: predict by reconnaissance (full execution against the
+  /// snapshot) instead of consulting the SE profile. Forced for Calvin and
+  /// for procedures whose SE analysis was capped.
+  bool use_recon = false;
+  /// Ablation: reader-sharing lock grants instead of exclusive queues.
+  bool shared_read_locks = false;
+  /// Paper design point: enqueue DTs ahead of ITs to shrink the window
+  /// between preparation and execution.
+  bool dt_before_it = true;
+  /// Accept client-computed key-sets for independent transactions (the
+  /// offload the paper describes as future work). Ignored for Calvin/-R
+  /// (reconnaissance must observe a snapshot) and for DTs.
+  bool accept_client_predictions = false;
+  /// Parallelize lock-table population: the key space is partitioned by
+  /// hash across the queuer and all workers; each participant walks the
+  /// agreed order and enqueues only its partition's keys, so every queue
+  /// still receives transactions in the agreed order (the paper's "workers
+  /// can help the Queuer by acquiring locks" optimization, generalized).
+  bool parallel_enqueue = false;
+  /// Calvin-N: prepare N/batch-interval batches in the past.
+  unsigned calvin_prepare_lag = 10;
+  /// Record the global commit order (serializability audits; small cost).
+  bool audit_commit_order = false;
+  /// Capture every transaction's emitted values into BatchResult::outputs —
+  /// how clients read query results back (small mutex cost per emitting tx).
+  bool capture_outputs = false;
+  /// Verify actual accesses ⊆ predicted key-set after every execution.
+  bool check_containment = false;
+  /// Drop store versions older than this many batches (0 = never GC).
+  unsigned gc_horizon = 64;
+  /// Measurement mode for the benchutil scheduling model: the queuer runs
+  /// every phase itself and workers stay parked, so per-attempt service
+  /// times are uncontended even on a single-core host. Results are
+  /// identical (the schedule is deterministic); only timings differ.
+  bool serial_measurement = false;
+};
+
+struct BatchResult {
+  BatchId batch = 0;
+  std::uint64_t committed = 0;      // includes logical rollbacks
+  std::uint64_t rolled_back = 0;    // AbortIf rollbacks (business aborts)
+  std::uint64_t validation_aborts = 0;  // failed DT executions (all rounds)
+  std::uint64_t rounds = 0;             // failed-transaction rounds run
+  /// Calvin only: transactions bounced back for future resubmission.
+  std::vector<TxRequest> deferred;
+  /// Commit order audit log (batch-local indexes), when enabled.
+  std::vector<TxIdx> commit_order;
+  /// Emitted values per transaction (batch-local index), when enabled.
+  /// Deterministic content; ordering normalized to submission order.
+  std::vector<std::pair<TxIdx, std::vector<Value>>> outputs;
+  std::int64_t wall_micros = 0;
+  std::int64_t prepare_micros = 0;  // summed across prepared transactions
+  std::uint64_t prepared = 0;
+  std::int64_t reexec_micros = 0;  // wall time spent in failed rounds
+  std::uint64_t reexecuted = 0;
+};
+
+/// Deterministic batch execution engine. One engine drives one replica.
+class Engine {
+ public:
+  Engine(store::VersionedStore& store, std::vector<ProcEntry> procs,
+         EngineConfig config);
+  ~Engine();
+
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  /// Executes one totally-ordered batch to completion and returns its
+  /// statistics. Called from a single thread (the queuer).
+  BatchResult run_batch(std::vector<TxRequest> requests);
+
+  /// The id the next batch will execute under (first batch is 1; loaders
+  /// write the initial state as batch 0).
+  BatchId next_batch() const noexcept { return next_batch_; }
+
+  /// Records per-attempt service times and lock-table dependency edges of
+  /// every subsequent batch into `sink` (cleared per batch; pass nullptr to
+  /// stop). Use workers == 1 for uncontended time measurements — the
+  /// benchutil scheduling model then projects any worker count.
+  void set_trace_sink(BatchTrace* sink) noexcept { trace_ = sink; }
+
+  const EngineConfig& config() const noexcept { return config_; }
+  const std::vector<ProcEntry>& procs() const noexcept { return procs_; }
+
+ private:
+  enum class Phase : std::uint8_t {
+    kRotPrepare,
+    kEnqueue,
+    kExec,
+    kShutdown,
+  };
+
+  struct TxnSlot {
+    const TxRequest* req = nullptr;
+    const ProcEntry* entry = nullptr;
+    sym::TxClass klass = sym::TxClass::kIndependent;
+    sym::Prediction pred;
+    std::atomic<int> locks_remaining{0};
+    std::int64_t prepare_us = 0;
+    std::vector<TxIdx> trace_preds;  // only filled when tracing
+  };
+
+  void worker_main(unsigned worker_idx);
+  /// Queuer-side phase driver: announce `p`, run `own_work`, wait for done.
+  template <typename Fn>
+  void run_phase(Phase p, const Fn& own_work);
+
+  void do_rot_prepare(unsigned worker_idx);
+  void do_exec();
+  /// Enqueues the keys of partition `partition` (0 = queuer, 1..W = worker
+  /// index + 1) for every transaction in enqueue_order_.
+  void do_enqueue_partition(unsigned partition);
+  /// Runs the enqueue step: serial on the queuer, or partitioned across all
+  /// participants when config_.parallel_enqueue is set.
+  void enqueue_all(const std::vector<TxIdx>& order);
+
+  /// Computes klass + key-set prediction for slot `idx` against
+  /// `prep_snapshot_`. Thread-safe across distinct slots.
+  void prepare_tx(TxIdx idx);
+  void execute_ready_tx(TxIdx idx);
+  void execute_rot(TxIdx idx);
+
+  /// Enqueues slot `idx` into the lock table; readies it if fully granted.
+  void enqueue_tx(TxIdx idx);
+
+  void run_seq_batch(BatchResult& result);
+  void handle_failed_sf(const std::vector<TxIdx>& failed,
+                        BatchResult& result);
+
+  void release_locks(TxIdx idx);
+  sym::TxClass effective_class(const ProcEntry& entry) const;
+  /// A key needs a lock-table entry unless its table is provably immutable
+  /// (no registered procedure ever writes it).
+  bool needs_lock(TKey key) const {
+    return !immutable_tables_.contains(key.table);
+  }
+
+  store::VersionedStore& store_;
+  const std::vector<ProcEntry> procs_;
+  const EngineConfig config_;
+  lang::Interp interp_;
+  /// Tables no registered procedure writes: reads take no locks.
+  std::unordered_set<TableId> immutable_tables_;
+
+  LockTable lock_table_;
+  MpmcQueue<TxIdx> ready_;
+
+  // --- per-batch shared state (set by the queuer between barriers) --------
+  BatchId next_batch_ = 1;
+  BatchId batch_ = 0;
+  BatchId prep_snapshot_ = 0;
+  std::vector<TxRequest> requests_;
+  std::deque<TxnSlot> slots_;  // parallel to requests_
+  std::vector<std::vector<TxIdx>> rot_queues_;  // per worker
+  std::vector<TxIdx> prep_list_;
+  TicketDispenser prep_tickets_;
+  const std::vector<TxIdx>* enqueue_order_ = nullptr;
+  std::atomic<std::uint64_t> remaining_{0};
+
+  std::mutex failed_mu_;
+  std::vector<TxIdx> failed_;
+
+  std::mutex commit_mu_;
+  std::vector<TxIdx> commit_order_;
+  std::vector<std::pair<TxIdx, std::vector<Value>>> outputs_;
+
+  void capture_output(TxIdx idx, std::vector<Value> emitted);
+
+  BatchTrace* trace_ = nullptr;
+  std::mutex trace_mu_;
+  std::uint16_t current_round_ = 0;
+  std::atomic<std::int64_t> ctr_all_prepare_us_{0};
+
+  // --- batch counters (reset per batch, folded into BatchResult) ----------
+  std::atomic<std::uint64_t> ctr_committed_{0};
+  std::atomic<std::uint64_t> ctr_rolled_back_{0};
+  std::atomic<std::uint64_t> ctr_validation_aborts_{0};
+  std::atomic<std::int64_t> ctr_prepare_us_{0};
+  std::atomic<std::uint64_t> ctr_prepared_{0};
+
+  // --- thread coordination -------------------------------------------------
+  PhaseBarrier barrier_;
+  std::atomic<Phase> phase_{Phase::kRotPrepare};
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace prog::sched

@@ -1,0 +1,92 @@
+// The lock table (paper, Figure 2): one FIFO queue per (table, key).
+//
+// The Queuer Thread enqueues every transaction into the queues of all keys in
+// its predicted key-set, following the order agreed by consensus. A
+// transaction whose entries are all at the head of their queues cannot
+// conflict with any other such transaction, so it is safe to execute them in
+// parallel. Workers release entries after commit/abort, which grants the
+// next entries in each queue.
+//
+// Two grant disciplines:
+//   - exclusive (paper default): only the head entry of a queue is granted;
+//   - shared reads (ablation): a maximal prefix of read entries is granted,
+//     matching Calvin's reader/writer lock manager.
+//
+// Thread-safety: enqueue is called by the single queuer; release by any
+// worker. Queues are sharded; each shard is guarded by a spin lock held for
+// a handful of instructions.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "common/sync.hpp"
+#include "common/types.hpp"
+
+namespace prog::sched {
+
+/// Index of a transaction within the executing batch.
+using TxIdx = std::uint32_t;
+
+class LockTable {
+ public:
+  struct Options {
+    bool shared_reads = false;
+    unsigned shards = 64;
+  };
+
+  LockTable() : LockTable(Options{}) {}
+  explicit LockTable(Options opts);
+
+  LockTable(const LockTable&) = delete;
+  LockTable& operator=(const LockTable&) = delete;
+
+  /// Appends `tx` to `key`'s queue. Returns true when the entry is granted
+  /// immediately (queue head, or shared-read prefix). Queuer thread only.
+  /// When `pred_out` is non-null and the entry was not granted, it receives
+  /// the immediately preceding entry's transaction (the dependency edge used
+  /// by the scheduling model).
+  bool enqueue(TxIdx tx, TKey key, bool write, TxIdx* pred_out = nullptr);
+
+  /// Removes `tx`'s (granted) entry from `key`'s queue and appends any
+  /// newly granted transactions to `granted`. Any thread.
+  void release(TxIdx tx, TKey key, std::vector<TxIdx>& granted);
+
+  /// Total entries currently queued (diagnostics).
+  std::size_t entry_count() const;
+
+  /// True when every queue is empty — the end-of-batch invariant.
+  bool empty() const;
+
+  /// Drops all queues (used by tests; a correct batch drains naturally).
+  void clear();
+
+ private:
+  struct Entry {
+    TxIdx tx;
+    bool write;
+    bool granted;
+  };
+  struct Shard {
+    mutable SpinLock mu;
+    std::unordered_map<TKey, std::deque<Entry>, TKeyHash> queues;
+  };
+
+  Shard& shard_for(TKey key) {
+    return shards_[TKeyHash{}(key) % shards_.size()];
+  }
+  const Shard& shard_for(TKey key) const {
+    return shards_[TKeyHash{}(key) % shards_.size()];
+  }
+
+  /// Grants the maximal eligible prefix; appends newly granted to `granted`.
+  void grant_prefix(std::deque<Entry>& q, std::vector<TxIdx>& granted) const;
+
+  Options opts_;
+  std::vector<Shard> shards_;
+};
+
+}  // namespace prog::sched

@@ -1,0 +1,50 @@
+// Execution traces for throughput modeling.
+//
+// On a many-core host the harness measures wall-clock batch times directly.
+// To keep the paper's figures reproducible on small machines, the engine can
+// also record everything a scheduling model needs: per-attempt service
+// times, the lock-table dependency edges (per-key FIFO predecessors), phase
+// structure, and the serial queuer work. benchutil::modeled_makespan() then
+// computes the batch duration for any worker count by list-scheduling the
+// recorded DAG — deterministic and machine-independent.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sched/lock_table.hpp"
+
+namespace prog::sched {
+
+/// One execution attempt of one transaction (a failed DT validation and its
+/// later re-execution are separate attempts).
+struct TraceAttempt {
+  TxIdx tx = 0;
+  std::uint16_t round = 0;  // 0 = main round; 1.. = MF re-execution rounds
+  bool rot = false;
+  bool failed = false;  // validation abort (service = validation cost)
+  std::int64_t service_us = 0;
+  /// Immediate lock-table predecessors within the same round.
+  std::vector<TxIdx> preds;
+};
+
+struct BatchTrace {
+  std::vector<TraceAttempt> attempts;
+  /// All key-set preparation work (SE prediction or reconnaissance), summed.
+  std::int64_t prepare_total_us = 0;
+  /// Serial queuer work: lock-table enqueueing across all rounds.
+  std::int64_t enqueue_us = 0;
+  /// SF tail: failed transactions re-executed serially by one thread.
+  std::int64_t sf_serial_us = 0;
+  std::uint16_t rounds = 0;
+
+  void clear() {
+    attempts.clear();
+    prepare_total_us = 0;
+    enqueue_us = 0;
+    sf_serial_us = 0;
+    rounds = 0;
+  }
+};
+
+}  // namespace prog::sched

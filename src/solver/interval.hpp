@@ -1,0 +1,105 @@
+// Saturating integer intervals — the abstract domain of the path-constraint
+// solver. Bounds are clamped to +/- kInf so arithmetic never overflows.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+
+#include "common/check.hpp"
+#include "common/types.hpp"
+
+namespace prog::solver {
+
+/// Closed interval [lo, hi] over int64 with saturation at +/- kInf.
+/// An interval with lo > hi is empty (bottom).
+struct Interval {
+  static constexpr Value kInf = INT64_C(1) << 60;
+
+  Value lo = -kInf;
+  Value hi = kInf;
+
+  static Interval all() noexcept { return {-kInf, kInf}; }
+  static Interval empty() noexcept { return {1, 0}; }
+  static Interval point(Value v) noexcept { return {v, v}; }
+  static Interval boolean() noexcept { return {0, 1}; }
+
+  bool is_empty() const noexcept { return lo > hi; }
+  bool is_point() const noexcept { return lo == hi; }
+  bool contains(Value v) const noexcept { return lo <= v && v <= hi; }
+  /// Width as unsigned count of values; saturates.
+  std::uint64_t count() const noexcept {
+    if (is_empty()) return 0;
+    return static_cast<std::uint64_t>(hi) - static_cast<std::uint64_t>(lo) + 1;
+  }
+
+  Interval intersect(Interval o) const noexcept {
+    return {std::max(lo, o.lo), std::min(hi, o.hi)};
+  }
+
+  Interval hull(Interval o) const noexcept {
+    if (is_empty()) return o;
+    if (o.is_empty()) return *this;
+    return {std::min(lo, o.lo), std::max(hi, o.hi)};
+  }
+
+  friend bool operator==(const Interval&, const Interval&) = default;
+};
+
+/// Clamp helper keeping values inside the representable band.
+constexpr Value sat(__int128 v) noexcept {
+  if (v > Interval::kInf) return Interval::kInf;
+  if (v < -Interval::kInf) return -Interval::kInf;
+  return static_cast<Value>(v);
+}
+
+inline Interval iadd(Interval a, Interval b) noexcept {
+  if (a.is_empty() || b.is_empty()) return Interval::empty();
+  return {sat(static_cast<__int128>(a.lo) + b.lo),
+          sat(static_cast<__int128>(a.hi) + b.hi)};
+}
+
+inline Interval isub(Interval a, Interval b) noexcept {
+  if (a.is_empty() || b.is_empty()) return Interval::empty();
+  return {sat(static_cast<__int128>(a.lo) - b.hi),
+          sat(static_cast<__int128>(a.hi) - b.lo)};
+}
+
+inline Interval ineg(Interval a) noexcept {
+  if (a.is_empty()) return Interval::empty();
+  return {sat(-static_cast<__int128>(a.hi)), sat(-static_cast<__int128>(a.lo))};
+}
+
+inline Interval imul(Interval a, Interval b) noexcept {
+  if (a.is_empty() || b.is_empty()) return Interval::empty();
+  const __int128 c[4] = {static_cast<__int128>(a.lo) * b.lo,
+                         static_cast<__int128>(a.lo) * b.hi,
+                         static_cast<__int128>(a.hi) * b.lo,
+                         static_cast<__int128>(a.hi) * b.hi};
+  __int128 mn = c[0], mx = c[0];
+  for (int i = 1; i < 4; ++i) {
+    mn = std::min(mn, c[i]);
+    mx = std::max(mx, c[i]);
+  }
+  return {sat(mn), sat(mx)};
+}
+
+/// Interval over-approximation of total division (x / 0 == 0).
+Interval idiv(Interval a, Interval b) noexcept;
+
+/// Interval over-approximation of total modulo (x % 0 == 0).
+Interval imod(Interval a, Interval b) noexcept;
+
+inline Interval imin(Interval a, Interval b) noexcept {
+  if (a.is_empty() || b.is_empty()) return Interval::empty();
+  return {std::min(a.lo, b.lo), std::min(a.hi, b.hi)};
+}
+
+inline Interval imax(Interval a, Interval b) noexcept {
+  if (a.is_empty() || b.is_empty()) return Interval::empty();
+  return {std::max(a.lo, b.lo), std::max(a.hi, b.hi)};
+}
+
+std::string to_string(Interval iv);
+
+}  // namespace prog::solver

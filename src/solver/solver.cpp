@@ -1,0 +1,485 @@
+#include "solver/solver.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <optional>
+#include <sstream>
+
+namespace prog::solver {
+
+using expr::Expr;
+using expr::Op;
+
+Interval idiv(Interval a, Interval b) noexcept {
+  if (a.is_empty() || b.is_empty()) return Interval::empty();
+  // Total semantics: division by zero yields 0, so if 0 is in b the result
+  // hull must include 0. For the nonzero part, sample the candidate extremes.
+  Interval out = Interval::empty();
+  if (b.contains(0)) out = out.hull(Interval::point(0));
+  const Value bl = b.lo == 0 ? 1 : b.lo;
+  const Value bh = b.hi == 0 ? -1 : b.hi;
+  const Value candidates_b[4] = {bl, bh, b.contains(1) ? 1 : bl,
+                                 b.contains(-1) ? -1 : bh};
+  for (Value bb : candidates_b) {
+    if (bb == 0 || !b.contains(bb)) continue;
+    const Value q1 = a.lo / bb;
+    const Value q2 = a.hi / bb;
+    out = out.hull({std::min(q1, q2), std::max(q1, q2)});
+  }
+  if (out.is_empty()) out = Interval::point(0);
+  return out;
+}
+
+Interval imod(Interval a, Interval b) noexcept {
+  if (a.is_empty() || b.is_empty()) return Interval::empty();
+  if (b.is_point() && a.is_point()) {
+    return Interval::point(b.lo == 0 ? 0 : a.lo % b.lo);
+  }
+  // C++ remainder has the sign of the dividend; |r| < max(|b|).
+  const Value mag =
+      std::max(std::abs(b.lo), std::abs(b.hi));
+  const Value bound = mag == 0 ? 0 : mag - 1;
+  Interval out{-bound, bound};
+  if (a.lo >= 0) out.lo = 0;
+  if (a.hi <= 0) out.hi = 0;
+  // The remainder can never exceed the dividend's own magnitude range.
+  out.lo = std::max(out.lo, std::min<Value>(a.lo, 0));
+  out.hi = std::min(out.hi, std::max<Value>(a.hi, 0));
+  return out;
+}
+
+std::string to_string(Interval iv) {
+  if (iv.is_empty()) return "[empty]";
+  std::ostringstream os;
+  os << '[' << iv.lo << ", " << iv.hi << ']';
+  return os.str();
+}
+
+namespace {
+
+/// True if every value in `iv` is nonzero (definitely truthy).
+bool definitely_true(Interval iv) noexcept {
+  return !iv.is_empty() && !iv.contains(0);
+}
+
+/// True if `iv` is exactly {0} (definitely falsy).
+bool definitely_false(Interval iv) noexcept {
+  return iv == Interval::point(0);
+}
+
+/// Narrow `f` to its truthy (nonzero) subset if that subset is an interval.
+std::optional<Interval> truthy_subset(Interval f) noexcept {
+  if (f.is_empty()) return std::nullopt;
+  if (!f.contains(0)) return f;  // already all-truthy
+  if (f.lo == 0 && f.hi == 0) return std::nullopt;
+  if (f.lo == 0) return Interval{1, f.hi};
+  if (f.hi == 0) return Interval{f.lo, -1};
+  return std::nullopt;  // zero strictly inside; not representable
+}
+
+Interval forward_cmp(Op op, Interval a, Interval b) noexcept {
+  if (a.is_empty() || b.is_empty()) return Interval::empty();
+  switch (op) {
+    case Op::kEq:
+      if (a.is_point() && b.is_point()) return Interval::point(a.lo == b.lo);
+      if (a.intersect(b).is_empty()) return Interval::point(0);
+      return Interval::boolean();
+    case Op::kNe:
+      if (a.is_point() && b.is_point()) return Interval::point(a.lo != b.lo);
+      if (a.intersect(b).is_empty()) return Interval::point(1);
+      return Interval::boolean();
+    case Op::kLt:
+      if (a.hi < b.lo) return Interval::point(1);
+      if (a.lo >= b.hi) return Interval::point(0);
+      return Interval::boolean();
+    case Op::kLe:
+      if (a.hi <= b.lo) return Interval::point(1);
+      if (a.lo > b.hi) return Interval::point(0);
+      return Interval::boolean();
+    case Op::kGt:
+      return forward_cmp(Op::kLt, b, a);
+    case Op::kGe:
+      return forward_cmp(Op::kLe, b, a);
+    default:
+      return Interval::boolean();
+  }
+}
+
+}  // namespace
+
+bool Solver::is_leaf(const Expr* e) noexcept {
+  return e->op == Op::kInput || e->op == Op::kInputElem ||
+         e->op == Op::kPivotField;
+}
+
+void Solver::seed_leaves(const Expr* e, const DomainMap& domains,
+                         Env& env) const {
+  if (e == nullptr) return;
+  if (is_leaf(e)) {
+    env.try_emplace(e, domains.lookup(e));
+    return;  // InputElem index is opaque: the whole node is one variable
+  }
+  seed_leaves(e->lhs, domains, env);
+  seed_leaves(e->rhs, domains, env);
+}
+
+Interval Solver::ieval(const Expr* e, const Env& env) const {
+  PROG_CHECK(e != nullptr);
+  if (is_leaf(e)) {
+    auto it = env.find(e);
+    return it == env.end() ? Interval::all() : it->second;
+  }
+  switch (e->op) {
+    case Op::kConst:
+      return Interval::point(e->cval);
+    case Op::kAdd:
+      return iadd(ieval(e->lhs, env), ieval(e->rhs, env));
+    case Op::kSub:
+      return isub(ieval(e->lhs, env), ieval(e->rhs, env));
+    case Op::kMul:
+      return imul(ieval(e->lhs, env), ieval(e->rhs, env));
+    case Op::kDiv:
+      return idiv(ieval(e->lhs, env), ieval(e->rhs, env));
+    case Op::kMod:
+      return imod(ieval(e->lhs, env), ieval(e->rhs, env));
+    case Op::kMin:
+      return imin(ieval(e->lhs, env), ieval(e->rhs, env));
+    case Op::kMax:
+      return imax(ieval(e->lhs, env), ieval(e->rhs, env));
+    case Op::kNeg:
+      return ineg(ieval(e->lhs, env));
+    case Op::kNot: {
+      const Interval f = ieval(e->lhs, env);
+      if (definitely_true(f)) return Interval::point(0);
+      if (definitely_false(f)) return Interval::point(1);
+      return Interval::boolean();
+    }
+    case Op::kAnd: {
+      const Interval a = ieval(e->lhs, env);
+      const Interval b = ieval(e->rhs, env);
+      if (definitely_false(a) || definitely_false(b)) {
+        return Interval::point(0);
+      }
+      if (definitely_true(a) && definitely_true(b)) {
+        return Interval::point(1);
+      }
+      return Interval::boolean();
+    }
+    case Op::kOr: {
+      const Interval a = ieval(e->lhs, env);
+      const Interval b = ieval(e->rhs, env);
+      if (definitely_true(a) || definitely_true(b)) return Interval::point(1);
+      if (definitely_false(a) && definitely_false(b)) {
+        return Interval::point(0);
+      }
+      return Interval::boolean();
+    }
+    default:
+      return forward_cmp(e->op, ieval(e->lhs, env), ieval(e->rhs, env));
+  }
+}
+
+bool Solver::narrow(const Expr* e, Interval target, Env& env) const {
+  PROG_CHECK(e != nullptr);
+  if (target.is_empty()) return false;
+  if (is_leaf(e)) {
+    auto it = env.find(e);
+    if (it == env.end()) return true;  // unseeded leaf: nothing to refine
+    const Interval next = it->second.intersect(target);
+    if (!(next == it->second)) {
+      it->second = next;
+      narrow_changed_ = true;
+    }
+    return !it->second.is_empty();
+  }
+  switch (e->op) {
+    case Op::kConst:
+      return target.contains(e->cval);
+    case Op::kAdd: {
+      const Interval a = ieval(e->lhs, env);
+      const Interval b = ieval(e->rhs, env);
+      if (!narrow(e->lhs, isub(target, b), env)) return false;
+      return narrow(e->rhs, isub(target, a), env);
+    }
+    case Op::kSub: {
+      const Interval a = ieval(e->lhs, env);
+      const Interval b = ieval(e->rhs, env);
+      if (!narrow(e->lhs, iadd(target, b), env)) return false;
+      return narrow(e->rhs, isub(a, target), env);
+    }
+    case Op::kNeg:
+      return narrow(e->lhs, ineg(target), env);
+    case Op::kMul: {
+      // Only narrow through multiplication by a nonzero constant; the general
+      // case falls back to the forward consistency check in propagate().
+      const Expr* ce = e->lhs->is_const() ? e->lhs : e->rhs;
+      const Expr* ve = e->lhs->is_const() ? e->rhs : e->lhs;
+      if (!ce->is_const() || ce->cval == 0) return true;
+      const Value c = ce->cval;
+      // v*c in [target.lo, target.hi]  =>  v in [ceil(lo/c), floor(hi/c)]
+      auto floor_div = [](Value x, Value d) {
+        Value q = x / d;
+        if ((x % d != 0) && ((x < 0) != (d < 0))) --q;
+        return q;
+      };
+      auto ceil_div = [&](Value x, Value d) { return -floor_div(-x, d); };
+      Interval vt = c > 0 ? Interval{ceil_div(target.lo, c),
+                                     floor_div(target.hi, c)}
+                          : Interval{ceil_div(target.hi, c),
+                                     floor_div(target.lo, c)};
+      return narrow(ve, vt, env);
+    }
+    case Op::kMin: {
+      // min(a,b) >= t.lo  =>  a >= t.lo and b >= t.lo
+      if (!narrow(e->lhs, {target.lo, Interval::kInf}, env)) return false;
+      if (!narrow(e->rhs, {target.lo, Interval::kInf}, env)) return false;
+      // If one side is certainly above t.hi the other must be <= t.hi.
+      if (ieval(e->lhs, env).lo > target.hi) {
+        return narrow(e->rhs, {-Interval::kInf, target.hi}, env);
+      }
+      if (ieval(e->rhs, env).lo > target.hi) {
+        return narrow(e->lhs, {-Interval::kInf, target.hi}, env);
+      }
+      return true;
+    }
+    case Op::kMax: {
+      if (!narrow(e->lhs, {-Interval::kInf, target.hi}, env)) return false;
+      if (!narrow(e->rhs, {-Interval::kInf, target.hi}, env)) return false;
+      if (ieval(e->lhs, env).hi < target.lo) {
+        return narrow(e->rhs, {target.lo, Interval::kInf}, env);
+      }
+      if (ieval(e->rhs, env).hi < target.lo) {
+        return narrow(e->lhs, {target.lo, Interval::kInf}, env);
+      }
+      return true;
+    }
+    case Op::kNot: {
+      const Interval f = ieval(e->lhs, env);
+      if (definitely_true(target)) return narrow(e->lhs, Interval::point(0), env);
+      if (definitely_false(target)) {
+        if (auto t = truthy_subset(f)) return narrow(e->lhs, *t, env);
+        return !definitely_false(f) || false;
+      }
+      return true;
+    }
+    case Op::kAnd: {
+      if (definitely_true(target)) {
+        if (auto t = truthy_subset(ieval(e->lhs, env))) {
+          if (!narrow(e->lhs, *t, env)) return false;
+        } else if (definitely_false(ieval(e->lhs, env))) {
+          return false;
+        }
+        if (auto t = truthy_subset(ieval(e->rhs, env))) {
+          if (!narrow(e->rhs, *t, env)) return false;
+        } else if (definitely_false(ieval(e->rhs, env))) {
+          return false;
+        }
+        return true;
+      }
+      if (definitely_false(target)) {
+        const Interval a = ieval(e->lhs, env);
+        const Interval b = ieval(e->rhs, env);
+        if (definitely_true(a)) return narrow(e->rhs, Interval::point(0), env);
+        if (definitely_true(b)) return narrow(e->lhs, Interval::point(0), env);
+      }
+      return true;
+    }
+    case Op::kOr: {
+      if (definitely_false(target)) {
+        if (!narrow(e->lhs, Interval::point(0), env)) return false;
+        return narrow(e->rhs, Interval::point(0), env);
+      }
+      if (definitely_true(target)) {
+        const Interval a = ieval(e->lhs, env);
+        const Interval b = ieval(e->rhs, env);
+        if (definitely_false(a)) {
+          if (auto t = truthy_subset(b)) return narrow(e->rhs, *t, env);
+          return !definitely_false(b);
+        }
+        if (definitely_false(b)) {
+          if (auto t = truthy_subset(a)) return narrow(e->lhs, *t, env);
+          return !definitely_false(a);
+        }
+      }
+      return true;
+    }
+    case Op::kEq: {
+      if (definitely_true(target)) {
+        const Interval meet =
+            ieval(e->lhs, env).intersect(ieval(e->rhs, env));
+        if (!narrow(e->lhs, meet, env)) return false;
+        return narrow(e->rhs, meet, env);
+      }
+      if (definitely_false(target)) {
+        return narrow_cmp_true(Op::kNe, e, env);
+      }
+      return true;
+    }
+    case Op::kNe:
+      if (definitely_true(target)) return narrow_cmp_true(Op::kNe, e, env);
+      if (definitely_false(target)) {
+        const Interval meet =
+            ieval(e->lhs, env).intersect(ieval(e->rhs, env));
+        if (!narrow(e->lhs, meet, env)) return false;
+        return narrow(e->rhs, meet, env);
+      }
+      return true;
+    case Op::kLt:
+    case Op::kLe:
+    case Op::kGt:
+    case Op::kGe: {
+      if (definitely_true(target)) return narrow_cmp_true(e->op, e, env);
+      if (definitely_false(target)) {
+        Op inv;
+        switch (e->op) {
+          case Op::kLt: inv = Op::kGe; break;
+          case Op::kLe: inv = Op::kGt; break;
+          case Op::kGt: inv = Op::kLe; break;
+          default:      inv = Op::kLt; break;
+        }
+        return narrow_cmp_true(inv, e, env);
+      }
+      return true;
+    }
+    default:
+      return true;  // Div/Mod and friends: forward check only
+  }
+}
+
+bool Solver::narrow_cmp_true(Op op, const Expr* e, Env& env) const {
+  const Interval a = ieval(e->lhs, env);
+  const Interval b = ieval(e->rhs, env);
+  switch (op) {
+    case Op::kLt:
+      if (!narrow(e->lhs, {-Interval::kInf, sat(static_cast<__int128>(b.hi) - 1)},
+                  env)) {
+        return false;
+      }
+      return narrow(e->rhs, {sat(static_cast<__int128>(a.lo) + 1), Interval::kInf},
+                    env);
+    case Op::kLe:
+      if (!narrow(e->lhs, {-Interval::kInf, b.hi}, env)) return false;
+      return narrow(e->rhs, {a.lo, Interval::kInf}, env);
+    case Op::kGt:
+      if (!narrow(e->lhs, {sat(static_cast<__int128>(b.lo) + 1), Interval::kInf},
+                  env)) {
+        return false;
+      }
+      return narrow(e->rhs, {-Interval::kInf, sat(static_cast<__int128>(a.hi) - 1)},
+                    env);
+    case Op::kGe:
+      if (!narrow(e->lhs, {b.lo, Interval::kInf}, env)) return false;
+      return narrow(e->rhs, {-Interval::kInf, a.hi}, env);
+    case Op::kNe: {
+      // Endpoint shaving when the other side is a point.
+      if (b.is_point()) {
+        Interval na = a;
+        if (na.lo == b.lo) ++na.lo;
+        if (na.hi == b.lo) --na.hi;
+        if (!narrow(e->lhs, na, env)) return false;
+      }
+      if (a.is_point()) {
+        Interval nb = b;
+        if (nb.lo == a.lo) ++nb.lo;
+        if (nb.hi == a.lo) --nb.hi;
+        return narrow(e->rhs, nb, env);
+      }
+      if (a.is_point() && b.is_point() && a.lo == b.lo) return false;
+      return true;
+    }
+    default:
+      return true;
+  }
+}
+
+Sat Solver::propagate(std::span<const expr::Expr* const> constraints,
+                      Env& env) {
+  for (std::uint32_t round = 0; round < opts_.max_propagation_rounds;
+       ++round) {
+    ++stats_.propagation_rounds;
+    narrow_changed_ = false;
+    bool all_definite = true;
+    for (const Expr* c : constraints) {
+      const Interval f = ieval(c, env);
+      if (f.is_empty() || definitely_false(f)) return Sat::kUnsat;
+      if (!definitely_true(f)) all_definite = false;
+      if (auto t = truthy_subset(f)) {
+        if (!narrow(c, *t, env)) return Sat::kUnsat;
+      }
+    }
+    if (all_definite) return Sat::kSat;
+    if (!narrow_changed_) return Sat::kUnknown;  // fixpoint, still ambiguous
+  }
+  return Sat::kUnknown;
+}
+
+Sat Solver::search(std::span<const expr::Expr* const> constraints, Env env,
+                   std::uint32_t& budget) {
+  const Sat p = propagate(constraints, env);
+  if (p != Sat::kUnknown) return p;
+  if (budget == 0) return Sat::kUnknown;
+
+  // Pick the undecided variable with the smallest domain.
+  const Expr* pick = nullptr;
+  std::uint64_t best = UINT64_MAX;
+  for (const auto& [leaf, dom] : env) {
+    const std::uint64_t n = dom.count();
+    if (n > 1 && n < best) {
+      best = n;
+      pick = leaf;
+    }
+  }
+  if (pick == nullptr) {
+    // All variables fixed yet propagation was inconclusive (nonlinear ops):
+    // evaluate concretely via intervals, which are now points.
+    for (const Expr* c : constraints) {
+      const Interval f = ieval(c, env);
+      if (!definitely_true(f)) return Sat::kUnsat;
+    }
+    return Sat::kSat;
+  }
+
+  const Interval dom = env.at(pick);
+  bool saw_unknown = false;
+  if (dom.count() <= opts_.enumerate_limit) {
+    for (Value v = dom.lo; v <= dom.hi; ++v) {
+      if (budget == 0) return Sat::kUnknown;
+      --budget;
+      ++stats_.splits;
+      Env child = env;
+      child[pick] = Interval::point(v);
+      const Sat r = search(constraints, std::move(child), budget);
+      if (r == Sat::kSat) return Sat::kSat;
+      if (r == Sat::kUnknown) saw_unknown = true;
+    }
+  } else {
+    const Value mid = dom.lo + static_cast<Value>(dom.count() / 2);
+    const Interval halves[2] = {{dom.lo, mid - 1}, {mid, dom.hi}};
+    for (const Interval& h : halves) {
+      if (h.is_empty()) continue;
+      if (budget == 0) return Sat::kUnknown;
+      --budget;
+      ++stats_.splits;
+      Env child = env;
+      child[pick] = h;
+      const Sat r = search(constraints, std::move(child), budget);
+      if (r == Sat::kSat) return Sat::kSat;
+      if (r == Sat::kUnknown) saw_unknown = true;
+    }
+  }
+  return saw_unknown ? Sat::kUnknown : Sat::kUnsat;
+}
+
+Sat Solver::check(std::span<const expr::Expr* const> constraints,
+                  const DomainMap& domains) {
+  ++stats_.queries;
+  Env env;
+  for (const Expr* c : constraints) seed_leaves(c, domains, env);
+  std::uint32_t budget = opts_.split_budget;
+  const Sat r = search(constraints, std::move(env), budget);
+  if (r == Sat::kUnsat) ++stats_.unsat;
+  if (r == Sat::kUnknown) ++stats_.unknown;
+  return r;
+}
+
+}  // namespace prog::solver

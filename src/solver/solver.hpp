@@ -1,0 +1,106 @@
+// Path-constraint satisfiability checker.
+//
+// The symbolic executor asks one question: "is this conjunction of branch
+// conditions satisfiable for some assignment of the symbolic leaves?" Leaves
+// are procedure inputs (with declared benchmark bounds, e.g. olCnt in [5,15])
+// and pivot reads (unbounded). The solver answers with interval constraint
+// propagation (HC4-style forward/backward narrowing) refined by bounded
+// domain splitting. It is sound for pruning: kUnsat is only returned when the
+// path is genuinely infeasible; when the budget runs out it reports kUnknown
+// and the executor conservatively keeps the path.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "expr/expr.hpp"
+#include "solver/interval.hpp"
+
+namespace prog::solver {
+
+enum class Sat : std::uint8_t { kSat, kUnsat, kUnknown };
+
+/// Declared domains for symbolic leaves, keyed by the hash-consed leaf node.
+/// Leaves without an entry default to Interval::all().
+class DomainMap {
+ public:
+  void declare(const expr::Expr* leaf, Interval domain) {
+    domains_[leaf] = domain;
+  }
+
+  Interval lookup(const expr::Expr* leaf) const {
+    auto it = domains_.find(leaf);
+    return it == domains_.end() ? Interval::all() : it->second;
+  }
+
+  std::size_t size() const noexcept { return domains_.size(); }
+
+ private:
+  std::unordered_map<const expr::Expr*, Interval> domains_;
+};
+
+struct SolverStats {
+  std::uint64_t queries = 0;
+  std::uint64_t unsat = 0;
+  std::uint64_t unknown = 0;
+  std::uint64_t splits = 0;
+  std::uint64_t propagation_rounds = 0;
+};
+
+class Solver {
+ public:
+  struct Options {
+    /// Maximum domain-splitting nodes explored per query.
+    std::uint32_t split_budget = 256;
+    /// Maximum fixpoint rounds per propagation.
+    std::uint32_t max_propagation_rounds = 32;
+    /// Domains wider than this are never enumerated, only bisected.
+    std::uint64_t enumerate_limit = 16;
+  };
+
+  Solver() : Solver(Options{}) {}
+  explicit Solver(Options opts) : opts_(opts) {}
+
+  /// Checks satisfiability of the conjunction of `constraints` (each must be
+  /// truthy, i.e. != 0) under `domains`.
+  Sat check(std::span<const expr::Expr* const> constraints,
+            const DomainMap& domains);
+
+  const SolverStats& stats() const noexcept { return stats_; }
+
+ private:
+  using Env = std::unordered_map<const expr::Expr*, Interval>;
+
+  /// Forward interval evaluation under the current environment.
+  Interval ieval(const expr::Expr* e, const Env& env) const;
+
+  /// Backward narrowing: refine leaf domains given that `e` evaluates into
+  /// `target`. Returns false if a domain becomes empty (contradiction).
+  bool narrow(const expr::Expr* e, Interval target, Env& env) const;
+
+  /// Narrowing for "lhs <op> rhs must hold" with op a comparison.
+  bool narrow_cmp_true(expr::Op op, const expr::Expr* e, Env& env) const;
+
+  /// One full propagation pass over all constraints; returns the tri-state
+  /// after narrowing to fixpoint.
+  Sat propagate(std::span<const expr::Expr* const> constraints, Env& env);
+
+  Sat search(std::span<const expr::Expr* const> constraints, Env env,
+             std::uint32_t& budget);
+
+  /// Collects the symbolic leaves of `e` into env with their declared
+  /// domains (idempotent).
+  void seed_leaves(const expr::Expr* e, const DomainMap& domains,
+                   Env& env) const;
+
+  static bool is_leaf(const expr::Expr* e) noexcept;
+
+  Options opts_;
+  SolverStats stats_;
+  /// Set by narrow() when a leaf domain actually shrinks (fixpoint check).
+  mutable bool narrow_changed_ = false;
+};
+
+}  // namespace prog::solver

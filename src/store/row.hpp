@@ -1,0 +1,71 @@
+// Row: the value type of the store — a small, sorted field->int64 map.
+//
+// Rows are immutable once installed in a version chain (shared_ptr<const Row>)
+// so snapshot readers never race with writers installing new versions.
+#pragma once
+
+#include <initializer_list>
+#include <memory>
+#include <utility>
+
+#include "common/check.hpp"
+#include "common/small_map.hpp"
+#include "common/types.hpp"
+
+namespace prog::store {
+
+class Row {
+ public:
+  Row() = default;
+  Row(std::initializer_list<std::pair<FieldId, Value>> fields) {
+    for (const auto& [f, v] : fields) fields_.set(f, v);
+  }
+
+  void set(FieldId f, Value v) { fields_.set(f, v); }
+
+  /// Field value or `fallback` when absent.
+  Value get_or(FieldId f, Value fallback = 0) const {
+    const Value* p = fields_.find(f);
+    return p != nullptr ? *p : fallback;
+  }
+
+  /// Field value; throws UsageError when absent.
+  Value at(FieldId f) const {
+    const Value* p = fields_.find(f);
+    if (p == nullptr) {
+      throw UsageError("Row::at: missing field " + std::to_string(f));
+    }
+    return *p;
+  }
+
+  bool has(FieldId f) const { return fields_.contains(f); }
+
+  /// Overwrites this row's fields with those of `other` (partial update).
+  void merge_from(const Row& other) { fields_.merge_from(other.fields_); }
+
+  std::size_t field_count() const noexcept { return fields_.size(); }
+
+  auto begin() const noexcept { return fields_.begin(); }
+  auto end() const noexcept { return fields_.end(); }
+
+  /// Content hash; order-stable because fields are sorted.
+  std::uint64_t hash() const noexcept {
+    std::uint64_t h = 0xcbf29ce484222325ULL;
+    for (const auto& [f, v] : fields_) {
+      h = mix64(h ^ f);
+      h = mix64(h ^ static_cast<std::uint64_t>(v));
+    }
+    return h;
+  }
+
+  friend bool operator==(const Row&, const Row&) = default;
+
+ private:
+  SmallMap<FieldId, Value> fields_;
+};
+
+using RowPtr = std::shared_ptr<const Row>;
+
+inline RowPtr make_row(Row r) { return std::make_shared<const Row>(std::move(r)); }
+
+}  // namespace prog::store

@@ -1,0 +1,153 @@
+// Multi-versioned key/value store — the RocksDB stand-in.
+//
+// Versions are tagged with the batch that produced them, which is exactly the
+// granularity the deterministic engine needs:
+//   - read-only transactions and the "prepare indirect keys" phase read the
+//     snapshot left by the previous batch (lock-free, always consistent);
+//   - the Calvin baseline prepares against an older snapshot to emulate the
+//     client-side reconnaissance lag;
+//   - update-phase reads see "latest", which is deterministic because the
+//     lock table serializes conflicting writers.
+//
+// The store is sharded; each shard is guarded by a shared_mutex. Within a
+// batch the lock table guarantees write-write exclusion per key, so shard
+// locks only order the map operations themselves.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <optional>
+#include <shared_mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.hpp"
+#include "store/row.hpp"
+
+namespace prog::store {
+
+struct StoreStats {
+  std::atomic<std::uint64_t> gets{0};
+  std::atomic<std::uint64_t> puts{0};
+  std::atomic<std::uint64_t> dels{0};
+};
+
+/// Abstract read interface so the interpreter and the profile predictor can
+/// run against a snapshot, the live head, or a transaction write buffer.
+class ReadView {
+ public:
+  virtual ~ReadView() = default;
+  /// nullptr means "no such record (at this snapshot)".
+  virtual RowPtr get(TKey key) const = 0;
+};
+
+class VersionedStore {
+ public:
+  /// Snapshot id that sees every installed version.
+  static constexpr BatchId kLatest = ~BatchId{0};
+
+  explicit VersionedStore(unsigned shard_count = 64);
+
+  VersionedStore(const VersionedStore&) = delete;
+  VersionedStore& operator=(const VersionedStore&) = delete;
+
+  /// Latest version with batch <= snapshot, or nullptr (absent/tombstone).
+  RowPtr get(TKey key, BatchId snapshot = kLatest) const;
+
+  /// Installs `row` as the version for `batch`. A second put for the same
+  /// (key, batch) replaces it — the lock table serializes such writers.
+  void put(TKey key, Row row, BatchId batch);
+
+  /// Installs a tombstone for `batch`.
+  void del(TKey key, BatchId batch);
+
+  /// Hash of the version (0 when absent) — cheap pivot-validation token.
+  std::uint64_t version_hash(TKey key, BatchId snapshot = kLatest) const;
+
+  /// Drops versions that no snapshot >= `watermark` can observe.
+  void gc_before(BatchId watermark);
+
+  /// Commutative hash of the full visible state at `snapshot`; equal on two
+  /// stores iff the visible key->row maps are equal. Used by the determinism
+  /// and replication tests.
+  std::uint64_t state_hash(BatchId snapshot = kLatest) const;
+
+  /// Copies the state visible at `snapshot` into `dst` as its batch-0
+  /// image (rows are shared, not deep-copied — they are immutable). `dst`
+  /// must be empty. Used to stamp out identical initial states cheaply
+  /// (benchmark trials, replica bootstrap/state transfer).
+  void clone_visible_into(VersionedStore& dst,
+                          BatchId snapshot = kLatest) const;
+
+  /// Number of live (non-tombstone) keys at `snapshot`.
+  std::size_t size(BatchId snapshot = kLatest) const;
+
+  /// Total versions currently retained (GC observability).
+  std::size_t version_count() const;
+
+  /// Emulates a slower backing store (e.g. the paper's RocksDB-over-JNI):
+  /// every get/put/del busy-waits this many nanoseconds. 0 disables.
+  /// Benches use this; tests and loaders leave it off.
+  void set_access_delay_ns(std::uint64_t ns) noexcept {
+    access_delay_ns_.store(ns, std::memory_order_relaxed);
+  }
+
+  const StoreStats& stats() const noexcept { return stats_; }
+
+ private:
+  struct Version {
+    BatchId batch;
+    RowPtr row;  // nullptr == tombstone
+  };
+  struct Chain {
+    std::vector<Version> versions;  // ascending by batch
+  };
+  struct Shard {
+    mutable std::shared_mutex mu;
+    std::unordered_map<TKey, Chain, TKeyHash> map;
+  };
+
+  const Shard& shard_for(TKey key) const {
+    return shards_[TKeyHash{}(key) % shards_.size()];
+  }
+  Shard& shard_for(TKey key) {
+    return shards_[TKeyHash{}(key) % shards_.size()];
+  }
+
+  static const Version* visible(const Chain& chain, BatchId snapshot);
+
+  void access_delay() const;
+
+  std::vector<Shard> shards_;
+  mutable StoreStats stats_;
+  std::atomic<std::uint64_t> access_delay_ns_{0};
+};
+
+/// ReadView pinned to one snapshot of one store.
+class SnapshotView final : public ReadView {
+ public:
+  SnapshotView(const VersionedStore& store, BatchId snapshot)
+      : store_(store), snapshot_(snapshot) {}
+
+  RowPtr get(TKey key) const override { return store_.get(key, snapshot_); }
+  BatchId snapshot() const noexcept { return snapshot_; }
+
+ private:
+  const VersionedStore& store_;
+  BatchId snapshot_;
+};
+
+/// ReadView over the live head of the store.
+class LiveView final : public ReadView {
+ public:
+  explicit LiveView(const VersionedStore& store) : store_(store) {}
+  RowPtr get(TKey key) const override {
+    return store_.get(key, VersionedStore::kLatest);
+  }
+
+ private:
+  const VersionedStore& store_;
+};
+
+}  // namespace prog::store

@@ -1,0 +1,134 @@
+#include "sym/profile.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/check.hpp"
+
+namespace prog::sym {
+
+const char* to_string(TxClass c) noexcept {
+  switch (c) {
+    case TxClass::kReadOnly:
+      return "ROT";
+    case TxClass::kIndependent:
+      return "IT";
+    case TxClass::kDependent:
+      return "DT";
+  }
+  return "?";
+}
+
+namespace {
+
+/// EvalContext over concrete inputs plus lazily resolved pivot rows.
+class PredictCtx final : public expr::EvalContext {
+ public:
+  explicit PredictCtx(const lang::TxInput& input) : input_(input) {}
+
+  Value input(std::uint32_t slot) const override {
+    return input_.scalar(slot);
+  }
+  Value input_elem(std::uint32_t slot, Value index) const override {
+    return input_.elem(slot, index);
+  }
+  Value pivot(std::uint32_t site, FieldId field) const override {
+    auto it = site_rows_.find(site);
+    PROG_CHECK_MSG(it != site_rows_.end(),
+                   "prediction referenced an unresolved pivot site");
+    const store::RowPtr& row = it->second;
+    if (field == lang::kExistsField) return row != nullptr ? 1 : 0;
+    return row != nullptr ? row->get_or(field, 0) : 0;
+  }
+
+  void resolve(std::uint32_t site, store::RowPtr row) {
+    site_rows_[site] = std::move(row);
+  }
+
+ private:
+  const lang::TxInput& input_;
+  std::unordered_map<std::uint32_t, store::RowPtr> site_rows_;
+};
+
+}  // namespace
+
+Prediction TxProfile::predict(const lang::TxInput& input,
+                              const store::ReadView& view) const {
+  PROG_CHECK(root_ != nullptr);
+  Prediction out;
+  PredictCtx ctx(input);
+
+  const ProfileNode* node = root_.get();
+  while (node != nullptr) {
+    for (const GetSite& g : node->seg.gets) {
+      const TKey key{g.table, static_cast<Key>(expr::eval(g.key, ctx))};
+      out.keys.push_back(key);
+      if (used_sites_.contains(g.id)) {
+        store::RowPtr row = view.get(key);
+        out.pivots.push_back({key, observation_hash(row)});
+        ctx.resolve(g.id, std::move(row));
+      }
+    }
+    for (const WriteRef& w : node->seg.writes) {
+      const TKey key{w.table, static_cast<Key>(expr::eval(w.key, ctx))};
+      out.keys.push_back(key);
+      out.write_keys.push_back(key);
+    }
+    if (node->is_leaf()) break;
+    const Value c = expr::eval(node->cond, ctx);
+    node = c != 0 ? node->then_child.get() : node->else_child.get();
+  }
+
+  auto dedup = [](std::vector<TKey>& v) {
+    std::sort(v.begin(), v.end());
+    v.erase(std::unique(v.begin(), v.end()), v.end());
+  };
+  dedup(out.keys);
+  dedup(out.write_keys);
+  return out;
+}
+
+bool TxProfile::validate_pivots(const Prediction& p,
+                                const store::VersionedStore& store,
+                                BatchId snapshot) {
+  for (const PivotObservation& obs : p.pivots) {
+    const store::RowPtr cur = store.get(obs.key, snapshot);
+    if (observation_hash(cur) != obs.version_hash) return false;
+  }
+  return true;
+}
+
+namespace {
+
+void dump_node(const ProfileNode& node, int depth, std::ostringstream& os) {
+  const std::string pad(static_cast<std::size_t>(depth) * 2, ' ');
+  for (const GetSite& g : node.seg.gets) {
+    os << pad << "GET  t" << g.table << " key=" << expr::to_string(g.key)
+       << "  (site " << g.id << ")\n";
+  }
+  for (const WriteRef& w : node.seg.writes) {
+    os << pad << "PUT  t" << w.table << " key=" << expr::to_string(w.key)
+       << '\n';
+  }
+  if (node.is_leaf()) {
+    os << pad << "<leaf>\n";
+    return;
+  }
+  os << pad << "IF " << expr::to_string(node.cond) << '\n';
+  os << pad << "then:\n";
+  if (node.then_child) dump_node(*node.then_child, depth + 1, os);
+  os << pad << "else:\n";
+  if (node.else_child) dump_node(*node.else_child, depth + 1, os);
+}
+
+}  // namespace
+
+std::string TxProfile::dump() const {
+  std::ostringstream os;
+  os << "profile(" << (proc_ != nullptr ? proc_->name : "?") << ") class "
+     << to_string(klass_) << ", " << used_sites_.size() << " pivot site(s)\n";
+  if (root_ != nullptr) dump_node(*root_, 1, os);
+  return os.str();
+}
+
+}  // namespace prog::sym

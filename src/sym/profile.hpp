@@ -1,0 +1,163 @@
+// Transaction profiles — the product of offline symbolic execution.
+//
+// A profile is the paper's tree of <PSC, RWS> pairs (Section III-B): inner
+// nodes carry a branch condition in symbolic form; edges partition the
+// execution paths; every node carries the accesses performed between its
+// parent's condition and its own. Key identities are symbolic expressions
+// over the transaction inputs (direct) and over *pivot* items read from the
+// store (indirect).
+//
+// At run time the profile answers, in one tree walk, "which concrete keys
+// will this invocation touch?" — reading only the pivot items, never running
+// the transaction logic (that is the whole advantage over reconnaissance).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "expr/expr.hpp"
+#include "lang/ast.hpp"
+#include "solver/solver.hpp"
+#include "store/store.hpp"
+
+namespace prog::sym {
+
+/// Paper taxonomy: read-only / independent / dependent transactions.
+enum class TxClass : std::uint8_t { kReadOnly, kIndependent, kDependent };
+
+const char* to_string(TxClass c) noexcept;
+
+/// One GET executed along a path. `id` names the pivot values this site
+/// produces (expr::Op::kPivotField nodes reference it).
+struct GetSite {
+  std::uint32_t id = 0;
+  TableId table = 0;
+  const expr::Expr* key = nullptr;
+};
+
+/// One PUT/DEL executed along a path.
+struct WriteRef {
+  TableId table = 0;
+  const expr::Expr* key = nullptr;
+};
+
+/// Straight-line accesses between two branch points.
+struct Segment {
+  std::vector<GetSite> gets;
+  std::vector<WriteRef> writes;
+};
+
+struct ProfileNode {
+  Segment seg;
+  /// Branch condition; nullptr for leaves.
+  const expr::Expr* cond = nullptr;
+  std::unique_ptr<ProfileNode> then_child;
+  std::unique_ptr<ProfileNode> else_child;
+
+  bool is_leaf() const noexcept { return cond == nullptr; }
+};
+
+/// Offline-analysis cost/shape metrics (Table I of the paper).
+struct SeMetrics {
+  std::uint64_t states_explored = 0;     // tree nodes materialized
+  std::uint64_t states_total_est = 0;    // estimate without optimizations
+  std::uint32_t depth = 0;               // max branch nodes on a path
+  std::uint32_t depth_max = 0;           // incl. concolically skipped branches
+  std::uint64_t unique_key_sets = 0;     // distinct symbolic RWS over leaves
+  std::uint32_t pivot_sites = 0;         // "indirect keys" column
+  std::size_t memory_bytes = 0;
+  double analysis_seconds = 0.0;
+  std::uint64_t merged_branches = 0;     // same-RWS subtree prunes
+  std::uint64_t concolic_skips = 0;      // branches followed concretely
+  std::uint64_t infeasible_paths = 0;    // pruned by the solver
+};
+
+/// Observed pivot value used to validate a prediction at execution time.
+struct PivotObservation {
+  TKey key;
+  std::uint64_t version_hash = 0;  // 0 == absent at the prepare snapshot
+};
+
+/// Content-hash token for pivot observations; 0 is reserved for "absent".
+/// Both predict() and reconnaissance-based predictors must use this so that
+/// validate_pivots compares like with like.
+inline std::uint64_t observation_hash(const store::RowPtr& row) noexcept {
+  return row == nullptr ? 0 : (row->hash() | 1);
+}
+
+/// Concrete key-set prediction for one invocation.
+struct Prediction {
+  std::vector<TKey> keys;        // all accessed keys, sorted, deduplicated
+  std::vector<TKey> write_keys;  // subset that is written (sorted)
+  std::vector<PivotObservation> pivots;  // empty for ITs
+};
+
+/// The complete profile of one stored procedure.
+class TxProfile {
+ public:
+  TxProfile() = default;
+  TxProfile(const TxProfile&) = delete;
+  TxProfile& operator=(const TxProfile&) = delete;
+
+  const lang::Proc& proc() const { return *proc_; }
+  TxClass klass() const noexcept { return klass_; }
+
+  /// False when the analysis hit its state cap; the engine must then fall
+  /// back to reconnaissance-style prediction (paper, Section IV-A).
+  bool complete() const noexcept { return complete_; }
+  const SeMetrics& metrics() const noexcept { return metrics_; }
+  const ProfileNode& root() const { return *root_; }
+
+  /// Tables any path may touch — the NODO-style coarse conflict classes.
+  const std::vector<TableId>& tables_touched() const {
+    return tables_touched_;
+  }
+
+  /// Tables any path may write. The engine intersects these across all
+  /// registered procedures: a table no procedure ever writes is immutable,
+  /// and reads of it need no lock-table entries.
+  const std::vector<TableId>& tables_written() const {
+    return tables_written_;
+  }
+
+  /// Pivot reads one execution performs — max over paths (the paper's
+  /// "indirect keys" column).
+  std::uint32_t pivot_site_count() const noexcept {
+    return metrics_.pivot_sites;
+  }
+
+  /// Predicts the concrete key-set of `input` against `view` (normally the
+  /// snapshot produced by the previous batch). Reads only pivot items.
+  Prediction predict(const lang::TxInput& input,
+                     const store::ReadView& view) const;
+
+  /// Re-checks the recorded pivot observations against `view`; true when
+  /// every pivot still has the same version (the DT may execute safely).
+  static bool validate_pivots(const Prediction& p,
+                              const store::VersionedStore& store,
+                              BatchId snapshot = store::VersionedStore::kLatest);
+
+  /// Multi-line debug rendering of the PSC tree.
+  std::string dump() const;
+
+ private:
+  friend class Profiler;
+  friend class Engine;     // the symbolic-execution engine (symexec.cpp)
+  friend class ProfileIO;  // serialization (serialize.cpp)
+
+  const lang::Proc* proc_ = nullptr;
+  bool complete_ = true;
+  std::unique_ptr<expr::ExprPool> pool_;
+  std::unique_ptr<ProfileNode> root_;
+  TxClass klass_ = TxClass::kIndependent;
+  std::unordered_set<std::uint32_t> used_sites_;  // sites whose value is used
+  std::unordered_map<std::uint32_t, const GetSite*> site_index_;
+  SeMetrics metrics_;
+  std::vector<TableId> tables_touched_;
+  std::vector<TableId> tables_written_;
+};
+
+}  // namespace prog::sym

@@ -1,0 +1,357 @@
+#include "sym/serialize.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <unordered_map>
+#include <vector>
+
+#include "common/check.hpp"
+#include "expr/expr.hpp"
+
+namespace prog::sym {
+
+namespace {
+
+using expr::Expr;
+using expr::ExprPool;
+using expr::Op;
+
+const char* op_name(Op op) {
+  switch (op) {
+    case Op::kAdd: return "add";
+    case Op::kSub: return "sub";
+    case Op::kMul: return "mul";
+    case Op::kDiv: return "div";
+    case Op::kMod: return "mod";
+    case Op::kNeg: return "neg";
+    case Op::kMin: return "min";
+    case Op::kMax: return "max";
+    case Op::kEq: return "eq";
+    case Op::kNe: return "ne";
+    case Op::kLt: return "lt";
+    case Op::kLe: return "le";
+    case Op::kGt: return "gt";
+    case Op::kGe: return "ge";
+    case Op::kAnd: return "and";
+    case Op::kOr: return "or";
+    case Op::kNot: return "not";
+    default: throw InvariantError("op_name: leaf op has no name");
+  }
+}
+
+Op op_from_name(const std::string& s) {
+  static const std::unordered_map<std::string, Op> kMap = {
+      {"add", Op::kAdd}, {"sub", Op::kSub}, {"mul", Op::kMul},
+      {"div", Op::kDiv}, {"mod", Op::kMod}, {"neg", Op::kNeg},
+      {"min", Op::kMin}, {"max", Op::kMax}, {"eq", Op::kEq},
+      {"ne", Op::kNe},   {"lt", Op::kLt},   {"le", Op::kLe},
+      {"gt", Op::kGt},   {"ge", Op::kGe},   {"and", Op::kAnd},
+      {"or", Op::kOr},   {"not", Op::kNot}};
+  auto it = kMap.find(s);
+  if (it == kMap.end()) throw UsageError("profile: unknown operator " + s);
+  return it->second;
+}
+
+}  // namespace
+
+/// Befriended by TxProfile: encodes/decodes its private representation.
+class ProfileIO {
+ public:
+  static std::string write(const TxProfile& p) {
+    PROG_CHECK(p.root_ != nullptr);
+    std::ostringstream os;
+    os << "profile 1 " << p.proc_->name << "\n";
+    os << "class " << to_string(p.klass_) << " complete "
+       << (p.complete_ ? 1 : 0) << "\n";
+    const SeMetrics& m = p.metrics_;
+    os << "metrics " << m.states_explored << ' ' << m.depth << ' '
+       << m.depth_max << ' ' << m.unique_key_sets << ' ' << m.pivot_sites
+       << "\n";
+
+    ProfileIO io;
+    io.collect_node(p.root_.get());
+    for (const auto* e : io.expr_order_) io.write_expr(os, e);
+    std::vector<std::uint32_t> used(p.used_sites_.begin(),
+                                    p.used_sites_.end());
+    std::sort(used.begin(), used.end());
+    os << "used";
+    for (std::uint32_t s : used) os << ' ' << s;
+    os << "\n";
+    io.write_node(os, p.root_.get());
+    os << "root " << io.node_ids_.at(p.root_.get()) << "\n";
+    os << "tables";
+    for (TableId t : p.tables_touched_) os << ' ' << t;
+    os << "\n";
+    os << "written";
+    for (TableId t : p.tables_written_) os << ' ' << t;
+    os << "\n";
+    return os.str();
+  }
+
+  static std::unique_ptr<TxProfile> read(const std::string& text,
+                                         const lang::Proc& proc) {
+    auto profile = std::make_unique<TxProfile>();
+    profile->proc_ = &proc;
+    profile->pool_ = std::make_unique<ExprPool>();
+    ExprPool& pool = *profile->pool_;
+
+    std::istringstream is(text);
+    std::string line;
+    std::vector<const Expr*> exprs;
+    std::unordered_map<int, std::unique_ptr<ProfileNode>> nodes;
+    std::unordered_map<int, std::pair<int, int>> children;  // id -> (t, e)
+    int root_id = -1;
+
+    auto expr_at = [&](int id) -> const Expr* {
+      if (id < 0 || static_cast<std::size_t>(id) >= exprs.size()) {
+        throw UsageError("profile: bad expression reference");
+      }
+      return exprs[static_cast<std::size_t>(id)];
+    };
+
+    while (std::getline(is, line)) {
+      if (line.empty()) continue;
+      std::istringstream ls(line);
+      std::string tag;
+      ls >> tag;
+      if (tag == "profile") {
+        int version = 0;
+        std::string name;
+        ls >> version >> name;
+        if (version != 1) throw UsageError("profile: unsupported version");
+        if (name != proc.name) {
+          throw UsageError("profile was built for procedure '" + name +
+                           "', not '" + proc.name + "'");
+        }
+      } else if (tag == "class") {
+        std::string klass, completeword;
+        int complete = 1;
+        ls >> klass >> completeword >> complete;
+        profile->complete_ = complete != 0;
+        if (klass == "ROT") {
+          profile->klass_ = TxClass::kReadOnly;
+        } else if (klass == "IT") {
+          profile->klass_ = TxClass::kIndependent;
+        } else if (klass == "DT") {
+          profile->klass_ = TxClass::kDependent;
+        } else {
+          throw UsageError("profile: unknown class " + klass);
+        }
+      } else if (tag == "metrics") {
+        SeMetrics& m = profile->metrics_;
+        ls >> m.states_explored >> m.depth >> m.depth_max >>
+            m.unique_key_sets >> m.pivot_sites;
+      } else if (tag == "expr") {
+        int id = 0;
+        std::string kind;
+        ls >> id >> kind;
+        if (static_cast<std::size_t>(id) != exprs.size()) {
+          throw UsageError("profile: expressions must be numbered densely");
+        }
+        if (kind == "const") {
+          Value v = 0;
+          ls >> v;
+          exprs.push_back(pool.constant(v));
+        } else if (kind == "input") {
+          std::uint32_t slot = 0;
+          ls >> slot;
+          exprs.push_back(pool.input(slot));
+        } else if (kind == "elem") {
+          std::uint32_t slot = 0;
+          int idx = 0;
+          ls >> slot >> idx;
+          exprs.push_back(pool.input_elem(slot, expr_at(idx)));
+        } else if (kind == "pivot") {
+          std::uint32_t site = 0;
+          FieldId field = 0;
+          ls >> site >> field;
+          exprs.push_back(pool.pivot_field(site, field));
+        } else if (kind == "op") {
+          std::string name;
+          int a = -1, b = -1;
+          ls >> name >> a;
+          const Op op = op_from_name(name);
+          if (op == Op::kNot) {
+            exprs.push_back(pool.logical_not(expr_at(a)));
+          } else {
+            ls >> b;
+            exprs.push_back(rebuild(pool, op, expr_at(a), expr_at(b)));
+          }
+        } else {
+          throw UsageError("profile: unknown expr kind " + kind);
+        }
+      } else if (tag == "used") {
+        std::uint32_t s = 0;
+        while (ls >> s) profile->used_sites_.insert(s);
+      } else if (tag == "node") {
+        int id = 0;
+        ls >> id;
+        auto node = std::make_unique<ProfileNode>();
+        std::string word;
+        while (ls >> word) {
+          if (word == "get") {
+            GetSite g;
+            int key = -1;
+            ls >> g.id >> g.table >> key;
+            g.key = expr_at(key);
+            node->seg.gets.push_back(g);
+          } else if (word == "put") {
+            WriteRef w;
+            int key = -1;
+            ls >> w.table >> key;
+            w.key = expr_at(key);
+            node->seg.writes.push_back(w);
+          } else if (word == "cond") {
+            int cond = -1, then_id = -1, else_id = -1;
+            std::string tword, eword;
+            ls >> cond >> tword >> then_id >> eword >> else_id;
+            node->cond = expr_at(cond);
+            children[id] = {then_id, else_id};
+          } else {
+            throw UsageError("profile: unknown node item " + word);
+          }
+        }
+        nodes[id] = std::move(node);
+      } else if (tag == "root") {
+        ls >> root_id;
+      } else if (tag == "tables") {
+        TableId t = 0;
+        while (ls >> t) profile->tables_touched_.push_back(t);
+      } else if (tag == "written") {
+        TableId t = 0;
+        while (ls >> t) profile->tables_written_.push_back(t);
+      } else {
+        throw UsageError("profile: unknown record " + tag);
+      }
+    }
+
+    // Link children. Raw pointers stay valid when ownership moves, so the
+    // link order does not matter (each node is the child of at most one
+    // parent and is moved exactly once).
+    std::unordered_map<int, ProfileNode*> raw;
+    for (const auto& [id, node] : nodes) raw[id] = node.get();
+    auto take = [&](int id) -> std::unique_ptr<ProfileNode> {
+      auto it = nodes.find(id);
+      if (it == nodes.end() || it->second == nullptr) {
+        throw UsageError("profile: dangling or doubly-owned node reference");
+      }
+      return std::move(it->second);
+    };
+    for (const auto& [id, kids] : children) {
+      auto parent = raw.find(id);
+      if (parent == raw.end()) {
+        throw UsageError("profile: dangling node reference");
+      }
+      parent->second->then_child = take(kids.first);
+      parent->second->else_child = take(kids.second);
+    }
+    profile->root_ = take(root_id);
+    index_sites(*profile, profile->root_.get());
+    return profile;
+  }
+
+ private:
+  static const Expr* rebuild(ExprPool& pool, Op op, const Expr* a,
+                             const Expr* b) {
+    switch (op) {
+      case Op::kAdd: return pool.add(a, b);
+      case Op::kSub: return pool.sub(a, b);
+      case Op::kMul: return pool.mul(a, b);
+      case Op::kDiv: return pool.div(a, b);
+      case Op::kMod: return pool.mod(a, b);
+      case Op::kMin: return pool.min(a, b);
+      case Op::kMax: return pool.max(a, b);
+      case Op::kAnd: return pool.logical_and(a, b);
+      case Op::kOr: return pool.logical_or(a, b);
+      default: return pool.cmp(op, a, b);
+    }
+  }
+
+  static void index_sites(TxProfile& p, const ProfileNode* n) {
+    for (const GetSite& g : n->seg.gets) p.site_index_[g.id] = &g;
+    if (!n->is_leaf()) {
+      index_sites(p, n->then_child.get());
+      index_sites(p, n->else_child.get());
+    }
+  }
+
+  void collect_expr(const Expr* e) {
+    if (e == nullptr || expr_ids_.contains(e)) return;
+    collect_expr(e->lhs);
+    collect_expr(e->rhs);
+    expr_ids_[e] = static_cast<int>(expr_order_.size());
+    expr_order_.push_back(e);
+  }
+
+  void collect_node(const ProfileNode* n) {
+    node_ids_[n] = static_cast<int>(node_ids_.size());
+    for (const GetSite& g : n->seg.gets) collect_expr(g.key);
+    for (const WriteRef& w : n->seg.writes) collect_expr(w.key);
+    if (!n->is_leaf()) {
+      collect_expr(n->cond);
+      collect_node(n->then_child.get());
+      collect_node(n->else_child.get());
+    }
+  }
+
+  void write_expr(std::ostream& os, const Expr* e) const {
+    os << "expr " << expr_ids_.at(e) << ' ';
+    switch (e->op) {
+      case Op::kConst:
+        os << "const " << e->cval;
+        break;
+      case Op::kInput:
+        os << "input " << e->slot;
+        break;
+      case Op::kInputElem:
+        os << "elem " << e->slot << ' ' << expr_ids_.at(e->lhs);
+        break;
+      case Op::kPivotField:
+        os << "pivot " << e->slot << ' ' << e->field;
+        break;
+      case Op::kNot:
+        os << "op not " << expr_ids_.at(e->lhs);
+        break;
+      default:
+        os << "op " << op_name(e->op) << ' ' << expr_ids_.at(e->lhs) << ' '
+           << expr_ids_.at(e->rhs);
+        break;
+    }
+    os << "\n";
+  }
+
+  void write_node(std::ostream& os, const ProfileNode* n) const {
+    os << "node " << node_ids_.at(n);
+    for (const GetSite& g : n->seg.gets) {
+      os << " get " << g.id << ' ' << g.table << ' ' << expr_ids_.at(g.key);
+    }
+    for (const WriteRef& w : n->seg.writes) {
+      os << " put " << w.table << ' ' << expr_ids_.at(w.key);
+    }
+    if (!n->is_leaf()) {
+      os << " cond " << expr_ids_.at(n->cond) << " then "
+         << node_ids_.at(n->then_child.get()) << " else "
+         << node_ids_.at(n->else_child.get());
+    }
+    os << "\n";
+    if (!n->is_leaf()) {
+      write_node(os, n->then_child.get());
+      write_node(os, n->else_child.get());
+    }
+  }
+
+  std::unordered_map<const Expr*, int> expr_ids_;
+  std::vector<const Expr*> expr_order_;
+  std::unordered_map<const ProfileNode*, int> node_ids_;
+};
+
+std::string serialize(const TxProfile& profile) {
+  return ProfileIO::write(profile);
+}
+
+std::unique_ptr<TxProfile> deserialize(const std::string& text,
+                                       const lang::Proc& proc) {
+  return ProfileIO::read(text, proc);
+}
+
+}  // namespace prog::sym

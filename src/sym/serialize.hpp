@@ -1,0 +1,41 @@
+// Transaction-profile serialization.
+//
+// The paper's SE analysis is an offline step run once per application
+// version; its product — the transaction profiles — is shipped to every
+// client and replica. This module gives that artifact a durable form: a
+// line-oriented text encoding of the expression DAG and PSC tree that
+// round-trips exactly (deserialize(serialize(p)) predicts identically).
+//
+// Format (one record per line):
+//   profile <format-version> <proc-name>
+//   class <ROT|IT|DT> complete <0|1>
+//   metrics <states> <depth> <depthmax> <keysets> <pivots>
+//   expr <id> const <value>
+//   expr <id> input <slot>
+//   expr <id> elem <slot> <index-expr-id>
+//   expr <id> pivot <site> <field>
+//   expr <id> op <opcode> <lhs-id> [<rhs-id>]
+//   used <site>...
+//   node <id> [get <site> <table> <key-expr>]... [put <table> <key-expr>]...
+//             [cond <expr> then <node> else <node>]
+//   root <node-id>
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "lang/ast.hpp"
+#include "sym/profile.hpp"
+
+namespace prog::sym {
+
+/// Serializes `profile` to the text form above.
+std::string serialize(const TxProfile& profile);
+
+/// Reconstructs a profile for `proc` (which must be the same procedure the
+/// profile was built from — the name is checked). Throws UsageError on
+/// malformed input.
+std::unique_ptr<TxProfile> deserialize(const std::string& text,
+                                       const lang::Proc& proc);
+
+}  // namespace prog::sym

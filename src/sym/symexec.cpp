@@ -1,0 +1,726 @@
+#include "sym/symexec.hpp"
+
+#include <algorithm>
+#include <set>
+#include <unordered_map>
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/stopwatch.hpp"
+
+namespace prog::sym {
+
+namespace {
+
+using expr::Expr;
+using lang::EKind;
+using lang::ExprId;
+using lang::Proc;
+using lang::SExpr;
+using lang::SKind;
+using lang::Stmt;
+
+/// Thrown when the analysis exceeds its state cap.
+struct CapExceeded {};
+
+/// What a row-handle variable currently denotes on a path.
+struct HandleRef {
+  enum class Kind : std::uint8_t { kNone, kSite, kOverlay };
+  Kind kind = Kind::kNone;
+  std::uint32_t idx = 0;  // site id or overlay index
+};
+
+/// A symbolic write buffered on the current path (read-own-write support).
+struct OverlayRow {
+  TableId table = 0;
+  const Expr* key = nullptr;  // syntactic identity (hash-consed pointer)
+  SmallMap<FieldId, const Expr*> fields;
+  bool tombstone = false;
+  bool has_base_site = false;
+  std::uint32_t base_site = 0;  // pre-write snapshot fall-through
+};
+
+/// Continuation frames of the symbolic interpreter. Block frames walk a
+/// statement list; loop frames re-test the guard after each unrolled body.
+struct FrameB {
+  const std::vector<Stmt>* block = nullptr;
+  std::size_t idx = 0;
+};
+struct FrameL {
+  const Stmt* stmt = nullptr;
+  std::int64_t iter = 0;
+};
+struct Frame {
+  enum class Kind : std::uint8_t { kBlock, kLoop } kind = Kind::kBlock;
+  FrameB b;
+  FrameL l;
+  static Frame block(const std::vector<Stmt>* blk) {
+    Frame f;
+    f.kind = Kind::kBlock;
+    f.b = {blk, 0};
+    return f;
+  }
+  static Frame loop(const Stmt* s) {
+    Frame f;
+    f.kind = Kind::kLoop;
+    f.l = {s, 0};
+    return f;
+  }
+};
+
+}  // namespace
+
+// Engine and its helpers live at namespace scope (not the anonymous
+// namespace) so TxProfile can befriend the engine.
+struct SiteKey {
+  TableId table;
+  const Expr* key;
+  friend bool operator==(const SiteKey&, const SiteKey&) = default;
+};
+struct SiteKeyHash {
+  std::size_t operator()(const SiteKey& k) const noexcept {
+    return static_cast<std::size_t>(
+        mix64(reinterpret_cast<std::uintptr_t>(k.key) ^
+              (std::uint64_t{k.table} << 48)));
+  }
+};
+
+struct SymState {
+  std::vector<const Expr*> vars;
+  std::vector<Value> cvars;  // concrete shadow (concolic execution)
+  std::vector<HandleRef> handles;
+  std::vector<OverlayRow> overlay;
+  std::vector<const Expr*> path;  // accumulated path constraints
+  std::vector<Frame> frames;
+  /// (table, key expr) -> site id: reuse GET sites for repeated reads.
+  std::unordered_map<SiteKey, std::uint32_t, SiteKeyHash> site_cache;
+  std::uint32_t depth = 0;      // materialized fork nodes on this path
+  std::uint32_t depth_max = 0;  // plus concolically skipped branches
+  std::uint32_t skips = 0;      // concolic skips on this path
+};
+
+class Engine {
+ public:
+  Engine(const Proc& proc, const Profiler::Options& opts)
+      : proc_(proc),
+        opts_(opts),
+        relevance_(lang::analyze_relevance(proc)),
+        solver_(opts.solver_opts) {
+    pool_ = std::make_unique<expr::ExprPool>();
+    // Declared parameter domains feed the feasibility solver.
+    for (std::uint32_t i = 0; i < proc.params.size(); ++i) {
+      const lang::Param& p = proc.params[i];
+      if (!p.is_array) {
+        domains_.declare(pool_->input(i), {p.lo, p.hi});
+      }
+    }
+  }
+
+  std::unique_ptr<TxProfile> run() {
+    auto profile = std::make_unique<TxProfile>();
+    Stopwatch timer;
+
+    root_ = std::make_unique<ProfileNode>();
+    ++nodes_created_;
+
+    SymState st;
+    st.vars.resize(proc_.var_types.size(), pool_->constant(0));
+    st.cvars.resize(proc_.var_types.size(), 0);
+    st.handles.resize(proc_.var_types.size());
+    st.frames.push_back(Frame::block(&proc_.body));
+
+    bool capped = false;
+    try {
+      exec(std::move(st), root_.get());
+    } catch (const CapExceeded&) {
+      capped = true;
+    }
+
+    metrics_.states_explored = nodes_created_;
+    metrics_.analysis_seconds = timer.elapsed_seconds();
+
+    profile->proc_ = &proc_;
+    profile->complete_ = !capped;
+    profile->root_ = std::move(root_);
+    finalize(*profile);
+    metrics_.memory_bytes =
+        pool_->memory_bytes() + nodes_created_ * sizeof(ProfileNode);
+    profile->metrics_ = metrics_;
+    profile->pool_ = std::move(pool_);
+    return profile;
+  }
+
+ private:
+  // --- symbolic expression evaluation ------------------------------------
+
+  const Expr* seval(ExprId id, SymState& st) {
+    const SExpr& e = proc_.expr(id);
+    switch (e.kind) {
+      case EKind::kConst:
+        return pool_->constant(e.cval);
+      case EKind::kParam:
+        return pool_->input(e.param);
+      case EKind::kParamElem: {
+        const Expr* idx = seval(e.a, st);
+        const Expr* elem = pool_->input_elem(e.param, idx);
+        const lang::Param& p = proc_.params[e.param];
+        domains_.declare(elem, {p.lo, p.hi});
+        return elem;
+      }
+      case EKind::kVar:
+        return st.vars[e.var];
+      case EKind::kField:
+        return field_of(st, e.var, e.field);
+      case EKind::kAdd:
+        return pool_->add(seval(e.a, st), seval(e.b, st));
+      case EKind::kSub:
+        return pool_->sub(seval(e.a, st), seval(e.b, st));
+      case EKind::kMul:
+        return pool_->mul(seval(e.a, st), seval(e.b, st));
+      case EKind::kDiv:
+        return pool_->div(seval(e.a, st), seval(e.b, st));
+      case EKind::kMod:
+        return pool_->mod(seval(e.a, st), seval(e.b, st));
+      case EKind::kMin:
+        return pool_->min(seval(e.a, st), seval(e.b, st));
+      case EKind::kMax:
+        return pool_->max(seval(e.a, st), seval(e.b, st));
+      case EKind::kEq:
+        return pool_->cmp(expr::Op::kEq, seval(e.a, st), seval(e.b, st));
+      case EKind::kNe:
+        return pool_->cmp(expr::Op::kNe, seval(e.a, st), seval(e.b, st));
+      case EKind::kLt:
+        return pool_->cmp(expr::Op::kLt, seval(e.a, st), seval(e.b, st));
+      case EKind::kLe:
+        return pool_->cmp(expr::Op::kLe, seval(e.a, st), seval(e.b, st));
+      case EKind::kGt:
+        return pool_->cmp(expr::Op::kGt, seval(e.a, st), seval(e.b, st));
+      case EKind::kGe:
+        return pool_->cmp(expr::Op::kGe, seval(e.a, st), seval(e.b, st));
+      case EKind::kAnd:
+        return pool_->logical_and(seval(e.a, st), seval(e.b, st));
+      case EKind::kOr:
+        return pool_->logical_or(seval(e.a, st), seval(e.b, st));
+      case EKind::kNot:
+        return pool_->logical_not(seval(e.a, st));
+    }
+    throw InvariantError("seval: unknown expression kind");
+  }
+
+  const Expr* field_of(SymState& st, VarId handle_var, FieldId field) {
+    const HandleRef h = st.handles[handle_var];
+    switch (h.kind) {
+      case HandleRef::Kind::kNone:
+        // Field of a never-assigned handle: absent row semantics.
+        return pool_->constant(0);
+      case HandleRef::Kind::kSite:
+        return pool_->pivot_field(h.idx, field);
+      case HandleRef::Kind::kOverlay: {
+        OverlayRow& row = st.overlay[h.idx];
+        if (row.tombstone) return pool_->constant(0);
+        if (field == lang::kExistsField) return pool_->constant(1);
+        if (const auto* v = row.fields.find(field); v != nullptr) return *v;
+        // Unwritten field falls through to the pre-write snapshot value.
+        if (!row.has_base_site) {
+          row.base_site = new_site(st, row.table, row.key);
+          row.has_base_site = true;
+        }
+        return pool_->pivot_field(row.base_site, field);
+      }
+    }
+    throw InvariantError("field_of: bad handle");
+  }
+
+  // --- concrete shadow evaluation (concolic) ------------------------------
+
+  Value ceval(ExprId id, const SymState& st) const {
+    const SExpr& e = proc_.expr(id);
+    switch (e.kind) {
+      case EKind::kConst:
+        return e.cval;
+      case EKind::kParam:
+        return seed_scalar(e.param);
+      case EKind::kParamElem:
+        return seed_scalar(e.param);
+      case EKind::kVar:
+        return st.cvars[e.var];
+      case EKind::kField:
+        return e.field == lang::kExistsField ? 1 : opts_.concrete_seed;
+      case EKind::kAdd:
+        return ceval(e.a, st) + ceval(e.b, st);
+      case EKind::kSub:
+        return ceval(e.a, st) - ceval(e.b, st);
+      case EKind::kMul:
+        return ceval(e.a, st) * ceval(e.b, st);
+      case EKind::kDiv: {
+        const Value d = ceval(e.b, st);
+        return d == 0 ? 0 : ceval(e.a, st) / d;
+      }
+      case EKind::kMod: {
+        const Value d = ceval(e.b, st);
+        return d == 0 ? 0 : ceval(e.a, st) % d;
+      }
+      case EKind::kMin:
+        return std::min(ceval(e.a, st), ceval(e.b, st));
+      case EKind::kMax:
+        return std::max(ceval(e.a, st), ceval(e.b, st));
+      case EKind::kEq:
+        return ceval(e.a, st) == ceval(e.b, st);
+      case EKind::kNe:
+        return ceval(e.a, st) != ceval(e.b, st);
+      case EKind::kLt:
+        return ceval(e.a, st) < ceval(e.b, st);
+      case EKind::kLe:
+        return ceval(e.a, st) <= ceval(e.b, st);
+      case EKind::kGt:
+        return ceval(e.a, st) > ceval(e.b, st);
+      case EKind::kGe:
+        return ceval(e.a, st) >= ceval(e.b, st);
+      case EKind::kAnd:
+        return (ceval(e.a, st) != 0 && ceval(e.b, st) != 0) ? 1 : 0;
+      case EKind::kOr:
+        return (ceval(e.a, st) != 0 || ceval(e.b, st) != 0) ? 1 : 0;
+      case EKind::kNot:
+        return ceval(e.a, st) == 0 ? 1 : 0;
+    }
+    throw InvariantError("ceval: unknown expression kind");
+  }
+
+  Value seed_scalar(std::uint32_t param) const {
+    const lang::Param& p = proc_.params[param];
+    return p.lo + (p.hi - p.lo) / 2;
+  }
+
+  // --- site management -----------------------------------------------------
+
+  std::uint32_t new_site(SymState& st, TableId table, const Expr* key) {
+    // Reuse an existing site for the same (table, key expr) on this path.
+    const SiteKey ck{table, key};
+    if (auto it = st.site_cache.find(ck); it != st.site_cache.end()) {
+      return it->second;
+    }
+    const std::uint32_t id = next_site_++;
+    current_->seg.gets.push_back({id, table, key});
+    st.site_cache.emplace(ck, id);
+    return id;
+  }
+
+  // --- main DFS loop -------------------------------------------------------
+
+  void exec(SymState st, ProfileNode* node) {
+    current_ = node;
+    for (;;) {
+      if (st.frames.empty()) {
+        leaf(st);
+        return;
+      }
+      Frame& f = st.frames.back();
+      if (f.kind == Frame::Kind::kBlock) {
+        if (f.b.idx >= f.b.block->size()) {
+          st.frames.pop_back();
+          continue;
+        }
+        const Stmt& s = (*f.b.block)[f.b.idx++];
+        if (!step(s, st, node)) return;  // step forked and finished both sides
+      } else {
+        const Stmt& s = *f.l.stmt;
+        if (f.l.iter > 0) {
+          // i = i + 1 before re-testing the guard.
+          st.vars[s.var] = pool_->add(st.vars[s.var], pool_->constant(1));
+          st.cvars[s.var] = st.cvars[s.var] + 1;
+        }
+        PROG_CHECK_MSG(f.l.iter <= s.max_iters,
+                       "symbolic loop exceeded its static bound in " +
+                           proc_.name);
+        ++f.l.iter;
+        const Expr* guard =
+            pool_->cmp(expr::Op::kLt, st.vars[s.var], seval(s.b, st));
+        const bool cguard = st.cvars[s.var] < ceval(s.b, st);
+        // then: run the body once more (loop frame stays); else: exit loop.
+        if (!branch(
+                st, node, guard, cguard, relevance_.is_forking(s),
+                [&](SymState& next) {
+                  next.frames.push_back(Frame::block(&s.body));
+                },
+                [&](SymState& next) { next.frames.pop_back(); })) {
+          return;
+        }
+        node = current_;
+      }
+    }
+  }
+
+  /// Executes one statement. Returns false when the statement forked and
+  /// completed both subtrees (the caller's path is finished).
+  bool step(const Stmt& s, SymState& st, ProfileNode*& node) {
+    switch (s.kind) {
+      case SKind::kAssign:
+        st.vars[s.var] = seval(s.a, st);
+        st.cvars[s.var] = ceval(s.a, st);
+        return true;
+      case SKind::kGet: {
+        const Expr* key = seval(s.a, st);
+        // Read-own-write: a GET whose key matches a buffered PUT/DEL sees
+        // the overlay, not a fresh pivot site.
+        for (std::size_t i = st.overlay.size(); i-- > 0;) {
+          if (st.overlay[i].table == s.table && st.overlay[i].key == key) {
+            st.handles[s.var] = {HandleRef::Kind::kOverlay,
+                                 static_cast<std::uint32_t>(i)};
+            return true;
+          }
+        }
+        const std::uint32_t site = new_site(st, s.table, key);
+        st.handles[s.var] = {HandleRef::Kind::kSite, site};
+        return true;
+      }
+      case SKind::kPut: {
+        const Expr* key = seval(s.a, st);
+        OverlayRow row;
+        row.table = s.table;
+        row.key = key;
+        // Merge over a previous buffered write to the same key expr.
+        for (std::size_t i = st.overlay.size(); i-- > 0;) {
+          if (st.overlay[i].table == s.table && st.overlay[i].key == key) {
+            if (!st.overlay[i].tombstone) row = st.overlay[i];
+            break;
+          }
+        }
+        row.tombstone = false;
+        for (const auto& [field, eid] : s.fields) {
+          row.fields.set(field, seval(eid, st));
+        }
+        if (auto it = st.site_cache.find(SiteKey{s.table, key});
+            it != st.site_cache.end() && !row.has_base_site) {
+          row.has_base_site = true;
+          row.base_site = it->second;
+        }
+        st.overlay.push_back(std::move(row));
+        current_->seg.writes.push_back({s.table, key});
+        return true;
+      }
+      case SKind::kDel: {
+        const Expr* key = seval(s.a, st);
+        OverlayRow row;
+        row.table = s.table;
+        row.key = key;
+        row.tombstone = true;
+        st.overlay.push_back(std::move(row));
+        current_->seg.writes.push_back({s.table, key});
+        return true;
+      }
+      case SKind::kIf: {
+        const Expr* cond = seval(s.a, st);
+        const bool ccond = ceval(s.a, st) != 0;
+        return branch(
+            st, node, cond, ccond, relevance_.is_forking(s),
+            [&](SymState& next) {
+              if (!s.body.empty()) {
+                next.frames.push_back(Frame::block(&s.body));
+              }
+            },
+            [&](SymState& next) {
+              if (!s.else_body.empty()) {
+                next.frames.push_back(Frame::block(&s.else_body));
+              }
+            });
+      }
+      case SKind::kFor: {
+        st.vars[s.var] = seval(s.a, st);
+        st.cvars[s.var] = ceval(s.a, st);
+        st.frames.push_back(Frame::loop(&s));
+        return true;
+      }
+      case SKind::kAbortIf:
+        // Profiles over-approximate: the abort path's accesses are a subset
+        // of the continue path's, so locking the latter is always safe.
+        return true;
+      case SKind::kEmit:
+        return true;
+    }
+    throw InvariantError("step: unknown statement kind");
+  }
+
+  /// Handles a two-way branch on `cond`. then_fn/else_fn adjust the state's
+  /// continuation for the respective side. Returns false when both sides
+  /// were explored recursively (the current path is complete).
+  template <typename ThenFn, typename ElseFn>
+  bool branch(SymState& st, ProfileNode*& node, const Expr* cond, bool ccond,
+              bool forking, const ThenFn& then_fn, const ElseFn& else_fn) {
+    if (cond->is_const()) {
+      if (cond->cval != 0) {
+        then_fn(st);
+      } else {
+        else_fn(st);
+      }
+      return true;
+    }
+    if (opts_.use_relevance && !forking) {
+      // Irrelevant branch: both sides provably produce the same RWS; follow
+      // the concrete shadow, record the would-have-forked depth.
+      ++metrics_.concolic_skips;
+      ++st.skips;
+      ++st.depth_max;
+      if (ccond) {
+        then_fn(st);
+      } else {
+        else_fn(st);
+      }
+      return true;
+    }
+
+    const Expr* not_cond = pool_->logical_not(cond);
+    bool go_then = true;
+    bool go_else = true;
+    if (opts_.use_solver) {
+      st.path.push_back(cond);
+      go_then = solver_.check(st.path, domains_) != solver::Sat::kUnsat;
+      st.path.back() = not_cond;
+      go_else = solver_.check(st.path, domains_) != solver::Sat::kUnsat;
+      st.path.pop_back();
+    }
+
+    if (go_then && !go_else) {
+      ++metrics_.infeasible_paths;
+      st.path.push_back(cond);
+      then_fn(st);
+      return true;
+    }
+    if (!go_then && go_else) {
+      ++metrics_.infeasible_paths;
+      st.path.push_back(not_cond);
+      else_fn(st);
+      return true;
+    }
+    if (!go_then && !go_else) {
+      // Contradictory path constraint (possible under solver approximation):
+      // terminate this path without a leaf.
+      ++metrics_.infeasible_paths;
+      return false;
+    }
+
+    // Real fork: materialize a tree node and explore both sides DFS.
+    if (nodes_created_ + 2 > opts_.max_states) throw CapExceeded{};
+    node->cond = cond;
+    node->then_child = std::make_unique<ProfileNode>();
+    node->else_child = std::make_unique<ProfileNode>();
+    nodes_created_ += 2;
+
+    SymState then_st = st;  // copy for the first side
+    then_st.path.push_back(cond);
+    ++then_st.depth;
+    ++then_st.depth_max;
+    then_fn(then_st);
+    exec(std::move(then_st), node->then_child.get());
+
+    SymState else_st = std::move(st);
+    else_st.path.push_back(not_cond);
+    ++else_st.depth;
+    ++else_st.depth_max;
+    else_fn(else_st);
+    exec(std::move(else_st), node->else_child.get());
+
+    if (opts_.merge_subtrees) try_merge(node);
+    return false;
+  }
+
+  void leaf(const SymState& st) {
+    metrics_.depth = std::max(metrics_.depth, st.depth);
+    metrics_.depth_max = std::max(metrics_.depth_max, st.depth_max);
+    const std::uint32_t shift = std::min<std::uint32_t>(st.skips, 62);
+    metrics_.states_total_est += std::uint64_t{1} << shift;
+  }
+
+  // --- subtree merging ------------------------------------------------------
+
+  /// Structural equality of expressions up to a pivot-site bijection built
+  /// incrementally in `map` (then-side site -> else-side site).
+  bool expr_equal(const Expr* a, const Expr* b,
+                  const std::unordered_map<std::uint32_t, std::uint32_t>& map)
+      const {
+    if (a == b) return true;
+    if (a == nullptr || b == nullptr) return false;
+    if (a->op != b->op || a->cval != b->cval || a->field != b->field) {
+      return false;
+    }
+    if (a->op == expr::Op::kPivotField) {
+      auto it = map.find(a->slot);
+      const std::uint32_t translated = it != map.end() ? it->second : a->slot;
+      return translated == b->slot;
+    }
+    if (a->slot != b->slot) return false;
+    return expr_equal(a->lhs, b->lhs, map) && expr_equal(a->rhs, b->rhs, map);
+  }
+
+  bool subtree_equal(const ProfileNode* a, const ProfileNode* b,
+                     std::unordered_map<std::uint32_t, std::uint32_t>& map)
+      const {
+    if (a->seg.gets.size() != b->seg.gets.size() ||
+        a->seg.writes.size() != b->seg.writes.size()) {
+      return false;
+    }
+    for (std::size_t i = 0; i < a->seg.gets.size(); ++i) {
+      const GetSite& ga = a->seg.gets[i];
+      const GetSite& gb = b->seg.gets[i];
+      if (ga.table != gb.table || !expr_equal(ga.key, gb.key, map)) {
+        return false;
+      }
+      map[ga.id] = gb.id;
+    }
+    for (std::size_t i = 0; i < a->seg.writes.size(); ++i) {
+      const WriteRef& wa = a->seg.writes[i];
+      const WriteRef& wb = b->seg.writes[i];
+      if (wa.table != wb.table || !expr_equal(wa.key, wb.key, map)) {
+        return false;
+      }
+    }
+    if (a->is_leaf() != b->is_leaf()) return false;
+    if (a->is_leaf()) return true;
+    if (!expr_equal(a->cond, b->cond, map)) return false;
+    return subtree_equal(a->then_child.get(), b->then_child.get(), map) &&
+           subtree_equal(a->else_child.get(), b->else_child.get(), map);
+  }
+
+  void try_merge(ProfileNode* node) {
+    std::unordered_map<std::uint32_t, std::uint32_t> map;
+    if (!subtree_equal(node->then_child.get(), node->else_child.get(), map)) {
+      return;
+    }
+    // Both outcomes access the same data: prune the fork, hoist the
+    // then-subtree into the parent (paper: "the left and right branches are
+    // pruned and their RWSs are added to the ones of the parent node").
+    ++metrics_.merged_branches;
+    std::unique_ptr<ProfileNode> keep = std::move(node->then_child);
+    node->seg.gets.insert(node->seg.gets.end(), keep->seg.gets.begin(),
+                          keep->seg.gets.end());
+    node->seg.writes.insert(node->seg.writes.end(), keep->seg.writes.begin(),
+                            keep->seg.writes.end());
+    node->cond = keep->cond;
+    node->then_child = std::move(keep->then_child);
+    node->else_child = std::move(keep->else_child);
+  }
+
+  // --- finalization ----------------------------------------------------------
+
+  void collect_used_sites(const ProfileNode* n,
+                          std::unordered_set<std::uint32_t>& used) const {
+    for (const GetSite& g : n->seg.gets) {
+      expr::collect_pivot_sites(g.key, used);
+    }
+    for (const WriteRef& w : n->seg.writes) {
+      expr::collect_pivot_sites(w.key, used);
+    }
+    if (!n->is_leaf()) {
+      expr::collect_pivot_sites(n->cond, used);
+      collect_used_sites(n->then_child.get(), used);
+      collect_used_sites(n->else_child.get(), used);
+    }
+  }
+
+  void key_sets(const ProfileNode* n, std::vector<std::uint64_t>& acc,
+                std::set<std::vector<std::uint64_t>>& out) const {
+    const std::size_t mark = acc.size();
+    for (const GetSite& g : n->seg.gets) {
+      acc.push_back((std::uint64_t{g.table} << 33) | (g.key->id << 1));
+    }
+    for (const WriteRef& w : n->seg.writes) {
+      acc.push_back((std::uint64_t{w.table} << 33) | (w.key->id << 1) | 1);
+    }
+    if (n->is_leaf()) {
+      std::vector<std::uint64_t> sorted = acc;
+      std::sort(sorted.begin(), sorted.end());
+      sorted.erase(std::unique(sorted.begin(), sorted.end()), sorted.end());
+      out.insert(std::move(sorted));
+    } else {
+      key_sets(n->then_child.get(), acc, out);
+      key_sets(n->else_child.get(), acc, out);
+    }
+    acc.resize(mark);
+  }
+
+  void collect_tables(const ProfileNode* n, std::set<TableId>& reads,
+                      std::set<TableId>& writes) const {
+    for (const GetSite& g : n->seg.gets) reads.insert(g.table);
+    for (const WriteRef& w : n->seg.writes) writes.insert(w.table);
+    if (!n->is_leaf()) {
+      collect_tables(n->then_child.get(), reads, writes);
+      collect_tables(n->else_child.get(), reads, writes);
+    }
+  }
+
+  bool has_writes(const ProfileNode* n) const {
+    if (!n->seg.writes.empty()) return true;
+    if (n->is_leaf()) return false;
+    return has_writes(n->then_child.get()) || has_writes(n->else_child.get());
+  }
+
+  void index_sites(const ProfileNode* n, TxProfile& p) const {
+    for (const GetSite& g : n->seg.gets) p.site_index_[g.id] = &g;
+    if (!n->is_leaf()) {
+      index_sites(n->then_child.get(), p);
+      index_sites(n->else_child.get(), p);
+    }
+  }
+
+  void finalize(TxProfile& p) {
+    const ProfileNode* root = p.root_.get();
+    collect_used_sites(root, p.used_sites_);
+    index_sites(root, p);
+
+    std::set<TableId> reads, writes;
+    collect_tables(root, reads, writes);
+    reads.insert(writes.begin(), writes.end());
+    p.tables_touched_.assign(reads.begin(), reads.end());
+    p.tables_written_.assign(writes.begin(), writes.end());
+
+    std::set<std::vector<std::uint64_t>> sets;
+    std::vector<std::uint64_t> acc;
+    key_sets(root, acc, sets);
+    metrics_.unique_key_sets = sets.size();
+    // The paper's "indirect keys" column counts the pivot reads one
+    // execution performs, i.e. the maximum over root-to-leaf paths (the
+    // tree duplicates suffixes, so the global distinct-site count would
+    // overstate it).
+    metrics_.pivot_sites = max_path_pivots(root, p.used_sites_);
+
+    if (!p.complete_) {
+      // Capped analysis: conservatively dependent; the engine must use
+      // reconnaissance for this procedure.
+      p.klass_ = TxClass::kDependent;
+    } else if (!has_writes(root)) {
+      p.klass_ = TxClass::kReadOnly;
+    } else if (p.used_sites_.empty()) {
+      p.klass_ = TxClass::kIndependent;
+    } else {
+      p.klass_ = TxClass::kDependent;
+    }
+  }
+
+  std::uint32_t max_path_pivots(
+      const ProfileNode* n,
+      const std::unordered_set<std::uint32_t>& used) const {
+    std::uint32_t here = 0;
+    for (const GetSite& g : n->seg.gets) here += used.contains(g.id) ? 1 : 0;
+    if (n->is_leaf()) return here;
+    return here + std::max(max_path_pivots(n->then_child.get(), used),
+                           max_path_pivots(n->else_child.get(), used));
+  }
+
+  const Proc& proc_;
+  const Profiler::Options& opts_;
+  lang::Relevance relevance_;
+  solver::Solver solver_;
+  solver::DomainMap domains_;
+  std::unique_ptr<expr::ExprPool> pool_;
+  std::unique_ptr<ProfileNode> root_;
+  ProfileNode* current_ = nullptr;
+  std::uint32_t next_site_ = 0;
+  std::uint64_t nodes_created_ = 0;
+  SeMetrics metrics_;
+};
+
+std::unique_ptr<TxProfile> Profiler::profile(const lang::Proc& proc,
+                                             const Options& opts) {
+  return Engine(proc, opts).run();
+}
+
+}  // namespace prog::sym

@@ -1,0 +1,60 @@
+// The symbolic executor (JPF / Symbolic PathFinder stand-in).
+//
+// Profiler::profile() interprets a DSL procedure with symbolic values,
+// exploring the execution paths depth-first and materializing the profile
+// tree. It implements the paper's three state-explosion countermeasures
+// (Section III-B):
+//   1. solver-based infeasible-path pruning — a branch side whose path
+//      constraint is UNSAT is folded away;
+//   2. concolic execution of *irrelevant* branches — conditionals that the
+//      static relevance analysis proves cannot affect the RWS are followed
+//      on a single concrete path;
+//   3. same-RWS subtree merging at backtrack time — if both sides of a fork
+//      produced equal subtrees (up to a consistent renaming of pivot sites),
+//      the fork is pruned and the subtree hoisted into the parent.
+//
+// Loops are unrolled against their declared static bound; the per-iteration
+// guard is an ordinary branch, so a loop whose trip count is a bounded
+// symbolic input yields one path-set per trip count (and the linear-form
+// folding in ExprPool::cmp collapses guards like (next-20+k) < next that do
+// not actually depend on the symbolic state).
+#pragma once
+
+#include <memory>
+
+#include "lang/ast.hpp"
+#include "lang/relevance.hpp"
+#include "solver/solver.hpp"
+#include "sym/profile.hpp"
+
+namespace prog::sym {
+
+class Profiler {
+ public:
+  struct Options {
+    /// Concolic execution of irrelevant branches (optimization 2).
+    bool use_relevance = true;
+    /// Same-RWS subtree merging (optimization 3).
+    bool merge_subtrees = true;
+    /// Infeasible-path pruning (optimization 1). When off, both sides of
+    /// every symbolic branch are explored.
+    bool use_solver = true;
+    /// Tree-node cap; beyond it the profile is marked incomplete and the
+    /// engine falls back to reconnaissance (paper, Section IV-A).
+    std::uint64_t max_states = 1u << 21;
+    /// Shadow value fed to concrete evaluation of pivot fields.
+    Value concrete_seed = 1;
+    solver::Solver::Options solver_opts = {};
+  };
+
+  /// Analyzes `proc` and returns its transaction profile. The profile keeps
+  /// a pointer to `proc`, which must outlive it.
+  static std::unique_ptr<TxProfile> profile(const lang::Proc& proc,
+                                            const Options& opts);
+
+  static std::unique_ptr<TxProfile> profile(const lang::Proc& proc) {
+    return profile(proc, Options{});
+  }
+};
+
+}  // namespace prog::sym

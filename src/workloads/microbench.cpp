@@ -1,0 +1,112 @@
+#include "workloads/microbench.hpp"
+
+#include <cmath>
+
+#include "common/check.hpp"
+#include "lang/builder.hpp"
+
+namespace prog::workloads::micro {
+
+Zipf::Zipf(std::int64_t n, double theta) : n_(n), theta_(theta) {
+  PROG_CHECK(n > 0);
+  if (theta_ <= 0.0) {
+    alpha_ = zetan_ = eta_ = 0.0;
+    return;
+  }
+  double zetan = 0.0;
+  // Exact zeta for small n, sampled approximation for large n (the sampler
+  // only needs a few digits of precision).
+  const std::int64_t exact = std::min<std::int64_t>(n_, 10000);
+  for (std::int64_t i = 1; i <= exact; ++i) {
+    zetan += 1.0 / std::pow(static_cast<double>(i), theta_);
+  }
+  if (n_ > exact) {
+    // Integral tail approximation.
+    zetan += (std::pow(static_cast<double>(n_), 1.0 - theta_) -
+              std::pow(static_cast<double>(exact), 1.0 - theta_)) /
+             (1.0 - theta_);
+  }
+  zetan_ = zetan;
+  alpha_ = 1.0 / (1.0 - theta_);
+  double zeta2 = 0.0;
+  for (int i = 1; i <= 2; ++i) {
+    zeta2 += 1.0 / std::pow(static_cast<double>(i), theta_);
+  }
+  eta_ = (1.0 - std::pow(2.0 / static_cast<double>(n_), 1.0 - theta_)) /
+         (1.0 - zeta2 / zetan_);
+}
+
+std::int64_t Zipf::next(Rng& rng) const {
+  if (theta_ <= 0.0) {
+    return rng.uniform(0, n_ - 1);
+  }
+  const double u = rng.uniform01();
+  const double uz = u * zetan_;
+  if (uz < 1.0) return 0;
+  if (uz < 1.0 + std::pow(0.5, theta_)) return 1;
+  const auto v = static_cast<std::int64_t>(
+      static_cast<double>(n_) * std::pow(eta_ * u - eta_ + 1.0, alpha_));
+  return std::clamp<std::int64_t>(v, 0, n_ - 1);
+}
+
+Workload::Workload(db::Database& db, Options opts)
+    : opts_(opts), db_(&db), zipf_(opts.keys, opts.zipf_theta) {
+  PROG_CHECK(opts.ops_per_tx >= 1 && opts.ops_per_tx <= 16);
+  {
+    lang::ProcBuilder b("micro_rmw");
+    auto keys = b.param_array("keys", static_cast<std::uint32_t>(opts.ops_per_tx),
+                              0, opts.keys - 1);
+    for (int i = 0; i < opts.ops_per_tx; ++i) {
+      auto h = b.get(kTable, keys[i]);
+      b.put(kTable, keys[i], {{kValue, h.field(kValue) + 1}});
+    }
+    rmw_ = db.register_procedure(std::move(b).build());
+  }
+  {
+    lang::ProcBuilder b("micro_scan");
+    auto keys = b.param_array("keys", static_cast<std::uint32_t>(opts.ops_per_tx),
+                              0, opts.keys - 1);
+    auto acc = b.let("acc", b.lit(0));
+    for (int i = 0; i < opts.ops_per_tx; ++i) {
+      auto h = b.get(kTable, keys[i]);
+      b.assign(acc, acc + h.field(kValue));
+    }
+    b.emit(acc);
+    scan_ = db.register_procedure(std::move(b).build());
+  }
+  for (std::int64_t k = 0; k < opts.keys; ++k) {
+    db.store().put({kTable, static_cast<Key>(k)}, store::Row{{kValue, 0}}, 0);
+  }
+  db.finalize();
+}
+
+sched::TxRequest Workload::next(Rng& rng) const {
+  sched::TxRequest r;
+  r.proc = rng.percent(opts_.read_only_pct) ? scan_ : rmw_;
+  std::vector<Value> keys;
+  keys.reserve(static_cast<std::size_t>(opts_.ops_per_tx));
+  for (int i = 0; i < opts_.ops_per_tx; ++i) {
+    keys.push_back(zipf_.next(rng));
+  }
+  r.input.add_array(std::move(keys));
+  return r;
+}
+
+std::vector<sched::TxRequest> Workload::batch(std::size_t n, Rng& rng) const {
+  std::vector<sched::TxRequest> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) out.push_back(next(rng));
+  return out;
+}
+
+std::int64_t total_value(const store::VersionedStore& store,
+                         const Options& opts) {
+  std::int64_t total = 0;
+  for (std::int64_t k = 0; k < opts.keys; ++k) {
+    const store::RowPtr row = store.get({kTable, static_cast<Key>(k)});
+    if (row != nullptr) total += row->get_or(kValue);
+  }
+  return total;
+}
+
+}  // namespace prog::workloads::micro

@@ -1,0 +1,69 @@
+// YCSB-style micro-workload: read-modify-write transactions over a single
+// table with Zipfian key popularity. Not part of the paper's evaluation —
+// this is the "bring your own workload" template for library users, and the
+// substrate for the contention-sweep ablation (how the deterministic
+// engine's advantage over NODO/SEQ degrades as skew concentrates load on a
+// few hot keys).
+#pragma once
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "db/database.hpp"
+#include "sched/engine.hpp"
+
+namespace prog::workloads::micro {
+
+constexpr TableId kTable = 40;
+constexpr FieldId kValue = 0;
+
+struct Options {
+  std::int64_t keys = 100000;
+  /// Keys touched per transaction.
+  int ops_per_tx = 4;
+  /// Zipf skew: 0 = uniform; ~0.99 = classic YCSB; higher = hotter.
+  double zipf_theta = 0.0;
+  /// Percent of transactions that are read-only scans of the same keys.
+  unsigned read_only_pct = 20;
+};
+
+/// Zipf(θ) sampler over [0, n) using the Gray et al. approximation.
+class Zipf {
+ public:
+  Zipf(std::int64_t n, double theta);
+  std::int64_t next(Rng& rng) const;
+
+ private:
+  std::int64_t n_;
+  double theta_;
+  double alpha_;
+  double zetan_;
+  double eta_;
+};
+
+class Workload {
+ public:
+  /// Registers the procedures, loads `opts.keys` rows, finalizes `db`.
+  Workload(db::Database& db, Options opts);
+
+  sched::TxRequest next(Rng& rng) const;
+  std::vector<sched::TxRequest> batch(std::size_t n, Rng& rng) const;
+
+  const Options& options() const noexcept { return opts_; }
+  sched::ProcId rmw() const noexcept { return rmw_; }
+  sched::ProcId scan() const noexcept { return scan_; }
+
+ private:
+  Options opts_;
+  db::Database* db_;
+  Zipf zipf_;
+  sched::ProcId rmw_ = 0;
+  sched::ProcId scan_ = 0;
+};
+
+/// Sum of all values equals the number of committed RMW ops (each op adds
+/// exactly 1); used as the invariant check.
+std::int64_t total_value(const store::VersionedStore& store,
+                         const Options& opts);
+
+}  // namespace prog::workloads::micro

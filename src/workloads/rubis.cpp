@@ -1,0 +1,273 @@
+#include "workloads/rubis.hpp"
+
+#include "common/check.hpp"
+#include "lang/builder.hpp"
+
+namespace prog::workloads::rubis {
+
+using lang::ProcBuilder;
+using lang::Val;
+
+lang::Proc build_store_bid(const Scale& sc) {
+  ProcBuilder b("store_bid");
+  auto bidder = b.param("bidder", 0, sc.users - 1);
+  auto item = b.param("item", 0, sc.items - 1);
+  auto amount = b.param("amount", 1, 100000);
+
+  // The bid id is the item's current bid count (pivot): consulting the
+  // "respective table" for the next unique identifier.
+  auto it = b.get(kItems, item);
+  auto seq = b.let("seq", it.field(kBidCount));
+  b.put(kBids, item * kMaxBidsPerItem + seq,
+        {{kBidder, bidder}, {kItemRef, item}, {kBidAmount, amount}});
+
+  auto bu = b.get(kUsers, bidder);  // bidder profile (rating shown in UI)
+  b.emit(bu.field(kRating));
+  // Max-bid update affects only written values: concolic, not a fork.
+  auto new_max = b.let("new_max", it.field(kMaxBid));
+  b.if_(amount > it.field(kMaxBid),
+        [&](ProcBuilder& t) { t.assign(new_max, amount + 0); });
+  b.put(kItems, item,
+        {{kMaxBid, new_max}, {kBidCount, seq + 1}});
+  b.emit(seq);
+  return std::move(b).build();
+}
+
+lang::Proc build_store_buy_now(const Scale& sc) {
+  ProcBuilder b("store_buy_now");
+  auto buyer = b.param("buyer", 0, sc.users - 1);
+  auto item = b.param("item", 0, sc.items - 1);
+  auto qty = b.param("qty", 1, 5);
+
+  auto it = b.get(kItems, item);
+  auto seq = b.let("seq", it.field(kBuyCount));  // pivot
+  b.put(kBuyNow, item * kMaxBidsPerItem + seq,
+        {{kBidder, buyer}, {kItemRef, item}, {kBidAmount, qty}});
+
+  auto left = b.let("left", it.field(kQuantity) - qty);
+  // Sold out? Only the stored value changes, not the key-set.
+  b.if_(left < 0, [&](ProcBuilder& t) { t.assign(left, t.lit(0)); });
+  b.put(kItems, item, {{kQuantity, left}, {kBuyCount, seq + 1}});
+  b.emit(seq);
+  return std::move(b).build();
+}
+
+lang::Proc build_store_comment(const Scale& sc) {
+  ProcBuilder b("store_comment");
+  auto from = b.param("from", 0, sc.users - 1);
+  auto to = b.param("to", 0, sc.users - 1);
+  auto rating = b.param("rating", -5, 5);
+
+  auto target = b.get(kUsers, to);
+  auto seq = b.let("seq", target.field(kCommentCnt));  // pivot
+  b.put(kComments, to * kMaxCommentsPerUser + seq,
+        {{kFromUser, from}, {kToUser, to}, {kCommentRating, rating}});
+  b.put(kUsers, to, {{kRating, target.field(kRating) + rating},
+                     {kCommentCnt, seq + 1}});
+  b.emit(seq);
+  return std::move(b).build();
+}
+
+lang::Proc build_register_user(const Scale&) {
+  ProcBuilder b("register_user");
+  auto rating = b.param("rating", 0, 0);
+
+  auto ctr = b.get(kCounters, b.lit(kUserCtr));
+  auto id = b.let("id", ctr.field(kNext));
+  b.put(kCounters, b.lit(kUserCtr), {{kNext, id + 1}});
+  b.put(kUsers, id,
+        {{kRating, rating}, {kListings, b.lit(0)}, {kCommentCnt, b.lit(0)}});
+  b.emit(id);
+  return std::move(b).build();
+}
+
+lang::Proc build_register_item(const Scale& sc) {
+  ProcBuilder b("register_item");
+  auto seller = b.param("seller", 0, sc.users - 1);
+  auto qty = b.param("qty", 1, 10);
+  auto reserve = b.param("reserve", 0, 100000);
+
+  auto ctr = b.get(kCounters, b.lit(kItemCtr));
+  auto id = b.let("id", ctr.field(kNext));
+  b.put(kCounters, b.lit(kItemCtr), {{kNext, id + 1}});
+  b.put(kItems, id,
+        {{kSeller, seller},
+         {kQuantity, qty},
+         {kMaxBid, b.lit(0)},
+         {kBidCount, b.lit(0)},
+         {kReserve, reserve},
+         {kBuyCount, b.lit(0)}});
+  auto s = b.get(kUsers, seller);
+  b.put(kUsers, seller, {{kListings, s.field(kListings) + 1}});
+  b.emit(id);
+  return std::move(b).build();
+}
+
+void load(store::VersionedStore& store, const Scale& sc) {
+  for (std::int64_t u = 0; u < sc.users; ++u) {
+    store.put({kUsers, static_cast<Key>(u)},
+              store::Row{{kRating, 0}, {kListings, 0}, {kCommentCnt, 0}}, 0);
+  }
+  for (std::int64_t i = 0; i < sc.items; ++i) {
+    store.put({kItems, static_cast<Key>(i)},
+              store::Row{{kSeller, i % sc.users},
+                         {kQuantity, 10},
+                         {kMaxBid, 0},
+                         {kBidCount, 0},
+                         {kReserve, 100},
+                         {kBuyCount, 0}},
+              0);
+  }
+  store.put({kCounters, kUserCtr}, store::Row{{kNext, sc.users}}, 0);
+  store.put({kCounters, kItemCtr}, store::Row{{kNext, sc.items}}, 0);
+}
+
+Workload::Workload(db::Database& db, Scale scale) : scale_(scale), db_(&db) {
+  store_bid_ = db.register_procedure(build_store_bid(scale));
+  store_buy_now_ = db.register_procedure(build_store_buy_now(scale));
+  store_comment_ = db.register_procedure(build_store_comment(scale));
+  register_user_ = db.register_procedure(build_register_user(scale));
+  register_item_ = db.register_procedure(build_register_item(scale));
+  load(db.store(), scale);
+  db.finalize();
+}
+
+Workload::Workload(db::Database& db, Scale scale, AttachOnly)
+    : scale_(scale), db_(&db) {
+  store_bid_ = db.find_procedure("store_bid");
+  store_buy_now_ = db.find_procedure("store_buy_now");
+  store_comment_ = db.find_procedure("store_comment");
+  register_user_ = db.find_procedure("register_user");
+  register_item_ = db.find_procedure("register_item");
+  if (!db.finalized()) db.finalize();
+}
+
+sched::TxRequest Workload::next(Rng& rng) const {
+  sched::TxRequest r;
+  const std::uint64_t roll = rng.bounded(8);
+  if (roll < 4) {  // 50% store_bid
+    r.proc = store_bid_;
+    r.input.add(rng.uniform(0, scale_.users - 1));
+    r.input.add(rng.uniform(0, scale_.items - 1));
+    r.input.add(rng.uniform(1, 100000));
+  } else if (roll == 4) {
+    r.proc = store_buy_now_;
+    r.input.add(rng.uniform(0, scale_.users - 1));
+    r.input.add(rng.uniform(0, scale_.items - 1));
+    r.input.add(rng.uniform(1, 5));
+  } else if (roll == 5) {
+    r.proc = store_comment_;
+    r.input.add(rng.uniform(0, scale_.users - 1));
+    r.input.add(rng.uniform(0, scale_.users - 1));
+    r.input.add(rng.uniform(-5, 5));
+  } else if (roll == 6) {
+    r.proc = register_user_;
+    r.input.add(0);
+  } else {
+    r.proc = register_item_;
+    r.input.add(rng.uniform(0, scale_.users - 1));
+    r.input.add(rng.uniform(1, 10));
+    r.input.add(rng.uniform(0, 100000));
+  }
+  return r;
+}
+
+std::vector<sched::TxRequest> Workload::batch(std::size_t n, Rng& rng) const {
+  std::vector<sched::TxRequest> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) out.push_back(next(rng));
+  return out;
+}
+
+std::vector<std::string> check_invariants(const store::VersionedStore& store,
+                                          const Scale& sc) {
+  std::vector<std::string> bad;
+  auto counter = [&](Key which) -> std::int64_t {
+    const store::RowPtr row = store.get({kCounters, which});
+    if (row == nullptr) {
+      bad.push_back("missing counter " + std::to_string(which));
+      return -1;
+    }
+    return row->at(kNext);
+  };
+
+  // Global sequences: every id below the counter exists, the counter's own
+  // id does not (registration never skips or duplicates ids).
+  const std::int64_t user_next = counter(kUserCtr);
+  const std::int64_t item_next = counter(kItemCtr);
+  struct Seq {
+    TableId table;
+    std::int64_t next;
+  };
+  for (const Seq& s : {Seq{kUsers, user_next}, Seq{kItems, item_next}}) {
+    if (s.next < 0) continue;
+    for (std::int64_t id = std::max<std::int64_t>(0, s.next - 50);
+         id < s.next; ++id) {
+      if (store.get({s.table, static_cast<Key>(id)}) == nullptr) {
+        bad.push_back("table " + std::to_string(s.table) + " missing id " +
+                      std::to_string(id));
+      }
+    }
+    if (store.get({s.table, static_cast<Key>(s.next)}) != nullptr) {
+      bad.push_back("table " + std::to_string(s.table) +
+                    " has a row beyond its counter");
+    }
+  }
+
+  // Per-entity sequences are dense: an item with bid count n has bids
+  // exactly at (item, 0..n-1); same for buy-nows and per-user comments.
+  for (std::int64_t i = 0; i < item_next; ++i) {
+    const store::RowPtr item = store.get({kItems, static_cast<Key>(i)});
+    if (item == nullptr) {
+      if (i < sc.items) bad.push_back("missing item " + std::to_string(i));
+      continue;
+    }
+    struct PerItem {
+      TableId table;
+      std::int64_t count;
+      const char* what;
+    };
+    for (const PerItem& p :
+         {PerItem{kBids, item->get_or(kBidCount), "bid"},
+          PerItem{kBuyNow, item->get_or(kBuyCount), "buy-now"}}) {
+      for (std::int64_t s = 0; s < p.count; ++s) {
+        if (store.get({p.table, static_cast<Key>(bid_key(i, s))}) ==
+            nullptr) {
+          bad.push_back("item " + std::to_string(i) + " missing " + p.what +
+                        " #" + std::to_string(s));
+        }
+      }
+      if (store.get({p.table, static_cast<Key>(bid_key(i, p.count))}) !=
+          nullptr) {
+        bad.push_back("item " + std::to_string(i) + " has a " + p.what +
+                      " beyond its count");
+      }
+    }
+    if (item->get_or(kQuantity) < 0) {
+      bad.push_back("item " + std::to_string(i) + " oversold");
+    }
+  }
+  for (std::int64_t u = 0; u < user_next; ++u) {
+    const store::RowPtr user = store.get({kUsers, static_cast<Key>(u)});
+    if (user == nullptr) {
+      if (u < sc.users) bad.push_back("missing user " + std::to_string(u));
+      continue;
+    }
+    const std::int64_t n = user->get_or(kCommentCnt);
+    for (std::int64_t s = 0; s < n; ++s) {
+      if (store.get({kComments, static_cast<Key>(comment_key(u, s))}) ==
+          nullptr) {
+        bad.push_back("user " + std::to_string(u) + " missing comment #" +
+                      std::to_string(s));
+      }
+    }
+    if (store.get({kComments, static_cast<Key>(comment_key(u, n))}) !=
+        nullptr) {
+      bad.push_back("user " + std::to_string(u) +
+                    " has a comment beyond its count");
+    }
+  }
+  return bad;
+}
+
+}  // namespace prog::workloads::rubis

@@ -1,0 +1,456 @@
+#include "workloads/tpcc.hpp"
+
+#include <atomic>
+
+#include "common/check.hpp"
+#include "lang/builder.hpp"
+
+namespace prog::workloads::tpcc {
+
+using lang::ProcBuilder;
+using lang::Val;
+
+// --- procedures ---------------------------------------------------------------
+
+lang::Proc build_new_order(const Scale& sc, int min_lines, int max_lines) {
+  ProcBuilder b("new_order");
+  auto w = b.param("w_id", 0, sc.warehouses - 1);
+  auto d = b.param("d_id", 0, kDistrictsPerWarehouse - 1);
+  auto c = b.param("c_id", 0, sc.customers_per_district - 1);
+  auto ol_cnt = b.param("ol_cnt", min_lines, max_lines);
+  // Item id sc.items marks the 1% "invalid item" rollback of the spec.
+  auto items = b.param_array("item_ids", kMaxLines, 0, sc.items);
+  auto supply = b.param_array("supply_w", kMaxLines, 0, sc.warehouses - 1);
+  auto qty = b.param_array("quantities", kMaxLines, 1, 10);
+
+  auto dk = b.let("dk", w * kDistrictsPerWarehouse + d);
+  auto dist = b.get(kDistrict, dk);
+  auto o_id = b.let("o_id", dist.field(kNextOid));
+  b.put(kDistrict, dk, {{kNextOid, o_id + 1}});
+
+  auto wh = b.get(kWarehouse, w);
+  auto cust = b.get(kCustomer, dk * sc.customers_per_district + c);
+  auto okey = b.let("okey", dk * kMaxOrders + o_id);
+  auto total = b.let("total", b.lit(0));
+
+  b.for_(b.lit(0), ol_cnt, kMaxLines, [&](ProcBuilder& body, Val i) {
+    auto item = body.get(kItem, items[i]);
+    body.abort_if(!item.exists());  // spec: invalid item rolls back
+    auto sk = body.let("sk", supply[i] * sc.items + items[i]);
+    auto st = body.get(kStock, sk);
+    auto q = body.let("q", qty[i]);
+    // Classic Algorithm-2 branch: affects only the written quantity value,
+    // so symbolic execution follows it concolically.
+    auto nq = body.let("nq", body.lit(0));
+    body.if_(
+        st.field(kQuantity) - q >= 10,
+        [&](ProcBuilder& t) { t.assign(nq, st.field(kQuantity) - q); },
+        [&](ProcBuilder& e) { e.assign(nq, st.field(kQuantity) - q + 91); });
+    body.put(kStock, sk,
+             {{kQuantity, nq},
+              {kStockYtd, st.field(kStockYtd) + q},
+              {kOrderCnt, st.field(kOrderCnt) + 1}});
+    auto amount = body.let("amount", q * item.field(kPrice));
+    body.assign(total, total + amount);
+    body.put(kOrderLine, okey * (kMaxLines + 1) + i,
+             {{kOlItem, items[i]},
+              {kOlSupplyW, supply[i]},
+              {kOlQuantity, q},
+              {kOlAmount, amount}});
+  });
+
+  // total * (1 + w_tax + d_tax) * (1 - c_discount), in basis points.
+  auto adj = b.let("adj", total * (b.lit(100) + wh.field(kTax) +
+                                   dist.field(kTax)) *
+                              (b.lit(100) - cust.field(kDiscount)) /
+                              b.lit(10000));
+  b.put(kOrder, okey,
+        {{kOCid, c}, {kOlCnt, ol_cnt}, {kAmount, adj}, {kCarrier, b.lit(0)}});
+  b.put(kNewOrder, okey, {{kPresent, b.lit(1)}});
+  b.emit(o_id);
+  return std::move(b).build();
+}
+
+lang::Proc build_payment(const Scale& sc) {
+  ProcBuilder b("payment");
+  auto w = b.param("w_id", 0, sc.warehouses - 1);
+  auto d = b.param("d_id", 0, kDistrictsPerWarehouse - 1);
+  auto c = b.param("c_id", 0, sc.customers_per_district - 1);
+  auto amount = b.param("amount", 1, 5000);
+  // History ids are generated client-side, which is what keeps payment an
+  // independent transaction (the paper classifies payment as IT).
+  auto h_id = b.param("h_id", 0, INT64_C(1) << 40);
+
+  auto wh = b.get(kWarehouseYtd, w);
+  b.put(kWarehouseYtd, w, {{kYtd, wh.field(kYtd) + amount}});
+  auto dk = b.let("dk", w * kDistrictsPerWarehouse + d);
+  auto dist = b.get(kDistrictYtd, dk);
+  b.put(kDistrictYtd, dk, {{kYtd, dist.field(kYtd) + amount}});
+  auto ck = b.let("ck", dk * sc.customers_per_district + c);
+  auto cust = b.get(kCustomerBal, ck);
+  b.put(kCustomerBal, ck,
+        {{kBalance, cust.field(kBalance) - amount},
+         {kPaymentCnt, cust.field(kPaymentCnt) + 1}});
+  b.put(kHistory, h_id, {{kHAmount, amount}});
+  return std::move(b).build();
+}
+
+lang::Proc build_delivery(const Scale& sc) {
+  ProcBuilder b("delivery");
+  auto w = b.param("w_id", 0, sc.warehouses - 1);
+  auto carrier = b.param("carrier", 1, 10);
+
+  b.for_(b.lit(0), b.lit(kDistrictsPerWarehouse), kDistrictsPerWarehouse,
+         [&](ProcBuilder& body, Val d) {
+           auto dk = body.let("dk", w * kDistrictsPerWarehouse + d);
+           auto ptr = body.get(kDelivPtr, dk);           // pivot
+           auto next_o = body.let("next_o", ptr.field(kPresent) + 1);
+           auto okey = body.let("okey", dk * kMaxOrders + next_o);
+           auto marker = body.get(kNewOrder, okey);      // pivot (existence)
+           body.if_(marker.exists(), [&](ProcBuilder& t) {
+             auto ord = t.get(kOrder, okey);             // pivot (c_id)
+             auto ck = t.let("ck", dk * sc.customers_per_district +
+                                        ord.field(kOCid));
+             auto cust = t.get(kCustomerBal, ck);
+             t.put(kCustomerBal, ck,
+                   {{kBalance, cust.field(kBalance) + ord.field(kAmount)},
+                    {kDeliveryCnt, cust.field(kDeliveryCnt) + 1}});
+             t.put(kOrder, okey, {{kCarrier, carrier}});
+             t.del(kNewOrder, okey);
+             t.put(kDelivPtr, dk, {{kPresent, next_o}});
+           });
+         });
+  return std::move(b).build();
+}
+
+lang::Proc build_order_status(const Scale& sc) {
+  ProcBuilder b("order_status");
+  auto w = b.param("w_id", 0, sc.warehouses - 1);
+  auto d = b.param("d_id", 0, kDistrictsPerWarehouse - 1);
+  auto c = b.param("c_id", 0, sc.customers_per_district - 1);
+
+  auto dk = b.let("dk", w * kDistrictsPerWarehouse + d);
+  auto cust = b.get(kCustomerBal, dk * sc.customers_per_district + c);
+  b.emit(cust.field(kBalance));
+  auto dist = b.get(kDistrict, dk);
+  auto next = b.let("next", dist.field(kNextOid));
+  // Scan the 20 most recent orders for this customer's latest. Every GET is
+  // unconditional so the scan stays a single execution path; the customer
+  // filter guards only emits.
+  b.for_(b.lit(1), b.lit(21), 21, [&](ProcBuilder& body, Val i) {
+    auto oid = body.let("oid", body.max(next - i, body.lit(0)));
+    auto o = body.get(kOrder, dk * kMaxOrders + oid);
+    body.if_(o.exists() && (o.field(kOCid) == c), [&](ProcBuilder& t) {
+      t.emit(oid);
+      t.emit(o.field(kAmount));
+      t.emit(o.field(kCarrier));
+    });
+  });
+  return std::move(b).build();
+}
+
+lang::Proc build_stock_level(const Scale& sc) {
+  ProcBuilder b("stock_level");
+  auto w = b.param("w_id", 0, sc.warehouses - 1);
+  auto d = b.param("d_id", 0, kDistrictsPerWarehouse - 1);
+  auto threshold = b.param("threshold", 10, 20);
+
+  auto dk = b.let("dk", w * kDistrictsPerWarehouse + d);
+  auto dist = b.get(kDistrict, dk);
+  auto next = b.let("next", dist.field(kNextOid));
+  auto count = b.let("count", b.lit(0));
+  b.for_(b.lit(1), b.lit(21), 21, [&](ProcBuilder& body, Val i) {
+    auto oid = body.let("oid", body.max(next - i, body.lit(0)));
+    auto okey = body.let("okey", dk * kMaxOrders + oid);
+    body.for_(body.lit(0), body.lit(kMaxLines), kMaxLines,
+              [&](ProcBuilder& inner, Val l) {
+                auto line = inner.get(kOrderLine, okey * (kMaxLines + 1) + l);
+                auto st = inner.get(kStock,
+                                    w * sc.items + line.field(kOlItem));
+                inner.if_(line.exists() &&
+                              (st.field(kQuantity) < threshold),
+                          [&](ProcBuilder& t) { t.assign(count, count + 1); });
+              });
+  });
+  b.emit(count);
+  return std::move(b).build();
+}
+
+// --- loader -------------------------------------------------------------------
+
+void load(store::VersionedStore& store, const Scale& sc) {
+  PROG_CHECK_MSG(sc.preloaded_orders >= 10,
+                 "need at least 10 preloaded orders per district");
+  for (std::int64_t i = 0; i < sc.items; ++i) {
+    store.put({kItem, static_cast<Key>(i)},
+              store::Row{{kPrice, 100 + i % 900}}, 0);
+  }
+  for (std::int64_t w = 0; w < sc.warehouses; ++w) {
+    store.put({kWarehouse, static_cast<Key>(w)}, store::Row{{kTax, 5}}, 0);
+    store.put({kWarehouseYtd, static_cast<Key>(w)}, store::Row{{kYtd, 0}}, 0);
+    for (std::int64_t i = 0; i < sc.items; ++i) {
+      store.put({kStock, static_cast<Key>(stock_key(sc, w, i))},
+                store::Row{{kQuantity, 500}, {kStockYtd, 0}, {kOrderCnt, 0}},
+                0);
+    }
+    for (std::int64_t d = 0; d < kDistrictsPerWarehouse; ++d) {
+      const std::int64_t dk = district_key(w, d);
+      store.put({kDistrict, static_cast<Key>(dk)},
+                store::Row{{kTax, 7}, {kNextOid, sc.preloaded_orders + 1}},
+                0);
+      store.put({kDistrictYtd, static_cast<Key>(dk)}, store::Row{{kYtd, 0}},
+                0);
+      // Orders preloaded_orders-9 .. preloaded_orders are undelivered.
+      store.put({kDelivPtr, static_cast<Key>(dk)},
+                store::Row{{kPresent, sc.preloaded_orders - 10}}, 0);
+      for (std::int64_t c = 0; c < sc.customers_per_district; ++c) {
+        const Key ck = static_cast<Key>(customer_key(sc, w, d, c));
+        store.put({kCustomer, ck}, store::Row{{kDiscount, c % 40}}, 0);
+        store.put({kCustomerBal, ck},
+                  store::Row{{kBalance, 0},
+                             {kPaymentCnt, 0},
+                             {kDeliveryCnt, 0}},
+                  0);
+      }
+      for (std::int64_t o = 1; o <= sc.preloaded_orders; ++o) {
+        const std::int64_t okey = order_key(dk, o);
+        const std::int64_t ol_cnt = kMinLines + (o % (kMaxLines - kMinLines + 1));
+        const bool delivered = o <= sc.preloaded_orders - 10;
+        store.put({kOrder, static_cast<Key>(okey)},
+                  store::Row{{kOCid, o % sc.customers_per_district},
+                             {kOlCnt, ol_cnt},
+                             {kAmount, 1000 + o},
+                             {kCarrier, delivered ? 1 + o % 10 : 0}},
+                  0);
+        for (std::int64_t l = 0; l < ol_cnt; ++l) {
+          store.put({kOrderLine, static_cast<Key>(order_line_key(okey, l))},
+                    store::Row{{kOlItem, (o * 7 + l * 3) % sc.items},
+                               {kOlSupplyW, w},
+                               {kOlQuantity, 5},
+                               {kOlAmount, 200}},
+                    0);
+        }
+        if (!delivered) {
+          store.put({kNewOrder, static_cast<Key>(okey)},
+                    store::Row{{kPresent, 1}}, 0);
+        }
+      }
+    }
+  }
+}
+
+// --- workload ------------------------------------------------------------------
+
+namespace {
+
+/// TPC-C NURand non-uniform distribution.
+std::int64_t nurand(Rng& rng, std::int64_t a, std::int64_t x, std::int64_t y) {
+  const std::int64_t c = a / 2;
+  return (((rng.uniform(0, a) | rng.uniform(x, y)) + c) % (y - x + 1)) + x;
+}
+
+/// Spec uses A=8191 for the 100k item range; scale A with the range so the
+/// skew of a shrunken catalog matches the spec's.
+std::int64_t nurand_a(std::int64_t range) {
+  if (range >= 50000) return 8191;
+  if (range >= 5000) return 1023;
+  return 255;
+}
+
+}  // namespace
+
+Workload::Workload(db::Database& db, Scale scale) : scale_(scale), db_(&db) {
+  new_order_ = db.register_procedure(build_new_order(scale));
+  payment_ = db.register_procedure(build_payment(scale));
+  delivery_ = db.register_procedure(build_delivery(scale));
+  order_status_ = db.register_procedure(build_order_status(scale));
+  stock_level_ = db.register_procedure(build_stock_level(scale));
+  load(db.store(), scale);
+  db.finalize();
+}
+
+Workload::Workload(db::Database& db, Scale scale, AttachOnly)
+    : scale_(scale), db_(&db) {
+  new_order_ = db.find_procedure("new_order");
+  payment_ = db.find_procedure("payment");
+  delivery_ = db.find_procedure("delivery");
+  order_status_ = db.find_procedure("order_status");
+  stock_level_ = db.find_procedure("stock_level");
+  if (!db.finalized()) db.finalize();
+}
+
+sched::TxRequest Workload::make_new_order(Rng& rng) const {
+  sched::TxRequest r;
+  r.proc = new_order_;
+  const std::int64_t w = rng.uniform(0, scale_.warehouses - 1);
+  const std::int64_t ol_cnt = rng.uniform(kMinLines, kMaxLines);
+  r.input.add(w);
+  r.input.add(rng.uniform(0, kDistrictsPerWarehouse - 1));
+  r.input.add(nurand(rng, 1023, 0, scale_.customers_per_district - 1));
+  r.input.add(ol_cnt);
+  std::vector<Value> items(kMaxLines, 0), supply(kMaxLines, 0),
+      qty(kMaxLines, 1);
+  for (std::int64_t i = 0; i < ol_cnt; ++i) {
+    items[static_cast<std::size_t>(i)] =
+        nurand(rng, nurand_a(scale_.items), 0, scale_.items - 1);
+    // 1% remote warehouse (when there is more than one).
+    supply[static_cast<std::size_t>(i)] =
+        (scale_.warehouses > 1 && rng.percent(1))
+            ? rng.uniform(0, scale_.warehouses - 1)
+            : w;
+    qty[static_cast<std::size_t>(i)] = rng.uniform(1, 10);
+  }
+  // 1% of new orders reference an invalid item and roll back (spec §2.4.1.5).
+  if (rng.percent(1)) {
+    items[static_cast<std::size_t>(ol_cnt - 1)] = scale_.items;
+  }
+  r.input.add_array(std::move(items));
+  r.input.add_array(std::move(supply));
+  r.input.add_array(std::move(qty));
+  return r;
+}
+
+sched::TxRequest Workload::make_payment(Rng& rng) const {
+  sched::TxRequest r;
+  r.proc = payment_;
+  r.input.add(rng.uniform(0, scale_.warehouses - 1));
+  r.input.add(rng.uniform(0, kDistrictsPerWarehouse - 1));
+  r.input.add(nurand(rng, 1023, 0, scale_.customers_per_district - 1));
+  r.input.add(rng.uniform(1, 5000));
+  r.input.add(next_history_id_.fetch_add(1, std::memory_order_relaxed));
+  return r;
+}
+
+sched::TxRequest Workload::make_delivery(Rng& rng) const {
+  sched::TxRequest r;
+  r.proc = delivery_;
+  r.input.add(rng.uniform(0, scale_.warehouses - 1));
+  r.input.add(rng.uniform(1, 10));
+  return r;
+}
+
+sched::TxRequest Workload::make_order_status(Rng& rng) const {
+  sched::TxRequest r;
+  r.proc = order_status_;
+  r.input.add(rng.uniform(0, scale_.warehouses - 1));
+  r.input.add(rng.uniform(0, kDistrictsPerWarehouse - 1));
+  r.input.add(nurand(rng, 1023, 0, scale_.customers_per_district - 1));
+  return r;
+}
+
+sched::TxRequest Workload::make_stock_level(Rng& rng) const {
+  sched::TxRequest r;
+  r.proc = stock_level_;
+  r.input.add(rng.uniform(0, scale_.warehouses - 1));
+  r.input.add(rng.uniform(0, kDistrictsPerWarehouse - 1));
+  r.input.add(rng.uniform(10, 20));
+  return r;
+}
+
+sched::TxRequest Workload::next(Rng& rng) const {
+  const std::uint64_t roll = rng.bounded(100);
+  if (roll < 45) return make_new_order(rng);
+  if (roll < 88) return make_payment(rng);
+  if (roll < 92) return make_delivery(rng);
+  if (roll < 96) return make_stock_level(rng);
+  return make_order_status(rng);
+}
+
+std::vector<sched::TxRequest> Workload::batch(std::size_t n, Rng& rng) const {
+  std::vector<sched::TxRequest> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) out.push_back(next(rng));
+  return out;
+}
+
+// --- invariants ----------------------------------------------------------------
+
+std::vector<std::string> check_invariants(const store::VersionedStore& store,
+                                          const Scale& sc) {
+  std::vector<std::string> bad;
+  auto complain = [&](std::string msg) { bad.push_back(std::move(msg)); };
+
+  for (std::int64_t w = 0; w < sc.warehouses; ++w) {
+    const store::RowPtr wh = store.get({kWarehouseYtd, static_cast<Key>(w)});
+    if (wh == nullptr) {
+      complain("missing warehouse " + std::to_string(w));
+      continue;
+    }
+    std::int64_t district_ytd = 0;
+    for (std::int64_t d = 0; d < kDistrictsPerWarehouse; ++d) {
+      const std::int64_t dk = district_key(w, d);
+      const store::RowPtr dist = store.get({kDistrict, static_cast<Key>(dk)});
+      const store::RowPtr dytd =
+          store.get({kDistrictYtd, static_cast<Key>(dk)});
+      if (dist == nullptr || dytd == nullptr) {
+        complain("missing district " + std::to_string(dk));
+        continue;
+      }
+      district_ytd += dytd->at(kYtd);
+      const std::int64_t next = dist->at(kNextOid);
+      if (next < sc.preloaded_orders + 1) {
+        complain("district " + std::to_string(dk) + " next_o_id went back");
+      }
+      // Every order id below next exists; the one at next does not.
+      for (std::int64_t o = std::max<std::int64_t>(1, next - 25); o < next;
+           ++o) {
+        const store::RowPtr ord =
+            store.get({kOrder, static_cast<Key>(order_key(dk, o))});
+        if (ord == nullptr) {
+          complain("district " + std::to_string(dk) + " missing order " +
+                   std::to_string(o));
+          continue;
+        }
+        // Order lines 0..ol_cnt-1 exist.
+        const std::int64_t ol_cnt = ord->at(kOlCnt);
+        for (std::int64_t l = 0; l < ol_cnt; ++l) {
+          if (store.get({kOrderLine, static_cast<Key>(order_line_key(
+                                         order_key(dk, o), l))}) == nullptr) {
+            complain("order " + std::to_string(order_key(dk, o)) +
+                     " missing line " + std::to_string(l));
+          }
+        }
+      }
+      if (store.get({kOrder, static_cast<Key>(order_key(dk, next))}) !=
+          nullptr) {
+        complain("district " + std::to_string(dk) +
+                 " has an order beyond next_o_id");
+      }
+      // Undelivered markers are exactly (deliv_ptr, next).
+      const store::RowPtr ptr = store.get({kDelivPtr, static_cast<Key>(dk)});
+      if (ptr == nullptr) {
+        complain("missing deliv_ptr " + std::to_string(dk));
+        continue;
+      }
+      const std::int64_t last_delivered = ptr->at(kPresent);
+      if (last_delivered >= next) {
+        complain("district " + std::to_string(dk) +
+                 " delivered beyond next_o_id");
+      }
+      for (std::int64_t o = last_delivered + 1; o < next; ++o) {
+        if (store.get({kNewOrder, static_cast<Key>(order_key(dk, o))}) ==
+            nullptr) {
+          complain("district " + std::to_string(dk) +
+                   " missing undelivered marker for order " +
+                   std::to_string(o));
+        }
+      }
+      if (last_delivered >= 1 &&
+          store.get({kNewOrder,
+                     static_cast<Key>(order_key(dk, last_delivered))}) !=
+              nullptr) {
+        complain("district " + std::to_string(dk) +
+                 " has a marker for a delivered order");
+      }
+    }
+    // TPC-C consistency condition 1: W_YTD == sum(D_YTD).
+    if (wh->at(kYtd) != district_ytd) {
+      complain("warehouse " + std::to_string(w) + " YTD " +
+               std::to_string(wh->at(kYtd)) + " != districts " +
+               std::to_string(district_ytd));
+    }
+  }
+  return bad;
+}
+
+}  // namespace prog::workloads::tpcc

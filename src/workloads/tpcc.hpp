@@ -1,0 +1,198 @@
+// TPC-C for the key/value data model (paper, Section IV).
+//
+// All five transactions are expressed in the DSL:
+//   new_order   — DT  (order ids come from the district's next_o_id pivot)
+//   payment     — IT  (all keys derive from inputs; the history id is
+//                      client-generated, as in the paper where payment is IT)
+//   delivery    — DT  (per-district pending-order pointers are pivots;
+//                      2^10 path-sets, matching the paper's 1024 key-sets)
+//   order_status— ROT
+//   stock_level — ROT
+//
+// Key packing keeps every key a linear function of inputs/pivots:
+//   district   = w * 10 + d
+//   customer   = district * C + c
+//   stock      = w * I + i
+//   order      = district * kMaxOrders + o
+//   order line = order * (kMaxLines + 1) + line
+//
+// Deviations from the full spec (documented in DESIGN.md): customer lookup
+// is by id (no last-name index), and the data volume is scaled by `Scale`
+// so benchmarks fit in memory; contention structure (per-district and
+// per-key conflicts) is preserved.
+#pragma once
+
+#include <atomic>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "db/database.hpp"
+#include "sched/engine.hpp"
+
+namespace prog::workloads::tpcc {
+
+// --- schema -----------------------------------------------------------------
+
+enum Table : TableId {
+  kWarehouse = 1,  // static info (tax)
+  kDistrict = 2,   // static info (tax) + next_o_id sequence
+  kCustomer = 3,   // static info (discount)
+  kItem = 4,
+  kStock = 5,
+  kOrder = 6,
+  kOrderLine = 7,
+  kNewOrder = 8,   // pending-delivery markers
+  kDelivPtr = 9,   // per-district last-delivered order id
+  kHistory = 10,
+  // Write-hot column groups live under their own keys, as in any serious KV
+  // port of TPC-C: payment's YTD/balance updates must not invalidate
+  // new_order's next_o_id pivot (row-hash validation is per key).
+  kWarehouseYtd = 11,
+  kDistrictYtd = 12,
+  kCustomerBal = 13,
+};
+
+// Field ids (per table; values are int64).
+enum Field : FieldId {
+  // warehouse / district
+  kYtd = 0,
+  kTax = 1,
+  kNextOid = 2,
+  // customer
+  kBalance = 0,
+  kDiscount = 1,
+  kPaymentCnt = 2,
+  kDeliveryCnt = 3,
+  // item / stock
+  kPrice = 0,
+  kQuantity = 1,
+  kStockYtd = 2,
+  kOrderCnt = 3,
+  // order
+  kOCid = 0,
+  kOlCnt = 1,
+  kAmount = 2,
+  kCarrier = 3,
+  // order line
+  kOlItem = 0,
+  kOlSupplyW = 1,
+  kOlQuantity = 2,
+  kOlAmount = 3,
+  // history / new-order marker
+  kHAmount = 0,
+  kPresent = 0,
+};
+
+constexpr int kDistrictsPerWarehouse = 10;
+constexpr std::int64_t kMaxOrders = 1 << 22;  // order-id space per district
+constexpr int kMaxLines = 15;
+constexpr int kMinLines = 5;
+
+/// Data volume knobs. `spec()` follows spec proportions; `small()` is the
+/// memory-friendly default used by benches and tests. The item count must
+/// stay large relative to per-batch line items: the lock table takes
+/// exclusive per-key locks on ITEM reads, so an artificially tiny catalog
+/// would create chains real TPC-C does not have. `tiny()` is for unit tests
+/// only.
+struct Scale {
+  int warehouses = 1;
+  int customers_per_district = 60;
+  int items = 10000;
+  int preloaded_orders = 40;  // per district; last 10 are undelivered
+
+  static Scale tiny(int warehouses) { return Scale{warehouses, 30, 500, 40}; }
+  static Scale small(int warehouses) {
+    return Scale{warehouses, 60, 10000, 40};
+  }
+  static Scale spec(int warehouses) {
+    return Scale{warehouses, 3000, 100000, 3000};
+  }
+};
+
+// --- key packing --------------------------------------------------------------
+
+constexpr std::int64_t district_key(std::int64_t w, std::int64_t d) {
+  return w * kDistrictsPerWarehouse + d;
+}
+constexpr std::int64_t customer_key(const Scale& sc, std::int64_t w,
+                                    std::int64_t d, std::int64_t c) {
+  return district_key(w, d) * sc.customers_per_district + c;
+}
+constexpr std::int64_t stock_key(const Scale& sc, std::int64_t w,
+                                 std::int64_t i) {
+  return w * sc.items + i;
+}
+constexpr std::int64_t order_key(std::int64_t dkey, std::int64_t o) {
+  return dkey * kMaxOrders + o;
+}
+constexpr std::int64_t order_line_key(std::int64_t okey, std::int64_t line) {
+  return okey * (kMaxLines + 1) + line;
+}
+
+// --- workload -----------------------------------------------------------------
+
+/// Registers the five TPC-C procedures on `db`, loads the initial state
+/// (batch 0), and generates the standard transaction mix.
+class Workload {
+ public:
+  /// Registers procedures and loads data. `db` must not be finalized yet;
+  /// this calls db.finalize().
+  Workload(db::Database& db, Scale scale);
+
+  /// Attach-only: the five procedures are already registered on `db` (e.g.
+  /// shared pre-analyzed profiles) and the data is already loaded (e.g.
+  /// cloned from a template store). Finalizes `db` if needed.
+  struct AttachOnly {};
+  Workload(db::Database& db, Scale scale, AttachOnly);
+
+  /// One transaction drawn from the standard mix
+  /// (45% new_order, 43% payment, 4% delivery, 4% stock_level, 4% order_status).
+  sched::TxRequest next(Rng& rng) const;
+
+  /// A batch of `n` transactions from the mix.
+  std::vector<sched::TxRequest> batch(std::size_t n, Rng& rng) const;
+
+  const Scale& scale() const noexcept { return scale_; }
+  sched::ProcId new_order() const noexcept { return new_order_; }
+  sched::ProcId payment() const noexcept { return payment_; }
+  sched::ProcId delivery() const noexcept { return delivery_; }
+  sched::ProcId order_status() const noexcept { return order_status_; }
+  sched::ProcId stock_level() const noexcept { return stock_level_; }
+
+ private:
+  sched::TxRequest make_new_order(Rng& rng) const;
+  sched::TxRequest make_payment(Rng& rng) const;
+  sched::TxRequest make_delivery(Rng& rng) const;
+  sched::TxRequest make_order_status(Rng& rng) const;
+  sched::TxRequest make_stock_level(Rng& rng) const;
+
+  Scale scale_;
+  db::Database* db_;
+  /// Client-generated unique history ids (deterministic per workload).
+  mutable std::atomic<std::int64_t> next_history_id_{1};
+  sched::ProcId new_order_ = 0;
+  sched::ProcId payment_ = 0;
+  sched::ProcId delivery_ = 0;
+  sched::ProcId order_status_ = 0;
+  sched::ProcId stock_level_ = 0;
+};
+
+/// Builds the five procedures (exposed separately so the SE analysis bench
+/// can profile them with custom options, e.g. pinned loop bounds).
+lang::Proc build_new_order(const Scale& sc, int min_lines = kMinLines,
+                           int max_lines = kMaxLines);
+lang::Proc build_payment(const Scale& sc);
+lang::Proc build_delivery(const Scale& sc);
+lang::Proc build_order_status(const Scale& sc);
+lang::Proc build_stock_level(const Scale& sc);
+
+/// Populates `store` (as batch 0) with the initial TPC-C state.
+void load(store::VersionedStore& store, const Scale& sc);
+
+/// Consistency checks after a run (TPC-C §3.3-style invariants, adapted to
+/// the KV schema). Returns human-readable violations; empty == consistent.
+std::vector<std::string> check_invariants(const store::VersionedStore& store,
+                                          const Scale& sc);
+
+}  // namespace prog::workloads::tpcc

@@ -1,0 +1,242 @@
+// Unit tests for the common utility layer.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+#include <thread>
+#include <vector>
+
+#include "common/interner.hpp"
+#include "common/queues.hpp"
+#include "common/rng.hpp"
+#include "common/small_map.hpp"
+#include "common/sync.hpp"
+#include "common/types.hpp"
+
+namespace prog {
+namespace {
+
+TEST(TypesTest, TKeyEqualityAndOrdering) {
+  const TKey a{1, 10};
+  const TKey b{1, 10};
+  const TKey c{1, 11};
+  const TKey d{2, 0};
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  EXPECT_LT(a, c);
+  EXPECT_LT(c, d);
+}
+
+TEST(TypesTest, TKeyHashSpreads) {
+  TKeyHash h;
+  std::vector<std::size_t> hashes;
+  for (Key k = 0; k < 1000; ++k) hashes.push_back(h(TKey{1, k}));
+  std::sort(hashes.begin(), hashes.end());
+  const auto unique_count =
+      std::unique(hashes.begin(), hashes.end()) - hashes.begin();
+  EXPECT_GE(unique_count, 999);  // essentially no collisions on a small set
+}
+
+TEST(Mix64Test, IsInjectiveOnSmallRange) {
+  std::vector<std::uint64_t> out;
+  for (std::uint64_t i = 0; i < 4096; ++i) out.push_back(mix64(i));
+  std::sort(out.begin(), out.end());
+  EXPECT_EQ(std::unique(out.begin(), out.end()), out.end());
+}
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += a.next() == b.next();
+  EXPECT_LT(same, 3);
+}
+
+TEST(RngTest, UniformRespectsBounds) {
+  Rng r(7);
+  for (int i = 0; i < 10000; ++i) {
+    const auto v = r.uniform(5, 15);
+    EXPECT_GE(v, 5);
+    EXPECT_LE(v, 15);
+  }
+}
+
+TEST(RngTest, UniformCoversRange) {
+  Rng r(7);
+  std::vector<int> counts(11, 0);
+  for (int i = 0; i < 11000; ++i) ++counts[static_cast<std::size_t>(r.uniform(0, 10))];
+  for (int c : counts) EXPECT_GT(c, 700);  // roughly uniform
+}
+
+TEST(RngTest, UniformDegenerateRange) {
+  Rng r(1);
+  EXPECT_EQ(r.uniform(3, 3), 3);
+}
+
+TEST(RngTest, PercentZeroAndHundred) {
+  Rng r(1);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(r.percent(0));
+    EXPECT_TRUE(r.percent(100));
+  }
+}
+
+TEST(InternerTest, RoundTrip) {
+  StringInterner si;
+  const Value a = si.intern("alice");
+  const Value b = si.intern("bob");
+  EXPECT_NE(a, b);
+  EXPECT_EQ(si.intern("alice"), a);
+  EXPECT_EQ(si.lookup(a), "alice");
+  EXPECT_EQ(si.lookup(b), "bob");
+  EXPECT_EQ(si.size(), 2u);
+}
+
+TEST(InternerTest, UnknownIdThrows) {
+  StringInterner si;
+  EXPECT_THROW(si.lookup(99), UsageError);
+}
+
+TEST(SmallMapTest, SetGetOverwrite) {
+  SmallMap<int, int> m;
+  m.set(3, 30);
+  m.set(1, 10);
+  m.set(2, 20);
+  EXPECT_EQ(m.get(1), 10);
+  EXPECT_EQ(m.get(3), 30);
+  m.set(1, 11);
+  EXPECT_EQ(m.get(1), 11);
+  EXPECT_EQ(m.size(), 3u);
+  EXPECT_FALSE(m.get(99).has_value());
+}
+
+TEST(SmallMapTest, KeepsSortedIterationOrder) {
+  SmallMap<int, int> m;
+  for (int k : {5, 1, 4, 2, 3}) m.set(k, k * 10);
+  int prev = 0;
+  for (const auto& [k, v] : m) {
+    EXPECT_GT(k, prev);
+    EXPECT_EQ(v, k * 10);
+    prev = k;
+  }
+}
+
+TEST(SmallMapTest, EraseAndMerge) {
+  SmallMap<int, int> a;
+  a.set(1, 1);
+  a.set(2, 2);
+  EXPECT_TRUE(a.erase(1));
+  EXPECT_FALSE(a.erase(1));
+  SmallMap<int, int> b;
+  b.set(2, 20);
+  b.set(3, 30);
+  a.merge_from(b);
+  EXPECT_EQ(a.get(2), 20);
+  EXPECT_EQ(a.get(3), 30);
+  EXPECT_EQ(a.size(), 2u);
+}
+
+TEST(TicketDispenserTest, HandsOutEachIndexOnce) {
+  TicketDispenser d(100);
+  std::vector<std::atomic<int>> seen(100);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&] {
+      while (auto i = d.claim()) seen[*i].fetch_add(1);
+    });
+  }
+  for (auto& t : threads) t.join();
+  for (const auto& s : seen) EXPECT_EQ(s.load(), 1);
+}
+
+TEST(MpmcQueueTest, FifoSingleThread) {
+  MpmcQueue<int> q;
+  for (int i = 0; i < 10; ++i) q.push(i);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(q.try_pop(), i);
+  EXPECT_FALSE(q.try_pop().has_value());
+}
+
+TEST(MpmcQueueTest, ConcurrentProducersConsumers) {
+  MpmcQueue<int> q;
+  constexpr int kPerProducer = 5000;
+  std::atomic<long long> sum{0};
+  std::atomic<int> popped{0};
+  std::vector<std::thread> threads;
+  for (int p = 0; p < 4; ++p) {
+    threads.emplace_back([&, p] {
+      for (int i = 0; i < kPerProducer; ++i) q.push(p * kPerProducer + i);
+    });
+  }
+  for (int c = 0; c < 4; ++c) {
+    threads.emplace_back([&] {
+      while (popped.load() < 4 * kPerProducer) {
+        if (auto v = q.try_pop()) {
+          sum.fetch_add(*v);
+          popped.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  const long long n = 4LL * kPerProducer;
+  EXPECT_EQ(sum.load(), n * (n - 1) / 2);
+}
+
+TEST(PhaseBarrierTest, ExactlyOneSerialParty) {
+  PhaseBarrier barrier(4);
+  std::atomic<int> serial{0};
+  std::vector<std::thread> threads;
+  for (int i = 0; i < 4; ++i) {
+    threads.emplace_back([&] {
+      for (int round = 0; round < 50; ++round) {
+        if (barrier.arrive_and_wait()) serial.fetch_add(1);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(serial.load(), 50);
+}
+
+TEST(SpinLockTest, MutualExclusion) {
+  SpinLock mu;
+  long long counter = 0;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < 20000; ++i) {
+        std::scoped_lock lock(mu);
+        ++counter;
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(counter, 80000);
+}
+
+TEST(GateTest, ReleasesWaiters) {
+  Gate gate;
+  std::atomic<int> released{0};
+  std::vector<std::thread> threads;
+  for (int i = 0; i < 3; ++i) {
+    threads.emplace_back([&] {
+      gate.wait();
+      released.fetch_add(1);
+    });
+  }
+  EXPECT_EQ(released.load(), 0);
+  gate.open();
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(released.load(), 3);
+}
+
+TEST(CheckTest, ThrowsInvariantError) {
+  EXPECT_THROW(PROG_CHECK(1 == 2), InvariantError);
+  EXPECT_NO_THROW(PROG_CHECK(1 == 1));
+}
+
+}  // namespace
+}  // namespace prog

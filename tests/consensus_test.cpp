@@ -1,0 +1,278 @@
+// Consensus substrate tests: Raft safety/liveness under faults, and
+// end-to-end replica equivalence through the replicated database.
+#include <gtest/gtest.h>
+
+#include "consensus/replicated_db.hpp"
+#include "lang/builder.hpp"
+#include "workloads/tpcc.hpp"
+
+namespace prog::consensus {
+namespace {
+
+TEST(SimNetTest, DeterministicDelivery) {
+  auto run = [](std::uint64_t seed) {
+    SimNet net(seed);
+    std::vector<int> order;
+    for (int i = 0; i < 20; ++i) {
+      net.send(0, 1, [&order, i] { order.push_back(i); });
+    }
+    net.run_for(100);
+    return order;
+  };
+  EXPECT_EQ(run(1), run(1));
+  EXPECT_EQ(run(1).size(), 20u);
+}
+
+TEST(SimNetTest, DropsLoseMessages) {
+  SimNet net(3, SimNet::Options{1, 5, 50});
+  int delivered = 0;
+  for (int i = 0; i < 200; ++i) net.send(0, 1, [&] { ++delivered; });
+  net.run_for(100);
+  EXPECT_GT(delivered, 40);
+  EXPECT_LT(delivered, 160);
+}
+
+TEST(SimNetTest, CrashBlocksDelivery) {
+  SimNet net(1);
+  int delivered = 0;
+  net.crash(1);
+  net.send(0, 1, [&] { ++delivered; });
+  net.run_for(100);
+  EXPECT_EQ(delivered, 0);
+  net.restart(1);
+  net.send(0, 1, [&] { ++delivered; });
+  net.run_for(100);
+  EXPECT_EQ(delivered, 1);
+}
+
+TEST(SimNetTest, PartitionSeparatesGroups) {
+  SimNet net(1);
+  int ab = 0, ac = 0;
+  net.partition({0, 1});
+  net.send(0, 1, [&] { ++ab; });
+  net.send(0, 2, [&] { ++ac; });
+  net.run_for(100);
+  EXPECT_EQ(ab, 1);
+  EXPECT_EQ(ac, 0);
+  net.heal();
+  net.send(0, 2, [&] { ++ac; });
+  net.run_for(100);
+  EXPECT_EQ(ac, 1);
+}
+
+TEST(RaftTest, ElectsExactlyOneLeader) {
+  RaftCluster cluster(3, 17);
+  cluster.run_ms(1000);
+  ASSERT_GE(cluster.leader(), 0);
+  int leaders = 0;
+  for (NodeId i = 0; i < cluster.size(); ++i) {
+    if (cluster.node(i).role() == RaftNode::Role::kLeader) ++leaders;
+  }
+  EXPECT_EQ(leaders, 1);
+}
+
+TEST(RaftTest, ReplicatesCommandsInOrder) {
+  RaftCluster cluster(3, 5);
+  cluster.run_ms(1000);
+  for (Command c = 100; c < 110; ++c) {
+    ASSERT_TRUE(cluster.submit(c));
+    cluster.run_ms(50);
+  }
+  cluster.run_ms(500);
+  const std::vector<Command> want{100, 101, 102, 103, 104,
+                                  105, 106, 107, 108, 109};
+  for (NodeId i = 0; i < cluster.size(); ++i) {
+    EXPECT_EQ(cluster.applied(i), want) << "node " << i;
+  }
+}
+
+TEST(RaftTest, LeaderCrashElectsNewLeaderWithoutLosingEntries) {
+  RaftCluster cluster(3, 23);
+  cluster.run_ms(1000);
+  const int first = cluster.leader();
+  ASSERT_GE(first, 0);
+  for (Command c = 1; c <= 5; ++c) {
+    ASSERT_TRUE(cluster.submit(c));
+    cluster.run_ms(100);
+  }
+  cluster.crash(static_cast<NodeId>(first));
+  cluster.run_ms(2000);
+  const int second = cluster.leader();
+  ASSERT_GE(second, 0);
+  EXPECT_NE(second, first);
+  for (Command c = 6; c <= 8; ++c) {
+    ASSERT_TRUE(cluster.submit(c));
+    cluster.run_ms(100);
+  }
+  cluster.restart(static_cast<NodeId>(first));
+  cluster.run_ms(2000);
+  // Every node converges to the same committed prefix 1..8.
+  const std::vector<Command> want{1, 2, 3, 4, 5, 6, 7, 8};
+  for (NodeId i = 0; i < cluster.size(); ++i) {
+    EXPECT_EQ(cluster.applied(i), want) << "node " << i;
+  }
+}
+
+TEST(RaftTest, MinorityPartitionCannotCommit) {
+  RaftCluster cluster(5, 31);
+  cluster.run_ms(1000);
+  const int leader = cluster.leader();
+  ASSERT_GE(leader, 0);
+  // Isolate the leader with one follower (a minority).
+  const NodeId buddy = leader == 0 ? 1 : 0;
+  cluster.net().partition({static_cast<NodeId>(leader), buddy});
+  const std::size_t before = cluster.applied(static_cast<NodeId>(leader)).size();
+  cluster.node(static_cast<NodeId>(leader)).submit(999);
+  cluster.run_ms(2000);
+  EXPECT_EQ(cluster.applied(static_cast<NodeId>(leader)).size(), before);
+  // Heal: the majority side elected a higher-term leader; 999 is eventually
+  // either discarded (leader stepped down before replicating) — in any case
+  // all nodes agree afterwards.
+  cluster.net().heal();
+  cluster.run_ms(3000);
+  const auto& ref = cluster.applied(0);
+  for (NodeId i = 1; i < cluster.size(); ++i) {
+    EXPECT_EQ(cluster.applied(i), ref) << "node " << i;
+  }
+}
+
+TEST(RaftTest, UncommittedSuffixIsOverwritten) {
+  RaftCluster cluster(3, 41);
+  cluster.run_ms(1000);
+  const int old_leader = cluster.leader();
+  ASSERT_GE(old_leader, 0);
+  ASSERT_TRUE(cluster.submit(1));
+  cluster.run_ms(300);
+
+  // Isolate the leader; it appends entries it can never commit.
+  cluster.net().partition({static_cast<NodeId>(old_leader)});
+  cluster.node(static_cast<NodeId>(old_leader)).submit(111);
+  cluster.node(static_cast<NodeId>(old_leader)).submit(112);
+  cluster.run_ms(2000);  // majority elects a new, higher-term leader
+
+  const int new_leader = cluster.leader();
+  ASSERT_GE(new_leader, 0);
+  ASSERT_NE(new_leader, old_leader);
+  ASSERT_TRUE(cluster.submit(200));
+  cluster.run_ms(500);
+
+  cluster.net().heal();
+  cluster.run_ms(3000);
+
+  // The orphaned suffix {111, 112} must be gone everywhere; every node
+  // applied exactly {1, 200}.
+  const std::vector<Command> want{1, 200};
+  for (NodeId i = 0; i < cluster.size(); ++i) {
+    EXPECT_EQ(cluster.applied(i), want) << "node " << i;
+  }
+}
+
+TEST(RaftTest, StableLeaderWithoutFaults) {
+  RaftCluster cluster(5, 67);
+  cluster.run_ms(1000);
+  const int leader = cluster.leader();
+  ASSERT_GE(leader, 0);
+  const Term term = cluster.node(static_cast<NodeId>(leader)).term();
+  cluster.run_ms(10000);  // heartbeats must suppress new elections
+  EXPECT_EQ(cluster.leader(), leader);
+  EXPECT_EQ(cluster.node(static_cast<NodeId>(leader)).term(), term);
+}
+
+class RaftPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(RaftPropertyTest, AgreementUnderLossySeededNetwork) {
+  // 20% message loss: committed prefixes must still agree on every node.
+  RaftCluster cluster(3, static_cast<std::uint64_t>(GetParam()),
+                      SimNet::Options{1, 10, 20});
+  cluster.run_ms(3000);
+  Command next = 1;
+  for (int round = 0; round < 30; ++round) {
+    if (cluster.leader() >= 0 && cluster.submit(next)) ++next;
+    cluster.run_ms(100);
+  }
+  cluster.run_ms(3000);
+  // Prefix agreement.
+  std::vector<Command> shortest = cluster.applied(0);
+  for (NodeId i = 1; i < cluster.size(); ++i) {
+    if (cluster.applied(i).size() < shortest.size()) {
+      shortest = cluster.applied(i);
+    }
+  }
+  for (NodeId i = 0; i < cluster.size(); ++i) {
+    const auto& a = cluster.applied(i);
+    for (std::size_t k = 0; k < shortest.size(); ++k) {
+      ASSERT_EQ(a[k], shortest[k]) << "node " << i << " index " << k;
+    }
+  }
+  // With 20% loss over 30 rounds, something must have committed.
+  EXPECT_GT(shortest.size(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RaftPropertyTest, ::testing::Range(1, 9));
+
+// --- replicated database --------------------------------------------------------
+
+TEST(ReplicatedDbTest, ReplicasConvergeToIdenticalState) {
+  using workloads::tpcc::Scale;
+  sched::EngineConfig cfg;
+  cfg.workers = 2;
+  std::vector<std::unique_ptr<workloads::tpcc::Workload>> wls;
+  ReplicatedDb rdb(
+      3, 77,
+      [&](db::Database& d) {
+        wls.push_back(
+            std::make_unique<workloads::tpcc::Workload>(d, Scale::small(1)));
+      },
+      cfg);
+  rdb.run_ms(1000);  // elect a leader
+
+  Rng rng(5);
+  int submitted = 0;
+  for (int i = 0; i < 10; ++i) {
+    auto batch = wls[0]->batch(15, rng);
+    if (rdb.submit_batch(std::move(batch))) ++submitted;
+    rdb.run_ms(100);
+  }
+  rdb.run_ms(2000);
+  EXPECT_GT(submitted, 0);
+  ASSERT_TRUE(rdb.converged());
+  const auto hashes = rdb.state_hashes();
+  EXPECT_EQ(hashes[0], hashes[1]);
+  EXPECT_EQ(hashes[0], hashes[2]);
+  // And the replicas actually processed work.
+  EXPECT_NE(hashes[0], 0u);
+}
+
+TEST(ReplicatedDbTest, ReplicaCatchesUpAfterCrash) {
+  using workloads::tpcc::Scale;
+  sched::EngineConfig cfg;
+  cfg.workers = 2;
+  std::vector<std::unique_ptr<workloads::tpcc::Workload>> wls;
+  ReplicatedDb rdb(
+      3, 13,
+      [&](db::Database& d) {
+        wls.push_back(
+            std::make_unique<workloads::tpcc::Workload>(d, Scale::small(1)));
+      },
+      cfg);
+  rdb.run_ms(1000);
+  const int leader = rdb.raft().leader();
+  ASSERT_GE(leader, 0);
+  const NodeId victim = leader == 0 ? 1 : 0;  // crash a follower
+  rdb.raft().crash(victim);
+
+  Rng rng(6);
+  for (int i = 0; i < 5; ++i) {
+    rdb.submit_batch(wls[0]->batch(10, rng));
+    rdb.run_ms(100);
+  }
+  rdb.raft().restart(victim);
+  rdb.run_ms(3000);
+  ASSERT_TRUE(rdb.converged());
+  const auto hashes = rdb.state_hashes();
+  EXPECT_EQ(hashes[0], hashes[1]);
+  EXPECT_EQ(hashes[0], hashes[2]);
+}
+
+}  // namespace
+}  // namespace prog::consensus

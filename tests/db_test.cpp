@@ -1,0 +1,84 @@
+// Tests for the Database facade.
+#include <gtest/gtest.h>
+
+#include "db/database.hpp"
+#include "lang/builder.hpp"
+
+namespace prog::db {
+namespace {
+
+constexpr TableId kT = 1;
+constexpr FieldId kF = 0;
+
+lang::Proc make_bump() {
+  lang::ProcBuilder b("bump");
+  auto k = b.param("k", 0, 100);
+  auto h = b.get(kT, k);
+  b.put(kT, k, {{kF, h.field(kF) + 1}});
+  return std::move(b).build();
+}
+
+lang::Proc make_probe() {
+  lang::ProcBuilder b("probe");
+  auto k = b.param("k", 0, 100);
+  auto h = b.get(kT, k);
+  b.emit(h.field(kF));
+  return std::move(b).build();
+}
+
+TEST(DatabaseTest, RegisterExecuteRoundTrip) {
+  Database db;
+  const auto bump = db.register_procedure(make_bump());
+  db.store().put({kT, 5}, store::Row{{kF, 10}}, 0);
+  db.finalize();
+
+  sched::TxRequest r;
+  r.proc = bump;
+  r.input.add(5);
+  const auto result = db.execute({r});
+  EXPECT_EQ(result.committed, 1u);
+  EXPECT_EQ(db.store().get({kT, 5})->at(kF), 11);
+}
+
+TEST(DatabaseTest, LookupByNameAndMetadata) {
+  Database db;
+  db.register_procedure(make_bump());
+  db.register_procedure(make_probe());
+  EXPECT_EQ(db.find_procedure("bump"), 0u);
+  EXPECT_EQ(db.find_procedure("probe"), 1u);
+  EXPECT_THROW(db.find_procedure("nope"), UsageError);
+  EXPECT_EQ(db.procedure(0).name, "bump");
+  EXPECT_EQ(db.profile(1).klass(), sym::TxClass::kReadOnly);
+  EXPECT_EQ(db.procedure_count(), 2u);
+}
+
+TEST(DatabaseTest, DuplicateNamesRejected) {
+  Database db;
+  db.register_procedure(make_bump());
+  EXPECT_THROW(db.register_procedure(make_bump()), UsageError);
+}
+
+TEST(DatabaseTest, LifecycleMisuseDetected) {
+  Database db;
+  sched::TxRequest r;
+  r.proc = 0;
+  EXPECT_THROW(db.execute({r}), InvariantError);  // not finalized
+  db.register_procedure(make_bump());
+  db.finalize();
+  EXPECT_THROW(db.finalize(), InvariantError);  // double finalize
+  EXPECT_THROW(db.register_procedure(make_probe()), InvariantError);
+}
+
+TEST(DatabaseTest, StateHashTracksStore) {
+  Database a, b;
+  a.register_procedure(make_bump());
+  b.register_procedure(make_bump());
+  a.store().put({kT, 1}, store::Row{{kF, 1}}, 0);
+  b.store().put({kT, 1}, store::Row{{kF, 1}}, 0);
+  EXPECT_EQ(a.state_hash(), b.state_hash());
+  b.store().put({kT, 2}, store::Row{{kF, 2}}, 0);
+  EXPECT_NE(a.state_hash(), b.state_hash());
+}
+
+}  // namespace
+}  // namespace prog::db

@@ -1,0 +1,204 @@
+// Unit tests for the hash-consed symbolic expression layer.
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "expr/expr.hpp"
+
+namespace prog::expr {
+namespace {
+
+/// Trivial context for evaluation tests.
+class Ctx final : public EvalContext {
+ public:
+  std::vector<Value> inputs;
+  std::vector<std::vector<Value>> arrays;
+  std::unordered_map<std::uint64_t, Value> pivots;  // (site<<16|field) -> v
+
+  Value input(std::uint32_t slot) const override { return inputs.at(slot); }
+  Value input_elem(std::uint32_t slot, Value idx) const override {
+    return arrays.at(slot).at(static_cast<std::size_t>(idx));
+  }
+  Value pivot(std::uint32_t site, FieldId field) const override {
+    auto it = pivots.find((std::uint64_t{site} << 16) | field);
+    return it == pivots.end() ? 0 : it->second;
+  }
+};
+
+TEST(ExprPoolTest, HashConsingDeduplicates) {
+  ExprPool pool;
+  const Expr* a = pool.add(pool.input(0), pool.constant(5));
+  const Expr* b = pool.add(pool.input(0), pool.constant(5));
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(pool.constant(7), pool.constant(7));
+  EXPECT_NE(pool.constant(7), pool.constant(8));
+}
+
+TEST(ExprPoolTest, CommutativeCanonicalization) {
+  ExprPool pool;
+  const Expr* x = pool.input(0);
+  const Expr* y = pool.input(1);
+  EXPECT_EQ(pool.add(x, y), pool.add(y, x));
+  EXPECT_EQ(pool.mul(x, y), pool.mul(y, x));
+  EXPECT_NE(pool.sub(x, y), pool.sub(y, x));
+}
+
+TEST(ExprPoolTest, ConstantFolding) {
+  ExprPool pool;
+  const Expr* e = pool.add(pool.constant(2), pool.constant(3));
+  ASSERT_TRUE(e->is_const());
+  EXPECT_EQ(e->cval, 5);
+  EXPECT_EQ(pool.mul(pool.constant(4), pool.constant(5))->cval, 20);
+  EXPECT_EQ(pool.div(pool.constant(7), pool.constant(0))->cval, 0);  // total
+  EXPECT_EQ(pool.mod(pool.constant(7), pool.constant(0))->cval, 0);
+}
+
+TEST(ExprPoolTest, AlgebraicIdentities) {
+  ExprPool pool;
+  const Expr* x = pool.input(0);
+  EXPECT_EQ(pool.add(x, pool.constant(0)), x);
+  EXPECT_EQ(pool.mul(x, pool.constant(1)), x);
+  EXPECT_EQ(pool.mul(x, pool.constant(0))->cval, 0);
+  EXPECT_EQ(pool.sub(x, x)->cval, 0);
+  EXPECT_EQ(pool.cmp(Op::kLe, x, x)->cval, 1);
+  EXPECT_EQ(pool.cmp(Op::kLt, x, x)->cval, 0);
+}
+
+TEST(ExprPoolTest, BooleanSimplification) {
+  ExprPool pool;
+  const Expr* x = pool.input(0);
+  const Expr* t = pool.constant(1);
+  const Expr* f = pool.constant(0);
+  const Expr* c = pool.cmp(Op::kGt, x, pool.constant(10));
+  EXPECT_EQ(pool.logical_and(c, t), c);
+  EXPECT_EQ(pool.logical_and(c, f)->cval, 0);
+  EXPECT_EQ(pool.logical_or(c, t)->cval, 1);
+  EXPECT_EQ(pool.logical_or(c, f), c);
+}
+
+TEST(ExprPoolTest, NotOfComparisonInverts) {
+  ExprPool pool;
+  const Expr* x = pool.input(0);
+  const Expr* lt = pool.cmp(Op::kLt, x, pool.constant(3));
+  const Expr* ge = pool.cmp(Op::kGe, x, pool.constant(3));
+  EXPECT_EQ(pool.logical_not(lt), ge);
+  EXPECT_EQ(pool.logical_not(pool.logical_not(lt)), lt);
+}
+
+TEST(ExprPoolTest, LinearFoldCollapsesSharedTerms) {
+  ExprPool pool;
+  const Expr* next = pool.pivot_field(3, 1);
+  // (next - 20 + 5) < next  ==>  -15 < 0  ==>  true
+  const Expr* lhs = pool.add(pool.sub(next, pool.constant(20)), pool.constant(5));
+  const Expr* e = pool.cmp(Op::kLt, lhs, next);
+  ASSERT_TRUE(e->is_const());
+  EXPECT_EQ(e->cval, 1);
+  // (x + 1) > (x + 1) stays false; (x+2) >= (x+1) is true.
+  const Expr* x = pool.input(0);
+  EXPECT_EQ(pool.cmp(Op::kGe, pool.add(x, pool.constant(2)),
+                     pool.add(x, pool.constant(1)))
+                ->cval,
+            1);
+}
+
+TEST(ExprPoolTest, LinearFoldKeepsGenuineComparisons) {
+  ExprPool pool;
+  const Expr* x = pool.input(0);
+  const Expr* y = pool.input(1);
+  const Expr* e = pool.cmp(Op::kLt, x, y);
+  EXPECT_FALSE(e->is_const());
+}
+
+TEST(ExprEvalTest, Arithmetic) {
+  ExprPool pool;
+  Ctx ctx;
+  ctx.inputs = {7, 3};
+  const Expr* x = pool.input(0);
+  const Expr* y = pool.input(1);
+  EXPECT_EQ(eval(pool.add(x, y), ctx), 10);
+  EXPECT_EQ(eval(pool.sub(x, y), ctx), 4);
+  EXPECT_EQ(eval(pool.mul(x, y), ctx), 21);
+  EXPECT_EQ(eval(pool.div(x, y), ctx), 2);
+  EXPECT_EQ(eval(pool.mod(x, y), ctx), 1);
+  EXPECT_EQ(eval(pool.min(x, y), ctx), 3);
+  EXPECT_EQ(eval(pool.max(x, y), ctx), 7);
+  EXPECT_EQ(eval(pool.neg(x), ctx), -7);
+}
+
+TEST(ExprEvalTest, ComparisonsAndBooleans) {
+  ExprPool pool;
+  Ctx ctx;
+  ctx.inputs = {7, 3};
+  const Expr* x = pool.input(0);
+  const Expr* y = pool.input(1);
+  EXPECT_EQ(eval(pool.cmp(Op::kGt, x, y), ctx), 1);
+  EXPECT_EQ(eval(pool.cmp(Op::kLe, x, y), ctx), 0);
+  EXPECT_EQ(eval(pool.logical_and(pool.cmp(Op::kGt, x, y),
+                                  pool.cmp(Op::kNe, x, y)),
+                 ctx),
+            1);
+  EXPECT_EQ(eval(pool.logical_not(pool.cmp(Op::kGt, x, y)), ctx), 0);
+}
+
+TEST(ExprEvalTest, ArrayAndPivotLeaves) {
+  ExprPool pool;
+  Ctx ctx;
+  ctx.inputs = {2};
+  ctx.arrays = {{}, {10, 20, 30}};
+  ctx.pivots[(std::uint64_t{5} << 16) | 3] = 99;
+  const Expr* elem = pool.input_elem(1, pool.input(0));
+  EXPECT_EQ(eval(elem, ctx), 30);
+  EXPECT_EQ(eval(pool.pivot_field(5, 3), ctx), 99);
+}
+
+TEST(ExprEvalTest, DivisionByZeroIsTotal) {
+  ExprPool pool;
+  Ctx ctx;
+  ctx.inputs = {5, 0};
+  EXPECT_EQ(eval(pool.div(pool.input(0), pool.input(1)), ctx), 0);
+  EXPECT_EQ(eval(pool.mod(pool.input(0), pool.input(1)), ctx), 0);
+}
+
+TEST(ExprTest, DirectFlagPropagation) {
+  ExprPool pool;
+  const Expr* direct = pool.add(pool.input(0), pool.constant(1));
+  EXPECT_TRUE(direct->direct);
+  const Expr* pivot = pool.pivot_field(0, 1);
+  EXPECT_FALSE(pivot->direct);
+  EXPECT_FALSE(pool.add(direct, pivot)->direct);
+}
+
+TEST(ExprTest, CollectPivotSites) {
+  ExprPool pool;
+  std::unordered_set<std::uint32_t> sites;
+  const Expr* e = pool.add(pool.pivot_field(2, 0),
+                           pool.mul(pool.pivot_field(7, 1), pool.input(0)));
+  collect_pivot_sites(e, sites);
+  EXPECT_EQ(sites, (std::unordered_set<std::uint32_t>{2, 7}));
+}
+
+TEST(ExprTest, ToStringRendering) {
+  ExprPool pool;
+  const Expr* x = pool.input(0);  // created first -> lower canonical id
+  const Expr* five = pool.constant(5);
+  EXPECT_EQ(to_string(pool.add(x, five)), "(in0 + 5)");
+  EXPECT_EQ(to_string(pool.pivot_field(3, 2)), "pivot3.f2");
+}
+
+TEST(ExprTest, WrapOnOverflowDoesNotTrap) {
+  ExprPool pool;
+  Ctx ctx;
+  ctx.inputs = {INT64_MAX, 1};
+  // Wrapping semantics, same as the interpreter.
+  EXPECT_EQ(eval(pool.add(pool.input(0), pool.input(1)), ctx), INT64_MIN);
+}
+
+TEST(ExprPoolTest, MemoryAccountingGrows) {
+  ExprPool pool;
+  const std::size_t before = pool.memory_bytes();
+  for (int i = 0; i < 100; ++i) pool.add(pool.input(0), pool.constant(i));
+  EXPECT_GT(pool.memory_bytes(), before);
+}
+
+}  // namespace
+}  // namespace prog::expr

@@ -1,0 +1,244 @@
+// Failure-injection and stress tests for the deterministic engine:
+// pivot-change storms, pathological batches, long-running engines with GC,
+// and adversarial transaction shapes.
+#include <gtest/gtest.h>
+
+#include "baselines/variants.hpp"
+#include "common/rng.hpp"
+#include "db/database.hpp"
+#include "lang/builder.hpp"
+
+namespace prog {
+namespace {
+
+constexpr TableId kHot = 1;
+constexpr TableId kLog = 2;
+constexpr TableId kData = 3;
+constexpr FieldId kV = 0;
+
+/// Every instance reads the same hot pivot and writes a key derived from it:
+/// in a batch of N, all N conflict and N-1 abort per round — the worst case
+/// for MF, the motivating case for SF.
+lang::Proc make_hot_chain() {
+  lang::ProcBuilder b("hot_chain");
+  auto payload = b.param("payload", 0, 1 << 20);
+  auto h = b.get(kHot, b.lit(0));
+  auto seq = b.let("seq", h.field(kV));
+  b.put(kLog, seq, {{kV, payload}});
+  b.put(kHot, b.lit(0), {{kV, seq + 1}});
+  return std::move(b).build();
+}
+
+lang::Proc make_touch() {
+  lang::ProcBuilder b("touch");
+  auto k = b.param("k", 0, 10000);
+  auto h = b.get(kData, k);
+  b.put(kData, k, {{kV, h.field(kV) + 1}});
+  return std::move(b).build();
+}
+
+TEST(FailureTest, PivotStormConvergesUnderMf) {
+  sched::EngineConfig cfg;
+  cfg.workers = 4;
+  cfg.check_containment = true;
+  db::Database db(cfg);
+  const auto hot = db.register_procedure(make_hot_chain());
+  db.store().put({kHot, 0}, store::Row{{kV, 0}}, 0);
+  db.finalize();
+
+  std::vector<sched::TxRequest> batch;
+  for (Value i = 0; i < 32; ++i) {
+    sched::TxRequest r;
+    r.proc = hot;
+    r.input.add(i);
+    batch.push_back(std::move(r));
+  }
+  const auto result = db.execute(std::move(batch));
+  EXPECT_EQ(result.committed, 32u);
+  // Cascade: each round commits exactly one, the rest re-fail.
+  EXPECT_EQ(result.rounds, 31u);
+  EXPECT_EQ(result.validation_aborts, 31u * 32u / 2u);
+  EXPECT_EQ(db.store().get({kHot, 0})->at(kV), 32);
+  for (Key s = 0; s < 32; ++s) {
+    ASSERT_NE(db.store().get({kLog, s}), nullptr) << s;
+  }
+}
+
+TEST(FailureTest, PivotStormOneRoundUnderSf) {
+  sched::EngineConfig cfg;
+  cfg.workers = 4;
+  cfg.parallel_failed = false;
+  db::Database db(cfg);
+  const auto hot = db.register_procedure(make_hot_chain());
+  db.store().put({kHot, 0}, store::Row{{kV, 0}}, 0);
+  db.finalize();
+
+  std::vector<sched::TxRequest> batch;
+  for (Value i = 0; i < 32; ++i) {
+    sched::TxRequest r;
+    r.proc = hot;
+    r.input.add(i);
+    batch.push_back(std::move(r));
+  }
+  const auto result = db.execute(std::move(batch));
+  EXPECT_EQ(result.committed, 32u);
+  EXPECT_EQ(result.rounds, 1u);
+  EXPECT_EQ(result.validation_aborts, 31u);  // one failed attempt each
+  EXPECT_EQ(db.store().get({kHot, 0})->at(kV), 32);
+}
+
+TEST(FailureTest, SfAndMfAgreeOnStormState) {
+  auto run = [&](bool mf) {
+    sched::EngineConfig cfg;
+    cfg.workers = 4;
+    cfg.parallel_failed = mf;
+    db::Database db(cfg);
+    const auto hot = db.register_procedure(make_hot_chain());
+    db.store().put({kHot, 0}, store::Row{{kV, 0}}, 0);
+    db.finalize();
+    std::vector<sched::TxRequest> batch;
+    for (Value i = 0; i < 24; ++i) {
+      sched::TxRequest r;
+      r.proc = hot;
+      r.input.add(i * 7);
+      batch.push_back(std::move(r));
+    }
+    db.execute(std::move(batch));
+    return db.state_hash();
+  };
+  EXPECT_EQ(run(true), run(false));
+}
+
+TEST(FailureTest, HugeBatchSingleEngine) {
+  sched::EngineConfig cfg;
+  cfg.workers = 4;
+  db::Database db(cfg);
+  const auto touch = db.register_procedure(make_touch());
+  for (Key k = 0; k <= 10000; ++k) {
+    db.store().put({kData, k}, store::Row{{kV, 0}}, 0);
+  }
+  db.finalize();
+  Rng rng(9);
+  std::vector<sched::TxRequest> batch;
+  for (int i = 0; i < 20000; ++i) {
+    sched::TxRequest r;
+    r.proc = touch;
+    r.input.add(rng.uniform(0, 10000));
+    batch.push_back(std::move(r));
+  }
+  const auto result = db.execute(std::move(batch));
+  EXPECT_EQ(result.committed, 20000u);
+  EXPECT_EQ(result.validation_aborts, 0u);
+}
+
+TEST(FailureTest, ManyBatchesWithGc) {
+  sched::EngineConfig cfg;
+  cfg.workers = 2;
+  cfg.gc_horizon = 8;
+  db::Database db(cfg);
+  const auto touch = db.register_procedure(make_touch());
+  for (Key k = 0; k < 100; ++k) {
+    db.store().put({kData, k}, store::Row{{kV, 0}}, 0);
+  }
+  db.finalize();
+  Rng rng(4);
+  for (int b = 0; b < 64; ++b) {
+    std::vector<sched::TxRequest> batch;
+    for (int i = 0; i < 20; ++i) {
+      sched::TxRequest r;
+      r.proc = touch;
+      r.input.add(rng.uniform(0, 99));
+      batch.push_back(std::move(r));
+    }
+    db.execute(std::move(batch));
+  }
+  // GC kept version chains bounded: at most a handful per key.
+  EXPECT_LT(db.store().version_count(), 100u * 20u);
+  // Total increments preserved.
+  std::int64_t total = 0;
+  for (Key k = 0; k < 100; ++k) {
+    total += db.store().get({kData, k})->at(kV);
+  }
+  EXPECT_EQ(total, 64 * 20);
+}
+
+TEST(FailureTest, AllRotBatchWithMoreWorkersThanWork) {
+  sched::EngineConfig cfg;
+  cfg.workers = 8;
+  db::Database db(cfg);
+  lang::ProcBuilder b("peek");
+  auto k = b.param("k", 0, 10);
+  auto h = b.get(kData, k);
+  b.emit(h.field(kV));
+  const auto peek = db.register_procedure(std::move(b).build());
+  db.store().put({kData, 1}, store::Row{{kV, 7}}, 0);
+  db.finalize();
+  std::vector<sched::TxRequest> batch;
+  for (Value i = 0; i < 3; ++i) {
+    sched::TxRequest r;
+    r.proc = peek;
+    r.input.add(i);
+    batch.push_back(std::move(r));
+  }
+  EXPECT_EQ(db.execute(std::move(batch)).committed, 3u);
+}
+
+TEST(FailureTest, AlternatingStormAndQuietBatches) {
+  sched::EngineConfig cfg;
+  cfg.workers = 4;
+  db::Database db(cfg);
+  const auto hot = db.register_procedure(make_hot_chain());
+  const auto touch = db.register_procedure(make_touch());
+  db.store().put({kHot, 0}, store::Row{{kV, 0}}, 0);
+  for (Key k = 0; k < 50; ++k) {
+    db.store().put({kData, k}, store::Row{{kV, 0}}, 0);
+  }
+  db.finalize();
+  Rng rng(8);
+  std::uint64_t committed = 0;
+  for (int b = 0; b < 10; ++b) {
+    std::vector<sched::TxRequest> batch;
+    for (int i = 0; i < 16; ++i) {
+      sched::TxRequest r;
+      if (b % 2 == 0) {
+        r.proc = hot;
+        r.input.add(rng.uniform(0, 1000));
+      } else {
+        r.proc = touch;
+        r.input.add(rng.uniform(0, 49));
+      }
+      batch.push_back(std::move(r));
+    }
+    committed += db.execute(std::move(batch)).committed;
+  }
+  EXPECT_EQ(committed, 160u);
+  EXPECT_EQ(db.store().get({kHot, 0})->at(kV), 5 * 16);
+}
+
+TEST(FailureTest, CalvinStormDefersDeterministically) {
+  auto run = [&] {
+    sched::EngineConfig cfg = baselines::calvin(100, 4).config;
+    db::Database db(cfg);
+    const auto hot = db.register_procedure(make_hot_chain());
+    db.store().put({kHot, 0}, store::Row{{kV, 0}}, 0);
+    db.finalize();
+    std::vector<sched::TxRequest> pending;
+    for (Value i = 0; i < 8; ++i) {
+      sched::TxRequest r;
+      r.proc = hot;
+      r.input.add(i);
+      pending.push_back(std::move(r));
+    }
+    int safety = 0;
+    while (!pending.empty() && ++safety < 50) {
+      auto result = db.execute(std::move(pending));
+      pending = std::move(result.deferred);
+    }
+    EXPECT_TRUE(pending.empty());
+    return db.state_hash();
+  };
+  EXPECT_EQ(run(), run());
+}
+
+}  // namespace
+}  // namespace prog

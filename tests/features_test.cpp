@@ -1,0 +1,231 @@
+// Tests for the extension features: client-side IT prediction offload
+// (paper Section III-C, described as future work), input validation, and
+// read-only-table lock elision.
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "db/database.hpp"
+#include "lang/builder.hpp"
+#include "workloads/tpcc.hpp"
+
+namespace prog {
+namespace {
+
+constexpr TableId kT = 1;
+constexpr TableId kCatalog = 2;
+constexpr FieldId kF = 0;
+
+lang::Proc make_pay() {
+  lang::ProcBuilder b("pay");
+  auto k = b.param("k", 0, 99);
+  auto amt = b.param("amt", 1, 100);
+  auto h = b.get(kT, k);
+  b.put(kT, k, {{kF, h.field(kF) + amt}});
+  return std::move(b).build();
+}
+
+lang::Proc make_lookup_pay() {
+  // Reads an immutable catalog row (never written by any proc) + pays.
+  lang::ProcBuilder b("lookup_pay");
+  auto k = b.param("k", 0, 99);
+  auto c = b.param("c", 0, 9);
+  auto cat = b.get(kCatalog, c);
+  auto h = b.get(kT, k);
+  b.put(kT, k, {{kF, h.field(kF) + cat.field(kF)}});
+  return std::move(b).build();
+}
+
+TEST(ClientPredictionTest, DatabaseComputesItPredictions) {
+  db::Database db;
+  const auto pay = db.register_procedure(make_pay());
+  lang::TxInput in;
+  in.add(7).add(10);
+  const auto pred = db.predict_client(pay, in);
+  ASSERT_NE(pred, nullptr);
+  EXPECT_EQ(pred->keys, (std::vector<TKey>{{kT, 7}}));
+  EXPECT_TRUE(pred->pivots.empty());
+}
+
+TEST(ClientPredictionTest, RefusedForDependentAndReadOnly) {
+  db::Database db;
+  lang::ProcBuilder b("chase");
+  auto x = b.param("x", 0, 10);
+  auto h = b.get(kT, x);
+  b.put(kT, h.field(kF), {{kF, x}});
+  const auto dt = db.register_procedure(std::move(b).build());
+  lang::TxInput in;
+  in.add(1);
+  EXPECT_EQ(db.predict_client(dt, in), nullptr);
+}
+
+TEST(ClientPredictionTest, EngineHonorsClientPredictions) {
+  sched::EngineConfig cfg;
+  cfg.workers = 2;
+  cfg.accept_client_predictions = true;
+  cfg.check_containment = true;
+  db::Database db(cfg);
+  const auto pay = db.register_procedure(make_pay());
+  for (Key k = 0; k < 100; ++k) {
+    db.store().put({kT, k}, store::Row{{kF, 0}}, 0);
+  }
+  db.finalize();
+
+  std::vector<sched::TxRequest> batch;
+  for (Value i = 0; i < 20; ++i) {
+    sched::TxRequest r;
+    r.proc = pay;
+    r.input.add(i % 10).add(5);
+    r.client_pred = db.predict_client(pay, r.input);
+    ASSERT_NE(r.client_pred, nullptr);
+    batch.push_back(std::move(r));
+  }
+  const auto result = db.execute(std::move(batch));
+  EXPECT_EQ(result.committed, 20u);
+  for (Key k = 0; k < 10; ++k) {
+    EXPECT_EQ(db.store().get({kT, k})->at(kF), 10);
+  }
+}
+
+TEST(ClientPredictionTest, OffloadPreservesStateDeterminism) {
+  auto run = [&](bool offload) {
+    sched::EngineConfig cfg;
+    cfg.workers = 4;
+    cfg.accept_client_predictions = offload;
+    db::Database db(cfg);
+    const auto pay = db.register_procedure(make_pay());
+    for (Key k = 0; k < 100; ++k) {
+      db.store().put({kT, k}, store::Row{{kF, 0}}, 0);
+    }
+    db.finalize();
+    Rng rng(3);
+    for (int b = 0; b < 5; ++b) {
+      std::vector<sched::TxRequest> batch;
+      for (int i = 0; i < 30; ++i) {
+        sched::TxRequest r;
+        r.proc = pay;
+        r.input.add(rng.uniform(0, 99)).add(rng.uniform(1, 100));
+        if (offload) r.client_pred = db.predict_client(pay, r.input);
+        batch.push_back(std::move(r));
+      }
+      db.execute(std::move(batch));
+    }
+    return db.state_hash();
+  };
+  EXPECT_EQ(run(false), run(true));
+}
+
+TEST(LockElisionTest, ImmutableTableReadsTakeNoLocks) {
+  sched::EngineConfig cfg;
+  cfg.workers = 4;
+  cfg.check_containment = true;
+  cfg.audit_commit_order = true;
+  db::Database db(cfg);
+  const auto lp = db.register_procedure(make_lookup_pay());
+  for (Key k = 0; k < 100; ++k) {
+    db.store().put({kT, k}, store::Row{{kF, 0}}, 0);
+  }
+  for (Key c = 0; c < 10; ++c) {
+    db.store().put({kCatalog, c}, store::Row{{kF, Value(c)}}, 0);
+  }
+  db.finalize();
+
+  // All transactions read catalog row 3 but write distinct keys: with
+  // elision they are fully concurrent and all commit.
+  std::vector<sched::TxRequest> batch;
+  for (Value i = 0; i < 50; ++i) {
+    sched::TxRequest r;
+    r.proc = lp;
+    r.input.add(i % 50).add(3);
+    batch.push_back(std::move(r));
+  }
+  const auto result = db.execute(std::move(batch));
+  EXPECT_EQ(result.committed, 50u);
+  EXPECT_EQ(db.store().get({kT, 5})->at(kF), 3);
+}
+
+TEST(ParallelEnqueueTest, PreservesStateAndCommitsEverything) {
+  auto run = [&](bool parallel, unsigned workers) {
+    sched::EngineConfig cfg;
+    cfg.workers = workers;
+    cfg.parallel_enqueue = parallel;
+    cfg.check_containment = true;
+    db::Database db(cfg);
+    const auto pay = db.register_procedure(make_pay());
+    for (Key k = 0; k < 100; ++k) {
+      db.store().put({kT, k}, store::Row{{kF, 0}}, 0);
+    }
+    db.finalize();
+    Rng rng(21);
+    std::uint64_t committed = 0;
+    for (int b = 0; b < 6; ++b) {
+      std::vector<sched::TxRequest> batch;
+      for (int i = 0; i < 40; ++i) {
+        sched::TxRequest r;
+        r.proc = pay;
+        r.input.add(rng.uniform(0, 20)).add(rng.uniform(1, 100));  // hot
+        batch.push_back(std::move(r));
+      }
+      committed += db.execute(std::move(batch)).committed;
+    }
+    EXPECT_EQ(committed, 240u);
+    return db.state_hash();
+  };
+  const auto ref = run(false, 4);
+  EXPECT_EQ(ref, run(true, 4));
+  EXPECT_EQ(ref, run(true, 1));
+  EXPECT_EQ(ref, run(true, 8));
+}
+
+TEST(ValidateInputTest, AcceptsInBoundsRejectsOutOfBounds) {
+  const lang::Proc pay = make_pay();
+  lang::TxInput ok;
+  ok.add(5).add(50);
+  EXPECT_NO_THROW(lang::validate_input(pay, ok));
+
+  lang::TxInput low;
+  low.add(5).add(0);  // amt below 1
+  EXPECT_THROW(lang::validate_input(pay, low), UsageError);
+  lang::TxInput high;
+  high.add(100).add(5);  // k above 99
+  EXPECT_THROW(lang::validate_input(pay, high), UsageError);
+  lang::TxInput missing;
+  missing.add(5);
+  EXPECT_THROW(lang::validate_input(pay, missing), UsageError);
+}
+
+TEST(ValidateInputTest, ArrayShapeChecked) {
+  lang::ProcBuilder b("arr");
+  auto n = b.param("n", 1, 3);
+  auto ids = b.param_array("ids", 3, 0, 9);
+  b.for_(b.lit(0), n, 3, [&](lang::ProcBuilder& body, lang::Val i) {
+    body.put(kT, ids[i], {{kF, body.lit(1)}});
+  });
+  const lang::Proc proc = std::move(b).build();
+
+  lang::TxInput ok;
+  ok.add(2).add_array({1, 2, 3});
+  EXPECT_NO_THROW(lang::validate_input(proc, ok));
+
+  lang::TxInput short_arr;
+  short_arr.add(2).add_array({1, 2});
+  EXPECT_THROW(lang::validate_input(proc, short_arr), UsageError);
+  lang::TxInput bad_elem;
+  bad_elem.add(2).add_array({1, 2, 99});
+  EXPECT_THROW(lang::validate_input(proc, bad_elem), UsageError);
+  lang::TxInput scalar_for_array;
+  scalar_for_array.add(2).add(1);
+  EXPECT_THROW(lang::validate_input(proc, scalar_for_array), UsageError);
+}
+
+TEST(ValidateInputTest, TpccGeneratorStaysInBounds) {
+  db::Database db;
+  workloads::tpcc::Workload wl(db, workloads::tpcc::Scale::tiny(2));
+  Rng rng(11);
+  for (int i = 0; i < 300; ++i) {
+    const sched::TxRequest r = wl.next(rng);
+    EXPECT_NO_THROW(lang::validate_input(db.procedure(r.proc), r.input));
+  }
+}
+
+}  // namespace
+}  // namespace prog

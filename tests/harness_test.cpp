@@ -1,0 +1,93 @@
+// Tests for the throughput harness itself (trial accounting, sustainability
+// verdicts, the search), using the micro workload as the subject.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "benchutil/harness.hpp"
+#include "workloads/microbench.hpp"
+
+namespace prog::benchutil {
+namespace {
+
+class MicroCase final : public CaseContext {
+ public:
+  explicit MicroCase(const sched::EngineConfig& cfg) : db_(cfg), rng_(1) {
+    workloads::micro::Options opts;
+    opts.keys = 2000;
+    wl_ = std::make_unique<workloads::micro::Workload>(db_, opts);
+  }
+  db::Database& database() override { return db_; }
+  std::vector<sched::TxRequest> make_batch(std::size_t n) override {
+    return wl_->batch(n, rng_);
+  }
+
+ private:
+  db::Database db_;
+  std::unique_ptr<workloads::micro::Workload> wl_;
+  Rng rng_;
+};
+
+CaseFactory micro_factory() {
+  return [](const sched::EngineConfig& cfg) {
+    return std::make_unique<MicroCase>(cfg);
+  };
+}
+
+TrialOptions quick_opts() {
+  TrialOptions o;
+  o.warmup_batches = 1;
+  o.measured_batches = 4;
+  o.modeled = true;
+  o.modeled_workers = 8;
+  return o;
+}
+
+TEST(HarnessTest, TrialAccountsCommitsAndThroughput) {
+  sched::EngineConfig cfg;
+  const TrialStats s = run_trial(micro_factory(), cfg, 20, quick_opts());
+  EXPECT_EQ(s.committed, 4u * 20u);  // measured batches only
+  EXPECT_GT(s.throughput_tps, 0);
+  EXPECT_GT(s.p99_ms, 0);
+  EXPECT_TRUE(s.sustainable);  // tiny batches of µs-scale transactions
+  EXPECT_EQ(s.aborts, 0u);     // micro RMW is an IT
+}
+
+TEST(HarnessTest, ImpossibleLimitIsUnsustainable) {
+  sched::EngineConfig cfg;
+  TrialOptions opts = quick_opts();
+  opts.p99_limit_ms = 1e-6;
+  const TrialStats s = run_trial(micro_factory(), cfg, 20, opts);
+  EXPECT_FALSE(s.sustainable);
+}
+
+TEST(HarnessTest, SearchFindsAPositiveSustainableSize) {
+  sched::EngineConfig cfg;
+  const SustainableResult r =
+      max_sustainable(micro_factory(), cfg, quick_opts(), 64);
+  EXPECT_GE(r.batch_size, 4u);
+  EXPECT_LE(r.batch_size, 64u);
+  EXPECT_TRUE(r.stats.sustainable);
+}
+
+TEST(HarnessTest, SearchReportsZeroWhenNothingSustains) {
+  sched::EngineConfig cfg;
+  TrialOptions opts = quick_opts();
+  opts.p99_limit_ms = 1e-6;
+  const SustainableResult r = max_sustainable(micro_factory(), cfg, opts, 32);
+  EXPECT_EQ(r.batch_size, 0u);
+  EXPECT_FALSE(r.stats.sustainable);
+}
+
+TEST(HarnessTest, ModeledAndWallClockBothRun) {
+  sched::EngineConfig cfg;
+  cfg.workers = 2;
+  TrialOptions opts = quick_opts();
+  opts.modeled = false;  // wall-clock path
+  const TrialStats s = run_trial(micro_factory(), cfg, 10, opts);
+  EXPECT_EQ(s.committed, 4u * 10u);
+  EXPECT_GT(s.p99_ms, 0);
+}
+
+}  // namespace
+}  // namespace prog::benchutil

@@ -1,0 +1,375 @@
+// Tests for the DSL: builder shape, interpreter semantics, relevance analysis.
+#include <gtest/gtest.h>
+
+#include "lang/builder.hpp"
+#include "lang/interp.hpp"
+#include "lang/relevance.hpp"
+#include "store/store.hpp"
+
+namespace prog::lang {
+namespace {
+
+constexpr TableId kAcct = 1;
+constexpr TableId kLog = 2;
+constexpr FieldId kBal = 0;
+constexpr FieldId kPtr = 1;
+
+/// transfer(from, to, amount): classic two-account money movement.
+Proc make_transfer() {
+  ProcBuilder b("transfer");
+  auto from = b.param("from", 0, 100);
+  auto to = b.param("to", 0, 100);
+  auto amount = b.param("amount", 1, 50);
+  auto src = b.get(kAcct, from);
+  auto dst = b.get(kAcct, to);
+  b.put(kAcct, from, {{kBal, src.field(kBal) - amount}});
+  b.put(kAcct, to, {{kBal, dst.field(kBal) + amount}});
+  return std::move(b).build();
+}
+
+void make_accounts(store::VersionedStore& s, Value n, Value balance) {
+  for (Value i = 0; i < n; ++i) {
+    s.put({kAcct, static_cast<Key>(i)}, store::Row{{kBal, balance}}, 0);
+  }
+}
+
+TEST(BuilderTest, ProcShape) {
+  const Proc p = make_transfer();
+  EXPECT_EQ(p.name, "transfer");
+  EXPECT_EQ(p.params.size(), 3u);
+  EXPECT_EQ(p.body.size(), 4u);  // 2 gets + 2 puts
+  EXPECT_EQ(p.var_types.size(), 2u);  // 2 handles
+}
+
+TEST(BuilderTest, ParamBoundsValidated) {
+  ProcBuilder b("bad");
+  EXPECT_THROW(b.param("x", 10, 5), InvariantError);
+}
+
+TEST(BuilderTest, AssignRequiresVariable) {
+  ProcBuilder b("bad");
+  auto x = b.param("x", 0, 10);
+  EXPECT_THROW(b.assign(x + 1, x), InvariantError);
+  auto v = b.let("v", x);
+  EXPECT_NO_THROW(b.assign(v, x + 1));
+}
+
+TEST(InterpTest, TransferMovesMoney) {
+  const Proc p = make_transfer();
+  store::VersionedStore s;
+  make_accounts(s, 3, 100);
+  Interp interp;
+  store::SnapshotView view(s, 0);
+  TxInput in;
+  in.add(0).add(1).add(25);
+  const ExecResult r = interp.run(p, in, view);
+  ASSERT_TRUE(r.committed);
+  apply_writes(s, r, 1);
+  EXPECT_EQ(s.get({kAcct, 0})->at(kBal), 75);
+  EXPECT_EQ(s.get({kAcct, 1})->at(kBal), 125);
+  EXPECT_EQ(s.get({kAcct, 2})->at(kBal), 100);
+}
+
+TEST(InterpTest, TraceRecordsAccesses) {
+  const Proc p = make_transfer();
+  store::VersionedStore s;
+  make_accounts(s, 3, 100);
+  store::SnapshotView view(s, 0);
+  TxInput in;
+  in.add(0).add(1).add(25);
+  const ExecResult r = Interp().run(p, in, view);
+  EXPECT_EQ(r.reads, (std::vector<TKey>{{kAcct, 0}, {kAcct, 1}}));
+  EXPECT_EQ(r.writes, (std::vector<TKey>{{kAcct, 0}, {kAcct, 1}}));
+}
+
+TEST(InterpTest, SelfTransferReadsOwnWrite) {
+  const Proc p = make_transfer();
+  store::VersionedStore s;
+  make_accounts(s, 1, 100);
+  store::SnapshotView view(s, 0);
+  TxInput in;
+  in.add(0).add(0).add(25);
+  const ExecResult r = Interp().run(p, in, view);
+  ASSERT_TRUE(r.committed);
+  apply_writes(s, r, 1);
+  // Handles snapshot the row at GET time (both GETs ran before any PUT), so
+  // the second PUT computes 100 + 25 and overwrites the first: 125.
+  EXPECT_EQ(s.get({kAcct, 0})->at(kBal), 125);
+}
+
+TEST(InterpTest, AbortRollsBackBufferedWrites) {
+  ProcBuilder b("guarded");
+  auto acct = b.param("acct", 0, 10);
+  auto amount = b.param("amount", 0, 1000);
+  auto h = b.get(kAcct, acct);
+  b.put(kAcct, acct, {{kBal, h.field(kBal) - amount}});
+  b.abort_if(h.field(kBal) - amount < 0);
+  const Proc p = std::move(b).build();
+
+  store::VersionedStore s;
+  make_accounts(s, 1, 100);
+  store::SnapshotView view(s, 0);
+  TxInput ok;
+  ok.add(0).add(60);
+  TxInput overdraft;
+  overdraft.add(0).add(200);
+
+  const ExecResult r1 = Interp().run(p, overdraft, view);
+  EXPECT_FALSE(r1.committed);
+  EXPECT_TRUE(r1.ops.empty());
+
+  const ExecResult r2 = Interp().run(p, ok, view);
+  ASSERT_TRUE(r2.committed);
+  apply_writes(s, r2, 1);
+  EXPECT_EQ(s.get({kAcct, 0})->at(kBal), 40);
+}
+
+TEST(InterpTest, IfElseBranches) {
+  ProcBuilder b("branchy");
+  auto x = b.param("x", 0, 100);
+  b.if_(
+      x > 50, [&](ProcBuilder& t) { t.put(kLog, t.lit(1), {{kBal, x}}); },
+      [&](ProcBuilder& e) { e.put(kLog, e.lit(2), {{kBal, x}}); });
+  const Proc p = std::move(b).build();
+  store::VersionedStore s;
+  store::SnapshotView view(s, 0);
+  TxInput big;
+  big.add(80);
+  TxInput small;
+  small.add(20);
+  EXPECT_EQ(Interp().run(p, big, view).writes,
+            (std::vector<TKey>{{kLog, 1}}));
+  EXPECT_EQ(Interp().run(p, small, view).writes,
+            (std::vector<TKey>{{kLog, 2}}));
+}
+
+TEST(InterpTest, ForLoopBoundsAndEmit) {
+  ProcBuilder b("looper");
+  auto n = b.param("n", 0, 10);
+  auto acc = b.let("acc", b.lit(0));
+  b.for_(b.lit(0), n, 10, [&](ProcBuilder& body, Val i) {
+    body.assign(acc, acc + i);
+  });
+  b.emit(acc);
+  const Proc p = std::move(b).build();
+  store::VersionedStore s;
+  store::SnapshotView view(s, 0);
+  TxInput in;
+  in.add(5);
+  const ExecResult r = Interp().run(p, in, view);
+  ASSERT_EQ(r.emitted.size(), 1u);
+  EXPECT_EQ(r.emitted[0], 0 + 1 + 2 + 3 + 4);
+}
+
+TEST(InterpTest, LoopBoundViolationThrows) {
+  ProcBuilder b("runaway");
+  auto n = b.param("n", 0, 100);
+  b.for_(b.lit(0), n, 5, [&](ProcBuilder&, Val) {});
+  const Proc p = std::move(b).build();
+  store::VersionedStore s;
+  store::SnapshotView view(s, 0);
+  TxInput in;
+  in.add(50);
+  EXPECT_THROW(Interp().run(p, in, view), InvariantError);
+}
+
+TEST(InterpTest, DeleteHidesRow) {
+  ProcBuilder b("deleter");
+  auto k = b.param("k", 0, 10);
+  b.del(kAcct, k);
+  const Proc p = std::move(b).build();
+  store::VersionedStore s;
+  make_accounts(s, 2, 50);
+  store::SnapshotView view(s, 0);
+  TxInput in;
+  in.add(1);
+  const ExecResult r = Interp().run(p, in, view);
+  apply_writes(s, r, 1);
+  EXPECT_EQ(s.get({kAcct, 1}), nullptr);
+  EXPECT_NE(s.get({kAcct, 0}), nullptr);
+}
+
+TEST(InterpTest, GetAfterDelInSameTx) {
+  ProcBuilder b("del_then_get");
+  auto k = b.param("k", 0, 10);
+  b.del(kAcct, k);
+  auto h = b.get(kAcct, k);
+  b.emit(h.exists());
+  b.emit(h.field(kBal));
+  const Proc p = std::move(b).build();
+  store::VersionedStore s;
+  make_accounts(s, 2, 50);
+  store::SnapshotView view(s, 0);
+  TxInput in;
+  in.add(0);
+  const ExecResult r = Interp().run(p, in, view);
+  EXPECT_EQ(r.emitted, (std::vector<Value>{0, 0}));
+}
+
+TEST(InterpTest, ExistsOnMissingRow) {
+  ProcBuilder b("prober");
+  auto k = b.param("k", 0, 100);
+  auto h = b.get(kAcct, k);
+  b.emit(h.exists());
+  const Proc p = std::move(b).build();
+  store::VersionedStore s;
+  make_accounts(s, 1, 10);
+  store::SnapshotView view(s, 0);
+  TxInput hit;
+  hit.add(0);
+  TxInput miss;
+  miss.add(55);
+  EXPECT_EQ(Interp().run(p, hit, view).emitted[0], 1);
+  EXPECT_EQ(Interp().run(p, miss, view).emitted[0], 0);
+}
+
+TEST(InterpTest, ArgCountMismatchThrows) {
+  const Proc p = make_transfer();
+  store::VersionedStore s;
+  store::SnapshotView view(s, 0);
+  TxInput in;
+  in.add(1);
+  EXPECT_THROW(Interp().run(p, in, view), UsageError);
+}
+
+TEST(InterpTest, PartialPutMergesFields) {
+  ProcBuilder b("merger");
+  auto k = b.param("k", 0, 10);
+  b.put(kAcct, k, {{kPtr, b.lit(7)}});
+  const Proc p = std::move(b).build();
+  store::VersionedStore s;
+  make_accounts(s, 1, 100);
+  store::SnapshotView view(s, 0);
+  TxInput in;
+  in.add(0);
+  const ExecResult r = Interp().run(p, in, view);
+  apply_writes(s, r, 1);
+  EXPECT_EQ(s.get({kAcct, 0})->at(kBal), 100);  // preserved
+  EXPECT_EQ(s.get({kAcct, 0})->at(kPtr), 7);    // added
+}
+
+// --- relevance ---------------------------------------------------------------
+
+TEST(RelevanceTest, ValueOnlyBranchIsNotForking) {
+  // if (x > 10) write value A else value B — same key either way.
+  ProcBuilder b("valbranch");
+  auto k = b.param("k", 0, 10);
+  auto x = b.param("x", 0, 100);
+  auto v = b.let("v", b.lit(0));
+  b.if_(
+      x > 10, [&](ProcBuilder& t) { t.assign(v, x + 1); },
+      [&](ProcBuilder& e) { e.assign(v, x + 2); });
+  b.put(kAcct, k, {{kBal, v}});
+  const Proc p = std::move(b).build();
+  const Relevance rel = analyze_relevance(p);
+  EXPECT_FALSE(rel.param_relevant[1]);  // x only feeds the written value
+  EXPECT_TRUE(rel.param_relevant[0]);   // k identifies the key
+  ASSERT_EQ(p.body.size(), 3u);
+  EXPECT_FALSE(rel.is_forking(p.body[1]));  // the if
+}
+
+TEST(RelevanceTest, KeyAffectingBranchForks) {
+  ProcBuilder b("keybranch");
+  auto x = b.param("x", 0, 100);
+  auto k = b.let("k", b.lit(0));
+  b.if_(
+      x > 10, [&](ProcBuilder& t) { t.assign(k, t.lit(1)); },
+      [&](ProcBuilder& e) { e.assign(k, e.lit(2)); });
+  b.put(kAcct, k, {{kBal, x}});
+  const Proc p = std::move(b).build();
+  const Relevance rel = analyze_relevance(p);
+  EXPECT_TRUE(rel.param_relevant[0]);  // x decides which key is written
+  EXPECT_TRUE(rel.is_forking(p.body[1]));
+}
+
+TEST(RelevanceTest, AccessInsideBranchForcesForking) {
+  ProcBuilder b("guardaccess");
+  auto x = b.param("x", 0, 100);
+  b.if_(x > 10, [&](ProcBuilder& t) {
+    t.put(kLog, t.lit(1), {{kBal, t.lit(0)}});
+  });
+  const Proc p = std::move(b).build();
+  const Relevance rel = analyze_relevance(p);
+  EXPECT_TRUE(rel.param_relevant[0]);
+  EXPECT_TRUE(rel.is_forking(p.body[0]));
+}
+
+TEST(RelevanceTest, LoopOverAccessesMarksBoundRelevant) {
+  ProcBuilder b("loopaccess");
+  auto n = b.param("n", 1, 15);
+  auto ids = b.param_array("ids", 15, 0, 1000);
+  b.for_(b.lit(0), n, 15, [&](ProcBuilder& body, Val i) {
+    body.put(kAcct, ids[i], {{kBal, body.lit(0)}});
+  });
+  const Proc p = std::move(b).build();
+  const Relevance rel = analyze_relevance(p);
+  EXPECT_TRUE(rel.param_relevant[0]);  // n (trip count)
+  EXPECT_TRUE(rel.param_relevant[1]);  // ids (key identities)
+  EXPECT_TRUE(rel.is_forking(p.body[0]));
+}
+
+TEST(RelevanceTest, PureValueLoopIsNotForking) {
+  ProcBuilder b("valloop");
+  auto k = b.param("k", 0, 10);
+  auto n = b.param("n", 1, 10);
+  auto acc = b.let("acc", b.lit(0));
+  b.for_(b.lit(0), n, 10, [&](ProcBuilder& body, Val i) {
+    body.assign(acc, acc + i);
+  });
+  b.put(kAcct, k, {{kBal, acc}});
+  const Proc p = std::move(b).build();
+  const Relevance rel = analyze_relevance(p);
+  EXPECT_FALSE(rel.param_relevant[1]);  // n only shapes the written value
+  ASSERT_GE(p.body.size(), 2u);
+  EXPECT_FALSE(rel.is_forking(p.body[1]));  // the for
+}
+
+TEST(RelevanceTest, TransitiveExplicitFlow) {
+  ProcBuilder b("chain");
+  auto x = b.param("x", 0, 100);
+  auto a = b.let("a", x + 1);
+  auto c = b.let("c", a * 2);
+  b.get(kAcct, c);
+  const Proc p = std::move(b).build();
+  const Relevance rel = analyze_relevance(p);
+  EXPECT_TRUE(rel.param_relevant[0]);  // x -> a -> c -> key
+}
+
+TEST(RelevanceTest, ImplicitFlowThroughControl) {
+  ProcBuilder b("implicit");
+  auto x = b.param("x", 0, 100);
+  auto k = b.let("k", b.lit(0));
+  // k is assigned under a condition on x: implicit flow x -> k.
+  b.if_(x > 10, [&](ProcBuilder& t) { t.assign(k, t.lit(5)); });
+  b.get(kAcct, k);
+  const Proc p = std::move(b).build();
+  const Relevance rel = analyze_relevance(p);
+  EXPECT_TRUE(rel.param_relevant[0]);
+}
+
+TEST(RelevanceTest, EmitDoesNotCreateRelevance) {
+  ProcBuilder b("emitter");
+  auto x = b.param("x", 0, 100);
+  b.emit(x * 2);
+  b.get(kAcct, b.lit(1));
+  const Proc p = std::move(b).build();
+  const Relevance rel = analyze_relevance(p);
+  EXPECT_FALSE(rel.param_relevant[0]);
+}
+
+TEST(RelevanceTest, ExprIrrelevantHelper) {
+  ProcBuilder b("helper");
+  auto k = b.param("k", 0, 10);
+  auto x = b.param("x", 0, 10);
+  auto cond = x > 5;
+  auto keyish = k + 1;
+  b.get(kAcct, keyish);
+  b.emit(cond);
+  const Proc p = std::move(b).build();
+  const Relevance rel = analyze_relevance(p);
+  EXPECT_TRUE(expr_irrelevant(p, cond.id(), rel));
+  EXPECT_FALSE(expr_irrelevant(p, keyish.id(), rel));
+}
+
+}  // namespace
+}  // namespace prog::lang

@@ -1,0 +1,97 @@
+// Tests for the YCSB-style micro-workload.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "common/rng.hpp"
+#include "db/database.hpp"
+#include "workloads/microbench.hpp"
+
+namespace prog::workloads::micro {
+namespace {
+
+TEST(ZipfTest, UniformWhenThetaZero) {
+  Zipf z(100, 0.0);
+  Rng rng(1);
+  std::map<std::int64_t, int> counts;
+  for (int i = 0; i < 20000; ++i) ++counts[z.next(rng)];
+  EXPECT_EQ(counts.size(), 100u);
+  for (const auto& [k, c] : counts) {
+    EXPECT_GT(c, 100) << k;  // ~200 expected
+    EXPECT_LT(c, 350) << k;
+  }
+}
+
+TEST(ZipfTest, SkewConcentratesOnSmallKeys) {
+  Zipf z(100000, 0.99);
+  Rng rng(2);
+  int hot = 0;
+  for (int i = 0; i < 20000; ++i) {
+    if (z.next(rng) < 100) ++hot;  // top 0.1% of keys
+  }
+  // Zipf(0.99): a large fraction of draws land on the hottest keys.
+  EXPECT_GT(hot, 4000);
+}
+
+TEST(ZipfTest, StaysInRange) {
+  for (double theta : {0.0, 0.5, 0.99, 1.3}) {
+    Zipf z(1000, theta);
+    Rng rng(3);
+    for (int i = 0; i < 5000; ++i) {
+      const auto v = z.next(rng);
+      ASSERT_GE(v, 0);
+      ASSERT_LT(v, 1000);
+    }
+  }
+}
+
+TEST(MicroWorkloadTest, RmwIsItScanIsRot) {
+  db::Database db;
+  Options opts;
+  opts.keys = 1000;
+  Workload wl(db, opts);
+  EXPECT_EQ(db.profile(wl.rmw()).klass(), sym::TxClass::kIndependent);
+  EXPECT_EQ(db.profile(wl.scan()).klass(), sym::TxClass::kReadOnly);
+}
+
+TEST(MicroWorkloadTest, ValueConservation) {
+  sched::EngineConfig cfg;
+  cfg.workers = 4;
+  cfg.check_containment = true;
+  db::Database db(cfg);
+  Options opts;
+  opts.keys = 500;
+  opts.zipf_theta = 0.99;  // hot keys -> real conflicts
+  Workload wl(db, opts);
+  Rng rng(7);
+  std::uint64_t committed_rmw = 0;
+  for (int b = 0; b < 10; ++b) {
+    auto reqs = wl.batch(50, rng);
+    for (const auto& r : reqs) {
+      if (r.proc == wl.rmw()) ++committed_rmw;
+    }
+    const auto result = db.execute(std::move(reqs));
+    EXPECT_EQ(result.validation_aborts, 0u);  // all ITs
+  }
+  EXPECT_EQ(total_value(db.store(), opts),
+            static_cast<std::int64_t>(committed_rmw) * opts.ops_per_tx);
+}
+
+TEST(MicroWorkloadTest, DeterministicAcrossWorkerCounts) {
+  auto run = [](unsigned workers) {
+    sched::EngineConfig cfg;
+    cfg.workers = workers;
+    db::Database db(cfg);
+    Options opts;
+    opts.keys = 300;
+    opts.zipf_theta = 1.1;
+    Workload wl(db, opts);
+    Rng rng(11);
+    for (int b = 0; b < 8; ++b) db.execute(wl.batch(40, rng));
+    return db.state_hash();
+  };
+  EXPECT_EQ(run(1), run(8));
+}
+
+}  // namespace
+}  // namespace prog::workloads::micro

@@ -1,0 +1,152 @@
+// Unit tests for the benchutil scheduling model.
+#include <gtest/gtest.h>
+
+#include "benchutil/model.hpp"
+
+namespace prog::benchutil {
+namespace {
+
+using sched::BatchTrace;
+using sched::TraceAttempt;
+
+TraceAttempt upd(sched::TxIdx tx, std::int64_t service,
+                 std::vector<sched::TxIdx> preds = {},
+                 std::uint16_t round = 0) {
+  return {tx, round, false, false, service, std::move(preds)};
+}
+
+TraceAttempt rot(sched::TxIdx tx, std::int64_t service) {
+  return {tx, 0, true, false, service, {}};
+}
+
+TEST(ModelTest, EmptyTraceIsZero) {
+  BatchTrace t;
+  EXPECT_EQ(modeled_makespan_us(t, {8, true, true}), 0);
+}
+
+TEST(ModelTest, IndependentTasksScaleWithWorkers) {
+  BatchTrace t;
+  for (sched::TxIdx i = 0; i < 40; ++i) t.attempts.push_back(upd(i, 100));
+  const auto w1 = modeled_makespan_us(t, {1, true, true});
+  const auto w4 = modeled_makespan_us(t, {4, true, true});
+  const auto w40 = modeled_makespan_us(t, {40, true, true});
+  EXPECT_EQ(w1, 4000);
+  EXPECT_EQ(w4, 1000);
+  EXPECT_EQ(w40, 100);
+}
+
+TEST(ModelTest, ChainsBoundTheMakespan) {
+  BatchTrace t;
+  // A chain of 5 tasks of 100us each: no worker count can beat 500us.
+  for (sched::TxIdx i = 0; i < 5; ++i) {
+    t.attempts.push_back(
+        upd(i, 100, i == 0 ? std::vector<sched::TxIdx>{}
+                           : std::vector<sched::TxIdx>{i - 1}));
+  }
+  EXPECT_EQ(modeled_makespan_us(t, {16, true, true}), 500);
+  EXPECT_EQ(modeled_makespan_us(t, {1, true, true}), 500);
+}
+
+TEST(ModelTest, DiamondDependency) {
+  BatchTrace t;
+  t.attempts.push_back(upd(0, 100));
+  t.attempts.push_back(upd(1, 50, {0}));
+  t.attempts.push_back(upd(2, 70, {0}));
+  t.attempts.push_back(upd(3, 10, {1, 2}));
+  // Critical path: 0 -> 2 -> 3 = 180 with >= 2 workers.
+  EXPECT_EQ(modeled_makespan_us(t, {2, true, true}), 180);
+  // One worker: everything serial = 230.
+  EXPECT_EQ(modeled_makespan_us(t, {1, true, true}), 230);
+}
+
+TEST(ModelTest, RoundsAreBarriers) {
+  BatchTrace t;
+  t.rounds = 1;
+  t.attempts.push_back(upd(0, 100, {}, 0));
+  t.attempts.push_back(upd(1, 100, {}, 0));
+  t.attempts.push_back(upd(0, 50, {}, 1));  // retry in round 1
+  // Two workers: round 0 = 100 (parallel), round 1 = 50.
+  EXPECT_EQ(modeled_makespan_us(t, {2, true, true}), 150);
+}
+
+TEST(ModelTest, FailedAttemptsStillOccupyTheirRound) {
+  BatchTrace t;
+  t.rounds = 1;
+  TraceAttempt fail = upd(1, 30, {0}, 0);
+  fail.failed = true;
+  t.attempts.push_back(upd(0, 100, {}, 0));
+  t.attempts.push_back(fail);
+  t.attempts.push_back(upd(1, 90, {}, 1));
+  // Round 0 critical path 0 -> failed(30) = 130; round 1 = 90.
+  EXPECT_EQ(modeled_makespan_us(t, {4, true, true}), 220);
+}
+
+TEST(ModelTest, RotAndPrepareShareThePoolUnderMq) {
+  BatchTrace t;
+  for (sched::TxIdx i = 0; i < 10; ++i) t.attempts.push_back(rot(i, 100));
+  t.prepare_total_us = 1000;
+  // MQ with 9 workers + queuer: pool = 2000 / 10 = 200.
+  EXPECT_EQ(modeled_makespan_us(t, {9, true, true}), 200);
+  // 1Q: queuer prepares alone (1000) while workers run ROTs (1000/9+).
+  const auto q1 = modeled_makespan_us(t, {9, false, true});
+  EXPECT_EQ(q1, 1000);
+}
+
+TEST(ModelTest, SingleHugeRotIsALowerBound) {
+  BatchTrace t;
+  t.attempts.push_back(rot(0, 5000));
+  t.prepare_total_us = 100;
+  EXPECT_GE(modeled_makespan_us(t, {32, true, true}), 5000);
+}
+
+TEST(ModelTest, CalvinExcludesPreparation) {
+  BatchTrace t;
+  t.attempts.push_back(upd(0, 100));
+  t.prepare_total_us = 100000;
+  const auto with = modeled_makespan_us(t, {4, true, true});
+  const auto without = modeled_makespan_us(t, {4, true, false});
+  EXPECT_GT(with, without);
+  EXPECT_EQ(without, 100);
+}
+
+TEST(ModelTest, EnqueueAndSfAreSerial) {
+  BatchTrace t;
+  t.attempts.push_back(upd(0, 100));
+  t.enqueue_us = 40;
+  t.sf_serial_us = 60;
+  EXPECT_EQ(modeled_makespan_us(t, {64, true, true}), 200);
+}
+
+TEST(ModelTest, BreakdownSumsToTotal) {
+  BatchTrace t;
+  t.rounds = 1;
+  t.attempts.push_back(rot(0, 50));
+  t.attempts.push_back(upd(1, 100, {}, 0));
+  t.attempts.push_back(upd(1, 80, {}, 1));
+  t.prepare_total_us = 30;
+  t.enqueue_us = 20;
+  t.sf_serial_us = 10;
+  ModelBreakdown bd;
+  const auto total = modeled_makespan_us(t, {4, true, true}, &bd);
+  EXPECT_EQ(total, bd.phase1_us + bd.enqueue_us + bd.rounds_us + bd.sf_us);
+  EXPECT_EQ(bd.enqueue_us, 20);
+  EXPECT_EQ(bd.sf_us, 10);
+  EXPECT_EQ(bd.rounds_us, 180);
+}
+
+TEST(ModelTest, UnknownPredecessorsAreIgnored) {
+  BatchTrace t;
+  // Predecessor 99 is not in this round (e.g. it was a previous-round tx).
+  t.attempts.push_back(upd(0, 100, {99}));
+  EXPECT_EQ(modeled_makespan_us(t, {2, true, true}), 100);
+}
+
+TEST(ModelTest, ZeroWorkersClampedToOne) {
+  BatchTrace t;
+  t.attempts.push_back(upd(0, 100));
+  t.attempts.push_back(upd(1, 100));
+  EXPECT_EQ(modeled_makespan_us(t, {0, true, true}), 200);
+}
+
+}  // namespace
+}  // namespace prog::benchutil

@@ -1,0 +1,103 @@
+// End-to-end test of the offline-analysis pipeline: profile once, serialize
+// the artifact, ship it to replicas that never ran symbolic execution, and
+// verify they execute identically to a locally-analyzed database.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "common/rng.hpp"
+#include "db/database.hpp"
+#include "lang/builder.hpp"
+#include "sym/serialize.hpp"
+#include "sym/symexec.hpp"
+
+namespace prog {
+namespace {
+
+constexpr TableId kT = 1;
+constexpr TableId kIdx = 2;
+constexpr FieldId kF = 0;
+
+lang::Proc make_indexed_put() {
+  // DT: the slot comes from an index row.
+  lang::ProcBuilder b("indexed_put");
+  auto bucket = b.param("bucket", 0, 9);
+  auto v = b.param("v", 0, 1000);
+  auto idx = b.get(kIdx, bucket);
+  auto slot = b.let("slot", idx.field(kF));
+  b.put(kT, bucket * 1000 + slot, {{kF, v}});
+  b.put(kIdx, bucket, {{kF, slot + 1}});
+  return std::move(b).build();
+}
+
+std::vector<sched::TxRequest> workload_batch(Rng& rng, sched::ProcId proc) {
+  std::vector<sched::TxRequest> out;
+  for (int i = 0; i < 25; ++i) {
+    sched::TxRequest r;
+    r.proc = proc;
+    r.input.add(rng.uniform(0, 9)).add(rng.uniform(0, 1000));
+    out.push_back(std::move(r));
+  }
+  return out;
+}
+
+void load(db::Database& db) {
+  for (Key b = 0; b < 10; ++b) {
+    db.store().put({kIdx, b}, store::Row{{kF, 0}}, 0);
+  }
+}
+
+TEST(OfflinePipelineTest, ShippedProfileExecutesIdentically) {
+  // The "build server": analyze once, serialize.
+  auto proc = std::make_shared<const lang::Proc>(make_indexed_put());
+  const std::string artifact =
+      sym::serialize(*sym::Profiler::profile(*proc));
+
+  // Replica A: local analysis. Replicas B, C: deserialize the artifact.
+  sched::EngineConfig cfg;
+  cfg.workers = 3;
+  cfg.check_containment = true;
+
+  db::Database local(cfg);
+  sched::ProcId local_id = local.register_procedure(make_indexed_put());
+  load(local);
+  local.finalize();
+
+  auto make_shipped = [&] {
+    auto d = std::make_unique<db::Database>(cfg);
+    std::shared_ptr<const sym::TxProfile> prof =
+        sym::deserialize(artifact, *proc);
+    d->register_procedure_shared(proc, std::move(prof));
+    load(*d);
+    d->finalize();
+    return d;
+  };
+  auto b = make_shipped();
+  auto c = make_shipped();
+
+  Rng ra(77), rb(77), rc(77);
+  for (int batch = 0; batch < 8; ++batch) {
+    local.execute(workload_batch(ra, local_id));
+    b->execute(workload_batch(rb, 0));
+    c->execute(workload_batch(rc, 0));
+  }
+  EXPECT_EQ(local.state_hash(), b->state_hash());
+  EXPECT_EQ(b->state_hash(), c->state_hash());
+  // And real work happened: every index advanced.
+  std::int64_t total = 0;
+  for (Key bucket = 0; bucket < 10; ++bucket) {
+    total += b->store().get({kIdx, bucket})->at(kF);
+  }
+  EXPECT_EQ(total, 8 * 25);
+}
+
+TEST(OfflinePipelineTest, ShippedProfileKeepsClassification) {
+  auto proc = std::make_shared<const lang::Proc>(make_indexed_put());
+  auto original = sym::Profiler::profile(*proc);
+  auto restored = sym::deserialize(sym::serialize(*original), *proc);
+  EXPECT_EQ(restored->klass(), sym::TxClass::kDependent);
+  EXPECT_EQ(restored->pivot_site_count(), original->pivot_site_count());
+}
+
+}  // namespace
+}  // namespace prog

@@ -1,0 +1,84 @@
+// Tests for the DSL pretty-printer.
+#include <gtest/gtest.h>
+
+#include "lang/builder.hpp"
+#include "lang/printer.hpp"
+#include "workloads/tpcc.hpp"
+
+namespace prog::lang {
+namespace {
+
+TEST(PrinterTest, SimpleProc) {
+  ProcBuilder b("pay");
+  auto k = b.param("k", 0, 99);
+  auto amt = b.param("amt", 1, 100);
+  auto h = b.get(1, k);
+  b.put(1, k, {{0, h.field(0) + amt}});
+  const Proc p = std::move(b).build();
+  const std::string s = to_string(p);
+  EXPECT_NE(s.find("proc pay(k in [0, 99], amt in [1, 100])"),
+            std::string::npos);
+  EXPECT_NE(s.find("GET(t1, k)"), std::string::npos);
+  EXPECT_NE(s.find("PUT(t1, k, {f0: "), std::string::npos);
+  EXPECT_NE(s.find(" + amt)"), std::string::npos);
+}
+
+TEST(PrinterTest, ControlFlowAndArrays) {
+  ProcBuilder b("ctl");
+  auto n = b.param("n", 1, 5);
+  auto ids = b.param_array("ids", 5, 0, 9);
+  b.for_(b.lit(0), n, 5, [&](ProcBuilder& body, Val i) {
+    body.if_(
+        ids[i] > 3,
+        [&](ProcBuilder& t) { t.put(2, ids[i], {{0, t.lit(1)}}); },
+        [&](ProcBuilder& e) { e.del(2, ids[i]); });
+  });
+  b.abort_if(n == 5);
+  b.emit(n);
+  const Proc p = std::move(b).build();
+  const std::string s = to_string(p);
+  EXPECT_NE(s.find("ids[5] in [0, 9]"), std::string::npos);
+  EXPECT_NE(s.find("for "), std::string::npos);
+  EXPECT_NE(s.find("max 5 {"), std::string::npos);
+  EXPECT_NE(s.find("if (ids["), std::string::npos);
+  EXPECT_NE(s.find("} else {"), std::string::npos);
+  EXPECT_NE(s.find("DEL(t2, "), std::string::npos);
+  EXPECT_NE(s.find("abort_if (n == 5)"), std::string::npos);
+  EXPECT_NE(s.find("emit n"), std::string::npos);
+}
+
+TEST(PrinterTest, ExistsAndMinMax) {
+  ProcBuilder b("probe");
+  auto k = b.param("k", 0, 9);
+  auto h = b.get(1, k);
+  b.emit(h.exists());
+  b.emit(b.max(k, b.lit(3)));
+  const Proc p = std::move(b).build();
+  const std::string s = to_string(p);
+  EXPECT_NE(s.find(".exists"), std::string::npos);
+  EXPECT_NE(s.find("max(k, 3)"), std::string::npos);
+}
+
+TEST(PrinterTest, TpccProceduresRenderWithoutThrowing) {
+  const auto sc = workloads::tpcc::Scale::tiny(2);
+  for (const Proc& p :
+       {workloads::tpcc::build_new_order(sc), workloads::tpcc::build_payment(sc),
+        workloads::tpcc::build_delivery(sc),
+        workloads::tpcc::build_order_status(sc),
+        workloads::tpcc::build_stock_level(sc)}) {
+    const std::string s = to_string(p);
+    EXPECT_GT(s.size(), 100u) << p.name;
+    EXPECT_NE(s.find(p.name), std::string::npos);
+  }
+}
+
+TEST(PrinterTest, ExprToString) {
+  ProcBuilder b("e");
+  auto x = b.param("x", 0, 9);
+  auto sum = x + 2;
+  const Proc p = std::move(b).build();
+  EXPECT_EQ(expr_to_string(p, sum.id()), "(x + 2)");
+}
+
+}  // namespace
+}  // namespace prog::lang

@@ -1,0 +1,139 @@
+// Fine-grained RUBiS semantics: per-entity id sequences, max-bid updates,
+// quantity clamping, rating accumulation, and registration.
+#include <gtest/gtest.h>
+
+#include "db/database.hpp"
+#include "workloads/rubis.hpp"
+
+namespace prog::workloads::rubis {
+namespace {
+
+struct Fixture {
+  db::Database db;
+  std::unique_ptr<Workload> wl;
+  Scale sc = Scale::small();
+
+  Fixture() : db(make_config()) { wl = std::make_unique<Workload>(db, sc); }
+
+  static sched::EngineConfig make_config() {
+    sched::EngineConfig cfg;
+    cfg.workers = 2;
+    cfg.capture_outputs = true;
+    cfg.check_containment = true;
+    return cfg;
+  }
+
+  sched::TxRequest bid(Value user, Value item, Value amount) {
+    sched::TxRequest r;
+    r.proc = wl->store_bid();
+    r.input.add(user).add(item).add(amount);
+    return r;
+  }
+  sched::TxRequest buy(Value user, Value item, Value qty) {
+    sched::TxRequest r;
+    r.proc = wl->store_buy_now();
+    r.input.add(user).add(item).add(qty);
+    return r;
+  }
+  sched::TxRequest comment(Value from, Value to, Value rating) {
+    sched::TxRequest r;
+    r.proc = wl->store_comment();
+    r.input.add(from).add(to).add(rating);
+    return r;
+  }
+
+  store::RowPtr row(TableId t, std::int64_t key) {
+    return db.store().get({t, static_cast<Key>(key)});
+  }
+};
+
+TEST(RubisDetailTest, BidsGetPerItemSequenceAndRaiseMaxBid) {
+  Fixture f;
+  f.db.execute({f.bid(1, 50, 300)});
+  f.db.execute({f.bid(2, 50, 200)});   // lower: max stays
+  f.db.execute({f.bid(3, 50, 400)});   // higher: max moves
+  const store::RowPtr item = f.row(kItems, 50);
+  EXPECT_EQ(item->at(kBidCount), 3);
+  EXPECT_EQ(item->at(kMaxBid), 400);
+  for (std::int64_t s = 0; s < 3; ++s) {
+    ASSERT_NE(f.row(kBids, bid_key(50, s)), nullptr) << s;
+  }
+  EXPECT_EQ(f.row(kBids, bid_key(50, 0))->at(kBidAmount), 300);
+  EXPECT_EQ(f.row(kBids, bid_key(50, 1))->at(kBidder), 2);
+  // Bids on another item use an independent sequence.
+  f.db.execute({f.bid(1, 51, 10)});
+  EXPECT_EQ(f.row(kItems, 51)->at(kBidCount), 1);
+  ASSERT_NE(f.row(kBids, bid_key(51, 0)), nullptr);
+}
+
+TEST(RubisDetailTest, BuyNowClampsQuantityAtZero) {
+  Fixture f;
+  // Loader stocks 10 units; buy 4+4+4: the last one clamps to 0.
+  f.db.execute({f.buy(1, 60, 4)});
+  f.db.execute({f.buy(2, 60, 4)});
+  f.db.execute({f.buy(3, 60, 4)});
+  const store::RowPtr item = f.row(kItems, 60);
+  EXPECT_EQ(item->at(kQuantity), 0);
+  EXPECT_EQ(item->at(kBuyCount), 3);
+  for (std::int64_t s = 0; s < 3; ++s) {
+    ASSERT_NE(f.row(kBuyNow, buy_now_key(60, s)), nullptr);
+  }
+}
+
+TEST(RubisDetailTest, CommentsAccumulateRating) {
+  Fixture f;
+  f.db.execute({f.comment(1, 9, 5)});
+  f.db.execute({f.comment(2, 9, -3)});
+  f.db.execute({f.comment(3, 9, 4)});
+  const store::RowPtr user = f.row(kUsers, 9);
+  EXPECT_EQ(user->at(kRating), 6);
+  EXPECT_EQ(user->at(kCommentCnt), 3);
+  EXPECT_EQ(f.row(kComments, comment_key(9, 1))->at(kCommentRating), -3);
+  EXPECT_EQ(f.row(kComments, comment_key(9, 1))->at(kFromUser), 2);
+}
+
+TEST(RubisDetailTest, RegistrationExtendsGlobalSequences) {
+  Fixture f;
+  const Value users_before = f.row(kCounters, kUserCtr)->at(kNext);
+  const Value items_before = f.row(kCounters, kItemCtr)->at(kNext);
+
+  sched::TxRequest ru;
+  ru.proc = f.wl->register_user();
+  ru.input.add(0);
+  auto r1 = f.db.execute({ru});
+  ASSERT_EQ(r1.outputs.size(), 1u);
+  EXPECT_EQ(r1.outputs[0].second.at(0), users_before);
+  ASSERT_NE(f.row(kUsers, users_before), nullptr);
+
+  sched::TxRequest ri;
+  ri.proc = f.wl->register_item();
+  ri.input.add(5).add(7).add(1000);
+  auto r2 = f.db.execute({ri});
+  const Value new_item = r2.outputs[0].second.at(0);
+  EXPECT_EQ(new_item, items_before);
+  ASSERT_NE(f.row(kItems, new_item), nullptr);
+  EXPECT_EQ(f.row(kItems, new_item)->at(kQuantity), 7);
+  EXPECT_EQ(f.row(kUsers, 5)->at(kListings), 1);
+
+  // The freshly registered item accepts bids like any other.
+  f.db.execute({f.bid(1, new_item, 50)});
+  EXPECT_EQ(f.row(kItems, new_item)->at(kBidCount), 1);
+}
+
+TEST(RubisDetailTest, SameBatchBidsOnOneItemSerializeViaRetries) {
+  Fixture f;
+  auto result = f.db.execute({f.bid(1, 70, 10), f.bid(2, 70, 20),
+                              f.bid(3, 70, 30)});
+  EXPECT_EQ(result.committed, 3u);
+  // Round 0: bids 2+3 fail behind bid 1. Round 1: bid 2 commits, bid 3
+  // fails again (the item moved under it). Round 2: bid 3 commits.
+  EXPECT_EQ(result.validation_aborts, 3u);
+  EXPECT_EQ(result.rounds, 2u);
+  EXPECT_EQ(f.row(kItems, 70)->at(kBidCount), 3);
+  EXPECT_EQ(f.row(kItems, 70)->at(kMaxBid), 30);
+  const auto bad = check_invariants(f.db.store(), f.sc);
+  EXPECT_TRUE(bad.empty()) << (bad.empty() ? "" : bad.front());
+}
+
+}  // namespace
+}  // namespace prog::workloads::rubis

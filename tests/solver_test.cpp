@@ -1,0 +1,268 @@
+// Tests for the interval solver, including a brute-force property sweep.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "expr/expr.hpp"
+#include "solver/solver.hpp"
+
+namespace prog::solver {
+namespace {
+
+using expr::Expr;
+using expr::ExprPool;
+using expr::Op;
+
+struct Fixture {
+  ExprPool pool;
+  DomainMap domains;
+  Solver solver;
+
+  const Expr* var(std::uint32_t slot, Value lo, Value hi) {
+    const Expr* v = pool.input(slot);
+    domains.declare(v, {lo, hi});
+    return v;
+  }
+
+  Sat check(std::vector<const Expr*> cs) {
+    return solver.check(cs, domains);
+  }
+};
+
+TEST(IntervalTest, BasicOps) {
+  EXPECT_EQ(iadd({1, 2}, {10, 20}), (Interval{11, 22}));
+  EXPECT_EQ(isub({1, 2}, {10, 20}), (Interval{-19, -8}));
+  EXPECT_EQ(imul({-2, 3}, {4, 5}), (Interval{-10, 15}));
+  EXPECT_EQ(ineg({3, 7}), (Interval{-7, -3}));
+  EXPECT_EQ(imin({1, 5}, {3, 9}), (Interval{1, 5}));
+  EXPECT_EQ(imax({1, 5}, {3, 9}), (Interval{3, 9}));
+}
+
+TEST(IntervalTest, EmptyPropagates) {
+  EXPECT_TRUE(iadd(Interval::empty(), {1, 2}).is_empty());
+  EXPECT_TRUE(imul({1, 2}, Interval::empty()).is_empty());
+}
+
+TEST(IntervalTest, SaturationNoOverflow) {
+  const Interval big{Interval::kInf, Interval::kInf};
+  EXPECT_EQ(iadd(big, big).hi, Interval::kInf);
+  EXPECT_EQ(imul(big, big).hi, Interval::kInf);
+  EXPECT_EQ(imul(big, ineg(big)).lo, -Interval::kInf);
+}
+
+TEST(IntervalTest, DivContainsTrueQuotients) {
+  const Interval r = idiv({10, 20}, {2, 5});
+  for (Value a = 10; a <= 20; ++a) {
+    for (Value b = 2; b <= 5; ++b) EXPECT_TRUE(r.contains(a / b));
+  }
+}
+
+TEST(IntervalTest, ModBounds) {
+  const Interval r = imod({0, 100}, {7, 7});
+  for (Value a = 0; a <= 100; ++a) EXPECT_TRUE(r.contains(a % 7));
+  EXPECT_GE(r.lo, 0);
+  EXPECT_LE(r.hi, 6);
+}
+
+TEST(SolverTest, TrivialSat) {
+  Fixture f;
+  const Expr* x = f.var(0, 0, 10);
+  EXPECT_EQ(f.check({f.pool.cmp(Op::kGt, x, f.pool.constant(5))}), Sat::kSat);
+}
+
+TEST(SolverTest, TrivialUnsat) {
+  Fixture f;
+  const Expr* x = f.var(0, 0, 10);
+  EXPECT_EQ(f.check({f.pool.cmp(Op::kGt, x, f.pool.constant(10))}),
+            Sat::kUnsat);
+}
+
+TEST(SolverTest, BoundaryIsSat) {
+  Fixture f;
+  const Expr* x = f.var(0, 0, 10);
+  EXPECT_EQ(f.check({f.pool.cmp(Op::kGe, x, f.pool.constant(10))}), Sat::kSat);
+  EXPECT_EQ(f.check({f.pool.cmp(Op::kLe, x, f.pool.constant(0))}), Sat::kSat);
+}
+
+TEST(SolverTest, ConjunctionNarrowsToUnsat) {
+  Fixture f;
+  const Expr* x = f.var(0, 0, 100);
+  // x > 50 && x < 40
+  EXPECT_EQ(f.check({f.pool.cmp(Op::kGt, x, f.pool.constant(50)),
+                     f.pool.cmp(Op::kLt, x, f.pool.constant(40))}),
+            Sat::kUnsat);
+}
+
+TEST(SolverTest, ConjunctionTightButSat) {
+  Fixture f;
+  const Expr* x = f.var(0, 0, 100);
+  EXPECT_EQ(f.check({f.pool.cmp(Op::kGe, x, f.pool.constant(50)),
+                     f.pool.cmp(Op::kLe, x, f.pool.constant(50))}),
+            Sat::kSat);
+}
+
+TEST(SolverTest, TwoVariableChain) {
+  Fixture f;
+  const Expr* x = f.var(0, 0, 10);
+  const Expr* y = f.var(1, 0, 10);
+  // x < y && y < x is unsat.
+  EXPECT_EQ(f.check({f.pool.cmp(Op::kLt, x, y), f.pool.cmp(Op::kLt, y, x)}),
+            Sat::kUnsat);
+  // x < y && y <= 1 forces x == 0.
+  EXPECT_EQ(f.check({f.pool.cmp(Op::kLt, x, y),
+                     f.pool.cmp(Op::kLe, y, f.pool.constant(1))}),
+            Sat::kSat);
+}
+
+TEST(SolverTest, EqualityPropagation) {
+  Fixture f;
+  const Expr* x = f.var(0, 0, 100);
+  const Expr* y = f.var(1, 50, 60);
+  EXPECT_EQ(f.check({f.pool.cmp(Op::kEq, x, y),
+                     f.pool.cmp(Op::kLt, x, f.pool.constant(50))}),
+            Sat::kUnsat);
+}
+
+TEST(SolverTest, ArithmeticNarrowing) {
+  Fixture f;
+  const Expr* x = f.var(0, 0, 10);
+  // x + 5 == 3 is unsat for x >= 0.
+  EXPECT_EQ(f.check({f.pool.cmp(Op::kEq, f.pool.add(x, f.pool.constant(5)),
+                                f.pool.constant(3))}),
+            Sat::kUnsat);
+  // x * 3 == 9 is sat (x == 3).
+  EXPECT_EQ(f.check({f.pool.cmp(Op::kEq, f.pool.mul(x, f.pool.constant(3)),
+                                f.pool.constant(9))}),
+            Sat::kSat);
+  // x * 3 == 10 has no integer solution.
+  EXPECT_EQ(f.check({f.pool.cmp(Op::kEq, f.pool.mul(x, f.pool.constant(3)),
+                                f.pool.constant(10))}),
+            Sat::kUnsat);
+}
+
+TEST(SolverTest, NeedsSplittingParity) {
+  Fixture f;
+  const Expr* x = f.var(0, 0, 9);
+  // (x % 2 == 0) && (x % 2 == 1) requires search to refute.
+  const Expr* m = f.pool.mod(x, f.pool.constant(2));
+  EXPECT_EQ(f.check({f.pool.cmp(Op::kEq, m, f.pool.constant(0)),
+                     f.pool.cmp(Op::kEq, m, f.pool.constant(1))}),
+            Sat::kUnsat);
+}
+
+TEST(SolverTest, DisjunctionHandled) {
+  Fixture f;
+  const Expr* x = f.var(0, 0, 10);
+  const Expr* a = f.pool.cmp(Op::kLt, x, f.pool.constant(0));
+  const Expr* b = f.pool.cmp(Op::kGt, x, f.pool.constant(10));
+  EXPECT_EQ(f.check({f.pool.logical_or(a, b)}), Sat::kUnsat);
+  const Expr* c = f.pool.cmp(Op::kEq, x, f.pool.constant(7));
+  EXPECT_EQ(f.check({f.pool.logical_or(a, c)}), Sat::kSat);
+}
+
+TEST(SolverTest, UnboundedPivotIsSat) {
+  Fixture f;
+  const Expr* p = f.pool.pivot_field(0, 1);  // no declared domain
+  EXPECT_EQ(f.check({f.pool.cmp(Op::kGt, p, f.pool.constant(1000000))}),
+            Sat::kSat);
+}
+
+TEST(SolverTest, StatsAccumulate) {
+  Fixture f;
+  const Expr* x = f.var(0, 0, 10);
+  f.check({f.pool.cmp(Op::kGt, x, f.pool.constant(5))});
+  f.check({f.pool.cmp(Op::kGt, x, f.pool.constant(10))});
+  EXPECT_EQ(f.solver.stats().queries, 2u);
+  EXPECT_EQ(f.solver.stats().unsat, 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Property sweep: random small constraint systems vs. brute force.
+// ---------------------------------------------------------------------------
+
+class SolverPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(SolverPropertyTest, AgreesWithBruteForceOnSmallDomains) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()));
+  ExprPool pool;
+  DomainMap domains;
+  constexpr Value kLo = 0, kHi = 7;
+  const Expr* x = pool.input(0);
+  const Expr* y = pool.input(1);
+  domains.declare(x, {kLo, kHi});
+  domains.declare(y, {kLo, kHi});
+
+  auto random_term = [&](auto&& self, int depth) -> const Expr* {
+    if (depth == 0 || rng.percent(40)) {
+      switch (rng.bounded(3)) {
+        case 0:
+          return x;
+        case 1:
+          return y;
+        default:
+          return pool.constant(rng.uniform(-3, 10));
+      }
+    }
+    const Expr* a = self(self, depth - 1);
+    const Expr* b = self(self, depth - 1);
+    switch (rng.bounded(4)) {
+      case 0:
+        return pool.add(a, b);
+      case 1:
+        return pool.sub(a, b);
+      case 2:
+        return pool.mul(a, pool.constant(rng.uniform(-2, 3)));
+      default:
+        return pool.min(a, b);
+    }
+  };
+  auto random_cmp = [&] {
+    static constexpr Op kOps[] = {Op::kEq, Op::kNe, Op::kLt,
+                                  Op::kLe, Op::kGt, Op::kGe};
+    return pool.cmp(kOps[rng.bounded(6)], random_term(random_term, 2),
+                    random_term(random_term, 2));
+  };
+
+  Solver solver;
+  for (int iter = 0; iter < 200; ++iter) {
+    std::vector<const Expr*> cs;
+    const int n = 1 + static_cast<int>(rng.bounded(3));
+    for (int i = 0; i < n; ++i) cs.push_back(random_cmp());
+
+    // Brute force ground truth over the 8x8 domain.
+    bool truth = false;
+    for (Value vx = kLo; vx <= kHi && !truth; ++vx) {
+      for (Value vy = kLo; vy <= kHi && !truth; ++vy) {
+        struct C final : expr::EvalContext {
+          Value vx, vy;
+          Value input(std::uint32_t s) const override {
+            return s == 0 ? vx : vy;
+          }
+          Value input_elem(std::uint32_t, Value) const override { return 0; }
+          Value pivot(std::uint32_t, FieldId) const override { return 0; }
+        } ctx;
+        ctx.vx = vx;
+        ctx.vy = vy;
+        bool all = true;
+        for (const Expr* c : cs) all = all && expr::eval(c, ctx) != 0;
+        truth = all;
+      }
+    }
+
+    const Sat got = solver.check(cs, domains);
+    if (truth) {
+      // Soundness for pruning: a satisfiable system must never be kUnsat.
+      EXPECT_NE(got, Sat::kUnsat) << "iter " << iter;
+    } else {
+      // An unsatisfiable system must never be declared kSat.
+      EXPECT_NE(got, Sat::kSat) << "iter " << iter;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SolverPropertyTest,
+                         ::testing::Range(1, 11));
+
+}  // namespace
+}  // namespace prog::solver

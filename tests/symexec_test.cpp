@@ -1,0 +1,455 @@
+// Tests for the symbolic executor and transaction profiles — the paper's
+// core machinery. The last suite is the profile-soundness property sweep:
+// for random inputs, the keys a transaction actually touches at runtime must
+// be covered by the keys its profile predicted.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/rng.hpp"
+#include "lang/builder.hpp"
+#include "lang/interp.hpp"
+#include "sym/symexec.hpp"
+
+namespace prog::sym {
+namespace {
+
+using lang::Proc;
+using lang::ProcBuilder;
+using lang::TxInput;
+using lang::Val;
+
+constexpr TableId kA = 1;
+constexpr TableId kB = 2;
+constexpr TableId kC = 3;
+constexpr FieldId kF = 0;
+constexpr FieldId kG = 1;
+constexpr FieldId kPtrField = 2;
+
+Proc make_transfer() {
+  ProcBuilder b("transfer");
+  auto from = b.param("from", 0, 99);
+  auto to = b.param("to", 0, 99);
+  auto amount = b.param("amount", 1, 50);
+  auto src = b.get(kA, from);
+  auto dst = b.get(kA, to);
+  b.put(kA, from, {{kF, src.field(kF) - amount}});
+  b.put(kA, to, {{kF, dst.field(kF) + amount}});
+  return std::move(b).build();
+}
+
+TEST(ProfilerTest, IndependentTransactionClassification) {
+  const Proc p = make_transfer();
+  auto prof = Profiler::profile(p);
+  EXPECT_EQ(prof->klass(), TxClass::kIndependent);
+  EXPECT_TRUE(prof->complete());
+  EXPECT_EQ(prof->pivot_site_count(), 0u);
+  EXPECT_TRUE(prof->root().is_leaf());
+  EXPECT_EQ(prof->metrics().unique_key_sets, 1u);
+  EXPECT_EQ(prof->tables_touched(), std::vector<TableId>{kA});
+}
+
+TEST(ProfilerTest, TransferPredictionIsExactKeys) {
+  const Proc p = make_transfer();
+  auto prof = Profiler::profile(p);
+  store::VersionedStore s;
+  store::SnapshotView view(s, 0);
+  TxInput in;
+  in.add(3).add(7).add(10);
+  const Prediction pred = prof->predict(in, view);
+  EXPECT_EQ(pred.keys, (std::vector<TKey>{{kA, 3}, {kA, 7}}));
+  EXPECT_EQ(pred.write_keys, (std::vector<TKey>{{kA, 3}, {kA, 7}}));
+  EXPECT_TRUE(pred.pivots.empty());
+}
+
+TEST(ProfilerTest, ReadOnlyClassification) {
+  ProcBuilder b("reader");
+  auto k = b.param("k", 0, 10);
+  auto h = b.get(kA, k);
+  b.emit(h.field(kF));
+  const Proc p = std::move(b).build();
+  auto prof = Profiler::profile(p);
+  EXPECT_EQ(prof->klass(), TxClass::kReadOnly);
+}
+
+TEST(ProfilerTest, ValueBranchCollapsesToOnePath) {
+  // The Algorithm-2 situation: the branch changes only the written value.
+  ProcBuilder b("neworder_if");
+  auto k = b.param("k", 0, 10);
+  auto q = b.param("q", 0, 100);
+  auto h = b.get(kA, k);
+  auto v = b.let("v", b.lit(0));
+  b.if_(
+      h.field(kF) <= q, [&](ProcBuilder& t) { t.assign(v, q + 0); },
+      [&](ProcBuilder& e) { e.assign(v, q + 91); });
+  b.put(kA, k, {{kF, v}});
+  const Proc p = std::move(b).build();
+  auto prof = Profiler::profile(p);
+  EXPECT_TRUE(prof->root().is_leaf());
+  EXPECT_EQ(prof->metrics().concolic_skips, 1u);
+  EXPECT_EQ(prof->metrics().unique_key_sets, 1u);
+  EXPECT_EQ(prof->metrics().depth, 0u);
+  EXPECT_EQ(prof->metrics().depth_max, 1u);
+  // The pivot h is only used for the written value -> still independent.
+  EXPECT_EQ(prof->klass(), TxClass::kIndependent);
+}
+
+TEST(ProfilerTest, WithoutRelevanceTheSameProcForks) {
+  ProcBuilder b("neworder_if");
+  auto k = b.param("k", 0, 10);
+  auto q = b.param("q", 0, 100);
+  auto h = b.get(kA, k);
+  auto v = b.let("v", b.lit(0));
+  b.if_(
+      h.field(kF) <= q, [&](ProcBuilder& t) { t.assign(v, q + 0); },
+      [&](ProcBuilder& e) { e.assign(v, q + 91); });
+  b.put(kA, k, {{kF, v}});
+  const Proc p = std::move(b).build();
+  Profiler::Options opts;
+  opts.use_relevance = false;
+  auto prof = Profiler::profile(p, opts);
+  // Both sides explored, but subtree merging collapses them again.
+  EXPECT_GE(prof->metrics().states_explored, 3u);
+  EXPECT_EQ(prof->metrics().merged_branches, 1u);
+  EXPECT_TRUE(prof->root().is_leaf());
+  EXPECT_EQ(prof->metrics().unique_key_sets, 1u);
+}
+
+TEST(ProfilerTest, KeyBranchProducesTwoPathSets) {
+  ProcBuilder b("keybranch");
+  auto x = b.param("x", 0, 100);
+  b.if_(
+      x > 50, [&](ProcBuilder& t) { t.put(kA, t.lit(1), {{kF, x}}); },
+      [&](ProcBuilder& e) { e.put(kA, e.lit(2), {{kF, x}}); });
+  const Proc p = std::move(b).build();
+  auto prof = Profiler::profile(p);
+  EXPECT_FALSE(prof->root().is_leaf());
+  EXPECT_EQ(prof->metrics().unique_key_sets, 2u);
+  EXPECT_EQ(prof->klass(), TxClass::kIndependent);
+
+  store::VersionedStore s;
+  store::SnapshotView view(s, 0);
+  TxInput big;
+  big.add(80);
+  TxInput small;
+  small.add(20);
+  EXPECT_EQ(prof->predict(big, view).keys, (std::vector<TKey>{{kA, 1}}));
+  EXPECT_EQ(prof->predict(small, view).keys, (std::vector<TKey>{{kA, 2}}));
+}
+
+TEST(ProfilerTest, InfeasiblePathsArePruned) {
+  ProcBuilder b("contradiction");
+  auto x = b.param("x", 0, 100);
+  auto k = b.let("k", b.lit(0));
+  b.if_(x > 50, [&](ProcBuilder& t) {
+    // x < 30 is impossible under x > 50: the inner fork must fold away.
+    t.if_(
+        x < 30, [&](ProcBuilder& tt) { tt.assign(k, tt.lit(1)); },
+        [&](ProcBuilder& ee) { ee.assign(k, ee.lit(2)); });
+  });
+  b.get(kA, k);
+  const Proc p = std::move(b).build();
+  auto prof = Profiler::profile(p);
+  EXPECT_GE(prof->metrics().infeasible_paths, 1u);
+  // Outer branch forks (k is relevant), inner folds: exactly 2 path sets.
+  EXPECT_EQ(prof->metrics().unique_key_sets, 2u);
+}
+
+TEST(ProfilerTest, EqualSubtreesMerge) {
+  ProcBuilder b("mergeme");
+  auto x = b.param("x", 0, 100);
+  // Forking branch (contains accesses) whose both sides access the same key.
+  b.if_(
+      x > 50, [&](ProcBuilder& t) { t.put(kA, t.lit(7), {{kF, x}}); },
+      [&](ProcBuilder& e) { e.put(kA, e.lit(7), {{kF, x + 1}}); });
+  const Proc p = std::move(b).build();
+  auto prof = Profiler::profile(p);
+  EXPECT_EQ(prof->metrics().merged_branches, 1u);
+  EXPECT_TRUE(prof->root().is_leaf());
+  EXPECT_EQ(prof->metrics().unique_key_sets, 1u);
+}
+
+TEST(ProfilerTest, PivotMakesDependentTransaction) {
+  // GET(A,x) then GET(B, value-read): the classic indirect access.
+  ProcBuilder b("dependent");
+  auto x = b.param("x", 0, 10);
+  auto h = b.get(kA, x);
+  auto h2 = b.get(kB, h.field(kPtrField));
+  b.put(kC, h2.field(kF) + 100, {{kF, x}});
+  const Proc p = std::move(b).build();
+  auto prof = Profiler::profile(p);
+  EXPECT_EQ(prof->klass(), TxClass::kDependent);
+  EXPECT_EQ(prof->pivot_site_count(), 2u);  // both gets feed later keys
+  EXPECT_EQ(prof->tables_touched(), (std::vector<TableId>{kA, kB, kC}));
+}
+
+TEST(ProfilerTest, PivotPredictionResolvesThroughStore) {
+  ProcBuilder b("chase");
+  auto x = b.param("x", 0, 10);
+  auto h = b.get(kA, x);
+  b.put(kB, h.field(kF), {{kG, b.lit(1)}});
+  const Proc p = std::move(b).build();
+  auto prof = Profiler::profile(p);
+  ASSERT_EQ(prof->klass(), TxClass::kDependent);
+
+  store::VersionedStore s;
+  s.put({kA, 4}, store::Row{{kF, 77}}, 0);
+  store::SnapshotView view(s, 0);
+  TxInput in;
+  in.add(4);
+  const Prediction pred = prof->predict(in, view);
+  EXPECT_EQ(pred.keys, (std::vector<TKey>{{kA, 4}, {kB, 77}}));
+  EXPECT_EQ(pred.write_keys, (std::vector<TKey>{{kB, 77}}));
+  ASSERT_EQ(pred.pivots.size(), 1u);
+  EXPECT_EQ(pred.pivots[0].key, (TKey{kA, 4}));
+}
+
+TEST(ProfilerTest, PivotValidationDetectsChange) {
+  ProcBuilder b("chase");
+  auto x = b.param("x", 0, 10);
+  auto h = b.get(kA, x);
+  b.put(kB, h.field(kF), {{kG, b.lit(1)}});
+  const Proc p = std::move(b).build();
+  auto prof = Profiler::profile(p);
+
+  store::VersionedStore s;
+  s.put({kA, 4}, store::Row{{kF, 77}}, 0);
+  store::SnapshotView view(s, 0);
+  TxInput in;
+  in.add(4);
+  const Prediction pred = prof->predict(in, view);
+  EXPECT_TRUE(TxProfile::validate_pivots(pred, s));
+
+  s.put({kA, 5}, store::Row{{kF, 1}}, 1);  // unrelated key: still valid
+  EXPECT_TRUE(TxProfile::validate_pivots(pred, s));
+
+  s.put({kA, 4}, store::Row{{kF, 78}}, 2);  // pivot changed: invalid
+  EXPECT_FALSE(TxProfile::validate_pivots(pred, s));
+}
+
+TEST(ProfilerTest, PivotValidationDetectsAppearance) {
+  ProcBuilder b("probe");
+  auto x = b.param("x", 0, 10);
+  auto h = b.get(kA, x);
+  b.if_(h.exists(), [&](ProcBuilder& t) {
+    t.put(kB, t.lit(1), {{kF, t.lit(1)}});
+  });
+  const Proc p = std::move(b).build();
+  auto prof = Profiler::profile(p);
+  store::VersionedStore s;
+  store::SnapshotView view(s, 0);
+  TxInput in;
+  in.add(4);
+  const Prediction pred = prof->predict(in, view);  // row absent
+  EXPECT_TRUE(TxProfile::validate_pivots(pred, s));
+  s.put({kA, 4}, store::Row{{kF, 1}}, 1);  // row appears
+  EXPECT_FALSE(TxProfile::validate_pivots(pred, s));
+}
+
+TEST(ProfilerTest, SymbolicTripCountEnumeratesKeySets) {
+  ProcBuilder b("bounded_loop");
+  auto n = b.param("n", 1, 3);
+  auto ids = b.param_array("ids", 3, 0, 100);
+  b.for_(b.lit(0), n, 3, [&](ProcBuilder& body, Val i) {
+    body.put(kA, ids[i], {{kF, body.lit(1)}});
+  });
+  const Proc p = std::move(b).build();
+  auto prof = Profiler::profile(p);
+  EXPECT_EQ(prof->klass(), TxClass::kIndependent);
+  EXPECT_EQ(prof->metrics().unique_key_sets, 3u);  // n = 1, 2, 3
+  EXPECT_EQ(prof->metrics().depth, 2u);  // guard forks at n=1 and n=2
+
+  store::VersionedStore s;
+  store::SnapshotView view(s, 0);
+  TxInput in;
+  in.add(2).add_array({10, 20, 30});
+  EXPECT_EQ(prof->predict(in, view).keys,
+            (std::vector<TKey>{{kA, 10}, {kA, 20}}));
+}
+
+TEST(ProfilerTest, DeliveryPatternYieldsTwoToTheN) {
+  // N districts; for each, conditionally process the oldest pending order.
+  constexpr int kDistricts = 6;
+  ProcBuilder b("mini_delivery");
+  auto w = b.param("w", 0, 3);
+  b.for_(b.lit(0), b.lit(kDistricts), kDistricts,
+         [&](ProcBuilder& body, Val d) {
+           auto idx = body.get(kA, w * 10 + d);  // per-district queue head
+           body.if_(idx.exists(), [&](ProcBuilder& t) {
+             t.put(kB, idx.field(kF), {{kG, t.lit(1)}});
+             t.del(kA, w * 10 + d);
+           });
+         });
+  const Proc p = std::move(b).build();
+  auto prof = Profiler::profile(p);
+  EXPECT_EQ(prof->klass(), TxClass::kDependent);
+  EXPECT_EQ(prof->metrics().unique_key_sets, 1u << kDistricts);
+  EXPECT_EQ(prof->pivot_site_count(), kDistricts);
+}
+
+TEST(ProfilerTest, StateCapMarksIncompleteAsDependent) {
+  ProcBuilder b("explosive");
+  auto x = b.param("x", 0, 1);
+  auto k = b.let("k", b.lit(0));
+  for (int i = 0; i < 10; ++i) {
+    auto h = b.get(kA, k + i);
+    b.if_(h.field(kF) > 0, [&](ProcBuilder& t) { t.assign(k, k + 1); });
+  }
+  b.put(kB, k, {{kF, x}});
+  const Proc p = std::move(b).build();
+  Profiler::Options opts;
+  opts.max_states = 8;
+  auto prof = Profiler::profile(p, opts);
+  EXPECT_FALSE(prof->complete());
+  EXPECT_EQ(prof->klass(), TxClass::kDependent);
+}
+
+TEST(ProfilerTest, ReadOwnWriteDoesNotCreatePivot) {
+  ProcBuilder b("row");
+  auto k = b.param("k", 0, 10);
+  b.put(kA, k, {{kF, b.lit(5)}});
+  auto h = b.get(kA, k);  // sees the buffered write
+  b.put(kB, h.field(kF), {{kG, b.lit(1)}});
+  const Proc p = std::move(b).build();
+  auto prof = Profiler::profile(p);
+  // h.field(kF) is the literal 5 — no pivot, still independent.
+  EXPECT_EQ(prof->klass(), TxClass::kIndependent);
+  store::VersionedStore s;
+  store::SnapshotView view(s, 0);
+  TxInput in;
+  in.add(2);
+  const Prediction pred = prof->predict(in, view);
+  EXPECT_EQ(pred.keys, (std::vector<TKey>{{kA, 2}, {kB, 5}}));
+}
+
+TEST(ProfilerTest, ReadOwnWriteFallsThroughForUnwrittenFields) {
+  ProcBuilder b("row2");
+  auto k = b.param("k", 0, 10);
+  b.put(kA, k, {{kF, b.lit(5)}});
+  auto h = b.get(kA, k);
+  b.put(kB, h.field(kG), {{kF, b.lit(1)}});  // kG was NOT written
+  const Proc p = std::move(b).build();
+  auto prof = Profiler::profile(p);
+  EXPECT_EQ(prof->klass(), TxClass::kDependent);  // falls through to store
+  store::VersionedStore s;
+  s.put({kA, 2}, store::Row{{kG, 33}}, 0);
+  store::SnapshotView view(s, 0);
+  TxInput in;
+  in.add(2);
+  EXPECT_EQ(prof->predict(in, view).keys,
+            (std::vector<TKey>{{kA, 2}, {kB, 33}}));
+}
+
+TEST(ProfilerTest, EstimateExceedsExploredWithConcolicSkips) {
+  ProcBuilder b("many_value_branches");
+  auto k = b.param("k", 0, 10);
+  auto x = b.param("x", 0, 100);
+  auto v = b.let("v", b.lit(0));
+  for (int i = 0; i < 8; ++i) {
+    b.if_(x > i * 10, [&](ProcBuilder& t) { t.assign(v, v + 1); });
+  }
+  b.put(kA, k, {{kF, v}});
+  const Proc p = std::move(b).build();
+  auto prof = Profiler::profile(p);
+  EXPECT_EQ(prof->metrics().concolic_skips, 8u);
+  EXPECT_EQ(prof->metrics().states_total_est, 1u << 8);
+  EXPECT_EQ(prof->metrics().states_explored, 1u);
+}
+
+TEST(ProfilerTest, DumpMentionsStructure) {
+  const Proc p = make_transfer();
+  auto prof = Profiler::profile(p);
+  const std::string d = prof->dump();
+  EXPECT_NE(d.find("transfer"), std::string::npos);
+  EXPECT_NE(d.find("GET"), std::string::npos);
+  EXPECT_NE(d.find("PUT"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Profile soundness property: actual runtime accesses ⊆ predicted key-set.
+// ---------------------------------------------------------------------------
+
+bool subset(const std::vector<TKey>& a, const std::vector<TKey>& sorted_b) {
+  return std::all_of(a.begin(), a.end(), [&](TKey k) {
+    return std::binary_search(sorted_b.begin(), sorted_b.end(), k);
+  });
+}
+
+class SoundnessTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(SoundnessTest, PredictionCoversActualExecution) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 7919);
+
+  // A store with pointer-shaped data for the dependent procs.
+  store::VersionedStore s;
+  for (Value i = 0; i <= 10; ++i) {
+    if (rng.percent(70)) {
+      s.put({kA, static_cast<Key>(i)},
+            store::Row{{kF, rng.uniform(0, 10)},
+                       {kG, rng.uniform(0, 10)},
+                       {kPtrField, rng.uniform(0, 10)}},
+            0);
+    }
+    s.put({kB, static_cast<Key>(i)}, store::Row{{kF, rng.uniform(0, 10)}}, 0);
+  }
+
+  std::vector<Proc> procs;
+  procs.push_back(make_transfer());
+  {
+    ProcBuilder b("chase");
+    auto x = b.param("x", 0, 10);
+    auto h = b.get(kA, x);
+    b.put(kB, h.field(kF), {{kG, b.lit(1)}});
+    procs.push_back(std::move(b).build());
+  }
+  {
+    ProcBuilder b("cond_chase");
+    auto x = b.param("x", 0, 10);
+    auto h = b.get(kA, x);
+    b.if_(
+        h.exists(), [&](ProcBuilder& t) { t.put(kB, h.field(kG), {{kF, x}}); },
+        [&](ProcBuilder& e) { e.put(kC, x, {{kF, e.lit(0)}}); });
+    procs.push_back(std::move(b).build());
+  }
+  {
+    ProcBuilder b("loopy");
+    auto n = b.param("n", 1, 5);
+    auto ids = b.param_array("ids", 5, 0, 10);
+    b.for_(b.lit(0), n, 5, [&](ProcBuilder& body, Val i) {
+      auto h = body.get(kB, ids[i]);
+      body.put(kB, ids[i], {{kF, h.field(kF) + 1}});
+    });
+    procs.push_back(std::move(b).build());
+  }
+
+  lang::Interp interp;
+  store::SnapshotView view(s, 0);
+  for (const Proc& p : procs) {
+    auto prof = Profiler::profile(p);
+    ASSERT_TRUE(prof->complete()) << p.name;
+    for (int iter = 0; iter < 50; ++iter) {
+      TxInput in;
+      for (const lang::Param& prm : p.params) {
+        if (prm.is_array) {
+          std::vector<Value> vals;
+          for (std::uint32_t j = 0; j < prm.max_len; ++j) {
+            vals.push_back(rng.uniform(prm.lo, prm.hi));
+          }
+          in.add_array(std::move(vals));
+        } else {
+          in.add(rng.uniform(prm.lo, prm.hi));
+        }
+      }
+      const Prediction pred = prof->predict(in, view);
+      const lang::ExecResult actual = interp.run(p, in, view);
+      EXPECT_TRUE(subset(actual.reads, pred.keys)) << p.name;
+      EXPECT_TRUE(subset(actual.writes, pred.keys)) << p.name;
+      EXPECT_TRUE(subset(actual.writes, pred.write_keys)) << p.name;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SoundnessTest, ::testing::Range(1, 9));
+
+}  // namespace
+}  // namespace prog::sym
