@@ -1,0 +1,113 @@
+// Ablation — txlint pass 3: static conflict-matrix lock elision.
+//
+// The engine's per-round conflict census (EngineConfig::
+// static_conflict_elision) skips lock-table entries for keys whose tables
+// provably cannot be the source of a cross-transaction conflict in the
+// round. Two questions:
+//
+//   1. TPC-C: the five transaction types all conflict pairwise on at least
+//      one table (see `txlint --matrix-only`), so the census should elide
+//      almost nothing — the ablation must show *parity*, i.e. the census
+//      costs nothing when it cannot help.
+//   2. Catalog mix: order transactions read a catalog table that only a
+//      rare reprice transaction writes. Whole-schema reasoning (the
+//      immutable-table elision) can never skip those read locks; the
+//      per-round census elides them in every reprice-free batch. The
+//      ablation should show a throughput win.
+//
+// The "dep edges/batch" column is the *deterministic* witness: the mean
+// lock-table dependency-DAG edge count over a fixed request stream. Unlike
+// the throughput column (which inherits service-time measurement noise on a
+// loaded host, wobbling the sustainable-batch search by a step), the edge
+// count is a pure function of the agreed order and the census — identical
+// values for TPC-C on/off prove structural parity exactly.
+#include <cstdint>
+#include <iostream>
+
+#include "benchutil/table.hpp"
+#include "cases.hpp"
+
+namespace {
+
+/// Mean lock-table dependency edges per batch over a fresh context running
+/// `batches` batches of `batch_size`. Deterministic: edges derive from the
+/// agreed order and the census alone (worker count does not matter; use 1
+/// so the probe stays cheap on small hosts).
+double mean_dep_edges(const prog::benchutil::CaseFactory& factory,
+                      prog::sched::EngineConfig cfg, std::size_t batch_size,
+                      int batches) {
+  cfg.workers = 1;
+  auto ctx = factory(cfg);
+  prog::sched::BatchTrace trace;
+  std::uint64_t edges = 0;
+  for (int i = 0; i < batches; ++i) {
+    ctx->database().execute_traced(ctx->make_batch(batch_size), &trace);
+    for (const auto& a : trace.attempts) edges += a.preds.size();
+  }
+  return static_cast<double>(edges) / batches;
+}
+
+}  // namespace
+
+int main() {
+  using namespace prog;
+  const bool fast = benchutil::fast_mode();
+  benchutil::TrialOptions opts;
+  opts.modeled = true;
+  opts.modeled_workers = 20;
+  opts.warmup_batches = 2;
+  opts.measured_batches = fast ? 5 : 10;
+  const int edge_batches = 8;
+
+  benchutil::Table table({"workload", "conflict elision", "batch size",
+                          "throughput tx/s", "abort rate %",
+                          "dep edges/batch"});
+  for (bool elide : {false, true}) {
+    sched::EngineConfig cfg;
+    cfg.workers = 20;
+    cfg.static_conflict_elision = elide;
+    const auto factory = bench::tpcc_factory(10);
+    const auto r =
+        benchutil::max_sustainable(factory, cfg, opts, fast ? 2048 : 8192);
+    table.row({"tpcc-10wh", elide ? "on" : "off",
+               std::to_string(r.batch_size),
+               benchutil::fmt_si(r.stats.throughput_tps),
+               benchutil::fmt(r.stats.abort_pct, 2),
+               benchutil::fmt(
+                   mean_dep_edges(factory, cfg, fast ? 512 : 2048,
+                                  edge_batches),
+                   1)});
+  }
+  // Low-conflict mix at two reprice cadences. The census is batch-granular:
+  // a batch that contains even one reprice keeps all its catalog locks, so
+  // with frequent reprice batches (period 4) the p99-gating batch is the
+  // same under both configs and the ablation shows throughput parity even
+  // though the edge column records the elision thinning the other batches.
+  // When reprices land out-of-band in rare maintenance batches (period 128
+  // — none inside the measured window), every measured round is provably
+  // catalog-read-only and the elision's win is fully visible. Schema-level
+  // reasoning (the immutable-table elision) can never skip these locks in
+  // either case, because micro_reprice *exists*.
+  for (unsigned period : {4u, 128u}) {
+    for (bool elide : {false, true}) {
+      sched::EngineConfig cfg;
+      cfg.workers = 20;
+      cfg.static_conflict_elision = elide;
+      const auto factory = bench::catalog_factory(period);
+      const auto r =
+          benchutil::max_sustainable(factory, cfg, opts, fast ? 4096 : 16384);
+      table.row({"catalog-mix/p" + std::to_string(period),
+                 elide ? "on" : "off", std::to_string(r.batch_size),
+                 benchutil::fmt_si(r.stats.throughput_tps),
+                 benchutil::fmt(r.stats.abort_pct, 2),
+                 benchutil::fmt(
+                     mean_dep_edges(factory, cfg, fast ? 2048 : 4096,
+                                    edge_batches),
+                     1)});
+    }
+  }
+  std::cout << "=== Ablation: static conflict-matrix lock elision "
+               "(txlint pass 3) ===\n";
+  table.print();
+  return 0;
+}

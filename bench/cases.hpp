@@ -13,6 +13,7 @@
 #include "benchutil/harness.hpp"
 #include "common/rng.hpp"
 #include "db/database.hpp"
+#include "workloads/microbench.hpp"
 #include "workloads/rubis.hpp"
 #include "workloads/tpcc.hpp"
 
@@ -124,6 +125,70 @@ class RubisCase final : public benchutil::CaseContext {
   std::unique_ptr<workloads::rubis::Workload> wl_;
   Rng rng_;
 };
+
+struct CatalogTemplate {
+  std::vector<std::shared_ptr<const lang::Proc>> procs;
+  std::vector<std::shared_ptr<const sym::TxProfile>> profiles;
+  store::VersionedStore initial;
+  workloads::micro::CatalogOptions opts;
+
+  CatalogTemplate() {
+    auto add = [&](lang::Proc p) {
+      procs.push_back(std::make_shared<const lang::Proc>(std::move(p)));
+      profiles.emplace_back(sym::Profiler::profile(*procs.back()));
+    };
+    add(workloads::micro::build_order(opts));
+    add(workloads::micro::build_reprice(opts));
+    workloads::micro::load_catalog(initial, opts);
+  }
+
+  static const CatalogTemplate& get() {
+    static CatalogTemplate tpl;
+    return tpl;
+  }
+};
+
+/// Low-conflict catalog mix (see microbench.hpp): mostly catalog-reading
+/// order transactions; every `reprice_period`-th batch additionally carries
+/// a few catalog repricings (0 = never). Batches without a reprice are
+/// provably catalog-read-only, which is what the static-conflict-matrix
+/// lock elision exploits.
+class CatalogCase final : public benchutil::CaseContext {
+ public:
+  CatalogCase(const sched::EngineConfig& cfg, unsigned reprice_period,
+              std::uint64_t seed)
+      : db_(cfg), reprice_period_(reprice_period), rng_(seed) {
+    const CatalogTemplate& tpl = CatalogTemplate::get();
+    for (std::size_t i = 0; i < tpl.procs.size(); ++i) {
+      db_.register_procedure_shared(tpl.procs[i], tpl.profiles[i]);
+    }
+    tpl.initial.clone_visible_into(db_.store());
+    wl_ = std::make_unique<workloads::micro::CatalogWorkload>(
+        db_, tpl.opts, workloads::micro::CatalogWorkload::AttachOnly{});
+    db_.store().set_access_delay_ns(1000);
+  }
+  db::Database& database() override { return db_; }
+  std::vector<sched::TxRequest> make_batch(std::size_t n) override {
+    ++batch_no_;
+    const bool reprice =
+        reprice_period_ != 0 && batch_no_ % reprice_period_ == 0;
+    return wl_->batch(n, reprice ? n / 64 + 1 : 0, rng_);
+  }
+
+ private:
+  db::Database db_;
+  std::unique_ptr<workloads::micro::CatalogWorkload> wl_;
+  unsigned reprice_period_ = 0;
+  std::uint64_t batch_no_ = 0;
+  Rng rng_;
+};
+
+inline benchutil::CaseFactory catalog_factory(unsigned reprice_period,
+                                              std::uint64_t seed = 42) {
+  return [reprice_period, seed](const sched::EngineConfig& cfg) {
+    return std::make_unique<CatalogCase>(cfg, reprice_period, seed);
+  };
+}
 
 inline benchutil::CaseFactory tpcc_factory(int warehouses,
                                            std::uint64_t seed = 42) {

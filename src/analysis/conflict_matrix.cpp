@@ -1,0 +1,156 @@
+#include "analysis/conflict_matrix.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "analysis/dataflow.hpp"
+#include "common/check.hpp"
+
+namespace prog::analysis {
+
+namespace {
+
+void normalize(std::vector<TableId>& v) {
+  std::sort(v.begin(), v.end());
+  v.erase(std::unique(v.begin(), v.end()), v.end());
+}
+
+bool intersects(const std::vector<TableId>& a, const std::vector<TableId>& b) {
+  auto ia = a.begin();
+  auto ib = b.begin();
+  while (ia != a.end() && ib != b.end()) {
+    if (*ia < *ib) {
+      ++ia;
+    } else if (*ib < *ia) {
+      ++ib;
+    } else {
+      return true;
+    }
+  }
+  return false;
+}
+
+void write_tables(std::ostringstream& os, const std::vector<TableId>& ts) {
+  os << ts.size();
+  for (TableId t : ts) os << ' ' << t;
+}
+
+}  // namespace
+
+bool TableFootprint::touches(TableId t) const noexcept {
+  return std::binary_search(touched.begin(), touched.end(), t);
+}
+
+bool TableFootprint::writes(TableId t) const noexcept {
+  return std::binary_search(written.begin(), written.end(), t);
+}
+
+std::size_t ConflictMatrix::add(std::string name, TableFootprint fp) {
+  normalize(fp.touched);
+  normalize(fp.written);
+  PROG_CHECK_MSG(
+      std::includes(fp.touched.begin(), fp.touched.end(), fp.written.begin(),
+                    fp.written.end()),
+      "footprint written-set must be a subset of its touched-set");
+  names_.push_back(std::move(name));
+  fps_.push_back(std::move(fp));
+  rebuild_bits();
+  return names_.size() - 1;
+}
+
+ConflictMatrix ConflictMatrix::from_procs(
+    const std::vector<const lang::Proc*>& procs) {
+  ConflictMatrix m;
+  for (const lang::Proc* p : procs) {
+    PROG_CHECK_MSG(p != nullptr, "null Proc in ConflictMatrix::from_procs");
+    const StaticSummary s = classify(*p);
+    m.add(p->name, TableFootprint{s.tables_touched, s.tables_written});
+  }
+  return m;
+}
+
+void ConflictMatrix::rebuild_bits() {
+  const std::size_t n = names_.size();
+  bits_.assign(n * n, false);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i; j < n; ++j) {
+      const bool c = intersects(fps_[i].written, fps_[j].touched) ||
+                     intersects(fps_[j].written, fps_[i].touched);
+      bits_[i * n + j] = c;
+      bits_[j * n + i] = c;
+    }
+  }
+}
+
+std::string ConflictMatrix::serialize() const {
+  std::ostringstream os;
+  os << "conflict-matrix 1\n";
+  for (std::size_t i = 0; i < names_.size(); ++i) {
+    os << "proc " << names_[i] << " touched ";
+    write_tables(os, fps_[i].touched);
+    os << " written ";
+    write_tables(os, fps_[i].written);
+    os << '\n';
+  }
+  os << "end\n";
+  return os.str();
+}
+
+ConflictMatrix ConflictMatrix::deserialize(const std::string& text) {
+  std::istringstream in(text);
+  auto bad = [](const std::string& why) -> void {
+    throw UsageError("ConflictMatrix::deserialize: " + why);
+  };
+  std::string line;
+  if (!std::getline(in, line) || line != "conflict-matrix 1") {
+    bad("missing/unsupported header");
+  }
+  ConflictMatrix m;
+  bool saw_end = false;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    if (line == "end") {
+      saw_end = true;
+      break;
+    }
+    std::istringstream ls(line);
+    std::string tok, name;
+    if (!(ls >> tok >> name) || tok != "proc") bad("expected 'proc' record");
+    TableFootprint fp;
+    auto read_tables = [&](const char* keyword, std::vector<TableId>& out) {
+      std::size_t n = 0;
+      if (!(ls >> tok >> n) || tok != keyword) {
+        bad(std::string("expected '") + keyword + "' list");
+      }
+      for (std::size_t i = 0; i < n; ++i) {
+        TableId t = 0;
+        if (!(ls >> t)) bad("truncated table list");
+        out.push_back(t);
+      }
+    };
+    read_tables("touched", fp.touched);
+    read_tables("written", fp.written);
+    m.add(std::move(name), std::move(fp));
+  }
+  if (!saw_end) bad("missing 'end' trailer");
+  return m;
+}
+
+std::string ConflictMatrix::to_string() const {
+  std::ostringstream os;
+  std::size_t w = 4;
+  for (const std::string& n : names_) w = std::max(w, n.size());
+  os << "conflict matrix (" << names_.size() << " transaction types; X = may"
+     << " conflict, . = provably disjoint)\n";
+  for (std::size_t i = 0; i < names_.size(); ++i) {
+    os << "  " << names_[i]
+       << std::string(w - names_[i].size() + 1, ' ');
+    for (std::size_t j = 0; j < names_.size(); ++j) {
+      os << (may_conflict(i, j) ? " X" : " .");
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace prog::analysis

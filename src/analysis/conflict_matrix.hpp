@@ -1,0 +1,88 @@
+// txlint pass 3 — static conflict matrix over transaction *types*.
+//
+// For every registered procedure the dataflow classifier (dataflow.hpp)
+// yields a table-level footprint: the tables any execution may touch and
+// the subset it may write. Two transaction types can conflict only when one
+// may write a table the other may touch. Because the footprints come from
+// the AST (not from the explored profile tree) they cover *every* path,
+// including ones a capped symbolic analysis never reached — so decisions
+// based on them are sound for recon-predicted and incomplete-profile
+// transactions too.
+//
+// The scheduler consumes the per-type footprints to elide lock-table
+// traffic: within one enqueue round, a transaction's key needs a lock entry
+// only if (a) its type may write the key's table and some *other*
+// transaction of the round may touch it, or (b) its type only reads the
+// table but some other transaction of the round may write it. This strictly
+// generalizes the paper's ROT bypass and the engine's immutable-table
+// elision from "no procedure ever writes T" to "no transaction in this
+// round writes T".
+//
+// The matrix itself (pairwise may-conflict bits) is the shippable offline
+// artifact: serialized next to the profiles (sym/serialize) and printed by
+// tools/txlint.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "lang/ast.hpp"
+
+namespace prog::analysis {
+
+/// Sorted, deduplicated table-level access footprint of one procedure.
+struct TableFootprint {
+  std::vector<TableId> touched;  // read or written on some path
+  std::vector<TableId> written;  // written (PUT/DEL) on some path
+
+  bool touches(TableId t) const noexcept;
+  bool writes(TableId t) const noexcept;
+};
+
+/// Symmetric boolean matrix over procedure types: `may_conflict(i, j)` is
+/// true iff type i may write a table type j touches, or vice versa. The
+/// diagonal is true for any type that writes at all (two instances of the
+/// same update type always conflict at table granularity).
+class ConflictMatrix {
+ public:
+  ConflictMatrix() = default;
+
+  /// Appends one procedure type. Footprint vectors are sorted/deduplicated
+  /// on entry. Returns the row index.
+  std::size_t add(std::string name, TableFootprint fp);
+
+  /// Builds the matrix by running the dataflow classifier over each proc.
+  static ConflictMatrix from_procs(
+      const std::vector<const lang::Proc*>& procs);
+
+  std::size_t size() const noexcept { return names_.size(); }
+  const std::string& name(std::size_t i) const { return names_.at(i); }
+  const TableFootprint& footprint(std::size_t i) const { return fps_.at(i); }
+
+  bool may_conflict(std::size_t i, std::size_t j) const {
+    return bits_.at(i * names_.size() + j);
+  }
+
+  /// Line-oriented text encoding (round-trips via deserialize):
+  ///   conflict-matrix <format-version>
+  ///   proc <name> touched <n> <t>... written <m> <t>...
+  ///   end
+  std::string serialize() const;
+
+  /// Parses the text form. Throws UsageError on malformed input.
+  static ConflictMatrix deserialize(const std::string& text);
+
+  /// Human-readable grid for the CLI: one row per type, `X` = may conflict,
+  /// `.` = provably disjoint.
+  std::string to_string() const;
+
+ private:
+  void rebuild_bits();
+
+  std::vector<std::string> names_;
+  std::vector<TableFootprint> fps_;
+  std::vector<bool> bits_;  // size() * size(), row-major
+};
+
+}  // namespace prog::analysis

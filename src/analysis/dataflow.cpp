@@ -1,0 +1,246 @@
+#include "analysis/dataflow.hpp"
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+#include <unordered_set>
+
+#include "common/check.hpp"
+
+namespace prog::analysis {
+
+namespace {
+
+using lang::EKind;
+using lang::ExprId;
+using lang::Proc;
+using lang::SExpr;
+using lang::SKind;
+using lang::Stmt;
+
+/// Calls `fn(VarId)` for every variable (scalar or row handle) mentioned in
+/// the expression tree rooted at `id`.
+template <typename Fn>
+void each_var(const Proc& proc, ExprId id, const Fn& fn) {
+  if (id == lang::kNoExpr) return;
+  const SExpr& e = proc.expr(id);
+  switch (e.kind) {
+    case EKind::kConst:
+    case EKind::kParam:
+      return;
+    case EKind::kParamElem:
+      each_var(proc, e.a, fn);
+      return;
+    case EKind::kVar:
+    case EKind::kField:
+      fn(e.var);
+      return;
+    default:
+      each_var(proc, e.a, fn);
+      each_var(proc, e.b, fn);
+      return;
+  }
+}
+
+/// One assignment edge: `var` receives a value computed from `sources`
+/// (the rhs expression plus the control predicates the assignment sits
+/// under — the implicit flow).
+struct DefEdge {
+  VarId var = 0;
+  std::vector<ExprId> sources;
+};
+
+class Classifier {
+ public:
+  explicit Classifier(const Proc& proc) : proc_(proc) {}
+
+  StaticSummary run() {
+    walk(proc_.body);
+
+    // Seed: variables mentioned by any sink expression.
+    std::vector<VarId> work;
+    auto mark = [&](VarId v) {
+      if (relevant_.insert(v).second) work.push_back(v);
+    };
+    for (ExprId s : sinks_) each_var(proc_, s, mark);
+
+    // Propagate backward through assignment edges to fixpoint.
+    while (!work.empty()) {
+      const VarId v = work.back();
+      work.pop_back();
+      for (const DefEdge& d : defs_) {
+        if (d.var != v) continue;
+        for (ExprId src : d.sources) each_var(proc_, src, mark);
+      }
+    }
+
+    StaticSummary out;
+    out.tables_touched.assign(touched_.begin(), touched_.end());
+    out.tables_written.assign(written_.begin(), written_.end());
+    for (VarId v = 0; v < proc_.var_types.size(); ++v) {
+      if (proc_.var_types[v] == lang::VarType::kHandle &&
+          relevant_.contains(v)) {
+        out.pivot_handles.push_back(v);
+      }
+    }
+    if (written_.empty()) {
+      out.klass = sym::TxClass::kReadOnly;
+    } else if (out.pivot_handles.empty()) {
+      out.klass = sym::TxClass::kIndependent;
+    } else {
+      out.klass = sym::TxClass::kDependent;
+    }
+    return out;
+  }
+
+ private:
+  void add_context_sources(std::vector<ExprId>& sources) const {
+    sources.insert(sources.end(), context_.begin(), context_.end());
+  }
+
+  void sink(ExprId e) {
+    if (e != lang::kNoExpr) sinks_.push_back(e);
+  }
+
+  /// Records an access: key expression and every enclosing predicate/bound
+  /// determine the RWS.
+  void access(const Stmt& s) {
+    sink(s.a);
+    for (ExprId c : context_) sink(c);
+  }
+
+  void walk(const std::vector<Stmt>& block) {
+    for (const Stmt& s : block) {
+      switch (s.kind) {
+        case SKind::kAssign: {
+          DefEdge d;
+          d.var = s.var;
+          d.sources.push_back(s.a);
+          add_context_sources(d.sources);
+          defs_.push_back(std::move(d));
+          break;
+        }
+        case SKind::kGet: {
+          touched_.insert(s.table);
+          access(s);
+          // The handle's *identity* (which row it denotes) flows from the
+          // key and the enclosing predicates; its *value* comes from the
+          // store, which is what makes it a pivot when relevant.
+          DefEdge d;
+          d.var = s.var;
+          d.sources.push_back(s.a);
+          add_context_sources(d.sources);
+          defs_.push_back(std::move(d));
+          break;
+        }
+        case SKind::kPut:
+        case SKind::kDel:
+          touched_.insert(s.table);
+          written_.insert(s.table);
+          access(s);
+          break;
+        case SKind::kIf:
+          context_.push_back(s.a);
+          walk(s.body);
+          walk(s.else_body);
+          context_.pop_back();
+          break;
+        case SKind::kFor: {
+          // The loop variable is bound from the bounds; body statements are
+          // control-dependent on the trip-count expressions.
+          DefEdge d;
+          d.var = s.var;
+          d.sources.push_back(s.a);
+          d.sources.push_back(s.b);
+          add_context_sources(d.sources);
+          defs_.push_back(std::move(d));
+          context_.push_back(s.a);
+          context_.push_back(s.b);
+          walk(s.body);
+          context_.pop_back();
+          context_.pop_back();
+          break;
+        }
+        case SKind::kAbortIf:
+          // Rollback shrinks the actual RWS; profiles over-approximate
+          // instead of forking (DESIGN.md "Known deviations"), so abort
+          // predicates carry no relevance here either.
+          break;
+        case SKind::kEmit:
+          break;
+      }
+    }
+  }
+
+  const Proc& proc_;
+  std::set<TableId> touched_;
+  std::set<TableId> written_;
+  std::vector<ExprId> sinks_;
+  std::vector<DefEdge> defs_;
+  std::vector<ExprId> context_;
+  std::unordered_set<VarId> relevant_;
+};
+
+bool subset(const std::vector<TableId>& inner,
+            const std::vector<TableId>& outer) {
+  return std::includes(outer.begin(), outer.end(), inner.begin(),
+                       inner.end());
+}
+
+std::string tables_str(const std::vector<TableId>& ts) {
+  std::ostringstream os;
+  os << '{';
+  for (std::size_t i = 0; i < ts.size(); ++i) {
+    if (i != 0) os << ',';
+    os << ts[i];
+  }
+  os << '}';
+  return os.str();
+}
+
+}  // namespace
+
+StaticSummary classify(const lang::Proc& proc) {
+  return Classifier(proc).run();
+}
+
+void cross_check(const lang::Proc& proc, const StaticSummary& summary,
+                 const sym::TxProfile& profile) {
+  if (!profile.complete()) return;  // class forced to DT by the cap
+  const sym::TxClass st = summary.klass;
+  const sym::TxClass se = profile.klass();
+  auto fail = [&](const std::string& what) {
+    throw InvariantError("txlint cross-check failed for '" + proc.name +
+                         "': " + what);
+  };
+  if (klass_rank(st) < klass_rank(se)) {
+    fail(std::string("static class ") + sym::to_string(st) +
+         " under-approximates SE class " + sym::to_string(se) +
+         " — the dataflow classifier missed a store→key flow");
+  }
+  if (!subset(profile.tables_touched(), summary.tables_touched)) {
+    fail("SE touched tables " + tables_str(profile.tables_touched()) +
+         " escape the static footprint " +
+         tables_str(summary.tables_touched));
+  }
+  if (!subset(profile.tables_written(), summary.tables_written)) {
+    fail("SE written tables " + tables_str(profile.tables_written()) +
+         " escape the static write footprint " +
+         tables_str(summary.tables_written));
+  }
+  const sym::SeMetrics& m = profile.metrics();
+  if (st != se && m.infeasible_paths == 0 && m.merged_branches == 0) {
+    fail(std::string("static class ") + sym::to_string(st) +
+         " != SE class " + sym::to_string(se) +
+         " although SE pruned no paths and merged no subtrees");
+  }
+}
+
+StaticSummary classify_checked(const lang::Proc& proc,
+                               const sym::TxProfile& profile) {
+  StaticSummary s = classify(proc);
+  cross_check(proc, s, profile);
+  return s;
+}
+
+}  // namespace prog::analysis

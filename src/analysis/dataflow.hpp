@@ -1,0 +1,70 @@
+// txlint pass 1 — static taint/dataflow transaction classifier.
+//
+// Predicts a procedure's TxClass (ROT/IT/DT) and table-level read/write
+// footprint directly from the AST, *without* running symbolic execution.
+// The algorithm is a backward slice from the RWS-determining expressions:
+//
+//   1. collect sinks: every GET/PUT/DEL key expression, plus (implicit
+//      flows) every enclosing branch condition and enclosing loop bound of
+//      an access;
+//   2. seed the relevant-variable set from the variables and row handles
+//      those sinks mention;
+//   3. propagate to fixpoint through assignments (rhs + enclosing control
+//      predicates of the assignment) and loop-variable bindings.
+//
+// A procedure is DT iff it writes and some GET handle ends up relevant —
+// i.e. a store-read value can shape the read/write-set; IT iff it writes
+// with no relevant handle; ROT iff it never writes.
+//
+// This deliberately re-derives what `lang::analyze_relevance` plus the
+// symbolic executor compute through a different algorithm, so it can serve
+// as a *differential oracle*: `cross_check` hard-errors when the static
+// summary and a symbolic `sym::TxProfile` disagree in a way sound analyses
+// cannot (see the function comment). The offline pipeline
+// (`db::Database::register_procedure`) runs the cross-check on every
+// registration.
+#pragma once
+
+#include <vector>
+
+#include "lang/ast.hpp"
+#include "sym/profile.hpp"
+
+namespace prog::analysis {
+
+/// Product of the static classifier.
+struct StaticSummary {
+  sym::TxClass klass = sym::TxClass::kIndependent;
+  std::vector<TableId> tables_touched;  // sorted, deduplicated
+  std::vector<TableId> tables_written;  // sorted, deduplicated (PUT/DEL)
+  /// GET handles whose row values can influence the RWS (static pivots).
+  std::vector<VarId> pivot_handles;  // sorted
+};
+
+/// Runs the taint/dataflow classification. Pure function of the AST.
+StaticSummary classify(const lang::Proc& proc);
+
+/// Total order used by the oracle: a sound static analysis may only
+/// over-approximate dependency (ROT < IT < DT).
+inline int klass_rank(sym::TxClass c) noexcept {
+  return static_cast<int>(c);
+}
+
+/// Differential oracle between the static summary and the SE profile.
+/// Throws InvariantError when they disagree in a way that cannot be
+/// explained by SE's extra precision:
+///   - the static class ranks *below* the profile class (a sound static
+///     analysis must over-approximate dependency);
+///   - the profile's table footprint is not a subset of the static one;
+///   - the classes differ although SE reports no precision-gaining events
+///     (no solver-pruned paths and no same-RWS subtree merges).
+/// Incomplete (state-capped) profiles are exempt: their class is forced to
+/// DT regardless of the code.
+void cross_check(const lang::Proc& proc, const StaticSummary& summary,
+                 const sym::TxProfile& profile);
+
+/// classify() + cross_check() in one step.
+StaticSummary classify_checked(const lang::Proc& proc,
+                               const sym::TxProfile& profile);
+
+}  // namespace prog::analysis

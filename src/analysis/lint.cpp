@@ -1,0 +1,434 @@
+#include "analysis/lint.hpp"
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/check.hpp"
+#include "lang/relevance.hpp"
+
+namespace prog::analysis {
+
+namespace {
+
+using lang::EKind;
+using lang::ExprId;
+using lang::Proc;
+using lang::SExpr;
+using lang::SKind;
+using lang::Stmt;
+
+template <typename Fn>
+void each_var(const Proc& proc, ExprId id, const Fn& fn) {
+  if (id == lang::kNoExpr) return;
+  const SExpr& e = proc.expr(id);
+  switch (e.kind) {
+    case EKind::kConst:
+    case EKind::kParam:
+      return;
+    case EKind::kParamElem:
+      each_var(proc, e.a, fn);
+      return;
+    case EKind::kVar:
+    case EKind::kField:
+      fn(e.var, e.kind == EKind::kField);
+      return;
+    default:
+      each_var(proc, e.a, fn);
+      each_var(proc, e.b, fn);
+      return;
+  }
+}
+
+/// Structural equality of two expression trees (same arena).
+bool expr_equal(const Proc& proc, ExprId a, ExprId b) {
+  if (a == b) return true;
+  if (a == lang::kNoExpr || b == lang::kNoExpr) return false;
+  const SExpr& ea = proc.expr(a);
+  const SExpr& eb = proc.expr(b);
+  if (ea.kind != eb.kind || ea.cval != eb.cval || ea.param != eb.param ||
+      ea.var != eb.var || ea.field != eb.field) {
+    return false;
+  }
+  return expr_equal(proc, ea.a, eb.a) && expr_equal(proc, ea.b, eb.b);
+}
+
+bool contains_access(const std::vector<Stmt>& block) {
+  for (const Stmt& s : block) {
+    switch (s.kind) {
+      case SKind::kGet:
+      case SKind::kPut:
+      case SKind::kDel:
+        return true;
+      case SKind::kIf:
+        if (contains_access(s.body) || contains_access(s.else_body)) {
+          return true;
+        }
+        break;
+      case SKind::kFor:
+        if (contains_access(s.body)) return true;
+        break;
+      default:
+        break;
+    }
+  }
+  return false;
+}
+
+/// Forward store-taint: a scalar variable is tainted when its value derives
+/// (through assignments or loop bounds) from a row field. Row handles are
+/// store values by construction.
+std::vector<bool> store_taint(const Proc& proc) {
+  std::vector<bool> tainted(proc.var_types.size(), false);
+  for (VarId v = 0; v < proc.var_types.size(); ++v) {
+    if (proc.var_types[v] == lang::VarType::kHandle) tainted[v] = true;
+  }
+  auto expr_tainted = [&](ExprId e) {
+    bool t = false;
+    each_var(proc, e, [&](VarId v, bool is_field) {
+      t = t || is_field || tainted[v];
+    });
+    return t;
+  };
+  bool changed = true;
+  auto walk = [&](const auto& self, const std::vector<Stmt>& block) -> void {
+    for (const Stmt& s : block) {
+      switch (s.kind) {
+        case SKind::kAssign:
+          if (!tainted[s.var] && expr_tainted(s.a)) {
+            tainted[s.var] = true;
+            changed = true;
+          }
+          break;
+        case SKind::kFor:
+          if (!tainted[s.var] &&
+              (expr_tainted(s.a) || expr_tainted(s.b))) {
+            tainted[s.var] = true;
+            changed = true;
+          }
+          self(self, s.body);
+          break;
+        case SKind::kIf:
+          self(self, s.body);
+          self(self, s.else_body);
+          break;
+        default:
+          break;
+      }
+    }
+  };
+  while (changed) {
+    changed = false;
+    walk(walk, proc.body);
+  }
+  return tainted;
+}
+
+/// Branch-arm context: the chain of (If statement, took-then-arm) choices a
+/// statement sits under.
+using ArmPath = std::vector<std::pair<const Stmt*, bool>>;
+
+struct PendingPut {
+  std::string location;
+  TableId table = 0;
+  ExprId key = lang::kNoExpr;
+  std::vector<FieldId> fields;  // sorted
+};
+
+class Linter {
+ public:
+  explicit Linter(const Proc& proc)
+      : proc_(proc),
+        taint_(store_taint(proc)),
+        rel_(lang::analyze_relevance(proc)) {}
+
+  std::vector<Diagnostic> run() {
+    std::vector<PendingPut> pending;
+    walk(proc_.body, "body", assigned_, pending);
+    // Deterministic order: document order by location, then check name.
+    std::stable_sort(diags_.begin(), diags_.end(),
+                     [](const Diagnostic& a, const Diagnostic& b) {
+                       return a.location < b.location;
+                     });
+    return std::move(diags_);
+  }
+
+ private:
+  void emit(Severity sev, std::string check, std::string loc,
+            std::string message, std::string hint) {
+    diags_.push_back({sev, std::move(check), std::move(loc),
+                      std::move(message), std::move(hint)});
+  }
+
+  std::string var_name(VarId v) const {
+    if (v < proc_.var_names.size()) return proc_.var_names[v];
+    std::string s = "v";
+    s += std::to_string(v);
+    return s;
+  }
+
+  bool expr_store_tainted(ExprId e) const {
+    bool t = false;
+    each_var(proc_, e, [&](VarId v, bool is_field) {
+      t = t || is_field || taint_[v];
+    });
+    return t;
+  }
+
+  // --- check: uninit-var ---------------------------------------------------
+  void check_uses(ExprId e, const std::string& loc,
+                  const std::unordered_set<VarId>& assigned) {
+    std::set<VarId> missing;
+    each_var(proc_, e, [&](VarId v, bool) {
+      if (!assigned.contains(v)) missing.insert(v);
+    });
+    for (VarId v : missing) {
+      if (reported_uninit_.insert({loc, v}).second) {
+        const bool handle = proc_.var_types[v] == lang::VarType::kHandle;
+        emit(Severity::kError, "uninit-var", loc,
+             std::string(handle ? "row handle '" : "variable '") +
+                 var_name(v) + "' may be read before assignment",
+             handle ? "perform the GET on every path that reaches this use"
+                    : "initialize '" + var_name(v) +
+                          "' on every path before this use");
+      }
+    }
+  }
+
+  // --- check: mixed-branch-pivots ------------------------------------------
+  void check_key_mix(ExprId key, const std::string& loc) {
+    std::set<VarId> handles;
+    each_var(proc_, key, [&](VarId v, bool is_field) {
+      if (is_field) handles.insert(v);
+    });
+    if (handles.size() < 2) return;
+    const std::vector<VarId> hs(handles.begin(), handles.end());
+    for (std::size_t i = 0; i < hs.size(); ++i) {
+      for (std::size_t j = i + 1; j < hs.size(); ++j) {
+        auto a = handle_arms_.find(hs[i]);
+        auto b = handle_arms_.find(hs[j]);
+        if (a == handle_arms_.end() || b == handle_arms_.end()) continue;
+        for (const auto& [stmt_a, arm_a] : a->second) {
+          for (const auto& [stmt_b, arm_b] : b->second) {
+            if (stmt_a == stmt_b && arm_a != arm_b) {
+              emit(Severity::kError, "mixed-branch-pivots", loc,
+                   "key expression mixes pivot fields of '" +
+                       var_name(hs[i]) + "' and '" + var_name(hs[j]) +
+                       "', which are read in mutually exclusive branches",
+                   "at most one of these handles is fresh on any "
+                   "execution; restructure so the key uses handles from "
+                   "one branch arm");
+              return;
+            }
+          }
+        }
+      }
+    }
+  }
+
+  // --- check: dead-write ---------------------------------------------------
+  void note_put(const Stmt& s, const std::string& loc,
+                std::vector<PendingPut>& pending) {
+    std::vector<FieldId> fields;
+    fields.reserve(s.fields.size());
+    for (const auto& [f, e] : s.fields) fields.push_back(f);
+    std::sort(fields.begin(), fields.end());
+    for (auto it = pending.begin(); it != pending.end();) {
+      if (it->table == s.table && expr_equal(proc_, it->key, s.a) &&
+          std::includes(fields.begin(), fields.end(), it->fields.begin(),
+                        it->fields.end())) {
+        emit(Severity::kWarning, "dead-write", it->location,
+             "PUT is completely overwritten by the PUT at " + loc +
+                 " before any read of table " + std::to_string(s.table),
+             "drop the earlier PUT or merge the two writes");
+        it = pending.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    pending.push_back({loc, s.table, s.a, std::move(fields)});
+  }
+
+  void note_del(const Stmt& s, const std::string& loc,
+                std::vector<PendingPut>& pending) {
+    for (auto it = pending.begin(); it != pending.end();) {
+      if (it->table == s.table && expr_equal(proc_, it->key, s.a)) {
+        emit(Severity::kWarning, "dead-write", it->location,
+             "PUT is deleted again by the DEL at " + loc +
+                 " before any read of table " + std::to_string(s.table),
+             "drop the PUT (the row is removed before anyone reads it)");
+        it = pending.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+
+  // --- walker --------------------------------------------------------------
+  void walk(const std::vector<Stmt>& block, const std::string& prefix,
+            std::unordered_set<VarId>& assigned,
+            std::vector<PendingPut>& pending) {
+    for (std::size_t i = 0; i < block.size(); ++i) {
+      const Stmt& s = block[i];
+      const std::string loc = prefix + "[" + std::to_string(i) + "]";
+      switch (s.kind) {
+        case SKind::kAssign:
+          check_uses(s.a, loc, assigned);
+          assigned.insert(s.var);
+          break;
+        case SKind::kGet:
+          check_uses(s.a, loc, assigned);
+          check_key_mix(s.a, loc);
+          assigned.insert(s.var);
+          handle_arms_[s.var] = arms_;
+          // The read may observe earlier buffered writes to this table.
+          std::erase_if(pending, [&](const PendingPut& p) {
+            return p.table == s.table;
+          });
+          break;
+        case SKind::kPut:
+          check_uses(s.a, loc, assigned);
+          for (const auto& [f, e] : s.fields) check_uses(e, loc, assigned);
+          check_key_mix(s.a, loc);
+          note_put(s, loc, pending);
+          break;
+        case SKind::kDel:
+          check_uses(s.a, loc, assigned);
+          check_key_mix(s.a, loc);
+          note_del(s, loc, pending);
+          break;
+        case SKind::kAbortIf:
+          // A rollback voids *all* buffered writes, so an overwritten PUT
+          // stays dead on the commit path: keep `pending`.
+          check_uses(s.a, loc, assigned);
+          break;
+        case SKind::kEmit:
+          check_uses(s.a, loc, assigned);
+          break;
+        case SKind::kIf: {
+          check_uses(s.a, loc, assigned);
+          check_fork(s, loc);
+          // Branch arms: definite assignment is the intersection of both
+          // arms; pending writes do not survive control flow (conservative).
+          std::vector<PendingPut> p_then, p_else;
+          std::unordered_set<VarId> a_then = assigned;
+          std::unordered_set<VarId> a_else = assigned;
+          arms_.emplace_back(&s, true);
+          walk(s.body, loc + ".then", a_then, p_then);
+          arms_.back().second = false;
+          walk(s.else_body, loc + ".else", a_else, p_else);
+          arms_.pop_back();
+          for (VarId v : a_then) {
+            if (a_else.contains(v)) assigned.insert(v);
+          }
+          pending.clear();
+          break;
+        }
+        case SKind::kFor: {
+          check_uses(s.a, loc, assigned);
+          check_uses(s.b, loc, assigned);
+          check_fork(s, loc);
+          check_loop(s, loc);
+          // The body may run zero times: its definitions (and the loop
+          // variable) are not definitely assigned afterwards.
+          std::unordered_set<VarId> a_body = assigned;
+          a_body.insert(s.var);
+          std::vector<PendingPut> p_body;
+          walk(s.body, loc + ".for", a_body, p_body);
+          pending.clear();
+          break;
+        }
+      }
+    }
+  }
+
+  // --- check: loop-unbounded / loop-data-trip ------------------------------
+  void check_loop(const Stmt& s, const std::string& loc) {
+    const bool data_trip =
+        expr_store_tainted(s.a) || expr_store_tainted(s.b);
+    if (s.max_iters <= 0) {
+      emit(data_trip ? Severity::kError : Severity::kWarning,
+           "loop-unbounded", loc,
+           std::string("loop has no positive declared static bound") +
+               (data_trip ? " and its trip count depends on store reads"
+                          : ""),
+           "declare max_iters > 0 so symbolic execution can bound the "
+           "unrolling");
+    } else if (data_trip) {
+      emit(Severity::kWarning, "loop-data-trip", loc,
+           "loop trip count depends on store reads — every possible count "
+           "is a separate path-set (up to " +
+               std::to_string(s.max_iters) + ")",
+           "bound the loop by a declared constant and filter inside the "
+           "body instead");
+    }
+  }
+
+  // --- check: fork-no-access -----------------------------------------------
+  void check_fork(const Stmt& s, const std::string& loc) {
+    if (!rel_.is_forking(proc_, s)) return;
+    const bool access = s.kind == SKind::kIf
+                            ? (contains_access(s.body) ||
+                               contains_access(s.else_body))
+                            : contains_access(s.body);
+    if (access) return;
+    emit(Severity::kWarning, "fork-no-access", loc,
+         "symbolic execution forks here although the subtree performs no "
+         "accesses (it assigns RWS-relevant variables)",
+         "hoist the relevant assignment out of the branch, or make the "
+         "branch outcome explicit in the key expression (e.g. min/max)");
+  }
+
+  const Proc& proc_;
+  std::vector<bool> taint_;
+  lang::Relevance rel_;
+  std::unordered_set<VarId> assigned_;
+  std::unordered_map<VarId, ArmPath> handle_arms_;
+  ArmPath arms_;
+  std::set<std::pair<std::string, VarId>> reported_uninit_;
+  std::vector<Diagnostic> diags_;
+};
+
+}  // namespace
+
+const char* to_string(Severity s) noexcept {
+  switch (s) {
+    case Severity::kNote:
+      return "note";
+    case Severity::kWarning:
+      return "warning";
+    case Severity::kError:
+      return "error";
+  }
+  return "?";
+}
+
+std::vector<Diagnostic> lint(const lang::Proc& proc) {
+  return Linter(proc).run();
+}
+
+bool has_errors(const std::vector<Diagnostic>& diags) {
+  return std::any_of(diags.begin(), diags.end(), [](const Diagnostic& d) {
+    return d.severity == Severity::kError;
+  });
+}
+
+std::string render(const lang::Proc& proc,
+                   const std::vector<Diagnostic>& diags) {
+  std::ostringstream os;
+  if (diags.empty()) {
+    os << proc.name << ": clean\n";
+    return os.str();
+  }
+  os << proc.name << ": " << diags.size() << " diagnostic(s)\n";
+  for (const Diagnostic& d : diags) {
+    os << "  [" << to_string(d.severity) << "] " << d.check << " at "
+       << d.location << ": " << d.message << "\n";
+    if (!d.fix_hint.empty()) os << "    fix: " << d.fix_hint << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace prog::analysis

@@ -1,0 +1,64 @@
+// txlint pass 2 — determinism / SE-friendliness lint.
+//
+// Walks a procedure's AST and emits structured diagnostics for patterns
+// that either break the offline-analysis contract or blow up the symbolic
+// executor:
+//
+//   uninit-var           (error)   a variable may be read before any
+//                                  assignment on some path
+//   mixed-branch-pivots  (error)   a key expression mixes row handles
+//                                  obtained in mutually exclusive branches
+//                                  of the same conditional — at least one
+//                                  of them is never fresh
+//   loop-unbounded       (error)   a loop has no positive declared static
+//                                  bound (`max_iters`), so SE cannot bound
+//                                  its unrolling; promoted from warning to
+//                                  error when the trip count additionally
+//                                  depends on store reads
+//   loop-data-trip       (warning) a loop's trip count depends on store
+//                                  reads (each possible count is a separate
+//                                  path-set; bound it by a constant)
+//   dead-write           (warning) a PUT is completely overwritten by a
+//                                  later PUT/DEL to the same key with no
+//                                  intervening read of that table
+//   fork-no-access       (warning) the relevance pass forks a branch whose
+//                                  subtree performs no accesses (it only
+//                                  assigns RWS-relevant variables) —
+//                                  restructure to avoid path explosion
+//
+// Statements are located by a structural path (e.g. `body[2].then[0]`)
+// since the DSL has no source positions.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "lang/ast.hpp"
+
+namespace prog::analysis {
+
+enum class Severity : std::uint8_t { kNote, kWarning, kError };
+
+const char* to_string(Severity s) noexcept;
+
+struct Diagnostic {
+  Severity severity = Severity::kWarning;
+  std::string check;     // e.g. "uninit-var"
+  std::string location;  // structural path, e.g. "body[2].then[0]"
+  std::string message;
+  std::string fix_hint;
+};
+
+/// Runs every lint check over `proc`. Diagnostics are emitted in document
+/// order (deterministic), errors and warnings interleaved.
+std::vector<Diagnostic> lint(const lang::Proc& proc);
+
+/// True when any diagnostic has error severity.
+bool has_errors(const std::vector<Diagnostic>& diags);
+
+/// Stable human-readable rendering (one diagnostic per line, plus a hint
+/// line when present) — the golden-test format and the CLI output.
+std::string render(const lang::Proc& proc,
+                   const std::vector<Diagnostic>& diags);
+
+}  // namespace prog::analysis

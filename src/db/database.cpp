@@ -1,5 +1,6 @@
 #include "db/database.hpp"
 
+#include "analysis/dataflow.hpp"
 #include "common/check.hpp"
 
 namespace prog::db {
@@ -29,6 +30,11 @@ sched::ProcId Database::register_procedure_shared(
       throw UsageError("duplicate procedure name: " + proc->name);
     }
   }
+  // txlint differential oracle: the static dataflow classifier and the
+  // symbolic profile are independent derivations of the same facts; a
+  // disagreement a sound analysis cannot produce means one of them is
+  // broken, and scheduling on a corrupt profile would silently diverge.
+  analysis::classify_checked(*proc, *profile);
   procs_.push_back(std::move(proc));
   profiles_.push_back(std::move(profile));
   entries_.push_back({procs_.back().get(), profiles_.back().get()});

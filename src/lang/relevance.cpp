@@ -76,6 +76,7 @@ class Analyzer {
 
     // Final forking decision per If/For.
     collect_forking(proc_.body);
+    rel_.analyzed_proc = &proc_;
     return std::move(rel_);
   }
 

@@ -13,6 +13,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "common/check.hpp"
 #include "lang/ast.hpp"
 
 namespace prog::lang {
@@ -23,8 +24,21 @@ struct Relevance {
   /// If/For statements the symbolic executor must fork on (identified by
   /// address — valid for the lifetime of the analyzed Proc instance).
   std::unordered_set<const Stmt*> forking;
+  /// The Proc instance `forking` was computed for. Statement addresses are
+  /// only meaningful against this exact object: a moved/copied/destroyed
+  /// Proc invalidates every entry, silently, because the set would simply
+  /// answer "not forking" for the new addresses. `is_forking` therefore
+  /// requires the caller to present the Proc it is walking and trips a
+  /// PROG_CHECK on mismatch instead of misforking.
+  const Proc* analyzed_proc = nullptr;
 
-  bool is_forking(const Stmt& s) const { return forking.contains(&s); }
+  bool is_forking(const Proc& proc, const Stmt& s) const {
+    PROG_CHECK_MSG(&proc == analyzed_proc,
+                   "Relevance::is_forking: queried against a different Proc "
+                   "instance than the one analyzed (stale statement "
+                   "addresses)");
+    return forking.contains(&s);
+  }
 };
 
 /// Runs the flow analysis to fixpoint. O(statements * fixpoint rounds).

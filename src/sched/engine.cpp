@@ -90,6 +90,19 @@ Engine::Engine(store::VersionedStore& store, std::vector<ProcEntry> procs,
   for (TableId t : touched) {
     if (!written.contains(t)) immutable_tables_.insert(t);
   }
+  // txlint pass 3: per-type static footprints for the per-round conflict
+  // census. Derived from the AST, so they cover every path regardless of
+  // profile completeness. Only Prognosticator uses the elision; baselines
+  // keep the paper's exact lock behavior.
+  {
+    std::vector<const lang::Proc*> ps;
+    ps.reserve(procs_.size());
+    for (const ProcEntry& e : procs_) ps.push_back(e.proc);
+    conflict_matrix_ = analysis::ConflictMatrix::from_procs(ps);
+  }
+  elision_enabled_ = config_.static_conflict_elision &&
+                     config_.system == System::kPrognosticator;
+  skip_tables_.resize(procs_.size());
   rot_queues_.resize(config_.workers);
   workers_.reserve(config_.workers);
   for (unsigned i = 0; i < config_.workers; ++i) {
@@ -231,7 +244,7 @@ void Engine::enqueue_tx(TxIdx idx) {
   TxnSlot& s = slots_[idx];
   s.trace_preds.clear();
   int total = 0;
-  for (const TKey& key : s.pred.keys) total += needs_lock(key) ? 1 : 0;
+  for (const TKey& key : s.pred.keys) total += needs_lock(key, s) ? 1 : 0;
   s.locks_remaining.store(total, std::memory_order_relaxed);
   if (total == 0) {
     ready_.push(idx);
@@ -239,7 +252,7 @@ void Engine::enqueue_tx(TxIdx idx) {
   }
   int granted_now = 0;
   for (const TKey& key : s.pred.keys) {
-    if (!needs_lock(key)) continue;
+    if (!needs_lock(key, s)) continue;
     const bool write = sorted_contains(s.pred.write_keys, key);
     TxIdx pred = idx;
     if (lock_table_.enqueue(idx, key, write,
@@ -261,7 +274,7 @@ void Engine::do_enqueue_partition(unsigned partition) {
   for (TxIdx idx : *enqueue_order_) {
     TxnSlot& s = slots_[idx];
     for (const TKey& key : s.pred.keys) {
-      if (!needs_lock(key)) continue;
+      if (!needs_lock(key, s)) continue;
       if (TKeyHash{}(key) % parts != partition) continue;
       const bool write = sorted_contains(s.pred.write_keys, key);
       TxIdx pred = idx;
@@ -278,8 +291,43 @@ void Engine::do_enqueue_partition(unsigned partition) {
   }
 }
 
+void Engine::compute_conflict_census(const std::vector<TxIdx>& order) {
+  if (!elision_enabled_) return;
+  // Instances per type in this round, then touch/write counts per table.
+  // The census is a pure function of the round's transaction multiset, so
+  // every replica computes the same elision decisions — the schedule stays
+  // deterministic.
+  std::vector<std::uint32_t> instances(procs_.size(), 0);
+  for (TxIdx i : order) ++instances[slots_[i].req->proc];
+  std::unordered_map<TableId, std::pair<std::uint32_t, std::uint32_t>>
+      census;  // table -> {touchers, writers}
+  for (ProcId p = 0; p < procs_.size(); ++p) {
+    if (instances[p] == 0) continue;
+    const analysis::TableFootprint& fp = conflict_matrix_.footprint(p);
+    for (TableId t : fp.touched) census[t].first += instances[p];
+    for (TableId t : fp.written) census[t].second += instances[p];
+  }
+  for (ProcId p = 0; p < procs_.size(); ++p) {
+    auto& skip = skip_tables_[p];
+    skip.clear();
+    if (instances[p] == 0) continue;
+    const analysis::TableFootprint& fp = conflict_matrix_.footprint(p);
+    for (TableId t : fp.touched) {
+      const auto [touchers, writers] = census[t];
+      // My keys in t conflict iff I may write t and anyone else touches it,
+      // or I only read t and someone may write it. `touchers > 1` excludes
+      // the case where this single instance is the only toucher.
+      const bool conflict = fp.writes(t) ? touchers > 1 : writers > 0;
+      if (!conflict) skip.insert(t);
+    }
+  }
+}
+
 void Engine::enqueue_all(const std::vector<TxIdx>& order) {
   Stopwatch sw;
+  // The lock table is drained here (between rounds), so the census may be
+  // rebuilt without changing any in-flight enqueue/release decision.
+  compute_conflict_census(order);
   if (!config_.parallel_enqueue) {
     for (TxIdx i : order) enqueue_tx(i);
   } else {
@@ -288,7 +336,9 @@ void Engine::enqueue_all(const std::vector<TxIdx>& order) {
       TxnSlot& s = slots_[idx];
       s.trace_preds.clear();
       int total = 0;
-      for (const TKey& key : s.pred.keys) total += needs_lock(key) ? 1 : 0;
+      for (const TKey& key : s.pred.keys) {
+        total += needs_lock(key, s) ? 1 : 0;
+      }
       s.locks_remaining.store(total, std::memory_order_relaxed);
       if (total == 0) ready_.push(idx);
     }
@@ -303,7 +353,7 @@ void Engine::release_locks(TxIdx idx) {
   TxnSlot& s = slots_[idx];
   std::vector<TxIdx> granted;
   for (const TKey& key : s.pred.keys) {
-    if (!needs_lock(key)) continue;
+    if (!needs_lock(key, s)) continue;
     lock_table_.release(idx, key, granted);
   }
   for (TxIdx g : granted) {

@@ -40,6 +40,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "analysis/conflict_matrix.hpp"
 #include "common/queues.hpp"
 #include "common/sync.hpp"
 #include "lang/interp.hpp"
@@ -119,6 +120,16 @@ struct EngineConfig {
   /// Capture every transaction's emitted values into BatchResult::outputs —
   /// how clients read query results back (small mutex cost per emitting tx).
   bool capture_outputs = false;
+  /// Static conflict-matrix lock elision (txlint pass 3): per enqueue
+  /// round, a key takes a lock-table entry only when the transaction's
+  /// *type*-level footprint can actually conflict with another transaction
+  /// of the round on that table — i.e. it may write a table someone else
+  /// touches, or read a table someone else may write. Generalizes the
+  /// ROT bypass and the immutable-table elision to per-batch granularity.
+  /// Applies to Prognosticator only (baselines keep the paper's behavior);
+  /// the resulting schedule is deterministic (the census is a pure function
+  /// of the round's transaction multiset) and produces identical commits.
+  bool static_conflict_elision = true;
   /// Verify actual accesses ⊆ predicted key-set after every execution.
   bool check_containment = false;
   /// Drop store versions older than this many batches (0 = never GC).
@@ -225,10 +236,19 @@ class Engine {
   void release_locks(TxIdx idx);
   sym::TxClass effective_class(const ProcEntry& entry) const;
   /// A key needs a lock-table entry unless its table is provably immutable
-  /// (no registered procedure ever writes it).
-  bool needs_lock(TKey key) const {
-    return !immutable_tables_.contains(key.table);
+  /// (no registered procedure ever writes it) or the static conflict census
+  /// of the current enqueue round shows no cross-transaction conflict on it
+  /// (EngineConfig::static_conflict_elision). Must be called with the same
+  /// census at enqueue and release time — the census only changes inside
+  /// `enqueue_all`, which runs strictly between rounds, when the lock table
+  /// is drained.
+  bool needs_lock(TKey key, const TxnSlot& s) const {
+    if (immutable_tables_.contains(key.table)) return false;
+    if (!elision_enabled_) return true;
+    return !skip_tables_[s.req->proc].contains(key.table);
   }
+  /// Rebuilds `skip_tables_` for the enqueue round `order` (txlint pass 3).
+  void compute_conflict_census(const std::vector<TxIdx>& order);
 
   store::VersionedStore& store_;
   const std::vector<ProcEntry> procs_;
@@ -236,6 +256,15 @@ class Engine {
   lang::Interp interp_;
   /// Tables no registered procedure writes: reads take no locks.
   std::unordered_set<TableId> immutable_tables_;
+  /// Per-type table footprints derived from the AST by the txlint dataflow
+  /// classifier — path-complete, so sound even for capped profiles and
+  /// reconnaissance predictions. Row i corresponds to ProcId i.
+  analysis::ConflictMatrix conflict_matrix_;
+  /// static_conflict_elision resolved against the configured system.
+  bool elision_enabled_ = false;
+  /// Per ProcId: tables whose keys skip the lock table in the current
+  /// enqueue round (rebuilt by compute_conflict_census per round).
+  std::vector<std::unordered_set<TableId>> skip_tables_;
 
   LockTable lock_table_;
   MpmcQueue<TxIdx> ready_;

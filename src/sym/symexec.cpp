@@ -338,7 +338,7 @@ class Engine {
         const bool cguard = st.cvars[s.var] < ceval(s.b, st);
         // then: run the body once more (loop frame stays); else: exit loop.
         if (!branch(
-                st, node, guard, cguard, relevance_.is_forking(s),
+                st, node, guard, cguard, relevance_.is_forking(proc_, s),
                 [&](SymState& next) {
                   next.frames.push_back(Frame::block(&s.body));
                 },
@@ -412,7 +412,7 @@ class Engine {
         const Expr* cond = seval(s.a, st);
         const bool ccond = ceval(s.a, st) != 0;
         return branch(
-            st, node, cond, ccond, relevance_.is_forking(s),
+            st, node, cond, ccond, relevance_.is_forking(proc_, s),
             [&](SymState& next) {
               if (!s.body.empty()) {
                 next.frames.push_back(Frame::block(&s.body));

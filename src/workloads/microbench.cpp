@@ -49,31 +49,35 @@ std::int64_t Zipf::next(Rng& rng) const {
   return std::clamp<std::int64_t>(v, 0, n_ - 1);
 }
 
+lang::Proc build_rmw(const Options& opts) {
+  lang::ProcBuilder b("micro_rmw");
+  auto keys = b.param_array("keys", static_cast<std::uint32_t>(opts.ops_per_tx),
+                            0, opts.keys - 1);
+  for (int i = 0; i < opts.ops_per_tx; ++i) {
+    auto h = b.get(kTable, keys[i]);
+    b.put(kTable, keys[i], {{kValue, h.field(kValue) + 1}});
+  }
+  return std::move(b).build();
+}
+
+lang::Proc build_scan(const Options& opts) {
+  lang::ProcBuilder b("micro_scan");
+  auto keys = b.param_array("keys", static_cast<std::uint32_t>(opts.ops_per_tx),
+                            0, opts.keys - 1);
+  auto acc = b.let("acc", b.lit(0));
+  for (int i = 0; i < opts.ops_per_tx; ++i) {
+    auto h = b.get(kTable, keys[i]);
+    b.assign(acc, acc + h.field(kValue));
+  }
+  b.emit(acc);
+  return std::move(b).build();
+}
+
 Workload::Workload(db::Database& db, Options opts)
     : opts_(opts), db_(&db), zipf_(opts.keys, opts.zipf_theta) {
   PROG_CHECK(opts.ops_per_tx >= 1 && opts.ops_per_tx <= 16);
-  {
-    lang::ProcBuilder b("micro_rmw");
-    auto keys = b.param_array("keys", static_cast<std::uint32_t>(opts.ops_per_tx),
-                              0, opts.keys - 1);
-    for (int i = 0; i < opts.ops_per_tx; ++i) {
-      auto h = b.get(kTable, keys[i]);
-      b.put(kTable, keys[i], {{kValue, h.field(kValue) + 1}});
-    }
-    rmw_ = db.register_procedure(std::move(b).build());
-  }
-  {
-    lang::ProcBuilder b("micro_scan");
-    auto keys = b.param_array("keys", static_cast<std::uint32_t>(opts.ops_per_tx),
-                              0, opts.keys - 1);
-    auto acc = b.let("acc", b.lit(0));
-    for (int i = 0; i < opts.ops_per_tx; ++i) {
-      auto h = b.get(kTable, keys[i]);
-      b.assign(acc, acc + h.field(kValue));
-    }
-    b.emit(acc);
-    scan_ = db.register_procedure(std::move(b).build());
-  }
+  rmw_ = db.register_procedure(build_rmw(opts));
+  scan_ = db.register_procedure(build_scan(opts));
   for (std::int64_t k = 0; k < opts.keys; ++k) {
     db.store().put({kTable, static_cast<Key>(k)}, store::Row{{kValue, 0}}, 0);
   }
@@ -105,6 +109,103 @@ std::int64_t total_value(const store::VersionedStore& store,
   for (std::int64_t k = 0; k < opts.keys; ++k) {
     const store::RowPtr row = store.get({kTable, static_cast<Key>(k)});
     if (row != nullptr) total += row->get_or(kValue);
+  }
+  return total;
+}
+
+lang::Proc build_order(const CatalogOptions& opts) {
+  lang::ProcBuilder b("micro_order");
+  auto acct = b.param("acct", 0, opts.accounts - 1);
+  auto items = b.param_array(
+      "items", static_cast<std::uint32_t>(opts.reads_per_tx), 0,
+      opts.catalog_keys - 1);
+  auto total = b.let("total", b.lit(0));
+  for (int i = 0; i < opts.reads_per_tx; ++i) {
+    auto h = b.get(kCatalog, items[i]);
+    b.assign(total, total + h.field(kPrice));
+  }
+  auto a = b.get(kAccount, acct);
+  b.put(kAccount, acct, {{kSpent, a.field(kSpent) + total}});
+  return std::move(b).build();
+}
+
+lang::Proc build_reprice(const CatalogOptions& opts) {
+  lang::ProcBuilder b("micro_reprice");
+  auto item = b.param("item", 0, opts.catalog_keys - 1);
+  auto delta = b.param("delta", -100, 100);
+  auto h = b.get(kCatalog, item);
+  b.put(kCatalog, item, {{kPrice, h.field(kPrice) + delta}});
+  return std::move(b).build();
+}
+
+void load_catalog(store::VersionedStore& store, const CatalogOptions& opts) {
+  for (std::int64_t k = 0; k < opts.catalog_keys; ++k) {
+    store.put({kCatalog, static_cast<Key>(k)},
+              store::Row{{kPrice, (k % 90) + 10}}, 0);
+  }
+  for (std::int64_t k = 0; k < opts.accounts; ++k) {
+    store.put({kAccount, static_cast<Key>(k)}, store::Row{{kSpent, 0}}, 0);
+  }
+}
+
+CatalogWorkload::CatalogWorkload(db::Database& db, CatalogOptions opts)
+    : opts_(opts), db_(&db), zipf_(opts.catalog_keys, opts.zipf_theta) {
+  PROG_CHECK(opts.reads_per_tx >= 1 && opts.reads_per_tx <= 16);
+  order_ = db.register_procedure(build_order(opts));
+  reprice_ = db.register_procedure(build_reprice(opts));
+  load_catalog(db.store(), opts);
+  db.finalize();
+}
+
+CatalogWorkload::CatalogWorkload(db::Database& db, CatalogOptions opts,
+                                 AttachOnly)
+    : opts_(opts), db_(&db), zipf_(opts.catalog_keys, opts.zipf_theta) {
+  order_ = db.find_procedure("micro_order");
+  reprice_ = db.find_procedure("micro_reprice");
+  if (!db.finalized()) db.finalize();
+}
+
+sched::TxRequest CatalogWorkload::next_order(Rng& rng) const {
+  sched::TxRequest r;
+  r.proc = order_;
+  r.input.add(rng.uniform(0, opts_.accounts - 1));
+  std::vector<Value> items;
+  items.reserve(static_cast<std::size_t>(opts_.reads_per_tx));
+  for (int i = 0; i < opts_.reads_per_tx; ++i) {
+    items.push_back(zipf_.next(rng));
+  }
+  r.input.add_array(std::move(items));
+  return r;
+}
+
+sched::TxRequest CatalogWorkload::next_reprice(Rng& rng) const {
+  sched::TxRequest r;
+  r.proc = reprice_;
+  r.input.add(rng.uniform(0, opts_.catalog_keys - 1));
+  r.input.add(rng.uniform(-100, 100));
+  return r;
+}
+
+std::vector<sched::TxRequest> CatalogWorkload::batch(
+    std::size_t n, std::size_t reprice_count, Rng& rng) const {
+  std::vector<sched::TxRequest> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    // Deterministic placement: reprices spread evenly through the batch.
+    const bool rep =
+        reprice_count > 0 && n > 0 && i % (n / reprice_count + 1) == 0 &&
+        i / (n / reprice_count + 1) < reprice_count;
+    out.push_back(rep ? next_reprice(rng) : next_order(rng));
+  }
+  return out;
+}
+
+std::int64_t total_spent(const store::VersionedStore& store,
+                         const CatalogOptions& opts) {
+  std::int64_t total = 0;
+  for (std::int64_t k = 0; k < opts.accounts; ++k) {
+    const store::RowPtr row = store.get({kAccount, static_cast<Key>(k)});
+    if (row != nullptr) total += row->get_or(kSpent);
   }
   return total;
 }

@@ -1,0 +1,344 @@
+// Tests for the txlint static-analysis library (src/analysis/):
+//
+//  - differential oracle: the dataflow classifier (pass 1) must agree with
+//    symbolic execution on class and footprint for every workload procedure
+//    (classify_checked throws otherwise);
+//  - injected bugs: a falsified summary must trip cross_check — this is the
+//    test that the oracle actually has teeth;
+//  - conflict matrix (pass 3): pairwise semantics, serialization round-trip,
+//    malformed-input rejection;
+//  - engine integration: the per-round conflict census changes no results
+//    (state hashes / invariants identical with elision on and off) while
+//    provably removing lock-table dependency edges from writer-free rounds;
+//  - the Relevance Proc-identity guard rejects stale statement addresses.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "analysis/conflict_matrix.hpp"
+#include "analysis/dataflow.hpp"
+#include "common/check.hpp"
+#include "common/rng.hpp"
+#include "db/database.hpp"
+#include "lang/relevance.hpp"
+#include "sched/trace.hpp"
+#include "sym/symexec.hpp"
+#include "workloads/microbench.hpp"
+#include "workloads/rubis.hpp"
+#include "workloads/tpcc.hpp"
+
+namespace prog {
+namespace {
+
+namespace micro = workloads::micro;
+using analysis::ConflictMatrix;
+using analysis::StaticSummary;
+using analysis::TableFootprint;
+using sym::TxClass;
+
+/// Profiles `proc` and runs the full differential oracle; returns the static
+/// summary (throws InvariantError on any static/SE disagreement).
+StaticSummary checked(const lang::Proc& proc) {
+  const auto profile = sym::Profiler::profile(proc);
+  return analysis::classify_checked(proc, *profile);
+}
+
+// --- differential oracle -----------------------------------------------------
+
+TEST(DifferentialTest, TpccAgreesWithSymbolicExecution) {
+  const auto sc = workloads::tpcc::Scale::tiny(1);
+  EXPECT_EQ(checked(workloads::tpcc::build_new_order(sc)).klass,
+            TxClass::kDependent);
+  EXPECT_EQ(checked(workloads::tpcc::build_payment(sc)).klass,
+            TxClass::kIndependent);
+  EXPECT_EQ(checked(workloads::tpcc::build_delivery(sc)).klass,
+            TxClass::kDependent);
+  EXPECT_EQ(checked(workloads::tpcc::build_order_status(sc)).klass,
+            TxClass::kReadOnly);
+  EXPECT_EQ(checked(workloads::tpcc::build_stock_level(sc)).klass,
+            TxClass::kReadOnly);
+}
+
+TEST(DifferentialTest, RubisAgreesWithSymbolicExecution) {
+  const auto sc = workloads::rubis::Scale::small();
+  EXPECT_EQ(checked(workloads::rubis::build_store_bid(sc)).klass,
+            TxClass::kDependent);
+  EXPECT_EQ(checked(workloads::rubis::build_store_buy_now(sc)).klass,
+            TxClass::kDependent);
+  EXPECT_EQ(checked(workloads::rubis::build_store_comment(sc)).klass,
+            TxClass::kDependent);
+  EXPECT_EQ(checked(workloads::rubis::build_register_user(sc)).klass,
+            TxClass::kDependent);
+  EXPECT_EQ(checked(workloads::rubis::build_register_item(sc)).klass,
+            TxClass::kDependent);
+}
+
+TEST(DifferentialTest, MicroAgreesWithExactFootprints) {
+  const micro::Options mo;
+  const micro::CatalogOptions co;
+
+  const StaticSummary rmw = checked(micro::build_rmw(mo));
+  EXPECT_EQ(rmw.klass, TxClass::kIndependent);
+  EXPECT_EQ(rmw.tables_touched, std::vector<TableId>{micro::kTable});
+  EXPECT_EQ(rmw.tables_written, std::vector<TableId>{micro::kTable});
+  // The read handle feeds only the written *value*, never a key: no pivots.
+  EXPECT_TRUE(rmw.pivot_handles.empty());
+
+  const StaticSummary scan = checked(micro::build_scan(mo));
+  EXPECT_EQ(scan.klass, TxClass::kReadOnly);
+  EXPECT_EQ(scan.tables_touched, std::vector<TableId>{micro::kTable});
+  EXPECT_TRUE(scan.tables_written.empty());
+
+  const StaticSummary order = checked(micro::build_order(co));
+  EXPECT_EQ(order.klass, TxClass::kIndependent);
+  EXPECT_EQ(order.tables_touched,
+            (std::vector<TableId>{micro::kCatalog, micro::kAccount}));
+  EXPECT_EQ(order.tables_written, std::vector<TableId>{micro::kAccount});
+
+  const StaticSummary reprice = checked(micro::build_reprice(co));
+  EXPECT_EQ(reprice.klass, TxClass::kIndependent);
+  EXPECT_EQ(reprice.tables_touched, std::vector<TableId>{micro::kCatalog});
+  EXPECT_EQ(reprice.tables_written, std::vector<TableId>{micro::kCatalog});
+}
+
+TEST(DifferentialTest, NewOrderHasStaticPivots) {
+  // new_order's item-validity branches pivot on stock/item rows: the static
+  // classifier must surface at least one pivot handle for a DT.
+  const auto sc = workloads::tpcc::Scale::tiny(1);
+  const StaticSummary s = checked(workloads::tpcc::build_new_order(sc));
+  EXPECT_FALSE(s.pivot_handles.empty());
+}
+
+// --- injected bugs must trip the oracle --------------------------------------
+
+TEST(CrossCheckTest, CatchesInjectedClassUnderApproximation) {
+  const micro::CatalogOptions co;
+  const lang::Proc proc = micro::build_reprice(co);
+  const auto profile = sym::Profiler::profile(proc);
+  StaticSummary s = analysis::classify(proc);
+  ASSERT_NO_THROW(analysis::cross_check(proc, s, *profile));
+
+  // A "buggy classifier" that misses the write and reports ROT.
+  StaticSummary bad = s;
+  bad.klass = TxClass::kReadOnly;
+  EXPECT_THROW(analysis::cross_check(proc, bad, *profile), InvariantError);
+}
+
+TEST(CrossCheckTest, CatchesInjectedFootprintLoss) {
+  const micro::CatalogOptions co;
+  const lang::Proc proc = micro::build_order(co);
+  const auto profile = sym::Profiler::profile(proc);
+  StaticSummary bad = analysis::classify(proc);
+  // Drop the catalog table from the static footprint: SE's tables now
+  // escape the "sound over-approximation".
+  std::erase(bad.tables_touched, micro::kCatalog);
+  EXPECT_THROW(analysis::cross_check(proc, bad, *profile), InvariantError);
+}
+
+TEST(CrossCheckTest, CatchesUnexplainedOverApproximation) {
+  // reprice is straight-line: SE prunes no paths and merges no subtrees, so
+  // even an *over*-approximated class (DT > IT) is flagged as a divergence
+  // the precision argument cannot explain.
+  const micro::CatalogOptions co;
+  const lang::Proc proc = micro::build_reprice(co);
+  const auto profile = sym::Profiler::profile(proc);
+  ASSERT_EQ(profile->metrics().infeasible_paths, 0u);
+  ASSERT_EQ(profile->metrics().merged_branches, 0u);
+  StaticSummary bad = analysis::classify(proc);
+  bad.klass = TxClass::kDependent;
+  EXPECT_THROW(analysis::cross_check(proc, bad, *profile), InvariantError);
+}
+
+// --- conflict matrix ---------------------------------------------------------
+
+TEST(ConflictMatrixTest, PairwiseSemantics) {
+  const micro::Options mo;
+  const micro::CatalogOptions co;
+  const lang::Proc rmw = micro::build_rmw(mo);
+  const lang::Proc scan = micro::build_scan(mo);
+  const lang::Proc order = micro::build_order(co);
+  const lang::Proc reprice = micro::build_reprice(co);
+  const ConflictMatrix m =
+      ConflictMatrix::from_procs({&rmw, &scan, &order, &reprice});
+  ASSERT_EQ(m.size(), 4u);
+  EXPECT_EQ(m.name(0), "micro_rmw");
+  EXPECT_EQ(m.name(3), "micro_reprice");
+
+  // Two rmw instances race on the same table; two scans never conflict.
+  EXPECT_TRUE(m.may_conflict(0, 0));
+  EXPECT_FALSE(m.may_conflict(1, 1));
+  // rmw writes the table scan reads.
+  EXPECT_TRUE(m.may_conflict(0, 1));
+  EXPECT_TRUE(m.may_conflict(1, 0));
+  // The YCSB table and the catalog schema are disjoint.
+  EXPECT_FALSE(m.may_conflict(0, 2));
+  EXPECT_FALSE(m.may_conflict(1, 3));
+  // reprice writes the catalog table order reads.
+  EXPECT_TRUE(m.may_conflict(2, 3));
+  EXPECT_TRUE(m.may_conflict(3, 2));
+
+  EXPECT_TRUE(m.footprint(2).touches(micro::kCatalog));
+  EXPECT_FALSE(m.footprint(2).writes(micro::kCatalog));
+  EXPECT_TRUE(m.footprint(2).writes(micro::kAccount));
+}
+
+TEST(ConflictMatrixTest, SerializeRoundTrips) {
+  ConflictMatrix m;
+  m.add("alpha", TableFootprint{{3, 1, 1}, {1}});  // unsorted + dup on entry
+  m.add("beta", TableFootprint{{2}, {}});
+  m.add("gamma", TableFootprint{{1, 2}, {2}});
+
+  const std::string text = m.serialize();
+  EXPECT_EQ(text,
+            "conflict-matrix 1\n"
+            "proc alpha touched 2 1 3 written 1 1\n"
+            "proc beta touched 1 2 written 0\n"
+            "proc gamma touched 2 1 2 written 1 2\n"
+            "end\n");
+
+  const ConflictMatrix r = ConflictMatrix::deserialize(text);
+  ASSERT_EQ(r.size(), m.size());
+  for (std::size_t i = 0; i < m.size(); ++i) {
+    EXPECT_EQ(r.name(i), m.name(i));
+    EXPECT_EQ(r.footprint(i).touched, m.footprint(i).touched);
+    EXPECT_EQ(r.footprint(i).written, m.footprint(i).written);
+    for (std::size_t j = 0; j < m.size(); ++j) {
+      EXPECT_EQ(r.may_conflict(i, j), m.may_conflict(i, j));
+    }
+  }
+  // alpha writes 1, gamma touches 1; beta (pure reader of 2) conflicts with
+  // gamma (writer of 2) but not with alpha.
+  EXPECT_TRUE(r.may_conflict(0, 2));
+  EXPECT_TRUE(r.may_conflict(1, 2));
+  EXPECT_FALSE(r.may_conflict(0, 1));
+}
+
+TEST(ConflictMatrixTest, DeserializeRejectsMalformed) {
+  EXPECT_THROW(ConflictMatrix::deserialize(""), UsageError);
+  EXPECT_THROW(ConflictMatrix::deserialize("bogus\nend\n"), UsageError);
+  // Missing trailer.
+  EXPECT_THROW(ConflictMatrix::deserialize("conflict-matrix 1\n"), UsageError);
+  // Truncated table list.
+  EXPECT_THROW(ConflictMatrix::deserialize(
+                   "conflict-matrix 1\nproc p touched 2 1 written 0\nend\n"),
+               UsageError);
+  // written-set not a subset of touched-set violates the add() invariant.
+  EXPECT_THROW(ConflictMatrix::deserialize(
+                   "conflict-matrix 1\nproc p touched 1 1 written 1 9\nend\n"),
+               InvariantError);
+}
+
+// --- engine integration: the per-round census --------------------------------
+
+std::uint64_t edge_count(const sched::BatchTrace& trace) {
+  std::uint64_t edges = 0;
+  for (const auto& a : trace.attempts) edges += a.preds.size();
+  return edges;
+}
+
+sched::EngineConfig census_cfg(bool elide) {
+  sched::EngineConfig cfg;
+  cfg.workers = 2;
+  cfg.static_conflict_elision = elide;
+  return cfg;
+}
+
+TEST(ConflictElisionTest, CatalogResultsIdenticalOnAndOff) {
+  const micro::CatalogOptions opts{/*catalog_keys=*/64, /*accounts=*/256,
+                                   /*reads_per_tx=*/4, /*zipf_theta=*/0.9};
+  std::uint64_t hash[2] = {0, 0};
+  std::int64_t spent[2] = {0, 0};
+  for (const bool elide : {false, true}) {
+    db::Database db(census_cfg(elide));
+    micro::CatalogWorkload wl(db, opts);
+    Rng rng(7);
+    for (int b = 0; b < 6; ++b) {
+      // Every third batch carries repricings; the others are writer-free on
+      // the catalog table and exercise the elided path.
+      auto res = db.execute(wl.batch(48, b % 3 == 0 ? 2 : 0, rng));
+      EXPECT_EQ(res.committed, 48u);
+    }
+    hash[elide] = db.state_hash();
+    spent[elide] = micro::total_spent(db.store(), opts);
+  }
+  EXPECT_EQ(hash[false], hash[true]);
+  EXPECT_EQ(spent[false], spent[true]);
+}
+
+TEST(ConflictElisionTest, TpccResultsIdenticalOnAndOff) {
+  const auto sc = workloads::tpcc::Scale::tiny(1);
+  std::uint64_t hash[2] = {0, 0};
+  std::uint64_t committed[2] = {0, 0};
+  for (const bool elide : {false, true}) {
+    db::Database db(census_cfg(elide));
+    workloads::tpcc::Workload wl(db, sc);
+    Rng rng(11);
+    for (int b = 0; b < 2; ++b) {
+      committed[elide] += db.execute(wl.batch(32, rng)).committed;
+    }
+    hash[elide] = db.state_hash();
+  }
+  EXPECT_EQ(hash[false], hash[true]);
+  EXPECT_EQ(committed[false], committed[true]);
+}
+
+TEST(ConflictElisionTest, CensusElidesEdgesInWriterFreeRounds) {
+  // Hand-built worst case: every order reads the *same* catalog item (a
+  // maximally hot read lock) but writes a distinct account. In a round with
+  // no reprice the census proves the catalog is read-only and the account
+  // table single-writer-per-key, so the elided run has zero lock-table
+  // dependency edges; the baseline serializes all orders behind the hot
+  // read entry. A round that does contain a reprice keeps every lock in
+  // both configurations — the census may only elide what cannot conflict.
+  const micro::CatalogOptions opts{/*catalog_keys=*/64, /*accounts=*/256,
+                                   /*reads_per_tx=*/4, /*zipf_theta=*/0.0};
+  std::uint64_t free_edges[2] = {0, 0};
+  std::uint64_t writer_edges[2] = {0, 0};
+  for (const bool elide : {false, true}) {
+    db::Database db(census_cfg(elide));
+    micro::CatalogWorkload wl(db, opts);
+    auto order = [&](Value acct) {
+      sched::TxRequest r;
+      r.proc = wl.order();
+      r.input.add(acct);
+      r.input.add_array(std::vector<Value>(4, 0));  // all read item 0
+      return r;
+    };
+    std::vector<sched::TxRequest> writer_free;
+    for (Value a = 0; a < 16; ++a) writer_free.push_back(order(a));
+    sched::BatchTrace trace;
+    db.execute_traced(std::move(writer_free), &trace);
+    free_edges[elide] = edge_count(trace);
+
+    std::vector<sched::TxRequest> with_writer;
+    for (Value a = 0; a < 15; ++a) with_writer.push_back(order(a));
+    sched::TxRequest rep;
+    rep.proc = wl.reprice();
+    rep.input.add(0);   // reprices the hot item
+    rep.input.add(5);
+    with_writer.push_back(std::move(rep));
+    db.execute_traced(std::move(with_writer), &trace);
+    writer_edges[elide] = edge_count(trace);
+  }
+  EXPECT_GT(free_edges[false], 0u);
+  EXPECT_EQ(free_edges[true], 0u);
+  EXPECT_GT(writer_edges[true], 0u);
+  EXPECT_EQ(writer_edges[false], writer_edges[true]);
+}
+
+// --- Relevance Proc-identity guard -------------------------------------------
+
+TEST(RelevanceGuardTest, IsForkingRejectsForeignProcInstance) {
+  const micro::CatalogOptions co;
+  const lang::Proc proc = micro::build_order(co);
+  const lang::Relevance rel = lang::analyze_relevance(proc);
+  EXPECT_NO_THROW((void)rel.is_forking(proc, proc.body.front()));
+  // A copy has fresh statement addresses: querying it against the original
+  // analysis would silently answer "not forking" — the guard must trip.
+  const lang::Proc copy = proc;
+  EXPECT_THROW((void)rel.is_forking(copy, copy.body.front()), InvariantError);
+}
+
+}  // namespace
+}  // namespace prog

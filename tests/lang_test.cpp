@@ -265,7 +265,7 @@ TEST(RelevanceTest, ValueOnlyBranchIsNotForking) {
   EXPECT_FALSE(rel.param_relevant[1]);  // x only feeds the written value
   EXPECT_TRUE(rel.param_relevant[0]);   // k identifies the key
   ASSERT_EQ(p.body.size(), 3u);
-  EXPECT_FALSE(rel.is_forking(p.body[1]));  // the if
+  EXPECT_FALSE(rel.is_forking(p, p.body[1]));  // the if
 }
 
 TEST(RelevanceTest, KeyAffectingBranchForks) {
@@ -279,7 +279,7 @@ TEST(RelevanceTest, KeyAffectingBranchForks) {
   const Proc p = std::move(b).build();
   const Relevance rel = analyze_relevance(p);
   EXPECT_TRUE(rel.param_relevant[0]);  // x decides which key is written
-  EXPECT_TRUE(rel.is_forking(p.body[1]));
+  EXPECT_TRUE(rel.is_forking(p, p.body[1]));
 }
 
 TEST(RelevanceTest, AccessInsideBranchForcesForking) {
@@ -291,7 +291,7 @@ TEST(RelevanceTest, AccessInsideBranchForcesForking) {
   const Proc p = std::move(b).build();
   const Relevance rel = analyze_relevance(p);
   EXPECT_TRUE(rel.param_relevant[0]);
-  EXPECT_TRUE(rel.is_forking(p.body[0]));
+  EXPECT_TRUE(rel.is_forking(p, p.body[0]));
 }
 
 TEST(RelevanceTest, LoopOverAccessesMarksBoundRelevant) {
@@ -305,7 +305,7 @@ TEST(RelevanceTest, LoopOverAccessesMarksBoundRelevant) {
   const Relevance rel = analyze_relevance(p);
   EXPECT_TRUE(rel.param_relevant[0]);  // n (trip count)
   EXPECT_TRUE(rel.param_relevant[1]);  // ids (key identities)
-  EXPECT_TRUE(rel.is_forking(p.body[0]));
+  EXPECT_TRUE(rel.is_forking(p, p.body[0]));
 }
 
 TEST(RelevanceTest, PureValueLoopIsNotForking) {
@@ -321,7 +321,7 @@ TEST(RelevanceTest, PureValueLoopIsNotForking) {
   const Relevance rel = analyze_relevance(p);
   EXPECT_FALSE(rel.param_relevant[1]);  // n only shapes the written value
   ASSERT_GE(p.body.size(), 2u);
-  EXPECT_FALSE(rel.is_forking(p.body[1]));  // the for
+  EXPECT_FALSE(rel.is_forking(p, p.body[1]));  // the for
 }
 
 TEST(RelevanceTest, TransitiveExplicitFlow) {

@@ -1,0 +1,280 @@
+// Golden tests for txlint pass 2 (analysis/lint.*): two intentionally buggy
+// procedures, built as raw ASTs (lang::ProcBuilder refuses to construct some
+// of these bugs, e.g. max_iters == 0), with exact expected renderings. Plus
+// targeted checks for the remaining diagnostics and clean-proc output.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "analysis/lint.hpp"
+#include "lang/ast.hpp"
+#include "workloads/microbench.hpp"
+
+namespace prog {
+namespace {
+
+namespace micro = workloads::micro;
+using analysis::Diagnostic;
+using analysis::Severity;
+using lang::EKind;
+using lang::ExprId;
+using lang::Proc;
+using lang::SExpr;
+using lang::SKind;
+using lang::Stmt;
+
+ExprId push(Proc& p, SExpr e) {
+  p.exprs.push_back(e);
+  return static_cast<ExprId>(p.exprs.size() - 1);
+}
+
+/// GET t7[n] -> h; for i in [0, h.f0) with NO static bound { PUT t7[n]
+/// {f0: acc} }; emit acc — an unbounded store-dependent loop plus a scalar
+/// read before any assignment (twice, at distinct locations).
+Proc buggy_loop() {
+  Proc p;
+  p.name = "buggy_loop";
+  p.params.push_back({"n", 0, 9, false, 0});
+  p.var_types = {lang::VarType::kHandle, lang::VarType::kScalar,
+                 lang::VarType::kScalar};
+  p.var_names = {"h", "i", "acc"};
+  const ExprId n = push(p, {.kind = EKind::kParam, .param = 0});
+  const ExprId zero = push(p, {.kind = EKind::kConst, .cval = 0});
+  const ExprId hf = push(p, {.kind = EKind::kField, .var = 0, .field = 0});
+  const ExprId acc = push(p, {.kind = EKind::kVar, .var = 2});
+
+  Stmt get;
+  get.kind = SKind::kGet;
+  get.var = 0;
+  get.table = 7;
+  get.a = n;
+  p.body.push_back(std::move(get));
+
+  Stmt put;
+  put.kind = SKind::kPut;
+  put.table = 7;
+  put.a = n;
+  put.fields = {{0, acc}};
+  Stmt loop;
+  loop.kind = SKind::kFor;
+  loop.var = 1;
+  loop.a = zero;
+  loop.b = hf;
+  loop.max_iters = 0;  // the bug: no declared unroll bound
+  loop.body.push_back(std::move(put));
+  p.body.push_back(std::move(loop));
+
+  Stmt emit;
+  emit.kind = SKind::kEmit;
+  emit.a = acc;
+  p.body.push_back(std::move(emit));
+  return p;
+}
+
+/// if c { GET t5[k] -> h1 } else { GET t5[k] -> h2 }; PUT t6[h1.f0 + h2.f0];
+/// PUT t9[k] {f0: 1}; PUT t9[k] {f0: 2} — uses of handles only assigned on
+/// one arm, a key mixing mutually exclusive pivots, and a dead write.
+Proc buggy_branch() {
+  Proc p;
+  p.name = "buggy_branch";
+  p.params.push_back({"c", 0, 1, false, 0});
+  p.params.push_back({"k", 0, 9, false, 0});
+  p.var_types = {lang::VarType::kHandle, lang::VarType::kHandle};
+  p.var_names = {"h1", "h2"};
+  const ExprId c = push(p, {.kind = EKind::kParam, .param = 0});
+  const ExprId k = push(p, {.kind = EKind::kParam, .param = 1});
+  const ExprId h1f = push(p, {.kind = EKind::kField, .var = 0, .field = 0});
+  const ExprId h2f = push(p, {.kind = EKind::kField, .var = 1, .field = 0});
+  const ExprId sum = push(p, {.kind = EKind::kAdd, .a = h1f, .b = h2f});
+  const ExprId one = push(p, {.kind = EKind::kConst, .cval = 1});
+  const ExprId two = push(p, {.kind = EKind::kConst, .cval = 2});
+
+  Stmt get1;
+  get1.kind = SKind::kGet;
+  get1.var = 0;
+  get1.table = 5;
+  get1.a = k;
+  Stmt get2;
+  get2.kind = SKind::kGet;
+  get2.var = 1;
+  get2.table = 5;
+  get2.a = k;
+  Stmt branch;
+  branch.kind = SKind::kIf;
+  branch.a = c;
+  branch.body.push_back(std::move(get1));
+  branch.else_body.push_back(std::move(get2));
+  p.body.push_back(std::move(branch));
+
+  Stmt mix;
+  mix.kind = SKind::kPut;
+  mix.table = 6;
+  mix.a = sum;
+  mix.fields = {{0, one}};
+  p.body.push_back(std::move(mix));
+
+  Stmt dead;
+  dead.kind = SKind::kPut;
+  dead.table = 9;
+  dead.a = k;
+  dead.fields = {{0, one}};
+  p.body.push_back(std::move(dead));
+
+  Stmt win;
+  win.kind = SKind::kPut;
+  win.table = 9;
+  win.a = k;
+  win.fields = {{0, two}};
+  p.body.push_back(std::move(win));
+  return p;
+}
+
+TEST(LintGoldenTest, BuggyLoop) {
+  const Proc p = buggy_loop();
+  const std::vector<Diagnostic> diags = analysis::lint(p);
+  EXPECT_TRUE(analysis::has_errors(diags));
+  EXPECT_EQ(
+      analysis::render(p, diags),
+      "buggy_loop: 3 diagnostic(s)\n"
+      "  [error] loop-unbounded at body[1]: loop has no positive declared "
+      "static bound and its trip count depends on store reads\n"
+      "    fix: declare max_iters > 0 so symbolic execution can bound the "
+      "unrolling\n"
+      "  [error] uninit-var at body[1].for[0]: variable 'acc' may be read "
+      "before assignment\n"
+      "    fix: initialize 'acc' on every path before this use\n"
+      "  [error] uninit-var at body[2]: variable 'acc' may be read before "
+      "assignment\n"
+      "    fix: initialize 'acc' on every path before this use\n");
+}
+
+TEST(LintGoldenTest, BuggyBranch) {
+  const Proc p = buggy_branch();
+  const std::vector<Diagnostic> diags = analysis::lint(p);
+  EXPECT_TRUE(analysis::has_errors(diags));
+  EXPECT_EQ(
+      analysis::render(p, diags),
+      "buggy_branch: 4 diagnostic(s)\n"
+      "  [error] uninit-var at body[1]: row handle 'h1' may be read before "
+      "assignment\n"
+      "    fix: perform the GET on every path that reaches this use\n"
+      "  [error] uninit-var at body[1]: row handle 'h2' may be read before "
+      "assignment\n"
+      "    fix: perform the GET on every path that reaches this use\n"
+      "  [error] mixed-branch-pivots at body[1]: key expression mixes pivot "
+      "fields of 'h1' and 'h2', which are read in mutually exclusive "
+      "branches\n"
+      "    fix: at most one of these handles is fresh on any execution; "
+      "restructure so the key uses handles from one branch arm\n"
+      "  [warning] dead-write at body[2]: PUT is completely overwritten by "
+      "the PUT at body[3] before any read of table 9\n"
+      "    fix: drop the earlier PUT or merge the two writes\n");
+}
+
+TEST(LintTest, ForkWithoutAccessesWarns) {
+  // if (x > 0) { v = 1 } else { v = 2 }; GET t3[v]; emit h.f0 — the branch
+  // assigns an RWS-relevant variable but performs no accesses, so SE forks
+  // where a min/max-style rewrite would keep one path.
+  Proc p;
+  p.name = "forky";
+  p.params.push_back({"x", 0, 9, false, 0});
+  p.var_types = {lang::VarType::kScalar, lang::VarType::kHandle};
+  p.var_names = {"v", "h"};
+  const ExprId x = push(p, {.kind = EKind::kParam, .param = 0});
+  const ExprId zero = push(p, {.kind = EKind::kConst, .cval = 0});
+  const ExprId cond = push(p, {.kind = EKind::kGt, .a = x, .b = zero});
+  const ExprId one = push(p, {.kind = EKind::kConst, .cval = 1});
+  const ExprId two = push(p, {.kind = EKind::kConst, .cval = 2});
+  const ExprId v = push(p, {.kind = EKind::kVar, .var = 0});
+  const ExprId hf = push(p, {.kind = EKind::kField, .var = 1, .field = 0});
+
+  Stmt a1;
+  a1.kind = SKind::kAssign;
+  a1.var = 0;
+  a1.a = one;
+  Stmt a2;
+  a2.kind = SKind::kAssign;
+  a2.var = 0;
+  a2.a = two;
+  Stmt branch;
+  branch.kind = SKind::kIf;
+  branch.a = cond;
+  branch.body.push_back(std::move(a1));
+  branch.else_body.push_back(std::move(a2));
+  p.body.push_back(std::move(branch));
+
+  Stmt get;
+  get.kind = SKind::kGet;
+  get.var = 1;
+  get.table = 3;
+  get.a = v;
+  p.body.push_back(std::move(get));
+
+  Stmt emit;
+  emit.kind = SKind::kEmit;
+  emit.a = hf;
+  p.body.push_back(std::move(emit));
+
+  const std::vector<Diagnostic> diags = analysis::lint(p);
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_EQ(diags[0].check, "fork-no-access");
+  EXPECT_EQ(diags[0].severity, Severity::kWarning);
+  EXPECT_EQ(diags[0].location, "body[0]");
+  EXPECT_FALSE(analysis::has_errors(diags));
+}
+
+TEST(LintTest, BoundedDataDependentLoopWarns) {
+  // GET t3[k] -> h; for i in [0, h.f0) max_iters=4 { GET t3[i] -> h2 } —
+  // bounded, so only the path-set blowup warning fires.
+  Proc p;
+  p.name = "datatrip";
+  p.params.push_back({"k", 0, 9, false, 0});
+  p.var_types = {lang::VarType::kHandle, lang::VarType::kScalar,
+                 lang::VarType::kHandle};
+  p.var_names = {"h", "i", "h2"};
+  const ExprId k = push(p, {.kind = EKind::kParam, .param = 0});
+  const ExprId zero = push(p, {.kind = EKind::kConst, .cval = 0});
+  const ExprId hf = push(p, {.kind = EKind::kField, .var = 0, .field = 0});
+  const ExprId iv = push(p, {.kind = EKind::kVar, .var = 1});
+
+  Stmt get;
+  get.kind = SKind::kGet;
+  get.var = 0;
+  get.table = 3;
+  get.a = k;
+  p.body.push_back(std::move(get));
+
+  Stmt inner;
+  inner.kind = SKind::kGet;
+  inner.var = 2;
+  inner.table = 3;
+  inner.a = iv;
+  Stmt loop;
+  loop.kind = SKind::kFor;
+  loop.var = 1;
+  loop.a = zero;
+  loop.b = hf;
+  loop.max_iters = 4;
+  loop.body.push_back(std::move(inner));
+  p.body.push_back(std::move(loop));
+
+  const std::vector<Diagnostic> diags = analysis::lint(p);
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_EQ(diags[0].check, "loop-data-trip");
+  EXPECT_EQ(diags[0].severity, Severity::kWarning);
+  EXPECT_EQ(diags[0].location, "body[1]");
+  EXPECT_NE(diags[0].message.find("up to 4"), std::string::npos);
+}
+
+TEST(LintTest, WorkloadProceduresAreClean) {
+  const micro::CatalogOptions co;
+  const Proc order = micro::build_order(co);
+  const std::vector<Diagnostic> diags = analysis::lint(order);
+  EXPECT_TRUE(diags.empty());
+  EXPECT_EQ(analysis::render(order, diags), "micro_order: clean\n");
+}
+
+}  // namespace
+}  // namespace prog

@@ -1,0 +1,165 @@
+// txlint — static transaction-analysis driver.
+//
+// Runs all three txlint passes over every built-in workload's stored
+// procedures:
+//   1. dataflow classification (ROT/IT/DT + table footprints), differentially
+//      cross-checked against a fresh symbolic-execution profile;
+//   2. determinism/SE-friendliness lint (structured diagnostics);
+//   3. per-workload static conflict matrix.
+//
+// Exit status: 0 when every procedure is clean; 1 when any error-severity
+// diagnostic or cross-check failure is found (warnings alone do not fail).
+//
+// Usage:
+//   txlint [--workload tpcc|rubis|micro] [--matrix-only] [--serialize]
+#include <cstring>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "analysis/conflict_matrix.hpp"
+#include "analysis/dataflow.hpp"
+#include "analysis/lint.hpp"
+#include "sym/symexec.hpp"
+#include "workloads/microbench.hpp"
+#include "workloads/rubis.hpp"
+#include "workloads/tpcc.hpp"
+
+namespace {
+
+using prog::analysis::ConflictMatrix;
+using prog::analysis::Diagnostic;
+using prog::analysis::Severity;
+using prog::analysis::StaticSummary;
+using prog::analysis::TableFootprint;
+
+struct Report {
+  int procs = 0;
+  int warnings = 0;
+  int errors = 0;
+};
+
+/// Runs all passes over one workload's procedure set.
+void run_workload(const std::string& name, std::vector<prog::lang::Proc> procs,
+                  bool matrix_only, bool serialize, Report& rep) {
+  std::cout << "== workload " << name << " ==\n";
+  ConflictMatrix matrix;
+  for (const prog::lang::Proc& p : procs) {
+    ++rep.procs;
+    // Pass 1: classification + differential oracle against the SE profile.
+    const std::unique_ptr<prog::sym::TxProfile> profile =
+        prog::sym::Profiler::profile(p, {});
+    StaticSummary summary;
+    try {
+      summary = prog::analysis::classify_checked(p, *profile);
+    } catch (const prog::InvariantError& e) {
+      std::cout << p.name << ": CROSS-CHECK FAILURE: " << e.what() << '\n';
+      ++rep.errors;
+      summary = prog::analysis::classify(p);
+    }
+    matrix.add(p.name,
+               TableFootprint{summary.tables_touched, summary.tables_written});
+    if (!matrix_only) {
+      std::cout << p.name << ": class=" << prog::sym::to_string(summary.klass)
+                << " (SE agrees: "
+                << (summary.klass == profile->klass() ? "yes" : "NO") << ")"
+                << " pivots=" << summary.pivot_handles.size() << '\n';
+      // Pass 2: determinism lint.
+      const std::vector<Diagnostic> diags = prog::analysis::lint(p);
+      std::cout << prog::analysis::render(p, diags);
+      for (const Diagnostic& d : diags) {
+        if (d.severity == Severity::kError) {
+          ++rep.errors;
+        } else if (d.severity == Severity::kWarning) {
+          ++rep.warnings;
+        }
+      }
+    }
+  }
+  // Pass 3: the conflict matrix.
+  std::cout << matrix.to_string();
+  if (serialize) std::cout << matrix.serialize();
+  std::cout << '\n';
+}
+
+std::vector<prog::lang::Proc> tpcc_procs() {
+  const auto sc = prog::workloads::tpcc::Scale::tiny(1);
+  std::vector<prog::lang::Proc> v;
+  v.push_back(prog::workloads::tpcc::build_new_order(sc));
+  v.push_back(prog::workloads::tpcc::build_payment(sc));
+  v.push_back(prog::workloads::tpcc::build_delivery(sc));
+  v.push_back(prog::workloads::tpcc::build_order_status(sc));
+  v.push_back(prog::workloads::tpcc::build_stock_level(sc));
+  return v;
+}
+
+std::vector<prog::lang::Proc> rubis_procs() {
+  const auto sc = prog::workloads::rubis::Scale::small();
+  std::vector<prog::lang::Proc> v;
+  v.push_back(prog::workloads::rubis::build_store_bid(sc));
+  v.push_back(prog::workloads::rubis::build_store_buy_now(sc));
+  v.push_back(prog::workloads::rubis::build_store_comment(sc));
+  v.push_back(prog::workloads::rubis::build_register_user(sc));
+  v.push_back(prog::workloads::rubis::build_register_item(sc));
+  return v;
+}
+
+std::vector<prog::lang::Proc> micro_procs() {
+  const prog::workloads::micro::Options o;
+  const prog::workloads::micro::CatalogOptions c;
+  std::vector<prog::lang::Proc> v;
+  v.push_back(prog::workloads::micro::build_rmw(o));
+  v.push_back(prog::workloads::micro::build_scan(o));
+  v.push_back(prog::workloads::micro::build_order(c));
+  v.push_back(prog::workloads::micro::build_reprice(c));
+  return v;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string only;
+  bool matrix_only = false;
+  bool serialize = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--workload" && i + 1 < argc) {
+      only = argv[++i];
+    } else if (arg == "--matrix-only") {
+      matrix_only = true;
+    } else if (arg == "--serialize") {
+      serialize = true;
+    } else if (arg == "--help" || arg == "-h") {
+      std::cout << "usage: txlint [--workload tpcc|rubis|micro] "
+                   "[--matrix-only] [--serialize]\n";
+      return 0;
+    } else {
+      std::cerr << "txlint: unknown argument '" << arg << "'\n";
+      return 2;
+    }
+  }
+
+  Report rep;
+  try {
+    if (only.empty() || only == "tpcc") {
+      run_workload("tpcc", tpcc_procs(), matrix_only, serialize, rep);
+    }
+    if (only.empty() || only == "rubis") {
+      run_workload("rubis", rubis_procs(), matrix_only, serialize, rep);
+    }
+    if (only.empty() || only == "micro") {
+      run_workload("micro", micro_procs(), matrix_only, serialize, rep);
+    }
+  } catch (const std::exception& e) {
+    std::cerr << "txlint: fatal: " << e.what() << '\n';
+    return 2;
+  }
+  if (rep.procs == 0) {
+    std::cerr << "txlint: unknown workload '" << only << "'\n";
+    return 2;
+  }
+  std::cout << "txlint: " << rep.procs << " procedure(s), " << rep.errors
+            << " error(s), " << rep.warnings << " warning(s)\n";
+  return rep.errors > 0 ? 1 : 0;
+}
