@@ -1,0 +1,172 @@
+#include "consensus/chaos.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <sstream>
+
+#include "common/check.hpp"
+
+namespace prog::consensus {
+
+namespace {
+
+enum class NodeState : std::uint8_t { kUp, kCrashed, kPaused };
+
+}  // namespace
+
+ChaosReport run_chaos(ReplicatedDb& rdb, const BatchFn& make_batch,
+                      const ChaosOptions& opts, std::uint64_t seed) {
+  PROG_CHECK_MSG(opts.crash_pct + opts.pause_pct + opts.partition_pct +
+                         opts.heal_pct + opts.burst_pct <=
+                     100,
+                 "chaos probabilities sum past 100%");
+  Rng rng(seed);
+  ChaosReport rep;
+  const unsigned n = rdb.raft().size();
+  const unsigned max_down = (n - 1) / 2;  // keep a state-bearing majority up
+  std::vector<NodeState> st(n, NodeState::kUp);
+  unsigned down = 0;
+  SimNet& net = rdb.raft().net();
+
+  auto note = [&](const std::string& what) {
+    std::ostringstream os;
+    os << "t=" << net.now() << " " << what;
+    rep.trace.push_back(os.str());
+  };
+
+  auto pick_up = [&]() -> int {
+    std::vector<NodeId> ups;
+    for (NodeId i = 0; i < n; ++i) {
+      if (st[i] == NodeState::kUp) ups.push_back(i);
+    }
+    if (ups.empty()) return -1;
+    return static_cast<int>(
+        ups[static_cast<std::size_t>(rng.bounded(ups.size()))]);
+  };
+
+  auto heal_one = [&]() {
+    if (net.partitioned()) {
+      net.heal();
+      ++rep.events.heals;
+      note("heal partition");
+      return;
+    }
+    std::vector<NodeId> downs;
+    for (NodeId i = 0; i < n; ++i) {
+      if (st[i] != NodeState::kUp) downs.push_back(i);
+    }
+    if (downs.empty()) return;
+    const NodeId v = downs[static_cast<std::size_t>(rng.bounded(downs.size()))];
+    if (st[v] == NodeState::kCrashed) {
+      rdb.restart_replica(v);
+      note("restart replica " + std::to_string(v));
+    } else {
+      rdb.raft().restart(v);
+      note("resume node " + std::to_string(v));
+    }
+    st[v] = NodeState::kUp;
+    --down;
+    ++rep.events.restarts;
+  };
+
+  for (unsigned round = 0; round < opts.rounds; ++round) {
+    const unsigned roll = static_cast<unsigned>(rng.bounded(100));
+    unsigned acc = 0;
+    if (roll < (acc += opts.crash_pct)) {
+      if (down < max_down) {
+        const int v = pick_up();
+        if (v >= 0) {
+          rdb.crash_replica(static_cast<NodeId>(v));
+          st[static_cast<std::size_t>(v)] = NodeState::kCrashed;
+          ++down;
+          ++rep.events.crashes;
+          note("crash replica " + std::to_string(v));
+        }
+      }
+    } else if (roll < (acc += opts.pause_pct)) {
+      if (down < max_down) {
+        const int v = pick_up();
+        if (v >= 0) {
+          rdb.raft().crash(static_cast<NodeId>(v));
+          st[static_cast<std::size_t>(v)] = NodeState::kPaused;
+          ++down;
+          ++rep.events.pauses;
+          note("pause node " + std::to_string(v));
+        }
+      }
+    } else if (roll < (acc += opts.partition_pct)) {
+      if (!net.partitioned() && n >= 3) {
+        const unsigned m =
+            1 + static_cast<unsigned>(rng.bounded(max_down));  // minority size
+        std::vector<NodeId> all(n);
+        std::iota(all.begin(), all.end(), 0);
+        for (unsigned i = 0; i < m; ++i) {  // partial Fisher-Yates
+          const std::size_t j =
+              i + static_cast<std::size_t>(rng.bounded(n - i));
+          std::swap(all[i], all[j]);
+        }
+        std::vector<NodeId> group(all.begin(), all.begin() + m);
+        std::sort(group.begin(), group.end());
+        std::ostringstream who;
+        who << "partition minority {";
+        for (NodeId g : group) who << " " << g;
+        who << " }";
+        net.partition(std::move(group));
+        ++rep.events.partitions;
+        note(who.str());
+      }
+    } else if (roll < (acc += opts.heal_pct)) {
+      heal_one();
+    } else if (roll < (acc += opts.burst_pct)) {
+      net.drop_burst(net.now(), net.now() + opts.burst_len_ms,
+                     opts.burst_drop_percent);
+      ++rep.events.bursts;
+      note("drop burst " + std::to_string(opts.burst_drop_percent) + "% for " +
+           std::to_string(opts.burst_len_ms) + "ms");
+    }
+
+    auto batch = make_batch(opts.batch_size, rng);
+    if (!rdb.submit_with_retry(std::move(batch), opts.submit_wait_ms)) {
+      ++rep.submit_failures;
+    }
+    rdb.run_ms(opts.round_ms);
+    if (opts.reclaim_every > 0 && (round + 1) % opts.reclaim_every == 0) {
+      rdb.reclaim_superseded();
+    }
+  }
+
+  // Quiesce: heal every outstanding fault, then drain until converged.
+  if (net.partitioned()) {
+    net.heal();
+    ++rep.events.heals;
+    note("final heal");
+  }
+  for (NodeId i = 0; i < n; ++i) {
+    if (st[i] == NodeState::kCrashed) {
+      rdb.restart_replica(i);
+      ++rep.events.restarts;
+      note("final restart replica " + std::to_string(i));
+    } else if (st[i] == NodeState::kPaused) {
+      rdb.raft().restart(i);
+      ++rep.events.restarts;
+      note("final resume node " + std::to_string(i));
+    }
+    st[i] = NodeState::kUp;
+  }
+  for (int d = 0; d < 20 && !rdb.converged(); ++d) rdb.run_ms(opts.drain_ms);
+  rdb.run_ms(opts.drain_ms);  // settle trailing heartbeats/checkpoints
+
+  rep.converged = rdb.converged();
+  const auto hashes = rdb.state_hashes();
+  rep.hashes_match = !hashes.empty();
+  for (std::uint64_t h : hashes) {
+    if (h == 0 || h != hashes[0]) rep.hashes_match = false;
+  }
+  rep.state_hash = hashes.empty() ? 0 : hashes[0];
+  rep.batches_submitted = rdb.batches_submitted();
+  rep.batches_applied = rdb.raft().applied(0).size();
+  rep.recovery = rdb.recovery_stats();
+  return rep;
+}
+
+}  // namespace prog::consensus

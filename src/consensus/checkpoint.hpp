@@ -1,0 +1,96 @@
+// Deterministic replica checkpoints.
+//
+// A checkpoint is the canonical state image of one replica after applying a
+// prefix of the agreed batch sequence, keyed by (batch_seq, state_hash).
+// Determinism makes checkpoints free of coordination: every replica that
+// applies the same prefix produces the *byte-identical* image, so any
+// replica's checkpoint can seed any other replica (InstallSnapshot state
+// transfer), and a checkpoint whose hash disagrees with the cluster's hash
+// history is evidence of divergence, never of timing.
+//
+// The store is in-memory (the simulated deployment's stand-in for a durable
+// checkpoint directory) and survives replica crashes by construction — the
+// recovery layer owns it outside the Database object it rebuilds.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "consensus/raft.hpp"
+
+namespace prog::consensus {
+
+struct Checkpoint {
+  /// Number of committed batches folded into the image (= the log index of
+  /// the last batch included).
+  LogIndex batch_seq = 0;
+  /// Raft term of entry `batch_seq` — lets a restarted node rejoin at this
+  /// boundary as if it had installed a snapshot there.
+  Term term = 0;
+  /// state_hash() of the image; with batch_seq, the checkpoint's identity.
+  std::uint64_t state_hash = 0;
+  /// Canonical serialized visible state (store::serialize_visible).
+  std::string image;
+  /// Commands (batch ids) applied to reach this state, in order — the
+  /// applied record a rejoining node fast-forwards to.
+  std::vector<Command> command_prefix;
+};
+
+/// Retention-bounded collection of checkpoints, keyed (batch_seq, hash).
+class CheckpointStore {
+ public:
+  using Key = std::pair<LogIndex, std::uint64_t>;  // (batch_seq, state_hash)
+
+  /// Inserts `cp` (idempotent for an identical (batch_seq, hash) key) and
+  /// drops the oldest entries beyond `max_retained`.
+  void add(Checkpoint cp, std::size_t max_retained) {
+    const Key key{cp.batch_seq, cp.state_hash};
+    map_.insert_or_assign(key, std::move(cp));
+    while (max_retained > 0 && map_.size() > max_retained) {
+      map_.erase(map_.begin());
+    }
+  }
+
+  /// Newest checkpoint, or nullptr when empty.
+  const Checkpoint* latest() const {
+    return map_.empty() ? nullptr : &map_.rbegin()->second;
+  }
+
+  /// Newest checkpoint with batch_seq <= seq, or nullptr.
+  const Checkpoint* latest_at_or_before(LogIndex seq) const {
+    const Checkpoint* best = nullptr;
+    for (const auto& [key, cp] : map_) {
+      if (key.first > seq) break;
+      best = &cp;
+    }
+    return best;
+  }
+
+  /// Exact lookup by batch_seq (any hash), or nullptr.
+  const Checkpoint* at(LogIndex seq) const {
+    auto it = map_.lower_bound({seq, 0});
+    if (it == map_.end() || it->first.first != seq) return nullptr;
+    return &it->second;
+  }
+
+  /// Exact lookup by the full (batch_seq, state_hash) key, or nullptr.
+  const Checkpoint* find(LogIndex seq, std::uint64_t hash) const {
+    auto it = map_.find({seq, hash});
+    return it == map_.end() ? nullptr : &it->second;
+  }
+
+  /// Ordered (oldest-first) view — recovery scans it newest-first looking
+  /// for a checkpoint the hash history vouches for.
+  const std::map<Key, Checkpoint>& entries() const noexcept { return map_; }
+
+  std::size_t size() const noexcept { return map_.size(); }
+  bool empty() const noexcept { return map_.empty(); }
+  void clear() { map_.clear(); }
+
+ private:
+  std::map<Key, Checkpoint> map_;
+};
+
+}  // namespace prog::consensus

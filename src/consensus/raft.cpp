@@ -42,6 +42,38 @@ void RaftNode::on_restart() {
   reset_election_deadline();
 }
 
+void RaftNode::wipe() {
+  term_ = 0;
+  voted_for_ = -1;
+  log_.clear();
+  snapshot_index_ = 0;
+  snapshot_term_ = 0;
+  commit_index_ = 0;
+  last_applied_ = 0;
+  on_restart();
+}
+
+void RaftNode::install_local_snapshot(LogIndex index, Term term) {
+  PROG_CHECK_MSG(log_.empty() && snapshot_index_ == 0,
+                 "install_local_snapshot requires a wiped node");
+  snapshot_index_ = index;
+  snapshot_term_ = term;
+  commit_index_ = index;
+  last_applied_ = index;
+  term_ = std::max(term_, term);
+  next_index_.assign(n_, last_index() + 1);
+}
+
+void RaftNode::compact_to(LogIndex upto) {
+  upto = std::min(upto, last_applied_);
+  if (upto <= snapshot_index_) return;
+  const Term boundary_term = term_at(upto);
+  log_.erase(log_.begin(),
+             log_.begin() + static_cast<std::ptrdiff_t>(upto - snapshot_index_));
+  snapshot_index_ = upto;
+  snapshot_term_ = boundary_term;
+}
+
 void RaftNode::become_follower(Term term) {
   term_ = term;
   role_ = Role::kFollower;
@@ -131,6 +163,14 @@ void RaftNode::broadcast_append() {
 }
 
 void RaftNode::send_append_to(NodeId peer) {
+  if (next_index_[peer] <= snapshot_index_) {
+    // The prefix the follower needs was compacted away: ship the snapshot
+    // boundary instead; the cluster's install handler moves the state.
+    cluster_.rpc(id_, peer,
+                 InstallSnapshot{term_, id_, snapshot_index_, snapshot_term_},
+                 &RaftNode::on_install_snapshot);
+    return;
+  }
   const LogIndex prev = next_index_[peer] - 1;
   AppendEntries ae;
   ae.term = term_;
@@ -139,32 +179,45 @@ void RaftNode::send_append_to(NodeId peer) {
   ae.prev_term = term_at(prev);
   ae.leader_commit = commit_index_;
   for (LogIndex i = next_index_[peer]; i <= last_index(); ++i) {
-    ae.entries.push_back(log_[static_cast<std::size_t>(i - 1)]);
+    ae.entries.push_back(entry_at(i));
   }
   cluster_.rpc(id_, peer, std::move(ae), &RaftNode::on_append_entries);
 }
 
 void RaftNode::on_append_entries(const AppendEntries& ae) {
   if (ae.term > term_) become_follower(ae.term);
-  AppendReply reply{term_, false, id_, 0};
+  AppendReply reply{term_, false, id_, 0, last_index()};
   if (ae.term == term_) {
     if (role_ != Role::kFollower) role_ = Role::kFollower;
     reset_election_deadline();
-    const bool prev_ok =
-        ae.prev_index <= last_index() &&
-        term_at(ae.prev_index) == ae.prev_term;
+    // Normalize a prev below our snapshot boundary: everything at or below
+    // it is committed and identical in any log that contains it, so skip
+    // the covered prefix of the entries instead of failing.
+    LogIndex prev_index = ae.prev_index;
+    std::size_t skip = 0;
+    if (prev_index < snapshot_index_) {
+      skip = static_cast<std::size_t>(
+          std::min<LogIndex>(snapshot_index_ - prev_index, ae.entries.size()));
+      prev_index += skip;
+    }
+    const bool prev_ok = prev_index >= snapshot_index_ &&
+                         prev_index <= last_index() &&
+                         (prev_index == ae.prev_index
+                              ? term_at(prev_index) == ae.prev_term
+                              : true);  // skipped prefix: committed, matches
     if (prev_ok) {
       // Append, truncating conflicting suffixes.
-      LogIndex idx = ae.prev_index;
-      for (const LogEntry& e : ae.entries) {
+      LogIndex idx = prev_index;
+      for (std::size_t e = skip; e < ae.entries.size(); ++e) {
+        const LogEntry& entry = ae.entries[e];
         ++idx;
         if (idx <= last_index()) {
-          if (term_at(idx) != e.term) {
-            log_.resize(static_cast<std::size_t>(idx - 1));
-            log_.push_back(e);
+          if (term_at(idx) != entry.term) {
+            log_.resize(static_cast<std::size_t>(idx - snapshot_index_ - 1));
+            log_.push_back(entry);
           }
         } else {
-          log_.push_back(e);
+          log_.push_back(entry);
         }
       }
       const LogIndex match = ae.prev_index + ae.entries.size();
@@ -174,9 +227,33 @@ void RaftNode::on_append_entries(const AppendEntries& ae) {
       }
       reply.success = true;
       reply.match_index = match;
+      reply.hint_last_index = last_index();
     }
   }
   cluster_.rpc(id_, ae.leader, reply, &RaftNode::on_append_reply);
+}
+
+void RaftNode::on_install_snapshot(const InstallSnapshot& is) {
+  if (is.term > term_) become_follower(is.term);
+  AppendReply reply{term_, false, id_, 0, last_index()};
+  if (is.term == term_) {
+    if (role_ != Role::kFollower) role_ = Role::kFollower;
+    reset_election_deadline();
+    if (is.last_index > last_applied_) {
+      // Adopt the snapshot wholesale: any local suffix is either stale or
+      // will be re-replicated by the leader from last_index on.
+      log_.clear();
+      snapshot_index_ = is.last_index;
+      snapshot_term_ = is.last_term;
+      commit_index_ = is.last_index;
+      last_applied_ = is.last_index;
+      cluster_.record_install(id_, is.leader, is.last_index);
+    }
+    reply.success = true;
+    reply.match_index = std::max(is.last_index, commit_index_);
+    reply.hint_last_index = last_index();
+  }
+  cluster_.rpc(id_, is.leader, reply, &RaftNode::on_append_reply);
 }
 
 void RaftNode::on_append_reply(const AppendReply& ar) {
@@ -190,8 +267,15 @@ void RaftNode::on_append_reply(const AppendReply& ar) {
         std::max(match_index_[ar.follower], ar.match_index);
     next_index_[ar.follower] = match_index_[ar.follower] + 1;
     advance_commit();
+    // A lagging follower (e.g. fresh snapshot install) gets the remaining
+    // suffix on the next heartbeat (<= 50 virtual ms away).
   } else {
-    if (next_index_[ar.follower] > 1) --next_index_[ar.follower];
+    LogIndex next = next_index_[ar.follower];
+    if (next > 1) --next;
+    // Fast backoff: jump straight past the follower's log end instead of
+    // probing one index per round trip (matters after wipe-restarts).
+    if (ar.hint_last_index + 1 < next) next = ar.hint_last_index + 1;
+    next_index_[ar.follower] = std::max<LogIndex>(next, 1);
     send_append_to(ar.follower);
   }
 }
@@ -215,8 +299,10 @@ void RaftNode::advance_commit() {
 void RaftNode::apply_committed() {
   while (last_applied_ < commit_index_) {
     ++last_applied_;
-    cluster_.record_apply(
-        id_, log_[static_cast<std::size_t>(last_applied_ - 1)].command);
+    // The apply callback may compact the log up to last_applied_ (the
+    // replicated database checkpoints + compacts from inside apply), so
+    // read the command before invoking it and use boundary-aware indexing.
+    cluster_.record_apply(id_, entry_at(last_applied_).command);
   }
 }
 

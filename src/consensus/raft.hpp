@@ -6,10 +6,19 @@
 // AppendEntries consistency checking with conflict truncation, and
 // majority-match commit advancement restricted to the leader's current term.
 //
+// Also implements the recovery machinery the replicated database layers on
+// top of: log compaction up to a snapshot boundary (compact_to), an
+// InstallSnapshot-style catch-up RPC for followers whose needed prefix was
+// compacted away (the cluster delegates the actual state transfer to the
+// application through an install handler), full-state-loss restarts (wipe),
+// and rejoin-from-local-checkpoint (install_local_snapshot).
+//
 // Simplifications relative to the full protocol (documented in DESIGN.md):
-// no snapshotting/log compaction, and commitIndex/lastApplied survive
-// restarts (equivalent to a node restoring from a durable snapshot), so the
-// apply callback fires exactly once per (node, index).
+// commitIndex/lastApplied survive plain crash()/restart() (equivalent to a
+// node restoring from a durable snapshot), so the apply callback fires
+// exactly once per (node, index); wipe() models full disk loss and is only
+// safe while a majority of nodes keeps its state (the chaos harness and the
+// recovery layer maintain that invariant).
 #pragma once
 
 #include <cstdint>
@@ -42,16 +51,40 @@ class RaftNode {
   Role role() const noexcept { return role_; }
   Term term() const noexcept { return term_; }
   LogIndex commit_index() const noexcept { return commit_index_; }
+  LogIndex last_applied() const noexcept { return last_applied_; }
+  /// Entries above the snapshot boundary (entry i is log()[i - 1 -
+  /// snapshot_index()]).
   const std::vector<LogEntry>& log() const noexcept { return log_; }
+  /// Highest index folded into this node's snapshot (0 = none). Entries at
+  /// or below it have been compacted away and are only reachable as state.
+  LogIndex snapshot_index() const noexcept { return snapshot_index_; }
+  Term snapshot_term() const noexcept { return snapshot_term_; }
 
   /// Leader-only: appends a command for replication. False if not leader.
   bool submit(Command cmd);
+
+  /// Discards log entries up to min(upto, last_applied): they are folded
+  /// into the snapshot boundary. A follower that later needs them receives
+  /// an InstallSnapshot instead of AppendEntries.
+  void compact_to(LogIndex upto);
+
+  /// Raft term of committed entry `index` (still in the log or exactly at
+  /// the snapshot boundary) — recorded in checkpoints so a restarted node
+  /// can rejoin at that boundary.
+  Term committed_term_at(LogIndex index) const { return term_at(index); }
 
   // --- driven by the cluster/simulator ------------------------------------
   void tick();
   /// Self-rescheduling timer pump (skips logic while the node is down).
   void tick_pump();
   void on_restart();
+  /// Full state loss (disk gone): term, vote, log, snapshot, commit and
+  /// apply cursors all reset. The node rejoins as a blank follower.
+  void wipe();
+  /// After wipe(): rejoin at a locally restored checkpoint — the node
+  /// behaves as if it had installed a snapshot at (index, term). The cluster
+  /// must fast-forward the applied record to match (reset_applied).
+  void install_local_snapshot(LogIndex index, Term term);
 
   struct RequestVote {
     Term term;
@@ -77,12 +110,26 @@ class RaftNode {
     bool success;
     NodeId follower;
     LogIndex match_index;
+    /// Follower's last_index — lets the leader skip the one-step next_index
+    /// walk and jump straight to the follower's log end (or decide the gap
+    /// is below its snapshot boundary and send InstallSnapshot).
+    LogIndex hint_last_index = 0;
+  };
+  /// Catch-up for followers whose needed prefix the leader compacted. The
+  /// log metadata travels here; the cluster's install handler performs the
+  /// application-level state transfer (checkpoint bytes).
+  struct InstallSnapshot {
+    Term term;
+    NodeId leader;
+    LogIndex last_index;
+    Term last_term;
   };
 
   void on_request_vote(const RequestVote& rv);
   void on_vote_reply(const VoteReply& vr);
   void on_append_entries(const AppendEntries& ae);
   void on_append_reply(const AppendReply& ar);
+  void on_install_snapshot(const InstallSnapshot& is);
 
  private:
   void become_follower(Term term);
@@ -95,13 +142,20 @@ class RaftNode {
   void reset_election_deadline();
 
   LogIndex last_index() const noexcept {
-    return static_cast<LogIndex>(log_.size());
+    return snapshot_index_ + static_cast<LogIndex>(log_.size());
   }
   Term last_term() const noexcept {
-    return log_.empty() ? 0 : log_.back().term;
+    return log_.empty() ? snapshot_term_ : log_.back().term;
+  }
+  /// Entry at 1-based index `i`; i must be above the snapshot boundary.
+  const LogEntry& entry_at(LogIndex i) const {
+    return log_[static_cast<std::size_t>(i - snapshot_index_ - 1)];
   }
   Term term_at(LogIndex i) const {
-    return i == 0 ? 0 : log_[static_cast<std::size_t>(i - 1)].term;
+    if (i == snapshot_index_) return snapshot_term_;
+    PROG_CHECK_MSG(i > snapshot_index_ && i <= last_index(),
+                   "term_at below the snapshot boundary");
+    return entry_at(i).term;
   }
 
   const NodeId id_;
@@ -111,7 +165,9 @@ class RaftNode {
   // Persistent state.
   Term term_ = 0;
   std::int64_t voted_for_ = -1;
-  std::vector<LogEntry> log_;
+  std::vector<LogEntry> log_;  // entries above the snapshot boundary
+  LogIndex snapshot_index_ = 0;
+  Term snapshot_term_ = 0;
 
   // Volatile state.
   Role role_ = Role::kFollower;
@@ -128,8 +184,15 @@ class RaftNode {
 class RaftCluster {
  public:
   /// `apply(node, index, command)` fires when `node` applies a committed
-  /// entry — exactly once per (node, index), in index order.
+  /// entry — exactly once per (node, index), in index order (a snapshot
+  /// install fast-forwards the applied record without firing apply; the
+  /// install handler is responsible for the equivalent state transfer).
   using ApplyFn = std::function<void(NodeId, LogIndex, Command)>;
+  /// `install(follower, leader, upto)` fires when `follower` accepts an
+  /// InstallSnapshot covering entries 1..upto from `leader`. The handler
+  /// must transfer the application state for that prefix (e.g. restore the
+  /// leader's checkpoint into the follower's replica).
+  using InstallFn = std::function<void(NodeId, NodeId, LogIndex)>;
 
   RaftCluster(unsigned n, std::uint64_t seed, SimNet::Options net_opts = {},
               ApplyFn apply = {});
@@ -158,6 +221,16 @@ class RaftCluster {
     nodes_[i]->on_restart();
   }
 
+  void set_install_handler(InstallFn install) {
+    install_ = std::move(install);
+  }
+
+  /// Overwrites node `i`'s applied-command record with `prefix` — used when
+  /// the node rejoins from a checkpoint covering exactly those commands.
+  void reset_applied(NodeId i, std::vector<Command> prefix) {
+    applied_[i] = std::move(prefix);
+  }
+
   // --- internal plumbing used by RaftNode ----------------------------------
   template <typename Msg, typename Handler>
   void rpc(NodeId from, NodeId to, Msg msg, Handler handler) {
@@ -173,12 +246,25 @@ class RaftCluster {
       apply_(node, static_cast<LogIndex>(applied_[node].size()), cmd);
     }
   }
+  /// Snapshot install accepted: fast-forward the follower's applied record
+  /// to the leader's committed prefix, then hand the state transfer to the
+  /// application. Every command <= upto is committed, so the prefix is
+  /// identical on any node that applied it.
+  void record_install(NodeId follower, NodeId leader, LogIndex upto) {
+    const auto& src = applied_[leader];
+    PROG_CHECK_MSG(src.size() >= upto,
+                   "snapshot leader has not applied its own snapshot prefix");
+    applied_[follower].assign(src.begin(),
+                              src.begin() + static_cast<std::ptrdiff_t>(upto));
+    if (install_) install_(follower, leader, upto);
+  }
 
  private:
   SimNet net_;
   std::vector<std::unique_ptr<RaftNode>> nodes_;
   std::vector<std::vector<Command>> applied_;
   ApplyFn apply_;
+  InstallFn install_;
 
   friend class RaftNode;
 };

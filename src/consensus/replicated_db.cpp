@@ -1,0 +1,290 @@
+#include "consensus/replicated_db.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+#include <utility>
+
+#include "common/check.hpp"
+#include "store/snapshot.hpp"
+
+namespace prog::consensus {
+
+ReplicatedDb::ReplicatedDb(unsigned replicas, std::uint64_t seed,
+                           const SetupFn& setup, sched::EngineConfig config,
+                           SimNet::Options net_opts, RecoveryOptions recovery)
+    : config_(config),
+      opts_(recovery),
+      setup_(setup),
+      cp_stores_(replicas),
+      carried_stats_(replicas),
+      quarantined_(replicas, 0),
+      cluster_(replicas, seed, net_opts,
+               [this](NodeId node, LogIndex idx, Command cmd) {
+                 apply(node, idx, cmd);
+               }) {
+  PROG_CHECK(setup_ != nullptr);
+  for (unsigned i = 0; i < replicas; ++i) {
+    replicas_.push_back(build_replica());
+  }
+  cluster_.set_install_handler(
+      [this](NodeId follower, NodeId leader, LogIndex upto) {
+        on_install(follower, leader, upto);
+      });
+}
+
+std::unique_ptr<db::Database> ReplicatedDb::build_replica() const {
+  auto db = std::make_unique<db::Database>(config_);
+  setup_(*db);
+  return db;
+}
+
+// --- batch submission --------------------------------------------------------
+
+bool ReplicatedDb::submit_batch(std::vector<sched::TxRequest> batch) {
+  const Command cmd = next_cmd_;
+  // Insert before submitting: a single-node cluster commits (and applies)
+  // synchronously inside submit(), and apply() needs the pool entry.
+  batch_pool_.insert_or_assign(cmd, std::move(batch));
+  if (!cluster_.submit(cmd)) {
+    batch_pool_.erase(cmd);
+    return false;
+  }
+  ++next_cmd_;
+  return true;
+}
+
+bool ReplicatedDb::submit_with_retry(std::vector<sched::TxRequest> batch,
+                                     SimTime max_wait_ms) {
+  const Command cmd = next_cmd_;
+  batch_pool_.insert_or_assign(cmd, std::move(batch));
+  SimTime waited = 0;
+  SimTime step = std::max<SimTime>(opts_.retry_step_ms, 1);
+  while (true) {
+    if (cluster_.submit(cmd)) {
+      ++next_cmd_;
+      return true;
+    }
+    if (waited >= max_wait_ms) {
+      batch_pool_.erase(cmd);
+      return false;
+    }
+    const SimTime slice = std::min(step, max_wait_ms - waited);
+    cluster_.run_ms(slice);
+    waited += slice;
+    step = std::min<SimTime>(step * 2,
+                             std::max<SimTime>(opts_.retry_max_step_ms, 1));
+    ++stats_.submit_retries;
+  }
+}
+
+std::size_t ReplicatedDb::reclaim_superseded() {
+  // A pool entry is live iff its command can still (re)apply somewhere:
+  // present in some node's applied record (a rebuilt replica replays it) or
+  // in some node's log above its snapshot boundary (it may yet commit).
+  // Everything else was appended under a leader that lost its term before
+  // replicating — Raft's commit rules guarantee it can never commit.
+  std::unordered_set<Command> live;
+  const unsigned n = cluster_.size();
+  for (NodeId i = 0; i < n; ++i) {
+    for (Command c : cluster_.applied(i)) live.insert(c);
+    for (const LogEntry& e : cluster_.node(i).log()) live.insert(e.command);
+  }
+  std::size_t reclaimed = 0;
+  for (auto it = batch_pool_.begin(); it != batch_pool_.end();) {
+    if (live.count(it->first) == 0) {
+      it = batch_pool_.erase(it);
+      ++reclaimed;
+    } else {
+      ++it;
+    }
+  }
+  stats_.pool_reclaimed += reclaimed;
+  return reclaimed;
+}
+
+const std::vector<sched::TxRequest>& ReplicatedDb::pool_batch(
+    Command cmd) const {
+  auto it = batch_pool_.find(cmd);
+  PROG_CHECK_MSG(it != batch_pool_.end(),
+                 "batch-pool entry missing (reclaimed while still needed?)");
+  return it->second;
+}
+
+const std::optional<std::uint64_t>& ReplicatedDb::recorded_hash(
+    LogIndex idx) const {
+  static const std::optional<std::uint64_t> kNone;
+  if (idx == 0 || idx > hash_history_.size()) return kNone;
+  return hash_history_[static_cast<std::size_t>(idx - 1)];
+}
+
+// --- the apply path ----------------------------------------------------------
+
+void ReplicatedDb::apply(NodeId node, LogIndex idx, Command cmd) {
+  if (quarantined_[node] != 0) return;  // untrusted state: don't extend it
+  PROG_CHECK_MSG(replicas_[node] != nullptr,
+                 "apply on a crashed replica (raft node not crashed with it?)");
+  // Copy: every replica consumes its own instance of the batch.
+  std::vector<sched::TxRequest> batch = pool_batch(cmd);
+  replicas_[node]->execute(std::move(batch));
+  if (opts_.divergence_check) check_divergence(node, idx);
+  if (quarantined_[node] != 0) return;  // divergence handling took over
+  if (opts_.checkpoint_interval > 0 && idx % opts_.checkpoint_interval == 0) {
+    take_checkpoint(node, idx);
+  }
+}
+
+void ReplicatedDb::check_divergence(NodeId node, LogIndex idx) {
+  const std::uint64_t hash = replicas_[node]->state_hash();
+  if (idx > hash_history_.size()) {
+    hash_history_.resize(static_cast<std::size_t>(idx));
+  }
+  std::optional<std::uint64_t>& rec =
+      hash_history_[static_cast<std::size_t>(idx - 1)];
+  if (!rec.has_value()) {
+    // First applier defines the record. The leader always applies a batch
+    // before any follower (it commits first), so a diverged follower can
+    // never poison the history for the healthy majority.
+    rec = hash;
+    return;
+  }
+  if (*rec == hash) return;
+  ++stats_.divergences_detected;
+  ++stats_.quarantines;
+  quarantined_[node] = 1;
+  resync(node);
+}
+
+void ReplicatedDb::take_checkpoint(NodeId node, LogIndex idx) {
+  const auto& prefix = cluster_.applied(node);
+  PROG_CHECK_MSG(prefix.size() == idx,
+                 "checkpoint boundary disagrees with the applied record");
+  Checkpoint cp;
+  cp.batch_seq = idx;
+  cp.term = cluster_.node(node).committed_term_at(idx);
+  cp.state_hash = replicas_[node]->state_hash();
+  cp.image = store::serialize_visible(replicas_[node]->store());
+  cp.command_prefix = prefix;
+  cp_stores_[node].add(std::move(cp), opts_.max_checkpoints);
+  ++stats_.checkpoints_taken;
+
+  if (!opts_.compact_logs) return;
+  // Compact to the newest checkpoint boundary at or below idx -
+  // log_keep_tail. The boundary must be a checkpoint: an InstallSnapshot for
+  // it is served from this node's checkpoint store.
+  if (idx <= opts_.log_keep_tail) return;
+  const Checkpoint* boundary =
+      cp_stores_[node].latest_at_or_before(idx - opts_.log_keep_tail);
+  if (boundary != nullptr && boundary->batch_seq > 0) {
+    cluster_.node(node).compact_to(boundary->batch_seq);
+  }
+}
+
+// --- crash / restart ---------------------------------------------------------
+
+void ReplicatedDb::fold_stats(NodeId node) {
+  if (replicas_[node] != nullptr) {
+    carried_stats_[node] += replicas_[node]->engine_stats();
+  }
+}
+
+void ReplicatedDb::crash_replica(NodeId i) {
+  PROG_CHECK_MSG(replicas_[i] != nullptr, "crash_replica on a down replica");
+  fold_stats(i);
+  replicas_[i].reset();  // full in-memory loss
+  quarantined_[i] = 0;
+  cluster_.crash(i);
+}
+
+void ReplicatedDb::restart_replica(NodeId i) {
+  PROG_CHECK_MSG(replicas_[i] == nullptr,
+                 "restart_replica on a replica that is not down");
+  replicas_[i] = build_replica();
+  quarantined_[i] = 0;
+  cluster_.restart(i);
+  // The process lost everything but the checkpoint directory; the Raft node
+  // models that as full disk loss, then (optionally) rejoins at the newest
+  // local checkpoint as if it had installed a snapshot there.
+  cluster_.node(i).wipe();
+  const Checkpoint* cp = cp_stores_[i].latest();
+  if (cp != nullptr && cp->batch_seq > 0) {
+    replicas_[i]->restore_state(cp->image);
+    cluster_.node(i).install_local_snapshot(cp->batch_seq, cp->term);
+    cluster_.reset_applied(i, cp->command_prefix);
+    ++stats_.checkpoint_restores;
+  } else {
+    cluster_.reset_applied(i, {});
+    ++stats_.full_rebuilds;
+  }
+  // The committed suffix streams back in from the leader on its next
+  // heartbeat (AppendEntries, or InstallSnapshot when compacted past us).
+}
+
+// --- leader-driven state transfer -------------------------------------------
+
+void ReplicatedDb::on_install(NodeId follower, NodeId leader, LogIndex upto) {
+  PROG_CHECK_MSG(replicas_[follower] != nullptr,
+                 "InstallSnapshot delivered to a crashed replica");
+  const Checkpoint* cp = cp_stores_[leader].latest_at_or_before(upto);
+  PROG_CHECK_MSG(cp != nullptr && cp->batch_seq == upto,
+                 "leader compacted its log past its own checkpoint store");
+  replicas_[follower]->restore_state(cp->image);
+  // The transferred image is also a valid local checkpoint for the follower
+  // (determinism: identical bytes regardless of which replica produced it).
+  cp_stores_[follower].add(*cp, opts_.max_checkpoints);
+  quarantined_[follower] = 0;
+  ++stats_.snapshot_installs;
+}
+
+// --- divergence re-sync ------------------------------------------------------
+
+bool ReplicatedDb::resync(NodeId i) {
+  if (replicas_[i] == nullptr) return false;
+  // Copy: reset_applied is not called here, but the rebuild below must not
+  // alias cluster state while we replay.
+  const std::vector<Command> cmds = cluster_.applied(i);
+  const LogIndex upto = static_cast<LogIndex>(cmds.size());
+
+  fold_stats(i);
+  replicas_[i] = build_replica();
+
+  // Newest checkpoint whose (batch_seq, hash) the recorded history vouches
+  // for. A diverged replica's later checkpoints carry corrupt images — the
+  // hash cross-check rejects them deterministically.
+  const Checkpoint* trusted = nullptr;
+  const auto& entries = cp_stores_[i].entries();
+  for (auto it = entries.rbegin(); it != entries.rend(); ++it) {
+    const Checkpoint& cp = it->second;
+    if (cp.batch_seq > upto) continue;
+    const auto& rec = recorded_hash(cp.batch_seq);
+    if (rec.has_value() && *rec == cp.state_hash) {
+      trusted = &cp;
+      break;
+    }
+  }
+
+  LogIndex start = 0;
+  if (trusted != nullptr) {
+    replicas_[i]->restore_state(trusted->image);
+    start = trusted->batch_seq;
+    ++stats_.checkpoint_restores;
+  } else {
+    ++stats_.full_rebuilds;
+  }
+  for (LogIndex k = start; k < upto; ++k) {
+    std::vector<sched::TxRequest> batch =
+        pool_batch(cmds[static_cast<std::size_t>(k)]);
+    replicas_[i]->execute(std::move(batch));
+  }
+
+  const bool was_quarantined = quarantined_[i] != 0;
+  bool ok = true;
+  if (upto > 0) {
+    const auto& rec = recorded_hash(upto);
+    ok = rec.has_value() && *rec == replicas_[i]->state_hash();
+  }
+  quarantined_[i] = ok ? 0 : 1;
+  if (ok && was_quarantined) ++stats_.resyncs;
+  return ok;
+}
+
+}  // namespace prog::consensus

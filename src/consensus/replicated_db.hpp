@@ -3,52 +3,110 @@
 // total order of batches via consensus, every replica executes them with the
 // deterministic engine, and replica state never diverges (asserted by tests
 // via state hashes, not assumed).
+//
+// On top of the sequencing substrate this layer implements replica
+// *recovery* (DESIGN.md §8):
+//
+//   - deterministic checkpoints: every `checkpoint_interval` applied batches
+//     a replica serializes its visible state into a canonical image keyed by
+//     (batch_seq, state_hash) — byte-identical across replicas by
+//     construction — and optionally compacts its Raft log up to the
+//     checkpoint boundary;
+//   - crash/restart recovery: crash_replica() models full in-memory state
+//     loss (the checkpoint store survives, like a disk directory);
+//     restart_replica() restores the newest local checkpoint, rejoins the
+//     Raft group at that boundary, and replays the committed batch suffix
+//     from the sequencer log — or, when the leader has compacted past the
+//     replica's restore point, receives an InstallSnapshot-style state
+//     transfer from the leader's checkpoint store;
+//   - divergence detection: replicas piggyback a per-batch state hash; a
+//     replica whose hash disagrees with the recorded history is
+//     deterministically quarantined and re-synced from a checkpoint whose
+//     hash the history vouches for, replaying the suffix;
+//   - submit_with_retry: bounded deterministic backoff around the "no
+//     leader yet" dance, plus reclamation of batch-pool entries whose
+//     command was superseded by a term change before committing.
 #pragma once
 
 #include <functional>
 #include <memory>
+#include <optional>
+#include <string>
+#include <unordered_map>
 #include <vector>
 
+#include "consensus/checkpoint.hpp"
 #include "consensus/raft.hpp"
 #include "db/database.hpp"
 
 namespace prog::consensus {
 
+struct RecoveryOptions {
+  /// Applied batches between checkpoints; 0 disables checkpointing (a
+  /// restarted replica then rebuilds by full replay).
+  unsigned checkpoint_interval = 4;
+  /// Checkpoints retained per replica (oldest evicted first).
+  std::size_t max_checkpoints = 4;
+  /// Compact each replica's Raft log up to its newest checkpoint boundary
+  /// (minus log_keep_tail); lagging peers then catch up via InstallSnapshot.
+  bool compact_logs = true;
+  /// Entries to keep above the compaction point (0 = compact to boundary).
+  LogIndex log_keep_tail = 0;
+  /// Cross-check every replica's per-batch state hash against the recorded
+  /// history; mismatch quarantines + re-syncs the replica.
+  bool divergence_check = true;
+  /// submit_with_retry backoff: first wait, doubling up to the cap.
+  SimTime retry_step_ms = 25;
+  SimTime retry_max_step_ms = 400;
+};
+
+struct RecoveryStats {
+  std::uint64_t checkpoints_taken = 0;
+  /// Restarts that restored a local checkpoint before rejoining.
+  std::uint64_t checkpoint_restores = 0;
+  /// Leader-driven InstallSnapshot state transfers accepted.
+  std::uint64_t snapshot_installs = 0;
+  /// Restarts/re-syncs that had to replay from the initial state.
+  std::uint64_t full_rebuilds = 0;
+  std::uint64_t divergences_detected = 0;
+  std::uint64_t quarantines = 0;
+  /// Quarantined replicas successfully re-synced (hash matches again).
+  std::uint64_t resyncs = 0;
+  /// Batch-pool entries whose command was superseded before committing.
+  std::uint64_t pool_reclaimed = 0;
+  std::uint64_t submit_retries = 0;
+};
+
 class ReplicatedDb {
  public:
   /// Applied identically to every replica before the first batch: register
-  /// procedures and load the initial state (batch 0).
+  /// procedures and load the initial state (batch 0). Re-invoked on a fresh
+  /// Database whenever a replica is rebuilt, so it must be repeatable.
   using SetupFn = std::function<void(db::Database&)>;
 
   ReplicatedDb(unsigned replicas, std::uint64_t seed, const SetupFn& setup,
-               sched::EngineConfig config = {},
-               SimNet::Options net_opts = {})
-      : cluster_(replicas, seed, net_opts,
-                 [this](NodeId node, LogIndex, Command cmd) {
-                   apply(node, cmd);
-                 }) {
-    for (unsigned i = 0; i < replicas; ++i) {
-      replicas_.push_back(std::make_unique<db::Database>(config));
-      setup(*replicas_.back());
-    }
-  }
+               sched::EngineConfig config = {}, SimNet::Options net_opts = {},
+               RecoveryOptions recovery = {});
 
   /// Hands a batch to the consensus layer. False when no leader is known
-  /// yet (caller retries after run_ms()).
-  bool submit_batch(std::vector<sched::TxRequest> batch) {
-    const Command cmd = static_cast<Command>(batch_pool_.size());
-    batch_pool_.push_back(std::move(batch));
-    if (!cluster_.submit(cmd)) {
-      batch_pool_.pop_back();
-      return false;
-    }
-    return true;
-  }
+  /// yet (caller retries after run_ms(), or uses submit_with_retry).
+  bool submit_batch(std::vector<sched::TxRequest> batch);
+
+  /// submit_batch with bounded deterministic backoff: on "no leader",
+  /// advances virtual time by retry_step_ms (doubling, capped) and retries
+  /// until the submit succeeds or `max_wait_ms` of virtual time is spent.
+  bool submit_with_retry(std::vector<sched::TxRequest> batch,
+                         SimTime max_wait_ms = 2000);
+
+  /// Drops batch-pool entries whose command can no longer commit (present
+  /// in no node's log and no applied record — i.e. appended under a leader
+  /// that lost its term before replicating). Returns the number reclaimed.
+  std::size_t reclaim_superseded();
 
   /// Advances virtual time; committed batches are applied as they commit.
   void run_ms(SimTime ms) { cluster_.run_ms(ms); }
 
-  /// True when every live replica has applied the same batch sequence.
+  /// True when every replica has applied the same batch sequence.
   bool converged() const {
     const unsigned n = cluster_.size();
     std::size_t applied = cluster_.applied(0).size();
@@ -58,25 +116,75 @@ class ReplicatedDb {
     return true;
   }
 
+  /// Per-replica state hashes (0 for a replica that is currently crashed).
   std::vector<std::uint64_t> state_hashes() const {
     std::vector<std::uint64_t> out;
-    for (const auto& r : replicas_) out.push_back(r->state_hash());
+    for (const auto& r : replicas_) {
+      out.push_back(r != nullptr ? r->state_hash() : 0);
+    }
     return out;
   }
 
+  // --- fault injection / recovery ------------------------------------------
+  /// Full in-memory loss: the replica's database AND its Raft state are
+  /// gone; only the checkpoint store (durable by construction) survives.
+  /// Contrast with raft().crash(i), which models a process pause.
+  void crash_replica(NodeId i);
+  /// Rebuilds the replica (setup + newest local checkpoint, if any) and
+  /// rejoins the Raft group at the restored boundary; the committed suffix
+  /// streams back in from the leader (AppendEntries or InstallSnapshot).
+  void restart_replica(NodeId i);
+  bool replica_down(NodeId i) const { return replicas_[i] == nullptr; }
+  bool quarantined(NodeId i) const { return quarantined_[i] != 0; }
+  /// Rebuild + replay a quarantined (or any live) replica from its best
+  /// trusted checkpoint; true when its hash matches the history again.
+  bool resync(NodeId i);
+
   db::Database& replica(unsigned i) { return *replicas_[i]; }
   RaftCluster& raft() noexcept { return cluster_; }
-  std::size_t batches_submitted() const noexcept { return batch_pool_.size(); }
+  const RecoveryStats& recovery_stats() const noexcept { return stats_; }
+  const CheckpointStore& checkpoints(unsigned i) const {
+    return cp_stores_[i];
+  }
+  /// Batches accepted by submit so far (committed or still in flight).
+  std::size_t batches_submitted() const noexcept {
+    return static_cast<std::size_t>(next_cmd_);
+  }
+  /// Cumulative engine counters for replica `i`, surviving rebuilds.
+  sched::EngineStats replica_engine_stats(unsigned i) const {
+    sched::EngineStats s = carried_stats_[i];
+    if (replicas_[i] != nullptr) s += replicas_[i]->engine_stats();
+    return s;
+  }
+  const RecoveryOptions& recovery_options() const noexcept { return opts_; }
 
  private:
-  void apply(NodeId node, Command cmd) {
-    PROG_CHECK(cmd < batch_pool_.size());
-    // Copy: every replica consumes its own instance of the batch.
-    replicas_[node]->execute(batch_pool_[static_cast<std::size_t>(cmd)]);
-  }
+  void apply(NodeId node, LogIndex idx, Command cmd);
+  void on_install(NodeId follower, NodeId leader, LogIndex upto);
+  void take_checkpoint(NodeId node, LogIndex idx);
+  void check_divergence(NodeId node, LogIndex idx);
+  std::unique_ptr<db::Database> build_replica() const;
+  void fold_stats(NodeId node);
+  const std::vector<sched::TxRequest>& pool_batch(Command cmd) const;
+  const std::optional<std::uint64_t>& recorded_hash(LogIndex idx) const;
 
+  sched::EngineConfig config_;
+  RecoveryOptions opts_;
+  SetupFn setup_;
   std::vector<std::unique_ptr<db::Database>> replicas_;
-  std::vector<std::vector<sched::TxRequest>> batch_pool_;
+  std::vector<CheckpointStore> cp_stores_;
+  std::vector<sched::EngineStats> carried_stats_;
+  std::vector<char> quarantined_;
+  /// Submitted batches by command id. Entries stay until reclaimed (a
+  /// lagging replica may replay arbitrarily old commands).
+  std::unordered_map<Command, std::vector<sched::TxRequest>> batch_pool_;
+  Command next_cmd_ = 0;
+  /// Recorded per-batch state hash, indexed by log index - 1. The first
+  /// applier (always the leader: it commits first) defines the record; in a
+  /// real deployment this hash rides on AppendEntries.
+  std::vector<std::optional<std::uint64_t>> hash_history_;
+  RecoveryStats stats_;
+  /// Last member: its callbacks touch everything above.
   RaftCluster cluster_;
 };
 

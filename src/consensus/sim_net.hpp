@@ -8,6 +8,7 @@
 // exact, not flaky.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <functional>
 #include <queue>
@@ -26,7 +27,11 @@ class SimNet {
   struct Options {
     SimTime min_delay_ms = 1;
     SimTime max_delay_ms = 5;
-    /// Probability (percent) that a message is silently dropped.
+    /// Probability (percent) that a message is silently dropped. Applied at
+    /// *delivery* time, like crashes and partitions, so a trace attributes a
+    /// lost message to the fault regime in force when it would have arrived
+    /// (a message sent just before a partition and arriving inside it is a
+    /// partition casualty, not a random drop).
     unsigned drop_percent = 0;
   };
 
@@ -44,15 +49,16 @@ class SimNet {
   }
 
   /// Schedules `fn` as a network message from `from` to `to`: subject to
-  /// random delay, drops, crashes and partitions at *delivery* time.
+  /// random delay, drops, crashes and partitions — all at *delivery* time.
   void send(NodeId from, NodeId to, std::function<void()> fn) {
-    if (opts_.drop_percent > 0 && rng_.percent(opts_.drop_percent)) return;
     const SimTime delay =
         static_cast<SimTime>(rng_.uniform(
             static_cast<std::int64_t>(opts_.min_delay_ms),
             static_cast<std::int64_t>(opts_.max_delay_ms)));
     queue_.push({now_ + delay, seq_++, [this, from, to, fn = std::move(fn)] {
                    if (!can_deliver(from, to)) return;
+                   const unsigned pct = drop_percent_at(now_);
+                   if (pct > 0 && rng_.percent(pct)) return;
                    fn();
                  }});
   }
@@ -79,6 +85,17 @@ class SimNet {
   /// Splits the cluster: nodes in `group` can only talk to each other.
   void partition(std::vector<NodeId> group) { partition_ = std::move(group); }
   void heal() { partition_.clear(); }
+  bool partitioned() const noexcept { return !partition_.empty(); }
+
+  /// Elevated message loss inside the virtual-time window [from_ms, to_ms):
+  /// any message *delivered* inside an active burst is dropped with the
+  /// burst's probability (the max across overlapping bursts and the base
+  /// drop_percent). Expired bursts are pruned lazily. Chaos-harness fuel.
+  void drop_burst(SimTime from_ms, SimTime to_ms, unsigned percent) {
+    PROG_CHECK_MSG(from_ms < to_ms, "drop_burst: empty window");
+    PROG_CHECK_MSG(percent <= 100, "drop_burst: percent > 100");
+    bursts_.push_back({from_ms, to_ms, percent});
+  }
 
  private:
   struct Event {
@@ -110,6 +127,24 @@ class SimNet {
     return true;
   }
 
+  struct Burst {
+    SimTime from;
+    SimTime to;
+    unsigned percent;
+  };
+
+  unsigned drop_percent_at(SimTime t) {
+    unsigned pct = opts_.drop_percent;
+    std::size_t live = 0;
+    for (const Burst& b : bursts_) {
+      if (b.to <= t) continue;  // expired: pruned below
+      bursts_[live++] = b;
+      if (b.from <= t && t < b.to) pct = std::max(pct, b.percent);
+    }
+    bursts_.resize(live);
+    return pct;
+  }
+
   Rng rng_;
   Options opts_;
   SimTime now_ = 0;
@@ -117,6 +152,7 @@ class SimNet {
   std::priority_queue<Event, std::vector<Event>, std::greater<>> queue_;
   std::vector<bool> down_;
   std::vector<NodeId> partition_;
+  std::vector<Burst> bursts_;
 };
 
 }  // namespace prog::consensus

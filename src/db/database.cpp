@@ -2,6 +2,7 @@
 
 #include "analysis/dataflow.hpp"
 #include "common/check.hpp"
+#include "store/snapshot.hpp"
 
 namespace prog::db {
 
@@ -59,6 +60,18 @@ sched::BatchResult Database::execute_traced(
   sched::BatchResult r = engine_->run_batch(std::move(requests));
   engine_->set_trace_sink(nullptr);
   return r;
+}
+
+BatchId Database::applied_batches() const {
+  return engine_ != nullptr ? engine_->next_batch() - 1 : 0;
+}
+
+sched::EngineStats Database::engine_stats() const {
+  return engine_ != nullptr ? engine_->stats() : sched::EngineStats{};
+}
+
+void Database::restore_state(const std::string& image) {
+  store::restore_visible(store_, image, applied_batches());
 }
 
 const lang::Proc& Database::procedure(sched::ProcId id) const {

@@ -66,6 +66,20 @@ class Database {
   /// Commutative hash of the full visible state (replica comparison).
   std::uint64_t state_hash() const { return store_.state_hash(); }
 
+  /// Batches executed so far (0 before the first execute()); also the
+  /// newest store version tag, which is where a state-image restore writes.
+  BatchId applied_batches() const;
+
+  /// Cumulative engine counters (empty before finalize()). The recovery
+  /// layer folds these into its per-replica bookkeeping before a rebuild so
+  /// they survive crash/restore cycles ("resume-safe").
+  sched::EngineStats engine_stats() const;
+
+  /// Reconciles the visible store state to `image` (store::serialize_visible
+  /// format), tagged with the current applied-batch watermark. Used by
+  /// replica recovery: restore a checkpoint, then replay the batch suffix.
+  void restore_state(const std::string& image);
+
   /// Client-side key-set prediction (paper, Section III-C): for independent
   /// transactions the key-set is a pure function of the inputs, so clients
   /// can compute it and ship it with the request. Returns nullptr for

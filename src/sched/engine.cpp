@@ -559,6 +559,9 @@ BatchResult Engine::run_batch(std::vector<TxRequest> requests) {
     run_seq_batch(result);
     result.outputs = std::move(outputs_);
     result.wall_micros = wall.elapsed_micros();
+    ++stats_.batches;
+    stats_.committed += result.committed;
+    stats_.rolled_back += result.rolled_back;
     return result;
   }
 
@@ -615,6 +618,14 @@ BatchResult Engine::run_batch(std::vector<TxRequest> requests) {
       handle_failed_sf(failed, result);
       break;
     }
+    if (config_.max_mf_rounds > 0 && current_round_ >= config_.max_mf_rounds) {
+      // Graceful degradation: the MF budget is spent — finish the stragglers
+      // on the SF path, which executes them in agreed order and cannot fail.
+      // Deterministic: the round count is a pure function of the batch.
+      result.sf_fallbacks += failed.size();
+      handle_failed_sf(failed, result);
+      break;
+    }
     // MF: re-prepare against the current (quiesced) state, re-enqueue, and
     // run another parallel round.
     Stopwatch sw;
@@ -665,6 +676,14 @@ BatchResult Engine::run_batch(std::vector<TxRequest> requests) {
       store_.gc_before(batch_ - horizon);
     }
   }
+
+  ++stats_.batches;
+  stats_.committed += result.committed;
+  stats_.rolled_back += result.rolled_back;
+  stats_.validation_aborts += result.validation_aborts;
+  stats_.rounds += result.rounds;
+  stats_.mf_fallback_txns += result.sf_fallbacks;
+  if (result.sf_fallbacks > 0) ++stats_.mf_fallback_batches;
   return result;
 }
 

@@ -94,6 +94,14 @@ struct EngineConfig {
   /// MF (true): failed transactions are re-prepared and re-enqueued for
   /// parallel rounds; SF (false): one thread re-executes them in order.
   bool parallel_failed = true;
+  /// Graceful degradation: cap the number of MF re-execution rounds per
+  /// batch. Once `max_mf_rounds` parallel rounds have run, any still-failed
+  /// transactions fall back to the SF path (single-threaded, in agreed
+  /// order — cannot fail), so a pathological pivot storm terminates in
+  /// bounded rounds. 0 = unbounded (the paper's behavior). The fallback is
+  /// deterministic: it depends only on the round count, which is a pure
+  /// function of the batch. Fallbacks are counted in EngineStats.
+  unsigned max_mf_rounds = 0;
   /// -R variants: predict by reconnaissance (full execution against the
   /// snapshot) instead of consulting the SE profile. Forced for Calvin and
   /// for procedures whose SE analysis was capped.
@@ -154,11 +162,41 @@ struct BatchResult {
   /// Emitted values per transaction (batch-local index), when enabled.
   /// Deterministic content; ordering normalized to submission order.
   std::vector<std::pair<TxIdx, std::vector<Value>>> outputs;
+  /// Transactions finished through the SF fallback after the MF round cap
+  /// (EngineConfig::max_mf_rounds) was reached.
+  std::uint64_t sf_fallbacks = 0;
   std::int64_t wall_micros = 0;
   std::int64_t prepare_micros = 0;  // summed across prepared transactions
   std::uint64_t prepared = 0;
   std::int64_t reexec_micros = 0;  // wall time spent in failed rounds
   std::uint64_t reexecuted = 0;
+};
+
+/// Cumulative engine counters across every batch executed so far. Unlike
+/// BatchResult (per batch) these are resume-safe: the recovery layer folds a
+/// crashed replica's stats into its bookkeeping before rebuilding the
+/// engine, so counters survive checkpoint/restore cycles.
+struct EngineStats {
+  std::uint64_t batches = 0;
+  std::uint64_t committed = 0;
+  std::uint64_t rolled_back = 0;
+  std::uint64_t validation_aborts = 0;
+  std::uint64_t rounds = 0;
+  /// Transactions that fell back to SF after the MF round cap.
+  std::uint64_t mf_fallback_txns = 0;
+  /// Batches in which the MF cap triggered at least once.
+  std::uint64_t mf_fallback_batches = 0;
+
+  EngineStats& operator+=(const EngineStats& o) {
+    batches += o.batches;
+    committed += o.committed;
+    rolled_back += o.rolled_back;
+    validation_aborts += o.validation_aborts;
+    rounds += o.rounds;
+    mf_fallback_txns += o.mf_fallback_txns;
+    mf_fallback_batches += o.mf_fallback_batches;
+    return *this;
+  }
 };
 
 /// Deterministic batch execution engine. One engine drives one replica.
@@ -187,6 +225,9 @@ class Engine {
 
   const EngineConfig& config() const noexcept { return config_; }
   const std::vector<ProcEntry>& procs() const noexcept { return procs_; }
+
+  /// Cumulative counters over every batch this engine has executed.
+  const EngineStats& stats() const noexcept { return stats_; }
 
  private:
   enum class Phase : std::uint8_t {
@@ -289,6 +330,8 @@ class Engine {
   std::vector<std::pair<TxIdx, std::vector<Value>>> outputs_;
 
   void capture_output(TxIdx idx, std::vector<Value> emitted);
+
+  EngineStats stats_;
 
   BatchTrace* trace_ = nullptr;
   std::mutex trace_mu_;

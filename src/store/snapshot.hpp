@@ -1,0 +1,47 @@
+// Canonical state-image serialization — the checkpoint format.
+//
+// A StateImage is the full visible key->row map of a VersionedStore at one
+// snapshot, flattened into a canonical, line-oriented text encoding. The
+// encoding is *byte-identical* across replicas: keys are emitted in sorted
+// (table, key) order and row fields are sorted (Row keeps them sorted), so
+// two stores with equal visible state serialize to equal bytes regardless of
+// the insertion/interleaving history that produced them. That property is
+// what lets the replication layer key checkpoints by (batch_seq, state_hash)
+// and ship them byte-for-byte as InstallSnapshot payloads.
+//
+// Format (one record per line):
+//   state v1 <row-count> <state-hash>
+//   r <table> <key> <field-count> [<field> <value>]...
+//   end
+//
+// restore_visible() reconciles a live store to an image *in place*: every
+// image row is (re)written and every visible key absent from the image is
+// tombstoned, all tagged with the caller's batch id. This supports both the
+// bootstrap path (restore over freshly loaded batch-0 state) and the
+// catch-up path (restore over a live store that lags the cluster).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "store/store.hpp"
+
+namespace prog::store {
+
+/// Serializes the state visible at `snapshot` into the canonical text form.
+std::string serialize_visible(const VersionedStore& store,
+                              BatchId snapshot = VersionedStore::kLatest);
+
+/// Parses the header of an image without materializing rows. Returns the
+/// state hash recorded at serialization time. Throws UsageError on garbage.
+std::uint64_t image_state_hash(const std::string& image);
+
+/// Reconciles `dst`'s visible state to equal `image`, writing every change
+/// as version `at` (puts for image rows, tombstones for stale keys). `at`
+/// must be >= the newest version already installed for any touched key —
+/// recovery uses the replica's last-applied batch id. Throws UsageError on
+/// malformed input.
+void restore_visible(VersionedStore& dst, const std::string& image,
+                     BatchId at);
+
+}  // namespace prog::store

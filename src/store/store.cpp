@@ -152,6 +152,18 @@ void VersionedStore::clone_visible_into(VersionedStore& dst,
   }
 }
 
+void VersionedStore::for_each_visible(
+    BatchId snapshot, const std::function<void(TKey, const Row&)>& fn) const {
+  for (const Shard& shard : shards_) {
+    std::shared_lock lock(shard.mu);
+    for (const auto& [key, chain] : shard.map) {
+      const Version* v = visible(chain, snapshot);
+      if (v == nullptr || v->row == nullptr) continue;
+      fn(key, *v->row);
+    }
+  }
+}
+
 std::size_t VersionedStore::version_count() const {
   std::size_t n = 0;
   for (const Shard& shard : shards_) {

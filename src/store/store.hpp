@@ -17,6 +17,7 @@
 #include <array>
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <optional>
 #include <shared_mutex>
 #include <unordered_map>
@@ -82,6 +83,13 @@ class VersionedStore {
 
   /// Number of live (non-tombstone) keys at `snapshot`.
   std::size_t size(BatchId snapshot = kLatest) const;
+
+  /// Invokes `fn(key, row)` for every live key visible at `snapshot`.
+  /// Iteration order is unspecified (shard/map order) — callers needing a
+  /// canonical order sort, as store::serialize_visible does.
+  void for_each_visible(
+      BatchId snapshot,
+      const std::function<void(TKey, const Row&)>& fn) const;
 
   /// Total versions currently retained (GC observability).
   std::size_t version_count() const;

@@ -1,0 +1,323 @@
+// Chaos suite: seeded fault schedules against the replicated database
+// (ISSUE: crash/restart, checkpoint/catch-up, divergence quarantine).
+//
+// Three layers:
+//   - seeded sweeps: fixed seeds drive run_chaos over TPC-C and the catalog
+//     microbenchmark; every run must end converged with byte-identical
+//     replica state (the determinism claim under fire);
+//   - directed recovery scenarios: a follower restarting from a local
+//     checkpoint whose suffix the leader has compacted away (InstallSnapshot
+//     path), and an injected divergence that must be quarantined and
+//     re-synced from a hash-validated checkpoint;
+//   - a longer randomized sweep gated behind PROG_CHAOS_LONG=1 (CI runs it
+//     on a schedule; locally it is skipped).
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <memory>
+
+#include "consensus/chaos.hpp"
+#include "lang/builder.hpp"
+#include "workloads/microbench.hpp"
+#include "workloads/tpcc.hpp"
+
+namespace prog::consensus {
+namespace {
+
+// --- tiny counter workload for the directed scenarios ------------------------
+
+constexpr TableId kT = 1;
+constexpr FieldId kV = 0;
+constexpr Value kKeys = 32;
+
+lang::Proc make_bump() {
+  lang::ProcBuilder b("bump");
+  auto k = b.param("k", 0, kKeys - 1);
+  auto amt = b.param("amt", 1, 9);
+  auto row = b.get(kT, k);
+  b.put(kT, k, {{kV, row.field(kV) + amt}});
+  return std::move(b).build();
+}
+
+ReplicatedDb::SetupFn bump_setup() {
+  return [](db::Database& d) {
+    d.register_procedure(make_bump());
+    for (Key k = 0; k < static_cast<Key>(kKeys); ++k) {
+      d.store().put({kT, k}, store::Row{{kV, 100}}, 0);
+    }
+    d.finalize();
+  };
+}
+
+std::vector<sched::TxRequest> bump_batch(std::size_t n, Rng& rng) {
+  std::vector<sched::TxRequest> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    sched::TxRequest r;
+    r.proc = 0;
+    r.input.add(rng.uniform(0, kKeys - 1));
+    r.input.add(rng.uniform(1, 9));
+    out.push_back(std::move(r));
+  }
+  return out;
+}
+
+sched::EngineConfig small_cfg() {
+  sched::EngineConfig cfg;
+  cfg.workers = 2;
+  return cfg;
+}
+
+// --- seeded sweeps ------------------------------------------------------------
+
+class ChaosSeedTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ChaosSeedTest, TpccMixConverges) {
+  const std::uint64_t seed = GetParam();
+  db::Database gen_db(small_cfg());
+  workloads::tpcc::Workload gen(gen_db, workloads::tpcc::Scale::tiny(1));
+
+  RecoveryOptions rec;
+  rec.checkpoint_interval = 3;
+  ReplicatedDb rdb(
+      3, seed,
+      [](db::Database& d) {
+        workloads::tpcc::Workload wl(d, workloads::tpcc::Scale::tiny(1));
+      },
+      small_cfg(), {}, rec);
+
+  ChaosOptions copts;
+  copts.rounds = 30;
+  copts.batch_size = 8;
+  const ChaosReport rep = run_chaos(
+      rdb, [&](std::size_t n, Rng& rng) { return gen.batch(n, rng); }, copts,
+      seed * 31 + 7);
+
+  EXPECT_TRUE(rep.converged) << "seed " << seed;
+  EXPECT_TRUE(rep.hashes_match) << "seed " << seed;
+  EXPECT_GT(rep.batches_applied, 0u) << "seed " << seed;
+  EXPECT_LE(rep.batches_applied, rep.batches_submitted);
+}
+
+TEST_P(ChaosSeedTest, CatalogMixConverges) {
+  const std::uint64_t seed = GetParam();
+  workloads::micro::CatalogOptions wopts;
+  wopts.catalog_keys = 200;
+  wopts.accounts = 400;
+  wopts.reads_per_tx = 4;
+
+  db::Database gen_db(small_cfg());
+  workloads::micro::CatalogWorkload gen(gen_db, wopts);
+
+  RecoveryOptions rec;
+  rec.checkpoint_interval = 4;
+  ReplicatedDb rdb(
+      3, seed,
+      [wopts](db::Database& d) {
+        workloads::micro::CatalogWorkload wl(d, wopts);
+      },
+      small_cfg(), {}, rec);
+
+  ChaosOptions copts;
+  copts.rounds = 25;
+  copts.batch_size = 10;
+  const ChaosReport rep = run_chaos(
+      rdb,
+      [&](std::size_t n, Rng& rng) { return gen.batch(n, /*reprices=*/2, rng); },
+      copts, seed ^ 0x9e3779b97f4a7c15ULL);
+
+  EXPECT_TRUE(rep.converged) << "seed " << seed;
+  EXPECT_TRUE(rep.hashes_match) << "seed " << seed;
+  EXPECT_GT(rep.batches_applied, 0u) << "seed " << seed;
+}
+
+INSTANTIATE_TEST_SUITE_P(FixedSeeds, ChaosSeedTest,
+                         ::testing::Values(101, 202, 303, 404, 505));
+
+TEST(ChaosTest, SameSeedReproducesIdenticalRun) {
+  auto once = [](std::uint64_t seed) {
+    db::Database gen_db(small_cfg());
+    workloads::tpcc::Workload gen(gen_db, workloads::tpcc::Scale::tiny(1));
+    RecoveryOptions rec;
+    rec.checkpoint_interval = 3;
+    ReplicatedDb rdb(
+        3, seed,
+        [](db::Database& d) {
+          workloads::tpcc::Workload wl(d, workloads::tpcc::Scale::tiny(1));
+        },
+        small_cfg(), {}, rec);
+    ChaosOptions copts;
+    copts.rounds = 20;
+    copts.batch_size = 6;
+    return run_chaos(
+        rdb, [&](std::size_t n, Rng& rng) { return gen.batch(n, rng); }, copts,
+        seed + 1);
+  };
+  const ChaosReport a = once(42);
+  const ChaosReport b = once(42);
+  ASSERT_TRUE(a.ok());
+  EXPECT_EQ(a.state_hash, b.state_hash);
+  EXPECT_EQ(a.batches_applied, b.batches_applied);
+  EXPECT_EQ(a.trace, b.trace);  // the fault schedule itself replays exactly
+}
+
+// --- directed recovery scenarios ---------------------------------------------
+
+/// A follower crashes with a local checkpoint, the leader compacts its log
+/// past that boundary, and the restarted follower must come back via
+/// checkpoint restore + InstallSnapshot state transfer (the committed suffix
+/// between its checkpoint and the leader's boundary is gone from every log).
+TEST(ChaosTest, CheckpointRestoreThenCompactedSuffixCatchUp) {
+  RecoveryOptions rec;
+  rec.checkpoint_interval = 2;
+  rec.compact_logs = true;
+  ReplicatedDb rdb(3, 9001, bump_setup(), small_cfg(), {}, rec);
+  rdb.run_ms(1000);
+  const int leader = rdb.raft().leader();
+  ASSERT_GE(leader, 0);
+  const NodeId victim = leader == 0 ? 1 : 0;
+
+  Rng rng(77);
+  for (int i = 0; i < 6; ++i) {
+    ASSERT_TRUE(rdb.submit_with_retry(bump_batch(6, rng)));
+    rdb.run_ms(100);
+  }
+  rdb.run_ms(500);
+  ASSERT_FALSE(rdb.checkpoints(victim).empty());
+
+  rdb.crash_replica(victim);
+  ASSERT_TRUE(rdb.replica_down(victim));
+  for (int i = 0; i < 8; ++i) {  // leader checkpoints + compacts past victim
+    ASSERT_TRUE(rdb.submit_with_retry(bump_batch(6, rng)));
+    rdb.run_ms(100);
+  }
+  const NodeId lid = static_cast<NodeId>(rdb.raft().leader());
+  EXPECT_GT(rdb.raft().node(lid).snapshot_index(), 6u);
+
+  rdb.restart_replica(victim);
+  rdb.run_ms(3000);
+
+  ASSERT_TRUE(rdb.converged());
+  const auto hashes = rdb.state_hashes();
+  EXPECT_EQ(hashes[0], hashes[1]);
+  EXPECT_EQ(hashes[1], hashes[2]);
+  const RecoveryStats& st = rdb.recovery_stats();
+  EXPECT_GT(st.checkpoints_taken, 0u);
+  EXPECT_GE(st.checkpoint_restores, 1u);  // victim restored its local image
+  EXPECT_GE(st.snapshot_installs, 1u);    // and caught up via InstallSnapshot
+  // Engine counters survived the rebuild (resume-safe accounting).
+  EXPECT_GT(rdb.replica_engine_stats(victim).committed, 0u);
+}
+
+/// Restart with checkpointing disabled: the replica must rebuild by full
+/// replay of the committed prefix (no checkpoint image to restore).
+TEST(ChaosTest, RestartWithoutCheckpointsFullyReplays) {
+  RecoveryOptions rec;
+  rec.checkpoint_interval = 0;  // no checkpoints
+  rec.compact_logs = false;
+  ReplicatedDb rdb(3, 4242, bump_setup(), small_cfg(), {}, rec);
+  rdb.run_ms(1000);
+  const int leader = rdb.raft().leader();
+  ASSERT_GE(leader, 0);
+  const NodeId victim = leader == 0 ? 1 : 0;
+
+  Rng rng(5);
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(rdb.submit_with_retry(bump_batch(5, rng)));
+    rdb.run_ms(100);
+  }
+  rdb.crash_replica(victim);
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(rdb.submit_with_retry(bump_batch(5, rng)));
+    rdb.run_ms(100);
+  }
+  rdb.restart_replica(victim);
+  rdb.run_ms(3000);
+
+  ASSERT_TRUE(rdb.converged());
+  const auto hashes = rdb.state_hashes();
+  EXPECT_EQ(hashes[0], hashes[1]);
+  EXPECT_EQ(hashes[1], hashes[2]);
+  EXPECT_GE(rdb.recovery_stats().full_rebuilds, 1u);
+  EXPECT_EQ(rdb.recovery_stats().checkpoints_taken, 0u);
+}
+
+/// Injected divergence: corrupt one follower's visible state behind the
+/// engine's back. The next applied batch produces a state hash that
+/// disagrees with the recorded history; the replica must be quarantined and
+/// re-synced from a checkpoint the history vouches for.
+TEST(ChaosTest, DivergenceIsQuarantinedAndResynced) {
+  RecoveryOptions rec;
+  rec.checkpoint_interval = 2;
+  rec.compact_logs = false;  // keep logs: resync replays from the pool
+  ReplicatedDb rdb(3, 31337, bump_setup(), small_cfg(), {}, rec);
+  rdb.run_ms(1000);
+  const int leader = rdb.raft().leader();
+  ASSERT_GE(leader, 0);
+  const NodeId victim = leader == 0 ? 1 : 0;
+
+  Rng rng(11);
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(rdb.submit_with_retry(bump_batch(5, rng)));
+    rdb.run_ms(100);
+  }
+  rdb.run_ms(500);
+  ASSERT_TRUE(rdb.converged());
+
+  // Corrupt a single row on the follower (a stray write the deterministic
+  // engine never issued — e.g. a cosmic-ray stand-in).
+  db::Database& bad = rdb.replica(victim);
+  bad.store().put({kT, 0}, store::Row{{kV, 999999}}, bad.applied_batches());
+  ASSERT_NE(bad.state_hash(), rdb.replica(static_cast<NodeId>(leader)).state_hash());
+
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(rdb.submit_with_retry(bump_batch(5, rng)));
+    rdb.run_ms(100);
+  }
+  rdb.run_ms(1000);
+
+  const RecoveryStats& st = rdb.recovery_stats();
+  EXPECT_GE(st.divergences_detected, 1u);
+  EXPECT_GE(st.quarantines, 1u);
+  EXPECT_GE(st.resyncs, 1u);
+  EXPECT_FALSE(rdb.quarantined(victim));
+
+  ASSERT_TRUE(rdb.converged());
+  const auto hashes = rdb.state_hashes();
+  EXPECT_EQ(hashes[0], hashes[1]);
+  EXPECT_EQ(hashes[1], hashes[2]);
+}
+
+// --- long sweep (opt-in) -------------------------------------------------------
+
+TEST(ChaosLongTest, WiderSeedSweep) {
+  const char* flag = std::getenv("PROG_CHAOS_LONG");
+  if (flag == nullptr || flag[0] == '\0' || flag[0] == '0') {
+    GTEST_SKIP() << "set PROG_CHAOS_LONG=1 to run the long chaos sweep";
+  }
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    db::Database gen_db(small_cfg());
+    workloads::tpcc::Workload gen(gen_db, workloads::tpcc::Scale::tiny(1));
+    RecoveryOptions rec;
+    rec.checkpoint_interval = 2 + seed % 3;
+    rec.log_keep_tail = seed % 2;
+    ReplicatedDb rdb(
+        seed % 2 == 0 ? 5 : 3, seed,
+        [](db::Database& d) {
+          workloads::tpcc::Workload wl(d, workloads::tpcc::Scale::tiny(1));
+        },
+        small_cfg(), {}, rec);
+    ChaosOptions copts;
+    copts.rounds = 60;
+    copts.batch_size = 8;
+    const ChaosReport rep = run_chaos(
+        rdb, [&](std::size_t n, Rng& rng) { return gen.batch(n, rng); }, copts,
+        seed * 1000003);
+    EXPECT_TRUE(rep.converged) << "seed " << seed;
+    EXPECT_TRUE(rep.hashes_match) << "seed " << seed;
+    EXPECT_GT(rep.batches_applied, 0u) << "seed " << seed;
+  }
+}
+
+}  // namespace
+}  // namespace prog::consensus

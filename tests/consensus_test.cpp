@@ -274,5 +274,177 @@ TEST(ReplicatedDbTest, ReplicaCatchesUpAfterCrash) {
   EXPECT_EQ(hashes[0], hashes[2]);
 }
 
+// --- delivery-time drops and bursts ----------------------------------------------
+
+TEST(SimNetTest, DropBurstDropsOnlyInsideWindow) {
+  SimNet net(7, SimNet::Options{1, 1, 0});  // fixed 1ms delay
+  net.drop_burst(10, 20, 100);
+  int delivered = 0;
+  net.send(0, 1, [&] { ++delivered; });  // delivered t=1: before the window
+  net.schedule(14, [&] {                 // delivered t=15: inside, dropped
+    net.send(0, 1, [&] { ++delivered; });
+  });
+  net.schedule(25, [&] {  // delivered t=26: window expired
+    net.send(0, 1, [&] { ++delivered; });
+  });
+  net.run_for(100);
+  EXPECT_EQ(delivered, 2);
+}
+
+TEST(SimNetTest, DropsApplyAtDeliveryTime) {
+  // The burst covers the send instant but not the delivery instant: the
+  // message must survive (loss is attributed to the regime in force when
+  // the message would have arrived).
+  SimNet net(9, SimNet::Options{10, 10, 0});
+  net.drop_burst(0, 5, 100);
+  int delivered = 0;
+  net.send(0, 1, [&] { ++delivered; });  // sent t=0, delivered t=10
+  net.run_for(50);
+  EXPECT_EQ(delivered, 1);
+}
+
+// --- recovery-layer scenarios ----------------------------------------------------
+
+constexpr TableId kCtr = 1;
+constexpr FieldId kVal = 0;
+constexpr Value kCtrKeys = 16;
+
+lang::Proc make_counter() {
+  lang::ProcBuilder b("counter");
+  auto k = b.param("k", 0, kCtrKeys - 1);
+  auto amt = b.param("amt", 1, 5);
+  auto row = b.get(kCtr, k);
+  b.put(kCtr, k, {{kVal, row.field(kVal) + amt}});
+  return std::move(b).build();
+}
+
+ReplicatedDb::SetupFn counter_setup() {
+  return [](db::Database& d) {
+    d.register_procedure(make_counter());
+    for (Key k = 0; k < static_cast<Key>(kCtrKeys); ++k) {
+      d.store().put({kCtr, k}, store::Row{{kVal, 10}}, 0);
+    }
+    d.finalize();
+  };
+}
+
+std::vector<sched::TxRequest> counter_batch(std::size_t n, Rng& rng) {
+  std::vector<sched::TxRequest> out;
+  for (std::size_t i = 0; i < n; ++i) {
+    sched::TxRequest r;
+    r.proc = 0;
+    r.input.add(rng.uniform(0, kCtrKeys - 1));
+    r.input.add(rng.uniform(1, 5));
+    out.push_back(std::move(r));
+  }
+  return out;
+}
+
+TEST(ReplicatedDbTest, SubmitWithRetryWaitsOutElection) {
+  sched::EngineConfig cfg;
+  cfg.workers = 2;
+  ReplicatedDb rdb(3, 321, counter_setup(), cfg);
+  Rng rng(2);
+  // No run_ms first: there is no leader yet, so a plain submit fails and
+  // the retrying variant must wait out the first election.
+  EXPECT_FALSE(rdb.submit_batch(counter_batch(4, rng)));
+  ASSERT_TRUE(rdb.submit_with_retry(counter_batch(4, rng), 3000));
+  EXPECT_GE(rdb.recovery_stats().submit_retries, 1u);
+  rdb.run_ms(2000);
+  ASSERT_TRUE(rdb.converged());
+  EXPECT_EQ(rdb.raft().applied(0).size(), 1u);
+}
+
+/// Satellite scenario: a 5-node cluster loses its leader to a minority
+/// partition mid-batch. The majority side re-elects and keeps committing;
+/// after the heal the deposed leader truncates its orphaned suffix and all
+/// five replicas converge to identical state.
+TEST(ReplicatedDbTest, LeaderMinorityPartitionReElectsAndConverges) {
+  sched::EngineConfig cfg;
+  cfg.workers = 2;
+  ReplicatedDb rdb(5, 2024, counter_setup(), cfg);
+  rdb.run_ms(1000);
+  const int old_leader = rdb.raft().leader();
+  ASSERT_GE(old_leader, 0);
+  const Term old_term = rdb.raft().node(static_cast<NodeId>(old_leader)).term();
+
+  Rng rng(9);
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(rdb.submit_with_retry(counter_batch(6, rng)));
+    rdb.run_ms(100);
+  }
+
+  // Mid-batch partition: the leader accepts one more batch, then is cut off
+  // with one follower before it can replicate (in-flight AppendEntries die
+  // at delivery time, inside the partition).
+  ASSERT_TRUE(rdb.submit_batch(counter_batch(6, rng)));
+  const NodeId buddy = old_leader == 0 ? 1 : 0;
+  rdb.raft().net().partition({static_cast<NodeId>(old_leader), buddy});
+  rdb.run_ms(2000);  // majority side re-elects
+
+  const int new_leader = rdb.raft().leader();
+  ASSERT_GE(new_leader, 0);
+  EXPECT_NE(new_leader, old_leader);
+  EXPECT_GT(rdb.raft().node(static_cast<NodeId>(new_leader)).term(), old_term);
+
+  for (int i = 0; i < 3; ++i) {  // the new regime keeps committing
+    ASSERT_TRUE(rdb.submit_with_retry(counter_batch(6, rng)));
+    rdb.run_ms(100);
+  }
+
+  rdb.raft().net().heal();
+  rdb.run_ms(3000);
+  ASSERT_TRUE(rdb.converged());
+  const auto hashes = rdb.state_hashes();
+  for (std::size_t i = 1; i < hashes.size(); ++i) {
+    EXPECT_EQ(hashes[0], hashes[i]) << "replica " << i;
+  }
+  EXPECT_GE(rdb.raft().applied(0).size(), 6u);
+}
+
+TEST(ReplicatedDbTest, ReclaimSupersededDropsOrphanedBatches) {
+  sched::EngineConfig cfg;
+  cfg.workers = 2;
+  ReplicatedDb rdb(3, 777, counter_setup(), cfg);
+  rdb.run_ms(1000);
+  const int old_leader = rdb.raft().leader();
+  ASSERT_GE(old_leader, 0);
+
+  Rng rng(4);
+  ASSERT_TRUE(rdb.submit_with_retry(counter_batch(4, rng)));
+  rdb.run_ms(300);
+
+  // Isolate the leader, then hand it a batch it can never commit: the
+  // majority side elects a new leader whose log overwrites the orphan.
+  rdb.raft().net().partition({static_cast<NodeId>(old_leader)});
+  ASSERT_TRUE(rdb.submit_batch(counter_batch(4, rng)));  // appended, doomed
+  const std::size_t submitted = rdb.batches_submitted();
+  rdb.run_ms(2000);  // re-election on the majority side
+  ASSERT_GE(rdb.raft().leader(), 0);
+  ASSERT_NE(rdb.raft().leader(), old_leader);
+  ASSERT_TRUE(rdb.submit_with_retry(counter_batch(4, rng)));
+  rdb.run_ms(500);
+
+  // While the orphan still sits in the deposed leader's log it must NOT be
+  // reclaimed (conservative liveness scan).
+  EXPECT_EQ(rdb.reclaim_superseded(), 0u);
+
+  rdb.raft().net().heal();
+  rdb.run_ms(3000);  // deposed leader truncates to the new regime's log
+  ASSERT_TRUE(rdb.converged());
+
+  EXPECT_EQ(rdb.reclaim_superseded(), 1u);
+  EXPECT_EQ(rdb.recovery_stats().pool_reclaimed, 1u);
+  EXPECT_EQ(rdb.batches_submitted(), submitted + 1);
+
+  // The cluster keeps working after the reclaim.
+  ASSERT_TRUE(rdb.submit_with_retry(counter_batch(4, rng)));
+  rdb.run_ms(1000);
+  ASSERT_TRUE(rdb.converged());
+  const auto hashes = rdb.state_hashes();
+  EXPECT_EQ(hashes[0], hashes[1]);
+  EXPECT_EQ(hashes[1], hashes[2]);
+}
+
 }  // namespace
 }  // namespace prog::consensus

@@ -87,6 +87,68 @@ TEST(FailureTest, PivotStormOneRoundUnderSf) {
   EXPECT_EQ(db.store().get({kHot, 0})->at(kV), 32);
 }
 
+TEST(FailureTest, MfRoundCapFallsBackToSfDeterministically) {
+  auto run = [&](unsigned cap) {
+    sched::EngineConfig cfg;
+    cfg.workers = 4;
+    cfg.max_mf_rounds = cap;
+    db::Database db(cfg);
+    const auto hot = db.register_procedure(make_hot_chain());
+    db.store().put({kHot, 0}, store::Row{{kV, 0}}, 0);
+    db.finalize();
+    std::vector<sched::TxRequest> batch;
+    for (Value i = 0; i < 32; ++i) {
+      sched::TxRequest r;
+      r.proc = hot;
+      r.input.add(i);
+      batch.push_back(std::move(r));
+    }
+    return std::make_pair(db.execute(std::move(batch)), db.state_hash());
+  };
+
+  const auto [capped, capped_hash] = run(3);
+  const auto [unbounded, unbounded_hash] = run(0);
+
+  // Unbounded MF grinds through the storm one commit per round.
+  EXPECT_EQ(unbounded.rounds, 31u);
+  EXPECT_EQ(unbounded.sf_fallbacks, 0u);
+
+  // Capped: the initial parallel round commits 1, MF rounds 1..3 commit one
+  // each, and the 28 stragglers finish on the SF path in one final round.
+  EXPECT_EQ(capped.committed, 32u);
+  EXPECT_EQ(capped.rounds, 4u);
+  EXPECT_EQ(capped.sf_fallbacks, 28u);
+
+  // The fallback is invisible in the final state: same hash either way.
+  EXPECT_EQ(capped_hash, unbounded_hash);
+}
+
+TEST(FailureTest, EngineStatsAccumulateAcrossBatches) {
+  sched::EngineConfig cfg;
+  cfg.workers = 2;
+  cfg.max_mf_rounds = 1;
+  db::Database db(cfg);
+  const auto hot = db.register_procedure(make_hot_chain());
+  db.store().put({kHot, 0}, store::Row{{kV, 0}}, 0);
+  db.finalize();
+  for (int b = 0; b < 3; ++b) {
+    std::vector<sched::TxRequest> batch;
+    for (Value i = 0; i < 8; ++i) {
+      sched::TxRequest r;
+      r.proc = hot;
+      r.input.add(i);
+      batch.push_back(std::move(r));
+    }
+    db.execute(std::move(batch));
+  }
+  const sched::EngineStats s = db.engine_stats();
+  EXPECT_EQ(s.batches, 3u);
+  EXPECT_EQ(s.committed, 24u);
+  EXPECT_EQ(s.mf_fallback_batches, 3u);    // every storm batch hit the cap
+  EXPECT_EQ(s.mf_fallback_txns, 3u * 6u);  // 8 minus 2 commits before fallback
+  EXPECT_GT(s.validation_aborts, 0u);
+}
+
 TEST(FailureTest, SfAndMfAgreeOnStormState) {
   auto run = [&](bool mf) {
     sched::EngineConfig cfg;

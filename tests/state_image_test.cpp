@@ -1,0 +1,105 @@
+// Canonical state-image tests: serialize_visible / restore_visible are the
+// foundation of replica checkpoints, so the properties the recovery layer
+// leans on are pinned here: canonical bytes (identical images regardless of
+// write order or dead versions), hash round-trips, and reconciling restores
+// (stale rows overwritten, extra rows tombstoned).
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "store/snapshot.hpp"
+#include "store/store.hpp"
+
+namespace prog::store {
+namespace {
+
+constexpr TableId kA = 1;
+constexpr TableId kB = 2;
+constexpr FieldId kF = 0;
+constexpr FieldId kG = 1;
+
+TEST(StateImageTest, RoundTripsIntoEmptyStore) {
+  VersionedStore src;
+  src.put({kA, 1}, Row{{kF, 10}, {kG, 20}}, 0);
+  src.put({kA, 2}, Row{{kF, -5}}, 1);
+  src.put({kB, 7}, Row{{kF, 42}}, 2);
+
+  const std::string image = serialize_visible(src);
+  EXPECT_EQ(image_state_hash(image), src.state_hash());
+
+  VersionedStore dst;
+  restore_visible(dst, image, 0);
+  EXPECT_EQ(dst.state_hash(), src.state_hash());
+  ASSERT_NE(dst.get({kA, 1}), nullptr);
+  EXPECT_EQ(dst.get({kA, 1})->at(kG), 20);
+  EXPECT_EQ(dst.get({kB, 7})->at(kF), 42);
+}
+
+TEST(StateImageTest, CanonicalBytesIgnoreWriteOrderAndDeadVersions) {
+  VersionedStore a;
+  a.put({kA, 1}, Row{{kF, 1}}, 0);
+  a.put({kA, 2}, Row{{kF, 2}}, 0);
+  a.put({kA, 1}, Row{{kF, 9}}, 1);  // overwrites; old version is dead
+
+  VersionedStore b;
+  b.put({kA, 2}, Row{{kF, 2}}, 0);  // different write order, same visible state
+  b.put({kA, 1}, Row{{kF, 9}}, 0);
+
+  EXPECT_EQ(serialize_visible(a), serialize_visible(b));
+}
+
+TEST(StateImageTest, TombstonesAreInvisibleInImages) {
+  VersionedStore src;
+  src.put({kA, 1}, Row{{kF, 1}}, 0);
+  src.put({kA, 2}, Row{{kF, 2}}, 0);
+  src.del({kA, 2}, 1);
+
+  VersionedStore dst;
+  restore_visible(dst, serialize_visible(src), 0);
+  EXPECT_EQ(dst.get({kA, 2}), nullptr);
+  EXPECT_EQ(dst.state_hash(), src.state_hash());
+}
+
+TEST(StateImageTest, RestoreReconcilesDivergedState) {
+  VersionedStore truth;
+  truth.put({kA, 1}, Row{{kF, 10}}, 0);
+  truth.put({kA, 2}, Row{{kF, 20}}, 0);
+  const std::string image = serialize_visible(truth);
+
+  // A diverged replica: one stale row, one corrupt row, one extra row.
+  VersionedStore bad;
+  bad.put({kA, 1}, Row{{kF, 10}}, 0);   // matches (left untouched)
+  bad.put({kA, 2}, Row{{kF, 999}}, 1);  // corrupt (overwritten)
+  bad.put({kB, 3}, Row{{kF, 7}}, 2);    // extra (tombstoned)
+
+  restore_visible(bad, image, 3);
+  EXPECT_EQ(bad.state_hash(), truth.state_hash());
+  EXPECT_EQ(bad.get({kA, 2})->at(kF), 20);
+  EXPECT_EQ(bad.get({kB, 3}), nullptr);
+}
+
+TEST(StateImageTest, SnapshotSelectsHistoricalState) {
+  VersionedStore src;
+  src.put({kA, 1}, Row{{kF, 1}}, 1);
+  src.put({kA, 1}, Row{{kF, 2}}, 2);
+
+  const std::string at1 = serialize_visible(src, 1);
+  const std::string at2 = serialize_visible(src, 2);
+  EXPECT_NE(at1, at2);
+
+  VersionedStore dst;
+  restore_visible(dst, at1, 0);
+  EXPECT_EQ(dst.get({kA, 1})->at(kF), 1);
+}
+
+TEST(StateImageTest, EmptyStoreRoundTrips) {
+  VersionedStore src;
+  VersionedStore dst;
+  dst.put({kA, 5}, Row{{kF, 3}}, 0);  // must be tombstoned by the restore
+  restore_visible(dst, serialize_visible(src), 1);
+  EXPECT_EQ(dst.get({kA, 5}), nullptr);
+  EXPECT_EQ(dst.state_hash(), src.state_hash());
+}
+
+}  // namespace
+}  // namespace prog::store
