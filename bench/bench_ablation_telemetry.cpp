@@ -1,0 +1,203 @@
+// Ablation — telemetry zero-overhead guard (DESIGN.md §9).
+//
+// EngineConfig::telemetry promises a hot path of relaxed atomic adds: the
+// per-attempt work is one histogram observe (two relaxed fetch_adds) and the
+// per-batch work is a fixed handful of counter adds at finalize_stats().
+// This bench measures the promise and *fails* (non-zero exit) when the
+// wall-clock overhead of telemetry=on exceeds kMaxOverheadPct on either
+// workload, so CI catches an accidentally-hot instrument (e.g. a mutex or a
+// per-attempt label canonicalization sneaking into run_batch).
+//
+// Methodology: identical request streams (same seed, fresh context per run)
+// executed with real worker threads, timed in *process CPU time*
+// (CLOCK_PROCESS_CPUTIME_ID, all threads): instrument cost is CPU work, and
+// CPU time — unlike wall time — is not inflated when a loaded CI host
+// preempts the bench. Because batch i of every repeat is byte-identical
+// work, the per-config cost is the sum over batches of the *element-wise
+// minimum* batch time across interleaved repeats: each batch's floor is the
+// repeat where the host disturbed it least, which damps residual noise
+// (cache pollution, frequency steps) far better than min-of-totals or the
+// mean, while telemetry overhead — a fixed per-attempt cost — survives
+// every minimum. A determinism cross-check asserts telemetry never changes
+// execution: committed/rounds must be identical on vs off.
+#include <ctime>
+
+#include <cstdint>
+#include <iostream>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "benchutil/table.hpp"
+#include "cases.hpp"
+#include "obs/metrics.hpp"
+
+namespace {
+
+constexpr double kMaxOverheadPct = 3.0;
+
+/// CPU time consumed by all threads of this process, in microseconds.
+double process_cpu_us() {
+  timespec ts{};
+  clock_gettime(CLOCK_PROCESS_CPUTIME_ID, &ts);
+  return static_cast<double>(ts.tv_sec) * 1e6 +
+         static_cast<double>(ts.tv_nsec) * 1e-3;
+}
+
+struct RunCost {
+  std::vector<double> batch_us;  // wall time per measured batch
+  std::uint64_t committed = 0;   // determinism witness
+  std::uint64_t rounds = 0;
+  std::size_t series = 0;  // registry size (telemetry on only)
+};
+
+/// Element-wise minimum accumulator: batch i's floor across repeats.
+void fold_min(std::vector<double>& acc, const std::vector<double>& run) {
+  if (acc.empty()) {
+    acc = run;
+    return;
+  }
+  for (std::size_t i = 0; i < acc.size(); ++i) {
+    if (run[i] < acc[i]) acc[i] = run[i];
+  }
+}
+
+double sum(const std::vector<double>& v) {
+  double s = 0;
+  for (double x : v) s += x;
+  return s;
+}
+
+/// Executes warmup+measured batches on a fresh context and times the
+/// measured ones. The request stream depends only on the factory seed, so
+/// on/off runs execute byte-identical work.
+RunCost run_once(const prog::benchutil::CaseFactory& factory,
+                 prog::sched::EngineConfig cfg, std::size_t batch_size,
+                 int warmup, int measured) {
+  auto ctx = factory(cfg);
+  RunCost out;
+  for (int i = 0; i < warmup; ++i) {
+    ctx->database().execute(ctx->make_batch(batch_size));
+  }
+  for (int i = 0; i < measured; ++i) {
+    auto batch = ctx->make_batch(batch_size);
+    const double t0 = process_cpu_us();
+    const auto r = ctx->database().execute(std::move(batch));
+    out.batch_us.push_back(process_cpu_us() - t0);
+    out.committed += r.committed;
+    out.rounds += r.rounds;
+  }
+  if (const prog::obs::Registry* reg = ctx->database().telemetry()) {
+    out.series = reg->snapshot().size();
+  }
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  using namespace prog;
+  const bool fast = benchutil::fast_mode();
+  const int repeats = fast ? 5 : 7;
+  const int warmup = 2;
+  const int measured = fast ? 10 : 20;
+
+  struct Case {
+    std::string name;
+    benchutil::CaseFactory factory;
+    std::size_t batch_size;
+  };
+  const Case cases[] = {
+      {"tpcc-4wh", bench::tpcc_factory(4), fast ? 256u : 512u},
+      {"catalog-mix/p8", bench::catalog_factory(8), fast ? 512u : 1024u},
+  };
+
+  // Two workers exercise the cross-thread instrument path (relaxed atomics
+  // from concurrent workers) without oversubscribing small CI hosts, where
+  // scheduler noise would drown the signal the gate is after.
+  sched::EngineConfig base;
+  base.workers = 2;
+
+  benchutil::Table table({"workload", "batch size", "cpu us/batch off",
+                          "cpu us/batch on", "overhead %", "series"});
+  int failures = 0;
+  for (const Case& c : cases) {
+    struct Outcome {
+      double off_us = 0, on_us = 0, overhead = 0;
+      std::size_t series = 0;
+      bool determinism_broken = false;
+    };
+    // One full interleaved measurement: off/on repeats with alternating
+    // order so slow drifts (thermal, host load, allocator growth) hit both
+    // configs symmetrically; per-config cost is the element-wise batch
+    // floor.
+    auto measure = [&]() -> Outcome {
+      Outcome out;
+      std::vector<double> floor_off, floor_on;
+      for (int r = 0; r < repeats; ++r) {
+        sched::EngineConfig off = base;
+        off.telemetry = false;
+        sched::EngineConfig on = base;
+        on.telemetry = true;
+        RunCost ro, rn;
+        if (r % 2 == 0) {
+          ro = run_once(c.factory, off, c.batch_size, warmup, measured);
+          rn = run_once(c.factory, on, c.batch_size, warmup, measured);
+        } else {
+          rn = run_once(c.factory, on, c.batch_size, warmup, measured);
+          ro = run_once(c.factory, off, c.batch_size, warmup, measured);
+        }
+        // Telemetry must be an observer: identical logical outcomes.
+        if (std::tie(ro.committed, ro.rounds) !=
+            std::tie(rn.committed, rn.rounds)) {
+          std::cerr << "FAIL: " << c.name
+                    << ": telemetry changed execution (committed "
+                    << ro.committed << " vs " << rn.committed << ", rounds "
+                    << ro.rounds << " vs " << rn.rounds << ")\n";
+          out.determinism_broken = true;
+          return out;
+        }
+        fold_min(floor_off, ro.batch_us);
+        fold_min(floor_on, rn.batch_us);
+        out.series = rn.series;
+      }
+      out.off_us = sum(floor_off) / measured;
+      out.on_us = sum(floor_on) / measured;
+      out.overhead = (out.on_us - out.off_us) / out.off_us * 100.0;
+      return out;
+    };
+    Outcome best = measure();
+    // A breach is re-measured before it fails the gate: a real per-attempt
+    // cost repeats on every attempt, while a burst of host load does not.
+    // Keep the *minimum* observed overhead — the measurement least
+    // disturbed by the environment.
+    for (int attempt = 0;
+         attempt < 2 && !best.determinism_broken &&
+         best.overhead > kMaxOverheadPct;
+         ++attempt) {
+      const Outcome retry = measure();
+      if (retry.determinism_broken) {
+        best = retry;
+        break;
+      }
+      if (retry.overhead < best.overhead) best = retry;
+    }
+    if (best.determinism_broken) return 1;
+    const double overhead = best.overhead;
+    table.row({c.name, std::to_string(c.batch_size),
+               benchutil::fmt(best.off_us, 1), benchutil::fmt(best.on_us, 1),
+               benchutil::fmt(overhead, 2), std::to_string(best.series)});
+    if (overhead > kMaxOverheadPct) {
+      std::cerr << "FAIL: " << c.name << ": telemetry overhead "
+                << benchutil::fmt(overhead, 2) << "% exceeds the "
+                << benchutil::fmt(kMaxOverheadPct, 1) << "% budget\n";
+      ++failures;
+    }
+  }
+  std::cout << "=== Ablation: telemetry overhead guard (budget "
+            << benchutil::fmt(kMaxOverheadPct, 1) << "%) ===\n";
+  table.print();
+  if (failures != 0) return 1;
+  std::cout << "telemetry overhead within budget\n";
+  return 0;
+}

@@ -27,6 +27,7 @@ ChaosReport run_chaos(ReplicatedDb& rdb, const BatchFn& make_batch,
   std::vector<NodeState> st(n, NodeState::kUp);
   unsigned down = 0;
   SimNet& net = rdb.raft().net();
+  obs::ReplicaMetrics& cm = rdb.replica_metrics();
 
   auto note = [&](const std::string& what) {
     std::ostringstream os;
@@ -48,6 +49,7 @@ ChaosReport run_chaos(ReplicatedDb& rdb, const BatchFn& make_batch,
     if (net.partitioned()) {
       net.heal();
       ++rep.events.heals;
+      cm.chaos_heals->inc();
       note("heal partition");
       return;
     }
@@ -67,6 +69,7 @@ ChaosReport run_chaos(ReplicatedDb& rdb, const BatchFn& make_batch,
     st[v] = NodeState::kUp;
     --down;
     ++rep.events.restarts;
+    cm.chaos_restarts->inc();
   };
 
   for (unsigned round = 0; round < opts.rounds; ++round) {
@@ -80,6 +83,7 @@ ChaosReport run_chaos(ReplicatedDb& rdb, const BatchFn& make_batch,
           st[static_cast<std::size_t>(v)] = NodeState::kCrashed;
           ++down;
           ++rep.events.crashes;
+          cm.chaos_crashes->inc();
           note("crash replica " + std::to_string(v));
         }
       }
@@ -91,6 +95,7 @@ ChaosReport run_chaos(ReplicatedDb& rdb, const BatchFn& make_batch,
           st[static_cast<std::size_t>(v)] = NodeState::kPaused;
           ++down;
           ++rep.events.pauses;
+          cm.chaos_pauses->inc();
           note("pause node " + std::to_string(v));
         }
       }
@@ -113,6 +118,7 @@ ChaosReport run_chaos(ReplicatedDb& rdb, const BatchFn& make_batch,
         who << " }";
         net.partition(std::move(group));
         ++rep.events.partitions;
+        cm.chaos_partitions->inc();
         note(who.str());
       }
     } else if (roll < (acc += opts.heal_pct)) {
@@ -121,6 +127,7 @@ ChaosReport run_chaos(ReplicatedDb& rdb, const BatchFn& make_batch,
       net.drop_burst(net.now(), net.now() + opts.burst_len_ms,
                      opts.burst_drop_percent);
       ++rep.events.bursts;
+      cm.chaos_bursts->inc();
       note("drop burst " + std::to_string(opts.burst_drop_percent) + "% for " +
            std::to_string(opts.burst_len_ms) + "ms");
     }
@@ -139,16 +146,19 @@ ChaosReport run_chaos(ReplicatedDb& rdb, const BatchFn& make_batch,
   if (net.partitioned()) {
     net.heal();
     ++rep.events.heals;
+    cm.chaos_heals->inc();
     note("final heal");
   }
   for (NodeId i = 0; i < n; ++i) {
     if (st[i] == NodeState::kCrashed) {
       rdb.restart_replica(i);
       ++rep.events.restarts;
+      cm.chaos_restarts->inc();
       note("final restart replica " + std::to_string(i));
     } else if (st[i] == NodeState::kPaused) {
       rdb.raft().restart(i);
       ++rep.events.restarts;
+      cm.chaos_restarts->inc();
       note("final resume node " + std::to_string(i));
     }
     st[i] = NodeState::kUp;
@@ -166,6 +176,17 @@ ChaosReport run_chaos(ReplicatedDb& rdb, const BatchFn& make_batch,
   rep.batches_submitted = rdb.batches_submitted();
   rep.batches_applied = rdb.raft().applied(0).size();
   rep.recovery = rdb.recovery_stats();
+
+  // Telemetry divergence oracle: at quiescence every replica's deterministic
+  // counter snapshot must be byte-identical (DESIGN.md §9).
+  rep.counter_snapshot = rdb.deterministic_counter_snapshot(0);
+  rep.counters_match = rep.converged && !rep.counter_snapshot.empty();
+  for (NodeId i = 1; i < n; ++i) {
+    if (rdb.deterministic_counter_snapshot(i) != rep.counter_snapshot) {
+      rep.counters_match = false;
+    }
+  }
+  rdb.refresh_gauges();
   return rep;
 }
 

@@ -65,7 +65,14 @@ struct ChaosReport {
   bool converged = false;
   /// Every replica's state hash is identical (and nonzero).
   bool hashes_match = false;
-  bool ok() const noexcept { return converged && hashes_match; }
+  /// Every replica's deterministic-counter snapshot is byte-identical at
+  /// quiescence (telemetry divergence oracle, DESIGN.md §9). Catches
+  /// counting nondeterminism — e.g. a restore double-counting replayed
+  /// batches — even when the state hashes still agree.
+  bool counters_match = false;
+  bool ok() const noexcept {
+    return converged && hashes_match && counters_match;
+  }
 
   std::uint64_t state_hash = 0;
   std::size_t batches_submitted = 0;
@@ -73,6 +80,9 @@ struct ChaosReport {
   std::size_t submit_failures = 0;
   ChaosEventCounts events;
   RecoveryStats recovery;
+  /// Replica 0's deterministic-counter snapshot at quiescence (canonical
+  /// `name{labels} value` lines) — the value every replica must agree on.
+  std::string counter_snapshot;
   /// Deterministic human-readable fault schedule ("t=1200 crash replica 2").
   std::vector<std::string> trace;
 };

@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "consensus/raft.hpp"
+#include "sched/engine.hpp"
 
 namespace prog::consensus {
 
@@ -36,6 +37,14 @@ struct Checkpoint {
   /// Commands (batch ids) applied to reach this state, in order — the
   /// applied record a rejoining node fast-forwards to.
   std::vector<Command> command_prefix;
+  /// Cumulative deterministic engine counters at this boundary. Restoring a
+  /// checkpoint resets the replica's stats baseline to this value, so a
+  /// batch replayed after a restore is counted exactly once — the
+  /// deterministic-counter snapshot (telemetry divergence oracle, DESIGN.md
+  /// §9) stays byte-identical to a replica that never crashed. Only the
+  /// deterministic fields matter for that contract; timing fields in
+  /// EngineStats are zero by construction (EngineStats holds counts only).
+  sched::EngineStats engine_stats{};
 };
 
 /// Retention-bounded collection of checkpoints, keyed (batch_seq, hash).

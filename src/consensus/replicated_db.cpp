@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "common/check.hpp"
+#include "obs/engine_metrics.hpp"
 #include "store/snapshot.hpp"
 
 namespace prog::consensus {
@@ -18,6 +19,8 @@ ReplicatedDb::ReplicatedDb(unsigned replicas, std::uint64_t seed,
       cp_stores_(replicas),
       carried_stats_(replicas),
       quarantined_(replicas, 0),
+      registry_(std::make_shared<obs::Registry>()),
+      rm_(obs::ReplicaMetrics::create(*registry_)),
       cluster_(replicas, seed, net_opts,
                [this](NodeId node, LogIndex idx, Command cmd) {
                  apply(node, idx, cmd);
@@ -50,6 +53,7 @@ bool ReplicatedDb::submit_batch(std::vector<sched::TxRequest> batch) {
     return false;
   }
   ++next_cmd_;
+  rm_.batches_submitted->inc();
   return true;
 }
 
@@ -62,6 +66,7 @@ bool ReplicatedDb::submit_with_retry(std::vector<sched::TxRequest> batch,
   while (true) {
     if (cluster_.submit(cmd)) {
       ++next_cmd_;
+      rm_.batches_submitted->inc();
       return true;
     }
     if (waited >= max_wait_ms) {
@@ -74,6 +79,7 @@ bool ReplicatedDb::submit_with_retry(std::vector<sched::TxRequest> batch,
     step = std::min<SimTime>(step * 2,
                              std::max<SimTime>(opts_.retry_max_step_ms, 1));
     ++stats_.submit_retries;
+    rm_.submit_retries->inc();
   }
 }
 
@@ -99,6 +105,7 @@ std::size_t ReplicatedDb::reclaim_superseded() {
     }
   }
   stats_.pool_reclaimed += reclaimed;
+  rm_.pool_reclaimed->inc(reclaimed);
   return reclaimed;
 }
 
@@ -126,6 +133,7 @@ void ReplicatedDb::apply(NodeId node, LogIndex idx, Command cmd) {
   // Copy: every replica consumes its own instance of the batch.
   std::vector<sched::TxRequest> batch = pool_batch(cmd);
   replicas_[node]->execute(std::move(batch));
+  rm_.batches_applied->inc();
   if (opts_.divergence_check) check_divergence(node, idx);
   if (quarantined_[node] != 0) return;  // divergence handling took over
   if (opts_.checkpoint_interval > 0 && idx % opts_.checkpoint_interval == 0) {
@@ -150,6 +158,8 @@ void ReplicatedDb::check_divergence(NodeId node, LogIndex idx) {
   if (*rec == hash) return;
   ++stats_.divergences_detected;
   ++stats_.quarantines;
+  rm_.divergences->inc();
+  rm_.quarantines->inc();
   quarantined_[node] = 1;
   resync(node);
 }
@@ -164,8 +174,12 @@ void ReplicatedDb::take_checkpoint(NodeId node, LogIndex idx) {
   cp.state_hash = replicas_[node]->state_hash();
   cp.image = store::serialize_visible(replicas_[node]->store());
   cp.command_prefix = prefix;
+  // Stats baseline at the boundary: carried + live. Deterministic (counts
+  // only), so every replica's checkpoint at `idx` carries the same values.
+  cp.engine_stats = replica_engine_stats(node);
   cp_stores_[node].add(std::move(cp), opts_.max_checkpoints);
   ++stats_.checkpoints_taken;
+  rm_.checkpoints->inc();
 
   if (!opts_.compact_logs) return;
   // Compact to the newest checkpoint boundary at or below idx -
@@ -210,10 +224,17 @@ void ReplicatedDb::restart_replica(NodeId i) {
     replicas_[i]->restore_state(cp->image);
     cluster_.node(i).install_local_snapshot(cp->batch_seq, cp->term);
     cluster_.reset_applied(i, cp->command_prefix);
+    // Reset the stats baseline to the checkpoint's own snapshot (discarding
+    // the crash-time fold): the post-checkpoint suffix is about to be
+    // replayed and must be counted exactly once.
+    carried_stats_[i] = cp->engine_stats;
     ++stats_.checkpoint_restores;
+    rm_.checkpoint_restores->inc();
   } else {
     cluster_.reset_applied(i, {});
+    carried_stats_[i] = {};  // full replay recounts everything from zero
     ++stats_.full_rebuilds;
+    rm_.full_rebuilds->inc();
   }
   // The committed suffix streams back in from the leader on its next
   // heartbeat (AppendEntries, or InstallSnapshot when compacted past us).
@@ -227,12 +248,20 @@ void ReplicatedDb::on_install(NodeId follower, NodeId leader, LogIndex upto) {
   const Checkpoint* cp = cp_stores_[leader].latest_at_or_before(upto);
   PROG_CHECK_MSG(cp != nullptr && cp->batch_seq == upto,
                  "leader compacted its log past its own checkpoint store");
+  // Rebuild rather than patch: the follower's engine counters cover whatever
+  // prefix it executed locally, which the transferred image supersedes. A
+  // fresh engine plus the checkpoint-carried baseline keeps
+  // replica_engine_stats logical (each batch in the agreed prefix counted
+  // exactly once).
+  replicas_[follower] = build_replica();
   replicas_[follower]->restore_state(cp->image);
+  carried_stats_[follower] = cp->engine_stats;
   // The transferred image is also a valid local checkpoint for the follower
   // (determinism: identical bytes regardless of which replica produced it).
   cp_stores_[follower].add(*cp, opts_.max_checkpoints);
   quarantined_[follower] = 0;
   ++stats_.snapshot_installs;
+  rm_.snapshot_installs->inc();
 }
 
 // --- divergence re-sync ------------------------------------------------------
@@ -244,7 +273,6 @@ bool ReplicatedDb::resync(NodeId i) {
   const std::vector<Command> cmds = cluster_.applied(i);
   const LogIndex upto = static_cast<LogIndex>(cmds.size());
 
-  fold_stats(i);
   replicas_[i] = build_replica();
 
   // Newest checkpoint whose (batch_seq, hash) the recorded history vouches
@@ -262,13 +290,21 @@ bool ReplicatedDb::resync(NodeId i) {
     }
   }
 
+  // The rebuilt replica's stats baseline is the trusted checkpoint's (or
+  // zero for a full replay). The diverged instance's counters are discarded
+  // with its state — the logical record covers only the trusted prefix plus
+  // the replay below, which is exactly what a healthy replica counted.
   LogIndex start = 0;
   if (trusted != nullptr) {
     replicas_[i]->restore_state(trusted->image);
+    carried_stats_[i] = trusted->engine_stats;
     start = trusted->batch_seq;
     ++stats_.checkpoint_restores;
+    rm_.checkpoint_restores->inc();
   } else {
+    carried_stats_[i] = {};
     ++stats_.full_rebuilds;
+    rm_.full_rebuilds->inc();
   }
   for (LogIndex k = start; k < upto; ++k) {
     std::vector<sched::TxRequest> batch =
@@ -283,8 +319,51 @@ bool ReplicatedDb::resync(NodeId i) {
     ok = rec.has_value() && *rec == replicas_[i]->state_hash();
   }
   quarantined_[i] = ok ? 0 : 1;
-  if (ok && was_quarantined) ++stats_.resyncs;
+  if (ok && was_quarantined) {
+    ++stats_.resyncs;
+    rm_.resyncs->inc();
+  }
   return ok;
+}
+
+// --- telemetry ---------------------------------------------------------------
+
+void ReplicatedDb::refresh_gauges() {
+  const unsigned n = cluster_.size();
+  std::size_t min_applied = static_cast<std::size_t>(next_cmd_);
+  unsigned down = 0;
+  unsigned quar = 0;
+  for (NodeId i = 0; i < n; ++i) {
+    if (replicas_[i] == nullptr) {
+      ++down;
+      continue;
+    }
+    if (quarantined_[i] != 0) ++quar;
+    min_applied = std::min(min_applied, cluster_.applied(i).size());
+  }
+  rm_.batch_lag->set(static_cast<std::int64_t>(next_cmd_) -
+                     static_cast<std::int64_t>(min_applied));
+  rm_.replicas_down->set(down);
+  rm_.replicas_quarantined->set(quar);
+}
+
+std::string ReplicatedDb::deterministic_counter_snapshot(unsigned i) const {
+  const sched::EngineStats s = replica_engine_stats(i);
+  // A private registry populated through the same handles the engine uses:
+  // the snapshot's families, labels, and ordering match the live telemetry
+  // exactly, so it can be diffed against a scrape.
+  obs::Registry reg;
+  obs::EngineMetrics em = obs::EngineMetrics::create(reg);
+  em.batches->inc(s.batches);
+  em.rounds->inc(s.rounds);
+  em.mf_fallback_txns->inc(s.mf_fallback_txns);
+  em.mf_fallback_batches->inc(s.mf_fallback_batches);
+  for (unsigned c = 0; c < obs::kTxClasses; ++c) {
+    em.committed[c]->inc(s.committed_by_class[c]);
+    em.rolled_back[c]->inc(s.rolled_back_by_class[c]);
+    em.validation_aborts[c]->inc(s.validation_aborts_by_class[c]);
+  }
+  return reg.serialize_deterministic();
 }
 
 }  // namespace prog::consensus

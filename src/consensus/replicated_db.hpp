@@ -38,6 +38,8 @@
 #include "consensus/checkpoint.hpp"
 #include "consensus/raft.hpp"
 #include "db/database.hpp"
+#include "obs/metrics.hpp"
+#include "obs/replica_metrics.hpp"
 
 namespace prog::consensus {
 
@@ -150,12 +152,39 @@ class ReplicatedDb {
   std::size_t batches_submitted() const noexcept {
     return static_cast<std::size_t>(next_cmd_);
   }
-  /// Cumulative engine counters for replica `i`, surviving rebuilds.
+  /// Cumulative *logical* engine counters for replica `i`, surviving
+  /// rebuilds: the baseline carried across a restore is the checkpoint's own
+  /// stats snapshot, so batches replayed after a crash/restore/install are
+  /// counted exactly once. At quiescence (equal applied prefixes) the result
+  /// is identical on every replica — the deterministic-counter divergence
+  /// oracle builds on this (see deterministic_counter_snapshot).
   sched::EngineStats replica_engine_stats(unsigned i) const {
     sched::EngineStats s = carried_stats_[i];
     if (replicas_[i] != nullptr) s += replicas_[i]->engine_stats();
     return s;
   }
+
+  /// Canonical text serialization of replica `i`'s deterministic engine
+  /// counters (obs::Registry::serialize_deterministic over a registry
+  /// populated from replica_engine_stats). Byte-identical across replicas
+  /// that applied the same batch prefix — a cheap cross-replica divergence
+  /// oracle that catches counting nondeterminism even when state hashes
+  /// still agree. Works whether or not EngineConfig::telemetry is on
+  /// (EngineStats is always maintained).
+  std::string deterministic_counter_snapshot(unsigned i) const;
+
+  /// Cluster-level telemetry registry (recovery/chaos counters + gauges).
+  /// Always maintained: every update is cold-path.
+  obs::Registry& telemetry() noexcept { return *registry_; }
+  const obs::Registry& telemetry() const noexcept { return *registry_; }
+  /// Pre-resolved handles into telemetry() — the chaos harness increments
+  /// the chaos_* event counters through this.
+  obs::ReplicaMetrics& replica_metrics() noexcept { return rm_; }
+
+  /// Recomputes the cluster gauges (batch lag, replicas down/quarantined)
+  /// from current state. Called by exporters/dashboards before scraping.
+  void refresh_gauges();
+
   const RecoveryOptions& recovery_options() const noexcept { return opts_; }
 
  private:
@@ -184,6 +213,10 @@ class ReplicatedDb {
   /// real deployment this hash rides on AppendEntries.
   std::vector<std::optional<std::uint64_t>> hash_history_;
   RecoveryStats stats_;
+  /// Cluster telemetry. Initialized before cluster_ (whose apply callbacks
+  /// update the counters).
+  std::shared_ptr<obs::Registry> registry_;
+  obs::ReplicaMetrics rm_;
   /// Last member: its callbacks touch everything above.
   RaftCluster cluster_;
 };

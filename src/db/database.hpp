@@ -88,6 +88,15 @@ class Database {
   std::shared_ptr<const sym::Prediction> predict_client(
       sched::ProcId id, const lang::TxInput& input) const;
 
+  /// Engine telemetry registry, or nullptr before finalize() or when
+  /// EngineConfig::telemetry is off (DESIGN.md §9).
+  const obs::Registry* telemetry() const noexcept {
+    return engine_ != nullptr ? engine_->telemetry() : nullptr;
+  }
+  obs::Registry* telemetry() noexcept {
+    return engine_ != nullptr ? engine_->telemetry() : nullptr;
+  }
+
   const sched::EngineConfig& config() const noexcept { return config_; }
   bool finalized() const noexcept { return engine_ != nullptr; }
 

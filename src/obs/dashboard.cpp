@@ -1,0 +1,198 @@
+#include "obs/dashboard.hpp"
+
+#include "obs/engine_metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace prog::obs {
+
+namespace {
+
+std::string fmt_si(double v) {
+  std::ostringstream os;
+  os.setf(std::ios::fixed);
+  if (std::fabs(v) >= 1e6) {
+    os.precision(2);
+    os << v / 1e6 << "M";
+  } else if (std::fabs(v) >= 1e3) {
+    os.precision(1);
+    os << v / 1e3 << "k";
+  } else {
+    os.precision(v == std::floor(v) ? 0 : 1);
+    os << v;
+  }
+  return os.str();
+}
+
+std::string fmt_ms(double us) {
+  std::ostringstream os;
+  os.setf(std::ios::fixed);
+  os.precision(2);
+  os << us / 1000.0 << "ms";
+  return os.str();
+}
+
+std::string pct(double num, double den) {
+  if (den <= 0) return "-";
+  std::ostringstream os;
+  os.setf(std::ios::fixed);
+  os.precision(1);
+  os << 100.0 * num / den << "%";
+  return os.str();
+}
+
+/// Quantile over a *windowed* (delta) histogram.
+double delta_quantile(const std::vector<std::uint64_t>& cur,
+                      const std::vector<std::uint64_t>& prev, double q) {
+  MetricSnapshot tmp;
+  tmp.kind = MetricKind::kHistogram;
+  tmp.buckets.resize(cur.size());
+  std::uint64_t n = 0;
+  for (std::size_t i = 0; i < cur.size(); ++i) {
+    const std::uint64_t p = i < prev.size() ? prev[i] : 0;
+    tmp.buckets[i] = cur[i] >= p ? cur[i] - p : 0;
+    n += tmp.buckets[i];
+  }
+  tmp.count = n;
+  return snapshot_quantile(tmp, q);
+}
+
+}  // namespace
+
+Dashboard::Table Dashboard::index(const std::vector<MetricSnapshot>& snap) {
+  Table t;
+  for (const MetricSnapshot& s : snap) {
+    Cell c;
+    c.value = s.value;
+    c.count = s.count;
+    c.sum = s.sum;
+    c.buckets = s.buckets;
+    t.emplace(s.name + '|' + s.labels, std::move(c));
+  }
+  return t;
+}
+
+const Dashboard::Cell* Dashboard::cell(const std::string& key) const {
+  auto it = cur_.find(key);
+  return it == cur_.end() ? nullptr : &it->second;
+}
+
+const Dashboard::Cell* Dashboard::prev_cell(const std::string& key) const {
+  auto it = prev_.find(key);
+  return it == prev_.end() ? nullptr : &it->second;
+}
+
+void Dashboard::tick(const std::vector<MetricSnapshot>& snap,
+                     double elapsed_s) {
+  prev_ = std::move(cur_);
+  cur_ = index(snap);
+  elapsed_s_ = elapsed_s;
+  ++ticks_;
+}
+
+std::string Dashboard::render() const {
+  auto val = [&](const std::string& key) -> std::int64_t {
+    const Cell* c = cell(key);
+    return c == nullptr ? 0 : c->value;
+  };
+  auto delta = [&](const std::string& key) -> double {
+    const Cell* c = cell(key);
+    if (c == nullptr) return 0;
+    const Cell* p = prev_cell(key);
+    return static_cast<double>(c->value - (p == nullptr ? 0 : p->value));
+  };
+  auto hist_delta = [&](const std::string& key, double& cnt, double& sum) {
+    const Cell* c = cell(key);
+    const Cell* p = prev_cell(key);
+    cnt = c == nullptr
+              ? 0
+              : static_cast<double>(c->count - (p == nullptr ? 0 : p->count));
+    sum = c == nullptr
+              ? 0
+              : static_cast<double>(c->sum - (p == nullptr ? 0 : p->sum));
+  };
+
+  const double dt = elapsed_s_ > 0 ? elapsed_s_ : 1.0;
+  double committed = 0, aborts = 0;
+  double by_class[kTxClasses] = {};
+  for (unsigned c = 0; c < kTxClasses; ++c) {
+    const std::string cls = std::string("class=\"") + kTxClassNames[c] + '"';
+    by_class[c] = delta("engine_txn_committed_total|" + cls);
+    committed += by_class[c];
+    aborts += delta("engine_txn_validation_aborts_total|" + cls);
+  }
+  const double batches = delta("engine_batches_total|");
+  const double rounds = delta("engine_rounds_total|");
+
+  double p50 = 0, p99 = 0;
+  {
+    const Cell* c = cell("engine_batch_wall_us|");
+    const Cell* p = prev_cell("engine_batch_wall_us|");
+    static const std::vector<std::uint64_t> kEmpty;
+    if (c != nullptr) {
+      const auto& pb = p == nullptr ? kEmpty : p->buckets;
+      p50 = delta_quantile(c->buckets, pb, 0.50);
+      p99 = delta_quantile(c->buckets, pb, 0.99);
+    }
+  }
+
+  std::vector<std::string> lines;
+  lines.push_back("batches  " + fmt_si(batches) + "  (" +
+                  fmt_si(batches / dt) + "/s)    txns  " + fmt_si(committed) +
+                  "  (" + fmt_si(committed / dt) + "/s)");
+  lines.push_back("batch latency  p50 " + fmt_ms(p50) + "   p99 " +
+                  fmt_ms(p99));
+  lines.push_back(
+      "aborts  " + pct(aborts, committed + aborts) + "    rounds/batch  " +
+      (batches > 0 ? fmt_si(rounds / batches) : std::string("-")));
+  lines.push_back("commit mix  rot " + pct(by_class[0], committed) + "  it " +
+                  pct(by_class[1], committed) + "  dt " +
+                  pct(by_class[2], committed));
+  {
+    std::string phases = "phase us/batch ";
+    for (const char* ph :
+         {"prepare", "enqueue", "execute", "validate", "mf_rounds",
+          "sf_tail"}) {
+      double cnt = 0, sum = 0;
+      hist_delta(std::string("engine_phase_us|phase=\"") + ph + '"', cnt,
+                 sum);
+      const double denom = batches > 0 ? batches : 1;
+      phases += std::string(" ") + (ph[0] == 'm' ? "mf" : ph) + " " +
+                fmt_si(sum / denom);
+    }
+    lines.push_back(phases);
+  }
+  lines.push_back(
+      "queues  lock-table " + fmt_si(static_cast<double>(
+                                  val("engine_lock_table_depth|"))) +
+      "   ready " +
+      fmt_si(static_cast<double>(val("engine_ready_queue_depth|"))));
+  // Replica section (present only when consensus families are registered).
+  if (cell("replica_batch_lag|") != nullptr ||
+      cell("replica_checkpoints_total|") != nullptr) {
+    lines.push_back(
+        "replicas  lag " + fmt_si(static_cast<double>(
+                               val("replica_batch_lag|"))) +
+        "   checkpoints " +
+        fmt_si(static_cast<double>(val("replica_checkpoints_total|"))) +
+        "   installs " +
+        fmt_si(static_cast<double>(val("replica_snapshot_installs_total|"))) +
+        "   quarantines " +
+        fmt_si(static_cast<double>(val("replica_quarantines_total|"))));
+  }
+
+  std::size_t width = title_.size() + 4;
+  for (const std::string& l : lines) width = std::max(width, l.size() + 4);
+  std::string out = "+- " + title_ + ' ';
+  out += std::string(width - title_.size() - 4, '-');
+  out += "+\n";
+  for (const std::string& l : lines) {
+    out += "| " + l + std::string(width - l.size() - 3, ' ') + " |\n";
+  }
+  out += '+' + std::string(width - 1, '-') + "+\n";
+  return out;
+}
+
+}  // namespace prog::obs

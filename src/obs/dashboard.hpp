@@ -1,0 +1,51 @@
+// Live text dashboard over a metric registry (tools/progmon).
+//
+// Feed it a snapshot per refresh interval; it differences successive
+// snapshots to turn cumulative counters and histograms into windowed rates
+// and percentiles, and renders a fixed-width ASCII panel: throughput,
+// p50/p99 batch latency, abort rate, per-class commit mix, per-phase time
+// split, and queue depths. Unknown families are ignored, so the same
+// dashboard works over an engine registry, a replica registry, or a merged
+// one.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hpp"
+
+namespace prog::obs {
+
+class Dashboard {
+ public:
+  explicit Dashboard(std::string title = "progmon") : title_(std::move(title)) {}
+
+  /// Ingests the newest snapshot; `elapsed_s` is wall time since the
+  /// previous tick (<= 0 suppresses rates on the first tick).
+  void tick(const std::vector<MetricSnapshot>& snap, double elapsed_s);
+
+  /// The rendered panel for the latest tick.
+  std::string render() const;
+
+ private:
+  struct Cell {
+    std::int64_t value = 0;          // counters/gauges
+    std::uint64_t count = 0;         // histograms
+    std::int64_t sum = 0;
+    std::vector<std::uint64_t> buckets;
+  };
+  using Table = std::map<std::string, Cell>;  // "name|labels" -> cell
+
+  static Table index(const std::vector<MetricSnapshot>& snap);
+  const Cell* cell(const std::string& key) const;
+  const Cell* prev_cell(const std::string& key) const;
+
+  std::string title_;
+  double elapsed_s_ = 0;
+  Table cur_;
+  Table prev_;
+  std::uint64_t ticks_ = 0;
+};
+
+}  // namespace prog::obs

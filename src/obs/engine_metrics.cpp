@@ -1,0 +1,63 @@
+#include "obs/engine_metrics.hpp"
+
+namespace prog::obs {
+
+EngineMetrics EngineMetrics::create(Registry& reg) {
+  EngineMetrics m;
+  const Determinism det = Determinism::kDeterministic;
+
+  m.batches = &reg.counter("engine_batches_total",
+                           "Batches executed to completion", det);
+  for (unsigned c = 0; c < kTxClasses; ++c) {
+    const Labels cls = {{"class", kTxClassNames[c]}};
+    m.committed[c] = &reg.counter(
+        "engine_txn_committed_total",
+        "Transactions finished (incl. deterministic business rollbacks)", det,
+        cls);
+    m.rolled_back[c] = &reg.counter(
+        "engine_txn_rolled_back_total",
+        "Deterministic business rollbacks (AbortIf)", det, cls);
+    m.validation_aborts[c] = &reg.counter(
+        "engine_txn_validation_aborts_total",
+        "Failed executions (pivot or key-set validation), all rounds", det,
+        cls);
+    m.txn_latency_us[c] =
+        &reg.histogram("engine_txn_service_us",
+                       "Per-attempt transaction service time", cls);
+  }
+  m.rounds = &reg.counter("engine_rounds_total",
+                          "Failed-transaction re-execution rounds", det);
+  m.mf_fallback_txns =
+      &reg.counter("engine_mf_fallback_txns_total",
+                   "Transactions finished via the post-cap SF fallback", det);
+  m.mf_fallback_batches =
+      &reg.counter("engine_mf_fallback_batches_total",
+                   "Batches in which the MF round cap triggered", det);
+
+  m.batch_wall_us =
+      &reg.histogram("engine_batch_wall_us", "Batch wall-clock duration");
+  auto phase = [&](const char* name) {
+    return &reg.histogram("engine_phase_us", "Per-batch phase duration",
+                          {{"phase", name}});
+  };
+  m.phase_prepare_us = phase("prepare");
+  m.phase_enqueue_us = phase("enqueue");
+  m.phase_exec_us = phase("execute");
+  m.phase_validate_us = phase("validate");
+  m.phase_mf_us = phase("mf_rounds");
+  m.phase_sf_us = phase("sf_tail");
+  m.batch_size_txns =
+      &reg.histogram("engine_batch_size_txns", "Requests per batch");
+  m.locks_enqueued = &reg.histogram(
+      "engine_locks_enqueued", "Lock-table entries populated per batch");
+
+  m.lock_table_depth = &reg.gauge(
+      "engine_lock_table_depth",
+      "Lock-table entries right after lock population (per round)");
+  m.ready_queue_depth = &reg.gauge(
+      "engine_ready_queue_depth",
+      "Ready-queue occupancy right after lock population (per round)");
+  return m;
+}
+
+}  // namespace prog::obs

@@ -1,0 +1,53 @@
+// Pre-resolved metric handles for the execution engine (DESIGN.md §9).
+//
+// The engine resolves every family/label combination once at construction
+// (registration takes the shard mutex) and then updates raw pointers — the
+// hot-path cost of telemetry is a relaxed atomic add per event, and zero
+// when EngineConfig::telemetry is off (the engine holds no bundle at all).
+//
+// Class indexing matches sym::TxClass: 0 = rot, 1 = it, 2 = dt. The bundle
+// deliberately depends only on obs so it can also be used standalone (e.g.
+// the recovery layer rebuilds a registry from carried EngineStats to
+// serialize a replica's deterministic counter snapshot).
+#pragma once
+
+#include "obs/metrics.hpp"
+
+namespace prog::obs {
+
+inline constexpr unsigned kTxClasses = 3;
+inline const char* const kTxClassNames[kTxClasses] = {"rot", "it", "dt"};
+
+struct EngineMetrics {
+  // --- deterministic counters (pure functions of the batch sequence) -------
+  Counter* batches = nullptr;
+  Counter* committed[kTxClasses] = {};       ///< commits incl. rollbacks
+  Counter* rolled_back[kTxClasses] = {};     ///< AbortIf business rollbacks
+  Counter* validation_aborts[kTxClasses] = {};
+  Counter* rounds = nullptr;                 ///< failed-transaction rounds
+  Counter* mf_fallback_txns = nullptr;
+  Counter* mf_fallback_batches = nullptr;
+
+  // --- timing-dependent histograms (µs unless noted) -----------------------
+  Histogram* txn_latency_us[kTxClasses] = {};  ///< per-attempt service time
+  Histogram* batch_wall_us = nullptr;
+  Histogram* phase_prepare_us = nullptr;   ///< phase 1: ROTs + key-set prep
+  Histogram* phase_enqueue_us = nullptr;   ///< lock-table population
+  Histogram* phase_exec_us = nullptr;      ///< main update round
+  Histogram* phase_validate_us = nullptr;  ///< DT pivot re-validation, summed
+  Histogram* phase_mf_us = nullptr;        ///< MF re-execution rounds, summed
+  Histogram* phase_sf_us = nullptr;        ///< serial SF tail
+  Histogram* batch_size_txns = nullptr;    ///< requests per batch
+  Histogram* locks_enqueued = nullptr;     ///< lock-table entries per batch
+
+  // --- occupancy gauges (sampled at phase boundaries) ----------------------
+  Gauge* lock_table_depth = nullptr;  ///< entries after lock population
+  Gauge* ready_queue_depth = nullptr; ///< ready txns after lock population
+
+  /// Registers (idempotently) every engine family in `reg` and returns the
+  /// resolved handle bundle. Safe to call for multiple engines sharing a
+  /// registry — they then share the instruments.
+  static EngineMetrics create(Registry& reg);
+};
+
+}  // namespace prog::obs

@@ -1,0 +1,344 @@
+#include "obs/export.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <cstdlib>
+#include <map>
+#include <sstream>
+
+namespace prog::obs {
+
+namespace {
+
+bool valid_metric_name(const std::string& s) {
+  if (s.empty()) return false;
+  auto head = [](char c) {
+    return std::isalpha(static_cast<unsigned char>(c)) || c == '_' || c == ':';
+  };
+  auto tail = [&](char c) {
+    return head(c) || std::isdigit(static_cast<unsigned char>(c));
+  };
+  if (!head(s[0])) return false;
+  return std::all_of(s.begin() + 1, s.end(), tail);
+}
+
+bool valid_label_key(const std::string& s) {
+  if (s.empty()) return false;
+  auto head = [](char c) {
+    return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+  };
+  if (!head(s[0])) return false;
+  return std::all_of(s.begin() + 1, s.end(), [&](char c) {
+    return head(c) || std::isdigit(static_cast<unsigned char>(c));
+  });
+}
+
+bool valid_value(const std::string& s) {
+  if (s.empty()) return false;
+  if (s == "+Inf" || s == "-Inf" || s == "NaN") return true;
+  char* end = nullptr;
+  std::strtod(s.c_str(), &end);
+  return end != nullptr && *end == '\0';
+}
+
+/// Splits `name{labels} value` into its parts. Returns false on syntax
+/// error. Labels come back as key->value (escapes left in place).
+bool parse_sample(const std::string& line, std::string& name,
+                  std::map<std::string, std::string>& labels,
+                  std::string& value, std::string& err) {
+  std::size_t i = 0;
+  while (i < line.size() && line[i] != '{' && line[i] != ' ') ++i;
+  name = line.substr(0, i);
+  labels.clear();
+  if (i < line.size() && line[i] == '{') {
+    ++i;
+    while (i < line.size() && line[i] != '}') {
+      std::size_t eq = line.find('=', i);
+      if (eq == std::string::npos || eq + 1 >= line.size() ||
+          line[eq + 1] != '"') {
+        err = "malformed label pair";
+        return false;
+      }
+      const std::string key = line.substr(i, eq - i);
+      if (!valid_label_key(key)) {
+        err = "invalid label key '" + key + "'";
+        return false;
+      }
+      std::size_t j = eq + 2;
+      std::string val;
+      while (j < line.size() && line[j] != '"') {
+        if (line[j] == '\\' && j + 1 < line.size()) ++j;
+        val += line[j++];
+      }
+      if (j >= line.size()) {
+        err = "unterminated label value";
+        return false;
+      }
+      labels.emplace(key, val);
+      i = j + 1;
+      if (i < line.size() && line[i] == ',') ++i;
+    }
+    if (i >= line.size() || line[i] != '}') {
+      err = "unterminated label set";
+      return false;
+    }
+    ++i;
+  }
+  if (i >= line.size() || line[i] != ' ') {
+    err = "missing value separator";
+    return false;
+  }
+  value = line.substr(i + 1);
+  // Optional timestamp: "value ts" — we emit none, but accept it.
+  const std::size_t sp = value.find(' ');
+  if (sp != std::string::npos) value = value.substr(0, sp);
+  return true;
+}
+
+}  // namespace
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string to_prometheus(const std::vector<MetricSnapshot>& snap,
+                          const std::string& prefix) {
+  std::string out;
+  std::string current_family;
+  for (const MetricSnapshot& s : snap) {
+    const std::string name = prefix + s.name;
+    if (s.name != current_family) {
+      current_family = s.name;
+      out += "# HELP " + name + ' ' + (s.help.empty() ? s.name : s.help) +
+             '\n';
+      out += "# TYPE " + name + ' ' + to_string(s.kind) + '\n';
+    }
+    const std::string braced =
+        s.labels.empty() ? "" : '{' + s.labels + '}';
+    switch (s.kind) {
+      case MetricKind::kCounter:
+      case MetricKind::kGauge:
+        out += name + braced + ' ' + std::to_string(s.value) + '\n';
+        break;
+      case MetricKind::kHistogram: {
+        const std::string lead =
+            s.labels.empty() ? "{" : '{' + s.labels + ',';
+        std::uint64_t cum = 0;
+        for (unsigned i = 0; i < s.buckets.size(); ++i) {
+          if (s.buckets[i] == 0) continue;  // cumulative value unchanged
+          cum += s.buckets[i];
+          out += name + "_bucket" + lead + "le=\"" +
+                 std::to_string(Histogram::bucket_bound(i)) + "\"} " +
+                 std::to_string(cum) + '\n';
+        }
+        out += name + "_bucket" + lead + "le=\"+Inf\"} " +
+               std::to_string(s.count) + '\n';
+        out += name + "_sum" + braced + ' ' + std::to_string(s.sum) + '\n';
+        out += name + "_count" + braced + ' ' + std::to_string(s.count) +
+               '\n';
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+std::string to_json(const std::vector<MetricSnapshot>& snap) {
+  std::ostringstream os;
+  os << "[";
+  bool first = true;
+  for (const MetricSnapshot& s : snap) {
+    if (!first) os << ",";
+    first = false;
+    os << "\n  {\"name\":\"" << json_escape(s.name) << "\",\"kind\":\""
+       << to_string(s.kind) << "\",\"deterministic\":"
+       << (s.deterministic() ? "true" : "false");
+    os << ",\"labels\":{";
+    // s.labels is canonical `a="x",b="y"`; re-emit as JSON pairs.
+    bool lf = true;
+    std::size_t i = 0;
+    while (i < s.labels.size()) {
+      const std::size_t eq = s.labels.find('=', i);
+      if (eq == std::string::npos) break;
+      std::size_t j = eq + 2;
+      std::string val;
+      while (j < s.labels.size() && s.labels[j] != '"') {
+        if (s.labels[j] == '\\' && j + 1 < s.labels.size()) ++j;
+        val += s.labels[j++];
+      }
+      if (!lf) os << ",";
+      lf = false;
+      os << '"' << json_escape(s.labels.substr(i, eq - i)) << "\":\""
+         << json_escape(val) << '"';
+      i = j + 1;
+      if (i < s.labels.size() && s.labels[i] == ',') ++i;
+    }
+    os << "}";
+    if (s.kind == MetricKind::kHistogram) {
+      os << ",\"count\":" << s.count << ",\"sum\":" << s.sum
+         << ",\"buckets\":[";
+      bool bf = true;
+      for (unsigned b = 0; b < s.buckets.size(); ++b) {
+        if (s.buckets[b] == 0) continue;
+        if (!bf) os << ",";
+        bf = false;
+        os << '[' << Histogram::bucket_bound(b) << ',' << s.buckets[b]
+           << ']';
+      }
+      os << "]";
+    } else {
+      os << ",\"value\":" << s.value;
+    }
+    os << "}";
+  }
+  os << "\n]\n";
+  return os.str();
+}
+
+bool validate_prometheus(const std::string& text, std::string* error) {
+  auto fail = [&](int line_no, const std::string& why) {
+    if (error != nullptr) {
+      *error = "line " + std::to_string(line_no) + ": " + why;
+    }
+    return false;
+  };
+  std::map<std::string, std::string> family_type;  // name -> TYPE
+  // Histogram bookkeeping: per (family, labels-minus-le) cumulative check.
+  std::map<std::string, std::uint64_t> hist_last_cum;
+  std::map<std::string, bool> hist_saw_inf;
+
+  std::istringstream in(text);
+  std::string line;
+  int n = 0;
+  bool any_sample = false;
+  while (std::getline(in, line)) {
+    ++n;
+    if (line.empty()) continue;
+    if (line[0] == '#') {
+      std::istringstream ls(line);
+      std::string hash, kw, name;
+      ls >> hash >> kw >> name;
+      if (kw != "HELP" && kw != "TYPE") {
+        continue;  // free-form comment — allowed by the format
+      }
+      if (!valid_metric_name(name)) {
+        return fail(n, "invalid metric name in " + kw + " line");
+      }
+      if (kw == "TYPE") {
+        std::string type;
+        ls >> type;
+        if (type != "counter" && type != "gauge" && type != "histogram" &&
+            type != "summary" && type != "untyped") {
+          return fail(n, "unknown TYPE '" + type + "'");
+        }
+        if (family_type.contains(name)) {
+          return fail(n, "duplicate TYPE for family " + name);
+        }
+        family_type[name] = type;
+      }
+      continue;
+    }
+    std::string name, value, why;
+    std::map<std::string, std::string> labels;
+    if (!parse_sample(line, name, labels, value, why)) return fail(n, why);
+    if (!valid_metric_name(name)) {
+      return fail(n, "invalid metric name '" + name + "'");
+    }
+    if (!valid_value(value)) {
+      return fail(n, "invalid sample value '" + value + "'");
+    }
+    any_sample = true;
+    // Resolve the family: exact, or histogram suffix.
+    std::string family = name;
+    std::string suffix;
+    if (!family_type.contains(family)) {
+      for (const char* suf : {"_bucket", "_sum", "_count"}) {
+        const std::string s = suf;
+        if (name.size() > s.size() &&
+            name.compare(name.size() - s.size(), s.size(), s) == 0) {
+          const std::string base = name.substr(0, name.size() - s.size());
+          if (family_type.contains(base) &&
+              family_type[base] == "histogram") {
+            family = base;
+            suffix = s;
+            break;
+          }
+        }
+      }
+    }
+    if (!family_type.contains(family)) {
+      return fail(n, "sample '" + name + "' has no preceding TYPE");
+    }
+    const std::string& type = family_type[family];
+    if (type == "histogram" && suffix.empty() && family == name) {
+      return fail(n, "bare sample for histogram family " + family);
+    }
+    if (suffix == "_bucket") {
+      auto le = labels.find("le");
+      if (le == labels.end()) {
+        return fail(n, "_bucket sample without le label");
+      }
+      std::string key = family + '{';
+      for (const auto& [k, v] : labels) {
+        if (k != "le") key += k + '=' + v + ',';
+      }
+      key += '}';
+      const std::uint64_t cum =
+          static_cast<std::uint64_t>(std::strtoull(value.c_str(), nullptr, 10));
+      if (le->second == "+Inf") {
+        if (cum < hist_last_cum[key]) {
+          return fail(n, "+Inf bucket below cumulative count");
+        }
+        hist_saw_inf[key] = true;
+      } else {
+        auto seen = hist_saw_inf.find(key);
+        if (seen != hist_saw_inf.end() && seen->second) {
+          return fail(n, "bucket after le=\"+Inf\"");
+        }
+        hist_saw_inf[key] = false;  // register the series for the final check
+        if (cum < hist_last_cum[key]) {
+          return fail(n, "non-monotone cumulative bucket");
+        }
+        hist_last_cum[key] = cum;
+      }
+    }
+  }
+  for (const auto& [key, saw] : hist_saw_inf) {
+    if (!saw) return fail(n, "histogram series missing le=\"+Inf\": " + key);
+  }
+  if (!any_sample) return fail(n, "no samples in exposition");
+  if (error != nullptr) error->clear();
+  return true;
+}
+
+}  // namespace prog::obs

@@ -1,0 +1,43 @@
+// Exporters for registry snapshots (DESIGN.md §9).
+//
+//   - to_prometheus(): the Prometheus text exposition format (version
+//     0.0.4) — `# HELP` / `# TYPE` headers, histograms as cumulative
+//     `_bucket{le="..."}` series plus `_sum` / `_count`;
+//   - to_json(): a flat JSON array of metric objects (machine-readable
+//     snapshot for dashboards and tests);
+//   - validate_prometheus(): a strict grammar check of an exposition dump —
+//     the checked-in schema test CI runs against the scrape output.
+//
+// Both exporters consume the stable-ordered snapshot, so their output is
+// byte-stable for a fixed set of values.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hpp"
+
+namespace prog::obs {
+
+/// Prometheus text exposition of a snapshot. `prefix` is prepended to every
+/// family name (e.g. "prog_").
+std::string to_prometheus(const std::vector<MetricSnapshot>& snap,
+                          const std::string& prefix = "prog_");
+
+/// Flat JSON array: [{"name":..., "labels":{...}, "kind":..., "value":...,
+/// "deterministic":...}, ...]; histograms carry "count", "sum", "buckets"
+/// (pairs of [upper_bound, count], zero buckets elided).
+std::string to_json(const std::vector<MetricSnapshot>& snap);
+
+/// Validates `text` against the exposition grammar: HELP/TYPE comment
+/// shape, known TYPE values, metric-line syntax `name{labels} value`,
+/// metric names matching [a-zA-Z_:][a-zA-Z0-9_:]*, every sample preceded by
+/// a TYPE for its family, histogram families carrying _bucket/_sum/_count
+/// series with monotone cumulative buckets ending at le="+Inf". On failure
+/// returns false and, when `error` is non-null, a line-numbered reason.
+bool validate_prometheus(const std::string& text, std::string* error);
+
+/// Minimal JSON string escaping (shared by the JSON and trace exporters).
+std::string json_escape(const std::string& s);
+
+}  // namespace prog::obs

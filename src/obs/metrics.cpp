@@ -1,0 +1,203 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <functional>
+
+#include "common/check.hpp"
+
+namespace prog::obs {
+
+const char* to_string(MetricKind k) noexcept {
+  switch (k) {
+    case MetricKind::kCounter:
+      return "counter";
+    case MetricKind::kGauge:
+      return "gauge";
+    case MetricKind::kHistogram:
+      return "histogram";
+  }
+  return "?";
+}
+
+std::string canonical_labels(Labels labels) {
+  std::sort(labels.begin(), labels.end());
+  std::string out;
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    if (i > 0) out += ',';
+    out += labels[i].first;
+    out += "=\"";
+    for (char c : labels[i].second) {
+      if (c == '\\' || c == '"') out += '\\';
+      if (c == '\n') {
+        out += "\\n";
+        continue;
+      }
+      out += c;
+    }
+    out += '"';
+  }
+  return out;
+}
+
+double snapshot_quantile(const MetricSnapshot& h, double q) noexcept {
+  if (h.count == 0 || h.buckets.empty()) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const double target = q * static_cast<double>(h.count);
+  std::uint64_t seen = 0;
+  for (unsigned i = 0; i < h.buckets.size(); ++i) {
+    seen += h.buckets[i];
+    if (static_cast<double>(seen) >= target && h.buckets[i] > 0) {
+      return static_cast<double>(Histogram::bucket_bound(i));
+    }
+  }
+  return static_cast<double>(
+      Histogram::bucket_bound(static_cast<unsigned>(h.buckets.size()) - 1));
+}
+
+Registry::Instrument& Registry::instrument(const std::string& name,
+                                           const std::string& help,
+                                           MetricKind kind, Determinism det,
+                                           const Labels& labels) {
+  PROG_CHECK_MSG(!name.empty(), "metric name must be non-empty");
+  PROG_CHECK_MSG(kind == MetricKind::kCounter ||
+                     det == Determinism::kTimingDependent,
+                 "only counters may be registered deterministic (they alone "
+                 "restore exactly from checkpoints)");
+  const std::string ls = canonical_labels(labels);
+  Shard& sh = shards_[std::hash<std::string>{}(name) % kShards];
+  std::scoped_lock lock(sh.mu);
+  Family* fam = nullptr;
+  for (auto& f : sh.families) {
+    if (f->name == name) {
+      fam = f.get();
+      break;
+    }
+  }
+  if (fam == nullptr) {
+    sh.families.push_back(std::make_unique<Family>());
+    fam = sh.families.back().get();
+    fam->name = name;
+    fam->help = help;
+    fam->kind = kind;
+    fam->det = det;
+  } else {
+    PROG_CHECK_MSG(fam->kind == kind,
+                   "metric family re-registered with a different kind: " +
+                       name);
+  }
+  for (auto& inst : fam->instruments) {
+    if (inst.labels == ls) return inst;
+  }
+  fam->instruments.emplace_back();
+  Instrument& inst = fam->instruments.back();
+  inst.labels = ls;
+  switch (kind) {
+    case MetricKind::kCounter:
+      inst.counter = std::make_unique<Counter>();
+      break;
+    case MetricKind::kGauge:
+      inst.gauge = std::make_unique<Gauge>();
+      break;
+    case MetricKind::kHistogram:
+      inst.histogram = std::make_unique<Histogram>();
+      break;
+  }
+  return inst;
+}
+
+Counter& Registry::counter(const std::string& name, const std::string& help,
+                           Determinism det, const Labels& labels) {
+  return *instrument(name, help, MetricKind::kCounter, det, labels).counter;
+}
+
+Gauge& Registry::gauge(const std::string& name, const std::string& help,
+                       const Labels& labels) {
+  return *instrument(name, help, MetricKind::kGauge,
+                     Determinism::kTimingDependent, labels)
+              .gauge;
+}
+
+Histogram& Registry::histogram(const std::string& name,
+                               const std::string& help,
+                               const Labels& labels) {
+  return *instrument(name, help, MetricKind::kHistogram,
+                     Determinism::kTimingDependent, labels)
+              .histogram;
+}
+
+std::vector<MetricSnapshot> Registry::snapshot() const {
+  std::vector<MetricSnapshot> out;
+  for (const Shard& sh : shards_) {
+    std::scoped_lock lock(sh.mu);
+    for (const auto& fam : sh.families) {
+      for (const auto& inst : fam->instruments) {
+        MetricSnapshot s;
+        s.name = fam->name;
+        s.help = fam->help;
+        s.kind = fam->kind;
+        s.det = fam->det;
+        s.labels = inst.labels;
+        switch (fam->kind) {
+          case MetricKind::kCounter:
+            s.value = static_cast<std::int64_t>(inst.counter->value());
+            break;
+          case MetricKind::kGauge:
+            s.value = inst.gauge->value();
+            break;
+          case MetricKind::kHistogram: {
+            s.buckets.resize(Histogram::kBuckets);
+            for (unsigned i = 0; i < Histogram::kBuckets; ++i) {
+              s.buckets[i] = inst.histogram->bucket(i);
+            }
+            std::uint64_t c = 0;
+            for (std::uint64_t b : s.buckets) c += b;
+            s.count = c;
+            s.sum = inst.histogram->sum();
+            break;
+          }
+        }
+        out.push_back(std::move(s));
+      }
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const MetricSnapshot& a, const MetricSnapshot& b) {
+              if (a.name != b.name) return a.name < b.name;
+              return a.labels < b.labels;
+            });
+  return out;
+}
+
+std::vector<MetricSnapshot> Registry::deterministic_snapshot() const {
+  std::vector<MetricSnapshot> all = snapshot();
+  std::erase_if(all,
+                [](const MetricSnapshot& s) { return !s.deterministic(); });
+  return all;
+}
+
+std::string Registry::serialize_deterministic() const {
+  std::string out;
+  for (const MetricSnapshot& s : deterministic_snapshot()) {
+    out += s.name;
+    if (!s.labels.empty()) {
+      out += '{';
+      out += s.labels;
+      out += '}';
+    }
+    out += ' ';
+    out += std::to_string(s.value);
+    out += '\n';
+  }
+  return out;
+}
+
+std::size_t Registry::families() const {
+  std::size_t n = 0;
+  for (const Shard& sh : shards_) {
+    std::scoped_lock lock(sh.mu);
+    n += sh.families.size();
+  }
+  return n;
+}
+
+}  // namespace prog::obs

@@ -1,0 +1,217 @@
+// progmon — low-overhead, deterministic-safe telemetry (DESIGN.md §9).
+//
+// A metric registry in the Prometheus mold, specialized for a deterministic
+// database:
+//
+//   - three instrument kinds: Counter (monotonic u64), Gauge (signed level),
+//     and Histogram (log2-bucketed value distribution);
+//   - labeled families: `registry.counter("txn_committed", ..., {{"class",
+//     "rot"}})` returns a stable reference; registration is idempotent and
+//     the returned handle is valid for the registry's lifetime, so hot paths
+//     pre-resolve handles once and then pay exactly one relaxed atomic add
+//     per event;
+//   - lock-sharded registration: families are sharded by name hash; the
+//     shard mutex is touched only at registration/snapshot time, never on
+//     the increment path;
+//   - a stable-ordered snapshot API: snapshot() returns metrics sorted by
+//     (name, label-string), so two registries holding the same values
+//     serialize to byte-identical text — which is what lets deterministic
+//     counters double as a cross-replica divergence oracle alongside state
+//     hashes (see consensus::ReplicatedDb::deterministic_counter_snapshot).
+//
+// Determinism contract: a metric is registered as kDeterministic only when
+// its value is a pure function of the applied batch sequence (committed,
+// aborts, rounds, ...). Wall-clock histograms, queue-occupancy samples and
+// anything else that depends on thread interleaving must be registered as
+// kTimingDependent; serialize_deterministic() excludes them. Only Counters
+// may be deterministic — they are the only instrument whose value can be
+// restored exactly from a checkpoint (Counter::reset_for_restore).
+#pragma once
+
+#include <atomic>
+#include <bit>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace prog::obs {
+
+enum class MetricKind : std::uint8_t { kCounter, kGauge, kHistogram };
+
+const char* to_string(MetricKind k) noexcept;
+
+/// Whether a metric's value is a pure function of the applied batch
+/// sequence (identical across replicas) or depends on wall-clock timing.
+enum class Determinism : std::uint8_t { kDeterministic, kTimingDependent };
+
+/// One label set, e.g. {{"class","rot"},{"phase","prepare"}}. Keys must be
+/// unique; the registry canonicalizes the order by key.
+using Labels = std::vector<std::pair<std::string, std::string>>;
+
+/// Monotonically increasing event count. inc() is a single relaxed
+/// fetch_add — safe from any thread, any phase.
+class Counter {
+ public:
+  void inc(std::uint64_t n = 1) noexcept {
+    v_.fetch_add(n, std::memory_order_relaxed);
+  }
+  std::uint64_t value() const noexcept {
+    return v_.load(std::memory_order_relaxed);
+  }
+  /// Checkpoint restore only (recovery layer): counters are otherwise
+  /// monotonic. Not for hot paths.
+  void reset_for_restore(std::uint64_t v) noexcept {
+    v_.store(v, std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t> v_{0};
+};
+
+/// Signed instantaneous level (queue depth, lag, occupancy).
+class Gauge {
+ public:
+  void set(std::int64_t v) noexcept { v_.store(v, std::memory_order_relaxed); }
+  void add(std::int64_t n) noexcept {
+    v_.fetch_add(n, std::memory_order_relaxed);
+  }
+  void sub(std::int64_t n) noexcept {
+    v_.fetch_sub(n, std::memory_order_relaxed);
+  }
+  std::int64_t value() const noexcept {
+    return v_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::int64_t> v_{0};
+};
+
+/// Log2-bucketed histogram of non-negative values (typically microseconds).
+/// Bucket i counts observations with bit_width(v) == i, i.e. upper bounds
+/// 0, 1, 3, 7, ..., 2^k - 1 — exact enough for p50/p99 at a fixed 2x
+/// resolution, and two relaxed atomic adds per observe().
+class Histogram {
+ public:
+  static constexpr unsigned kBuckets = 40;  // covers [0, 2^39) ≈ 9 minutes µs
+
+  void observe(std::int64_t v) noexcept {
+    const std::uint64_t u = v > 0 ? static_cast<std::uint64_t>(v) : 0;
+    unsigned b = static_cast<unsigned>(std::bit_width(u));
+    if (b >= kBuckets) b = kBuckets - 1;
+    buckets_[b].fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(static_cast<std::int64_t>(u), std::memory_order_relaxed);
+  }
+
+  std::uint64_t count() const noexcept {
+    std::uint64_t c = 0;
+    for (const auto& b : buckets_) c += b.load(std::memory_order_relaxed);
+    return c;
+  }
+  std::int64_t sum() const noexcept {
+    return sum_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t bucket(unsigned i) const noexcept {
+    return buckets_[i].load(std::memory_order_relaxed);
+  }
+  /// Inclusive upper bound of bucket i (largest value it can hold).
+  static std::uint64_t bucket_bound(unsigned i) noexcept {
+    return i == 0 ? 0 : (std::uint64_t{1} << i) - 1;
+  }
+
+ private:
+  std::atomic<std::uint64_t> buckets_[kBuckets] = {};
+  std::atomic<std::int64_t> sum_{0};
+};
+
+/// One metric's state, copied out of the registry. The snapshot vector is
+/// sorted by (name, labels) — the stable order every exporter relies on.
+struct MetricSnapshot {
+  std::string name;
+  std::string help;
+  MetricKind kind = MetricKind::kCounter;
+  Determinism det = Determinism::kTimingDependent;
+  /// Canonical label string: `a="x",b="y"` (sorted by key), "" when none.
+  std::string labels;
+  /// Counter/Gauge value (counters as non-negative i64).
+  std::int64_t value = 0;
+  /// Histogram payload (empty for counters/gauges).
+  std::vector<std::uint64_t> buckets;
+  std::uint64_t count = 0;
+  std::int64_t sum = 0;
+
+  bool deterministic() const noexcept {
+    return det == Determinism::kDeterministic;
+  }
+};
+
+/// Percentile estimate from a histogram snapshot's buckets (upper-bound
+/// interpolation; q in [0,1]). Returns 0 for an empty histogram.
+double snapshot_quantile(const MetricSnapshot& h, double q) noexcept;
+
+/// Lock-sharded metric registry. Registration and snapshotting take shard
+/// mutexes; returned instrument references live as long as the registry and
+/// are updated lock-free.
+class Registry {
+ public:
+  Registry() = default;
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  /// Registers (or finds) a counter. `det` and `help` are fixed by the
+  /// first registration of the family; re-registration with a different
+  /// kind aborts (programming error).
+  Counter& counter(const std::string& name, const std::string& help,
+                   Determinism det = Determinism::kTimingDependent,
+                   const Labels& labels = {});
+  Gauge& gauge(const std::string& name, const std::string& help,
+               const Labels& labels = {});
+  Histogram& histogram(const std::string& name, const std::string& help,
+                       const Labels& labels = {});
+
+  /// Stable-ordered copy of every metric (see MetricSnapshot).
+  std::vector<MetricSnapshot> snapshot() const;
+  /// Only the deterministic metrics — the cross-replica comparable subset.
+  std::vector<MetricSnapshot> deterministic_snapshot() const;
+
+  /// Canonical one-line-per-metric text of the deterministic subset:
+  /// `name{labels} value\n`, stable-ordered — byte-identical across
+  /// replicas that applied the same batch sequence.
+  std::string serialize_deterministic() const;
+
+  std::size_t families() const;
+
+ private:
+  struct Instrument {
+    std::string labels;  // canonical label string
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+  struct Family {
+    std::string name;
+    std::string help;
+    MetricKind kind = MetricKind::kCounter;
+    Determinism det = Determinism::kTimingDependent;
+    std::vector<Instrument> instruments;  // small-N linear scan
+  };
+  static constexpr unsigned kShards = 16;
+  struct Shard {
+    mutable std::mutex mu;
+    std::vector<std::unique_ptr<Family>> families;
+  };
+
+  Instrument& instrument(const std::string& name, const std::string& help,
+                         MetricKind kind, Determinism det,
+                         const Labels& labels);
+
+  Shard shards_[kShards];
+};
+
+/// Canonicalizes a label set into the exporter form `a="x",b="y"` (sorted
+/// by key; values backslash-escape `\`, `"` and newline).
+std::string canonical_labels(Labels labels);
+
+}  // namespace prog::obs

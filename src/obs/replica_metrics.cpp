@@ -1,0 +1,57 @@
+#include "obs/replica_metrics.hpp"
+
+namespace prog::obs {
+
+ReplicaMetrics ReplicaMetrics::create(Registry& reg) {
+  // Cluster-level counters are *not* marked deterministic: which replica
+  // takes a checkpoint or needs an InstallSnapshot depends on the fault
+  // schedule and election timing, not on the batch sequence alone. The
+  // cross-replica divergence oracle uses the per-replica engine counters
+  // (see ReplicatedDb::deterministic_counter_snapshot), not these.
+  ReplicaMetrics m;
+  auto c = [&](const char* name, const char* help) {
+    return &reg.counter(name, help);
+  };
+  m.checkpoints =
+      c("replica_checkpoints_total", "Deterministic checkpoints taken");
+  m.checkpoint_restores = c("replica_checkpoint_restores_total",
+                            "Restarts/re-syncs restored from a checkpoint");
+  m.snapshot_installs = c("replica_snapshot_installs_total",
+                          "Leader-driven InstallSnapshot transfers accepted");
+  m.full_rebuilds = c("replica_full_rebuilds_total",
+                      "Restarts/re-syncs replayed from the initial state");
+  m.divergences =
+      c("replica_divergences_total", "State-hash divergences detected");
+  m.quarantines =
+      c("replica_quarantines_total", "Replicas quarantined for divergence");
+  m.resyncs = c("replica_resyncs_total",
+                "Quarantined replicas successfully re-synced");
+  m.pool_reclaimed = c("replica_pool_reclaimed_total",
+                       "Batch-pool entries superseded before committing");
+  m.submit_retries =
+      c("replica_submit_retries_total", "submit_with_retry backoff rounds");
+  m.batches_submitted =
+      c("replica_batches_submitted_total", "Batches accepted by submit");
+  m.batches_applied = c("replica_batches_applied_total",
+                        "Batch applications across all replicas");
+
+  m.chaos_crashes =
+      c("chaos_crashes_total", "Injected full-replica crashes (memory loss)");
+  m.chaos_pauses = c("chaos_pauses_total", "Injected process pauses");
+  m.chaos_restarts =
+      c("chaos_restarts_total", "Replica restarts and pause resumes");
+  m.chaos_partitions =
+      c("chaos_partitions_total", "Injected minority partitions");
+  m.chaos_heals = c("chaos_heals_total", "Partition heals / node revivals");
+  m.chaos_bursts = c("chaos_bursts_total", "Message-drop burst windows");
+
+  m.batch_lag = &reg.gauge(
+      "replica_batch_lag",
+      "Submitted batches minus the slowest live replica's applied count");
+  m.replicas_down = &reg.gauge("replica_down", "Replicas currently crashed");
+  m.replicas_quarantined =
+      &reg.gauge("replica_quarantined", "Replicas currently quarantined");
+  return m;
+}
+
+}  // namespace prog::obs

@@ -1,0 +1,44 @@
+// Pre-resolved metric handles for the replication/recovery layer
+// (consensus::ReplicatedDb) and the chaos harness. All cold-path: these
+// families count checkpoints, restores, state transfers, divergence
+// quarantines, submit retries and injected chaos events — none of them sit
+// on the per-transaction hot path, so the bundle is always maintained (no
+// toggle needed).
+#pragma once
+
+#include "obs/metrics.hpp"
+
+namespace prog::obs {
+
+struct ReplicaMetrics {
+  // --- recovery counters ---------------------------------------------------
+  Counter* checkpoints = nullptr;
+  Counter* checkpoint_restores = nullptr;
+  Counter* snapshot_installs = nullptr;
+  Counter* full_rebuilds = nullptr;
+  Counter* divergences = nullptr;
+  Counter* quarantines = nullptr;
+  Counter* resyncs = nullptr;
+  Counter* pool_reclaimed = nullptr;
+  Counter* submit_retries = nullptr;
+  Counter* batches_submitted = nullptr;
+  Counter* batches_applied = nullptr;  ///< across all replicas
+
+  // --- chaos-event counters (incremented by consensus::run_chaos) ----------
+  Counter* chaos_crashes = nullptr;
+  Counter* chaos_pauses = nullptr;
+  Counter* chaos_restarts = nullptr;
+  Counter* chaos_partitions = nullptr;
+  Counter* chaos_heals = nullptr;
+  Counter* chaos_bursts = nullptr;
+
+  // --- gauges --------------------------------------------------------------
+  /// Submitted batches minus the slowest live replica's applied count.
+  Gauge* batch_lag = nullptr;
+  Gauge* replicas_down = nullptr;
+  Gauge* replicas_quarantined = nullptr;
+
+  static ReplicaMetrics create(Registry& reg);
+};
+
+}  // namespace prog::obs

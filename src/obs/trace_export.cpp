@@ -1,0 +1,137 @@
+#include "obs/trace_export.hpp"
+
+#include <algorithm>
+#include <map>
+#include <unordered_map>
+
+#include "obs/export.hpp"
+
+namespace prog::obs {
+
+ChromeTraceWriter::ChromeTraceWriter(unsigned workers)
+    : workers_(workers == 0 ? 1 : workers) {}
+
+void ChromeTraceWriter::event(const std::string& name, unsigned tid,
+                              std::int64_t ts_us, std::int64_t dur_us,
+                              const std::string& args_json) {
+  std::string e = "{\"name\":\"" + json_escape(name) +
+                  "\",\"ph\":\"X\",\"pid\":1,\"tid\":" + std::to_string(tid) +
+                  ",\"ts\":" + std::to_string(ts_us) +
+                  ",\"dur\":" + std::to_string(std::max<std::int64_t>(
+                                    dur_us, 1));
+  if (!args_json.empty()) e += ",\"args\":" + args_json;
+  e += "}";
+  events_.push_back(std::move(e));
+}
+
+void ChromeTraceWriter::add_batch(const sched::BatchTrace& trace,
+                                  std::uint64_t batch_id) {
+  const std::int64_t t0 = cursor_us_;
+  std::int64_t t = t0;
+
+  // --- phase 1: ROT drain (workers) + key-set preparation (queuer span) ----
+  std::vector<std::int64_t> avail(workers_ + 1, t);  // [0]=queuer, 1..W
+  if (trace.prepare_total_us > 0) {
+    event("prepare", 0, t, trace.prepare_total_us,
+          "{\"us\":" + std::to_string(trace.prepare_total_us) + "}");
+    avail[0] = t + trace.prepare_total_us;
+  }
+  for (const sched::TraceAttempt& a : trace.attempts) {
+    if (!a.rot) continue;
+    // Greedy: earliest-available worker track.
+    unsigned best = 1;
+    for (unsigned w = 2; w <= workers_; ++w) {
+      if (avail[w] < avail[best]) best = w;
+    }
+    event("rot tx" + std::to_string(a.tx), best, avail[best], a.service_us,
+          "{\"tx\":" + std::to_string(a.tx) + ",\"class\":\"rot\"}");
+    avail[best] += std::max<std::int64_t>(a.service_us, 1);
+  }
+  for (unsigned w = 0; w <= workers_; ++w) t = std::max(t, avail[w]);
+
+  // --- enqueue (queuer) ----------------------------------------------------
+  if (trace.enqueue_us > 0) {
+    event("enqueue", 0, t, trace.enqueue_us, "");
+    t += trace.enqueue_us;
+  }
+
+  // --- update rounds: list-schedule each round's DAG -----------------------
+  std::uint16_t max_round = 0;
+  for (const sched::TraceAttempt& a : trace.attempts) {
+    if (!a.rot) max_round = std::max(max_round, a.round);
+  }
+  for (std::uint16_t r = 0; r <= max_round; ++r) {
+    std::fill(avail.begin(), avail.end(), t);
+    std::unordered_map<sched::TxIdx, std::int64_t> finish;
+    bool any = false;
+    for (const sched::TraceAttempt& a : trace.attempts) {
+      if (a.rot || a.round != r) continue;
+      any = true;
+      std::int64_t ready = t;
+      for (sched::TxIdx p : a.preds) {
+        auto it = finish.find(p);
+        if (it != finish.end()) ready = std::max(ready, it->second);
+      }
+      unsigned best = 1;
+      for (unsigned w = 2; w <= workers_; ++w) {
+        if (avail[w] < avail[best]) best = w;
+      }
+      const std::int64_t start = std::max(ready, avail[best]);
+      const char* cls = a.failed ? "abort" : "commit";
+      event(std::string(a.failed ? "abort tx" : "tx") + std::to_string(a.tx),
+            best, start, a.service_us,
+            "{\"tx\":" + std::to_string(a.tx) +
+                ",\"round\":" + std::to_string(r) + ",\"outcome\":\"" + cls +
+                "\"}");
+      const std::int64_t end = start + std::max<std::int64_t>(a.service_us, 1);
+      avail[best] = end;
+      finish[a.tx] = end;
+    }
+    if (!any) continue;
+    std::int64_t round_end = t;
+    for (unsigned w = 0; w <= workers_; ++w) {
+      round_end = std::max(round_end, avail[w]);
+    }
+    event("round " + std::to_string(r), 0, t, round_end - t, "");
+    t = round_end;
+  }
+
+  // --- SF tail (queuer-serial) --------------------------------------------
+  if (trace.sf_serial_us > 0) {
+    event("sf tail", 0, t, trace.sf_serial_us, "");
+    t += trace.sf_serial_us;
+  }
+
+  event("batch " + std::to_string(batch_id), workers_ + 1, t0, t - t0,
+        "{\"attempts\":" + std::to_string(trace.attempts.size()) +
+            ",\"rounds\":" + std::to_string(trace.rounds) + "}");
+  cursor_us_ = t + 50;
+  ++batches_;
+}
+
+std::string ChromeTraceWriter::json() const {
+  std::string out = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n";
+  // Track-name metadata events first.
+  auto meta = [&](unsigned tid, const std::string& name) {
+    out += "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":" +
+           std::to_string(tid) + ",\"args\":{\"name\":\"" + json_escape(name) +
+           "\"}},\n";
+  };
+  out +=
+      "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,"
+      "\"args\":{\"name\":\"prognosticator engine\"}},\n";
+  meta(0, "queuer");
+  for (unsigned w = 1; w <= workers_; ++w) {
+    meta(w, "worker " + std::to_string(w - 1));
+  }
+  meta(workers_ + 1, "batches");
+  for (std::size_t i = 0; i < events_.size(); ++i) {
+    out += events_[i];
+    if (i + 1 < events_.size()) out += ',';
+    out += '\n';
+  }
+  out += "]}\n";
+  return out;
+}
+
+}  // namespace prog::obs

@@ -1,0 +1,52 @@
+// Chrome trace_event export of engine batch traces (DESIGN.md §9).
+//
+// Renders the engine's BatchTrace — per-attempt service times, the
+// lock-table dependency DAG, phase structure — as a Chrome `trace_event`
+// JSON file loadable in Perfetto (https://ui.perfetto.dev) or
+// about://tracing. Tracks:
+//
+//   tid 0         the queuer: prepare / enqueue / SF-tail spans per batch;
+//   tid 1..W      workers: transaction attempts, placed by the same greedy
+//                 list-scheduling discipline the benchutil throughput model
+//                 uses (an attempt starts when a worker is free AND all its
+//                 lock-table predecessors of the round have finished).
+//
+// The placement is a *reconstruction* for visualization — service times are
+// measured, start times are modeled — which is exactly what makes the trace
+// machine-independent: the same recorded trace renders identically anywhere.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sched/trace.hpp"
+
+namespace prog::obs {
+
+class ChromeTraceWriter {
+ public:
+  /// `workers` = number of worker tracks to schedule attempts onto.
+  explicit ChromeTraceWriter(unsigned workers = 4);
+
+  /// Appends one batch's spans at the current time cursor and advances the
+  /// cursor past the batch (plus a 50µs inter-batch gap for readability).
+  void add_batch(const sched::BatchTrace& trace, std::uint64_t batch_id);
+
+  /// Number of batches added so far.
+  std::size_t batches() const noexcept { return batches_; }
+
+  /// Complete trace JSON: {"traceEvents": [...], ...}.
+  std::string json() const;
+
+ private:
+  void event(const std::string& name, unsigned tid, std::int64_t ts_us,
+             std::int64_t dur_us, const std::string& args_json);
+
+  unsigned workers_;
+  std::int64_t cursor_us_ = 0;
+  std::size_t batches_ = 0;
+  std::vector<std::string> events_;
+};
+
+}  // namespace prog::obs

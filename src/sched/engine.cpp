@@ -102,6 +102,10 @@ Engine::Engine(store::VersionedStore& store, std::vector<ProcEntry> procs,
   }
   elision_enabled_ = config_.static_conflict_elision &&
                      config_.system == System::kPrognosticator;
+  if (config_.telemetry) {
+    registry_ = std::make_shared<obs::Registry>();
+    metrics_.emplace(obs::EngineMetrics::create(*registry_));
+  }
   skip_tables_.resize(procs_.size());
   rot_queues_.resize(config_.workers);
   workers_.reserve(config_.workers);
@@ -225,7 +229,10 @@ void Engine::execute_rot(TxIdx idx) {
                      "ROT read outside its profiled tables");
     }
   }
-  ctr_committed_.fetch_add(1, std::memory_order_relaxed);
+  ctr_committed_[0].fetch_add(1, std::memory_order_relaxed);
+  if (metrics_) {
+    metrics_->txn_latency_us[0]->observe(sw.elapsed_micros());
+  }
   if (trace_ != nullptr) {
     std::scoped_lock lock(trace_mu_);
     trace_->attempts.push_back(
@@ -346,7 +353,17 @@ void Engine::enqueue_all(const std::vector<TxIdx>& order) {
     run_phase(Phase::kEnqueue, [&] { do_enqueue_partition(0); });
     enqueue_order_ = nullptr;
   }
-  if (trace_ != nullptr) trace_->enqueue_us += sw.elapsed_micros();
+  const std::int64_t us = sw.elapsed_micros();
+  if (trace_ != nullptr) trace_->enqueue_us += us;
+  if (metrics_) {
+    // Sampled between phases: workers are parked, so entry_count() sees the
+    // full population of this round and the ready queue its initial wave.
+    metrics_->phase_enqueue_us->observe(us);
+    const auto entries = static_cast<std::int64_t>(lock_table_.entry_count());
+    metrics_->lock_table_depth->set(entries);
+    metrics_->ready_queue_depth->set(static_cast<std::int64_t>(ready_.size()));
+    metrics_->locks_enqueued->observe(entries);
+  }
 }
 
 void Engine::release_locks(TxIdx idx) {
@@ -367,11 +384,15 @@ void Engine::release_locks(TxIdx idx) {
 void Engine::execute_ready_tx(TxIdx idx) {
   TxnSlot& s = slots_[idx];
   Stopwatch sw;
+  const unsigned cls = static_cast<unsigned>(s.klass);
   const bool recon_style = config_.system == System::kCalvin ||
                            config_.use_recon ||
                            !s.entry->profile->complete();
   auto fail = [&] {
-    ctr_validation_aborts_.fetch_add(1, std::memory_order_relaxed);
+    ctr_validation_aborts_[cls].fetch_add(1, std::memory_order_relaxed);
+    if (metrics_) {
+      metrics_->txn_latency_us[cls]->observe(sw.elapsed_micros());
+    }
     {
       std::scoped_lock lock(failed_mu_);
       failed_.push_back(idx);
@@ -389,7 +410,16 @@ void Engine::execute_ready_tx(TxIdx idx) {
   if (!recon_style && s.klass == sym::TxClass::kDependent) {
     // Prognosticator: re-read the pivot items; any change invalidates the
     // predicted key-set (paper, Section III-C).
-    if (!sym::TxProfile::validate_pivots(s.pred, store_)) {
+    if (metrics_) {
+      Stopwatch vsw;
+      const bool ok = sym::TxProfile::validate_pivots(s.pred, store_);
+      ctr_validate_us_.fetch_add(vsw.elapsed_micros(),
+                                 std::memory_order_relaxed);
+      if (!ok) {
+        fail();
+        return;
+      }
+    } else if (!sym::TxProfile::validate_pivots(s.pred, store_)) {
       fail();
       return;
     }
@@ -432,9 +462,12 @@ void Engine::execute_ready_tx(TxIdx idx) {
     lang::apply_writes(store_, r, batch_);
     capture_output(idx, std::move(r.emitted));
   } else {
-    ctr_rolled_back_.fetch_add(1, std::memory_order_relaxed);
+    ctr_rolled_back_[cls].fetch_add(1, std::memory_order_relaxed);
   }
-  ctr_committed_.fetch_add(1, std::memory_order_relaxed);
+  ctr_committed_[cls].fetch_add(1, std::memory_order_relaxed);
+  if (metrics_) {
+    metrics_->txn_latency_us[cls]->observe(sw.elapsed_micros());
+  }
   if (config_.audit_commit_order) {
     std::scoped_lock lock(commit_mu_);
     commit_order_.push_back(idx);
@@ -463,12 +496,13 @@ void Engine::do_exec() {
 void Engine::run_seq_batch(BatchResult& result) {
   for (TxIdx i = 0; i < requests_.size(); ++i) {
     const TxnSlot& s = slots_[i];
+    const unsigned cls = static_cast<unsigned>(s.klass);
     Stopwatch sw;
     if (s.klass == sym::TxClass::kReadOnly) {
       store::SnapshotView view(store_, batch_ - 1);
       lang::ExecResult r = interp_.run(*s.entry->proc, s.req->input, view);
       capture_output(i, std::move(r.emitted));
-      ++result.committed;
+      ctr_committed_[cls].fetch_add(1, std::memory_order_relaxed);
     } else {
       store::LiveView live(store_);
       lang::ExecResult r = interp_.run(*s.entry->proc, s.req->input, live);
@@ -476,15 +510,17 @@ void Engine::run_seq_batch(BatchResult& result) {
         lang::apply_writes(store_, r, batch_);
         capture_output(i, std::move(r.emitted));
       } else {
-        ++result.rolled_back;
+        ctr_rolled_back_[cls].fetch_add(1, std::memory_order_relaxed);
       }
-      ++result.committed;
+      ctr_committed_[cls].fetch_add(1, std::memory_order_relaxed);
       if (config_.audit_commit_order) result.commit_order.push_back(i);
     }
+    const std::int64_t us = sw.elapsed_micros();
+    if (metrics_) metrics_->txn_latency_us[cls]->observe(us);
     if (trace_ != nullptr) {
       // Sequential baseline: everything is one serial chain; the model sees
       // it as SF-tail time so no worker count can parallelize it.
-      trace_->sf_serial_us += sw.elapsed_micros();
+      trace_->sf_serial_us += us;
     }
   }
 }
@@ -496,21 +532,26 @@ void Engine::handle_failed_sf(const std::vector<TxIdx>& failed,
   Stopwatch sw;
   for (TxIdx idx : failed) {
     const TxnSlot& s = slots_[idx];
+    const unsigned cls = static_cast<unsigned>(s.klass);
+    Stopwatch txsw;
     store::LiveView live(store_);
     lang::ExecResult r = interp_.run(*s.entry->proc, s.req->input, live);
     if (r.committed) {
       lang::apply_writes(store_, r, batch_);
       capture_output(idx, std::move(r.emitted));
     } else {
-      ctr_rolled_back_.fetch_add(1, std::memory_order_relaxed);
+      ctr_rolled_back_[cls].fetch_add(1, std::memory_order_relaxed);
     }
-    ctr_committed_.fetch_add(1, std::memory_order_relaxed);
+    ctr_committed_[cls].fetch_add(1, std::memory_order_relaxed);
+    if (metrics_) metrics_->txn_latency_us[cls]->observe(txsw.elapsed_micros());
     if (config_.audit_commit_order) {
       std::scoped_lock lock(commit_mu_);
       commit_order_.push_back(idx);
     }
   }
-  result.reexec_micros += sw.elapsed_micros();
+  const std::int64_t us = sw.elapsed_micros();
+  ctr_sf_us_.fetch_add(us, std::memory_order_relaxed);
+  result.reexec_micros += us;
   result.reexecuted += failed.size();
 }
 
@@ -528,13 +569,21 @@ BatchResult Engine::run_batch(std::vector<TxRequest> requests) {
   commit_order_.clear();
   outputs_.clear();
   ready_.clear();
-  ctr_committed_.store(0);
-  ctr_rolled_back_.store(0);
-  ctr_validation_aborts_.store(0);
+  for (unsigned c = 0; c < 3; ++c) {
+    ctr_committed_[c].store(0);
+    ctr_rolled_back_[c].store(0);
+    ctr_validation_aborts_[c].store(0);
+  }
   ctr_prepare_us_.store(0);
   ctr_prepared_.store(0);
   ctr_all_prepare_us_.store(0);
+  ctr_validate_us_.store(0);
+  ctr_sf_us_.store(0);
+  phase_us_[0] = phase_us_[1] = phase_us_[2] = 0;
   current_round_ = 0;
+  // Explicit per-batch reset — the sink may have been carried over from a
+  // previous batch or engine (set_trace_sink's documented contract); without
+  // it, rounds/sf_serial_us/attempts would accumulate across runs.
   if (trace_ != nullptr) trace_->clear();
 
   // Classify and distribute.
@@ -557,11 +606,13 @@ BatchResult Engine::run_batch(std::vector<TxRequest> requests) {
 
   if (config_.system == System::kSeq) {
     run_seq_batch(result);
+    for (unsigned c = 0; c < 3; ++c) {
+      result.committed += ctr_committed_[c].load();
+      result.rolled_back += ctr_rolled_back_[c].load();
+    }
     result.outputs = std::move(outputs_);
     result.wall_micros = wall.elapsed_micros();
-    ++stats_.batches;
-    stats_.committed += result.committed;
-    stats_.rolled_back += result.rolled_back;
+    finalize_stats(result);
     return result;
   }
 
@@ -573,9 +624,13 @@ BatchResult Engine::run_batch(std::vector<TxRequest> requests) {
     prep_snapshot_ = batch_ - 1 > lag ? batch_ - 1 - lag : 0;
   }
   prep_tickets_.reset(prep_list_.size());
-  run_phase(Phase::kRotPrepare, [&] {
-    while (auto i = prep_tickets_.claim()) prepare_tx(prep_list_[*i]);
-  });
+  {
+    Stopwatch psw;
+    run_phase(Phase::kRotPrepare, [&] {
+      while (auto i = prep_tickets_.claim()) prepare_tx(prep_list_[*i]);
+    });
+    phase_us_[0] = psw.elapsed_micros();
+  }
 
   // Enqueue into the lock table: DTs ahead of ITs (both in agreed order).
   std::vector<TxIdx> order;
@@ -594,7 +649,11 @@ BatchResult Engine::run_batch(std::vector<TxRequest> requests) {
   enqueue_all(order);
 
   // Phase 2: parallel execution of update transactions.
-  run_phase(Phase::kExec, [&] { do_exec(); });
+  {
+    Stopwatch xsw;
+    run_phase(Phase::kExec, [&] { do_exec(); });
+    phase_us_[1] = xsw.elapsed_micros();
+  }
 
   // Failed-transaction rounds.
   std::vector<TxIdx> failed;
@@ -640,7 +699,9 @@ BatchResult Engine::run_batch(std::vector<TxRequest> requests) {
     remaining_.store(failed.size(), std::memory_order_release);
     enqueue_all(failed);
     run_phase(Phase::kExec, [&] { do_exec(); });
-    result.reexec_micros += sw.elapsed_micros();
+    const std::int64_t round_us = sw.elapsed_micros();
+    phase_us_[2] += round_us;
+    result.reexec_micros += round_us;
     result.reexecuted += failed.size();
     {
       std::scoped_lock lock(failed_mu_);
@@ -653,9 +714,11 @@ BatchResult Engine::run_batch(std::vector<TxRequest> requests) {
   PROG_CHECK_MSG(lock_table_.empty(),
                  "lock table must drain by the end of the batch");
 
-  result.committed = ctr_committed_.load();
-  result.rolled_back = ctr_rolled_back_.load();
-  result.validation_aborts = ctr_validation_aborts_.load();
+  for (unsigned c = 0; c < 3; ++c) {
+    result.committed += ctr_committed_[c].load();
+    result.rolled_back += ctr_rolled_back_[c].load();
+    result.validation_aborts += ctr_validation_aborts_[c].load();
+  }
   result.prepare_micros = ctr_prepare_us_.load();
   result.prepared = ctr_prepared_.load();
   result.commit_order = std::move(commit_order_);
@@ -665,7 +728,10 @@ BatchResult Engine::run_batch(std::vector<TxRequest> requests) {
   result.wall_micros = wall.elapsed_micros();
   if (trace_ != nullptr) {
     trace_->prepare_total_us = ctr_all_prepare_us_.load();
-    trace_->sf_serial_us = config_.parallel_failed ? 0 : result.reexec_micros;
+    // Everything the SF path ran serially: the SF mode's whole tail AND the
+    // post-MF-cap fallback stragglers (which used to be mis-reported as 0
+    // under parallel_failed=true).
+    trace_->sf_serial_us = ctr_sf_us_.load();
     trace_->rounds = current_round_;
   }
 
@@ -677,6 +743,11 @@ BatchResult Engine::run_batch(std::vector<TxRequest> requests) {
     }
   }
 
+  finalize_stats(result);
+  return result;
+}
+
+void Engine::finalize_stats(const BatchResult& result) {
   ++stats_.batches;
   stats_.committed += result.committed;
   stats_.rolled_back += result.rolled_back;
@@ -684,7 +755,35 @@ BatchResult Engine::run_batch(std::vector<TxRequest> requests) {
   stats_.rounds += result.rounds;
   stats_.mf_fallback_txns += result.sf_fallbacks;
   if (result.sf_fallbacks > 0) ++stats_.mf_fallback_batches;
-  return result;
+  for (unsigned c = 0; c < 3; ++c) {
+    stats_.committed_by_class[c] += ctr_committed_[c].load();
+    stats_.rolled_back_by_class[c] += ctr_rolled_back_[c].load();
+    stats_.validation_aborts_by_class[c] += ctr_validation_aborts_[c].load();
+  }
+  if (!metrics_) return;
+  // Cold path, once per batch: deterministic counters fold here so the hot
+  // path pays nothing for them, then the timing histograms get their
+  // per-batch observations.
+  obs::EngineMetrics& m = *metrics_;
+  m.batches->inc();
+  for (unsigned c = 0; c < 3; ++c) {
+    m.committed[c]->inc(ctr_committed_[c].load());
+    m.rolled_back[c]->inc(ctr_rolled_back_[c].load());
+    m.validation_aborts[c]->inc(ctr_validation_aborts_[c].load());
+  }
+  m.rounds->inc(result.rounds);
+  m.mf_fallback_txns->inc(result.sf_fallbacks);
+  if (result.sf_fallbacks > 0) m.mf_fallback_batches->inc();
+
+  m.batch_size_txns->observe(static_cast<std::int64_t>(requests_.size()));
+  m.batch_wall_us->observe(result.wall_micros);
+  m.phase_prepare_us->observe(phase_us_[0]);
+  m.phase_exec_us->observe(phase_us_[1]);
+  if (phase_us_[2] > 0) m.phase_mf_us->observe(phase_us_[2]);
+  const std::int64_t validate_us = ctr_validate_us_.load();
+  if (validate_us > 0) m.phase_validate_us->observe(validate_us);
+  const std::int64_t sf_us = ctr_sf_us_.load();
+  if (sf_us > 0) m.phase_sf_us->observe(sf_us);
 }
 
 }  // namespace prog::sched

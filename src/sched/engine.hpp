@@ -30,6 +30,7 @@
 //   - SEQ: single-threaded execution in the agreed order.
 #pragma once
 
+#include <array>
 #include <atomic>
 #include <cstdint>
 #include <deque>
@@ -44,6 +45,7 @@
 #include "common/queues.hpp"
 #include "common/sync.hpp"
 #include "lang/interp.hpp"
+#include "obs/engine_metrics.hpp"
 #include "sched/lock_table.hpp"
 #include "sched/trace.hpp"
 #include "sym/profile.hpp"
@@ -140,6 +142,14 @@ struct EngineConfig {
   bool static_conflict_elision = true;
   /// Verify actual accesses ⊆ predicted key-set after every execution.
   bool check_containment = false;
+  /// Telemetry (DESIGN.md §9): the engine owns an obs::Registry and keeps
+  /// per-class commit/abort counters, per-attempt latency histograms,
+  /// per-phase timers and queue-occupancy gauges. Hot-path cost per event
+  /// is a relaxed atomic add (plus one steady_clock read for latency
+  /// histograms); deterministic counters are folded once per batch. Off by
+  /// default: the engine then allocates no registry and every metric site
+  /// is a single predictable-false branch.
+  bool telemetry = false;
   /// Drop store versions older than this many batches (0 = never GC).
   unsigned gc_horizon = 64;
   /// Measurement mode for the benchutil scheduling model: the queuer runs
@@ -186,6 +196,13 @@ struct EngineStats {
   std::uint64_t mf_fallback_txns = 0;
   /// Batches in which the MF cap triggered at least once.
   std::uint64_t mf_fallback_batches = 0;
+  /// Per-class breakdowns, indexed by sym::TxClass (0 = ROT, 1 = IT,
+  /// 2 = DT). Each aggregate above equals the sum of its breakdown; the
+  /// telemetry layer exports these as the deterministic `class`-labeled
+  /// counter families (DESIGN.md §9).
+  std::array<std::uint64_t, 3> committed_by_class{};
+  std::array<std::uint64_t, 3> rolled_back_by_class{};
+  std::array<std::uint64_t, 3> validation_aborts_by_class{};
 
   EngineStats& operator+=(const EngineStats& o) {
     batches += o.batches;
@@ -195,6 +212,11 @@ struct EngineStats {
     rounds += o.rounds;
     mf_fallback_txns += o.mf_fallback_txns;
     mf_fallback_batches += o.mf_fallback_batches;
+    for (std::size_t c = 0; c < committed_by_class.size(); ++c) {
+      committed_by_class[c] += o.committed_by_class[c];
+      rolled_back_by_class[c] += o.rolled_back_by_class[c];
+      validation_aborts_by_class[c] += o.validation_aborts_by_class[c];
+    }
     return *this;
   }
 };
@@ -228,6 +250,11 @@ class Engine {
 
   /// Cumulative counters over every batch this engine has executed.
   const EngineStats& stats() const noexcept { return stats_; }
+
+  /// The telemetry registry, or nullptr when EngineConfig::telemetry is
+  /// off. Live for the engine's lifetime; snapshot from any thread.
+  const obs::Registry* telemetry() const noexcept { return registry_.get(); }
+  obs::Registry* telemetry() noexcept { return registry_.get(); }
 
  private:
   enum class Phase : std::uint8_t {
@@ -338,12 +365,28 @@ class Engine {
   std::uint16_t current_round_ = 0;
   std::atomic<std::int64_t> ctr_all_prepare_us_{0};
 
-  // --- batch counters (reset per batch, folded into BatchResult) ----------
-  std::atomic<std::uint64_t> ctr_committed_{0};
-  std::atomic<std::uint64_t> ctr_rolled_back_{0};
-  std::atomic<std::uint64_t> ctr_validation_aborts_{0};
+  // --- batch counters (reset per batch, folded into BatchResult and the
+  // per-class EngineStats breakdowns; indexed by sym::TxClass) -------------
+  std::atomic<std::uint64_t> ctr_committed_[3] = {};
+  std::atomic<std::uint64_t> ctr_rolled_back_[3] = {};
+  std::atomic<std::uint64_t> ctr_validation_aborts_[3] = {};
   std::atomic<std::int64_t> ctr_prepare_us_{0};
   std::atomic<std::uint64_t> ctr_prepared_{0};
+  /// DT pivot re-validation time, summed across the batch (telemetry only).
+  std::atomic<std::int64_t> ctr_validate_us_{0};
+  /// Serial SF-tail time (SF mode + post-cap fallbacks), per batch.
+  std::atomic<std::int64_t> ctr_sf_us_{0};
+
+  // --- telemetry (DESIGN.md §9; null/disengaged when telemetry is off) ----
+  std::shared_ptr<obs::Registry> registry_;
+  std::optional<obs::EngineMetrics> metrics_;
+  /// Per-batch phase durations (µs), captured by run_batch when telemetry
+  /// is on: [0]=prepare(phase 1), [1]=execute(main round), [2]=MF rounds.
+  std::int64_t phase_us_[3] = {};
+  /// Cold path, once per batch: folds the batch counters into EngineStats
+  /// (incl. the per-class breakdowns) and, when telemetry is on, into the
+  /// deterministic metric families + phase histograms.
+  void finalize_stats(const BatchResult& result);
 
   // --- thread coordination -------------------------------------------------
   PhaseBarrier barrier_;

@@ -95,8 +95,27 @@ TEST_P(ChaosSeedTest, TpccMixConverges) {
 
   EXPECT_TRUE(rep.converged) << "seed " << seed;
   EXPECT_TRUE(rep.hashes_match) << "seed " << seed;
+  // Telemetry divergence oracle: the deterministic counter snapshot is
+  // byte-identical on every replica at quiescence — a restore must count a
+  // replayed batch exactly once (checkpoint-carried stats baseline).
+  EXPECT_TRUE(rep.counters_match) << "seed " << seed;
+  EXPECT_FALSE(rep.counter_snapshot.empty()) << "seed " << seed;
   EXPECT_GT(rep.batches_applied, 0u) << "seed " << seed;
   EXPECT_LE(rep.batches_applied, rep.batches_submitted);
+
+  // The harness mirrors every injected fault into the chaos_* counter
+  // families, so dashboards/tests can assert on telemetry alone.
+  const obs::ReplicaMetrics& rm = rdb.replica_metrics();
+  EXPECT_EQ(rm.chaos_crashes->value(), rep.events.crashes);
+  EXPECT_EQ(rm.chaos_pauses->value(), rep.events.pauses);
+  EXPECT_EQ(rm.chaos_restarts->value(), rep.events.restarts);
+  EXPECT_EQ(rm.chaos_partitions->value(), rep.events.partitions);
+  EXPECT_EQ(rm.chaos_heals->value(), rep.events.heals);
+  EXPECT_EQ(rm.chaos_bursts->value(), rep.events.bursts);
+  EXPECT_EQ(rm.checkpoints->value(), rep.recovery.checkpoints_taken);
+  EXPECT_EQ(rm.batches_submitted->value(), rep.batches_submitted);
+  rdb.refresh_gauges();
+  EXPECT_EQ(rm.replicas_down->value(), 0);  // everything healed at the end
 }
 
 TEST_P(ChaosSeedTest, CatalogMixConverges) {
@@ -128,6 +147,7 @@ TEST_P(ChaosSeedTest, CatalogMixConverges) {
 
   EXPECT_TRUE(rep.converged) << "seed " << seed;
   EXPECT_TRUE(rep.hashes_match) << "seed " << seed;
+  EXPECT_TRUE(rep.counters_match) << "seed " << seed;
   EXPECT_GT(rep.batches_applied, 0u) << "seed " << seed;
 }
 
@@ -159,6 +179,8 @@ TEST(ChaosTest, SameSeedReproducesIdenticalRun) {
   EXPECT_EQ(a.state_hash, b.state_hash);
   EXPECT_EQ(a.batches_applied, b.batches_applied);
   EXPECT_EQ(a.trace, b.trace);  // the fault schedule itself replays exactly
+  // The counter snapshot is part of the reproducible surface too.
+  EXPECT_EQ(a.counter_snapshot, b.counter_snapshot);
 }
 
 // --- directed recovery scenarios ---------------------------------------------
@@ -205,8 +227,21 @@ TEST(ChaosTest, CheckpointRestoreThenCompactedSuffixCatchUp) {
   EXPECT_GT(st.checkpoints_taken, 0u);
   EXPECT_GE(st.checkpoint_restores, 1u);  // victim restored its local image
   EXPECT_GE(st.snapshot_installs, 1u);    // and caught up via InstallSnapshot
-  // Engine counters survived the rebuild (resume-safe accounting).
+  // Engine counters survived the rebuild (resume-safe accounting) — and the
+  // replayed suffix was counted exactly once: the restored replica's
+  // deterministic snapshot is byte-identical to the never-crashed leader's.
   EXPECT_GT(rdb.replica_engine_stats(victim).committed, 0u);
+  EXPECT_EQ(rdb.deterministic_counter_snapshot(victim),
+            rdb.deterministic_counter_snapshot(lid));
+
+  // The replica-metrics registry mirrors RecoveryStats (scrape parity).
+  const obs::ReplicaMetrics& rm = rdb.replica_metrics();
+  EXPECT_EQ(rm.checkpoints->value(), st.checkpoints_taken);
+  EXPECT_EQ(rm.checkpoint_restores->value(), st.checkpoint_restores);
+  EXPECT_EQ(rm.snapshot_installs->value(), st.snapshot_installs);
+  rdb.refresh_gauges();
+  EXPECT_EQ(rm.replicas_down->value(), 0);
+  EXPECT_EQ(rm.batch_lag->value(), 0);
 }
 
 /// Restart with checkpointing disabled: the replica must rebuild by full
@@ -281,6 +316,15 @@ TEST(ChaosTest, DivergenceIsQuarantinedAndResynced) {
   EXPECT_GE(st.quarantines, 1u);
   EXPECT_GE(st.resyncs, 1u);
   EXPECT_FALSE(rdb.quarantined(victim));
+  // Divergence handling is mirrored into the telemetry registry.
+  const obs::ReplicaMetrics& rm = rdb.replica_metrics();
+  EXPECT_EQ(rm.divergences->value(), st.divergences_detected);
+  EXPECT_EQ(rm.quarantines->value(), st.quarantines);
+  EXPECT_EQ(rm.resyncs->value(), st.resyncs);
+  // A resynced replica rejoins the logical counter record: its snapshot is
+  // byte-identical to the leader's again.
+  EXPECT_EQ(rdb.deterministic_counter_snapshot(victim),
+            rdb.deterministic_counter_snapshot(static_cast<NodeId>(leader)));
 
   ASSERT_TRUE(rdb.converged());
   const auto hashes = rdb.state_hashes();

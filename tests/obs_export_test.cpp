@@ -1,0 +1,217 @@
+// Exporter tests: Prometheus text-exposition golden + strict validator
+// (good and bad inputs — the CI schema test), JSON snapshot shape, and the
+// Chrome trace_event writer (DESIGN.md §9).
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "obs/export.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace_export.hpp"
+#include "sched/trace.hpp"
+
+namespace prog::obs {
+namespace {
+
+void fill_sample_registry(Registry& reg) {
+  reg.counter("txn_total", "Committed transactions",
+              Determinism::kDeterministic, {{"class", "rot"}})
+      .inc(5);
+  Histogram& h = reg.histogram("lat_us", "Latency");
+  h.observe(1);    // bucket 1, bound 1
+  h.observe(100);  // bucket 7, bound 127
+}
+
+TEST(PrometheusExportTest, Golden) {
+  Registry reg;
+  fill_sample_registry(reg);
+  const std::string text = to_prometheus(reg.snapshot());
+  EXPECT_EQ(text,
+            "# HELP prog_lat_us Latency\n"
+            "# TYPE prog_lat_us histogram\n"
+            "prog_lat_us_bucket{le=\"1\"} 1\n"
+            "prog_lat_us_bucket{le=\"127\"} 2\n"
+            "prog_lat_us_bucket{le=\"+Inf\"} 2\n"
+            "prog_lat_us_sum 101\n"
+            "prog_lat_us_count 2\n"
+            "# HELP prog_txn_total Committed transactions\n"
+            "# TYPE prog_txn_total counter\n"
+            "prog_txn_total{class=\"rot\"} 5\n");
+}
+
+TEST(PrometheusExportTest, GoldenIsByteStableAcrossRegistries) {
+  // Same values, independently built registries: identical exposition.
+  Registry a, b;
+  fill_sample_registry(a);
+  fill_sample_registry(b);
+  EXPECT_EQ(to_prometheus(a.snapshot()), to_prometheus(b.snapshot()));
+}
+
+TEST(PrometheusValidatorTest, AcceptsOwnOutput) {
+  Registry reg;
+  fill_sample_registry(reg);
+  reg.gauge("depth", "Queue depth").set(-3);
+  std::string err;
+  EXPECT_TRUE(validate_prometheus(to_prometheus(reg.snapshot()), &err))
+      << err;
+  EXPECT_TRUE(err.empty());
+}
+
+TEST(PrometheusValidatorTest, AcceptsCommentsAndTimestamps) {
+  const std::string text =
+      "# a free-form comment\n"
+      "# TYPE x counter\n"
+      "x 3 1700000000\n";
+  std::string err;
+  EXPECT_TRUE(validate_prometheus(text, &err)) << err;
+}
+
+TEST(PrometheusValidatorTest, RejectsMalformedInput) {
+  std::string err;
+  // Sample without a preceding TYPE.
+  EXPECT_FALSE(validate_prometheus("foo 1\n", &err));
+  EXPECT_NE(err.find("no preceding TYPE"), std::string::npos) << err;
+  // Invalid metric name.
+  EXPECT_FALSE(validate_prometheus("# TYPE 9bad counter\n9bad 1\n", &err));
+  // Invalid value.
+  EXPECT_FALSE(
+      validate_prometheus("# TYPE x counter\nx notanumber\n", &err));
+  // Unterminated label set.
+  EXPECT_FALSE(
+      validate_prometheus("# TYPE x counter\nx{a=\"1\" 2\n", &err));
+  // Bare sample for a histogram family.
+  EXPECT_FALSE(validate_prometheus("# TYPE h histogram\nh 1\n", &err));
+  EXPECT_NE(err.find("bare sample"), std::string::npos) << err;
+  // Unknown TYPE.
+  EXPECT_FALSE(validate_prometheus("# TYPE x flurble\nx 1\n", &err));
+  // Duplicate TYPE.
+  EXPECT_FALSE(validate_prometheus(
+      "# TYPE x counter\n# TYPE x counter\nx 1\n", &err));
+  // Empty exposition.
+  EXPECT_FALSE(validate_prometheus("", &err));
+}
+
+TEST(PrometheusValidatorTest, EnforcesHistogramShape) {
+  std::string err;
+  // Non-monotone cumulative buckets.
+  EXPECT_FALSE(validate_prometheus(
+      "# TYPE h histogram\n"
+      "h_bucket{le=\"1\"} 5\n"
+      "h_bucket{le=\"2\"} 3\n"
+      "h_bucket{le=\"+Inf\"} 5\n",
+      &err));
+  EXPECT_NE(err.find("non-monotone"), std::string::npos) << err;
+  // Missing le label.
+  EXPECT_FALSE(validate_prometheus(
+      "# TYPE h histogram\nh_bucket 5\n", &err));
+  // Missing +Inf bucket.
+  EXPECT_FALSE(validate_prometheus(
+      "# TYPE h histogram\n"
+      "h_bucket{le=\"1\"} 5\n"
+      "h_sum 5\nh_count 5\n",
+      &err));
+  EXPECT_NE(err.find("+Inf"), std::string::npos) << err;
+  // +Inf below the cumulative count.
+  EXPECT_FALSE(validate_prometheus(
+      "# TYPE h histogram\n"
+      "h_bucket{le=\"1\"} 5\n"
+      "h_bucket{le=\"+Inf\"} 4\n",
+      &err));
+}
+
+TEST(JsonExportTest, ShapeAndEscaping) {
+  Registry reg;
+  reg.counter("c_total", "h", Determinism::kDeterministic).inc(3);
+  reg.histogram("h_us", "h", {{"phase", "a\"b"}}).observe(4);
+  const std::string j = to_json(reg.snapshot());
+  EXPECT_NE(j.find("\"name\":\"c_total\""), std::string::npos);
+  EXPECT_NE(j.find("\"deterministic\":true"), std::string::npos);
+  EXPECT_NE(j.find("\"value\":3"), std::string::npos);
+  EXPECT_NE(j.find("\"count\":1"), std::string::npos);
+  EXPECT_NE(j.find("\"buckets\":[[7,1]]"), std::string::npos);
+  EXPECT_NE(j.find("\"phase\":\"a\\\"b\""), std::string::npos);
+  // Balanced outer array.
+  EXPECT_EQ(j.front(), '[');
+  EXPECT_EQ(j[j.size() - 2], ']');
+}
+
+TEST(JsonEscapeTest, ControlCharacters) {
+  EXPECT_EQ(json_escape("a\"b\\c\nd\te\rf"), "a\\\"b\\\\c\\nd\\te\\rf");
+  EXPECT_EQ(json_escape(std::string(1, '\x01')), "\\u0001");
+}
+
+sched::BatchTrace make_trace() {
+  sched::BatchTrace t;
+  t.prepare_total_us = 40;
+  t.enqueue_us = 10;
+  t.sf_serial_us = 25;
+  t.rounds = 2;
+  // ROT, then a chain a -> b in round 0, then a round-1 retry of b.
+  sched::TraceAttempt rot;
+  rot.tx = 0;
+  rot.rot = true;
+  rot.service_us = 12;
+  t.attempts.push_back(rot);
+  sched::TraceAttempt a;
+  a.tx = 1;
+  a.service_us = 20;
+  t.attempts.push_back(a);
+  sched::TraceAttempt b;
+  b.tx = 2;
+  b.service_us = 30;
+  b.failed = true;
+  b.preds = {1};
+  t.attempts.push_back(b);
+  sched::TraceAttempt b2;
+  b2.tx = 2;
+  b2.round = 1;
+  b2.service_us = 15;
+  t.attempts.push_back(b2);
+  return t;
+}
+
+TEST(ChromeTraceTest, EmitsCompleteEventsAndMetadata) {
+  ChromeTraceWriter w(2);
+  w.add_batch(make_trace(), 7);
+  w.add_batch(make_trace(), 8);
+  EXPECT_EQ(w.batches(), 2u);
+  const std::string j = w.json();
+  EXPECT_NE(j.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(j.find("\"ph\":\"X\""), std::string::npos);  // complete events
+  EXPECT_NE(j.find("\"ph\":\"M\""), std::string::npos);  // metadata
+  EXPECT_NE(j.find("thread_name"), std::string::npos);
+  EXPECT_NE(j.find("prepare"), std::string::npos);
+  EXPECT_NE(j.find("enqueue"), std::string::npos);
+  EXPECT_NE(j.find("batch 7"), std::string::npos);
+  EXPECT_NE(j.find("batch 8"), std::string::npos);
+  // Braces balance (cheap well-formedness proxy).
+  int depth = 0;
+  bool in_str = false;
+  char prev = 0;
+  for (char c : j) {
+    if (in_str) {
+      if (c == '"' && prev != '\\') in_str = false;
+    } else if (c == '"') {
+      in_str = true;
+    } else if (c == '{') {
+      ++depth;
+    } else if (c == '}') {
+      --depth;
+      EXPECT_GE(depth, 0);
+    }
+    prev = c;
+  }
+  EXPECT_EQ(depth, 0);
+}
+
+TEST(ChromeTraceTest, TimeCursorAdvancesBetweenBatches) {
+  ChromeTraceWriter w(2);
+  w.add_batch(make_trace(), 0);
+  const std::string one = w.json();
+  w.add_batch(make_trace(), 1);
+  const std::string two = w.json();
+  EXPECT_GT(two.size(), one.size());
+}
+
+}  // namespace
+}  // namespace prog::obs

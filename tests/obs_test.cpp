@@ -1,0 +1,221 @@
+// Registry core tests: instrument semantics, label canonicalization,
+// idempotent registration, concurrent increment stress, stable snapshot
+// ordering, and the deterministic-subset serialization that the replica
+// divergence oracle builds on (DESIGN.md §9).
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.hpp"
+
+namespace prog::obs {
+namespace {
+
+TEST(CounterTest, IncrementAndRestore) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.inc();
+  c.inc(41);
+  EXPECT_EQ(c.value(), 42u);
+  c.reset_for_restore(7);
+  EXPECT_EQ(c.value(), 7u);
+}
+
+TEST(GaugeTest, SetAddSub) {
+  Gauge g;
+  g.set(10);
+  g.add(5);
+  g.sub(20);
+  EXPECT_EQ(g.value(), -5);
+}
+
+TEST(HistogramTest, Log2BucketPlacement) {
+  Histogram h;
+  h.observe(0);    // bucket 0 (bit_width 0)
+  h.observe(1);    // bucket 1
+  h.observe(2);    // bucket 2 (upper bound 3)
+  h.observe(3);    // bucket 2
+  h.observe(4);    // bucket 3 (upper bound 7)
+  h.observe(-9);   // clamped to 0 -> bucket 0
+  EXPECT_EQ(h.count(), 6u);
+  EXPECT_EQ(h.sum(), 0 + 1 + 2 + 3 + 4 + 0);
+  EXPECT_EQ(h.bucket(0), 2u);
+  EXPECT_EQ(h.bucket(1), 1u);
+  EXPECT_EQ(h.bucket(2), 2u);
+  EXPECT_EQ(h.bucket(3), 1u);
+  EXPECT_EQ(Histogram::bucket_bound(0), 0u);
+  EXPECT_EQ(Histogram::bucket_bound(1), 1u);
+  EXPECT_EQ(Histogram::bucket_bound(2), 3u);
+  EXPECT_EQ(Histogram::bucket_bound(10), 1023u);
+}
+
+TEST(HistogramTest, HugeValuesClampToLastBucket) {
+  Histogram h;
+  h.observe(std::int64_t{1} << 62);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_EQ(h.bucket(Histogram::kBuckets - 1), 1u);
+}
+
+TEST(LabelsTest, CanonicalizationSortsAndEscapes) {
+  EXPECT_EQ(canonical_labels({}), "");
+  EXPECT_EQ(canonical_labels({{"b", "2"}, {"a", "1"}}), "a=\"1\",b=\"2\"");
+  EXPECT_EQ(canonical_labels({{"k", "a\"b\\c\nd"}}),
+            "k=\"a\\\"b\\\\c\\nd\"");
+}
+
+TEST(RegistryTest, RegistrationIsIdempotent) {
+  Registry reg;
+  Counter& a = reg.counter("x_total", "help", Determinism::kDeterministic);
+  Counter& b = reg.counter("x_total", "help", Determinism::kDeterministic);
+  EXPECT_EQ(&a, &b);  // same instrument, not a new one
+  a.inc();
+  EXPECT_EQ(b.value(), 1u);
+  // Distinct label sets are distinct instruments of the same family.
+  Counter& l1 = reg.counter("y_total", "h", Determinism::kTimingDependent,
+                            {{"class", "rot"}});
+  Counter& l2 = reg.counter("y_total", "h", Determinism::kTimingDependent,
+                            {{"class", "it"}});
+  EXPECT_NE(&l1, &l2);
+  // Label order does not matter — the canonical form does.
+  Counter& l3 = reg.counter("z_total", "h", Determinism::kTimingDependent,
+                            {{"a", "1"}, {"b", "2"}});
+  Counter& l4 = reg.counter("z_total", "h", Determinism::kTimingDependent,
+                            {{"b", "2"}, {"a", "1"}});
+  EXPECT_EQ(&l3, &l4);
+  EXPECT_EQ(reg.families(), 3u);
+}
+
+TEST(RegistryTest, ConcurrentIncrementStress) {
+  Registry reg;
+  constexpr unsigned kThreads = 8;
+  constexpr unsigned kIters = 20000;
+  // Handles resolved up front (the documented hot-path discipline) plus
+  // racing registration of the same families from every thread.
+  std::vector<std::thread> ts;
+  for (unsigned t = 0; t < kThreads; ++t) {
+    ts.emplace_back([&reg] {
+      Counter& c = reg.counter("stress_total", "h");
+      Gauge& g = reg.gauge("stress_gauge", "h");
+      Histogram& h = reg.histogram("stress_us", "h");
+      for (unsigned i = 0; i < kIters; ++i) {
+        c.inc();
+        g.add(1);
+        h.observe(static_cast<std::int64_t>(i % 1024));
+      }
+    });
+  }
+  for (auto& t : ts) t.join();
+  EXPECT_EQ(reg.counter("stress_total", "h").value(),
+            std::uint64_t{kThreads} * kIters);
+  EXPECT_EQ(reg.gauge("stress_gauge", "h").value(),
+            static_cast<std::int64_t>(kThreads) * kIters);
+  EXPECT_EQ(reg.histogram("stress_us", "h").count(),
+            std::uint64_t{kThreads} * kIters);
+  EXPECT_EQ(reg.families(), 3u);
+}
+
+TEST(RegistryTest, SnapshotIsStableOrdered) {
+  // Register in scrambled order; snapshot must come back sorted by
+  // (name, labels) regardless of shard hashing or insertion order.
+  Registry reg;
+  reg.counter("zeta_total", "h");
+  reg.gauge("alpha_depth", "h");
+  reg.counter("mid_total", "h", Determinism::kTimingDependent,
+              {{"class", "rot"}});
+  reg.counter("mid_total", "h", Determinism::kTimingDependent,
+              {{"class", "it"}});
+  reg.histogram("beta_us", "h");
+
+  const auto snap = reg.snapshot();
+  ASSERT_EQ(snap.size(), 5u);
+  for (std::size_t i = 1; i < snap.size(); ++i) {
+    const bool ordered =
+        snap[i - 1].name < snap[i].name ||
+        (snap[i - 1].name == snap[i].name &&
+         snap[i - 1].labels < snap[i].labels);
+    EXPECT_TRUE(ordered) << snap[i - 1].name << " vs " << snap[i].name;
+  }
+  EXPECT_EQ(snap[0].name, "alpha_depth");
+  EXPECT_EQ(snap[1].name, "beta_us");
+  EXPECT_EQ(snap[2].name, "mid_total");
+  EXPECT_EQ(snap[2].labels, "class=\"it\"");  // labels tie-broken too
+  EXPECT_EQ(snap[3].labels, "class=\"rot\"");
+  EXPECT_EQ(snap[4].name, "zeta_total");
+}
+
+TEST(RegistryTest, SnapshotGolden) {
+  Registry reg;
+  reg.counter("c_total", "h", Determinism::kDeterministic).inc(3);
+  reg.gauge("g_depth", "h").set(-2);
+  Histogram& h = reg.histogram("h_us", "h");
+  h.observe(1);
+  h.observe(5);
+  const auto snap = reg.snapshot();
+  ASSERT_EQ(snap.size(), 3u);
+  EXPECT_EQ(snap[0].name, "c_total");
+  EXPECT_EQ(snap[0].kind, MetricKind::kCounter);
+  EXPECT_TRUE(snap[0].deterministic());
+  EXPECT_EQ(snap[0].value, 3);
+  EXPECT_EQ(snap[1].value, -2);
+  EXPECT_EQ(snap[2].count, 2u);
+  EXPECT_EQ(snap[2].sum, 6);
+  ASSERT_EQ(snap[2].buckets.size(), Histogram::kBuckets);
+  EXPECT_EQ(snap[2].buckets[1], 1u);  // value 1
+  EXPECT_EQ(snap[2].buckets[3], 1u);  // value 5 (bounds (3, 7])
+}
+
+TEST(RegistryTest, DeterministicSubsetAndSerialization) {
+  // Two registries, same deterministic values, different timing noise and
+  // different registration order: serialize_deterministic must agree.
+  auto fill = [](Registry& reg, bool scrambled, std::int64_t noise) {
+    if (scrambled) {
+      reg.histogram("wall_us", "h").observe(noise);
+      reg.counter("b_total", "h", Determinism::kDeterministic,
+                  {{"class", "it"}})
+          .inc(5);
+      reg.counter("a_total", "h", Determinism::kDeterministic).inc(2);
+      reg.counter("b_total", "h", Determinism::kDeterministic,
+                  {{"class", "rot"}})
+          .inc(7);
+    } else {
+      reg.counter("a_total", "h", Determinism::kDeterministic).inc(2);
+      reg.counter("b_total", "h", Determinism::kDeterministic,
+                  {{"class", "rot"}})
+          .inc(7);
+      reg.counter("b_total", "h", Determinism::kDeterministic,
+                  {{"class", "it"}})
+          .inc(5);
+      reg.histogram("wall_us", "h").observe(noise);
+    }
+  };
+  Registry r1, r2;
+  fill(r1, false, 123);
+  fill(r2, true, 999888);
+
+  EXPECT_EQ(r1.deterministic_snapshot().size(), 3u);
+  const std::string s1 = r1.serialize_deterministic();
+  const std::string s2 = r2.serialize_deterministic();
+  EXPECT_EQ(s1, s2);
+  EXPECT_EQ(s1,
+            "a_total 2\n"
+            "b_total{class=\"it\"} 5\n"
+            "b_total{class=\"rot\"} 7\n");
+}
+
+TEST(SnapshotQuantileTest, UpperBoundEstimate) {
+  Registry reg;
+  Histogram& h = reg.histogram("q_us", "h");
+  for (int i = 0; i < 99; ++i) h.observe(100);   // bucket 7, bound 127
+  h.observe(100000);                             // bucket 17, bound 131071
+  const auto snap = reg.snapshot();
+  ASSERT_EQ(snap.size(), 1u);
+  EXPECT_DOUBLE_EQ(snapshot_quantile(snap[0], 0.50), 127.0);
+  EXPECT_DOUBLE_EQ(snapshot_quantile(snap[0], 0.999), 131071.0);
+  MetricSnapshot empty;
+  EXPECT_DOUBLE_EQ(snapshot_quantile(empty, 0.5), 0.0);
+}
+
+}  // namespace
+}  // namespace prog::obs

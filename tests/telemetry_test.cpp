@@ -1,0 +1,322 @@
+// Engine telemetry tests (DESIGN.md §9): the EngineConfig::telemetry toggle,
+// registry counters vs BatchResult ground truth, per-class EngineStats
+// breakdowns, determinism of counter serialization across engines, the
+// telemetry-on/off state parity guarantee, and the BatchTrace reuse
+// regression (the engine must clear a carried-over sink at batch start).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "db/database.hpp"
+#include "lang/builder.hpp"
+#include "obs/engine_metrics.hpp"
+#include "obs/metrics.hpp"
+#include "sched/trace.hpp"
+
+namespace prog {
+namespace {
+
+constexpr TableId kData = 1;
+constexpr TableId kHot = 2;
+constexpr TableId kLog = 3;
+constexpr FieldId kV = 0;
+
+lang::Proc make_scan() {  // ROT: pure reads
+  lang::ProcBuilder b("scan");
+  auto k = b.param("k", 0, 1000);
+  b.get(kData, k);
+  b.get(kData, k + 1);
+  return std::move(b).build();
+}
+
+lang::Proc make_bump() {  // IT: key-set is a pure function of the input
+  lang::ProcBuilder b("bump");
+  auto k = b.param("k", 0, 1000);
+  auto row = b.get(kData, k);
+  b.put(kData, k, {{kV, row.field(kV) + 1}});
+  return std::move(b).build();
+}
+
+lang::Proc make_chain() {  // DT: write key depends on read data (pivot)
+  lang::ProcBuilder b("chain");
+  auto payload = b.param("payload", 0, 1 << 20);
+  auto h = b.get(kHot, b.lit(0));
+  auto seq = b.let("seq", h.field(kV));
+  b.put(kLog, seq, {{kV, payload}});
+  b.put(kHot, b.lit(0), {{kV, seq + 1}});
+  return std::move(b).build();
+}
+
+struct Procs {
+  sched::ProcId scan, bump, chain;
+};
+
+Procs setup(db::Database& db) {
+  Procs p;
+  p.scan = db.register_procedure(make_scan());
+  p.bump = db.register_procedure(make_bump());
+  p.chain = db.register_procedure(make_chain());
+  for (Key k = 0; k <= 1001; ++k) {
+    db.store().put({kData, k}, store::Row{{kV, 0}}, 0);
+  }
+  db.store().put({kHot, 0}, store::Row{{kV, 0}}, 0);
+  db.finalize();
+  return p;
+}
+
+/// A mixed batch: `n_rot` scans, `n_it` bumps, `n_dt` conflicting chains.
+std::vector<sched::TxRequest> mixed_batch(const Procs& p, unsigned n_rot,
+                                          unsigned n_it, unsigned n_dt,
+                                          Rng& rng) {
+  std::vector<sched::TxRequest> batch;
+  auto add = [&](sched::ProcId proc, Value v) {
+    sched::TxRequest r;
+    r.proc = proc;
+    r.input.add(v);
+    batch.push_back(std::move(r));
+  };
+  for (unsigned i = 0; i < n_rot; ++i) {
+    add(p.scan, static_cast<Value>(rng.bounded(1000)));
+  }
+  for (unsigned i = 0; i < n_it; ++i) {
+    add(p.bump, static_cast<Value>(rng.bounded(1000)));
+  }
+  for (unsigned i = 0; i < n_dt; ++i) {
+    add(p.chain, static_cast<Value>(i));
+  }
+  return batch;
+}
+
+std::int64_t find_counter(const std::vector<obs::MetricSnapshot>& snap,
+                          const std::string& name,
+                          const std::string& labels = "") {
+  for (const auto& s : snap) {
+    if (s.name == name && s.labels == labels) return s.value;
+  }
+  ADD_FAILURE() << "metric not found: " << name << "{" << labels << "}";
+  return -1;
+}
+
+const obs::MetricSnapshot* find_metric(
+    const std::vector<obs::MetricSnapshot>& snap, const std::string& name,
+    const std::string& labels = "") {
+  for (const auto& s : snap) {
+    if (s.name == name && s.labels == labels) return &s;
+  }
+  return nullptr;
+}
+
+TEST(TelemetryTest, RegistryPresentOnlyWhenEnabled) {
+  sched::EngineConfig off;
+  db::Database db_off(off);
+  setup(db_off);
+  EXPECT_EQ(db_off.telemetry(), nullptr);
+
+  sched::EngineConfig on;
+  on.telemetry = true;
+  db::Database db_on(on);
+  setup(db_on);
+  ASSERT_NE(db_on.telemetry(), nullptr);
+  EXPECT_GT(db_on.telemetry()->families(), 0u);
+}
+
+TEST(TelemetryTest, CountersMatchBatchResults) {
+  sched::EngineConfig cfg;
+  cfg.workers = 3;
+  cfg.telemetry = true;
+  db::Database db(cfg);
+  const Procs p = setup(db);
+  Rng rng(7);
+
+  std::uint64_t committed = 0, aborts = 0, rounds = 0, batches = 0;
+  std::uint64_t txns = 0;
+  for (int i = 0; i < 6; ++i) {
+    auto batch = mixed_batch(p, 8, 12, 6, rng);
+    txns += batch.size();
+    const auto r = db.execute(std::move(batch));
+    committed += r.committed;
+    aborts += r.validation_aborts;
+    rounds += r.rounds;
+    ++batches;
+  }
+  ASSERT_GT(aborts, 0u);  // the chain mix must actually conflict
+
+  const auto snap = db.telemetry()->snapshot();
+  EXPECT_EQ(find_counter(snap, "engine_batches_total"),
+            static_cast<std::int64_t>(batches));
+  std::int64_t c = 0, a = 0;
+  for (const char* cls : {"rot", "it", "dt"}) {
+    const std::string l = std::string("class=\"") + cls + '"';
+    c += find_counter(snap, "engine_txn_committed_total", l);
+    a += find_counter(snap, "engine_txn_validation_aborts_total", l);
+  }
+  EXPECT_EQ(c, static_cast<std::int64_t>(committed));
+  EXPECT_EQ(a, static_cast<std::int64_t>(aborts));
+  EXPECT_EQ(find_counter(snap, "engine_rounds_total"),
+            static_cast<std::int64_t>(rounds));
+  // Classes land in their own buckets: every scan is a ROT commit, every
+  // abort is a DT (the chain procs are the only conflicting ones).
+  EXPECT_EQ(find_counter(snap, "engine_txn_committed_total", "class=\"rot\""),
+            6 * 8);
+  EXPECT_EQ(find_counter(snap, "engine_txn_committed_total", "class=\"it\""),
+            6 * 12);
+  EXPECT_EQ(find_counter(snap, "engine_txn_committed_total", "class=\"dt\""),
+            6 * 6);
+  EXPECT_EQ(
+      find_counter(snap, "engine_txn_validation_aborts_total", "class=\"it\""),
+      0);
+
+  // Timing families observed the right event counts.
+  const auto* wall = find_metric(snap, "engine_batch_wall_us");
+  ASSERT_NE(wall, nullptr);
+  EXPECT_EQ(wall->count, batches);
+  std::uint64_t lat = 0;
+  for (const char* cls : {"rot", "it", "dt"}) {
+    const auto* h = find_metric(snap, "engine_txn_service_us",
+                                std::string("class=\"") + cls + '"');
+    ASSERT_NE(h, nullptr);
+    lat += h->count;
+  }
+  // One observation per attempt: commits plus failed attempts.
+  EXPECT_EQ(lat, committed + aborts);
+  const auto* size = find_metric(snap, "engine_batch_size_txns");
+  ASSERT_NE(size, nullptr);
+  EXPECT_EQ(size->count, batches);
+  EXPECT_EQ(static_cast<std::uint64_t>(size->sum), txns);
+  const auto* prep = find_metric(snap, "engine_phase_us", "phase=\"prepare\"");
+  ASSERT_NE(prep, nullptr);
+  EXPECT_EQ(prep->count, batches);
+}
+
+TEST(TelemetryTest, PerClassStatsFoldIntoAggregates) {
+  sched::EngineConfig cfg;
+  cfg.telemetry = true;  // breakdowns are maintained regardless; spot-check
+  db::Database db(cfg);
+  const Procs p = setup(db);
+  Rng rng(11);
+  for (int i = 0; i < 4; ++i) {
+    db.execute(mixed_batch(p, 5, 10, 4, rng));
+  }
+  const sched::EngineStats s = db.engine_stats();
+  EXPECT_EQ(s.committed, s.committed_by_class[0] + s.committed_by_class[1] +
+                             s.committed_by_class[2]);
+  EXPECT_EQ(s.rolled_back, s.rolled_back_by_class[0] +
+                               s.rolled_back_by_class[1] +
+                               s.rolled_back_by_class[2]);
+  EXPECT_EQ(s.validation_aborts, s.validation_aborts_by_class[0] +
+                                     s.validation_aborts_by_class[1] +
+                                     s.validation_aborts_by_class[2]);
+  EXPECT_EQ(s.committed_by_class[0], 4u * 5u);
+  EXPECT_EQ(s.committed_by_class[1], 4u * 10u);
+  EXPECT_EQ(s.committed_by_class[2], 4u * 4u);
+
+  // operator+= folds the breakdowns too (recovery-layer carry-over).
+  sched::EngineStats sum = s;
+  sum += s;
+  EXPECT_EQ(sum.committed_by_class[1], 2 * s.committed_by_class[1]);
+  EXPECT_EQ(sum.validation_aborts_by_class[2],
+            2 * s.validation_aborts_by_class[2]);
+}
+
+TEST(TelemetryTest, DeterministicSerializationAcrossEngines) {
+  // Two independent engines, same batch sequence: the deterministic subset
+  // must serialize byte-identically even though timing histograms differ.
+  auto run = [](std::uint64_t /*noise*/) {
+    sched::EngineConfig cfg;
+    cfg.workers = 2;
+    cfg.telemetry = true;
+    auto db = std::make_unique<db::Database>(cfg);
+    const Procs p = setup(*db);
+    Rng rng(3);
+    for (int i = 0; i < 5; ++i) db->execute(mixed_batch(p, 6, 9, 5, rng));
+    return db;
+  };
+  auto a = run(1);
+  auto b = run(2);
+  const std::string sa = a->telemetry()->serialize_deterministic();
+  const std::string sb = b->telemetry()->serialize_deterministic();
+  EXPECT_FALSE(sa.empty());
+  EXPECT_EQ(sa, sb);
+  // And the deterministic subset contains no timing families.
+  for (const auto& m : a->telemetry()->deterministic_snapshot()) {
+    EXPECT_EQ(m.kind, obs::MetricKind::kCounter) << m.name;
+    EXPECT_EQ(m.name.find("_us"), std::string::npos) << m.name;
+  }
+}
+
+TEST(TelemetryTest, ToggleDoesNotChangeExecution) {
+  // telemetry on vs off: same commits, same rounds, same final state hash.
+  auto run = [](bool telemetry) {
+    sched::EngineConfig cfg;
+    cfg.workers = 3;
+    cfg.telemetry = telemetry;
+    db::Database db(cfg);
+    const Procs p = setup(db);
+    Rng rng(19);
+    std::uint64_t committed = 0, rounds = 0;
+    for (int i = 0; i < 5; ++i) {
+      const auto r = db.execute(mixed_batch(p, 7, 11, 6, rng));
+      committed += r.committed;
+      rounds += r.rounds;
+    }
+    return std::tuple{committed, rounds, db.state_hash()};
+  };
+  EXPECT_EQ(run(false), run(true));
+}
+
+TEST(BatchTraceTest, ReusedSinkIsClearedAtBatchStart) {
+  // Regression: a BatchTrace carried across execute_traced calls used to
+  // accumulate attempts/rounds/sf_serial_us across batches, silently
+  // corrupting the throughput model's input. The engine now clears the sink
+  // at batch start.
+  sched::EngineConfig cfg;
+  cfg.workers = 2;
+  db::Database db(cfg);
+  const Procs p = setup(db);
+  Rng rng(5);
+
+  sched::BatchTrace trace;
+  db.execute_traced(mixed_batch(p, 4, 6, 5, rng), &trace);
+  const std::size_t attempts_one = trace.attempts.size();
+  const std::uint16_t rounds_one = trace.rounds;
+  ASSERT_GT(attempts_one, 0u);
+  ASSERT_GT(rounds_one, 0u);  // the chain mix forces failed rounds
+
+  // Same-shaped second batch into the SAME trace object, no manual clear().
+  Rng rng2(5);
+  db.execute_traced(mixed_batch(p, 4, 6, 5, rng2), &trace);
+  EXPECT_EQ(trace.attempts.size(), attempts_one) << "attempts accumulated";
+  EXPECT_EQ(trace.rounds, rounds_one) << "rounds accumulated";
+
+  // Per-attempt totals are batch-local too: prepare work recorded once.
+  sched::BatchTrace fresh;
+  Rng rng3(5);
+  db::Database db2(cfg);
+  const Procs p2 = setup(db2);
+  db2.execute_traced(mixed_batch(p2, 4, 6, 5, rng3), &fresh);
+  EXPECT_EQ(trace.attempts.size(), fresh.attempts.size());
+  EXPECT_EQ(trace.rounds, fresh.rounds);
+}
+
+TEST(BatchTraceTest, SfTailRecordedUnderSerialFallback) {
+  // sf_serial_us must reflect the serial tail in SF mode (and not be zeroed
+  // by the parallel_failed flag logic — regression for the old
+  // `parallel_failed ? 0 : reexec` expression).
+  sched::EngineConfig cfg;
+  cfg.workers = 2;
+  cfg.parallel_failed = false;  // all failed work runs on the serial path
+  db::Database db(cfg);
+  const Procs p = setup(db);
+  db.store().set_access_delay_ns(20000);  // make per-tx service time visible
+  Rng rng(23);
+  sched::BatchTrace trace;
+  const auto r = db.execute_traced(mixed_batch(p, 0, 0, 8, rng), &trace);
+  EXPECT_EQ(r.committed, 8u);
+  EXPECT_GT(trace.sf_serial_us, 0);
+}
+
+}  // namespace
+}  // namespace prog

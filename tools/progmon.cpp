@@ -1,0 +1,228 @@
+// progmon: run a workload against a single telemetry-enabled Database and
+// watch it live (DESIGN.md §9, EXPERIMENTS.md "Telemetry runbook").
+//
+//   progmon --workload tpcc --batches 200 --batch-size 200 --refresh 25
+//   progmon --workload catalog --export-prom metrics.prom --check-prom
+//   progmon --workload micro --trace trace.json        # open in Perfetto
+//
+// The dashboard differences successive registry snapshots, so the panel
+// shows *windowed* rates and percentiles (since the previous refresh), not
+// lifetime averages. --export-prom / --export-json dump the final
+// cumulative snapshot; --trace records every batch's BatchTrace and writes
+// a Chrome trace_event file loadable in https://ui.perfetto.dev.
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/stopwatch.hpp"
+#include "db/database.hpp"
+#include "obs/dashboard.hpp"
+#include "obs/export.hpp"
+#include "obs/trace_export.hpp"
+#include "sched/trace.hpp"
+#include "workloads/microbench.hpp"
+#include "workloads/tpcc.hpp"
+
+namespace {
+
+using namespace prog;  // tool, not library code
+
+struct Args {
+  std::string workload = "tpcc";
+  unsigned batches = 200;
+  std::size_t batch_size = 200;
+  unsigned workers = 4;
+  unsigned refresh = 25;  ///< dashboard ticks every N batches; 0 = quiet
+  int warehouses = 4;
+  std::uint64_t seed = 42;
+  std::string export_prom;
+  std::string export_json;
+  std::string trace_file;
+  bool check_prom = false;
+};
+
+int usage(const char* argv0) {
+  std::cerr
+      << "usage: " << argv0 << " [options]\n"
+      << "  --workload tpcc|catalog|micro   workload mix (default tpcc)\n"
+      << "  --batches N                     batches to run (default 200)\n"
+      << "  --batch-size N                  transactions per batch (default "
+         "200)\n"
+      << "  --workers N                     engine worker threads (default 4)\n"
+      << "  --refresh N                     dashboard refresh every N batches;"
+         " 0 = quiet (default 25)\n"
+      << "  --warehouses N                  TPC-C warehouses (default 4)\n"
+      << "  --seed N                        workload RNG seed (default 42)\n"
+      << "  --export-prom FILE              write Prometheus text exposition\n"
+      << "  --export-json FILE              write JSON snapshot\n"
+      << "  --trace FILE                    write Chrome trace_event JSON "
+         "(Perfetto)\n"
+      << "  --check-prom                    validate the exposition dump; "
+         "exit 1 on failure\n";
+  return 2;
+}
+
+bool parse(int argc, char** argv, Args& a) {
+  auto need = [&](int& i) -> const char* {
+    if (i + 1 >= argc) return nullptr;
+    return argv[++i];
+  };
+  for (int i = 1; i < argc; ++i) {
+    const std::string f = argv[i];
+    const char* v = nullptr;
+    if (f == "--workload" && (v = need(i))) {
+      a.workload = v;
+    } else if (f == "--batches" && (v = need(i))) {
+      a.batches = static_cast<unsigned>(std::stoul(v));
+    } else if (f == "--batch-size" && (v = need(i))) {
+      a.batch_size = static_cast<std::size_t>(std::stoul(v));
+    } else if (f == "--workers" && (v = need(i))) {
+      a.workers = static_cast<unsigned>(std::stoul(v));
+    } else if (f == "--refresh" && (v = need(i))) {
+      a.refresh = static_cast<unsigned>(std::stoul(v));
+    } else if (f == "--warehouses" && (v = need(i))) {
+      a.warehouses = std::stoi(v);
+    } else if (f == "--seed" && (v = need(i))) {
+      a.seed = std::stoull(v);
+    } else if (f == "--export-prom" && (v = need(i))) {
+      a.export_prom = v;
+    } else if (f == "--export-json" && (v = need(i))) {
+      a.export_json = v;
+    } else if (f == "--trace" && (v = need(i))) {
+      a.trace_file = v;
+    } else if (f == "--check-prom") {
+      a.check_prom = true;
+    } else {
+      return false;
+    }
+  }
+  return a.workload == "tpcc" || a.workload == "catalog" ||
+         a.workload == "micro";
+}
+
+bool write_file(const std::string& path, const std::string& body) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) {
+    std::cerr << "progmon: cannot write " << path << "\n";
+    return false;
+  }
+  out << body;
+  return static_cast<bool>(out);
+}
+
+/// Workload adapter: owns the Database and stamps batches.
+struct Runner {
+  db::Database db;
+  std::unique_ptr<workloads::tpcc::Workload> tpcc;
+  std::unique_ptr<workloads::micro::CatalogWorkload> catalog;
+  std::unique_ptr<workloads::micro::Workload> micro;
+  std::uint64_t batch_no = 0;
+
+  explicit Runner(const Args& a) : db(make_config(a)) {
+    if (a.workload == "tpcc") {
+      tpcc = std::make_unique<workloads::tpcc::Workload>(
+          db, workloads::tpcc::Scale::small(a.warehouses));
+    } else if (a.workload == "catalog") {
+      catalog = std::make_unique<workloads::micro::CatalogWorkload>(
+          db, workloads::micro::CatalogOptions{});
+    } else {
+      workloads::micro::Options opts;
+      opts.zipf_theta = 0.9;
+      micro = std::make_unique<workloads::micro::Workload>(db, opts);
+    }
+    db.store().set_access_delay_ns(1000);  // see DESIGN.md "Substitutions"
+  }
+
+  static sched::EngineConfig make_config(const Args& a) {
+    sched::EngineConfig cfg;
+    cfg.workers = a.workers;
+    cfg.telemetry = true;
+    return cfg;
+  }
+
+  std::vector<sched::TxRequest> make_batch(std::size_t n, Rng& rng) {
+    ++batch_no;
+    if (tpcc) return tpcc->batch(n, rng);
+    if (catalog) {
+      // A reprice wave every 8th batch, like the catalog ablation bench.
+      const std::size_t reprices = batch_no % 8 == 0 ? n / 64 + 1 : 0;
+      return catalog->batch(n, reprices, rng);
+    }
+    return micro->batch(n, rng);
+  }
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args args;
+  if (!parse(argc, argv, args)) return usage(argv[0]);
+
+  Runner runner(args);
+  Rng rng(args.seed);
+  obs::Dashboard dash("progmon · " + args.workload);
+  obs::ChromeTraceWriter tracer(args.workers);
+  sched::BatchTrace trace;
+
+  const obs::Registry* reg = runner.db.telemetry();
+  if (reg == nullptr) {
+    std::cerr << "progmon: engine built without telemetry\n";
+    return 1;
+  }
+
+  Stopwatch tick_sw;
+  std::uint64_t committed = 0;
+  for (unsigned b = 0; b < args.batches; ++b) {
+    auto batch = runner.make_batch(args.batch_size, rng);
+    sched::BatchResult r =
+        args.trace_file.empty()
+            ? runner.db.execute(std::move(batch))
+            : runner.db.execute_traced(std::move(batch), &trace);
+    committed += r.committed;
+    if (!args.trace_file.empty()) tracer.add_batch(trace, r.batch);
+
+    if (args.refresh != 0 && (b + 1) % args.refresh == 0) {
+      const double elapsed_s =
+          static_cast<double>(tick_sw.elapsed_micros()) / 1e6;
+      tick_sw = Stopwatch();
+      dash.tick(reg->snapshot(), elapsed_s);
+      std::cout << dash.render() << std::flush;
+    }
+  }
+
+  std::cout << "progmon: " << args.batches << " batches, " << committed
+            << " transactions committed\n";
+
+  int rc = 0;
+  if (!args.export_prom.empty() || args.check_prom) {
+    const std::string text = obs::to_prometheus(reg->snapshot());
+    if (args.check_prom) {
+      std::string err;
+      if (!obs::validate_prometheus(text, &err)) {
+        std::cerr << "progmon: exposition format INVALID: " << err << "\n";
+        rc = 1;
+      } else {
+        std::cout << "progmon: exposition format OK ("
+                  << reg->snapshot().size() << " series)\n";
+      }
+    }
+    if (!args.export_prom.empty() && !write_file(args.export_prom, text)) {
+      rc = 1;
+    }
+  }
+  if (!args.export_json.empty() &&
+      !write_file(args.export_json, obs::to_json(reg->snapshot()))) {
+    rc = 1;
+  }
+  if (!args.trace_file.empty() &&
+      !write_file(args.trace_file, tracer.json())) {
+    rc = 1;
+  }
+  return rc;
+}
