@@ -1,0 +1,312 @@
+// Hot-path overhaul ablation (DESIGN.md §10): old scheduler internals vs new.
+//
+// EngineConfig::legacy_hot_path swaps back the pre-overhaul internals — the
+// deque-in-unordered-map lock table, the single mutex-guarded global ready
+// queue, per-transaction heap-backed predictions and execution results, and
+// the unconditional yield-spin idle loop — while the new path runs the
+// epoch-arena flat lock table, the per-worker work-stealing ready deques,
+// the allocation-free prediction/result arenas, and bounded idle backoff.
+// (The interpreter's hash-free write buffer is shared by both arms, so the
+// reported speedup *understates* the full gap to the pre-PR tree.) Both
+// paths produce identical commits (asserted below per repeat), so the
+// measured gap is pure scheduler cost: malloc traffic, hash-map probing,
+// queue-mutex contention, idle spin burn.
+//
+// Workloads (store access delay 0 — scheduling cost must not hide behind an
+// emulated storage stall):
+//   hc-catalog   high-contention catalog mix: 64 hot Zipf(1.2) catalog keys,
+//                1/8 of each batch repricing them — long lock queues, grant
+//                cascades, DT-free (update-transaction throughput is the
+//                paper-facing number the acceptance gate reads);
+//   tpcc-4wh     the paper's TPC-C mix (NewOrder/Payment/...), 4 warehouses;
+//   micro-rmw    uniform-ish YCSB RMW (Zipf 0.9), the low-conflict floor.
+//
+// Methodology (= bench_ablation_telemetry): interleaved legacy/new repeats
+// over byte-identical request streams, per-batch *process CPU time*
+// (CLOCK_PROCESS_CPUTIME_ID — robust against preemption on loaded or
+// single-core hosts), per-config cost = sum over batches of the element-wise
+// minimum across repeats. Speedup = legacy / new.
+//
+// Output: a table on stdout and BENCH_hotpath.json (see tools/perf_gate.py;
+// CI soft-gates the speedup ratios against the checked-in baseline).
+// Flags: --short (CI smoke: fewer repeats/batches), --out <path>.
+#include <ctime>
+
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <memory>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "benchutil/harness.hpp"
+#include "benchutil/table.hpp"
+#include "cases.hpp"
+#include "workloads/microbench.hpp"
+
+namespace {
+
+using namespace prog;
+
+double process_cpu_us() {
+  timespec ts{};
+  clock_gettime(CLOCK_PROCESS_CPUTIME_ID, &ts);
+  return static_cast<double>(ts.tv_sec) * 1e6 +
+         static_cast<double>(ts.tv_nsec) * 1e-3;
+}
+
+void fold_min(std::vector<double>& acc, const std::vector<double>& run) {
+  if (acc.empty()) {
+    acc = run;
+    return;
+  }
+  for (std::size_t i = 0; i < acc.size(); ++i) {
+    if (run[i] < acc[i]) acc[i] = run[i];
+  }
+}
+
+double sum(const std::vector<double>& v) {
+  double s = 0;
+  for (double x : v) s += x;
+  return s;
+}
+
+// --- high-contention catalog case (not in cases.hpp: custom scale) ---------
+
+workloads::micro::CatalogOptions hc_opts() {
+  workloads::micro::CatalogOptions o;
+  o.catalog_keys = 64;  // few hot items → long lock queues
+  // Small enough that the store index stays cache-resident (store probes are
+  // identical in both arms and would otherwise drown the scheduler delta in
+  // shared LLC misses), large enough that settle draws rarely collide.
+  o.accounts = 32768;
+  // Short transactions keep the scheduler share of the batch high (the
+  // point of this ablation) while the 64-key Zipf catalog still produces
+  // hundreds-deep lock queues and writer-triggered grant cascades.
+  o.reads_per_tx = 2;
+  o.zipf_theta = 1.25;
+  // Marketplace settlement: each order read-modify-writes 4 distinct
+  // account rows out of the 32k, so update transactions churn fresh
+  // lock-table keys every batch (the access pattern the epoch arena is
+  // built for) without growing the store.
+  o.settle_accounts = 4;
+  return o;
+}
+
+struct HcCatalogTemplate {
+  std::vector<std::shared_ptr<const lang::Proc>> procs;
+  std::vector<std::shared_ptr<const sym::TxProfile>> profiles;
+  store::VersionedStore initial;
+
+  HcCatalogTemplate() {
+    const auto opts = hc_opts();
+    auto add = [&](lang::Proc p) {
+      procs.push_back(std::make_shared<const lang::Proc>(std::move(p)));
+      profiles.emplace_back(sym::Profiler::profile(*procs.back()));
+    };
+    add(workloads::micro::build_order(opts));
+    add(workloads::micro::build_reprice(opts));
+    workloads::micro::load_catalog(initial, opts);
+  }
+
+  static const HcCatalogTemplate& get() {
+    static HcCatalogTemplate tpl;
+    return tpl;
+  }
+};
+
+class HcCatalogCase final : public benchutil::CaseContext {
+ public:
+  HcCatalogCase(const sched::EngineConfig& cfg, std::uint64_t seed)
+      : db_(cfg), rng_(seed) {
+    const HcCatalogTemplate& tpl = HcCatalogTemplate::get();
+    for (std::size_t i = 0; i < tpl.procs.size(); ++i) {
+      db_.register_procedure_shared(tpl.procs[i], tpl.profiles[i]);
+    }
+    tpl.initial.clone_visible_into(db_.store());
+    wl_ = std::make_unique<workloads::micro::CatalogWorkload>(
+        db_, hc_opts(), workloads::micro::CatalogWorkload::AttachOnly{});
+  }
+  db::Database& database() override { return db_; }
+  std::vector<sched::TxRequest> make_batch(std::size_t n) override {
+    return wl_->batch(n, /*reprice_count=*/n / 4, rng_);
+  }
+
+ private:
+  db::Database db_;
+  std::unique_ptr<workloads::micro::CatalogWorkload> wl_;
+  Rng rng_;
+};
+
+class MicroCase final : public benchutil::CaseContext {
+ public:
+  MicroCase(const sched::EngineConfig& cfg, std::uint64_t seed)
+      : db_(cfg), rng_(seed) {
+    workloads::micro::Options opts;
+    opts.keys = 20000;
+    opts.ops_per_tx = 4;
+    opts.zipf_theta = 0.9;
+    opts.read_only_pct = 20;
+    // The micro workload registers + loads itself (no shared template); the
+    // load is warmup-side, never inside the timed region.
+    wl_ = std::make_unique<workloads::micro::Workload>(db_, opts);
+  }
+  db::Database& database() override { return db_; }
+  std::vector<sched::TxRequest> make_batch(std::size_t n) override {
+    return wl_->batch(n, rng_);
+  }
+
+ private:
+  db::Database db_;
+  std::unique_ptr<workloads::micro::Workload> wl_;
+  Rng rng_;
+};
+
+// ---------------------------------------------------------------------------
+
+struct RunCost {
+  std::vector<double> batch_us;
+  std::uint64_t committed = 0;
+  std::uint64_t rounds = 0;
+};
+
+RunCost run_once(const benchutil::CaseFactory& factory,
+                 sched::EngineConfig cfg, std::size_t batch_size, int warmup,
+                 int measured) {
+  auto ctx = factory(cfg);
+  ctx->database().store().set_access_delay_ns(0);  // scheduler cost only
+  RunCost out;
+  for (int i = 0; i < warmup; ++i) {
+    ctx->database().execute(ctx->make_batch(batch_size));
+  }
+  for (int i = 0; i < measured; ++i) {
+    auto batch = ctx->make_batch(batch_size);
+    const double t0 = process_cpu_us();
+    const auto r = ctx->database().execute(std::move(batch));
+    out.batch_us.push_back(process_cpu_us() - t0);
+    out.committed += r.committed;
+    out.rounds += r.rounds;
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool short_mode = benchutil::fast_mode();
+  std::string out_path = "BENCH_hotpath.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--short") == 0) short_mode = true;
+    if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out_path = argv[++i];
+    }
+  }
+  const int repeats = short_mode ? 5 : 9;
+  const int warmup = 2;
+  const int measured = short_mode ? 8 : 16;
+  const unsigned workers = 8;
+
+  struct Case {
+    std::string name;
+    benchutil::CaseFactory factory;
+    std::size_t batch_size;
+  };
+  const std::vector<Case> cases = {
+      {"hc-catalog/8w",
+       [](const sched::EngineConfig& cfg) -> std::unique_ptr<benchutil::CaseContext> {
+         return std::make_unique<HcCatalogCase>(cfg, 42);
+       },
+       short_mode ? 1024u : 2048u},
+      {"tpcc-4wh/8w", bench::tpcc_factory(4), short_mode ? 256u : 512u},
+      {"micro-rmw/8w",
+       [](const sched::EngineConfig& cfg) -> std::unique_ptr<benchutil::CaseContext> {
+         return std::make_unique<MicroCase>(cfg, 42);
+       },
+       short_mode ? 512u : 1024u},
+  };
+
+  sched::EngineConfig base;
+  base.workers = workers;
+
+  benchutil::Table table({"workload", "batch", "cpu us/batch legacy",
+                          "cpu us/batch new", "speedup", "update ktps (cpu)"});
+  std::map<std::string, std::tuple<double, double, double, double>> results;
+  bool determinism_ok = true;
+
+  for (const Case& c : cases) {
+    std::vector<double> floor_legacy, floor_new;
+    for (int r = 0; r < repeats; ++r) {
+      sched::EngineConfig legacy = base;
+      legacy.legacy_hot_path = true;
+      sched::EngineConfig nu = base;
+      RunCost rl, rn;
+      if (r % 2 == 0) {
+        rl = run_once(c.factory, legacy, c.batch_size, warmup, measured);
+        rn = run_once(c.factory, nu, c.batch_size, warmup, measured);
+      } else {
+        rn = run_once(c.factory, nu, c.batch_size, warmup, measured);
+        rl = run_once(c.factory, legacy, c.batch_size, warmup, measured);
+      }
+      // The toggle must be a pure performance switch.
+      if (std::tie(rl.committed, rl.rounds) !=
+          std::tie(rn.committed, rn.rounds)) {
+        std::cerr << "FAIL: " << c.name
+                  << ": legacy_hot_path changed execution (committed "
+                  << rl.committed << " vs " << rn.committed << ", rounds "
+                  << rl.rounds << " vs " << rn.rounds << ")\n";
+        determinism_ok = false;
+      }
+      fold_min(floor_legacy, rl.batch_us);
+      fold_min(floor_new, rn.batch_us);
+    }
+    const double legacy_us = sum(floor_legacy) / measured;
+    const double new_us = sum(floor_new) / measured;
+    const double speedup = legacy_us / new_us;
+    const double ktps =
+        static_cast<double>(c.batch_size) / new_us * 1e6 / 1e3;
+    results[c.name] = {legacy_us, new_us, speedup, ktps};
+    table.row({c.name, std::to_string(c.batch_size),
+               benchutil::fmt(legacy_us, 1), benchutil::fmt(new_us, 1),
+               benchutil::fmt(speedup, 2) + "x", benchutil::fmt(ktps, 1)});
+  }
+
+  std::cout << "=== Hot-path overhaul: legacy vs epoch-arena/work-stealing "
+               "(CPU time, "
+            << workers << " workers) ===\n";
+  table.print();
+
+  std::ofstream js(out_path);
+  js << "{\n  \"bench\": \"hotpath\",\n  \"workers\": " << workers
+     << ",\n  \"mode\": \"" << (short_mode ? "short" : "full")
+     << "\",\n  \"metric\": \"process_cpu_us_per_batch\",\n  \"cases\": {\n";
+  for (auto it = results.begin(); it != results.end(); ++it) {
+    const auto& [legacy_us, new_us, speedup, ktps] = it->second;
+    js << "    \"" << it->first << "\": {\"legacy_us\": "
+       << benchutil::fmt(legacy_us, 1) << ", \"new_us\": "
+       << benchutil::fmt(new_us, 1) << ", \"speedup\": "
+       << benchutil::fmt(speedup, 3) << ", \"update_ktps_cpu\": "
+       << benchutil::fmt(ktps, 1) << "}";
+    js << (std::next(it) == results.end() ? "\n" : ",\n");
+  }
+  js << "  }\n}\n";
+  js.close();
+  std::cout << "wrote " << out_path << "\n";
+
+  if (!determinism_ok) return 1;
+  // Acceptance gate (ISSUE 4): the high-contention catalog mix must clear
+  // 1.3x update-transaction throughput at 8 workers. Enforced as a hard
+  // failure only in full mode — the --short CI smoke run uses few repeats on
+  // shared runners, where host noise swamps the margin; CI instead soft-gates
+  // the ratio against the checked-in baseline via tools/perf_gate.py.
+  const double hc_speedup = std::get<2>(results.at("hc-catalog/8w"));
+  if (hc_speedup < 1.3) {
+    std::cerr << (short_mode ? "WARN" : "FAIL") << ": hc-catalog/8w speedup "
+              << benchutil::fmt(hc_speedup, 2)
+              << "x is below the 1.3x acceptance bar\n";
+    if (!short_mode) return 1;
+  }
+  return 0;
+}

@@ -1,17 +1,23 @@
 // Queue building blocks for the deterministic scheduler.
 //
-// The engine needs two shapes:
+// The engine needs three shapes:
 //  - TicketDispenser: fan out a fixed, already-ordered work list (the DT
 //    prepare list, per-worker ROT queues) with a single fetch_add;
-//  - MpmcQueue: the "ready queue" of the paper, fed by the queuer and by
-//    workers releasing lock-table heads, drained concurrently by workers.
+//  - WorkStealingDeque: the per-worker ready deques of the hot-path overhaul
+//    (DESIGN.md §10) — owner pushes/pops LIFO for cache locality, idle
+//    workers steal FIFO from the opposite end;
+//  - MpmcQueue: the single global ready queue the deques replaced, kept for
+//    one release as the EngineConfig::legacy_hot_path ablation baseline.
 #pragma once
 
 #include <atomic>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
+#include <memory>
 #include <mutex>
 #include <optional>
+#include <type_traits>
 #include <vector>
 
 #include "common/check.hpp"
@@ -42,10 +48,158 @@ class TicketDispenser {
   std::atomic<std::size_t> next_{0};
 };
 
+/// Chase–Lev work-stealing deque (Le et al.'s C11 formulation) specialized
+/// to trivially copyable payloads.
+///
+/// Disciplines the engine relies on:
+///   - push()/pop() are OWNER-ONLY: at most one thread (the deque's owner)
+///     may call them concurrently. During quiesced phases (workers parked at
+///     a barrier) any single thread may act as the owner — the queuer seeds
+///     worker deques this way before the execution phase starts.
+///   - steal() may be called by any thread concurrently with owner ops. It
+///     takes from the opposite (FIFO) end and may fail spuriously when
+///     racing another thief; callers are retry loops anyway.
+///   - clear() requires full quiescence; it also releases buffers retired by
+///     growth (thieves may hold references to a retired buffer until then).
+///
+/// The circular buffer grows geometrically; retired buffers are kept alive
+/// until clear() so racing thieves never read freed memory. Determinism of
+/// the engine never depends on pop/steal ordering — the lock table alone
+/// serializes conflicts.
+template <typename T>
+class WorkStealingDeque {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "WorkStealingDeque is restricted to trivially copyable types");
+
+ public:
+  explicit WorkStealingDeque(std::size_t initial_capacity = 64) {
+    std::size_t cap = 8;
+    while (cap < initial_capacity) cap *= 2;
+    cur_ = std::make_unique<Buffer>(cap);
+    buf_.store(cur_.get(), std::memory_order_relaxed);
+  }
+
+  WorkStealingDeque(const WorkStealingDeque&) = delete;
+  WorkStealingDeque& operator=(const WorkStealingDeque&) = delete;
+
+  /// Owner only. Appends at the bottom (LIFO end).
+  void push(T value) {
+    const std::int64_t b = bottom_.load(std::memory_order_relaxed);
+    const std::int64_t t = top_.load(std::memory_order_acquire);
+    Buffer* a = buf_.load(std::memory_order_relaxed);
+    if (b - t > static_cast<std::int64_t>(a->capacity) - 1) {
+      a = grow(a, t, b);
+    }
+    a->slot(b).store(value, std::memory_order_relaxed);
+    std::atomic_thread_fence(std::memory_order_release);
+    // Release store (not relaxed as in Le et al.): free on x86 (same plain
+    // mov) and gives TSan — which does not model standalone fences — the
+    // happens-before edge from the owner's preceding writes to a thief's
+    // post-steal reads, so instrumented runs don't report false races on
+    // the payload handed across the deque.
+    bottom_.store(b + 1, std::memory_order_release);
+  }
+
+  /// Owner only. Takes from the bottom (LIFO — the most recently pushed,
+  /// cache-warm element).
+  std::optional<T> pop() {
+    const std::int64_t b = bottom_.load(std::memory_order_relaxed) - 1;
+    Buffer* a = buf_.load(std::memory_order_relaxed);
+    bottom_.store(b, std::memory_order_relaxed);
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+    std::int64_t t = top_.load(std::memory_order_relaxed);
+    if (t <= b) {
+      T v = a->slot(b).load(std::memory_order_relaxed);
+      if (t == b) {
+        // Last element: race the thieves for it.
+        if (!top_.compare_exchange_strong(t, t + 1,
+                                          std::memory_order_seq_cst,
+                                          std::memory_order_relaxed)) {
+          bottom_.store(b + 1, std::memory_order_relaxed);
+          return std::nullopt;  // a thief got there first
+        }
+        bottom_.store(b + 1, std::memory_order_relaxed);
+      }
+      return v;
+    }
+    bottom_.store(b + 1, std::memory_order_relaxed);
+    return std::nullopt;
+  }
+
+  /// Any thread. Takes from the top (FIFO end). May fail spuriously when
+  /// racing the owner's pop of the last element or another thief.
+  std::optional<T> steal() {
+    std::int64_t t = top_.load(std::memory_order_acquire);
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+    const std::int64_t b = bottom_.load(std::memory_order_acquire);
+    if (t >= b) return std::nullopt;
+    Buffer* a = buf_.load(std::memory_order_acquire);
+    T v = a->slot(t).load(std::memory_order_relaxed);
+    if (!top_.compare_exchange_strong(t, t + 1, std::memory_order_seq_cst,
+                                      std::memory_order_relaxed)) {
+      return std::nullopt;  // lost the race
+    }
+    return v;
+  }
+
+  /// Racy size estimate (exact when quiesced); telemetry only.
+  std::size_t size_approx() const noexcept {
+    const std::int64_t b = bottom_.load(std::memory_order_relaxed);
+    const std::int64_t t = top_.load(std::memory_order_relaxed);
+    return b > t ? static_cast<std::size_t>(b - t) : 0;
+  }
+
+  bool empty_approx() const noexcept { return size_approx() == 0; }
+
+  /// Quiesced only: resets the deque and frees buffers retired by growth.
+  void clear() {
+    top_.store(0, std::memory_order_relaxed);
+    bottom_.store(0, std::memory_order_relaxed);
+    retired_.clear();
+  }
+
+ private:
+  struct Buffer {
+    explicit Buffer(std::size_t cap)
+        : capacity(cap),
+          mask(cap - 1),
+          slots(std::make_unique<std::atomic<T>[]>(cap)) {}
+    std::atomic<T>& slot(std::int64_t i) const {
+      return slots[static_cast<std::size_t>(i) & mask];
+    }
+    const std::size_t capacity;
+    const std::size_t mask;
+    const std::unique_ptr<std::atomic<T>[]> slots;
+  };
+
+  /// Owner only: doubles the buffer, copying live elements [t, b). The old
+  /// buffer is retired, not freed — thieves may still be reading it.
+  Buffer* grow(Buffer* old, std::int64_t t, std::int64_t b) {
+    auto fresh = std::make_unique<Buffer>(old->capacity * 2);
+    for (std::int64_t i = t; i < b; ++i) {
+      fresh->slot(i).store(old->slot(i).load(std::memory_order_relaxed),
+                           std::memory_order_relaxed);
+    }
+    Buffer* raw = fresh.get();
+    retired_.push_back(std::move(cur_));
+    cur_ = std::move(fresh);
+    buf_.store(raw, std::memory_order_release);
+    return raw;
+  }
+
+  std::atomic<std::int64_t> top_{0};
+  std::atomic<std::int64_t> bottom_{0};
+  std::atomic<Buffer*> buf_{nullptr};
+  std::unique_ptr<Buffer> cur_;                    // owner's handle
+  std::vector<std::unique_ptr<Buffer>> retired_;  // freed on clear()
+};
+
 /// Unbounded multi-producer multi-consumer FIFO. A mutex-guarded deque is
 /// deliberately chosen over a lock-free ring: ready-queue operations are a few
 /// dozen nanoseconds against transaction executions of microseconds, and the
 /// deterministic-state property must not depend on queue internals anyway.
+/// Superseded on the engine hot path by per-worker WorkStealingDeques; kept
+/// as the EngineConfig::legacy_hot_path ablation baseline.
 template <typename T>
 class MpmcQueue {
  public:

@@ -1,0 +1,187 @@
+// Small-buffer vector for the scheduling hot path.
+//
+// Predicted key-sets are tiny in every evaluated workload (TPC-C new_order
+// predicts ~23 keys, payment 4, the micro mixes 2–9), yet the engine used to
+// heap-allocate three std::vectors per transaction per batch to hold them.
+// SmallVec keeps the first `N` elements inline in the owning object — for the
+// common case the whole key-set lives inside the (reused) TxnSlot and the
+// steady-state allocation count is zero. Larger sets spill to the heap once;
+// `clear()` keeps the spill buffer, so a reused slot never re-allocates for a
+// workload it has already seen (the "per-slot prediction arena").
+//
+// Restricted to trivially copyable element types: growth and erase are then
+// plain memcpy/memmove, relocation out of the inline buffer needs no
+// per-element move semantics, and a moved-from SmallVec is simply empty.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstring>
+#include <initializer_list>
+#include <type_traits>
+#include <vector>
+
+#include "common/check.hpp"
+
+namespace prog {
+
+template <typename T, std::size_t N>
+class SmallVec {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "SmallVec is restricted to trivially copyable types");
+  static_assert(N > 0, "inline capacity must be non-zero");
+
+ public:
+  using value_type = T;
+  using iterator = T*;
+  using const_iterator = const T*;
+
+  SmallVec() noexcept = default;
+  SmallVec(std::initializer_list<T> init) { assign(init.begin(), init.end()); }
+
+  SmallVec(const SmallVec& other) { assign(other.begin(), other.end()); }
+
+  SmallVec(SmallVec&& other) noexcept { steal_from(other); }
+
+  SmallVec& operator=(const SmallVec& other) {
+    if (this != &other) assign(other.begin(), other.end());
+    return *this;
+  }
+
+  SmallVec& operator=(SmallVec&& other) noexcept {
+    if (this != &other) {
+      release_heap();
+      steal_from(other);
+    }
+    return *this;
+  }
+
+  ~SmallVec() { release_heap(); }
+
+  // --- element access ------------------------------------------------------
+  T* data() noexcept { return data_; }
+  const T* data() const noexcept { return data_; }
+  T& operator[](std::size_t i) noexcept { return data_[i]; }
+  const T& operator[](std::size_t i) const noexcept { return data_[i]; }
+  T& front() noexcept { return data_[0]; }
+  const T& front() const noexcept { return data_[0]; }
+  T& back() noexcept { return data_[size_ - 1]; }
+  const T& back() const noexcept { return data_[size_ - 1]; }
+
+  iterator begin() noexcept { return data_; }
+  iterator end() noexcept { return data_ + size_; }
+  const_iterator begin() const noexcept { return data_; }
+  const_iterator end() const noexcept { return data_ + size_; }
+  const_iterator cbegin() const noexcept { return data_; }
+  const_iterator cend() const noexcept { return data_ + size_; }
+
+  std::size_t size() const noexcept { return size_; }
+  bool empty() const noexcept { return size_ == 0; }
+  std::size_t capacity() const noexcept { return capacity_; }
+  bool is_inline() const noexcept { return data_ == inline_data(); }
+
+  // --- modifiers -----------------------------------------------------------
+  void push_back(const T& v) {
+    if (size_ == capacity_) grow(size_ + 1);
+    data_[size_++] = v;
+  }
+
+  template <typename... Args>
+  T& emplace_back(Args&&... args) {
+    if (size_ == capacity_) grow(size_ + 1);
+    data_[size_] = T{static_cast<Args&&>(args)...};
+    return data_[size_++];
+  }
+
+  void pop_back() noexcept { --size_; }
+
+  /// Drops all elements but keeps the current buffer (inline or spilled) —
+  /// the reuse contract that makes slot recycling allocation-free.
+  void clear() noexcept { size_ = 0; }
+
+  void reserve(std::size_t cap) {
+    if (cap > capacity_) grow(cap);
+  }
+
+  void resize(std::size_t n) {
+    if (n > capacity_) grow(n);
+    if (n > size_) std::memset(data_ + size_, 0, (n - size_) * sizeof(T));
+    size_ = n;
+  }
+
+  template <typename It>
+  void assign(It first, It last) {
+    clear();
+    append(first, last);
+  }
+
+  template <typename It>
+  void append(It first, It last) {
+    const std::size_t n = static_cast<std::size_t>(std::distance(first, last));
+    if (size_ + n > capacity_) grow(size_ + n);
+    for (; first != last; ++first) data_[size_++] = *first;
+  }
+
+  /// Erases [first, last); the std::unique/erase dedup idiom depends on it.
+  iterator erase(const_iterator first, const_iterator last) {
+    T* f = data_ + (first - data_);
+    const std::size_t tail = static_cast<std::size_t>(end() - last);
+    if (tail > 0) std::memmove(f, last, tail * sizeof(T));
+    size_ -= static_cast<std::size_t>(last - first);
+    return f;
+  }
+
+  // --- comparisons (incl. against std::vector, for tests) -----------------
+  friend bool operator==(const SmallVec& a, const SmallVec& b) {
+    return std::equal(a.begin(), a.end(), b.begin(), b.end());
+  }
+  friend bool operator==(const SmallVec& a, const std::vector<T>& b) {
+    return std::equal(a.begin(), a.end(), b.begin(), b.end());
+  }
+  friend bool operator==(const std::vector<T>& a, const SmallVec& b) {
+    return b == a;
+  }
+
+ private:
+  T* inline_data() noexcept { return reinterpret_cast<T*>(inline_); }
+  const T* inline_data() const noexcept {
+    return reinterpret_cast<const T*>(inline_);
+  }
+
+  void release_heap() noexcept {
+    if (!is_inline()) delete[] data_;
+  }
+
+  void steal_from(SmallVec& other) noexcept {
+    if (other.is_inline()) {
+      data_ = inline_data();
+      capacity_ = N;
+      size_ = other.size_;
+      std::memcpy(inline_, other.inline_, other.size_ * sizeof(T));
+    } else {
+      data_ = other.data_;
+      capacity_ = other.capacity_;
+      size_ = other.size_;
+      other.data_ = other.inline_data();
+      other.capacity_ = N;
+    }
+    other.size_ = 0;
+  }
+
+  void grow(std::size_t min_cap) {
+    std::size_t cap = capacity_ * 2;
+    if (cap < min_cap) cap = min_cap;
+    T* fresh = new T[cap];
+    std::memcpy(fresh, data_, size_ * sizeof(T));
+    release_heap();
+    data_ = fresh;
+    capacity_ = cap;
+  }
+
+  alignas(T) unsigned char inline_[N * sizeof(T)];
+  T* data_ = inline_data();
+  std::size_t size_ = 0;
+  std::size_t capacity_ = N;
+};
+
+}  // namespace prog

@@ -100,6 +100,9 @@ class Database {
   const sched::EngineConfig& config() const noexcept { return config_; }
   bool finalized() const noexcept { return engine_ != nullptr; }
 
+  /// The execution engine (diagnostics/tests). Only valid after finalize().
+  const sched::Engine& engine() const { return *engine_; }
+
  private:
   sched::EngineConfig config_;
   store::VersionedStore store_;

@@ -1,6 +1,7 @@
 #include "lang/interp.hpp"
 
-#include <unordered_set>
+#include <algorithm>
+#include <utility>
 
 #include "common/check.hpp"
 
@@ -11,34 +12,59 @@ namespace {
 /// Exception used to unwind the interpreter on AbortIf. Internal only.
 struct TxAborted {};
 
+/// Reused interpreter working state (DESIGN.md §10). One per thread: the
+/// variable frame, the row handles, and the transaction-private write buffer
+/// keep their capacity across transactions, so steady-state execution does
+/// not touch the allocator. The buffer is a flat vector with linear lookup —
+/// transactions buffer a handful of writes (TPC-C NewOrder tops out around
+/// two dozen), where a cache-resident linear scan beats a node-based hash
+/// map and its per-insert allocation.
+struct Scratch {
+  std::vector<Value> vars;
+  std::vector<store::RowPtr> handles;
+  std::vector<std::pair<TKey, std::optional<store::Row>>> buffer;
+};
+
+Scratch& scratch() {
+  static thread_local Scratch s;
+  return s;
+}
+
+bool contains(const std::vector<TKey>& v, TKey key) {
+  return std::find(v.begin(), v.end(), key) != v.end();
+}
+
 class Frame {
  public:
   Frame(const Proc& proc, const TxInput& input, const store::ReadView& base,
-        std::uint64_t max_steps)
-      : proc_(proc), input_(input), base_(base), steps_left_(max_steps) {
-    vars_.resize(proc.var_types.size(), 0);
-    handles_.resize(proc.var_types.size());
+        std::uint64_t max_steps, ExecResult& out, Scratch& sc)
+      : proc_(proc), input_(input), base_(base), steps_left_(max_steps),
+        out_(out), sc_(sc) {
+    sc_.vars.assign(proc.var_types.size(), 0);
+    sc_.handles.assign(proc.var_types.size(), nullptr);
+    sc_.buffer.clear();
+    out_.committed = false;
+    out_.emitted.clear();
+    out_.reads.clear();
+    out_.writes.clear();
+    out_.ops.clear();
   }
 
   void exec_block(const std::vector<Stmt>& block) {
     for (const Stmt& s : block) exec_stmt(s);
   }
 
-  ExecResult finish(bool committed) {
-    ExecResult r;
-    r.committed = committed;
-    r.emitted = std::move(emitted_);
-    r.reads = std::move(read_order_);
-    r.writes = std::move(write_order_);
+  void finish(bool committed) {
+    out_.committed = committed;
     if (committed) {
-      r.ops.reserve(buffer_.size());
-      for (const TKey& k : r.writes) {
-        auto it = buffer_.find(k);
-        PROG_CHECK(it != buffer_.end());
-        r.ops.push_back({k, it->second});
+      out_.ops.reserve(sc_.buffer.size());
+      for (const TKey& k : out_.writes) {
+        auto it = std::find_if(sc_.buffer.begin(), sc_.buffer.end(),
+                               [&](const auto& e) { return e.first == k; });
+        PROG_CHECK(it != sc_.buffer.end());
+        out_.ops.push_back({k, std::move(it->second)});
       }
     }
-    return r;
   }
 
  private:
@@ -58,9 +84,9 @@ class Frame {
       case EKind::kParamElem:
         return input_.elem(e.param, eval(e.a));
       case EKind::kVar:
-        return vars_[e.var];
+        return sc_.vars[e.var];
       case EKind::kField: {
-        const store::RowPtr& row = handles_[e.var];
+        const store::RowPtr& row = sc_.handles[e.var];
         if (e.field == kExistsField) return row != nullptr ? 1 : 0;
         return row != nullptr ? row->get_or(e.field, 0) : 0;
       }
@@ -128,50 +154,63 @@ class Frame {
                               static_cast<std::uint64_t>(b));
   }
 
-  /// Buffered read: the transaction sees its own writes.
-  store::RowPtr read(TKey key) {
-    if (auto it = buffer_.find(key); it != buffer_.end()) {
-      if (read_seen_.insert(key).second) read_order_.push_back(key);
-      return it->second.has_value()
-                 ? store::make_row(*it->second)
-                 : nullptr;
+  std::optional<store::Row>* buffer_find(TKey key) {
+    // Scan from the back: read-after-write hits the freshest entry first.
+    for (auto it = sc_.buffer.rbegin(); it != sc_.buffer.rend(); ++it) {
+      if (it->first == key) return &it->second;
     }
-    if (read_seen_.insert(key).second) read_order_.push_back(key);
+    return nullptr;
+  }
+
+  /// Buffered read: the transaction sees its own writes. First-access
+  /// dedup is a linear scan over the (short) recorded key list — the
+  /// pre-overhaul per-frame hash sets allocated a node per key.
+  store::RowPtr read(TKey key) {
+    if (!contains(out_.reads, key)) out_.reads.push_back(key);
+    if (std::optional<store::Row>* buf = buffer_find(key)) {
+      return buf->has_value() ? store::make_row(**buf) : nullptr;
+    }
     return base_.get(key);
   }
 
   void note_write(TKey key) {
-    if (write_seen_.insert(key).second) write_order_.push_back(key);
+    if (!contains(out_.writes, key)) out_.writes.push_back(key);
   }
 
   void exec_stmt(const Stmt& s) {
     step();
     switch (s.kind) {
       case SKind::kAssign:
-        vars_[s.var] = eval(s.a);
+        sc_.vars[s.var] = eval(s.a);
         return;
       case SKind::kGet: {
         const TKey key{s.table, static_cast<Key>(eval(s.a))};
-        handles_[s.var] = read(key);
+        sc_.handles[s.var] = read(key);
         return;
       }
       case SKind::kPut: {
         const TKey key{s.table, static_cast<Key>(eval(s.a))};
         // Upsert-merge: start from the currently visible row (buffer first).
-        store::Row next;
-        if (auto it = buffer_.find(key); it != buffer_.end()) {
-          if (it->second.has_value()) next = *it->second;
-        } else if (store::RowPtr cur = base_.get(key); cur != nullptr) {
-          next = *cur;
+        if (std::optional<store::Row>* buf = buffer_find(key)) {
+          // In-place merge into the existing buffered entry.
+          if (!buf->has_value()) buf->emplace();
+          for (const auto& [f, eid] : s.fields) (*buf)->set(f, eval(eid));
+        } else {
+          store::Row next;
+          if (store::RowPtr cur = base_.get(key); cur != nullptr) next = *cur;
+          for (const auto& [f, eid] : s.fields) next.set(f, eval(eid));
+          sc_.buffer.emplace_back(key, std::move(next));
         }
-        for (const auto& [f, eid] : s.fields) next.set(f, eval(eid));
-        buffer_[key] = std::move(next);
         note_write(key);
         return;
       }
       case SKind::kDel: {
         const TKey key{s.table, static_cast<Key>(eval(s.a))};
-        buffer_[key] = std::nullopt;
+        if (std::optional<store::Row>* buf = buffer_find(key)) {
+          buf->reset();
+        } else {
+          sc_.buffer.emplace_back(key, std::nullopt);
+        }
         note_write(key);
         return;
       }
@@ -186,7 +225,7 @@ class Frame {
           PROG_CHECK_MSG(++iters <= s.max_iters,
                          "for loop exceeded its declared static bound in " +
                              proc_.name);
-          vars_[s.var] = i;
+          sc_.vars[s.var] = i;
           exec_block(s.body);
         }
         return;
@@ -195,7 +234,7 @@ class Frame {
         if (eval(s.a) != 0) throw TxAborted{};
         return;
       case SKind::kEmit:
-        emitted_.push_back(eval(s.a));
+        out_.emitted.push_back(eval(s.a));
         return;
     }
     throw InvariantError("Interp: unknown statement kind");
@@ -205,31 +244,32 @@ class Frame {
   const TxInput& input_;
   const store::ReadView& base_;
   std::uint64_t steps_left_;
-
-  std::vector<Value> vars_;
-  std::vector<store::RowPtr> handles_;
-  std::unordered_map<TKey, std::optional<store::Row>, TKeyHash> buffer_;
-  std::unordered_set<TKey, TKeyHash> read_seen_;
-  std::unordered_set<TKey, TKeyHash> write_seen_;
-  std::vector<TKey> read_order_;
-  std::vector<TKey> write_order_;
-  std::vector<Value> emitted_;
+  ExecResult& out_;
+  Scratch& sc_;
 };
 
 }  // namespace
 
 ExecResult Interp::run(const Proc& proc, const TxInput& input,
                        const store::ReadView& base) const {
+  ExecResult r;
+  run_into(proc, input, base, r);
+  return r;
+}
+
+void Interp::run_into(const Proc& proc, const TxInput& input,
+                      const store::ReadView& base, ExecResult& out) const {
   if (input.args.size() != proc.params.size()) {
     throw UsageError("argument count mismatch for procedure " + proc.name);
   }
-  Frame frame(proc, input, base, opts_.max_steps);
+  Frame frame(proc, input, base, opts_.max_steps, out, scratch());
   try {
     frame.exec_block(proc.body);
   } catch (const TxAborted&) {
-    return frame.finish(/*committed=*/false);
+    frame.finish(/*committed=*/false);
+    return;
   }
-  return frame.finish(/*committed=*/true);
+  frame.finish(/*committed=*/true);
 }
 
 void validate_input(const Proc& proc, const TxInput& input) {

@@ -47,6 +47,14 @@ class Interp {
   ExecResult run(const Proc& proc, const TxInput& input,
                  const store::ReadView& base) const;
 
+  /// Allocation-free variant (DESIGN.md §10): executes into `out`, reusing
+  /// its vector capacities, and keeps the interpreter working state
+  /// (variable frame, row handles, write buffer) in thread-local scratch
+  /// that persists across calls. Steady-state execution performs no heap
+  /// allocation beyond row-payload copies. `out` is fully overwritten.
+  void run_into(const Proc& proc, const TxInput& input,
+                const store::ReadView& base, ExecResult& out) const;
+
  private:
   Options opts_;
 };

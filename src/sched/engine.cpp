@@ -1,6 +1,8 @@
 #include "sched/engine.hpp"
 
 #include <algorithm>
+#include <chrono>
+#include <thread>
 
 #include "common/check.hpp"
 #include "common/stopwatch.hpp"
@@ -23,14 +25,14 @@ const char* to_string(System s) noexcept {
 
 namespace {
 
-/// NODO's conflict classes: one sentinel key per accessed table.
-sym::Prediction nodo_prediction(const sym::TxProfile& profile) {
-  sym::Prediction pred;
+/// NODO's conflict classes: one sentinel key per accessed table. Fills the
+/// slot's prediction arena in place (no allocation in steady state).
+void nodo_prediction(const sym::TxProfile& profile, sym::Prediction& pred) {
+  pred.clear();
   for (TableId t : profile.tables_touched()) {
     pred.keys.push_back({t, 0});
     pred.write_keys.push_back({t, 0});
   }
-  return pred;
 }
 
 /// Reconnaissance prediction (Calvin's OLLP): execute the full transaction
@@ -38,25 +40,35 @@ sym::Prediction nodo_prediction(const sym::TxProfile& profile) {
 /// happens at execution time by key-set containment — the transaction aborts
 /// iff it tries to access a key outside the locked set, exactly OLLP's rule
 /// (value changes that do not alter the key-set are harmless).
-sym::Prediction recon_prediction(const lang::Interp& interp,
-                                 const lang::Proc& proc,
-                                 const lang::TxInput& input,
-                                 const store::VersionedStore& store,
-                                 BatchId snapshot) {
+/// Per-thread reusable execution result (DESIGN.md §10): each engine thread
+/// runs at most one transaction at a time, so a thread-local scratch keeps
+/// steady-state execution off the allocator entirely (paired with the
+/// interpreter's own thread-local frame scratch in lang::Interp::run_into).
+lang::ExecResult& exec_scratch() {
+  static thread_local lang::ExecResult r;
+  return r;
+}
+
+void recon_prediction(const lang::Interp& interp, const lang::Proc& proc,
+                      const lang::TxInput& input,
+                      const store::VersionedStore& store, BatchId snapshot,
+                      sym::Prediction& pred) {
   store::SnapshotView view(store, snapshot);
-  const lang::ExecResult r = interp.run(proc, input, view);
-  sym::Prediction pred;
-  pred.keys = r.reads;
-  pred.keys.insert(pred.keys.end(), r.writes.begin(), r.writes.end());
+  lang::ExecResult& r = exec_scratch();
+  interp.run_into(proc, input, view, r);
+  pred.clear();
+  pred.keys.assign(r.reads.begin(), r.reads.end());
+  pred.keys.append(r.writes.begin(), r.writes.end());
   std::sort(pred.keys.begin(), pred.keys.end());
   pred.keys.erase(std::unique(pred.keys.begin(), pred.keys.end()),
                   pred.keys.end());
-  pred.write_keys = r.writes;
+  pred.write_keys.assign(r.writes.begin(), r.writes.end());
   std::sort(pred.write_keys.begin(), pred.write_keys.end());
-  return pred;
 }
 
-bool sorted_contains(const std::vector<TKey>& sorted, TKey key) {
+/// Works over both std::vector<TKey> and the small-buffer key-sets.
+template <typename Keys>
+bool sorted_contains(const Keys& sorted, TKey key) {
   return std::binary_search(sorted.begin(), sorted.end(), key);
 }
 
@@ -106,6 +118,12 @@ Engine::Engine(store::VersionedStore& store, std::vector<ProcEntry> procs,
     registry_ = std::make_shared<obs::Registry>();
     metrics_.emplace(obs::EngineMetrics::create(*registry_));
   }
+  if (config_.legacy_hot_path) {
+    legacy_lock_table_ = std::make_unique<LegacyLockTable>(
+        LegacyLockTable::Options{config_.shared_read_locks, 64});
+  }
+  ready_slots_ = config_.workers + 1;  // slot 0 = queuer, i+1 = worker i
+  ready_ = std::make_unique<WorkStealingDeque<TxIdx>[]>(ready_slots_);
   skip_tables_.resize(procs_.size());
   rot_queues_.resize(config_.workers);
   workers_.reserve(config_.workers);
@@ -130,7 +148,7 @@ void Engine::worker_main(unsigned worker_idx) {
     } else if (p == Phase::kEnqueue) {
       do_enqueue_partition(worker_idx + 1);
     } else {
-      do_exec();
+      do_exec(worker_idx + 1);
     }
     barrier_.arrive_and_wait();  // phase complete
   }
@@ -150,7 +168,7 @@ void Engine::run_phase(Phase p, const Fn& own_work) {
         do_enqueue_partition(w + 1);
       }
     } else if (p == Phase::kExec) {
-      do_exec();
+      do_exec(0);
     }
     own_work();  // drains whatever the shared claims left over (no-ops)
     return;
@@ -184,7 +202,7 @@ void Engine::prepare_tx(TxIdx idx) {
     return;  // server-side preparation fully offloaded
   }
   if (config_.system == System::kNodo) {
-    s.pred = nodo_prediction(*s.entry->profile);
+    nodo_prediction(*s.entry->profile, s.pred);
   } else if (config_.system == System::kCalvin || config_.use_recon ||
              !s.entry->profile->complete()) {
     // Calvin resubmissions carry a fresh reconnaissance (recon_fresh).
@@ -192,11 +210,20 @@ void Engine::prepare_tx(TxIdx idx) {
                           s.req->recon_fresh)
                              ? batch_ - 1
                              : prep_snapshot_;
-    s.pred = recon_prediction(interp_, *s.entry->proc, s.req->input, store_,
-                              snap);
+    recon_prediction(interp_, *s.entry->proc, s.req->input, store_, snap,
+                     s.pred);
+  } else if (config_.legacy_hot_path) {
+    // Pre-overhaul prepare: one fresh heap-backed Prediction per transaction
+    // (the by-value predict() + shared_ptr container that predict_client
+    // still exposes), copied into the slot. Kept one release so the hot-path
+    // ablation (bench_hotpath) attributes the prediction-arena win honestly.
+    store::SnapshotView view(store_, prep_snapshot_);
+    auto p = std::make_shared<const sym::Prediction>(
+        s.entry->profile->predict(s.req->input, view));
+    s.pred = *p;
   } else {
     store::SnapshotView view(store_, prep_snapshot_);
-    s.pred = s.entry->profile->predict(s.req->input, view);
+    s.entry->profile->predict_into(s.req->input, view, s.pred);
   }
   const std::int64_t us = sw.elapsed_micros();
   ctr_all_prepare_us_.fetch_add(us, std::memory_order_relaxed);
@@ -217,7 +244,10 @@ void Engine::execute_rot(TxIdx idx) {
   const TxnSlot& s = slots_[idx];
   Stopwatch sw;
   store::SnapshotView view(store_, batch_ - 1);
-  lang::ExecResult r = interp_.run(*s.entry->proc, s.req->input, view);
+  lang::ExecResult legacy_local;  // legacy: fresh result vectors per txn
+  lang::ExecResult& r =
+      config_.legacy_hot_path ? legacy_local : exec_scratch();
+  interp_.run_into(*s.entry->proc, s.req->input, view, r);
   capture_output(idx, std::move(r.emitted));
   if (config_.check_containment) {
     // ROT key-sets are not predicted (they take no locks); just confirm the
@@ -254,7 +284,7 @@ void Engine::enqueue_tx(TxIdx idx) {
   for (const TKey& key : s.pred.keys) total += needs_lock(key, s) ? 1 : 0;
   s.locks_remaining.store(total, std::memory_order_relaxed);
   if (total == 0) {
-    ready_.push(idx);
+    seed_ready(idx);
     return;
   }
   int granted_now = 0;
@@ -262,8 +292,7 @@ void Engine::enqueue_tx(TxIdx idx) {
     if (!needs_lock(key, s)) continue;
     const bool write = sorted_contains(s.pred.write_keys, key);
     TxIdx pred = idx;
-    if (lock_table_.enqueue(idx, key, write,
-                            trace_ != nullptr ? &pred : nullptr)) {
+    if (lt_enqueue(idx, key, write, trace_ != nullptr ? &pred : nullptr)) {
       ++granted_now;
     } else if (trace_ != nullptr && pred != idx) {
       s.trace_preds.push_back(pred);
@@ -272,7 +301,7 @@ void Engine::enqueue_tx(TxIdx idx) {
   if (granted_now > 0 &&
       s.locks_remaining.fetch_sub(granted_now, std::memory_order_acq_rel) ==
           granted_now) {
-    ready_.push(idx);
+    seed_ready(idx);
   }
 }
 
@@ -285,10 +314,11 @@ void Engine::do_enqueue_partition(unsigned partition) {
       if (TKeyHash{}(key) % parts != partition) continue;
       const bool write = sorted_contains(s.pred.write_keys, key);
       TxIdx pred = idx;
-      if (lock_table_.enqueue(idx, key, write,
-                              trace_ != nullptr ? &pred : nullptr)) {
+      if (lt_enqueue(idx, key, write, trace_ != nullptr ? &pred : nullptr)) {
         if (s.locks_remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
-          ready_.push(idx);
+          // Each participant owns exactly one deque (its partition index),
+          // so this push is an owner push even though the phase is parallel.
+          ready_push(idx, partition);
         }
       } else if (trace_ != nullptr && pred != idx) {
         std::scoped_lock lock(trace_mu_);
@@ -332,8 +362,10 @@ void Engine::compute_conflict_census(const std::vector<TxIdx>& order) {
 
 void Engine::enqueue_all(const std::vector<TxIdx>& order) {
   Stopwatch sw;
-  // The lock table is drained here (between rounds), so the census may be
-  // rebuilt without changing any in-flight enqueue/release decision.
+  // The lock table is drained here (between rounds): the arena table retires
+  // the previous round's slots and resets its bump arena in O(1), and the
+  // census may be rebuilt without changing any in-flight decision.
+  lt_begin_batch();
   compute_conflict_census(order);
   if (!config_.parallel_enqueue) {
     for (TxIdx i : order) enqueue_tx(i);
@@ -347,7 +379,7 @@ void Engine::enqueue_all(const std::vector<TxIdx>& order) {
         total += needs_lock(key, s) ? 1 : 0;
       }
       s.locks_remaining.store(total, std::memory_order_relaxed);
-      if (total == 0) ready_.push(idx);
+      if (total == 0) seed_ready(idx);
     }
     enqueue_order_ = &order;
     run_phase(Phase::kEnqueue, [&] { do_enqueue_partition(0); });
@@ -357,31 +389,40 @@ void Engine::enqueue_all(const std::vector<TxIdx>& order) {
   if (trace_ != nullptr) trace_->enqueue_us += us;
   if (metrics_) {
     // Sampled between phases: workers are parked, so entry_count() sees the
-    // full population of this round and the ready queue its initial wave.
+    // full population of this round and the ready deques their initial wave.
+    // entry_count() is the O(1) atomic counter — no shard scan (the gauge
+    // regression test pins LockTable::Stats::shard_scans at zero here).
     metrics_->phase_enqueue_us->observe(us);
-    const auto entries = static_cast<std::int64_t>(lock_table_.entry_count());
+    const auto entries = static_cast<std::int64_t>(lt_entry_count());
     metrics_->lock_table_depth->set(entries);
-    metrics_->ready_queue_depth->set(static_cast<std::int64_t>(ready_.size()));
+    metrics_->ready_queue_depth->set(static_cast<std::int64_t>(ready_depth()));
     metrics_->locks_enqueued->observe(entries);
   }
 }
 
-void Engine::release_locks(TxIdx idx) {
+void Engine::release_locks(TxIdx idx, unsigned slot) {
   TxnSlot& s = slots_[idx];
-  std::vector<TxIdx> granted;
+  // Per-thread scratch: release is the hottest allocation site of the old
+  // path (one vector per committed transaction); the thread-local buffer
+  // reaches steady-state capacity after a few transactions.
+  static thread_local std::vector<TxIdx> granted;
+  granted.clear();
   for (const TKey& key : s.pred.keys) {
     if (!needs_lock(key, s)) continue;
-    lock_table_.release(idx, key, granted);
+    lt_release(idx, key, granted);
   }
   for (TxIdx g : granted) {
     if (slots_[g].locks_remaining.fetch_sub(1, std::memory_order_acq_rel) ==
         1) {
-      ready_.push(g);
+      // Newly unblocked successors go to the releasing participant's own
+      // deque (LIFO: their lock entries are cache-warm); idle participants
+      // steal from the FIFO end if this one is backed up.
+      ready_push(g, slot);
     }
   }
 }
 
-void Engine::execute_ready_tx(TxIdx idx) {
+void Engine::execute_ready_tx(TxIdx idx, unsigned slot) {
   TxnSlot& s = slots_[idx];
   Stopwatch sw;
   const unsigned cls = static_cast<unsigned>(s.klass);
@@ -403,7 +444,7 @@ void Engine::execute_ready_tx(TxIdx idx) {
                                   sw.elapsed_micros(),
                                   std::move(s.trace_preds)});
     }
-    release_locks(idx);
+    release_locks(idx, slot);
     remaining_.fetch_sub(1, std::memory_order_acq_rel);
   };
 
@@ -425,14 +466,17 @@ void Engine::execute_ready_tx(TxIdx idx) {
     }
   }
   store::LiveView live(store_);
-  lang::ExecResult r = interp_.run(*s.entry->proc, s.req->input, live);
+  lang::ExecResult legacy_local;  // legacy: fresh result vectors per txn
+  lang::ExecResult& r =
+      config_.legacy_hot_path ? legacy_local : exec_scratch();
+  interp_.run_into(*s.entry->proc, s.req->input, live, r);
   if (recon_style && s.klass == sym::TxClass::kDependent) {
     // OLLP rule: abort iff the execution stepped outside the locked set.
     // The commit decision is deterministic: every in-set read is serialized
     // by the lock table, and once an out-of-set access occurs the
     // transaction aborts no matter what it read there.
     auto contained = [&](const std::vector<TKey>& actual,
-                         const std::vector<TKey>& allowed) {
+                         const auto& allowed) {
       return std::all_of(actual.begin(), actual.end(), [&](TKey k) {
         return sorted_contains(allowed, k);
       });
@@ -478,18 +522,33 @@ void Engine::execute_ready_tx(TxIdx idx) {
                                 sw.elapsed_micros(),
                                 std::move(s.trace_preds)});
   }
-  release_locks(idx);
+  release_locks(idx, slot);
   remaining_.fetch_sub(1, std::memory_order_acq_rel);
 }
 
-void Engine::do_exec() {
+void Engine::do_exec(unsigned slot) {
+  unsigned idle = 0;
   for (;;) {
-    if (auto t = ready_.try_pop()) {
-      execute_ready_tx(*t);
+    if (auto t = ready_pop(slot)) {
+      idle = 0;
+      execute_ready_tx(*t, slot);
       continue;
     }
     if (remaining_.load(std::memory_order_acquire) == 0) return;
-    std::this_thread::yield();
+    // Idle backoff (DESIGN.md §10): spin-yield briefly so a fresh grant is
+    // claimed with minimal latency, then fall back to short bounded naps. A
+    // hot spin loop would steal the core from the participant that actually
+    // holds work on oversubscribed hosts, and a transaction that executes on
+    // its grantor's deque never waits on a sleeper — thieves only add
+    // parallelism, so a capped nap delays ramp-up by at most 100us. The
+    // legacy hot path keeps the pre-overhaul discipline (unconditional
+    // yield-spin) so the ablation measures the idle policy too.
+    if (config_.legacy_hot_path || ++idle < 64) {
+      std::this_thread::yield();
+    } else {
+      std::this_thread::sleep_for(
+          std::chrono::microseconds(idle < 128 ? 20 : 100));
+    }
   }
 }
 
@@ -500,12 +559,14 @@ void Engine::run_seq_batch(BatchResult& result) {
     Stopwatch sw;
     if (s.klass == sym::TxClass::kReadOnly) {
       store::SnapshotView view(store_, batch_ - 1);
-      lang::ExecResult r = interp_.run(*s.entry->proc, s.req->input, view);
+      lang::ExecResult& r = exec_scratch();
+      interp_.run_into(*s.entry->proc, s.req->input, view, r);
       capture_output(i, std::move(r.emitted));
       ctr_committed_[cls].fetch_add(1, std::memory_order_relaxed);
     } else {
       store::LiveView live(store_);
-      lang::ExecResult r = interp_.run(*s.entry->proc, s.req->input, live);
+      lang::ExecResult& r = exec_scratch();
+      interp_.run_into(*s.entry->proc, s.req->input, live, r);
       if (r.committed) {
         lang::apply_writes(store_, r, batch_);
         capture_output(i, std::move(r.emitted));
@@ -535,7 +596,8 @@ void Engine::handle_failed_sf(const std::vector<TxIdx>& failed,
     const unsigned cls = static_cast<unsigned>(s.klass);
     Stopwatch txsw;
     store::LiveView live(store_);
-    lang::ExecResult r = interp_.run(*s.entry->proc, s.req->input, live);
+    lang::ExecResult& r = exec_scratch();
+    interp_.run_into(*s.entry->proc, s.req->input, live, r);
     if (r.committed) {
       lang::apply_writes(store_, r, batch_);
       capture_output(idx, std::move(r.emitted));
@@ -562,13 +624,17 @@ BatchResult Engine::run_batch(std::vector<TxRequest> requests) {
   result.batch = batch_;
 
   requests_ = std::move(requests);
-  slots_.clear();
+  // Slot-reuse contract (DESIGN.md §10): slots_ grows monotonically and is
+  // never destroyed between batches — each TxnSlot's Prediction keeps its
+  // spill buffers, so steady-state preparation allocates nothing.
+  while (slots_.size() < requests_.size()) slots_.emplace_back();
+  for (std::size_t i = 0; i < requests_.size(); ++i) slots_[i].reset();
   for (auto& q : rot_queues_) q.clear();
   prep_list_.clear();
   failed_.clear();
   commit_order_.clear();
   outputs_.clear();
-  ready_.clear();
+  ready_clear();
   for (unsigned c = 0; c < 3; ++c) {
     ctr_committed_[c].store(0);
     ctr_rolled_back_[c].store(0);
@@ -591,8 +657,7 @@ BatchResult Engine::run_batch(std::vector<TxRequest> requests) {
   for (TxIdx i = 0; i < requests_.size(); ++i) {
     const TxRequest& req = requests_[i];
     PROG_CHECK_MSG(req.proc < procs_.size(), "unknown procedure id");
-    slots_.emplace_back();
-    TxnSlot& s = slots_.back();
+    TxnSlot& s = slots_[i];
     s.req = &requests_[i];
     s.entry = &procs_[req.proc];
     s.klass = effective_class(*s.entry);
@@ -651,7 +716,7 @@ BatchResult Engine::run_batch(std::vector<TxRequest> requests) {
   // Phase 2: parallel execution of update transactions.
   {
     Stopwatch xsw;
-    run_phase(Phase::kExec, [&] { do_exec(); });
+    run_phase(Phase::kExec, [&] { do_exec(0); });
     phase_us_[1] = xsw.elapsed_micros();
   }
 
@@ -698,7 +763,7 @@ BatchResult Engine::run_batch(std::vector<TxRequest> requests) {
     });
     remaining_.store(failed.size(), std::memory_order_release);
     enqueue_all(failed);
-    run_phase(Phase::kExec, [&] { do_exec(); });
+    run_phase(Phase::kExec, [&] { do_exec(0); });
     const std::int64_t round_us = sw.elapsed_micros();
     phase_us_[2] += round_us;
     result.reexec_micros += round_us;
@@ -711,7 +776,7 @@ BatchResult Engine::run_batch(std::vector<TxRequest> requests) {
     std::sort(failed.begin(), failed.end());
   }
 
-  PROG_CHECK_MSG(lock_table_.empty(),
+  PROG_CHECK_MSG(lt_empty(),
                  "lock table must drain by the end of the batch");
 
   for (unsigned c = 0; c < 3; ++c) {

@@ -47,6 +47,7 @@
 #include "lang/interp.hpp"
 #include "obs/engine_metrics.hpp"
 #include "sched/lock_table.hpp"
+#include "sched/lock_table_legacy.hpp"
 #include "sched/trace.hpp"
 #include "sym/profile.hpp"
 #include "store/store.hpp"
@@ -142,6 +143,13 @@ struct EngineConfig {
   bool static_conflict_elision = true;
   /// Verify actual accesses ⊆ predicted key-set after every execution.
   bool check_containment = false;
+  /// Ablation (kept for one release, DESIGN.md §10): run the pre-overhaul
+  /// scheduling hot path — the deque-in-unordered-map lock table and the
+  /// single mutex-guarded global ready queue — instead of the epoch-arena
+  /// flat lock table and the per-worker work-stealing ready deques.
+  /// Produces identical commits and final state; only scheduler cost and
+  /// steady-state allocation differ (bench_hotpath measures the gap).
+  bool legacy_hot_path = false;
   /// Telemetry (DESIGN.md §9): the engine owns an obs::Registry and keeps
   /// per-class commit/abort counters, per-attempt latency histograms,
   /// per-phase timers and queue-occupancy gauges. Hot-path cost per event
@@ -256,6 +264,10 @@ class Engine {
   const obs::Registry* telemetry() const noexcept { return registry_.get(); }
   obs::Registry* telemetry() noexcept { return registry_.get(); }
 
+  /// Diagnostic accessor (tests): the arena lock table. Its Stats expose
+  /// the shard-scan counter the telemetry-gauge regression test pins at 0.
+  const LockTable& lock_table() const noexcept { return lock_table_; }
+
  private:
   enum class Phase : std::uint8_t {
     kRotPrepare,
@@ -272,6 +284,19 @@ class Engine {
     std::atomic<int> locks_remaining{0};
     std::int64_t prepare_us = 0;
     std::vector<TxIdx> trace_preds;  // only filled when tracing
+
+    /// Slot-reuse contract (DESIGN.md §10): slots persist across batches as
+    /// the per-transaction prediction arena. reset() drops per-batch state
+    /// but keeps pred's spill buffers, so steady state allocates nothing.
+    void reset() noexcept {
+      req = nullptr;
+      entry = nullptr;
+      klass = sym::TxClass::kIndependent;
+      pred.clear();
+      locks_remaining.store(0, std::memory_order_relaxed);
+      prepare_us = 0;
+      trace_preds.clear();
+    }
   };
 
   void worker_main(unsigned worker_idx);
@@ -280,7 +305,9 @@ class Engine {
   void run_phase(Phase p, const Fn& own_work);
 
   void do_rot_prepare(unsigned worker_idx);
-  void do_exec();
+  /// Drains the ready work. `slot` names the caller's ready-deque slot:
+  /// 0 = queuer, 1..W = worker index + 1.
+  void do_exec(unsigned slot);
   /// Enqueues the keys of partition `partition` (0 = queuer, 1..W = worker
   /// index + 1) for every transaction in enqueue_order_.
   void do_enqueue_partition(unsigned partition);
@@ -291,7 +318,7 @@ class Engine {
   /// Computes klass + key-set prediction for slot `idx` against
   /// `prep_snapshot_`. Thread-safe across distinct slots.
   void prepare_tx(TxIdx idx);
-  void execute_ready_tx(TxIdx idx);
+  void execute_ready_tx(TxIdx idx, unsigned slot);
   void execute_rot(TxIdx idx);
 
   /// Enqueues slot `idx` into the lock table; readies it if fully granted.
@@ -301,7 +328,7 @@ class Engine {
   void handle_failed_sf(const std::vector<TxIdx>& failed,
                         BatchResult& result);
 
-  void release_locks(TxIdx idx);
+  void release_locks(TxIdx idx, unsigned slot);
   sym::TxClass effective_class(const ProcEntry& entry) const;
   /// A key needs a lock-table entry unless its table is provably immutable
   /// (no registered procedure ever writes it) or the static conflict census
@@ -335,7 +362,101 @@ class Engine {
   std::vector<std::unordered_set<TableId>> skip_tables_;
 
   LockTable lock_table_;
-  MpmcQueue<TxIdx> ready_;
+  /// Legacy hot path (EngineConfig::legacy_hot_path): the pre-overhaul
+  /// deque-in-unordered-map lock table. Null on the new path.
+  std::unique_ptr<LegacyLockTable> legacy_lock_table_;
+
+  /// Per-participant ready deques (DESIGN.md §10): slot 0 is the queuer,
+  /// slot i+1 is worker i. Owners push/pop LIFO; idle participants steal
+  /// FIFO from the others. Determinism never depends on pop/steal order —
+  /// the lock table alone serializes conflicts.
+  std::unique_ptr<WorkStealingDeque<TxIdx>[]> ready_;
+  unsigned ready_slots_ = 1;
+  /// Round-robin cursor for quiesced seeding (enqueue phase only).
+  unsigned seed_rr_ = 0;
+  /// Legacy hot path: the single global mutex-guarded ready queue.
+  MpmcQueue<TxIdx> legacy_ready_;
+
+  // --- hot-path dispatch (branch on config_.legacy_hot_path) --------------
+  bool lt_enqueue(TxIdx tx, TKey key, bool write, TxIdx* pred_out) {
+    if (legacy_lock_table_) {
+      return legacy_lock_table_->enqueue(tx, key, write, pred_out);
+    }
+    return lock_table_.enqueue(tx, key, write, pred_out);
+  }
+  void lt_release(TxIdx tx, TKey key, std::vector<TxIdx>& granted) {
+    if (legacy_lock_table_) {
+      legacy_lock_table_->release(tx, key, granted);
+      return;
+    }
+    lock_table_.release(tx, key, granted);
+  }
+  std::size_t lt_entry_count() const {
+    return legacy_lock_table_ ? legacy_lock_table_->entry_count()
+                              : lock_table_.entry_count();
+  }
+  bool lt_empty() const {
+    return legacy_lock_table_ ? legacy_lock_table_->empty()
+                              : lock_table_.empty();
+  }
+  void lt_begin_batch() {
+    // Legacy table keeps its map across batches (drained keys stay as empty
+    // deques) — exactly the pre-overhaul behavior the ablation measures.
+    if (legacy_lock_table_) return;
+    lock_table_.begin_batch();
+  }
+
+  /// Readies `idx` from participant `slot` (owner-push into its own deque).
+  void ready_push(TxIdx idx, unsigned slot) {
+    if (config_.legacy_hot_path) {
+      legacy_ready_.push(idx);
+      return;
+    }
+    ready_[slot].push(idx);
+  }
+  /// Quiesced seeding during the enqueue phase: distribute initially granted
+  /// transactions round-robin so phase 2 starts with balanced deques. Safe
+  /// because workers are parked at the barrier (any single thread may act as
+  /// a deque's owner while quiesced).
+  void seed_ready(TxIdx idx) {
+    if (config_.legacy_hot_path) {
+      legacy_ready_.push(idx);
+      return;
+    }
+    ready_[seed_rr_].push(idx);
+    seed_rr_ = seed_rr_ + 1 == ready_slots_ ? 0 : seed_rr_ + 1;
+  }
+  /// Claims work for participant `slot`: own deque LIFO first, then steals
+  /// FIFO from the other participants.
+  std::optional<TxIdx> ready_pop(unsigned slot) {
+    if (config_.legacy_hot_path) return legacy_ready_.try_pop();
+    if (auto v = ready_[slot].pop()) return v;
+    for (unsigned i = 1; i < ready_slots_; ++i) {
+      const unsigned victim =
+          slot + i >= ready_slots_ ? slot + i - ready_slots_ : slot + i;
+      // Relaxed occupancy pre-check: a fenced steal() on an empty deque is
+      // the hot instruction of an idle sweep; two relaxed loads skip it.
+      if (ready_[victim].size_approx() == 0) continue;
+      if (auto v = ready_[victim].steal()) return v;
+    }
+    return std::nullopt;
+  }
+  /// Quiesced only (between batches / rounds).
+  void ready_clear() {
+    if (config_.legacy_hot_path) {
+      legacy_ready_.clear();
+      return;
+    }
+    for (unsigned i = 0; i < ready_slots_; ++i) ready_[i].clear();
+    seed_rr_ = 0;
+  }
+  /// Telemetry gauge: total ready occupancy (racy estimate).
+  std::size_t ready_depth() const {
+    if (config_.legacy_hot_path) return legacy_ready_.size();
+    std::size_t n = 0;
+    for (unsigned i = 0; i < ready_slots_; ++i) n += ready_[i].size_approx();
+    return n;
+  }
 
   // --- per-batch shared state (set by the queuer between barriers) --------
   BatchId next_batch_ = 1;

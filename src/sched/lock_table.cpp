@@ -1,93 +1,198 @@
 #include "sched/lock_table.hpp"
 
+#include <bit>
+
 #include "common/check.hpp"
 
 namespace prog::sched {
 
-LockTable::LockTable(Options opts)
-    : opts_(opts), shards_(opts.shards == 0 ? 1 : opts.shards) {}
+namespace {
 
-void LockTable::grant_prefix(std::deque<Entry>& q,
-                             std::vector<TxIdx>& granted) const {
-  if (q.empty()) return;
-  // Head is always eligible.
-  if (!q.front().granted) {
-    q.front().granted = true;
-    granted.push_back(q.front().tx);
+std::size_t round_pow2(std::size_t n) {
+  if (n == 0) return 1;
+  return std::bit_ceil(n);
+}
+
+}  // namespace
+
+LockTable::LockTable(Options opts) : opts_(opts) {
+  const std::size_t shards = round_pow2(opts.shards == 0 ? 1 : opts.shards);
+  const std::size_t slots =
+      round_pow2(opts.initial_slots == 0 ? 16 : opts.initial_slots);
+  // Invariant: masking requires power-of-two shard and slot counts.
+  PROG_CHECK_MSG((shards & (shards - 1)) == 0, "shard count must be 2^k");
+  PROG_CHECK_MSG((slots & (slots - 1)) == 0, "slot count must be 2^k");
+  shards_ = std::vector<Shard>(shards);
+  shard_mask_ = shards - 1;
+  for (Shard& sh : shards_) {
+    sh.slots.resize(slots);
+    sh.arena.resize(64);
   }
-  if (!opts_.shared_reads || q.front().write) return;
+}
+
+LockTable::Slot& LockTable::find_or_claim(Shard& sh, TKey key) {
+  // Keep load factor under 3/4 so a dead slot always terminates the probe.
+  if ((sh.live + 1) * 4 > sh.slots.size() * 3) rehash(sh);
+  const std::size_t mask = sh.slots.size() - 1;
+  std::size_t i = TKeyHash{}(key) & mask;
+  for (;;) {
+    Slot& s = sh.slots[i];
+    if (s.epoch != sh.epoch) {
+      // Dead (previous epoch or never used): claim it for this key.
+      s.key = key;
+      s.epoch = sh.epoch;
+      s.head = kNull;
+      s.tail = kNull;
+      ++sh.live;
+      return s;
+    }
+    if (s.key == key) return s;
+    i = (i + 1) & mask;
+  }
+}
+
+LockTable::Slot* LockTable::find(Shard& sh, TKey key) noexcept {
+  const std::size_t mask = sh.slots.size() - 1;
+  std::size_t i = TKeyHash{}(key) & mask;
+  for (;;) {
+    Slot& s = sh.slots[i];
+    if (s.epoch != sh.epoch) return nullptr;
+    if (s.key == key) return &s;
+    i = (i + 1) & mask;
+  }
+}
+
+void LockTable::rehash(Shard& sh) {
+  rehashes_.fetch_add(1, std::memory_order_relaxed);
+  std::vector<Slot> fresh(sh.slots.size() * 2);
+  const std::size_t mask = fresh.size() - 1;
+  for (const Slot& s : sh.slots) {
+    if (s.epoch != sh.epoch) continue;  // dead slots are not migrated
+    std::size_t i = TKeyHash{}(s.key) & mask;
+    while (fresh[i].epoch == sh.epoch) i = (i + 1) & mask;
+    fresh[i] = s;
+  }
+  sh.slots = std::move(fresh);
+}
+
+std::uint32_t LockTable::alloc_entry(Shard& sh) {
+  if (sh.arena_used == sh.arena.size()) {
+    arena_grows_.fetch_add(1, std::memory_order_relaxed);
+    sh.arena.resize(sh.arena.size() * 2);
+  }
+  return sh.arena_used++;
+}
+
+void LockTable::grant_prefix(Shard& sh, Slot& slot,
+                             std::vector<TxIdx>& granted) const {
+  // Head is always eligible.
+  Entry& head = sh.arena[slot.head];
+  if (!head.granted) {
+    head.granted = true;
+    granted.push_back(head.tx);
+  }
+  if (!opts_.shared_reads || head.write) return;
   // Extend the granted prefix across consecutive readers.
-  for (std::size_t i = 1; i < q.size(); ++i) {
-    Entry& e = q[i];
-    if (e.write) break;
-    if (!e.granted) {
-      e.granted = true;
-      granted.push_back(e.tx);
+  for (std::uint32_t e = head.next; e != kNull; e = sh.arena[e].next) {
+    Entry& en = sh.arena[e];
+    if (en.write) break;
+    if (!en.granted) {
+      en.granted = true;
+      granted.push_back(en.tx);
     }
   }
 }
 
 bool LockTable::enqueue(TxIdx tx, TKey key, bool write, TxIdx* pred_out) {
-  Shard& shard = shard_for(key);
-  std::scoped_lock lock(shard.mu);
-  std::deque<Entry>& q = shard.queues[key];
+  Shard& sh = shard_for(key);
+  std::scoped_lock lock(sh.mu);
+  Slot& s = find_or_claim(sh, key);
   bool granted = false;
-  if (q.empty()) {
+  if (s.head == kNull) {
     granted = true;
   } else if (opts_.shared_reads && !write) {
     // Granted iff every entry ahead is a granted reader.
     granted = true;
-    for (const Entry& e : q) {
-      if (e.write || !e.granted) {
+    for (std::uint32_t e = s.head; e != kNull; e = sh.arena[e].next) {
+      const Entry& en = sh.arena[e];
+      if (en.write || !en.granted) {
         granted = false;
         break;
       }
     }
   }
-  if (pred_out != nullptr && !granted) *pred_out = q.back().tx;
-  q.push_back({tx, write, granted});
+  if (pred_out != nullptr && !granted) *pred_out = sh.arena[s.tail].tx;
+  const std::uint32_t e = alloc_entry(sh);
+  sh.arena[e] = {tx, kNull, write, granted};
+  if (s.head == kNull) {
+    s.head = e;
+  } else {
+    sh.arena[s.tail].next = e;
+  }
+  s.tail = e;
+  entries_.fetch_add(1, std::memory_order_release);
   return granted;
 }
 
 void LockTable::release(TxIdx tx, TKey key, std::vector<TxIdx>& granted) {
-  Shard& shard = shard_for(key);
-  std::scoped_lock lock(shard.mu);
-  auto it = shard.queues.find(key);
-  PROG_CHECK_MSG(it != shard.queues.end(), "release on unknown key");
-  std::deque<Entry>& q = it->second;
-  bool found = false;
-  for (std::size_t i = 0; i < q.size(); ++i) {
-    if (q[i].tx == tx) {
-      PROG_CHECK_MSG(q[i].granted, "release of an ungranted lock entry");
-      q.erase(q.begin() + static_cast<std::ptrdiff_t>(i));
-      found = true;
-      break;
-    }
+  Shard& sh = shard_for(key);
+  std::scoped_lock lock(sh.mu);
+  Slot* s = find(sh, key);
+  PROG_CHECK_MSG(s != nullptr, "release on unknown key");
+  std::uint32_t prev = kNull;
+  std::uint32_t e = s->head;
+  while (e != kNull && sh.arena[e].tx != tx) {
+    prev = e;
+    e = sh.arena[e].next;
   }
-  PROG_CHECK_MSG(found, "release of a lock entry that was never enqueued");
-  if (q.empty()) {
-    shard.queues.erase(it);
-    return;
+  PROG_CHECK_MSG(e != kNull,
+                 "release of a lock entry that was never enqueued");
+  PROG_CHECK_MSG(sh.arena[e].granted, "release of an ungranted lock entry");
+  const std::uint32_t next = sh.arena[e].next;
+  if (prev == kNull) {
+    s->head = next;
+  } else {
+    sh.arena[prev].next = next;
   }
-  grant_prefix(q, granted);
+  if (s->tail == e) s->tail = prev;
+  entries_.fetch_sub(1, std::memory_order_release);
+  if (s->head == kNull) return;  // slot stays live with an empty queue
+  grant_prefix(sh, *s, granted);
 }
 
-std::size_t LockTable::entry_count() const {
-  std::size_t n = 0;
-  for (const Shard& shard : shards_) {
-    std::scoped_lock lock(shard.mu);
-    for (const auto& [key, q] : shard.queues) n += q.size();
+void LockTable::begin_batch() {
+  PROG_CHECK_MSG(empty(), "begin_batch on a non-drained lock table");
+  for (Shard& sh : shards_) {
+    std::scoped_lock lock(sh.mu);
+    ++sh.epoch;  // retires every slot of the previous epoch in O(1)
+    sh.live = 0;
+    sh.arena_used = 0;  // resets the bump arena in O(1); no per-entry free
   }
-  return n;
 }
-
-bool LockTable::empty() const { return entry_count() == 0; }
 
 void LockTable::clear() {
-  for (Shard& shard : shards_) {
-    std::scoped_lock lock(shard.mu);
-    shard.queues.clear();
+  for (Shard& sh : shards_) {
+    std::scoped_lock lock(sh.mu);
+    ++sh.epoch;
+    sh.live = 0;
+    sh.arena_used = 0;
   }
+  entries_.store(0, std::memory_order_release);
+}
+
+std::size_t LockTable::verify_drained() const {
+  scans_.fetch_add(1, std::memory_order_relaxed);
+  std::size_t n = 0;
+  for (const Shard& sh : shards_) {
+    std::scoped_lock lock(sh.mu);
+    for (const Slot& s : sh.slots) {
+      if (s.epoch != sh.epoch) continue;
+      for (std::uint32_t e = s.head; e != kNull; e = sh.arena[e].next) ++n;
+    }
+  }
+  PROG_CHECK_MSG(n == entry_count(),
+                 "lock-table O(1) counter diverged from the slow recount");
+  return n;
 }
 
 }  // namespace prog::sched

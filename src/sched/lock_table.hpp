@@ -12,15 +12,34 @@
 //   - shared reads (ablation): a maximal prefix of read entries is granted,
 //     matching Calvin's reader/writer lock manager.
 //
-// Thread-safety: enqueue is called by the single queuer; release by any
-// worker. Queues are sharded; each shard is guarded by a spin lock held for
-// a handful of instructions.
+// Hot-path memory layout (DESIGN.md §10). The table is sharded by key hash
+// into a power-of-two number of shards (mask, not modulo). Each shard is an
+// open-addressing flat table of per-key queue heads plus a bump arena of
+// queue entries:
+//
+//   - Slots are epoch-tagged: a slot belongs to the current batch iff its
+//     epoch stamp matches the shard's. begin_batch() bumps the epoch, which
+//     retires every slot and every arena entry in O(1) — no per-entry free,
+//     no rehash, no destructor walk. Within an epoch slots are never deleted
+//     (a drained queue keeps its slot with an empty list), so linear probe
+//     chains only grow and need no tombstones.
+//   - Queue entries are carved from a per-shard bump arena and linked into
+//     per-key intrusive singly-linked lists by 32-bit index. Enqueue is an
+//     arena bump + tail link; release unlinks (queues are short) and the
+//     entry's storage is reclaimed wholesale at the next epoch.
+//   - A maintained atomic counter makes entry_count()/empty() O(1) — the
+//     telemetry lock-depth gauge and the end-of-batch invariant read it
+//     without touching any shard.
+//
+// Thread-safety: enqueue is called by the single queuer (or by partitioned
+// helpers under parallel_enqueue — each key still sees agreed order);
+// release by any worker. Each shard is guarded by a spin lock held for a
+// handful of instructions. begin_batch()/clear() require quiescence (the
+// engine calls them strictly between rounds, when the table is drained).
 #pragma once
 
+#include <atomic>
 #include <cstdint>
-#include <deque>
-#include <mutex>
-#include <unordered_map>
 #include <vector>
 
 #include "common/sync.hpp"
@@ -35,7 +54,10 @@ class LockTable {
  public:
   struct Options {
     bool shared_reads = false;
+    /// Rounded up to the next power of two by the constructor.
     unsigned shards = 64;
+    /// Initial flat-table capacity per shard (power of two).
+    unsigned initial_slots = 64;
   };
 
   LockTable() : LockTable(Options{}) {}
@@ -45,48 +67,113 @@ class LockTable {
   LockTable& operator=(const LockTable&) = delete;
 
   /// Appends `tx` to `key`'s queue. Returns true when the entry is granted
-  /// immediately (queue head, or shared-read prefix). Queuer thread only.
-  /// When `pred_out` is non-null and the entry was not granted, it receives
-  /// the immediately preceding entry's transaction (the dependency edge used
-  /// by the scheduling model).
+  /// immediately (queue head, or shared-read prefix). When `pred_out` is
+  /// non-null and the entry was not granted, it receives the immediately
+  /// preceding entry's transaction (the dependency edge used by the
+  /// scheduling model).
   bool enqueue(TxIdx tx, TKey key, bool write, TxIdx* pred_out = nullptr);
 
   /// Removes `tx`'s (granted) entry from `key`'s queue and appends any
   /// newly granted transactions to `granted`. Any thread.
   void release(TxIdx tx, TKey key, std::vector<TxIdx>& granted);
 
-  /// Total entries currently queued (diagnostics).
-  std::size_t entry_count() const;
+  /// Total entries currently queued. O(1): reads the maintained atomic
+  /// counter — safe to sample from the telemetry path at any frequency.
+  std::size_t entry_count() const noexcept {
+    return entries_.load(std::memory_order_acquire);
+  }
 
-  /// True when every queue is empty — the end-of-batch invariant.
-  bool empty() const;
+  /// True when every queue is empty — the end-of-batch invariant. O(1).
+  bool empty() const noexcept { return entry_count() == 0; }
 
-  /// Drops all queues (used by tests; a correct batch drains naturally).
+  /// Retires every slot and arena entry of the previous batch in O(shards):
+  /// bumps each shard's epoch and resets its bump arena. Requires the table
+  /// to be drained (checked) and quiesced.
+  void begin_batch();
+
+  /// Drops all queues regardless of content (tests; a correct batch drains
+  /// naturally). Quiesced callers only.
   void clear();
 
- private:
-  struct Entry {
-    TxIdx tx;
-    bool write;
-    bool granted;
+  /// Number of shards after power-of-two rounding.
+  std::size_t shard_count() const noexcept { return shards_.size(); }
+
+  // --- diagnostics ---------------------------------------------------------
+  struct Stats {
+    std::uint64_t rehashes = 0;     ///< per-shard flat-table growths
+    std::uint64_t arena_grows = 0;  ///< per-shard entry-arena growths
+    std::uint64_t shard_scans = 0;  ///< full-table walks (verify_drained)
   };
+  Stats stats() const noexcept {
+    return {rehashes_.load(std::memory_order_relaxed),
+            arena_grows_.load(std::memory_order_relaxed),
+            scans_.load(std::memory_order_relaxed)};
+  }
+
+  /// Full-shard scans performed so far. The steady-state paths — enqueue,
+  /// release, entry_count, empty, begin_batch — never scan; the telemetry
+  /// regression test asserts this stays 0 across instrumented batches.
+  std::uint64_t shard_scans() const noexcept {
+    return scans_.load(std::memory_order_relaxed);
+  }
+
+  /// Debug walk: recounts every live queue the slow way and checks the
+  /// result against the O(1) counter. Returns the recount. Counted in
+  /// Stats::shard_scans — production paths must never call it.
+  std::size_t verify_drained() const;
+
+ private:
+  static constexpr std::uint32_t kNull = 0xffffffffu;
+
+  struct Entry {
+    TxIdx tx = 0;
+    std::uint32_t next = kNull;
+    bool write = false;
+    bool granted = false;
+  };
+
+  struct Slot {
+    TKey key{};
+    std::uint64_t epoch = 0;  ///< live iff equal to the shard's epoch
+    std::uint32_t head = kNull;
+    std::uint32_t tail = kNull;
+  };
+
   struct Shard {
     mutable SpinLock mu;
-    std::unordered_map<TKey, std::deque<Entry>, TKeyHash> queues;
+    std::uint64_t epoch = 1;  ///< starts at 1: fresh slots (epoch 0) are dead
+    std::size_t live = 0;     ///< live slots this epoch (load-factor input)
+    std::vector<Slot> slots;  ///< open addressing, power-of-two capacity
+    std::vector<Entry> arena;  ///< bump arena of queue entries
+    std::uint32_t arena_used = 0;
   };
 
-  Shard& shard_for(TKey key) {
-    return shards_[TKeyHash{}(key) % shards_.size()];
+  Shard& shard_for(TKey key) noexcept {
+    return shards_[TKeyHash{}(key) & shard_mask_];
   }
-  const Shard& shard_for(TKey key) const {
-    return shards_[TKeyHash{}(key) % shards_.size()];
+  const Shard& shard_for(TKey key) const noexcept {
+    return shards_[TKeyHash{}(key) & shard_mask_];
   }
 
-  /// Grants the maximal eligible prefix; appends newly granted to `granted`.
-  void grant_prefix(std::deque<Entry>& q, std::vector<TxIdx>& granted) const;
+  /// Probes for `key`'s live slot; claims a dead slot (growing at 3/4 load)
+  /// when absent. Shard lock held.
+  Slot& find_or_claim(Shard& sh, TKey key);
+  /// Probes for `key`'s live slot; nullptr when absent. Shard lock held.
+  Slot* find(Shard& sh, TKey key) noexcept;
+  /// Doubles the shard's flat table and reinserts its live slots.
+  void rehash(Shard& sh);
+  /// Bump-allocates one arena entry (growing geometrically).
+  std::uint32_t alloc_entry(Shard& sh);
+  /// Grants the maximal eligible prefix of `slot`'s queue.
+  void grant_prefix(Shard& sh, Slot& slot, std::vector<TxIdx>& granted) const;
 
   Options opts_;
   std::vector<Shard> shards_;
+  std::size_t shard_mask_ = 0;
+  std::atomic<std::size_t> entries_{0};
+  mutable std::atomic<std::uint64_t> rehashes_{0};
+  mutable std::atomic<std::uint64_t> arena_grows_{0};
+  mutable std::atomic<std::uint64_t> scans_{0};
 };
 
 }  // namespace prog::sched

@@ -1,0 +1,95 @@
+#include "sched/lock_table_legacy.hpp"
+
+#include "common/check.hpp"
+
+namespace prog::sched {
+
+LegacyLockTable::LegacyLockTable(Options opts)
+    : opts_(opts), shards_(opts.shards == 0 ? 1 : opts.shards) {}
+
+void LegacyLockTable::grant_prefix(std::deque<Entry>& q,
+                                   std::vector<TxIdx>& granted) const {
+  if (q.empty()) return;
+  // Head is always eligible.
+  if (!q.front().granted) {
+    q.front().granted = true;
+    granted.push_back(q.front().tx);
+  }
+  if (!opts_.shared_reads || q.front().write) return;
+  // Extend the granted prefix across consecutive readers.
+  for (std::size_t i = 1; i < q.size(); ++i) {
+    Entry& e = q[i];
+    if (e.write) break;
+    if (!e.granted) {
+      e.granted = true;
+      granted.push_back(e.tx);
+    }
+  }
+}
+
+bool LegacyLockTable::enqueue(TxIdx tx, TKey key, bool write,
+                              TxIdx* pred_out) {
+  Shard& shard = shard_for(key);
+  std::scoped_lock lock(shard.mu);
+  std::deque<Entry>& q = shard.queues[key];
+  bool granted = false;
+  if (q.empty()) {
+    granted = true;
+  } else if (opts_.shared_reads && !write) {
+    // Granted iff every entry ahead is a granted reader.
+    granted = true;
+    for (const Entry& e : q) {
+      if (e.write || !e.granted) {
+        granted = false;
+        break;
+      }
+    }
+  }
+  if (pred_out != nullptr && !granted) *pred_out = q.back().tx;
+  q.push_back({tx, write, granted});
+  return granted;
+}
+
+void LegacyLockTable::release(TxIdx tx, TKey key,
+                              std::vector<TxIdx>& granted) {
+  Shard& shard = shard_for(key);
+  std::scoped_lock lock(shard.mu);
+  auto it = shard.queues.find(key);
+  PROG_CHECK_MSG(it != shard.queues.end(), "release on unknown key");
+  std::deque<Entry>& q = it->second;
+  bool found = false;
+  for (std::size_t i = 0; i < q.size(); ++i) {
+    if (q[i].tx == tx) {
+      PROG_CHECK_MSG(q[i].granted, "release of an ungranted lock entry");
+      q.erase(q.begin() + static_cast<std::ptrdiff_t>(i));
+      found = true;
+      break;
+    }
+  }
+  PROG_CHECK_MSG(found, "release of a lock entry that was never enqueued");
+  if (q.empty()) {
+    shard.queues.erase(it);
+    return;
+  }
+  grant_prefix(q, granted);
+}
+
+std::size_t LegacyLockTable::entry_count() const {
+  scans_.fetch_add(1, std::memory_order_relaxed);
+  std::size_t n = 0;
+  for (const Shard& shard : shards_) {
+    std::scoped_lock lock(shard.mu);
+    for (const auto& [key, q] : shard.queues) n += q.size();
+  }
+  return n;
+}
+
+void LegacyLockTable::clear() {
+  scans_.fetch_add(1, std::memory_order_relaxed);
+  for (Shard& shard : shards_) {
+    std::scoped_lock lock(shard.mu);
+    shard.queues.clear();
+  }
+}
+
+}  // namespace prog::sched

@@ -1,0 +1,80 @@
+// The pre-hot-path-overhaul lock table, kept verbatim for one release as the
+// ablation baseline behind EngineConfig::legacy_hot_path (bench_hotpath
+// measures the arena table in lock_table.hpp against this).
+//
+// Shape: one std::deque<Entry> per (table, key) inside per-shard
+// std::unordered_map buckets. Every enqueue may allocate (map node + deque
+// block), every release erases from the middle of a deque, and entry_count()
+// is a full scan of every shard under its spin lock — exactly the malloc and
+// cache traffic the overhaul removes. Do not use in new code.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "common/sync.hpp"
+#include "common/types.hpp"
+
+namespace prog::sched {
+
+/// Index of a transaction within the executing batch.
+using TxIdx = std::uint32_t;
+
+class LegacyLockTable {
+ public:
+  struct Options {
+    bool shared_reads = false;
+    unsigned shards = 64;
+  };
+
+  LegacyLockTable() : LegacyLockTable(Options{}) {}
+  explicit LegacyLockTable(Options opts);
+
+  LegacyLockTable(const LegacyLockTable&) = delete;
+  LegacyLockTable& operator=(const LegacyLockTable&) = delete;
+
+  bool enqueue(TxIdx tx, TKey key, bool write, TxIdx* pred_out = nullptr);
+  void release(TxIdx tx, TKey key, std::vector<TxIdx>& granted);
+
+  /// Total entries currently queued. O(keys): scans every shard under its
+  /// lock — the telemetry-gauge cost the overhaul's O(1) counter fixes.
+  std::size_t entry_count() const;
+  bool empty() const { return entry_count() == 0; }
+  void clear();
+
+  /// Full-shard scans performed so far (entry_count/empty/clear). The
+  /// regression test for the telemetry gauge asserts the arena table's
+  /// equivalent counter stays at zero on the sampling path.
+  std::uint64_t shard_scans() const noexcept {
+    return scans_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Entry {
+    TxIdx tx;
+    bool write;
+    bool granted;
+  };
+  struct Shard {
+    mutable SpinLock mu;
+    std::unordered_map<TKey, std::deque<Entry>, TKeyHash> queues;
+  };
+
+  Shard& shard_for(TKey key) {
+    return shards_[TKeyHash{}(key) % shards_.size()];
+  }
+  const Shard& shard_for(TKey key) const {
+    return shards_[TKeyHash{}(key) % shards_.size()];
+  }
+
+  void grant_prefix(std::deque<Entry>& q, std::vector<TxIdx>& granted) const;
+
+  Options opts_;
+  std::vector<Shard> shards_;
+  mutable std::atomic<std::uint64_t> scans_{0};
+};
+
+}  // namespace prog::sched

@@ -33,29 +33,72 @@ class PredictCtx final : public expr::EvalContext {
     return input_.elem(slot, index);
   }
   Value pivot(std::uint32_t site, FieldId field) const override {
-    auto it = site_rows_.find(site);
-    PROG_CHECK_MSG(it != site_rows_.end(),
+    const store::RowPtr* row = find(site);
+    PROG_CHECK_MSG(row != nullptr,
                    "prediction referenced an unresolved pivot site");
-    const store::RowPtr& row = it->second;
-    if (field == lang::kExistsField) return row != nullptr ? 1 : 0;
-    return row != nullptr ? row->get_or(field, 0) : 0;
+    if (field == lang::kExistsField) return *row != nullptr ? 1 : 0;
+    return *row != nullptr ? (*row)->get_or(field, 0) : 0;
   }
 
   void resolve(std::uint32_t site, store::RowPtr row) {
-    site_rows_[site] = std::move(row);
+    for (std::size_t i = 0; i < count_; ++i) {
+      if (sites_[i] == site) {
+        rows_[i] = std::move(row);
+        return;
+      }
+    }
+    for (auto& [s, r] : spill_) {
+      if (s == site) {
+        r = std::move(row);
+        return;
+      }
+    }
+    if (count_ < kInline) {
+      sites_[count_] = site;
+      rows_[count_] = std::move(row);
+      ++count_;
+      return;
+    }
+    spill_.emplace_back(site, std::move(row));
   }
 
  private:
+  /// Pivot sites per path are a small handful in every evaluated workload;
+  /// inline storage + linear scan keeps prediction allocation-free (the
+  /// unordered_map this replaces cost one heap node per DT pivot).
+  static constexpr std::size_t kInline = 8;
+
+  const store::RowPtr* find(std::uint32_t site) const {
+    for (std::size_t i = 0; i < count_; ++i) {
+      if (sites_[i] == site) return &rows_[i];
+    }
+    for (const auto& [s, row] : spill_) {
+      if (s == site) return &row;
+    }
+    return nullptr;
+  }
+
   const lang::TxInput& input_;
-  std::unordered_map<std::uint32_t, store::RowPtr> site_rows_;
+  std::uint32_t sites_[kInline] = {};
+  store::RowPtr rows_[kInline];
+  std::size_t count_ = 0;
+  std::vector<std::pair<std::uint32_t, store::RowPtr>> spill_;
 };
 
 }  // namespace
 
 Prediction TxProfile::predict(const lang::TxInput& input,
                               const store::ReadView& view) const {
-  PROG_CHECK(root_ != nullptr);
   Prediction out;
+  predict_into(input, view, out);
+  return out;
+}
+
+void TxProfile::predict_into(const lang::TxInput& input,
+                             const store::ReadView& view,
+                             Prediction& out) const {
+  PROG_CHECK(root_ != nullptr);
+  out.clear();
   PredictCtx ctx(input);
 
   const ProfileNode* node = root_.get();
@@ -79,13 +122,12 @@ Prediction TxProfile::predict(const lang::TxInput& input,
     node = c != 0 ? node->then_child.get() : node->else_child.get();
   }
 
-  auto dedup = [](std::vector<TKey>& v) {
+  auto dedup = [](auto& v) {
     std::sort(v.begin(), v.end());
     v.erase(std::unique(v.begin(), v.end()), v.end());
   };
   dedup(out.keys);
   dedup(out.write_keys);
-  return out;
 }
 
 bool TxProfile::validate_pivots(const Prediction& p,

@@ -18,6 +18,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "common/small_vec.hpp"
 #include "expr/expr.hpp"
 #include "lang/ast.hpp"
 #include "solver/solver.hpp"
@@ -88,11 +89,25 @@ inline std::uint64_t observation_hash(const store::RowPtr& row) noexcept {
   return row == nullptr ? 0 : (row->hash() | 1);
 }
 
+/// Small-buffer key-set storage (DESIGN.md §10): the evaluated workloads
+/// predict 2–23 keys per transaction, so the common case lives inline in the
+/// engine's reused TxnSlot and steady-state prediction allocates nothing.
+using KeySet = SmallVec<TKey, 12>;
+using WriteKeySet = SmallVec<TKey, 8>;
+using PivotSet = SmallVec<PivotObservation, 4>;
+
 /// Concrete key-set prediction for one invocation.
 struct Prediction {
-  std::vector<TKey> keys;        // all accessed keys, sorted, deduplicated
-  std::vector<TKey> write_keys;  // subset that is written (sorted)
-  std::vector<PivotObservation> pivots;  // empty for ITs
+  KeySet keys;            // all accessed keys, sorted, deduplicated
+  WriteKeySet write_keys;  // subset that is written (sorted)
+  PivotSet pivots;         // empty for ITs
+
+  /// Drops contents, keeping spill buffers — slot-reuse contract.
+  void clear() noexcept {
+    keys.clear();
+    write_keys.clear();
+    pivots.clear();
+  }
 };
 
 /// The complete profile of one stored procedure.
@@ -133,6 +148,11 @@ class TxProfile {
   /// snapshot produced by the previous batch). Reads only pivot items.
   Prediction predict(const lang::TxInput& input,
                      const store::ReadView& view) const;
+
+  /// Allocation-free variant: clears and fills `out` in place, reusing its
+  /// buffers. The engine's hot path calls this with the slot's arena.
+  void predict_into(const lang::TxInput& input, const store::ReadView& view,
+                    Prediction& out) const;
 
   /// Re-checks the recorded pivot observations against `view`; true when
   /// every pivot still has the same version (the DT may execute safely).

@@ -115,17 +115,42 @@ std::int64_t total_value(const store::VersionedStore& store,
 
 lang::Proc build_order(const CatalogOptions& opts) {
   lang::ProcBuilder b("micro_order");
-  auto acct = b.param("acct", 0, opts.accounts - 1);
+  lang::Val acct;
+  lang::ArrParam accts;
+  if (opts.settle_accounts > 1) {
+    accts = b.param_array("accts",
+                          static_cast<std::uint32_t>(opts.settle_accounts), 0,
+                          opts.accounts - 1);
+  } else {
+    acct = b.param("acct", 0, opts.accounts - 1);
+  }
   auto items = b.param_array(
       "items", static_cast<std::uint32_t>(opts.reads_per_tx), 0,
       opts.catalog_keys - 1);
+  lang::Val oid;
+  if (opts.order_log_keys > 0) {
+    oid = b.param("oid", 0, opts.order_log_keys - 1);
+  }
   auto total = b.let("total", b.lit(0));
   for (int i = 0; i < opts.reads_per_tx; ++i) {
     auto h = b.get(kCatalog, items[i]);
     b.assign(total, total + h.field(kPrice));
+    if (opts.order_log_keys > 0) {
+      // One order-line row per priced item: line key is a pure function of
+      // the order id, so the transaction stays independent (IT).
+      b.put(kOrderLog, oid * static_cast<Value>(opts.reads_per_tx) + i,
+            {{kItem, items[i]}});
+    }
   }
-  auto a = b.get(kAccount, acct);
-  b.put(kAccount, acct, {{kSpent, a.field(kSpent) + total}});
+  if (opts.settle_accounts > 1) {
+    for (int j = 0; j < opts.settle_accounts; ++j) {
+      auto a = b.get(kAccount, accts[j]);
+      b.put(kAccount, accts[j], {{kSpent, a.field(kSpent) + total}});
+    }
+  } else {
+    auto a = b.get(kAccount, acct);
+    b.put(kAccount, acct, {{kSpent, a.field(kSpent) + total}});
+  }
   return std::move(b).build();
 }
 
@@ -168,13 +193,25 @@ CatalogWorkload::CatalogWorkload(db::Database& db, CatalogOptions opts,
 sched::TxRequest CatalogWorkload::next_order(Rng& rng) const {
   sched::TxRequest r;
   r.proc = order_;
-  r.input.add(rng.uniform(0, opts_.accounts - 1));
+  if (opts_.settle_accounts > 1) {
+    std::vector<Value> accts;
+    accts.reserve(static_cast<std::size_t>(opts_.settle_accounts));
+    for (int j = 0; j < opts_.settle_accounts; ++j) {
+      accts.push_back(rng.uniform(0, opts_.accounts - 1));
+    }
+    r.input.add_array(std::move(accts));
+  } else {
+    r.input.add(rng.uniform(0, opts_.accounts - 1));
+  }
   std::vector<Value> items;
   items.reserve(static_cast<std::size_t>(opts_.reads_per_tx));
   for (int i = 0; i < opts_.reads_per_tx; ++i) {
     items.push_back(zipf_.next(rng));
   }
   r.input.add_array(std::move(items));
+  if (opts_.order_log_keys > 0) {
+    r.input.add(rng.uniform(0, opts_.order_log_keys - 1));
+  }
   return r;
 }
 

@@ -88,8 +88,10 @@ lang::Proc build_scan(const Options& opts);
 
 constexpr TableId kCatalog = 41;
 constexpr TableId kAccount = 42;
+constexpr TableId kOrderLog = 43;
 constexpr FieldId kPrice = 0;
 constexpr FieldId kSpent = 0;
+constexpr FieldId kItem = 0;
 
 struct CatalogOptions {
   std::int64_t catalog_keys = 1000;
@@ -98,6 +100,16 @@ struct CatalogOptions {
   int reads_per_tx = 8;
   /// Zipf skew of catalog popularity (hot items ⇒ hot read locks).
   double zipf_theta = 0.9;
+  /// When > 0, each order also inserts one order-line row per priced item
+  /// into kOrderLog (TPC-C NewOrder-style: a contended read mix that still
+  /// appends fresh rows). Line keys derive from a per-order id drawn from
+  /// [0, order_log_keys), so the log churns distinct keys every batch.
+  std::int64_t order_log_keys = 0;
+  /// Accounts each order settles (buyer, seller, fees, ...). Values > 1
+  /// switch the "acct" parameter to an array and spread the charge across
+  /// that many distinct account rows — read-modify-writes over a large
+  /// preloaded table, i.e. lock-table churn without store growth.
+  int settle_accounts = 1;
 };
 
 class CatalogWorkload {

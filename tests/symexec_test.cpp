@@ -369,7 +369,8 @@ TEST(ProfilerTest, DumpMentionsStructure) {
 // Profile soundness property: actual runtime accesses ⊆ predicted key-set.
 // ---------------------------------------------------------------------------
 
-bool subset(const std::vector<TKey>& a, const std::vector<TKey>& sorted_b) {
+template <typename Keys>
+bool subset(const std::vector<TKey>& a, const Keys& sorted_b) {
   return std::all_of(a.begin(), a.end(), [&](TKey k) {
     return std::binary_search(sorted_b.begin(), sorted_b.end(), k);
   });

@@ -1,0 +1,91 @@
+#!/usr/bin/env python3
+"""Soft perf gate for bench_hotpath (ISSUE 4 satellite).
+
+Compares a fresh BENCH_hotpath.json against the checked-in baseline and
+gates on the *speedup ratio* (legacy us / new us), not on absolute times:
+CI runners differ wildly in clock speed, but the legacy and new arms run
+in the same process on the same host, so the ratio is the portable signal.
+
+Policy (per case):
+  - speedup drop >= --fail (default 25%) relative to baseline  -> exit 1
+  - speedup drop >= --warn (default 10%)                       -> warn only
+  - case present in baseline but missing from the run          -> exit 1
+  - new case not in the baseline                               -> note only
+
+Usage:
+  tools/perf_gate.py --baseline BENCH_hotpath.json --run /tmp/run.json
+  tools/perf_gate.py --baseline BENCH_hotpath.json --run run.json \
+      --warn 0.10 --fail 0.25
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+
+def load(path: str) -> dict:
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        sys.exit(f"perf_gate: cannot read {path}: {e}")
+    if doc.get("bench") != "hotpath" or "cases" not in doc:
+        sys.exit(f"perf_gate: {path} is not a bench_hotpath result")
+    return doc
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--baseline", required=True,
+                    help="checked-in BENCH_hotpath.json")
+    ap.add_argument("--run", required=True,
+                    help="freshly produced BENCH_hotpath.json")
+    ap.add_argument("--warn", type=float, default=0.10,
+                    help="warn at this fractional speedup drop (default 0.10)")
+    ap.add_argument("--fail", type=float, default=0.25,
+                    help="fail at this fractional speedup drop (default 0.25)")
+    args = ap.parse_args()
+
+    base = load(args.baseline)
+    run = load(args.run)
+    base_cases = base["cases"]
+    run_cases = run["cases"]
+
+    failed = False
+    for name, b in sorted(base_cases.items()):
+        r = run_cases.get(name)
+        if r is None:
+            print(f"FAIL  {name}: present in baseline but missing from run")
+            failed = True
+            continue
+        bs, rs = float(b["speedup"]), float(r["speedup"])
+        if bs <= 0:
+            print(f"FAIL  {name}: baseline speedup {bs} is not positive")
+            failed = True
+            continue
+        drop = (bs - rs) / bs
+        tag = "ok   "
+        if drop >= args.fail:
+            tag, failed = "FAIL ", True
+        elif drop >= args.warn:
+            tag = "WARN "
+        print(f"{tag} {name}: baseline {bs:.3f}x -> run {rs:.3f}x "
+              f"({'-' if drop >= 0 else '+'}{abs(drop) * 100:.1f}%)")
+
+    for name in sorted(set(run_cases) - set(base_cases)):
+        print(f"note  {name}: new case, no baseline entry "
+              f"(run speedup {float(run_cases[name]['speedup']):.3f}x)")
+
+    if failed:
+        print(f"perf_gate: FAIL (speedup regression >= {args.fail * 100:.0f}% "
+              "vs baseline; refresh the baseline only with a full-mode run "
+              "on a quiet host — see EXPERIMENTS.md)")
+        return 1
+    print("perf_gate: ok")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
