@@ -53,14 +53,31 @@ class CheckpointStore {
   using Key = std::pair<LogIndex, std::uint64_t>;  // (batch_seq, state_hash)
 
   /// Inserts `cp` (idempotent for an identical (batch_seq, hash) key) and
-  /// drops the oldest entries beyond `max_retained`.
+  /// drops the oldest entries beyond `max_retained`. The recovery anchor
+  /// (set_anchor) is never dropped: it is the newest checkpoint at or below
+  /// the log compaction point, i.e. the only image from which a rejoining
+  /// node can still reach the retained log suffix. Pruning it would leave a
+  /// gap no replay can cross.
   void add(Checkpoint cp, std::size_t max_retained) {
     const Key key{cp.batch_seq, cp.state_hash};
     map_.insert_or_assign(key, std::move(cp));
-    while (max_retained > 0 && map_.size() > max_retained) {
-      map_.erase(map_.begin());
+    auto it = map_.begin();
+    std::size_t kept = map_.size();
+    while (max_retained > 0 && kept > max_retained && it != map_.end()) {
+      if (anchor_ >= 0 && it->first.first == static_cast<LogIndex>(anchor_)) {
+        ++it;  // anchored: exempt from retention
+        continue;
+      }
+      it = map_.erase(it);
+      --kept;
     }
   }
+
+  /// Pins the checkpoint(s) at batch_seq `seq` against retention. Pass -1
+  /// to clear. The anchor tracks the log compaction point: everything below
+  /// it is unreachable by log replay, so the anchor image must survive.
+  void set_anchor(std::int64_t seq) { anchor_ = seq; }
+  std::int64_t anchor() const noexcept { return anchor_; }
 
   /// Newest checkpoint, or nullptr when empty.
   const Checkpoint* latest() const {
@@ -100,6 +117,7 @@ class CheckpointStore {
 
  private:
   std::map<Key, Checkpoint> map_;
+  std::int64_t anchor_ = -1;  ///< batch_seq pinned against pruning; -1 = none
 };
 
 }  // namespace prog::consensus

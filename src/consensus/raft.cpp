@@ -62,6 +62,7 @@ void RaftNode::install_local_snapshot(LogIndex index, Term term) {
   last_applied_ = index;
   term_ = std::max(term_, term);
   next_index_.assign(n_, last_index() + 1);
+  persist_meta();
 }
 
 void RaftNode::compact_to(LogIndex upto) {
@@ -80,6 +81,7 @@ void RaftNode::become_follower(Term term) {
   voted_for_ = -1;
   votes_ = 0;
   reset_election_deadline();
+  persist_meta();
 }
 
 void RaftNode::tick() {
@@ -99,6 +101,7 @@ void RaftNode::start_election() {
   role_ = Role::kCandidate;
   voted_for_ = static_cast<std::int64_t>(id_);
   votes_ = 1;
+  persist_meta();
   reset_election_deadline();
   const RequestVote rv{term_, id_, last_index(), last_term()};
   for (NodeId p = 0; p < n_; ++p) {
@@ -120,6 +123,7 @@ void RaftNode::on_request_vote(const RequestVote& rv) {
     if (up_to_date) {
       granted = true;
       voted_for_ = static_cast<std::int64_t>(rv.candidate);
+      persist_meta();  // the vote must hit stable storage before the reply
       reset_election_deadline();
     }
   }

@@ -86,6 +86,21 @@ class RaftNode {
   /// must fast-forward the applied record to match (reset_applied).
   void install_local_snapshot(LogIndex index, Term term);
 
+  /// Fired after every durable change to the (term, voted_for) pair — the
+  /// election-safety state Raft requires on stable storage before answering
+  /// an RPC. The durability layer persists it; wipe() deliberately does NOT
+  /// fire the hook (wiping models losing the disk, and clobbering the
+  /// on-disk meta before recovery reads it would defeat the point).
+  using MetaHook = std::function<void(Term, std::int64_t)>;
+  void set_meta_hook(MetaHook hook) { meta_hook_ = std::move(hook); }
+
+  /// Reinstates persisted (term, voted_for) after a wipe, before the node
+  /// rejoins — the counterpart of the meta hook. Does not re-fire the hook.
+  void restore_meta(Term term, std::int64_t voted_for) {
+    term_ = term;
+    voted_for_ = voted_for;
+  }
+
   struct RequestVote {
     Term term;
     NodeId candidate;
@@ -140,6 +155,9 @@ class RaftNode {
   void advance_commit();
   void apply_committed();
   void reset_election_deadline();
+  void persist_meta() {
+    if (meta_hook_) meta_hook_(term_, voted_for_);
+  }
 
   LogIndex last_index() const noexcept {
     return snapshot_index_ + static_cast<LogIndex>(log_.size());
@@ -178,6 +196,7 @@ class RaftNode {
   std::vector<LogIndex> match_index_;
   SimTime election_deadline_ = 0;
   SimTime next_heartbeat_ = 0;
+  MetaHook meta_hook_;
 };
 
 /// Owns the nodes and the simulated network; wires RPCs and timers.

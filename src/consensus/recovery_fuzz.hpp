@@ -1,0 +1,100 @@
+// Crash-recovery fuzzing for the durable replicated database.
+//
+// One fuzz case = one seeded end-to-end scenario on a FaultVfs:
+//
+//   1. build a durable ReplicatedDb on a fresh FaultVfs and feed it
+//      `warmup_rounds` workload batches (checkpoints and WAL segments
+//      accumulate on the simulated disk);
+//   2. arm the victim replica's storage with a seeded FaultPlan — a fault
+//      mode (torn tail / partial write / bit flip / lying fsync) plus a
+//      kill-at-the-k-th-syscall budget — and keep feeding batches until the
+//      budget runs out (the moment of death lands at a random syscall inside
+//      the write path: mid-append, mid-fsync, or mid-checkpoint-publish);
+//   3. pull the plug: crash the replica, power-fail its directory (the
+//      platter reverts to the fsync horizon with the armed fault applied to
+//      the in-flight tail), restart it — recovery must repair the WAL
+//      (truncate / quarantine), restore the newest checkpoint, replay the
+//      verified suffix, and rejoin;
+//   4. drain to convergence and compare every replica against a freshly
+//      replayed never-crashed witness (byte-identical state hash), then run
+//      `post_rounds` more batches and re-check convergence + the
+//      deterministic counter oracle.
+//
+// The whole scenario — workload, fault plan, timing — is a pure function of
+// (seed, options): a failing seed replays exactly.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "consensus/chaos.hpp"
+#include "consensus/replicated_db.hpp"
+#include "dur/fault_vfs.hpp"
+
+namespace prog::consensus {
+
+struct RecoveryFuzzOptions {
+  unsigned replicas = 3;
+  /// Batches fed before the fault is armed (builds up disk state).
+  unsigned warmup_rounds = 10;
+  /// Batch-feeding rounds allowed for the armed syscall budget to run out;
+  /// the plug is pulled when it does (or after this many rounds regardless).
+  unsigned armed_rounds = 10;
+  /// Batches fed after recovery, to prove the replica keeps up.
+  unsigned post_rounds = 4;
+  std::size_t batch_size = 10;
+  SimTime round_ms = 100;
+  SimTime submit_wait_ms = 600;
+  SimTime drain_ms = 2000;
+  /// Fault applied to the victim's in-flight tail at the moment of death.
+  dur::FaultMode mode = dur::FaultMode::kTornTail;
+  /// Upper bound (exclusive) on the seeded kill-at-syscall budget counted
+  /// from the moment of arming; the draw is uniform in [1, this].
+  std::uint64_t max_crash_syscalls = 60;
+  /// Cluster recovery knobs. `vfs`/`dur_dir` are overwritten by the
+  /// harness; everything else (checkpoint interval, retention, ...) is
+  /// honored.
+  RecoveryOptions recovery{};
+  sched::EngineConfig config{};
+};
+
+struct RecoveryFuzzReport {
+  /// Every replica converged to the identical applied sequence.
+  bool converged = false;
+  /// All live state hashes identical and nonzero at quiescence.
+  bool hashes_match = false;
+  /// Every replica's hash equals the never-crashed witness replay.
+  bool witness_match = false;
+  /// Deterministic counter snapshots byte-identical at quiescence.
+  bool counters_match = false;
+  bool ok() const noexcept {
+    return converged && hashes_match && witness_match && counters_match;
+  }
+
+  unsigned victim = 0;
+  dur::FaultMode mode = dur::FaultMode::kNone;
+  std::uint64_t crash_syscall_budget = 0;
+  /// Whether the syscall budget actually ran out before the plug was pulled
+  /// (false = the fault hit a quiet replica; still a valid recovery case).
+  bool crash_triggered = false;
+  std::uint64_t state_hash = 0;
+  std::uint64_t witness_hash = 0;
+  std::size_t batches_submitted = 0;
+  RecoveryStats recovery;
+  // Durability-layer observations for the run (from the obs registry).
+  std::uint64_t torn_tails_truncated = 0;
+  std::uint64_t records_quarantined = 0;
+  std::uint64_t io_errors = 0;
+  std::vector<std::string> trace;
+};
+
+/// Runs one seeded crash-recovery scenario. `setup` registers procedures +
+/// initial state (same contract as ReplicatedDb); `make_batch` generates
+/// workload batches.
+RecoveryFuzzReport run_recovery_fuzz(const ReplicatedDb::SetupFn& setup,
+                                     const BatchFn& make_batch,
+                                     const RecoveryFuzzOptions& opts,
+                                     std::uint64_t seed);
+
+}  // namespace prog::consensus

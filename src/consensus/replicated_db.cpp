@@ -10,6 +10,32 @@
 
 namespace prog::consensus {
 
+namespace {
+
+dur::CheckpointImage to_durable(const Checkpoint& cp) {
+  dur::CheckpointImage ci;
+  ci.seq = cp.batch_seq;
+  ci.term = cp.term;
+  ci.state_hash = cp.state_hash;
+  ci.command_prefix = cp.command_prefix;
+  ci.engine_stats = cp.engine_stats;
+  ci.image = cp.image;
+  return ci;
+}
+
+Checkpoint from_durable(const dur::CheckpointImage& ci) {
+  Checkpoint cp;
+  cp.batch_seq = ci.seq;
+  cp.term = ci.term;
+  cp.state_hash = ci.state_hash;
+  cp.command_prefix = ci.command_prefix;
+  cp.engine_stats = ci.engine_stats;
+  cp.image = ci.image;
+  return cp;
+}
+
+}  // namespace
+
 ReplicatedDb::ReplicatedDb(unsigned replicas, std::uint64_t seed,
                            const SetupFn& setup, sched::EngineConfig config,
                            SimNet::Options net_opts, RecoveryOptions recovery)
@@ -33,6 +59,22 @@ ReplicatedDb::ReplicatedDb(unsigned replicas, std::uint64_t seed,
       [this](NodeId follower, NodeId leader, LogIndex upto) {
         on_install(follower, leader, upto);
       });
+  dur_.resize(replicas);
+  if (opts_.vfs != nullptr) {
+    dm_.emplace(dur::DurMetrics::create(*registry_));
+    for (unsigned i = 0; i < replicas; ++i) {
+      dur_[i] = std::make_unique<dur::DurableReplicaStorage>(
+          *opts_.vfs, opts_.dur_dir + "/r" + std::to_string(i), opts_.storage,
+          &*dm_);
+      cluster_.node(i).set_meta_hook([this, i](Term t, std::int64_t vote) {
+        dur_[i]->persist_meta(t, vote);
+      });
+    }
+    // Cold start: whatever the directories already hold (a previous
+    // incarnation's WAL + checkpoints) is recovered before the first batch,
+    // so a ReplicatedDb can be torn down and rebuilt over the same Vfs.
+    for (unsigned i = 0; i < replicas; ++i) durable_restart(i);
+  }
 }
 
 std::unique_ptr<db::Database> ReplicatedDb::build_replica() const {
@@ -59,6 +101,11 @@ bool ReplicatedDb::submit_batch(std::vector<sched::TxRequest> batch) {
 
 bool ReplicatedDb::submit_with_retry(std::vector<sched::TxRequest> batch,
                                      SimTime max_wait_ms) {
+  // Overall deadline: the caller's budget, capped by the configured
+  // cluster-wide bound — a client facing a permanently leaderless cluster
+  // (e.g. a lost majority) times out instead of spinning forever.
+  const SimTime deadline =
+      std::min<SimTime>(max_wait_ms, std::max<SimTime>(opts_.submit_deadline_ms, 1));
   const Command cmd = next_cmd_;
   batch_pool_.insert_or_assign(cmd, std::move(batch));
   SimTime waited = 0;
@@ -69,11 +116,13 @@ bool ReplicatedDb::submit_with_retry(std::vector<sched::TxRequest> batch,
       rm_.batches_submitted->inc();
       return true;
     }
-    if (waited >= max_wait_ms) {
+    if (waited >= deadline) {
       batch_pool_.erase(cmd);
+      ++stats_.submit_timeouts;
+      rm_.submit_timeouts->inc();
       return false;
     }
-    const SimTime slice = std::min(step, max_wait_ms - waited);
+    const SimTime slice = std::min(step, deadline - waited);
     cluster_.run_ms(slice);
     waited += slice;
     step = std::min<SimTime>(step * 2,
@@ -124,6 +173,16 @@ const std::optional<std::uint64_t>& ReplicatedDb::recorded_hash(
   return hash_history_[static_cast<std::size_t>(idx - 1)];
 }
 
+void ReplicatedDb::record_hash(LogIndex idx, std::uint64_t hash) {
+  if (idx == 0) return;
+  if (idx > hash_history_.size()) {
+    hash_history_.resize(static_cast<std::size_t>(idx));
+  }
+  std::optional<std::uint64_t>& rec =
+      hash_history_[static_cast<std::size_t>(idx - 1)];
+  if (!rec.has_value()) rec = hash;
+}
+
 // --- the apply path ----------------------------------------------------------
 
 void ReplicatedDb::apply(NodeId node, LogIndex idx, Command cmd) {
@@ -136,6 +195,17 @@ void ReplicatedDb::apply(NodeId node, LogIndex idx, Command cmd) {
   rm_.batches_applied->inc();
   if (opts_.divergence_check) check_divergence(node, idx);
   if (quarantined_[node] != 0) return;  // divergence handling took over
+  if (dur_[node] != nullptr) {
+    // Group commit: one WAL record (and one fsync barrier) per agreed
+    // batch, carrying the post-apply state hash for replay verification.
+    dur::WalRecord rec;
+    rec.seq = idx;
+    rec.term = cluster_.node(node).committed_term_at(idx);
+    rec.command = cmd;
+    rec.state_hash = replicas_[node]->state_hash();
+    rec.batch = pool_batch(cmd);
+    dur_[node]->append_batch(rec);
+  }
   if (opts_.checkpoint_interval > 0 && idx % opts_.checkpoint_interval == 0) {
     take_checkpoint(node, idx);
   }
@@ -177,6 +247,7 @@ void ReplicatedDb::take_checkpoint(NodeId node, LogIndex idx) {
   // Stats baseline at the boundary: carried + live. Deterministic (counts
   // only), so every replica's checkpoint at `idx` carries the same values.
   cp.engine_stats = replica_engine_stats(node);
+  if (dur_[node] != nullptr) dur_[node]->persist_checkpoint(to_durable(cp));
   cp_stores_[node].add(std::move(cp), opts_.max_checkpoints);
   ++stats_.checkpoints_taken;
   rm_.checkpoints->inc();
@@ -190,6 +261,9 @@ void ReplicatedDb::take_checkpoint(NodeId node, LogIndex idx) {
       cp_stores_[node].latest_at_or_before(idx - opts_.log_keep_tail);
   if (boundary != nullptr && boundary->batch_seq > 0) {
     cluster_.node(node).compact_to(boundary->batch_seq);
+    // Everything below the compaction point is reachable only through this
+    // image: pin it against checkpoint-store retention.
+    cp_stores_[node].set_anchor(static_cast<std::int64_t>(boundary->batch_seq));
   }
 }
 
@@ -207,6 +281,13 @@ void ReplicatedDb::crash_replica(NodeId i) {
   replicas_[i].reset();  // full in-memory loss
   quarantined_[i] = 0;
   cluster_.crash(i);
+  // Durable mode: the in-memory checkpoint store dies with the process —
+  // the disk (Vfs) is the only thing a crash spares. The non-durable model
+  // keeps it, playing the role the Vfs now plays for real.
+  if (dur_[i] != nullptr) {
+    cp_stores_[i].clear();
+    cp_stores_[i].set_anchor(-1);
+  }
 }
 
 void ReplicatedDb::restart_replica(NodeId i) {
@@ -219,6 +300,10 @@ void ReplicatedDb::restart_replica(NodeId i) {
   // models that as full disk loss, then (optionally) rejoins at the newest
   // local checkpoint as if it had installed a snapshot there.
   cluster_.node(i).wipe();
+  if (dur_[i] != nullptr) {
+    durable_restart(i);
+    return;
+  }
   const Checkpoint* cp = cp_stores_[i].latest();
   if (cp != nullptr && cp->batch_seq > 0) {
     replicas_[i]->restore_state(cp->image);
@@ -240,6 +325,132 @@ void ReplicatedDb::restart_replica(NodeId i) {
   // heartbeat (AppendEntries, or InstallSnapshot when compacted past us).
 }
 
+void ReplicatedDb::durable_restart(NodeId i) {
+  dur::DurableReplicaStorage::Recovered rec = dur_[i]->recover();
+  RaftNode& node = cluster_.node(i);
+  if (rec.meta_ok) node.restore_meta(rec.term, rec.voted_for);
+
+  // Repopulate the (volatile) checkpoint store from the surviving slots, so
+  // this node can serve InstallSnapshot at its boundaries again.
+  for (const dur::CheckpointImage& ci : rec.checkpoints) {
+    cp_stores_[i].add(from_durable(ci), opts_.max_checkpoints);
+  }
+
+  // Restore the newest slot whose image actually reconciles (the CRC already
+  // vouched for the bytes; this guards against writer bugs). On failure the
+  // WAL suffix is unusable too — it only continues from the newest slot.
+  const dur::CheckpointImage* chosen = nullptr;
+  for (auto it = rec.checkpoints.rbegin(); it != rec.checkpoints.rend(); ++it) {
+    try {
+      replicas_[i]->restore_state(it->image);
+      chosen = &*it;
+      break;
+    } catch (const std::exception&) {
+      if (dm_.has_value()) dm_->checkpoint_decode_failures->inc();
+      replicas_[i] = build_replica();  // a failed restore leaves partial state
+    }
+  }
+
+  LogIndex base = 0;
+  Term base_term = 0;
+  std::vector<Command> prefix;
+  if (chosen != nullptr) {
+    base = chosen->seq;
+    base_term = chosen->term;
+    prefix = chosen->command_prefix;
+    carried_stats_[i] = chosen->engine_stats;
+    record_hash(base, chosen->state_hash);
+  } else {
+    carried_stats_[i] = {};
+  }
+
+  // The recovered WAL is the contiguous suffix above the newest decodable
+  // slot; it lines up with `chosen` unless that slot failed to restore.
+  LogIndex final_seq = base;
+  Term final_term = base_term;
+  std::size_t replayed = 0;
+  LogIndex expect = base + 1;
+  for (const dur::WalRecord& r : rec.wal) {
+    if (r.seq != expect) break;
+    std::vector<sched::TxRequest> batch = r.batch;
+    replicas_[i]->execute(std::move(batch));
+    ++stats_.wal_records_replayed;
+    if (dm_.has_value()) dm_->wal_records_replayed->inc();
+    if (replicas_[i]->state_hash() != r.state_hash) {
+      // The record's hash disagrees with what re-execution produced: either
+      // the persisted hash or the payload survived corrupted in a way the
+      // CRC missed, or the dying replica had already diverged. Roll back to
+      // the last verified boundary and let the leader re-stream the rest.
+      ++stats_.replay_hash_mismatches;
+      if (dm_.has_value()) dm_->replay_hash_mismatches->inc();
+      replicas_[i] = build_replica();
+      if (chosen != nullptr) replicas_[i]->restore_state(chosen->image);
+      std::size_t redo = replayed;
+      for (const dur::WalRecord& g : rec.wal) {
+        if (redo == 0) break;
+        std::vector<sched::TxRequest> again = g.batch;
+        replicas_[i]->execute(std::move(again));
+        --redo;
+      }
+      break;
+    }
+    // Verified by re-execution: as trustworthy as a first applier.
+    record_hash(r.seq, r.state_hash);
+    batch_pool_.emplace(r.command, r.batch);
+    prefix.push_back(r.command);
+    final_seq = r.seq;
+    final_term = r.term;
+    ++replayed;
+    ++expect;
+  }
+
+  for (const Command c : prefix) next_cmd_ = std::max(next_cmd_, c + 1);
+
+  if (final_seq == 0) {
+    // Nothing locally recoverable: blank follower, leader re-streams all.
+    cluster_.reset_applied(i, {});
+    carried_stats_[i] = {};
+    if (dm_.has_value() &&
+        (rec.meta_ok || !rec.checkpoints.empty() || !rec.wal.empty())) {
+      dm_->recovery_none->inc();
+    }
+    return;
+  }
+
+  node.install_local_snapshot(final_seq, final_term);
+  cluster_.reset_applied(i, prefix);
+  ++stats_.durable_recoveries;
+  if (chosen != nullptr) {
+    ++stats_.checkpoint_restores;
+    rm_.checkpoint_restores->inc();
+  }
+  if (dm_.has_value()) {
+    if (chosen != nullptr && replayed > 0) {
+      dm_->recovery_checkpoint_wal->inc();
+    } else if (chosen != nullptr) {
+      dm_->recovery_checkpoint->inc();
+    } else {
+      dm_->recovery_wal->inc();
+    }
+  }
+  if (final_seq > base || chosen == nullptr) {
+    // The rejoin boundary is above any stored checkpoint (WAL replay moved
+    // it). Snapshot it now: if this node later leads and compacts here, the
+    // install handler must find an image at exactly this seq.
+    Checkpoint cp;
+    cp.batch_seq = final_seq;
+    cp.term = final_term;
+    cp.state_hash = replicas_[i]->state_hash();
+    cp.image = store::serialize_visible(replicas_[i]->store());
+    cp.command_prefix = prefix;
+    cp.engine_stats = replica_engine_stats(i);
+    dur_[i]->persist_checkpoint(to_durable(cp));
+    cp_stores_[i].add(std::move(cp), opts_.max_checkpoints);
+    ++stats_.checkpoints_taken;
+    rm_.checkpoints->inc();
+  }
+}
+
 // --- leader-driven state transfer -------------------------------------------
 
 void ReplicatedDb::on_install(NodeId follower, NodeId leader, LogIndex upto) {
@@ -259,6 +470,14 @@ void ReplicatedDb::on_install(NodeId follower, NodeId leader, LogIndex upto) {
   // The transferred image is also a valid local checkpoint for the follower
   // (determinism: identical bytes regardless of which replica produced it).
   cp_stores_[follower].add(*cp, opts_.max_checkpoints);
+  // The follower's log below `upto` is gone; pin the image that covers it.
+  cp_stores_[follower].set_anchor(static_cast<std::int64_t>(cp->batch_seq));
+  if (dur_[follower] != nullptr) {
+    // Persist the transferred image and rotate the WAL to its boundary, so
+    // a crash right after the install recovers locally instead of repeating
+    // the transfer.
+    dur_[follower]->persist_checkpoint(to_durable(*cp));
+  }
   quarantined_[follower] = 0;
   ++stats_.snapshot_installs;
   rm_.snapshot_installs->inc();
@@ -307,8 +526,22 @@ bool ReplicatedDb::resync(NodeId i) {
     rm_.full_rebuilds->inc();
   }
   for (LogIndex k = start; k < upto; ++k) {
-    std::vector<sched::TxRequest> batch =
-        pool_batch(cmds[static_cast<std::size_t>(k)]);
+    auto it = batch_pool_.find(cmds[static_cast<std::size_t>(k)]);
+    if (it == batch_pool_.end()) {
+      // A cold-started durable cluster knows the pre-checkpoint prefix only
+      // as state, not as pool entries — nothing local can re-execute it.
+      // Wipe and let the leader re-stream the whole prefix (InstallSnapshot
+      // clears the quarantine once the transferred state arrives).
+      replicas_[i] = build_replica();
+      carried_stats_[i] = {};
+      cluster_.node(i).wipe();
+      cluster_.reset_applied(i, {});
+      quarantined_[i] = 0;
+      ++stats_.full_rebuilds;
+      rm_.full_rebuilds->inc();
+      return false;
+    }
+    std::vector<sched::TxRequest> batch = it->second;
     replicas_[i]->execute(std::move(batch));
   }
 
@@ -324,6 +557,18 @@ bool ReplicatedDb::resync(NodeId i) {
     rm_.resyncs->inc();
   }
   return ok;
+}
+
+std::uint64_t ReplicatedDb::witness_state_hash() const {
+  // A genuinely never-crashed witness: fresh database, the agreed command
+  // sequence replayed start to finish. Recovery correctness means any
+  // recovered replica at the same applied prefix hashes identically.
+  std::unique_ptr<db::Database> witness = build_replica();
+  for (const Command c : cluster_.applied(0)) {
+    std::vector<sched::TxRequest> batch = pool_batch(c);
+    witness->execute(std::move(batch));
+  }
+  return witness->state_hash();
 }
 
 // --- telemetry ---------------------------------------------------------------

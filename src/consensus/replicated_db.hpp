@@ -38,6 +38,7 @@
 #include "consensus/checkpoint.hpp"
 #include "consensus/raft.hpp"
 #include "db/database.hpp"
+#include "dur/storage.hpp"
 #include "obs/metrics.hpp"
 #include "obs/replica_metrics.hpp"
 
@@ -60,6 +61,23 @@ struct RecoveryOptions {
   /// submit_with_retry backoff: first wait, doubling up to the cap.
   SimTime retry_step_ms = 25;
   SimTime retry_max_step_ms = 400;
+  /// Overall submit_with_retry deadline: the effective budget is
+  /// min(caller's max_wait_ms, this), so a client facing a permanently
+  /// leaderless cluster times out in bounded virtual time no matter what
+  /// the call site passed. Expiries count as submit_timeouts.
+  SimTime submit_deadline_ms = 2000;
+
+  // --- durability (nullptr = the pre-durability in-memory model) -----------
+  /// When set, every replica persists through a DurableReplicaStorage
+  /// rooted at `<dur_dir>/r<i>` on this Vfs: group-committed batch WAL,
+  /// atomic checkpoint slots, raft term/vote metadata. Crash/restart then
+  /// recovers from disk (checkpoint + WAL suffix replay, hash-verified)
+  /// before falling back to leader catch-up, and construction itself
+  /// cold-starts from whatever the directory holds. The Vfs must outlive
+  /// the ReplicatedDb.
+  dur::Vfs* vfs = nullptr;
+  std::string dur_dir = "dur";
+  dur::StorageOptions storage{};
 };
 
 struct RecoveryStats {
@@ -77,6 +95,14 @@ struct RecoveryStats {
   /// Batch-pool entries whose command was superseded before committing.
   std::uint64_t pool_reclaimed = 0;
   std::uint64_t submit_retries = 0;
+  /// submit_with_retry calls that gave up at the overall deadline.
+  std::uint64_t submit_timeouts = 0;
+  /// Durable recovery: WAL batches re-executed on restart, and how many of
+  /// those disagreed with the persisted state hash (forcing leader resync).
+  std::uint64_t wal_records_replayed = 0;
+  std::uint64_t replay_hash_mismatches = 0;
+  /// Restarts recovered from local disk (checkpoint and/or WAL).
+  std::uint64_t durable_recoveries = 0;
 };
 
 class ReplicatedDb {
@@ -142,6 +168,19 @@ class ReplicatedDb {
   /// trusted checkpoint; true when its hash matches the history again.
   bool resync(NodeId i);
 
+  /// Ground truth for crash-recovery fuzzing: replays replica 0's applied
+  /// command sequence through a *fresh* database that never crashed and
+  /// returns its state hash. Any recovered replica at the same applied
+  /// prefix must hash identically.
+  std::uint64_t witness_state_hash() const;
+
+  /// True when replicas persist through a Vfs (RecoveryOptions::vfs).
+  bool durable() const noexcept { return opts_.vfs != nullptr; }
+  /// Durability metric handles; only populated when durable().
+  const dur::DurMetrics* dur_metrics() const noexcept {
+    return dm_.has_value() ? &*dm_ : nullptr;
+  }
+
   db::Database& replica(unsigned i) { return *replicas_[i]; }
   RaftCluster& raft() noexcept { return cluster_; }
   const RecoveryStats& recovery_stats() const noexcept { return stats_; }
@@ -196,6 +235,12 @@ class ReplicatedDb {
   void fold_stats(NodeId node);
   const std::vector<sched::TxRequest>& pool_batch(Command cmd) const;
   const std::optional<std::uint64_t>& recorded_hash(LogIndex idx) const;
+  void record_hash(LogIndex idx, std::uint64_t hash);
+  /// Disk-first restart: restore meta + newest decodable checkpoint, replay
+  /// the WAL suffix with per-record hash verification, rejoin at the final
+  /// recovered boundary. Falls back to leader catch-up for whatever the
+  /// disk could not vouch for.
+  void durable_restart(NodeId i);
 
   sched::EngineConfig config_;
   RecoveryOptions opts_;
@@ -217,6 +262,11 @@ class ReplicatedDb {
   /// update the counters).
   std::shared_ptr<obs::Registry> registry_;
   obs::ReplicaMetrics rm_;
+  /// Durability metric handles (populated only in durable mode).
+  std::optional<dur::DurMetrics> dm_;
+  /// Per-replica durable storage; empty slots when not durable. Declared
+  /// before cluster_: apply callbacks write through it.
+  std::vector<std::unique_ptr<dur::DurableReplicaStorage>> dur_;
   /// Last member: its callbacks touch everything above.
   RaftCluster cluster_;
 };

@@ -1,0 +1,46 @@
+// CRC32C (Castagnoli) — the durability layer's record checksum.
+//
+// Software slice-by-1 table implementation (reflected polynomial
+// 0x82F63B78), table built at static-init time. The WAL frames and
+// checkpoint files are read in full at recovery only, so per-byte table
+// lookups are nowhere near a hot path; what matters is that the polynomial
+// matches the hardware-accelerated CRC32C everything else in the storage
+// world uses, so images written here stay verifiable elsewhere.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string_view>
+
+namespace prog::dur {
+
+namespace detail {
+
+inline const std::array<std::uint32_t, 256>& crc32c_table() {
+  static const std::array<std::uint32_t, 256> table = [] {
+    std::array<std::uint32_t, 256> t{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t crc = i;
+      for (int k = 0; k < 8; ++k) {
+        crc = (crc & 1u) != 0 ? (crc >> 1) ^ 0x82F63B78u : crc >> 1;
+      }
+      t[i] = crc;
+    }
+    return t;
+  }();
+  return table;
+}
+
+}  // namespace detail
+
+/// CRC32C of `data`, optionally chained from a previous value.
+inline std::uint32_t crc32c(std::string_view data, std::uint32_t seed = 0) {
+  const auto& table = detail::crc32c_table();
+  std::uint32_t crc = ~seed;
+  for (const char c : data) {
+    crc = table[(crc ^ static_cast<std::uint8_t>(c)) & 0xFFu] ^ (crc >> 8);
+  }
+  return ~crc;
+}
+
+}  // namespace prog::dur

@@ -1,0 +1,233 @@
+#include "dur/fault_vfs.hpp"
+
+#include <set>
+
+namespace prog::dur {
+
+const char* to_string(FaultMode m) noexcept {
+  switch (m) {
+    case FaultMode::kNone:
+      return "none";
+    case FaultMode::kTornTail:
+      return "torn_tail";
+    case FaultMode::kPartialWrite:
+      return "partial_write";
+    case FaultMode::kBitFlip:
+      return "bit_flip";
+    case FaultMode::kFsyncNoop:
+      return "fsync_noop";
+  }
+  return "?";
+}
+
+class FaultFile final : public VfsFile {
+ public:
+  FaultFile(FaultVfs& vfs, std::string path)
+      : vfs_(vfs), path_(std::move(path)) {}
+
+  void append(std::string_view data) override;
+  void sync() override;
+  std::uint64_t size() const override;
+
+ private:
+  FaultVfs& vfs_;
+  std::string path_;
+};
+
+FaultVfs::FileState& FaultVfs::state_of(const std::string& path) {
+  return files_[path];
+}
+
+void FaultVfs::count_syscall(const std::string& path) {
+  if (frozen_ || !under_armed(path)) return;
+  ++syscalls_;
+  const FaultPlan& plan = armed_->second;
+  if (plan.crash_after_syscalls > 0 && syscalls_ >= plan.crash_after_syscalls) {
+    // Moment of death: capture the platter (and the in-flight process view,
+    // whose unsynced tail the fault mode will operate on) for every file
+    // under the armed prefix. Everything the process does afterwards is
+    // volatile by construction.
+    frozen_ = true;
+    death_image_.clear();
+    const std::string& prefix = armed_->first;
+    for (const auto& [p, st] : files_) {
+      if (p.rfind(prefix, 0) == 0) death_image_.emplace(p, st);
+    }
+  }
+}
+
+std::unique_ptr<VfsFile> FaultVfs::open_append(const std::string& path) {
+  if (files_.find(path) == files_.end()) {
+    files_.emplace(path, FileState{});
+    count_syscall(path);  // creation mutates the directory
+  }
+  return std::make_unique<FaultFile>(*this, path);
+}
+
+std::string FaultVfs::read_all(const std::string& path) {
+  auto it = files_.find(path);
+  if (it == files_.end()) throw IoError("read_all: no such file: " + path);
+  return it->second.data;
+}
+
+bool FaultVfs::exists(const std::string& path) {
+  return files_.find(path) != files_.end();
+}
+
+std::vector<std::string> FaultVfs::list(const std::string& dir) {
+  const std::string prefix = dir.empty() || dir.back() == '/' ? dir : dir + "/";
+  std::set<std::string> names;
+  for (const auto& [p, st] : files_) {
+    if (p.rfind(prefix, 0) != 0) continue;
+    const std::string rest = p.substr(prefix.size());
+    const std::size_t slash = rest.find('/');
+    names.insert(slash == std::string::npos ? rest : rest.substr(0, slash));
+  }
+  return {names.begin(), names.end()};
+}
+
+void FaultVfs::remove(const std::string& path) {
+  auto it = files_.find(path);
+  if (it == files_.end()) throw IoError("remove: no such file: " + path);
+  files_.erase(it);
+  count_syscall(path);
+}
+
+void FaultVfs::rename(const std::string& from, const std::string& to) {
+  auto it = files_.find(from);
+  if (it == files_.end()) throw IoError("rename: no such file: " + from);
+  FileState st = std::move(it->second);
+  files_.erase(it);
+  files_[to] = std::move(st);
+  count_syscall(to);
+}
+
+void FaultVfs::truncate(const std::string& path, std::uint64_t size) {
+  auto it = files_.find(path);
+  if (it == files_.end()) throw IoError("truncate: no such file: " + path);
+  FileState& st = it->second;
+  if (size < st.data.size()) st.data.resize(static_cast<std::size_t>(size));
+  if (size < st.synced.size()) {
+    st.synced.resize(static_cast<std::size_t>(size));
+  }
+  count_syscall(path);
+}
+
+void FaultVfs::arm(const std::string& prefix, FaultPlan plan) {
+  armed_.emplace(prefix, plan);
+  syscalls_ = 0;
+  frozen_ = false;
+  death_image_.clear();
+}
+
+void FaultVfs::power_fail(const std::string& prefix) {
+  // Death snapshot: the freeze-point capture, or the current state when the
+  // syscall budget never ran out (death is "now").
+  std::map<std::string, FileState> dead;
+  if (frozen_) {
+    dead = std::move(death_image_);
+  } else {
+    for (const auto& [p, st] : files_) {
+      if (p.rfind(prefix, 0) == 0) dead.emplace(p, st);
+    }
+  }
+  const FaultMode mode =
+      armed_.has_value() ? armed_->second.mode : FaultMode::kNone;
+
+  // Drop every live file under the prefix (files created after the freeze
+  // point never existed on the platter), then reconstruct the survivors.
+  for (auto it = files_.begin(); it != files_.end();) {
+    if (it->first.rfind(prefix, 0) == 0) {
+      it = files_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+
+  for (auto& [path, st] : dead) {
+    std::string durable = st.synced;
+    // The unsynced tail in flight at the moment of death.
+    std::string tail = st.data.size() > st.synced.size()
+                           ? st.data.substr(st.synced.size())
+                           : std::string();
+    switch (mode) {
+      case FaultMode::kNone:
+      case FaultMode::kFsyncNoop:
+        break;  // tail fully lost
+      case FaultMode::kTornTail: {
+        const std::size_t keep =
+            static_cast<std::size_t>(rng_.bounded(tail.size() + 1));
+        durable += tail.substr(0, keep);
+        break;
+      }
+      case FaultMode::kPartialWrite: {
+        if (!tail.empty()) {
+          const std::size_t cut =
+              static_cast<std::size_t>(rng_.bounded(tail.size()));
+          for (std::size_t i = cut; i < tail.size(); ++i) tail[i] = '\0';
+          durable += tail;
+        }
+        break;
+      }
+      case FaultMode::kBitFlip: {
+        if (!tail.empty()) {
+          const std::size_t pos =
+              static_cast<std::size_t>(rng_.bounded(tail.size()));
+          tail[pos] = static_cast<char>(
+              tail[pos] ^ static_cast<char>(1u << rng_.bounded(8)));
+        }
+        durable += tail;
+        break;
+      }
+    }
+    FileState fresh;
+    fresh.data = durable;
+    fresh.synced = std::move(durable);
+    files_[path] = std::move(fresh);
+  }
+
+  armed_.reset();
+  frozen_ = false;
+  syscalls_ = 0;
+  death_image_.clear();
+}
+
+void FaultVfs::corrupt(const std::string& path, std::uint64_t offset,
+                       std::uint8_t mask) {
+  auto it = files_.find(path);
+  if (it == files_.end()) throw IoError("corrupt: no such file: " + path);
+  FileState& st = it->second;
+  if (offset >= st.data.size()) {
+    throw IoError("corrupt: offset out of range: " + path);
+  }
+  st.data[static_cast<std::size_t>(offset)] = static_cast<char>(
+      st.data[static_cast<std::size_t>(offset)] ^ static_cast<char>(mask));
+  if (offset < st.synced.size()) {
+    st.synced[static_cast<std::size_t>(offset)] = static_cast<char>(
+        st.synced[static_cast<std::size_t>(offset)] ^
+        static_cast<char>(mask));
+  }
+}
+
+// --- FaultFile ---------------------------------------------------------------
+
+void FaultFile::append(std::string_view data) {
+  FaultVfs::FileState& st = vfs_.state_of(path_);
+  st.data.append(data.data(), data.size());
+  vfs_.count_syscall(path_);
+}
+
+void FaultFile::sync() {
+  FaultVfs::FileState& st = vfs_.state_of(path_);
+  const bool lying = vfs_.armed_.has_value() &&
+                     vfs_.under_armed(path_) &&
+                     vfs_.armed_->second.mode == FaultMode::kFsyncNoop;
+  if (!vfs_.frozen_ && !lying) st.synced = st.data;
+  vfs_.count_syscall(path_);
+}
+
+std::uint64_t FaultFile::size() const {
+  return vfs_.state_of(path_).data.size();
+}
+
+}  // namespace prog::dur

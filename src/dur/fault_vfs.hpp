@@ -1,0 +1,122 @@
+// Deterministic in-memory VFS with a power-fail model and seeded faults.
+//
+// Every file carries two byte strings: `data`, what the process sees, and
+// `synced`, what the (simulated) platter holds — append() extends only
+// `data`; sync() promotes the tail to `synced`. A *power failure*
+// (power_fail) discards everything that never reached the platter, which is
+// exactly the contract fsync-based recovery code must be correct against.
+//
+// Fault injection is armed per directory prefix (one replica's storage) and
+// is a pure function of the construction seed:
+//
+//   - kill-at-syscall: after the k-th counted mutation syscall under the
+//     armed prefix, the VFS freezes its notion of the platter. The process
+//     keeps "running" (subsequent writes and fsyncs appear to succeed) but
+//     nothing after the freeze is durable — the moment of death was syscall
+//     k, and power_fail restores the platter as of that moment;
+//   - kTornTail: the unsynced tail in flight at death partially reaches the
+//     platter — a random-length byte prefix survives, typically cutting a
+//     WAL frame in half (recovery must truncate it);
+//   - kPartialWrite: the tail's full length reaches the platter but a
+//     random suffix of it is zero-filled — the sector header landed, the
+//     payload did not (recovery must quarantine the corrupt frame);
+//   - kBitFlip: the whole tail lands but one random bit is inverted
+//     (recovery's CRC must catch it and quarantine the record);
+//   - kFsyncNoop: from arming onward the drive acknowledges fsync without
+//     persisting — even records the application believes durable are gone
+//     (recovery falls back to an older checkpoint + leader catch-up).
+//
+// Without arming, FaultVfs is just a deterministic in-memory file system
+// (process crashes keep `data`; only power_fail drops to `synced`).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+
+#include "common/rng.hpp"
+#include "dur/vfs.hpp"
+
+namespace prog::dur {
+
+enum class FaultMode : std::uint8_t {
+  kNone,          ///< clean power fail: unsynced tail fully lost
+  kTornTail,      ///< random prefix of the unsynced tail survives
+  kPartialWrite,  ///< tail survives full-length with a zeroed suffix
+  kBitFlip,       ///< tail survives with one bit inverted
+  kFsyncNoop,     ///< fsyncs acknowledged but ignored from arm() onward
+};
+
+const char* to_string(FaultMode m) noexcept;
+
+struct FaultPlan {
+  FaultMode mode = FaultMode::kNone;
+  /// Counted mutation syscalls (append/sync/rename/truncate/remove under
+  /// the armed prefix) before the freeze point. 0 = freeze at power_fail.
+  std::uint64_t crash_after_syscalls = 0;
+};
+
+class FaultFile;
+
+class FaultVfs final : public Vfs {
+ public:
+  explicit FaultVfs(std::uint64_t seed) : rng_(seed) {}
+
+  // --- Vfs -----------------------------------------------------------------
+  std::unique_ptr<VfsFile> open_append(const std::string& path) override;
+  std::string read_all(const std::string& path) override;
+  bool exists(const std::string& path) override;
+  std::vector<std::string> list(const std::string& dir) override;
+  void remove(const std::string& path) override;
+  void rename(const std::string& from, const std::string& to) override;
+  void truncate(const std::string& path, std::uint64_t size) override;
+  void mkdirs(const std::string& /*dir*/) override {}  // flat namespace
+  void sync_dir(const std::string& dir) override { count_syscall(dir); }
+
+  // --- fault injection ------------------------------------------------------
+  /// Arms `plan` for every path under `prefix`. Replaces any previous plan.
+  void arm(const std::string& prefix, FaultPlan plan);
+
+  /// Simulates pulling the plug on the storage under `prefix`: every file
+  /// reverts to its platter image as of the freeze point (or as of now if
+  /// the syscall budget never ran out), with the armed fault mode applied
+  /// to the in-flight tail. Disarms.
+  void power_fail(const std::string& prefix);
+
+  /// XORs `mask` into the byte at `offset` of `path`, platter and process
+  /// view both — a directed corruption for tests (a latent media error, not
+  /// a crash artifact). Throws IoError if out of range.
+  void corrupt(const std::string& path, std::uint64_t offset,
+               std::uint8_t mask);
+
+  /// True once the armed syscall budget has run out (the process is dead
+  /// storage-wise; only power_fail + recovery brings the prefix back).
+  bool crash_triggered() const noexcept { return frozen_; }
+  std::uint64_t syscalls() const noexcept { return syscalls_; }
+
+ private:
+  struct FileState {
+    std::string data;    ///< what the process reads back
+    std::string synced;  ///< what survives a power failure
+  };
+
+  friend class FaultFile;
+
+  void count_syscall(const std::string& path);
+  bool under_armed(const std::string& path) const {
+    return armed_.has_value() && path.rfind(armed_->first, 0) == 0;
+  }
+  FileState& state_of(const std::string& path);
+
+  Rng rng_;
+  std::map<std::string, FileState> files_;
+  /// (prefix, plan) while armed.
+  std::optional<std::pair<std::string, FaultPlan>> armed_;
+  std::uint64_t syscalls_ = 0;     ///< counted since the last arm()
+  bool frozen_ = false;            ///< syscall budget exhausted
+  /// Platter images captured at the freeze point (path -> state).
+  std::map<std::string, FileState> death_image_;
+};
+
+}  // namespace prog::dur

@@ -1,0 +1,142 @@
+#include "dur/vfs.hpp"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <dirent.h>
+
+namespace prog::dur {
+
+namespace {
+
+[[noreturn]] void fail(const std::string& what, const std::string& path) {
+  throw IoError(what + " " + path + ": " + std::strerror(errno));
+}
+
+class PosixFile final : public VfsFile {
+ public:
+  PosixFile(int fd, std::string path) : fd_(fd), path_(std::move(path)) {}
+  ~PosixFile() override {
+    if (fd_ >= 0) ::close(fd_);
+  }
+
+  void append(std::string_view data) override {
+    const char* p = data.data();
+    std::size_t left = data.size();
+    while (left > 0) {
+      const ::ssize_t n = ::write(fd_, p, left);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        fail("write", path_);
+      }
+      p += n;
+      left -= static_cast<std::size_t>(n);
+    }
+  }
+
+  void sync() override {
+    if (::fsync(fd_) != 0) fail("fsync", path_);
+  }
+
+  std::uint64_t size() const override {
+    struct ::stat st{};
+    if (::fstat(fd_, &st) != 0) fail("fstat", path_);
+    return static_cast<std::uint64_t>(st.st_size);
+  }
+
+ private:
+  int fd_;
+  std::string path_;
+};
+
+}  // namespace
+
+std::unique_ptr<VfsFile> PosixVfs::open_append(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
+  if (fd < 0) fail("open", path);
+  return std::make_unique<PosixFile>(fd, path);
+}
+
+std::string PosixVfs::read_all(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) fail("open", path);
+  std::string out;
+  char buf[1 << 16];
+  for (;;) {
+    const ::ssize_t n = ::read(fd, buf, sizeof buf);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      ::close(fd);
+      fail("read", path);
+    }
+    if (n == 0) break;
+    out.append(buf, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  return out;
+}
+
+bool PosixVfs::exists(const std::string& path) {
+  struct ::stat st{};
+  return ::stat(path.c_str(), &st) == 0;
+}
+
+std::vector<std::string> PosixVfs::list(const std::string& dir) {
+  ::DIR* d = ::opendir(dir.c_str());
+  if (d == nullptr) fail("opendir", dir);
+  std::vector<std::string> names;
+  while (struct ::dirent* e = ::readdir(d)) {
+    const std::string name = e->d_name;
+    if (name != "." && name != "..") names.push_back(name);
+  }
+  ::closedir(d);
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+void PosixVfs::remove(const std::string& path) {
+  if (::unlink(path.c_str()) != 0) fail("unlink", path);
+}
+
+void PosixVfs::rename(const std::string& from, const std::string& to) {
+  if (::rename(from.c_str(), to.c_str()) != 0) fail("rename", from);
+}
+
+void PosixVfs::truncate(const std::string& path, std::uint64_t size) {
+  if (::truncate(path.c_str(), static_cast<::off_t>(size)) != 0) {
+    fail("truncate", path);
+  }
+}
+
+void PosixVfs::mkdirs(const std::string& dir) {
+  std::string prefix;
+  std::size_t pos = 0;
+  while (pos <= dir.size()) {
+    const std::size_t slash = dir.find('/', pos);
+    const std::size_t end = slash == std::string::npos ? dir.size() : slash;
+    prefix = dir.substr(0, end);
+    pos = end + 1;
+    if (prefix.empty()) continue;
+    if (::mkdir(prefix.c_str(), 0755) != 0 && errno != EEXIST) {
+      fail("mkdir", prefix);
+    }
+    if (slash == std::string::npos) break;
+  }
+}
+
+void PosixVfs::sync_dir(const std::string& dir) {
+  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) fail("open dir", dir);
+  if (::fsync(fd) != 0) {
+    ::close(fd);
+    fail("fsync dir", dir);
+  }
+  ::close(fd);
+}
+
+}  // namespace prog::dur

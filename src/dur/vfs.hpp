@@ -1,0 +1,109 @@
+// Virtual file system — the durability subsystem's only OS boundary.
+//
+// Everything the WAL and checkpoint code does to "disk" goes through this
+// narrow interface: append-only writes, explicit fsync, atomic rename
+// publication, directory listing and directory fsync. Two implementations:
+//
+//   - PosixVfs (vfs.cpp): the real thing — open/write/fsync/rename against
+//     the host file system. Used by benches and any out-of-simulation
+//     deployment of the durable replica storage.
+//   - FaultVfs (fault_vfs.hpp): a deterministic in-memory file system with a
+//     power-fail model (data survives only as far as the last acknowledged
+//     fsync) and seeded fault injection — torn tails, partial sector writes,
+//     bit flips, lying fsyncs, crash-at-the-k-th-syscall. The chaos /
+//     crash-recovery fuzzing layer runs entirely on it.
+//
+// The interface is deliberately smaller than POSIX: no positional writes
+// (the WAL is append-only; checkpoints are write-temp-then-rename), reads
+// materialize the whole file (recovery scans everything it reads anyway),
+// and paths are plain '/'-separated strings with no cwd semantics.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace prog::dur {
+
+/// Thrown when the underlying (real or simulated) file system fails an
+/// operation: short write, failed fsync, missing file. The durable storage
+/// layer treats these as survivable — a record that did not make it to disk
+/// is simply not durable; recovery falls back to the checkpoint chain and
+/// the leader.
+class IoError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// An open file handle. Append-only writing plus whole-file reads — see the
+/// header comment for why the interface is this small.
+class VfsFile {
+ public:
+  virtual ~VfsFile() = default;
+
+  /// Appends `data` at the end of the file. Throws IoError on failure; a
+  /// partial-write failure may leave a prefix of `data` in place (exactly
+  /// like a real crash mid-write) — callers that need atomicity must frame
+  /// and checksum their records.
+  virtual void append(std::string_view data) = 0;
+
+  /// Durability barrier: on return, every previously appended byte survives
+  /// a power failure — unless the (simulated) drive lies, which is one of
+  /// the injected fault modes recovery must tolerate. Throws IoError.
+  virtual void sync() = 0;
+
+  virtual std::uint64_t size() const = 0;
+};
+
+class Vfs {
+ public:
+  virtual ~Vfs() = default;
+
+  /// Opens `path` for appending, creating it if absent.
+  virtual std::unique_ptr<VfsFile> open_append(const std::string& path) = 0;
+
+  /// Reads the entire file. Throws IoError if it does not exist.
+  virtual std::string read_all(const std::string& path) = 0;
+
+  virtual bool exists(const std::string& path) = 0;
+
+  /// Names (not paths) of the entries directly under `dir`, sorted — the
+  /// deterministic recovery scan depends on the ordering.
+  virtual std::vector<std::string> list(const std::string& dir) = 0;
+
+  virtual void remove(const std::string& path) = 0;
+
+  /// Atomic publication: `to` either keeps its old content or has `from`'s,
+  /// never a mixture. The checkpoint write protocol is write-temp + sync +
+  /// rename + sync_dir.
+  virtual void rename(const std::string& from, const std::string& to) = 0;
+
+  /// Truncates `path` to `size` bytes (recovery chops torn WAL tails).
+  virtual void truncate(const std::string& path, std::uint64_t size) = 0;
+
+  /// Makes `dir` (and parents) exist.
+  virtual void mkdirs(const std::string& dir) = 0;
+
+  /// Durability barrier for the directory entry metadata (created/renamed/
+  /// removed names) of `dir`.
+  virtual void sync_dir(const std::string& dir) = 0;
+};
+
+/// The real file system. Stateless; construct freely.
+class PosixVfs final : public Vfs {
+ public:
+  std::unique_ptr<VfsFile> open_append(const std::string& path) override;
+  std::string read_all(const std::string& path) override;
+  bool exists(const std::string& path) override;
+  std::vector<std::string> list(const std::string& dir) override;
+  void remove(const std::string& path) override;
+  void rename(const std::string& from, const std::string& to) override;
+  void truncate(const std::string& path, std::uint64_t size) override;
+  void mkdirs(const std::string& dir) override;
+  void sync_dir(const std::string& dir) override;
+};
+
+}  // namespace prog::dur

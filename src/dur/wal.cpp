@@ -1,0 +1,198 @@
+#include "dur/wal.hpp"
+
+#include <cstring>
+#include <limits>
+
+#include "dur/crc32c.hpp"
+
+namespace prog::dur {
+
+namespace {
+
+constexpr std::uint32_t kMagic = 0x314C5750u;  // "PWL1", little-endian
+constexpr std::size_t kFrameHeader = 12;       // magic + len + crc
+/// Upper bound on a single payload — far above any real batch, low enough
+/// that a garbage length field cannot masquerade as a torn tail.
+constexpr std::uint32_t kMaxPayload = 64u << 20;
+
+void put_u32(std::string& out, std::uint32_t v) {
+  char b[4];
+  std::memcpy(b, &v, 4);
+  out.append(b, 4);
+}
+
+void put_u64(std::string& out, std::uint64_t v) {
+  char b[8];
+  std::memcpy(b, &v, 8);
+  out.append(b, 8);
+}
+
+void put_i64(std::string& out, std::int64_t v) {
+  put_u64(out, static_cast<std::uint64_t>(v));
+}
+
+class Cursor {
+ public:
+  explicit Cursor(std::string_view data) : data_(data) {}
+
+  std::uint32_t u32() { return read<std::uint32_t>(); }
+  std::uint64_t u64() { return read<std::uint64_t>(); }
+  std::int64_t i64() { return static_cast<std::int64_t>(u64()); }
+  std::uint8_t u8() { return read<std::uint8_t>(); }
+
+  bool done() const noexcept { return pos_ == data_.size(); }
+
+ private:
+  template <typename T>
+  T read() {
+    if (data_.size() - pos_ < sizeof(T)) {
+      throw IoError("wal payload: truncated field");
+    }
+    T v;
+    std::memcpy(&v, data_.data() + pos_, sizeof(T));
+    pos_ += sizeof(T);
+    return v;
+  }
+
+  std::string_view data_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::string encode_wal_payload(const WalRecord& rec) {
+  std::string out;
+  put_u64(out, rec.seq);
+  put_u64(out, rec.term);
+  put_u64(out, rec.command);
+  put_u64(out, rec.state_hash);
+  put_u32(out, static_cast<std::uint32_t>(rec.batch.size()));
+  for (const sched::TxRequest& r : rec.batch) {
+    put_u32(out, r.proc);
+    put_u64(out, r.tag);
+    put_u32(out, static_cast<std::uint32_t>(r.input.args.size()));
+    for (const lang::Arg& a : r.input.args) {
+      out.push_back(a.is_array ? '\1' : '\0');
+      if (a.is_array) {
+        put_u32(out, static_cast<std::uint32_t>(a.array.size()));
+        for (const Value v : a.array) put_i64(out, v);
+      } else {
+        put_i64(out, a.scalar);
+      }
+    }
+    // client_pred and recon_fresh are deliberately not persisted: both are
+    // execution-time hints the engine can recompute; neither affects the
+    // deterministic outcome of the batch.
+  }
+  return out;
+}
+
+WalRecord decode_wal_payload(std::string_view payload) {
+  Cursor c(payload);
+  WalRecord rec;
+  rec.seq = c.u64();
+  rec.term = c.u64();
+  rec.command = c.u64();
+  rec.state_hash = c.u64();
+  const std::uint32_t n = c.u32();
+  if (n > kMaxPayload / 8) throw IoError("wal payload: absurd batch size");
+  rec.batch.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    sched::TxRequest r;
+    r.proc = c.u32();
+    r.tag = c.u64();
+    const std::uint32_t nargs = c.u32();
+    if (nargs > kMaxPayload / 8) throw IoError("wal payload: absurd arg count");
+    for (std::uint32_t a = 0; a < nargs; ++a) {
+      const std::uint8_t is_array = c.u8();
+      if (is_array != 0) {
+        const std::uint32_t len = c.u32();
+        if (len > kMaxPayload / 8) {
+          throw IoError("wal payload: absurd array length");
+        }
+        std::vector<Value> vs;
+        vs.reserve(len);
+        for (std::uint32_t k = 0; k < len; ++k) vs.push_back(c.i64());
+        r.input.add_array(std::move(vs));
+      } else {
+        r.input.add(c.i64());
+      }
+    }
+    rec.batch.push_back(std::move(r));
+  }
+  if (!c.done()) throw IoError("wal payload: trailing bytes");
+  return rec;
+}
+
+std::string frame_wal_record(std::string_view payload) {
+  std::string out;
+  out.reserve(kFrameHeader + payload.size());
+  put_u32(out, kMagic);
+  put_u32(out, static_cast<std::uint32_t>(payload.size()));
+  put_u32(out, crc32c(payload));
+  out.append(payload);
+  return out;
+}
+
+std::vector<WalRecord> scan_wal(Vfs& vfs, const std::string& path,
+                                const std::string& quarantine_path,
+                                WalScanStats* stats) {
+  WalScanStats local;
+  WalScanStats& st = stats != nullptr ? *stats : local;
+  std::vector<WalRecord> out;
+  if (!vfs.exists(path)) return out;
+  const std::string data = vfs.read_all(path);
+
+  std::size_t pos = 0;
+  bool torn = false;
+  bool corrupt = false;
+  while (pos < data.size()) {
+    if (data.size() - pos < kFrameHeader) {
+      torn = true;  // header itself in flight at the crash
+      break;
+    }
+    std::uint32_t magic = 0, len = 0, crc = 0;
+    std::memcpy(&magic, data.data() + pos, 4);
+    std::memcpy(&len, data.data() + pos + 4, 4);
+    std::memcpy(&crc, data.data() + pos + 8, 4);
+    if (magic != kMagic || len > kMaxPayload) {
+      corrupt = true;  // framing lost — not a clean tail
+      break;
+    }
+    if (data.size() - pos - kFrameHeader < len) {
+      torn = true;  // payload cut off by the crash
+      break;
+    }
+    const std::string_view payload(data.data() + pos + kFrameHeader, len);
+    if (crc32c(payload) != crc) {
+      corrupt = true;
+      break;
+    }
+    WalRecord rec;
+    try {
+      rec = decode_wal_payload(payload);
+    } catch (const IoError&) {
+      corrupt = true;  // CRC collision / writer bug: same quarantine path
+      break;
+    }
+    out.push_back(std::move(rec));
+    pos += kFrameHeader + len;
+    ++st.records;
+    st.bytes += kFrameHeader + len;
+  }
+
+  if (pos < data.size()) {
+    if (corrupt && !quarantine_path.empty()) {
+      // Keep the bad suffix for forensics before chopping it off.
+      auto q = vfs.open_append(quarantine_path);
+      q->append(std::string_view(data).substr(pos));
+      q->sync();
+      ++st.records_quarantined;
+    }
+    if (torn) ++st.torn_tail_truncated;
+    vfs.truncate(path, pos);
+  }
+  return out;
+}
+
+}  // namespace prog::dur

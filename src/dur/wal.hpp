@@ -1,0 +1,101 @@
+// CRC32C-framed append-only batch WAL.
+//
+// One record per *agreed batch*: the group-commit unit of a deterministic
+// database is the batch the consensus layer ordered, so a single
+// append+fsync amortizes durability over every transaction in it. Each
+// record carries everything a replica needs to re-execute the batch without
+// the cluster — the log position and term, the command id, the full request
+// payloads, and the state hash the deterministic engine must reproduce when
+// it replays them (the replay-time divergence check).
+//
+// Frame layout (little-endian):
+//
+//   u32 magic  'PWL1'            — resync sentinel / version tag
+//   u32 len                      — payload byte count
+//   u32 crc32c(payload)
+//   len bytes of payload
+//
+// Recovery contract (scan_wal):
+//   - a frame whose header or payload extends past EOF is a *torn tail* —
+//     the write in flight at the power failure; it is truncated away and
+//     the scan ends cleanly;
+//   - a complete frame with a bad magic, an insane length, a CRC mismatch,
+//     or an undecodable payload is a *corrupt record* — the bytes from the
+//     bad frame to EOF are moved to a quarantine file (forensics) and the
+//     file is truncated at the last good record. Everything after a corrupt
+//     frame is untrusted: length framing no longer resynchronizes.
+//
+// Either way the WAL ends as a clean prefix of agreed batches; whatever was
+// lost is re-fetched from the leader (checkpoint + suffix catch-up).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "dur/vfs.hpp"
+#include "sched/engine.hpp"
+
+namespace prog::dur {
+
+/// One agreed batch, as persisted.
+struct WalRecord {
+  std::uint64_t seq = 0;         ///< log index of the batch (1-based)
+  std::uint64_t term = 0;        ///< raft term of the entry
+  std::uint64_t command = 0;     ///< consensus command id
+  std::uint64_t state_hash = 0;  ///< replica state hash *after* applying
+  std::vector<sched::TxRequest> batch;
+};
+
+/// Serializes one record payload (no frame). Deterministic bytes.
+std::string encode_wal_payload(const WalRecord& rec);
+
+/// Parses a payload produced by encode_wal_payload. Throws IoError on
+/// malformed input (recovery treats that as a corrupt record).
+WalRecord decode_wal_payload(std::string_view payload);
+
+/// Wraps `payload` in the magic/len/crc frame.
+std::string frame_wal_record(std::string_view payload);
+
+/// Appends records to one WAL segment file. sync() is the group-commit
+/// barrier — the storage layer calls it once per agreed batch.
+class WalWriter {
+ public:
+  WalWriter(Vfs& vfs, std::string path)
+      : path_(std::move(path)), file_(vfs.open_append(path_)) {}
+
+  /// Returns the framed byte count appended.
+  std::size_t append(const WalRecord& rec) {
+    const std::string framed = frame_wal_record(encode_wal_payload(rec));
+    file_->append(framed);
+    return framed.size();
+  }
+
+  void sync() { file_->sync(); }
+
+  std::uint64_t size() const { return file_->size(); }
+
+  const std::string& path() const noexcept { return path_; }
+
+ private:
+  std::string path_;
+  std::unique_ptr<VfsFile> file_;
+};
+
+struct WalScanStats {
+  std::uint64_t records = 0;
+  std::uint64_t bytes = 0;
+  /// 1 when a torn tail was truncated away.
+  std::uint64_t torn_tail_truncated = 0;
+  /// Complete-but-corrupt frames moved to the quarantine file.
+  std::uint64_t records_quarantined = 0;
+};
+
+/// Scans segment `path`, repairing it in place per the recovery contract
+/// above (truncation; corrupt suffix copied to `quarantine_path` when
+/// non-empty). Returns the clean prefix of records.
+std::vector<WalRecord> scan_wal(Vfs& vfs, const std::string& path,
+                                const std::string& quarantine_path,
+                                WalScanStats* stats);
+
+}  // namespace prog::dur

@@ -30,6 +30,9 @@ ReplicaMetrics ReplicaMetrics::create(Registry& reg) {
                        "Batch-pool entries superseded before committing");
   m.submit_retries =
       c("replica_submit_retries_total", "submit_with_retry backoff rounds");
+  m.submit_timeouts =
+      c("replica_submit_timeouts_total",
+        "submit_with_retry calls that gave up at the overall deadline");
   m.batches_submitted =
       c("replica_batches_submitted_total", "Batches accepted by submit");
   m.batches_applied = c("replica_batches_applied_total",

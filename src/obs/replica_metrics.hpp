@@ -21,6 +21,7 @@ struct ReplicaMetrics {
   Counter* resyncs = nullptr;
   Counter* pool_reclaimed = nullptr;
   Counter* submit_retries = nullptr;
+  Counter* submit_timeouts = nullptr;  ///< submit_with_retry deadline expiries
   Counter* batches_submitted = nullptr;
   Counter* batches_applied = nullptr;  ///< across all replicas
 

@@ -12,6 +12,12 @@ Policy (per case):
   - case present in baseline but missing from the run          -> exit 1
   - new case not in the baseline                               -> note only
 
+When the baseline file itself does not exist (a fresh branch, a renamed
+bench, a CI cache miss) the gate warns and passes: there is nothing to
+regress against, and failing would just train people to delete the gate.
+A baseline that exists but cannot be parsed is still a hard error — that
+is corruption, not absence.
+
 Usage:
   tools/perf_gate.py --baseline BENCH_hotpath.json --run /tmp/run.json
   tools/perf_gate.py --baseline BENCH_hotpath.json --run run.json \
@@ -22,6 +28,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 
 
@@ -47,6 +54,12 @@ def main() -> int:
     ap.add_argument("--fail", type=float, default=0.25,
                     help="fail at this fractional speedup drop (default 0.25)")
     args = ap.parse_args()
+
+    if not os.path.exists(args.baseline):
+        print(f"perf_gate: WARN no baseline at {args.baseline} — nothing to "
+              "compare against, passing. Commit a baseline (full-mode run on "
+              "a quiet host, see EXPERIMENTS.md) to arm the gate.")
+        return 0
 
     base = load(args.baseline)
     run = load(args.run)
