@@ -13,10 +13,22 @@
 //      whole scenario. Every row reproduces from the printed seed.
 //
 //   PROG_BENCH_FAST=1  — fewer records / smaller images (CI smoke).
+//   --out <path>       — also write a BENCH_durability.json result: the WAL
+//                        and checkpoint throughput cases, gate field
+//                        "throughput" (records/s for WAL rows, MB/s for
+//                        checkpoint rows), higher is better. CI soft-gates it
+//                        against the checked-in baseline via
+//                        tools/perf_gate.py with loose thresholds (absolute
+//                        I/O throughput is host-dependent). Only the cases
+//                        present in every mode are emitted, so a fast-mode
+//                        run gates cleanly against a full-mode baseline.
 #include <unistd.h>
 
 #include <chrono>
+#include <cstring>
+#include <fstream>
 #include <iostream>
+#include <map>
 #include <string>
 
 #include "benchutil/harness.hpp"
@@ -125,8 +137,16 @@ std::vector<sched::TxRequest> bump_batch(std::size_t n, Rng& rng) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   const bool fast = benchutil::fast_mode();
+  std::string out_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out_path = argv[++i];
+    }
+  }
+  // case name -> throughput (records/s for WAL, MB/s for checkpoints).
+  std::map<std::string, double> json_cases;
 
   // --- 1. WAL group commit ---------------------------------------------------
   {
@@ -145,12 +165,14 @@ int main() {
                  std::to_string(posix_records),
                  std::to_string(static_cast<std::uint64_t>(p.recs_per_s)),
                  std::to_string(p.mb_per_s).substr(0, 6)});
+      json_cases["wal-posix/bs" + std::to_string(bs)] = p.recs_per_s;
       dur::FaultVfs mem(1);
       const WalRow m = wal_throughput(mem, "m", bs, mem_records);
       table.row({"faultvfs (in-memory)", std::to_string(bs),
                  std::to_string(mem_records),
                  std::to_string(static_cast<std::uint64_t>(m.recs_per_s)),
                  std::to_string(m.mb_per_s).substr(0, 6)});
+      json_cases["wal-mem/bs" + std::to_string(bs)] = m.recs_per_s;
       ++run;
     }
     std::cout << "=== Durability: WAL append + group-commit fsync ===\n";
@@ -160,9 +182,11 @@ int main() {
 
   // --- 2. checkpoint publish -------------------------------------------------
   {
-    const std::size_t sizes[] = {std::size_t{64} << 10,
-                                 fast ? std::size_t{256} << 10
-                                      : std::size_t{4} << 20};
+    // 64 KiB and 256 KiB run in every mode (they are the gated JSON cases);
+    // the 4 MiB image is full-mode-only color for the table.
+    std::vector<std::size_t> sizes = {std::size_t{64} << 10,
+                                      std::size_t{256} << 10};
+    if (!fast) sizes.push_back(std::size_t{4} << 20);
     dur::PosixVfs posix;
     const std::string root = posix_scratch_dir() + "/ckpt";
     benchutil::Table table({"vfs", "image bytes", "publish ms", "MB/s"});
@@ -174,11 +198,12 @@ int main() {
       const auto t0 = std::chrono::steady_clock::now();
       dur::write_checkpoint_file(vfs, dir, dir + "/ckpt-bench", cp);
       const double ms = ms_since(t0);
+      const double mb_s = ms > 0 ? cp.image.size() / ms / 1048.576 : 0;
       table.row({name, std::to_string(cp.image.size()),
                  std::to_string(ms).substr(0, 6),
-                 std::to_string(ms > 0 ? cp.image.size() / ms / 1048.576 : 0)
-                     .substr(0, 7)});
+                 std::to_string(mb_s).substr(0, 7)});
       vfs.remove(dir + "/ckpt-bench");
+      return mb_s;
     };
     for (const std::size_t sz : sizes) {
       dur::CheckpointImage cp;
@@ -186,8 +211,13 @@ int main() {
       cp.term = 2;
       cp.state_hash = 0xFEEDFACEull;
       cp.image.assign(sz, 'x');
-      publish(posix, "posix", root, cp);
-      publish(mem, "faultvfs", "c", cp);
+      const double p = publish(posix, "posix", root, cp);
+      const double m = publish(mem, "faultvfs", "c", cp);
+      if (sz <= (std::size_t{256} << 10)) {
+        const std::string kib = std::to_string(sz >> 10) + "KiB";
+        json_cases["ckpt-posix/" + kib] = p;
+        json_cases["ckpt-mem/" + kib] = m;
+      }
     }
     std::cout << "\n=== Durability: atomic checkpoint publish "
                  "(encode + tmp + fsync + rename) ===\n";
@@ -238,6 +268,23 @@ int main() {
       return 1;
     }
     std::cout << "all scenarios recovered byte-identical to the witness.\n";
+  }
+
+  if (!out_path.empty()) {
+    std::ofstream js(out_path);
+    js << "{\n  \"bench\": \"durability\",\n  \"mode\": \""
+       << (fast ? "fast" : "full")
+       << "\",\n  \"metric\": \"throughput (records/s WAL, MB/s ckpt)\",\n"
+       << "  \"gate\": {\"field\": \"throughput\", \"direction\": "
+          "\"higher\"},\n  \"cases\": {\n";
+    for (auto it = json_cases.begin(); it != json_cases.end(); ++it) {
+      js << "    \"" << it->first << "\": {\"throughput\": "
+         << static_cast<std::uint64_t>(it->second) << "}";
+      js << (std::next(it) == json_cases.end() ? "\n" : ",\n");
+    }
+    js << "  }\n}\n";
+    js.close();
+    std::cout << "wrote " << out_path << "\n";
   }
   return 0;
 }

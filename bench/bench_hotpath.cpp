@@ -1,34 +1,32 @@
-// Hot-path overhaul ablation (DESIGN.md §10): old scheduler internals vs new.
+// Scheduler hot-path cost bench (DESIGN.md §10).
 //
-// EngineConfig::legacy_hot_path swaps back the pre-overhaul internals — the
-// deque-in-unordered-map lock table, the single mutex-guarded global ready
-// queue, per-transaction heap-backed predictions and execution results, and
-// the unconditional yield-spin idle loop — while the new path runs the
-// epoch-arena flat lock table, the per-worker work-stealing ready deques,
-// the allocation-free prediction/result arenas, and bounded idle backoff.
-// (The interpreter's hash-free write buffer is shared by both arms, so the
-// reported speedup *understates* the full gap to the pre-PR tree.) Both
-// paths produce identical commits (asserted below per repeat), so the
-// measured gap is pure scheduler cost: malloc traffic, hash-map probing,
-// queue-mutex contention, idle spin burn.
+// Measures the absolute per-batch process-CPU cost of the scheduling hot
+// path — the epoch-arena flat lock table, the per-worker work-stealing ready
+// deques, the allocation-free prediction/result arenas, and bounded idle
+// backoff. (The legacy pre-overhaul path this bench originally ablated
+// against was removed after its one-release grace period; the 1.3x speedup
+// it demonstrated is recorded in BENCH_hotpath history and DESIGN.md §10.)
 //
 // Workloads (store access delay 0 — scheduling cost must not hide behind an
 // emulated storage stall):
-//   hc-catalog   high-contention catalog mix: 64 hot Zipf(1.2) catalog keys,
-//                1/8 of each batch repricing them — long lock queues, grant
-//                cascades, DT-free (update-transaction throughput is the
-//                paper-facing number the acceptance gate reads);
+//   hc-catalog   high-contention catalog mix: 64 hot Zipf(1.25) catalog keys,
+//                1/4 of each batch repricing them — long lock queues, grant
+//                cascades (update-transaction throughput is the paper-facing
+//                number);
 //   tpcc-4wh     the paper's TPC-C mix (NewOrder/Payment/...), 4 warehouses;
 //   micro-rmw    uniform-ish YCSB RMW (Zipf 0.9), the low-conflict floor.
 //
-// Methodology (= bench_ablation_telemetry): interleaved legacy/new repeats
-// over byte-identical request streams, per-batch *process CPU time*
+// Methodology (= bench_ablation_telemetry): repeated runs over
+// byte-identical request streams, per-batch *process CPU time*
 // (CLOCK_PROCESS_CPUTIME_ID — robust against preemption on loaded or
-// single-core hosts), per-config cost = sum over batches of the element-wise
-// minimum across repeats. Speedup = legacy / new.
+// single-core hosts), cost = sum over batches of the element-wise minimum
+// across repeats (the noise floor). Every repeat must produce identical
+// (committed, rounds) — the schedule is deterministic by construction.
 //
 // Output: a table on stdout and BENCH_hotpath.json (see tools/perf_gate.py;
-// CI soft-gates the speedup ratios against the checked-in baseline).
+// CI soft-gates cpu_us_per_batch against the checked-in baseline — absolute
+// CPU time varies with host clocks, so the CI thresholds are loose and the
+// gate is advisory off a quiet reference host).
 // Flags: --short (CI smoke: fewer repeats/batches), --out <path>.
 #include <ctime>
 
@@ -79,12 +77,12 @@ double sum(const std::vector<double>& v) {
 workloads::micro::CatalogOptions hc_opts() {
   workloads::micro::CatalogOptions o;
   o.catalog_keys = 64;  // few hot items → long lock queues
-  // Small enough that the store index stays cache-resident (store probes are
-  // identical in both arms and would otherwise drown the scheduler delta in
-  // shared LLC misses), large enough that settle draws rarely collide.
+  // Small enough that the store index stays cache-resident (store probes
+  // would otherwise drown the scheduler cost in shared LLC misses), large
+  // enough that settle draws rarely collide.
   o.accounts = 32768;
   // Short transactions keep the scheduler share of the batch high (the
-  // point of this ablation) while the 64-key Zipf catalog still produces
+  // point of this bench) while the 64-key Zipf catalog still produces
   // hundreds-deep lock queues and writer-triggered grant cascades.
   o.reads_per_tx = 2;
   o.zipf_theta = 1.25;
@@ -231,82 +229,59 @@ int main(int argc, char** argv) {
   sched::EngineConfig base;
   base.workers = workers;
 
-  benchutil::Table table({"workload", "batch", "cpu us/batch legacy",
-                          "cpu us/batch new", "speedup", "update ktps (cpu)"});
-  std::map<std::string, std::tuple<double, double, double, double>> results;
+  benchutil::Table table(
+      {"workload", "batch", "cpu us/batch", "update ktps (cpu)"});
+  std::map<std::string, std::pair<double, double>> results;
   bool determinism_ok = true;
 
   for (const Case& c : cases) {
-    std::vector<double> floor_legacy, floor_new;
+    std::vector<double> floor_us;
+    std::uint64_t ref_committed = 0, ref_rounds = 0;
     for (int r = 0; r < repeats; ++r) {
-      sched::EngineConfig legacy = base;
-      legacy.legacy_hot_path = true;
-      sched::EngineConfig nu = base;
-      RunCost rl, rn;
-      if (r % 2 == 0) {
-        rl = run_once(c.factory, legacy, c.batch_size, warmup, measured);
-        rn = run_once(c.factory, nu, c.batch_size, warmup, measured);
-      } else {
-        rn = run_once(c.factory, nu, c.batch_size, warmup, measured);
-        rl = run_once(c.factory, legacy, c.batch_size, warmup, measured);
-      }
-      // The toggle must be a pure performance switch.
-      if (std::tie(rl.committed, rl.rounds) !=
-          std::tie(rn.committed, rn.rounds)) {
-        std::cerr << "FAIL: " << c.name
-                  << ": legacy_hot_path changed execution (committed "
-                  << rl.committed << " vs " << rn.committed << ", rounds "
-                  << rl.rounds << " vs " << rn.rounds << ")\n";
+      const RunCost rc =
+          run_once(c.factory, base, c.batch_size, warmup, measured);
+      if (r == 0) {
+        ref_committed = rc.committed;
+        ref_rounds = rc.rounds;
+      } else if (std::tie(rc.committed, rc.rounds) !=
+                 std::tie(ref_committed, ref_rounds)) {
+        // Identical request streams must replay to identical schedules.
+        std::cerr << "FAIL: " << c.name << ": repeat " << r
+                  << " diverged (committed " << rc.committed << " vs "
+                  << ref_committed << ", rounds " << rc.rounds << " vs "
+                  << ref_rounds << ")\n";
         determinism_ok = false;
       }
-      fold_min(floor_legacy, rl.batch_us);
-      fold_min(floor_new, rn.batch_us);
+      fold_min(floor_us, rc.batch_us);
     }
-    const double legacy_us = sum(floor_legacy) / measured;
-    const double new_us = sum(floor_new) / measured;
-    const double speedup = legacy_us / new_us;
-    const double ktps =
-        static_cast<double>(c.batch_size) / new_us * 1e6 / 1e3;
-    results[c.name] = {legacy_us, new_us, speedup, ktps};
-    table.row({c.name, std::to_string(c.batch_size),
-               benchutil::fmt(legacy_us, 1), benchutil::fmt(new_us, 1),
-               benchutil::fmt(speedup, 2) + "x", benchutil::fmt(ktps, 1)});
+    const double cpu_us = sum(floor_us) / measured;
+    const double ktps = static_cast<double>(c.batch_size) / cpu_us * 1e6 / 1e3;
+    results[c.name] = {cpu_us, ktps};
+    table.row({c.name, std::to_string(c.batch_size), benchutil::fmt(cpu_us, 1),
+               benchutil::fmt(ktps, 1)});
   }
 
-  std::cout << "=== Hot-path overhaul: legacy vs epoch-arena/work-stealing "
-               "(CPU time, "
+  std::cout << "=== Scheduler hot path: epoch-arena lock table + "
+               "work-stealing deques (CPU time, "
             << workers << " workers) ===\n";
   table.print();
 
   std::ofstream js(out_path);
   js << "{\n  \"bench\": \"hotpath\",\n  \"workers\": " << workers
      << ",\n  \"mode\": \"" << (short_mode ? "short" : "full")
-     << "\",\n  \"metric\": \"process_cpu_us_per_batch\",\n  \"cases\": {\n";
+     << "\",\n  \"metric\": \"process_cpu_us_per_batch\",\n"
+     << "  \"gate\": {\"field\": \"cpu_us_per_batch\", "
+        "\"direction\": \"lower\"},\n  \"cases\": {\n";
   for (auto it = results.begin(); it != results.end(); ++it) {
-    const auto& [legacy_us, new_us, speedup, ktps] = it->second;
-    js << "    \"" << it->first << "\": {\"legacy_us\": "
-       << benchutil::fmt(legacy_us, 1) << ", \"new_us\": "
-       << benchutil::fmt(new_us, 1) << ", \"speedup\": "
-       << benchutil::fmt(speedup, 3) << ", \"update_ktps_cpu\": "
-       << benchutil::fmt(ktps, 1) << "}";
+    const auto& [cpu_us, ktps] = it->second;
+    js << "    \"" << it->first
+       << "\": {\"cpu_us_per_batch\": " << benchutil::fmt(cpu_us, 1)
+       << ", \"update_ktps_cpu\": " << benchutil::fmt(ktps, 1) << "}";
     js << (std::next(it) == results.end() ? "\n" : ",\n");
   }
   js << "  }\n}\n";
   js.close();
   std::cout << "wrote " << out_path << "\n";
 
-  if (!determinism_ok) return 1;
-  // Acceptance gate (ISSUE 4): the high-contention catalog mix must clear
-  // 1.3x update-transaction throughput at 8 workers. Enforced as a hard
-  // failure only in full mode — the --short CI smoke run uses few repeats on
-  // shared runners, where host noise swamps the margin; CI instead soft-gates
-  // the ratio against the checked-in baseline via tools/perf_gate.py.
-  const double hc_speedup = std::get<2>(results.at("hc-catalog/8w"));
-  if (hc_speedup < 1.3) {
-    std::cerr << (short_mode ? "WARN" : "FAIL") << ": hc-catalog/8w speedup "
-              << benchutil::fmt(hc_speedup, 2)
-              << "x is below the 1.3x acceptance bar\n";
-    if (!short_mode) return 1;
-  }
-  return 0;
+  return determinism_ok ? 0 : 1;
 }

@@ -6,8 +6,8 @@
 //  - WorkStealingDeque: the per-worker ready deques of the hot-path overhaul
 //    (DESIGN.md §10) — owner pushes/pops LIFO for cache locality, idle
 //    workers steal FIFO from the opposite end;
-//  - MpmcQueue: the single global ready queue the deques replaced, kept for
-//    one release as the EngineConfig::legacy_hot_path ablation baseline.
+//  - MpmcQueue: a general-purpose mutex-guarded FIFO, used off the engine
+//    hot path (test harnesses, tools).
 #pragma once
 
 #include <atomic>
@@ -195,11 +195,9 @@ class WorkStealingDeque {
 };
 
 /// Unbounded multi-producer multi-consumer FIFO. A mutex-guarded deque is
-/// deliberately chosen over a lock-free ring: ready-queue operations are a few
-/// dozen nanoseconds against transaction executions of microseconds, and the
+/// deliberately chosen over a lock-free ring: its users are off the hot path
+/// (the engine's ready work moved to per-worker WorkStealingDeques), and the
 /// deterministic-state property must not depend on queue internals anyway.
-/// Superseded on the engine hot path by per-worker WorkStealingDeques; kept
-/// as the EngineConfig::legacy_hot_path ablation baseline.
 template <typename T>
 class MpmcQueue {
  public:

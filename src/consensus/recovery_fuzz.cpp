@@ -3,6 +3,7 @@
 #include <sstream>
 
 #include "common/check.hpp"
+#include "obs/tracing/tracing.hpp"
 
 namespace prog::consensus {
 
@@ -78,6 +79,15 @@ RecoveryFuzzReport run_recovery_fuzz(const ReplicatedDb::SetupFn& setup,
   }
   note("witness hash " + std::to_string(rep.witness_hash) +
        (rep.witness_match ? " — matched by all replicas" : " — MISMATCH"));
+  if (!rep.witness_match && obs::tracing::enabled()) {
+    obs::tracing::trigger(
+        obs::tracing::Anomaly::kFuzzMismatch,
+        "crash-fuzz witness mismatch: mode " +
+            std::string(dur::to_string(opts.mode)) + ", seed " +
+            std::to_string(seed) + ", victim replica " +
+            std::to_string(rep.victim) + ", witness hash " +
+            std::to_string(rep.witness_hash));
+  }
 
   // Prove the recovered replica keeps up with live traffic, then settle.
   feed(opts.post_rounds);

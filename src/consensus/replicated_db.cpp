@@ -90,6 +90,19 @@ bool ReplicatedDb::submit_batch(std::vector<sched::TxRequest> batch) {
   // Insert before submitting: a single-node cluster commits (and applies)
   // synchronously inside submit(), and apply() needs the pool entry.
   batch_pool_.insert_or_assign(cmd, std::move(batch));
+  // Causal tracing: the submit-side trace id is the log index this command
+  // will occupy in a quiet cluster (cmd + 1 — indexes are 1-based). The
+  // context rides every message the submission causes (SimNet captures it),
+  // and apply() re-derives the authoritative id from the actual log index.
+  const std::uint64_t tseq = cmd + 1;
+  obs::tracing::ScopedContext tsc(
+      {tseq, obs::tracing::kNoReplica, trace_sampled(tseq)});
+  if (trace_sampled(tseq)) {
+    obs::tracing::SpanEvent ev;
+    ev.kind = obs::tracing::SpanKind::kSubmit;
+    ev.batch_seq = tseq;
+    obs::tracing::emit(ev);
+  }
   if (!cluster_.submit(cmd)) {
     batch_pool_.erase(cmd);
     return false;
@@ -108,6 +121,17 @@ bool ReplicatedDb::submit_with_retry(std::vector<sched::TxRequest> batch,
       std::min<SimTime>(max_wait_ms, std::max<SimTime>(opts_.submit_deadline_ms, 1));
   const Command cmd = next_cmd_;
   batch_pool_.insert_or_assign(cmd, std::move(batch));
+  const std::uint64_t tseq = cmd + 1;
+  obs::tracing::ScopedContext tsc(
+      {tseq, obs::tracing::kNoReplica, trace_sampled(tseq)});
+  if (trace_sampled(tseq)) {
+    // One submit span per batch, however many retries the loop takes — the
+    // retries are the same logical submission.
+    obs::tracing::SpanEvent ev;
+    ev.kind = obs::tracing::SpanKind::kSubmit;
+    ev.batch_seq = tseq;
+    obs::tracing::emit(ev);
+  }
   SimTime waited = 0;
   SimTime step = std::max<SimTime>(opts_.retry_step_ms, 1);
   while (true) {
@@ -189,6 +213,19 @@ void ReplicatedDb::apply(NodeId node, LogIndex idx, Command cmd) {
   if (quarantined_[node] != 0) return;  // untrusted state: don't extend it
   PROG_CHECK_MSG(replicas_[node] != nullptr,
                  "apply on a crashed replica (raft node not crashed with it?)");
+  // Causal tracing: the delivery context carried whatever batch caused this
+  // message (often a later commit-index bump), so apply *overrides* it with
+  // the authoritative identity of the batch being applied — (node, idx) —
+  // for the engine and WAL spans executed below.
+  obs::tracing::ScopedContext tsc({idx, node, trace_sampled(idx)});
+  if (trace_sampled(idx)) {
+    obs::tracing::SpanEvent ev;
+    ev.kind = obs::tracing::SpanKind::kAgree;
+    ev.batch_seq = idx;
+    ev.replica = node;
+    ev.arg = cmd;
+    obs::tracing::emit(ev);
+  }
   // Copy: every replica consumes its own instance of the batch.
   std::vector<sched::TxRequest> batch = pool_batch(cmd);
   replicas_[node]->execute(std::move(batch));
@@ -231,6 +268,15 @@ void ReplicatedDb::check_divergence(NodeId node, LogIndex idx) {
   rm_.divergences->inc();
   rm_.quarantines->inc();
   quarantined_[node] = 1;
+  if (obs::tracing::enabled()) {
+    // The flight recorder's marquee trigger: dump the recent spans that
+    // explain how this replica reached a different state hash.
+    obs::tracing::trigger(
+        obs::tracing::Anomaly::kDivergence,
+        "replica " + std::to_string(node) + " state hash " +
+            std::to_string(hash) + " != recorded " + std::to_string(*rec) +
+            " at batch " + std::to_string(idx) + "; quarantined");
+  }
   resync(node);
 }
 
@@ -315,6 +361,14 @@ void ReplicatedDb::restart_replica(NodeId i) {
     carried_stats_[i] = cp->engine_stats;
     ++stats_.checkpoint_restores;
     rm_.checkpoint_restores->inc();
+    if (obs::tracing::enabled()) {
+      obs::tracing::ScopedContext tsc({cp->batch_seq, i, true});
+      obs::tracing::trigger(obs::tracing::Anomaly::kRecovery,
+                            "replica " + std::to_string(i) +
+                                " restarted from in-memory checkpoint at "
+                                "batch " +
+                                std::to_string(cp->batch_seq));
+    }
   } else {
     cluster_.reset_applied(i, {});
     carried_stats_[i] = {};  // full replay recounts everything from zero
@@ -420,6 +474,15 @@ void ReplicatedDb::durable_restart(NodeId i) {
   node.install_local_snapshot(final_seq, final_term);
   cluster_.reset_applied(i, prefix);
   ++stats_.durable_recoveries;
+  if (obs::tracing::enabled()) {
+    obs::tracing::ScopedContext tsc({final_seq, i, true});
+    obs::tracing::trigger(
+        obs::tracing::Anomaly::kRecovery,
+        "replica " + std::to_string(i) + " durably recovered to batch " +
+            std::to_string(final_seq) + " (" +
+            (chosen != nullptr ? "checkpoint + " : "") +
+            std::to_string(replayed) + " WAL records replayed)");
+  }
   if (chosen != nullptr) {
     ++stats_.checkpoint_restores;
     rm_.checkpoint_restores->inc();

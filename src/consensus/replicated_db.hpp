@@ -41,6 +41,7 @@
 #include "dur/storage.hpp"
 #include "obs/metrics.hpp"
 #include "obs/replica_metrics.hpp"
+#include "obs/tracing/tracing.hpp"
 
 namespace prog::consensus {
 
@@ -227,6 +228,15 @@ class ReplicatedDb {
   const RecoveryOptions& recovery_options() const noexcept { return opts_; }
 
  private:
+  /// Head sampling for causal tracing (DESIGN.md §11): batch `seq` is traced
+  /// iff the engine config samples every Nth batch and the flight recorder
+  /// is recording. Pure — every replica (and the client side) decides the
+  /// same way for the same agreed sequence number.
+  bool trace_sampled(std::uint64_t seq) const noexcept {
+    const unsigned n = config_.trace_sample_n;
+    return n != 0 && obs::tracing::enabled() && seq % n == 0;
+  }
+
   void apply(NodeId node, LogIndex idx, Command cmd);
   void on_install(NodeId follower, NodeId leader, LogIndex upto);
   void take_checkpoint(NodeId node, LogIndex idx);

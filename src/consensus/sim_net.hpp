@@ -16,6 +16,7 @@
 
 #include "common/check.hpp"
 #include "common/rng.hpp"
+#include "obs/tracing/tracing.hpp"
 
 namespace prog::consensus {
 
@@ -50,17 +51,43 @@ class SimNet {
 
   /// Schedules `fn` as a network message from `from` to `to`: subject to
   /// random delay, drops, crashes and partitions — all at *delivery* time.
+  ///
+  /// Trace context propagation (DESIGN.md §11): the sender's TraceContext is
+  /// captured into the message "header" here and restored around delivery,
+  /// so a raft handler runs under the context of the batch whose submission
+  /// caused the message — causality crosses the (simulated) wire exactly
+  /// like a real tracing header would. Sampled messages additionally record
+  /// kMsgSend/kMsgRecv spans, which the validator pairs into flow edges.
   void send(NodeId from, NodeId to, std::function<void()> fn) {
     const SimTime delay =
         static_cast<SimTime>(rng_.uniform(
             static_cast<std::int64_t>(opts_.min_delay_ms),
             static_cast<std::int64_t>(opts_.max_delay_ms)));
-    queue_.push({now_ + delay, seq_++, [this, from, to, fn = std::move(fn)] {
-                   if (!can_deliver(from, to)) return;
-                   const unsigned pct = drop_percent_at(now_);
-                   if (pct > 0 && rng_.percent(pct)) return;
-                   fn();
-                 }});
+    const obs::tracing::TraceContext ctx = obs::tracing::current();
+    if (ctx.sampled && obs::tracing::enabled()) {
+      obs::tracing::SpanEvent ev;
+      ev.kind = obs::tracing::SpanKind::kMsgSend;
+      ev.batch_seq = ctx.batch_seq;
+      ev.replica = from;
+      ev.peer = static_cast<std::uint16_t>(to);
+      obs::tracing::emit(ev);
+    }
+    queue_.push(
+        {now_ + delay, seq_++, [this, from, to, ctx, fn = std::move(fn)] {
+           if (!can_deliver(from, to)) return;
+           const unsigned pct = drop_percent_at(now_);
+           if (pct > 0 && rng_.percent(pct)) return;
+           obs::tracing::ScopedContext sc(ctx);
+           if (ctx.sampled && obs::tracing::enabled()) {
+             obs::tracing::SpanEvent ev;
+             ev.kind = obs::tracing::SpanKind::kMsgRecv;
+             ev.batch_seq = ctx.batch_seq;
+             ev.replica = to;
+             ev.peer = static_cast<std::uint16_t>(from);
+             obs::tracing::emit(ev);
+           }
+           fn();
+         }});
   }
 
   /// Runs all events with time <= until.

@@ -6,7 +6,9 @@
 #include <map>
 #include <sstream>
 
+#include "common/stopwatch.hpp"
 #include "dur/crc32c.hpp"
+#include "obs/tracing/tracing.hpp"
 
 namespace prog::dur {
 
@@ -115,11 +117,26 @@ void DurableReplicaStorage::append_batch(const WalRecord& rec) {
   const std::string& path = tail_->path();
   std::uint64_t pre = 0;
   try {
+    // Causal tracing: one kWalFsync span per group-commit barrier, under
+    // whatever context the apply path installed (the batch being persisted).
+    const bool traced = obs::tracing::enabled() &&
+                        obs::tracing::current().sampled;
+    Stopwatch sw;
     pre = tail_->size();
     const std::size_t n = tail_->append(rec);
     if (opts_.wal_fsync) {
       tail_->sync();
       if (m_ != nullptr) m_->wal_fsyncs->inc();
+    }
+    if (traced) {
+      const obs::tracing::TraceContext& tctx = obs::tracing::current();
+      obs::tracing::SpanEvent ev;
+      ev.kind = obs::tracing::SpanKind::kWalFsync;
+      ev.batch_seq = tctx.batch_seq;
+      ev.replica = tctx.replica;
+      ev.dur_us = sw.elapsed_micros();
+      ev.arg = n;
+      obs::tracing::emit(ev);
     }
     if (m_ != nullptr) {
       m_->wal_bytes->inc(n);
@@ -292,7 +309,16 @@ DurableReplicaStorage::Recovered DurableReplicaStorage::recover() {
     const std::string qpath =
         dir_ + "/quarantine-" + std::to_string(quarantine_n_) + ".bad";
     std::vector<WalRecord> recs = scan_wal(vfs_, wal_path(start), qpath, &st);
-    if (st.records_quarantined > 0) ++quarantine_n_;
+    if (st.records_quarantined > 0) {
+      ++quarantine_n_;
+      if (obs::tracing::enabled()) {
+        obs::tracing::trigger(
+            obs::tracing::Anomaly::kWalQuarantine,
+            std::to_string(st.records_quarantined) +
+                " corrupt WAL record(s) quarantined to " + qpath +
+                " during recovery of " + dir_);
+      }
+    }
     if (m_ != nullptr) {
       m_->torn_tails_truncated->inc(st.torn_tail_truncated);
       m_->records_quarantined->inc(st.records_quarantined);

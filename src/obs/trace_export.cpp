@@ -24,6 +24,23 @@ void ChromeTraceWriter::event(const std::string& name, unsigned tid,
   events_.push_back(std::move(e));
 }
 
+void ChromeTraceWriter::flow(unsigned from_tid, std::int64_t from_ts,
+                             unsigned to_tid, std::int64_t to_ts) {
+  const std::string id = std::to_string(flow_id_++);
+  // "s" anchors at the predecessor's end, "f" (with "bp":"e" so the arrow
+  // binds to the enclosing slice) at the successor's start.
+  events_.push_back("{\"name\":\"grant\",\"cat\":\"dep\",\"ph\":\"s\","
+                    "\"pid\":1,\"tid\":" +
+                    std::to_string(from_tid) +
+                    ",\"ts\":" + std::to_string(from_ts) + ",\"id\":" + id +
+                    "}");
+  events_.push_back("{\"name\":\"grant\",\"cat\":\"dep\",\"ph\":\"f\","
+                    "\"bp\":\"e\",\"pid\":1,\"tid\":" +
+                    std::to_string(to_tid) +
+                    ",\"ts\":" + std::to_string(to_ts) + ",\"id\":" + id +
+                    "}");
+}
+
 void ChromeTraceWriter::add_batch(const sched::BatchTrace& trace,
                                   std::uint64_t batch_id) {
   const std::int64_t t0 = cursor_us_;
@@ -62,7 +79,8 @@ void ChromeTraceWriter::add_batch(const sched::BatchTrace& trace,
   }
   for (std::uint16_t r = 0; r <= max_round; ++r) {
     std::fill(avail.begin(), avail.end(), t);
-    std::unordered_map<sched::TxIdx, std::int64_t> finish;
+    // tx -> (finish time, worker track): the track feeds the flow arrows.
+    std::unordered_map<sched::TxIdx, std::pair<std::int64_t, unsigned>> finish;
     bool any = false;
     for (const sched::TraceAttempt& a : trace.attempts) {
       if (a.rot || a.round != r) continue;
@@ -70,7 +88,7 @@ void ChromeTraceWriter::add_batch(const sched::BatchTrace& trace,
       std::int64_t ready = t;
       for (sched::TxIdx p : a.preds) {
         auto it = finish.find(p);
-        if (it != finish.end()) ready = std::max(ready, it->second);
+        if (it != finish.end()) ready = std::max(ready, it->second.first);
       }
       unsigned best = 1;
       for (unsigned w = 2; w <= workers_; ++w) {
@@ -83,9 +101,15 @@ void ChromeTraceWriter::add_batch(const sched::BatchTrace& trace,
             "{\"tx\":" + std::to_string(a.tx) +
                 ",\"round\":" + std::to_string(r) + ",\"outcome\":\"" + cls +
                 "\"}");
+      for (sched::TxIdx p : a.preds) {
+        auto it = finish.find(p);
+        if (it != finish.end()) {
+          flow(it->second.second, it->second.first, best, start);
+        }
+      }
       const std::int64_t end = start + std::max<std::int64_t>(a.service_us, 1);
       avail[best] = end;
-      finish[a.tx] = end;
+      finish[a.tx] = {end, best};
     }
     if (!any) continue;
     std::int64_t round_end = t;

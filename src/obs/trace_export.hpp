@@ -14,6 +14,11 @@
 // The placement is a *reconstruction* for visualization — service times are
 // measured, start times are modeled — which is exactly what makes the trace
 // machine-independent: the same recorded trace renders identically anywhere.
+//
+// Lock-table dependency edges additionally render as Perfetto flow events
+// ("s"/"f" arrows): each attempt draws an arrow from every predecessor that
+// blocked it in its round, so grant cascades are visible as arrow chains
+// across worker tracks.
 #pragma once
 
 #include <cstdint>
@@ -42,10 +47,15 @@ class ChromeTraceWriter {
  private:
   void event(const std::string& name, unsigned tid, std::int64_t ts_us,
              std::int64_t dur_us, const std::string& args_json);
+  /// One "s"→"f" flow-event pair: an arrow from (from_tid, from_ts) to
+  /// (to_tid, to_ts), binding a lock-table dependency edge across tracks.
+  void flow(unsigned from_tid, std::int64_t from_ts, unsigned to_tid,
+            std::int64_t to_ts);
 
   unsigned workers_;
   std::int64_t cursor_us_ = 0;
   std::size_t batches_ = 0;
+  std::uint64_t flow_id_ = 1;
   std::vector<std::string> events_;
 };
 

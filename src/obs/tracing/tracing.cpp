@@ -1,0 +1,433 @@
+#include "obs/tracing/tracing.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <map>
+#include <sstream>
+#include <tuple>
+#include <unordered_map>
+
+namespace prog::obs::tracing {
+
+const char* to_string(SpanKind k) noexcept {
+  switch (k) {
+    case SpanKind::kSubmit: return "submit";
+    case SpanKind::kMsgSend: return "msg_send";
+    case SpanKind::kMsgRecv: return "msg_recv";
+    case SpanKind::kAgree: return "agree";
+    case SpanKind::kPredict: return "predict";
+    case SpanKind::kEnqueue: return "enqueue";
+    case SpanKind::kExecute: return "execute";
+    case SpanKind::kAbort: return "abort";
+    case SpanKind::kMfRound: return "mf_round";
+    case SpanKind::kSfTail: return "sf_tail";
+    case SpanKind::kWalFsync: return "wal_fsync";
+    case SpanKind::kBatchDone: return "batch_done";
+    case SpanKind::kAnomaly: return "anomaly";
+  }
+  return "?";
+}
+
+const char* to_string(Anomaly a) noexcept {
+  switch (a) {
+    case Anomaly::kNone: return "none";
+    case Anomaly::kDivergence: return "divergence";
+    case Anomaly::kWalQuarantine: return "wal_quarantine";
+    case Anomaly::kSfFallback: return "sf_fallback";
+    case Anomaly::kRecovery: return "recovery";
+    case Anomaly::kFuzzMismatch: return "fuzz_mismatch";
+  }
+  return "?";
+}
+
+// --- trace context ----------------------------------------------------------
+
+namespace {
+thread_local TraceContext t_ctx;
+}
+
+const TraceContext& current() noexcept { return t_ctx; }
+void set_current(const TraceContext& ctx) noexcept { t_ctx = ctx; }
+
+// --- flight recorder --------------------------------------------------------
+
+// Single-writer ring. The owning thread stores the event, then publishes the
+// new head with release so a snapshotting thread's acquire load sees fully
+// written events. Eviction is implicit: slot (head % capacity) is
+// overwritten; a racing snapshot may read a torn *oldest* event, which is
+// filtered out by the seq-window check below.
+struct FlightRecorder::Lane {
+  explicit Lane(std::size_t capacity)
+      : mask(capacity - 1), slots(capacity) {}
+
+  const std::size_t mask;
+  std::vector<SpanEvent> slots;
+  std::atomic<std::uint64_t> head{0};  // events ever written to this lane
+  std::atomic<std::uint64_t> owner{0};  // debug: thread registration marker
+};
+
+FlightRecorder& FlightRecorder::instance() {
+  static FlightRecorder rec;
+  return rec;
+}
+
+std::int64_t FlightRecorder::now_us() const noexcept {
+  const auto now = std::chrono::steady_clock::now().time_since_epoch();
+  return (std::chrono::duration_cast<std::chrono::nanoseconds>(now).count() -
+          epoch_ns_) /
+         1000;
+}
+
+namespace {
+std::size_t round_up_pow2(std::size_t n) {
+  std::size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+// Thread → lane assignment. A plain thread_local index into the recorder's
+// lane table; re-enabling the recorder bumps the epoch so stale assignments
+// re-register against the new table.
+thread_local std::size_t t_lane = SIZE_MAX;
+thread_local std::uint64_t t_lane_epoch = 0;
+std::atomic<std::uint64_t> g_lane_epoch{1};
+}  // namespace
+
+void FlightRecorder::enable(const Options& opts) {
+  disable();
+  opts_ = opts;
+  opts_.lanes = std::max<std::size_t>(1, opts_.lanes);
+  opts_.lane_capacity = round_up_pow2(std::max<std::size_t>(8, opts_.lane_capacity));
+  opts_.dump_max_events = std::max<std::size_t>(16, opts_.dump_max_events);
+  lanes_.clear();
+  lanes_.reserve(opts_.lanes);
+  for (std::size_t i = 0; i < opts_.lanes; ++i) {
+    lanes_.push_back(std::make_unique<Lane>(opts_.lane_capacity));
+  }
+  next_lane_.store(0, std::memory_order_relaxed);
+  next_seq_.store(1, std::memory_order_relaxed);
+  anomalies_.store(0, std::memory_order_relaxed);
+  epoch_ns_ = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                  std::chrono::steady_clock::now().time_since_epoch())
+                  .count();
+  g_lane_epoch.fetch_add(1, std::memory_order_relaxed);
+  detail::g_enabled.store(true, std::memory_order_release);
+}
+
+void FlightRecorder::disable() {
+  detail::g_enabled.store(false, std::memory_order_release);
+}
+
+FlightRecorder::Lane* FlightRecorder::lane_for_this_thread() noexcept {
+  const std::uint64_t epoch = g_lane_epoch.load(std::memory_order_relaxed);
+  if (t_lane_epoch != epoch) {
+    t_lane_epoch = epoch;
+    t_lane = next_lane_.fetch_add(1, std::memory_order_relaxed);
+  }
+  if (t_lane >= lanes_.size()) return nullptr;  // lane table full: drop
+  return lanes_[t_lane].get();
+}
+
+void FlightRecorder::emit(SpanEvent ev) noexcept {
+  if (!enabled()) return;
+  Lane* lane = lane_for_this_thread();
+  if (lane == nullptr) return;
+  ev.seq = next_seq_.fetch_add(1, std::memory_order_relaxed);
+  ev.lane = static_cast<std::uint16_t>(t_lane);
+  if (ev.ts_us == 0) ev.ts_us = now_us() - ev.dur_us;  // span start
+  const std::uint64_t h = lane->head.load(std::memory_order_relaxed);
+  lane->slots[h & lane->mask] = ev;
+  lane->head.store(h + 1, std::memory_order_release);
+}
+
+std::vector<SpanEvent> FlightRecorder::snapshot() const {
+  std::vector<SpanEvent> out;
+  for (const auto& lane : lanes_) {
+    const std::uint64_t head = lane->head.load(std::memory_order_acquire);
+    const std::uint64_t cap = lane->mask + 1;
+    const std::uint64_t n = std::min<std::uint64_t>(head, cap);
+    for (std::uint64_t i = head - n; i < head; ++i) {
+      out.push_back(lane->slots[i & lane->mask]);
+    }
+  }
+  // A concurrently-overwritten oldest slot can surface a newer event than the
+  // head we read, or a half-written one with seq 0; both fall outside the
+  // per-lane seq window implied by the merge order, and sorting + dropping
+  // seq 0 keeps the merged view consistent.
+  out.erase(std::remove_if(out.begin(), out.end(),
+                           [](const SpanEvent& e) { return e.seq == 0; }),
+            out.end());
+  std::sort(out.begin(), out.end(),
+            [](const SpanEvent& a, const SpanEvent& b) { return a.seq < b.seq; });
+  return out;
+}
+
+void FlightRecorder::clear() {
+  for (auto& lane : lanes_) {
+    lane->head.store(0, std::memory_order_release);
+  }
+}
+
+void FlightRecorder::set_dump_handler(DumpHandler handler) {
+  handler_ = std::move(handler);
+}
+
+void FlightRecorder::trigger(Anomaly a, const std::string& detail) {
+  if (!enabled()) return;
+  anomalies_.fetch_add(1, std::memory_order_relaxed);
+  SpanEvent ev;
+  ev.kind = SpanKind::kAnomaly;
+  ev.anomaly = a;
+  const TraceContext& ctx = current();
+  ev.batch_seq = ctx.batch_seq;
+  ev.replica = ctx.replica;
+  emit(ev);
+  if (!handler_) return;
+  AnomalyDump dump;
+  dump.anomaly = a;
+  dump.detail = detail;
+  dump.events = snapshot();
+  if (dump.events.size() > opts_.dump_max_events) {
+    dump.events.erase(dump.events.begin(),
+                      dump.events.end() - opts_.dump_max_events);
+  }
+  dump.text = "anomaly: " + std::string(to_string(a)) + " — " + detail + "\n" +
+              format_text(dump.events);
+  dump.perfetto_json = to_perfetto_json(dump.events);
+  handler_(dump);
+}
+
+// --- renderings -------------------------------------------------------------
+
+namespace {
+
+std::string id_str(const SpanEvent& e) {
+  std::ostringstream os;
+  os << "(r=";
+  if (e.replica == kNoReplica) {
+    os << "-";
+  } else {
+    os << e.replica;
+  }
+  os << ",b=" << e.batch_seq;
+  if (e.slot != kBatchSlot) os << ",s=" << e.slot;
+  os << ")";
+  return os.str();
+}
+
+}  // namespace
+
+std::string format_text(const std::vector<SpanEvent>& events) {
+  std::ostringstream os;
+  for (const SpanEvent& e : events) {
+    os << "#" << e.seq << " t=" << e.ts_us << "us " << to_string(e.kind) << " "
+       << id_str(e);
+    if (e.dur_us > 0) os << " dur=" << e.dur_us << "us";
+    if (e.kind == SpanKind::kMsgSend) os << " to=" << e.peer;
+    if (e.kind == SpanKind::kMsgRecv) os << " from=" << e.peer;
+    if (e.round != 0) os << " round=" << e.round;
+    if (e.arg != 0) os << " arg=" << e.arg;
+    if (e.kind == SpanKind::kAnomaly) os << " !" << to_string(e.anomaly);
+    os << "\n";
+  }
+  return os.str();
+}
+
+namespace {
+
+void json_escape_into(std::ostringstream& os, const std::string& s) {
+  for (char c : s) {
+    if (c == '"' || c == '\\') {
+      os << '\\' << c;
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      os << ' ';
+    } else {
+      os << c;
+    }
+  }
+}
+
+// pid layout for Perfetto: 0 = client/standalone, replica r = r+1.
+std::uint32_t pid_of(const SpanEvent& e) {
+  return e.replica == kNoReplica ? 0u : e.replica + 1;
+}
+
+void emit_event_common(std::ostringstream& os, const SpanEvent& e,
+                       const char* ph, std::int64_t ts) {
+  os << "{\"name\":\"" << to_string(e.kind);
+  if (e.kind == SpanKind::kAnomaly) os << ":" << to_string(e.anomaly);
+  os << "\",\"cat\":\"trace\",\"ph\":\"" << ph << "\",\"pid\":" << pid_of(e)
+     << ",\"tid\":" << e.lane << ",\"ts\":" << ts;
+}
+
+void emit_args(std::ostringstream& os, const SpanEvent& e) {
+  os << ",\"args\":{\"batch\":" << e.batch_seq << ",\"seq\":" << e.seq;
+  if (e.slot != kBatchSlot) os << ",\"slot\":" << e.slot;
+  if (e.round != 0) os << ",\"round\":" << e.round;
+  if (e.arg != 0) os << ",\"arg\":" << e.arg;
+  if (e.kind == SpanKind::kMsgSend || e.kind == SpanKind::kMsgRecv) {
+    os << ",\"peer\":" << e.peer;
+  }
+  os << "}";
+}
+
+}  // namespace
+
+std::string to_perfetto_json(const std::vector<SpanEvent>& events) {
+  std::ostringstream os;
+  os << "{\"traceEvents\":[\n";
+  bool first = true;
+  auto sep = [&] {
+    if (!first) os << ",\n";
+    first = false;
+  };
+
+  // Process names: one per replica seen, plus the client process.
+  std::map<std::uint32_t, std::string> procs;
+  for (const SpanEvent& e : events) {
+    const std::uint32_t pid = pid_of(e);
+    if (procs.count(pid)) continue;
+    procs[pid] = pid == 0 ? "client" : "replica " + std::to_string(pid - 1);
+  }
+  for (const auto& [pid, name] : procs) {
+    sep();
+    os << "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":" << pid
+       << ",\"tid\":0,\"args\":{\"name\":\"";
+    json_escape_into(os, name);
+    os << "\"}}";
+  }
+
+  // Duration/instant events.
+  for (const SpanEvent& e : events) {
+    sep();
+    if (e.dur_us > 0) {
+      emit_event_common(os, e, "X", e.ts_us);
+      os << ",\"dur\":" << e.dur_us;
+    } else {
+      emit_event_common(os, e, "i", e.ts_us);
+      os << ",\"s\":\"t\"";
+    }
+    emit_args(os, e);
+    os << "}";
+  }
+
+  // Flow events: arrows binding the cross-thread/cross-replica chain.
+  //   1. kMsgSend → kMsgRecv, matched by (batch, from, to) in seq order;
+  //   2. kSubmit → each replica's kAgree for the same batch.
+  std::uint64_t flow_id = 1;
+  auto flow = [&](const SpanEvent& a, const SpanEvent& b, std::uint64_t id) {
+    sep();
+    os << "{\"name\":\"flow\",\"cat\":\"trace\",\"ph\":\"s\",\"pid\":"
+       << pid_of(a) << ",\"tid\":" << a.lane << ",\"ts\":"
+       << a.ts_us + a.dur_us << ",\"id\":" << id << "}";
+    sep();
+    os << "{\"name\":\"flow\",\"cat\":\"trace\",\"ph\":\"f\",\"bp\":\"e\","
+       << "\"pid\":" << pid_of(b) << ",\"tid\":" << b.lane
+       << ",\"ts\":" << b.ts_us << ",\"id\":" << id << "}";
+  };
+
+  // msg_send → msg_recv pairing: key (batch, from, to); FIFO per key (SimNet
+  // delivery within one (from, to) pair preserves send order).
+  std::map<std::tuple<std::uint64_t, std::uint32_t, std::uint32_t>,
+           std::vector<const SpanEvent*>>
+      pending;
+  for (const SpanEvent& e : events) {
+    if (e.kind == SpanKind::kMsgSend) {
+      pending[{e.batch_seq, e.replica, e.peer}].push_back(&e);
+    } else if (e.kind == SpanKind::kMsgRecv) {
+      auto it = pending.find({e.batch_seq, e.peer, e.replica});
+      if (it != pending.end() && !it->second.empty()) {
+        flow(*it->second.front(), e, flow_id++);
+        it->second.erase(it->second.begin());
+      }
+    }
+  }
+
+  // submit → agree chains.
+  std::unordered_map<std::uint64_t, const SpanEvent*> submits;
+  for (const SpanEvent& e : events) {
+    if (e.kind == SpanKind::kSubmit) submits[e.batch_seq] = &e;
+  }
+  for (const SpanEvent& e : events) {
+    if (e.kind != SpanKind::kAgree) continue;
+    auto it = submits.find(e.batch_seq);
+    if (it != submits.end()) flow(*it->second, e, flow_id++);
+  }
+
+  os << "\n]}\n";
+  return os.str();
+}
+
+std::string format_span_tree(const std::vector<SpanEvent>& events,
+                             std::uint64_t batch_seq) {
+  std::vector<const SpanEvent*> batch;
+  for (const SpanEvent& e : events) {
+    if (e.batch_seq == batch_seq) batch.push_back(&e);
+  }
+  if (batch.empty()) return "";
+  std::ostringstream os;
+  os << "batch " << batch_seq << " — " << batch.size() << " events\n";
+
+  // Client-side root (submit + message traffic emitted under kNoReplica).
+  const SpanEvent* submit = nullptr;
+  for (const SpanEvent* e : batch) {
+    if (e->kind == SpanKind::kSubmit) submit = e;
+  }
+  if (submit != nullptr) {
+    os << "└ submit  seq#" << submit->seq << "  t=" << submit->ts_us << "us\n";
+  }
+
+  // Group by replica, preserving causal (seq) order inside each group.
+  std::map<std::uint32_t, std::vector<const SpanEvent*>> per_replica;
+  for (const SpanEvent* e : batch) {
+    if (e->replica == kNoReplica) continue;
+    per_replica[e->replica].push_back(e);
+  }
+  for (const auto& [replica, evs] : per_replica) {
+    // Phase rollups for the summary line.
+    std::int64_t predict_us = 0, exec_us = 0, enqueue_us = 0, mf_us = 0,
+                 sf_us = 0, wal_us = 0;
+    std::uint64_t execs = 0, aborts = 0, msgs = 0;
+    std::uint16_t rounds = 0;
+    for (const SpanEvent* e : evs) {
+      switch (e->kind) {
+        case SpanKind::kPredict: predict_us += e->dur_us; break;
+        case SpanKind::kEnqueue: enqueue_us += e->dur_us; break;
+        case SpanKind::kExecute: exec_us += e->dur_us; ++execs; break;
+        case SpanKind::kAbort: ++aborts; break;
+        case SpanKind::kMfRound:
+          mf_us += e->dur_us;
+          rounds = std::max(rounds, e->round);
+          break;
+        case SpanKind::kSfTail: sf_us += e->dur_us; break;
+        case SpanKind::kWalFsync: wal_us += e->dur_us; break;
+        case SpanKind::kMsgSend:
+        case SpanKind::kMsgRecv: ++msgs; break;
+        default: break;
+      }
+    }
+    os << "└ replica " << replica << "  (" << evs.size() << " events, "
+       << msgs << " msgs)\n";
+    for (const SpanEvent* e : evs) {
+      // Per-tx spans are summarised in the rollup, not listed one-per-line;
+      // phase and anomaly spans print individually.
+      if (e->kind == SpanKind::kPredict || e->kind == SpanKind::kExecute ||
+          e->kind == SpanKind::kAbort || e->kind == SpanKind::kMsgSend ||
+          e->kind == SpanKind::kMsgRecv) {
+        continue;
+      }
+      os << "  ├ " << to_string(e->kind);
+      if (e->dur_us > 0) os << "  " << e->dur_us << "us";
+      if (e->round != 0) os << "  round=" << e->round;
+      if (e->arg != 0) os << "  arg=" << e->arg;
+      if (e->kind == SpanKind::kAnomaly) os << "  !" << to_string(e->anomaly);
+      os << "  seq#" << e->seq << "\n";
+    }
+    os << "  └ phases: predict=" << predict_us << "us enqueue=" << enqueue_us
+       << "us exec=" << exec_us << "us (" << execs << " commits, " << aborts
+       << " aborts) mf=" << mf_us << "us (" << rounds
+       << " rounds) sf=" << sf_us << "us wal_fsync=" << wal_us << "us\n";
+  }
+  return os.str();
+}
+
+}  // namespace prog::obs::tracing

@@ -1,0 +1,230 @@
+// End-to-end causal transaction tracing + anomaly flight recorder
+// (DESIGN.md §11).
+//
+// A traced batch gets a *deterministic* identity — (replica, batch_seq,
+// slot) — so the same span names the same work on every replica and on
+// every re-run from the same seed. Spans follow a batch end-to-end:
+//
+//   client submit → raft agreement (context rides the SimNet message
+//   closures) → scheduler phases (predict, lock grant, execute, MF rounds,
+//   SF tail) → WAL group-commit fsync → batch done
+//
+// Recording is head-sampled (EngineConfig::trace_sample_n: every Nth batch)
+// into the process-wide FlightRecorder: one lock-free single-writer ring
+// per thread, continuously overwriting the oldest events. When an anomaly
+// fires (divergence quarantine, WAL record quarantine, SF fallback,
+// recovery, crash-fuzz mismatch) the recorder snapshots the recent rings
+// into a bounded dump — human-readable text plus a Perfetto-loadable
+// trace_event JSON with flow events binding the cross-replica chain.
+//
+// Cost model: when disabled (or the batch is unsampled) every site is a
+// single predictable branch. When sampled, an emit is one relaxed
+// fetch_add (the global causal stamp) plus a store into the thread's ring.
+// Memory is bounded at configure() time: lanes × capacity × sizeof(SpanEvent).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+namespace prog::obs::tracing {
+
+/// Sentinel replica id: client-side / standalone (no consensus context).
+inline constexpr std::uint32_t kNoReplica = 0xFFFFFFFFu;
+/// Sentinel slot id: the span describes the batch, not one transaction.
+inline constexpr std::uint32_t kBatchSlot = 0xFFFFFFFFu;
+
+enum class SpanKind : std::uint8_t {
+  kSubmit,    // client handed the batch to the consensus layer
+  kMsgSend,   // SimNet message left `replica` for `peer` carrying the trace
+  kMsgRecv,   // SimNet message from `peer` delivered at `replica`
+  kAgree,     // replica applies the agreed batch (raft apply callback)
+  kPredict,   // per-tx key-set prediction (slot = tx index)
+  kEnqueue,   // lock-table population of one round (arg = entries granted)
+  kExecute,   // per-tx committed execution attempt (arg = tx class)
+  kAbort,     // per-tx failed execution attempt (validation abort)
+  kMfRound,   // one parallel re-execution round (round = which)
+  kSfTail,    // serial SF tail (arg = transactions finished serially)
+  kWalFsync,  // WAL append + group-commit fsync barrier (arg = bytes)
+  kBatchDone, // batch finished at this replica (arg = committed count)
+  kAnomaly,   // anomaly marker (see Anomaly)
+};
+
+const char* to_string(SpanKind k) noexcept;
+
+enum class Anomaly : std::uint8_t {
+  kNone,
+  kDivergence,     // state-hash divergence quarantine (replicated_db)
+  kWalQuarantine,  // corrupt WAL suffix quarantined at recovery (dur)
+  kSfFallback,     // MF round cap hit; stragglers finished on the SF path
+  kRecovery,       // replica restart recovered from durable state
+  kFuzzMismatch,   // crash-fuzz witness hash mismatch (recovery_fuzz)
+};
+
+const char* to_string(Anomaly a) noexcept;
+
+/// One recorded span/event. POD: rings copy these around freely.
+struct SpanEvent {
+  std::uint64_t seq = 0;        ///< global causal stamp (assigned by emit)
+  std::uint64_t batch_seq = 0;  ///< trace id: agreed batch sequence
+  std::uint64_t arg = 0;        ///< kind-specific payload (bytes, count, ...)
+  std::int64_t ts_us = 0;       ///< span start, recorder-epoch microseconds
+  std::int64_t dur_us = 0;      ///< span duration (0 = instant event)
+  std::uint32_t replica = kNoReplica;  ///< trace id: replica
+  std::uint32_t slot = kBatchSlot;     ///< trace id: batch-local tx index
+  std::uint16_t peer = 0;   ///< kMsgSend/kMsgRecv: the other node
+  std::uint16_t round = 0;  ///< scheduler round the span belongs to
+  std::uint16_t lane = 0;   ///< recorder lane (thread) that emitted it
+  SpanKind kind = SpanKind::kSubmit;
+  Anomaly anomaly = Anomaly::kNone;
+};
+static_assert(std::is_trivially_copyable_v<SpanEvent>);
+
+/// Trace context carried across layers (and across SimNet messages): which
+/// batch the current call stack works for, and whether it is sampled.
+/// Thread-local; the discrete-event simulator restores it around every
+/// delivered message so raft handlers inherit the sender's context.
+struct TraceContext {
+  std::uint64_t batch_seq = 0;
+  std::uint32_t replica = kNoReplica;
+  bool sampled = false;
+};
+
+const TraceContext& current() noexcept;
+void set_current(const TraceContext& ctx) noexcept;
+
+/// RAII: install `ctx`, restore the previous context on destruction.
+class ScopedContext {
+ public:
+  explicit ScopedContext(const TraceContext& ctx) : prev_(current()) {
+    set_current(ctx);
+  }
+  ~ScopedContext() { set_current(prev_); }
+  ScopedContext(const ScopedContext&) = delete;
+  ScopedContext& operator=(const ScopedContext&) = delete;
+
+ private:
+  TraceContext prev_;
+};
+
+namespace detail {
+inline std::atomic<bool> g_enabled{false};
+}
+
+/// One predictable branch: the whole tracing layer when recording is off.
+inline bool enabled() noexcept {
+  return detail::g_enabled.load(std::memory_order_relaxed);
+}
+
+/// A bounded anomaly dump handed to the installed handler.
+struct AnomalyDump {
+  Anomaly anomaly = Anomaly::kNone;
+  std::string detail;             ///< one-line trigger description
+  std::vector<SpanEvent> events;  ///< recent events, seq-ordered, bounded
+  std::string text;               ///< human-readable rendering
+  std::string perfetto_json;      ///< Chrome trace_event JSON (flow events)
+};
+
+/// Process-wide flight recorder. Lock-free per-thread rings; every thread
+/// that emits gets its own lane (single writer), snapshots merge the lanes.
+class FlightRecorder {
+ public:
+  struct Options {
+    /// Maximum distinct emitting threads; later threads drop their events.
+    std::size_t lanes = 32;
+    /// Events retained per lane (rounded up to a power of two).
+    std::size_t lane_capacity = 4096;
+    /// Newest events included in an anomaly dump.
+    std::size_t dump_max_events = 4096;
+  };
+
+  static FlightRecorder& instance();
+
+  /// (Re)configures ring geometry and starts recording. Must not race
+  /// concurrent emitters — call while the engines are quiesced.
+  void enable(const Options& opts);
+  void enable() { enable(Options{}); }
+  /// Stops recording (emit sites fall back to their single branch).
+  void disable();
+
+  /// Records one event: assigns the causal stamp, the lane and the start
+  /// timestamp (now − dur). No-op when disabled or the lane table is full.
+  void emit(SpanEvent ev) noexcept;
+
+  /// Merged view of every lane's retained events, ordered by causal stamp.
+  /// Concurrent emitters may overwrite the oldest retained events while the
+  /// copy runs; the newest events (the ones a dump is about) are stable.
+  std::vector<SpanEvent> snapshot() const;
+
+  /// Drops all retained events (keeps the configuration and enabled state).
+  void clear();
+
+  using DumpHandler = std::function<void(const AnomalyDump&)>;
+  /// Installs the anomaly sink (nullptr to remove). The handler runs on the
+  /// triggering thread; it must not emit.
+  void set_dump_handler(DumpHandler handler);
+
+  /// Fires an anomaly: records a kAnomaly event under the current context
+  /// and, when a handler is installed, snapshots the rings into a bounded
+  /// AnomalyDump and invokes it. Cheap when disabled (single branch).
+  void trigger(Anomaly a, const std::string& detail);
+
+  /// Anomalies fired since enable() (kAnomaly events may have been evicted
+  /// from the rings; this count is not).
+  std::uint64_t anomalies() const noexcept {
+    return anomalies_.load(std::memory_order_relaxed);
+  }
+
+  const Options& options() const noexcept { return opts_; }
+
+ private:
+  FlightRecorder() = default;
+
+  struct Lane;
+  Lane* lane_for_this_thread() noexcept;
+
+  Options opts_;
+  std::vector<std::unique_ptr<Lane>> lanes_;
+  std::atomic<std::size_t> next_lane_{0};
+  std::atomic<std::uint64_t> next_seq_{1};
+  std::atomic<std::uint64_t> anomalies_{0};
+  std::int64_t epoch_ns_ = 0;
+  DumpHandler handler_;
+
+  std::int64_t now_us() const noexcept;
+};
+
+/// Convenience: FlightRecorder::instance().emit(ev) behind the enabled()
+/// branch. The single call sites should use.
+inline void emit(SpanEvent ev) noexcept {
+  if (enabled()) FlightRecorder::instance().emit(ev);
+}
+
+/// Convenience: fire an anomaly through the global recorder.
+inline void trigger(Anomaly a, const std::string& detail) {
+  if (enabled()) FlightRecorder::instance().trigger(a, detail);
+}
+
+// --- renderings -------------------------------------------------------------
+
+/// Human-readable rendering: one line per event, seq-ordered, with the
+/// (replica, batch_seq, slot) trace id spelled out.
+std::string format_text(const std::vector<SpanEvent>& events);
+
+/// Chrome trace_event JSON loadable in https://ui.perfetto.dev: one process
+/// per replica, one thread per recorder lane, "X" spans for durations and
+/// flow events ("s"/"f") binding kMsgSend→kMsgRecv pairs and the
+/// submit→agree chain so the cross-replica causality renders as arrows.
+std::string to_perfetto_json(const std::vector<SpanEvent>& events);
+
+/// Span-tree rendering of one traced batch (progmon --trace-batch): the
+/// causal tree grouped per replica with per-phase durations and per-class
+/// attempt counts. Empty string when the batch has no recorded events.
+std::string format_span_tree(const std::vector<SpanEvent>& events,
+                             std::uint64_t batch_seq);
+
+}  // namespace prog::obs::tracing

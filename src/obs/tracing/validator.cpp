@@ -1,0 +1,198 @@
+#include "obs/tracing/validator.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <sstream>
+#include <tuple>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace prog::obs::tracing {
+
+namespace {
+
+std::string where(const SpanEvent& e) {
+  std::ostringstream os;
+  os << to_string(e.kind) << " seq#" << e.seq << " batch=" << e.batch_seq;
+  if (e.replica != kNoReplica) os << " replica=" << e.replica;
+  return os.str();
+}
+
+}  // namespace
+
+ValidateReport validate_spans(const std::vector<SpanEvent>& events,
+                              const ValidateOptions& opts) {
+  ValidateReport rep;
+  rep.events = events.size();
+  auto err = [&rep](const std::string& msg) { rep.errors.push_back(msg); };
+
+  // 1. causal stamps unique (and present).
+  std::unordered_set<std::uint64_t> seqs;
+  seqs.reserve(events.size());
+  for (const SpanEvent& e : events) {
+    if (e.seq == 0) {
+      err("event with unassigned seq 0: " + where(e));
+      continue;
+    }
+    if (!seqs.insert(e.seq).second) {
+      err("duplicate causal stamp: " + where(e));
+    }
+  }
+
+  // Index per batch, in causal order.
+  std::map<std::uint64_t, std::vector<const SpanEvent*>> by_batch;
+  std::vector<const SpanEvent*> ordered;
+  ordered.reserve(events.size());
+  for (const SpanEvent& e : events) ordered.push_back(&e);
+  std::sort(ordered.begin(), ordered.end(),
+            [](const SpanEvent* a, const SpanEvent* b) {
+              return a->seq < b->seq;
+            });
+  for (const SpanEvent* e : ordered) by_batch[e->batch_seq].push_back(e);
+  rep.batches = by_batch.size();
+
+  for (const auto& [batch, evs] : by_batch) {
+    // 2. one submit, before every agree.
+    const SpanEvent* submit = nullptr;
+    for (const SpanEvent* e : evs) {
+      if (e->kind != SpanKind::kSubmit) continue;
+      if (submit != nullptr) {
+        err("batch " + std::to_string(batch) + ": multiple submits (seq#" +
+            std::to_string(submit->seq) + ", seq#" + std::to_string(e->seq) +
+            ")");
+      }
+      submit = e;
+    }
+    for (const SpanEvent* e : evs) {
+      if (e->kind == SpanKind::kAgree && submit != nullptr &&
+          e->seq < submit->seq) {
+        err("batch " + std::to_string(batch) + ": agree before submit (" +
+            where(*e) + ")");
+      }
+    }
+
+    // 3. recv pairs with an earlier send, endpoints swapped, FIFO per pair.
+    std::map<std::pair<std::uint32_t, std::uint32_t>, std::size_t> sends;
+    std::map<std::pair<std::uint32_t, std::uint32_t>, std::size_t> recvs;
+    for (const SpanEvent* e : evs) {
+      if (e->kind == SpanKind::kMsgSend) {
+        ++sends[{e->replica, e->peer}];
+      } else if (e->kind == SpanKind::kMsgRecv) {
+        auto& sent = sends[{static_cast<std::uint32_t>(e->peer), e->replica}];
+        auto& got = recvs[{static_cast<std::uint32_t>(e->peer), e->replica}];
+        if (got >= sent) {
+          if (!opts.allow_partial) {
+            err("batch " + std::to_string(batch) +
+                ": recv without a prior matching send (" + where(*e) + ")");
+          }
+        } else {
+          ++got;
+          ++rep.flows;
+        }
+      }
+    }
+
+    // 4. per (batch, replica) phase order, 5. per-slot execution contract.
+    std::map<std::uint32_t, std::vector<const SpanEvent*>> per_replica;
+    for (const SpanEvent* e : evs) {
+      if (e->replica != kNoReplica) per_replica[e->replica].push_back(e);
+    }
+    std::vector<std::pair<std::uint64_t, std::uint32_t>> agreed;  // (seq, r)
+    for (const auto& [replica, revs] : per_replica) {
+      std::uint64_t agree_seq = 0, first_engine_seq = 0, wal_seq = 0,
+                    last_engine_seq = 0;
+      std::map<std::uint32_t, const SpanEvent*> commit_of_slot;
+      std::map<std::uint32_t, std::uint16_t> commit_round;
+      for (const SpanEvent* e : revs) {
+        switch (e->kind) {
+          case SpanKind::kAgree:
+            agree_seq = e->seq;
+            agreed.push_back({e->seq, replica});
+            break;
+          case SpanKind::kPredict:
+          case SpanKind::kEnqueue:
+          case SpanKind::kMfRound:
+          case SpanKind::kSfTail:
+            if (first_engine_seq == 0) first_engine_seq = e->seq;
+            last_engine_seq = e->seq;
+            break;
+          case SpanKind::kExecute: {
+            if (first_engine_seq == 0) first_engine_seq = e->seq;
+            last_engine_seq = e->seq;
+            if (e->slot == kBatchSlot) break;
+            auto [it, fresh] = commit_of_slot.insert({e->slot, e});
+            if (!fresh) {
+              err("batch " + std::to_string(batch) + " replica " +
+                  std::to_string(replica) + " slot " + std::to_string(e->slot) +
+                  ": committed twice (seq#" + std::to_string(it->second->seq) +
+                  ", seq#" + std::to_string(e->seq) + ")");
+            } else {
+              commit_round[e->slot] = e->round;
+            }
+            break;
+          }
+          case SpanKind::kAbort:
+            if (first_engine_seq == 0) first_engine_seq = e->seq;
+            last_engine_seq = e->seq;
+            break;
+          case SpanKind::kWalFsync:
+            wal_seq = e->seq;
+            break;
+          default:
+            break;
+        }
+      }
+      // Aborts must precede (be in an earlier-or-equal round than) the
+      // slot's commit — a commit is final.
+      for (const SpanEvent* e : revs) {
+        if (e->kind != SpanKind::kAbort || e->slot == kBatchSlot) continue;
+        auto it = commit_round.find(e->slot);
+        if (it != commit_round.end() && e->round > it->second) {
+          err("batch " + std::to_string(batch) + " replica " +
+              std::to_string(replica) + " slot " + std::to_string(e->slot) +
+              ": abort in round " + std::to_string(e->round) +
+              " after commit in round " + std::to_string(it->second));
+        }
+      }
+      if (agree_seq != 0 && first_engine_seq != 0 &&
+          first_engine_seq < agree_seq) {
+        err("batch " + std::to_string(batch) + " replica " +
+            std::to_string(replica) + ": engine span before agreement");
+      }
+      if (wal_seq != 0 && last_engine_seq != 0 && wal_seq < last_engine_seq) {
+        err("batch " + std::to_string(batch) + " replica " +
+            std::to_string(replica) + ": WAL fsync before the engine finished");
+      }
+    }
+
+    // 6. connectivity: replicas agreeing after the first must be reachable
+    // through recorded message traffic from an earlier-agreeing replica.
+    if (!opts.allow_partial && agreed.size() > 1) {
+      std::sort(agreed.begin(), agreed.end());
+      std::set<std::uint32_t> reached = {agreed.front().second};
+      for (std::size_t i = 1; i < agreed.size(); ++i) {
+        const std::uint32_t r = agreed[i].second;
+        bool linked = false;
+        for (const SpanEvent* e : evs) {
+          if (e->seq >= agreed[i].first) break;
+          if (e->kind == SpanKind::kMsgRecv && e->replica == r &&
+              reached.count(e->peer)) {
+            linked = true;
+            break;
+          }
+        }
+        if (!linked) {
+          err("batch " + std::to_string(batch) + ": replica " +
+              std::to_string(r) +
+              " agreed without recorded message traffic from an "
+              "earlier-agreeing replica");
+        }
+        reached.insert(r);
+      }
+    }
+  }
+  return rep;
+}
+
+}  // namespace prog::obs::tracing

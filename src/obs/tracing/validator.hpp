@@ -1,0 +1,47 @@
+// Span/flow-event validator: structural checks over a recorded span stream
+// (DESIGN.md §11.4). Used by the tracing tests, the chaos flight-recorder
+// test, and CI (`progmon --check-spans`).
+//
+// The checks encode the causal contract of the pipeline:
+//   * causal stamps are unique (the global fetch_add order is the ground
+//     truth the rest of the checks lean on);
+//   * per batch: at most one client submit, and it precedes every agreement;
+//   * every message receive pairs with an earlier send of the same batch
+//     with the endpoints swapped (unless allow_partial — anomaly dumps may
+//     have evicted the send);
+//   * per (batch, replica): agreement precedes the engine spans, which
+//     precede the WAL fsync (presence-conditional: standalone runs have no
+//     agreement, fsync-less configs no WAL span);
+//   * per (batch, replica, slot): at most one committed execution, and
+//     every abort happens in an earlier-or-equal round;
+//   * connectivity: each replica that agrees on a batch after the first must
+//     be reachable through recorded message traffic from a replica that
+//     agreed earlier — the "connected span tree" acceptance criterion.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/tracing/tracing.hpp"
+
+namespace prog::obs::tracing {
+
+struct ValidateOptions {
+  /// Tolerate missing counterparts (evicted ring events): skips the
+  /// recv-without-send and connectivity errors, keeps ordering checks.
+  bool allow_partial = false;
+};
+
+struct ValidateReport {
+  std::vector<std::string> errors;
+  std::uint64_t events = 0;
+  std::uint64_t batches = 0;   ///< distinct batch_seq values seen
+  std::uint64_t flows = 0;     ///< matched send→recv pairs
+  bool ok() const { return errors.empty(); }
+};
+
+ValidateReport validate_spans(const std::vector<SpanEvent>& events,
+                              const ValidateOptions& opts = {});
+
+}  // namespace prog::obs::tracing

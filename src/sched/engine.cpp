@@ -118,10 +118,6 @@ Engine::Engine(store::VersionedStore& store, std::vector<ProcEntry> procs,
     registry_ = std::make_shared<obs::Registry>();
     metrics_.emplace(obs::EngineMetrics::create(*registry_));
   }
-  if (config_.legacy_hot_path) {
-    legacy_lock_table_ = std::make_unique<LegacyLockTable>(
-        LegacyLockTable::Options{config_.shared_read_locks, 64});
-  }
   ready_slots_ = config_.workers + 1;  // slot 0 = queuer, i+1 = worker i
   ready_ = std::make_unique<WorkStealingDeque<TxIdx>[]>(ready_slots_);
   skip_tables_.resize(procs_.size());
@@ -212,21 +208,14 @@ void Engine::prepare_tx(TxIdx idx) {
                              : prep_snapshot_;
     recon_prediction(interp_, *s.entry->proc, s.req->input, store_, snap,
                      s.pred);
-  } else if (config_.legacy_hot_path) {
-    // Pre-overhaul prepare: one fresh heap-backed Prediction per transaction
-    // (the by-value predict() + shared_ptr container that predict_client
-    // still exposes), copied into the slot. Kept one release so the hot-path
-    // ablation (bench_hotpath) attributes the prediction-arena win honestly.
-    store::SnapshotView view(store_, prep_snapshot_);
-    auto p = std::make_shared<const sym::Prediction>(
-        s.entry->profile->predict(s.req->input, view));
-    s.pred = *p;
   } else {
     store::SnapshotView view(store_, prep_snapshot_);
     s.entry->profile->predict_into(s.req->input, view, s.pred);
   }
   const std::int64_t us = sw.elapsed_micros();
   ctr_all_prepare_us_.fetch_add(us, std::memory_order_relaxed);
+  span(obs::tracing::SpanKind::kPredict, idx, us, current_round_,
+       static_cast<std::uint64_t>(s.klass));
   if (s.klass == sym::TxClass::kDependent) {
     s.prepare_us = us;
     ctr_prepare_us_.fetch_add(us, std::memory_order_relaxed);
@@ -244,9 +233,7 @@ void Engine::execute_rot(TxIdx idx) {
   const TxnSlot& s = slots_[idx];
   Stopwatch sw;
   store::SnapshotView view(store_, batch_ - 1);
-  lang::ExecResult legacy_local;  // legacy: fresh result vectors per txn
-  lang::ExecResult& r =
-      config_.legacy_hot_path ? legacy_local : exec_scratch();
+  lang::ExecResult& r = exec_scratch();
   interp_.run_into(*s.entry->proc, s.req->input, view, r);
   capture_output(idx, std::move(r.emitted));
   if (config_.check_containment) {
@@ -260,6 +247,8 @@ void Engine::execute_rot(TxIdx idx) {
     }
   }
   ctr_committed_[0].fetch_add(1, std::memory_order_relaxed);
+  span(obs::tracing::SpanKind::kExecute, idx, sw.elapsed_micros(), 0,
+       /*arg=ROT class*/ 0);
   if (metrics_) {
     metrics_->txn_latency_us[0]->observe(sw.elapsed_micros());
   }
@@ -292,7 +281,7 @@ void Engine::enqueue_tx(TxIdx idx) {
     if (!needs_lock(key, s)) continue;
     const bool write = sorted_contains(s.pred.write_keys, key);
     TxIdx pred = idx;
-    if (lt_enqueue(idx, key, write, trace_ != nullptr ? &pred : nullptr)) {
+    if (lock_table_.enqueue(idx, key, write, trace_ != nullptr ? &pred : nullptr)) {
       ++granted_now;
     } else if (trace_ != nullptr && pred != idx) {
       s.trace_preds.push_back(pred);
@@ -314,7 +303,7 @@ void Engine::do_enqueue_partition(unsigned partition) {
       if (TKeyHash{}(key) % parts != partition) continue;
       const bool write = sorted_contains(s.pred.write_keys, key);
       TxIdx pred = idx;
-      if (lt_enqueue(idx, key, write, trace_ != nullptr ? &pred : nullptr)) {
+      if (lock_table_.enqueue(idx, key, write, trace_ != nullptr ? &pred : nullptr)) {
         if (s.locks_remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
           // Each participant owns exactly one deque (its partition index),
           // so this push is an owner push even though the phase is parallel.
@@ -365,7 +354,7 @@ void Engine::enqueue_all(const std::vector<TxIdx>& order) {
   // The lock table is drained here (between rounds): the arena table retires
   // the previous round's slots and resets its bump arena in O(1), and the
   // census may be rebuilt without changing any in-flight decision.
-  lt_begin_batch();
+  lock_table_.begin_batch();
   compute_conflict_census(order);
   if (!config_.parallel_enqueue) {
     for (TxIdx i : order) enqueue_tx(i);
@@ -386,6 +375,10 @@ void Engine::enqueue_all(const std::vector<TxIdx>& order) {
     enqueue_order_ = nullptr;
   }
   const std::int64_t us = sw.elapsed_micros();
+  if (span_live_) {
+    span(obs::tracing::SpanKind::kEnqueue, obs::tracing::kBatchSlot, us,
+         current_round_, lock_table_.entry_count());
+  }
   if (trace_ != nullptr) trace_->enqueue_us += us;
   if (metrics_) {
     // Sampled between phases: workers are parked, so entry_count() sees the
@@ -393,7 +386,7 @@ void Engine::enqueue_all(const std::vector<TxIdx>& order) {
     // entry_count() is the O(1) atomic counter — no shard scan (the gauge
     // regression test pins LockTable::Stats::shard_scans at zero here).
     metrics_->phase_enqueue_us->observe(us);
-    const auto entries = static_cast<std::int64_t>(lt_entry_count());
+    const auto entries = static_cast<std::int64_t>(lock_table_.entry_count());
     metrics_->lock_table_depth->set(entries);
     metrics_->ready_queue_depth->set(static_cast<std::int64_t>(ready_depth()));
     metrics_->locks_enqueued->observe(entries);
@@ -409,7 +402,7 @@ void Engine::release_locks(TxIdx idx, unsigned slot) {
   granted.clear();
   for (const TKey& key : s.pred.keys) {
     if (!needs_lock(key, s)) continue;
-    lt_release(idx, key, granted);
+    lock_table_.release(idx, key, granted);
   }
   for (TxIdx g : granted) {
     if (slots_[g].locks_remaining.fetch_sub(1, std::memory_order_acq_rel) ==
@@ -431,6 +424,8 @@ void Engine::execute_ready_tx(TxIdx idx, unsigned slot) {
                            !s.entry->profile->complete();
   auto fail = [&] {
     ctr_validation_aborts_[cls].fetch_add(1, std::memory_order_relaxed);
+    span(obs::tracing::SpanKind::kAbort, idx, sw.elapsed_micros(),
+         current_round_, cls);
     if (metrics_) {
       metrics_->txn_latency_us[cls]->observe(sw.elapsed_micros());
     }
@@ -466,9 +461,7 @@ void Engine::execute_ready_tx(TxIdx idx, unsigned slot) {
     }
   }
   store::LiveView live(store_);
-  lang::ExecResult legacy_local;  // legacy: fresh result vectors per txn
-  lang::ExecResult& r =
-      config_.legacy_hot_path ? legacy_local : exec_scratch();
+  lang::ExecResult& r = exec_scratch();
   interp_.run_into(*s.entry->proc, s.req->input, live, r);
   if (recon_style && s.klass == sym::TxClass::kDependent) {
     // OLLP rule: abort iff the execution stepped outside the locked set.
@@ -509,6 +502,8 @@ void Engine::execute_ready_tx(TxIdx idx, unsigned slot) {
     ctr_rolled_back_[cls].fetch_add(1, std::memory_order_relaxed);
   }
   ctr_committed_[cls].fetch_add(1, std::memory_order_relaxed);
+  span(obs::tracing::SpanKind::kExecute, idx, sw.elapsed_micros(),
+       current_round_, cls);
   if (metrics_) {
     metrics_->txn_latency_us[cls]->observe(sw.elapsed_micros());
   }
@@ -540,10 +535,8 @@ void Engine::do_exec(unsigned slot) {
     // hot spin loop would steal the core from the participant that actually
     // holds work on oversubscribed hosts, and a transaction that executes on
     // its grantor's deque never waits on a sleeper — thieves only add
-    // parallelism, so a capped nap delays ramp-up by at most 100us. The
-    // legacy hot path keeps the pre-overhaul discipline (unconditional
-    // yield-spin) so the ablation measures the idle policy too.
-    if (config_.legacy_hot_path || ++idle < 64) {
+    // parallelism, so a capped nap delays ramp-up by at most 100us.
+    if (++idle < 64) {
       std::this_thread::yield();
     } else {
       std::this_thread::sleep_for(
@@ -605,6 +598,8 @@ void Engine::handle_failed_sf(const std::vector<TxIdx>& failed,
       ctr_rolled_back_[cls].fetch_add(1, std::memory_order_relaxed);
     }
     ctr_committed_[cls].fetch_add(1, std::memory_order_relaxed);
+    span(obs::tracing::SpanKind::kExecute, idx, txsw.elapsed_micros(),
+         static_cast<std::uint16_t>(current_round_ + 1), cls);
     if (metrics_) metrics_->txn_latency_us[cls]->observe(txsw.elapsed_micros());
     if (config_.audit_commit_order) {
       std::scoped_lock lock(commit_mu_);
@@ -612,6 +607,8 @@ void Engine::handle_failed_sf(const std::vector<TxIdx>& failed,
     }
   }
   const std::int64_t us = sw.elapsed_micros();
+  span(obs::tracing::SpanKind::kSfTail, obs::tracing::kBatchSlot, us,
+       current_round_, failed.size());
   ctr_sf_us_.fetch_add(us, std::memory_order_relaxed);
   result.reexec_micros += us;
   result.reexecuted += failed.size();
@@ -652,6 +649,25 @@ BatchResult Engine::run_batch(std::vector<TxRequest> requests) {
   // it, rounds/sf_serial_us/attempts would accumulate across runs.
   if (trace_ != nullptr) trace_->clear();
 
+  // Causal tracing (DESIGN.md §11): a replication layer that set a
+  // TraceContext owns the batch identity and the sampling decision;
+  // standalone batches head-sample every trace_sample_n-th batch under
+  // their local id. Decided here, before any worker wakes, so every
+  // participant sees a consistent span identity for the whole batch.
+  {
+    const obs::tracing::TraceContext& tctx = obs::tracing::current();
+    if (tctx.batch_seq != 0) {
+      span_live_ = tctx.sampled && obs::tracing::enabled();
+      span_batch_seq_ = tctx.batch_seq;
+      span_replica_ = tctx.replica;
+    } else {
+      span_live_ = config_.trace_sample_n != 0 && obs::tracing::enabled() &&
+                   batch_ % config_.trace_sample_n == 0;
+      span_batch_seq_ = batch_;
+      span_replica_ = obs::tracing::kNoReplica;
+    }
+  }
+
   // Classify and distribute.
   std::size_t rot_rr = 0;
   for (TxIdx i = 0; i < requests_.size(); ++i) {
@@ -677,6 +693,8 @@ BatchResult Engine::run_batch(std::vector<TxRequest> requests) {
     }
     result.outputs = std::move(outputs_);
     result.wall_micros = wall.elapsed_micros();
+    span(obs::tracing::SpanKind::kBatchDone, obs::tracing::kBatchSlot,
+         result.wall_micros, current_round_, result.committed);
     finalize_stats(result);
     return result;
   }
@@ -747,6 +765,17 @@ BatchResult Engine::run_batch(std::vector<TxRequest> requests) {
       // on the SF path, which executes them in agreed order and cannot fail.
       // Deterministic: the round count is a pure function of the batch.
       result.sf_fallbacks += failed.size();
+      if (obs::tracing::enabled()) {
+        // Anomalies fire regardless of head sampling: the fallback is the
+        // event the flight recorder exists to explain.
+        obs::tracing::ScopedContext tsc(
+            {span_batch_seq_, span_replica_, span_live_});
+        obs::tracing::trigger(
+            obs::tracing::Anomaly::kSfFallback,
+            "mf round cap (" + std::to_string(config_.max_mf_rounds) +
+                ") hit in batch " + std::to_string(span_batch_seq_) + ": " +
+                std::to_string(failed.size()) + " txns finished serially");
+      }
       handle_failed_sf(failed, result);
       break;
     }
@@ -765,6 +794,8 @@ BatchResult Engine::run_batch(std::vector<TxRequest> requests) {
     enqueue_all(failed);
     run_phase(Phase::kExec, [&] { do_exec(0); });
     const std::int64_t round_us = sw.elapsed_micros();
+    span(obs::tracing::SpanKind::kMfRound, obs::tracing::kBatchSlot, round_us,
+         current_round_, failed.size());
     phase_us_[2] += round_us;
     result.reexec_micros += round_us;
     result.reexecuted += failed.size();
@@ -776,7 +807,7 @@ BatchResult Engine::run_batch(std::vector<TxRequest> requests) {
     std::sort(failed.begin(), failed.end());
   }
 
-  PROG_CHECK_MSG(lt_empty(),
+  PROG_CHECK_MSG(lock_table_.empty(),
                  "lock table must drain by the end of the batch");
 
   for (unsigned c = 0; c < 3; ++c) {
@@ -791,6 +822,8 @@ BatchResult Engine::run_batch(std::vector<TxRequest> requests) {
             [](const auto& a, const auto& b) { return a.first < b.first; });
   result.outputs = std::move(outputs_);
   result.wall_micros = wall.elapsed_micros();
+  span(obs::tracing::SpanKind::kBatchDone, obs::tracing::kBatchSlot,
+       result.wall_micros, current_round_, result.committed);
   if (trace_ != nullptr) {
     trace_->prepare_total_us = ctr_all_prepare_us_.load();
     // Everything the SF path ran serially: the SF mode's whole tail AND the

@@ -46,8 +46,8 @@
 #include "common/sync.hpp"
 #include "lang/interp.hpp"
 #include "obs/engine_metrics.hpp"
+#include "obs/tracing/tracing.hpp"
 #include "sched/lock_table.hpp"
-#include "sched/lock_table_legacy.hpp"
 #include "sched/trace.hpp"
 #include "sym/profile.hpp"
 #include "store/store.hpp"
@@ -143,13 +143,6 @@ struct EngineConfig {
   bool static_conflict_elision = true;
   /// Verify actual accesses ⊆ predicted key-set after every execution.
   bool check_containment = false;
-  /// Ablation (kept for one release, DESIGN.md §10): run the pre-overhaul
-  /// scheduling hot path — the deque-in-unordered-map lock table and the
-  /// single mutex-guarded global ready queue — instead of the epoch-arena
-  /// flat lock table and the per-worker work-stealing ready deques.
-  /// Produces identical commits and final state; only scheduler cost and
-  /// steady-state allocation differ (bench_hotpath measures the gap).
-  bool legacy_hot_path = false;
   /// Telemetry (DESIGN.md §9): the engine owns an obs::Registry and keeps
   /// per-class commit/abort counters, per-attempt latency histograms,
   /// per-phase timers and queue-occupancy gauges. Hot-path cost per event
@@ -158,6 +151,13 @@ struct EngineConfig {
   /// default: the engine then allocates no registry and every metric site
   /// is a single predictable-false branch.
   bool telemetry = false;
+  /// Causal tracing (DESIGN.md §11): head-sample every Nth batch into the
+  /// obs::tracing flight recorder (span per phase / per attempt, plus the
+  /// consensus and WAL spans emitted by the layers above). 0 = off. When a
+  /// replication layer set a trace context for the batch, its sampling
+  /// decision wins; this knob drives standalone (engine-only) runs. Cost on
+  /// unsampled batches is one branch per site.
+  unsigned trace_sample_n = 0;
   /// Drop store versions older than this many batches (0 = never GC).
   unsigned gc_horizon = 64;
   /// Measurement mode for the benchutil scheduling model: the queuer runs
@@ -362,9 +362,6 @@ class Engine {
   std::vector<std::unordered_set<TableId>> skip_tables_;
 
   LockTable lock_table_;
-  /// Legacy hot path (EngineConfig::legacy_hot_path): the pre-overhaul
-  /// deque-in-unordered-map lock table. Null on the new path.
-  std::unique_ptr<LegacyLockTable> legacy_lock_table_;
 
   /// Per-participant ready deques (DESIGN.md §10): slot 0 is the queuer,
   /// slot i+1 is worker i. Owners push/pop LIFO; idle participants steal
@@ -374,62 +371,20 @@ class Engine {
   unsigned ready_slots_ = 1;
   /// Round-robin cursor for quiesced seeding (enqueue phase only).
   unsigned seed_rr_ = 0;
-  /// Legacy hot path: the single global mutex-guarded ready queue.
-  MpmcQueue<TxIdx> legacy_ready_;
-
-  // --- hot-path dispatch (branch on config_.legacy_hot_path) --------------
-  bool lt_enqueue(TxIdx tx, TKey key, bool write, TxIdx* pred_out) {
-    if (legacy_lock_table_) {
-      return legacy_lock_table_->enqueue(tx, key, write, pred_out);
-    }
-    return lock_table_.enqueue(tx, key, write, pred_out);
-  }
-  void lt_release(TxIdx tx, TKey key, std::vector<TxIdx>& granted) {
-    if (legacy_lock_table_) {
-      legacy_lock_table_->release(tx, key, granted);
-      return;
-    }
-    lock_table_.release(tx, key, granted);
-  }
-  std::size_t lt_entry_count() const {
-    return legacy_lock_table_ ? legacy_lock_table_->entry_count()
-                              : lock_table_.entry_count();
-  }
-  bool lt_empty() const {
-    return legacy_lock_table_ ? legacy_lock_table_->empty()
-                              : lock_table_.empty();
-  }
-  void lt_begin_batch() {
-    // Legacy table keeps its map across batches (drained keys stay as empty
-    // deques) — exactly the pre-overhaul behavior the ablation measures.
-    if (legacy_lock_table_) return;
-    lock_table_.begin_batch();
-  }
 
   /// Readies `idx` from participant `slot` (owner-push into its own deque).
-  void ready_push(TxIdx idx, unsigned slot) {
-    if (config_.legacy_hot_path) {
-      legacy_ready_.push(idx);
-      return;
-    }
-    ready_[slot].push(idx);
-  }
+  void ready_push(TxIdx idx, unsigned slot) { ready_[slot].push(idx); }
   /// Quiesced seeding during the enqueue phase: distribute initially granted
   /// transactions round-robin so phase 2 starts with balanced deques. Safe
   /// because workers are parked at the barrier (any single thread may act as
   /// a deque's owner while quiesced).
   void seed_ready(TxIdx idx) {
-    if (config_.legacy_hot_path) {
-      legacy_ready_.push(idx);
-      return;
-    }
     ready_[seed_rr_].push(idx);
     seed_rr_ = seed_rr_ + 1 == ready_slots_ ? 0 : seed_rr_ + 1;
   }
   /// Claims work for participant `slot`: own deque LIFO first, then steals
   /// FIFO from the other participants.
   std::optional<TxIdx> ready_pop(unsigned slot) {
-    if (config_.legacy_hot_path) return legacy_ready_.try_pop();
     if (auto v = ready_[slot].pop()) return v;
     for (unsigned i = 1; i < ready_slots_; ++i) {
       const unsigned victim =
@@ -443,16 +398,11 @@ class Engine {
   }
   /// Quiesced only (between batches / rounds).
   void ready_clear() {
-    if (config_.legacy_hot_path) {
-      legacy_ready_.clear();
-      return;
-    }
     for (unsigned i = 0; i < ready_slots_; ++i) ready_[i].clear();
     seed_rr_ = 0;
   }
   /// Telemetry gauge: total ready occupancy (racy estimate).
   std::size_t ready_depth() const {
-    if (config_.legacy_hot_path) return legacy_ready_.size();
     std::size_t n = 0;
     for (unsigned i = 0; i < ready_slots_; ++i) n += ready_[i].size_approx();
     return n;
@@ -484,6 +434,31 @@ class Engine {
   BatchTrace* trace_ = nullptr;
   std::mutex trace_mu_;
   std::uint16_t current_round_ = 0;
+
+  // --- causal tracing (DESIGN.md §11; decided once per batch) -------------
+  /// True when this batch is sampled into the flight recorder. Written by
+  /// the queuer before workers start the batch, read by every participant.
+  bool span_live_ = false;
+  /// Trace identity of the running batch: the replicated batch sequence and
+  /// replica when a consensus layer set a TraceContext, else (batch_,
+  /// kNoReplica) for standalone runs.
+  std::uint64_t span_batch_seq_ = 0;
+  std::uint32_t span_replica_ = obs::tracing::kNoReplica;
+  /// Emits one span for the running batch (no-op on unsampled batches).
+  void span(obs::tracing::SpanKind kind, std::uint32_t slot,
+            std::int64_t dur_us, std::uint16_t round,
+            std::uint64_t arg) const noexcept {
+    if (!span_live_) return;
+    obs::tracing::SpanEvent ev;
+    ev.kind = kind;
+    ev.batch_seq = span_batch_seq_;
+    ev.replica = span_replica_;
+    ev.slot = slot;
+    ev.dur_us = dur_us;
+    ev.round = round;
+    ev.arg = arg;
+    obs::tracing::emit(ev);
+  }
   std::atomic<std::int64_t> ctr_all_prepare_us_{0};
 
   // --- batch counters (reset per batch, folded into BatchResult and the

@@ -18,6 +18,8 @@
 
 #include "consensus/chaos.hpp"
 #include "lang/builder.hpp"
+#include "obs/tracing/tracing.hpp"
+#include "obs/tracing/validator.hpp"
 #include "workloads/microbench.hpp"
 #include "workloads/tpcc.hpp"
 
@@ -330,6 +332,74 @@ TEST(ChaosTest, DivergenceIsQuarantinedAndResynced) {
   const auto hashes = rdb.state_hashes();
   EXPECT_EQ(hashes[0], hashes[1]);
   EXPECT_EQ(hashes[1], hashes[2]);
+}
+
+/// Same injected divergence, with the flight recorder running: the
+/// quarantine must fire an explanatory anomaly dump — bounded, both
+/// renderings produced, and the recorded span stream replayable through the
+/// validator (allow_partial: a ring dump is a window, not a full trace).
+TEST(ChaosTest, DivergenceProducesFlightRecorderDump) {
+  namespace tracing = obs::tracing;
+  tracing::FlightRecorder::Options fopts;
+  fopts.dump_max_events = 1024;
+  tracing::FlightRecorder::instance().enable(fopts);
+  std::vector<tracing::AnomalyDump> dumps;
+  tracing::FlightRecorder::instance().set_dump_handler(
+      [&dumps](const tracing::AnomalyDump& d) { dumps.push_back(d); });
+
+  RecoveryOptions rec;
+  rec.checkpoint_interval = 2;
+  rec.compact_logs = false;
+  sched::EngineConfig cfg = small_cfg();
+  cfg.trace_sample_n = 1;  // record every batch: the dump has context
+  ReplicatedDb rdb(3, 31337, bump_setup(), cfg, {}, rec);
+  rdb.run_ms(1000);
+  const int leader = rdb.raft().leader();
+  ASSERT_GE(leader, 0);
+  const NodeId victim = leader == 0 ? 1 : 0;
+
+  Rng rng(11);
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(rdb.submit_with_retry(bump_batch(5, rng)));
+    rdb.run_ms(100);
+  }
+  rdb.run_ms(500);
+  ASSERT_TRUE(rdb.converged());
+
+  db::Database& bad = rdb.replica(victim);
+  bad.store().put({kT, 0}, store::Row{{kV, 999999}}, bad.applied_batches());
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(rdb.submit_with_retry(bump_batch(5, rng)));
+    rdb.run_ms(100);
+  }
+  rdb.run_ms(1000);
+
+  tracing::FlightRecorder::instance().set_dump_handler(nullptr);
+  tracing::FlightRecorder::instance().disable();
+
+  EXPECT_GE(rdb.recovery_stats().divergences_detected, 1u);
+  ASSERT_GE(dumps.size(), 1u);
+  const tracing::AnomalyDump& d = dumps.front();
+  EXPECT_EQ(d.anomaly, tracing::Anomaly::kDivergence);
+  // The one-line detail explains the quarantine: which replica, at which
+  // batch, and that the hash disagreed.
+  EXPECT_NE(d.detail.find("replica " + std::to_string(victim)),
+            std::string::npos)
+      << d.detail;
+  EXPECT_NE(d.detail.find("quarantined"), std::string::npos) << d.detail;
+  // Bounded: the dump respects dump_max_events and its text stays small.
+  EXPECT_LE(d.events.size(), fopts.dump_max_events);
+  EXPECT_LE(d.text.size(), 256u * 1024u);
+  EXPECT_FALSE(d.events.empty());
+  EXPECT_NE(d.text.find("divergence"), std::string::npos);
+  EXPECT_NE(d.perfetto_json.find("\"traceEvents\""), std::string::npos);
+  // The dumped window ends at the anomaly marker itself.
+  EXPECT_EQ(d.events.back().kind, tracing::SpanKind::kAnomaly);
+  // Replayable: the dumped events pass the validator in partial mode.
+  tracing::ValidateOptions vopts;
+  vopts.allow_partial = true;
+  const auto report = tracing::validate_spans(d.events, vopts);
+  EXPECT_TRUE(report.ok()) << (report.errors.empty() ? "" : report.errors[0]);
 }
 
 // --- long sweep (opt-in) -------------------------------------------------------

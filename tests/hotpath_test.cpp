@@ -2,18 +2,21 @@
 //  - SmallVec (the small-buffer key-set / prediction-arena primitive);
 //  - the epoch-arena lock table: pow2 shard rounding, O(1) entry counter,
 //    epoch reuse, rehash under load, shared-read grant edge cases, and a
-//    randomized equivalence stress against the legacy table (the verbatim
-//    pre-overhaul implementation, kept as the reference model);
+//    randomized equivalence stress against an in-test reference model (a
+//    plain map of per-key FIFO deques implementing the grant rules
+//    literally);
 //  - the work-stealing ready deque: owner LIFO, thief FIFO, growth, and a
 //    concurrent steal stress (exactly-once delivery);
 //  - engine-level guarantees: byte-identical deterministic telemetry and
-//    state across 1/2/8 workers, legacy-vs-new ablation equivalence, and
-//    the telemetry lock-depth gauge never scanning a shard.
+//    state across 1/2/8 workers, and the telemetry lock-depth gauge never
+//    scanning a shard.
 #include <gtest/gtest.h>
 
 #include <algorithm>
 #include <atomic>
 #include <cstdint>
+#include <deque>
+#include <map>
 #include <memory>
 #include <thread>
 #include <vector>
@@ -24,17 +27,84 @@
 #include "db/database.hpp"
 #include "sched/engine.hpp"
 #include "sched/lock_table.hpp"
-#include "sched/lock_table_legacy.hpp"
 #include "workloads/microbench.hpp"
 
 namespace prog {
 namespace {
 
-using sched::LegacyLockTable;
 using sched::LockTable;
 using sched::TxIdx;
 
 constexpr TableId kT = 7;
+
+/// Reference model for the randomized equivalence stress: one FIFO deque per
+/// key, the grant rules written out literally (head always granted; with
+/// shared reads, a maximal reader prefix). Single-threaded, allocation-happy,
+/// obviously correct — the spec the arena table is checked against.
+class ReferenceLockTable {
+ public:
+  explicit ReferenceLockTable(bool shared_reads)
+      : shared_reads_(shared_reads) {}
+
+  bool enqueue(TxIdx tx, TKey key, bool write, TxIdx* pred_out = nullptr) {
+    std::deque<Entry>& q = queues_[key];
+    bool granted = false;
+    if (q.empty()) {
+      granted = true;
+    } else if (shared_reads_ && !write) {
+      // Granted iff every entry ahead is a granted reader.
+      granted = std::all_of(q.begin(), q.end(), [](const Entry& e) {
+        return !e.write && e.granted;
+      });
+    }
+    if (pred_out != nullptr && !granted) *pred_out = q.back().tx;
+    q.push_back({tx, write, granted});
+    return granted;
+  }
+
+  void release(TxIdx tx, TKey key, std::vector<TxIdx>& granted) {
+    auto it = queues_.find(key);
+    ASSERT_NE(it, queues_.end()) << "release on unknown key";
+    std::deque<Entry>& q = it->second;
+    auto e = std::find_if(q.begin(), q.end(),
+                          [&](const Entry& en) { return en.tx == tx; });
+    ASSERT_NE(e, q.end()) << "release of an entry that was never enqueued";
+    ASSERT_TRUE(e->granted) << "release of an ungranted lock entry";
+    q.erase(e);
+    if (q.empty()) {
+      queues_.erase(it);
+      return;
+    }
+    if (!q.front().granted) {
+      q.front().granted = true;
+      granted.push_back(q.front().tx);
+    }
+    if (!shared_reads_ || q.front().write) return;
+    for (std::size_t i = 1; i < q.size(); ++i) {
+      if (q[i].write) break;
+      if (!q[i].granted) {
+        q[i].granted = true;
+        granted.push_back(q[i].tx);
+      }
+    }
+  }
+
+  std::size_t entry_count() const {
+    std::size_t n = 0;
+    for (const auto& [key, q] : queues_) n += q.size();
+    return n;
+  }
+  bool empty() const { return queues_.empty(); }
+
+ private:
+  struct Entry {
+    TxIdx tx;
+    bool write;
+    bool granted;
+  };
+  std::map<TKey, std::deque<Entry>> queues_;
+  bool shared_reads_;
+};
 
 // ---------------------------------------------------------------------------
 // SmallVec
@@ -225,14 +295,13 @@ TEST(GrantSemanticsTest, ReaderBehindWriterIsNotGranted) {
   EXPECT_EQ(granted, std::vector<TxIdx>{4});
 }
 
-/// Randomized single-threaded equivalence stress: the legacy table is the
-/// verbatim pre-overhaul implementation and serves as the reference model.
-/// Every enqueue must return the same grant decision, every release must
-/// grant the same transactions in the same order, and the entry counts must
-/// track exactly.
+/// Randomized single-threaded equivalence stress against the reference model
+/// above. Every enqueue must return the same grant decision, every release
+/// must grant the same transactions in the same order, and the entry counts
+/// must track exactly.
 void run_equivalence_stress(bool shared_reads, std::uint64_t seed) {
   LockTable lt(LockTable::Options{shared_reads, 8, 4});
-  LegacyLockTable ref(LegacyLockTable::Options{shared_reads, 8});
+  ReferenceLockTable ref(shared_reads);
   Rng rng(seed);
 
   struct Held {
@@ -526,21 +595,20 @@ TEST(HotPathEngineTest, DeterministicAcrossWorkerCounts) {
   }
 }
 
-TEST(HotPathEngineTest, LegacyAblationTogglePreservesResults) {
-  for (const bool parallel_enqueue : {false, true}) {
-    sched::EngineConfig nu;
-    nu.workers = 4;
-    nu.parallel_enqueue = parallel_enqueue;
-    sched::EngineConfig legacy = nu;
-    legacy.legacy_hot_path = true;
-    auto a = run_catalog(nu, 5);
-    auto b = run_catalog(legacy, 5);
-    EXPECT_EQ(a->state_hash(), b->state_hash());
-    EXPECT_EQ(a->telemetry()->serialize_deterministic(),
-              b->telemetry()->serialize_deterministic());
-    EXPECT_EQ(a->engine_stats().committed, b->engine_stats().committed);
-    EXPECT_EQ(a->engine_stats().rounds, b->engine_stats().rounds);
-  }
+TEST(HotPathEngineTest, ParallelEnqueuePreservesResults) {
+  // The partitioned enqueue must be a pure performance switch: identical
+  // state, deterministic telemetry, and round structure either way.
+  sched::EngineConfig serial;
+  serial.workers = 4;
+  sched::EngineConfig parallel = serial;
+  parallel.parallel_enqueue = true;
+  auto a = run_catalog(serial, 5);
+  auto b = run_catalog(parallel, 5);
+  EXPECT_EQ(a->state_hash(), b->state_hash());
+  EXPECT_EQ(a->telemetry()->serialize_deterministic(),
+            b->telemetry()->serialize_deterministic());
+  EXPECT_EQ(a->engine_stats().committed, b->engine_stats().committed);
+  EXPECT_EQ(a->engine_stats().rounds, b->engine_stats().rounds);
 }
 
 TEST(HotPathEngineTest, TelemetryGaugeNeverScansShards) {
@@ -555,17 +623,6 @@ TEST(HotPathEngineTest, TelemetryGaugeNeverScansShards) {
   EXPECT_GT(db->engine().lock_table().stats().arena_grows +
                 db->engine().lock_table().stats().rehashes,
             0u);  // the table did real work
-}
-
-TEST(HotPathEngineTest, LegacyTableEntryCountScansEveryShard) {
-  // Control for the gauge regression: the legacy implementation's counter IS
-  // a scan — each entry_count() walks all shards.
-  LegacyLockTable lt(LegacyLockTable::Options{false, 8});
-  lt.enqueue(1, {kT, 1}, true);
-  EXPECT_EQ(lt.shard_scans(), 0u);
-  (void)lt.entry_count();
-  (void)lt.entry_count();
-  EXPECT_EQ(lt.shard_scans(), 2u);
 }
 
 }  // namespace

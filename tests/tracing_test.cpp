@@ -1,0 +1,498 @@
+// Causal tracing + flight recorder tests (DESIGN.md §11).
+//
+// Four layers:
+//   - recorder mechanics: ring wraparound bounds, context scoping, bounded
+//     anomaly dumps through the installed handler;
+//   - standalone engine sampling: trace_sample_n head-samples every Nth
+//     batch under the engine's local batch id;
+//   - end-to-end: a 3-replica durable cluster at sample rate 1 produces one
+//     connected span chain per batch — submit → (msgs) → agree → engine
+//     phases → WAL fsync → batch done — that the validator accepts;
+//   - validator negatives: synthetic streams violating each contract are
+//     rejected (and allow_partial relaxes exactly the partial-dump checks).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "consensus/replicated_db.hpp"
+#include "db/database.hpp"
+#include "dur/fault_vfs.hpp"
+#include "lang/builder.hpp"
+#include "obs/tracing/tracing.hpp"
+#include "obs/tracing/validator.hpp"
+#include "workloads/tpcc.hpp"
+
+namespace prog::obs::tracing {
+namespace {
+
+// Every test owns the process-global recorder for its duration.
+struct RecorderGuard {
+  explicit RecorderGuard(FlightRecorder::Options opts) {
+    FlightRecorder::instance().enable(opts);
+  }
+  RecorderGuard() : RecorderGuard(FlightRecorder::Options{}) {}
+  ~RecorderGuard() {
+    FlightRecorder::instance().set_dump_handler(nullptr);
+    FlightRecorder::instance().disable();
+  }
+};
+
+SpanEvent make_event(SpanKind kind, std::uint64_t batch) {
+  SpanEvent ev;
+  ev.kind = kind;
+  ev.batch_seq = batch;
+  return ev;
+}
+
+// --- recorder mechanics ------------------------------------------------------
+
+TEST(FlightRecorderTest, RingWraparoundKeepsNewestEvents) {
+  FlightRecorder::Options opts;
+  opts.lanes = 2;
+  opts.lane_capacity = 16;
+  RecorderGuard guard(opts);
+  for (int i = 0; i < 100; ++i) {
+    emit(make_event(SpanKind::kExecute, 7));
+  }
+  const auto events = FlightRecorder::instance().snapshot();
+  // This thread writes one lane: exactly the newest `lane_capacity` survive.
+  ASSERT_EQ(events.size(), 16u);
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    EXPECT_EQ(events[i].seq, 85 + i);  // seqs 85..100 of 1..100
+  }
+}
+
+TEST(FlightRecorderTest, DisabledRecorderDropsEverything) {
+  {
+    RecorderGuard guard;
+  }
+  EXPECT_FALSE(enabled());
+  emit(make_event(SpanKind::kExecute, 1));
+  trigger(Anomaly::kDivergence, "ignored while disabled");
+}
+
+TEST(FlightRecorderTest, ClearDropsRetainedEvents) {
+  RecorderGuard guard;
+  emit(make_event(SpanKind::kExecute, 1));
+  emit(make_event(SpanKind::kExecute, 2));
+  EXPECT_EQ(FlightRecorder::instance().snapshot().size(), 2u);
+  FlightRecorder::instance().clear();
+  EXPECT_TRUE(FlightRecorder::instance().snapshot().empty());
+}
+
+TEST(TraceContextTest, ScopedContextNestsAndRestores) {
+  EXPECT_EQ(current().batch_seq, 0u);
+  EXPECT_FALSE(current().sampled);
+  {
+    ScopedContext outer({41, 1, true});
+    EXPECT_EQ(current().batch_seq, 41u);
+    EXPECT_EQ(current().replica, 1u);
+    EXPECT_TRUE(current().sampled);
+    {
+      ScopedContext inner({42, 2, false});
+      EXPECT_EQ(current().batch_seq, 42u);
+      EXPECT_FALSE(current().sampled);
+    }
+    EXPECT_EQ(current().batch_seq, 41u);
+    EXPECT_TRUE(current().sampled);
+  }
+  EXPECT_EQ(current().batch_seq, 0u);
+}
+
+TEST(FlightRecorderTest, AnomalyDumpIsBoundedAndRendered) {
+  FlightRecorder::Options opts;
+  opts.lanes = 2;
+  opts.lane_capacity = 256;
+  opts.dump_max_events = 32;
+  RecorderGuard guard(opts);
+
+  std::vector<AnomalyDump> dumps;
+  FlightRecorder::instance().set_dump_handler(
+      [&dumps](const AnomalyDump& d) { dumps.push_back(d); });
+
+  for (int i = 0; i < 200; ++i) {
+    emit(make_event(SpanKind::kExecute, 9));
+  }
+  {
+    ScopedContext ctx({9, 2, true});
+    trigger(Anomaly::kDivergence, "injected for the dump test");
+  }
+
+  ASSERT_EQ(dumps.size(), 1u);
+  const AnomalyDump& d = dumps[0];
+  EXPECT_EQ(d.anomaly, Anomaly::kDivergence);
+  EXPECT_EQ(d.detail, "injected for the dump test");
+  // Bounded to the newest dump_max_events, ending at the kAnomaly marker.
+  ASSERT_EQ(d.events.size(), 32u);
+  EXPECT_TRUE(std::is_sorted(d.events.begin(), d.events.end(),
+                             [](const SpanEvent& a, const SpanEvent& b) {
+                               return a.seq < b.seq;
+                             }));
+  EXPECT_EQ(d.events.back().kind, SpanKind::kAnomaly);
+  EXPECT_EQ(d.events.back().anomaly, Anomaly::kDivergence);
+  EXPECT_EQ(d.events.back().batch_seq, 9u);
+  EXPECT_EQ(d.events.back().replica, 2u);
+  // Both renderings are produced and name the anomaly.
+  EXPECT_NE(d.text.find("divergence"), std::string::npos);
+  EXPECT_NE(d.text.find("injected for the dump test"), std::string::npos);
+  EXPECT_NE(d.perfetto_json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_EQ(FlightRecorder::instance().anomalies(), 1u);
+}
+
+// --- standalone engine sampling ---------------------------------------------
+
+constexpr TableId kT = 1;
+constexpr FieldId kV = 0;
+constexpr Value kKeys = 32;
+
+lang::Proc make_bump() {
+  lang::ProcBuilder b("bump");
+  auto k = b.param("k", 0, kKeys - 1);
+  auto amt = b.param("amt", 1, 9);
+  auto row = b.get(kT, k);
+  b.put(kT, k, {{kV, row.field(kV) + amt}});
+  return std::move(b).build();
+}
+
+void bump_setup(db::Database& d) {
+  d.register_procedure(make_bump());
+  for (Key k = 0; k < static_cast<Key>(kKeys); ++k) {
+    d.store().put({kT, k}, store::Row{{kV, 100}}, 0);
+  }
+  d.finalize();
+}
+
+std::vector<sched::TxRequest> bump_batch(std::size_t n, Rng& rng) {
+  std::vector<sched::TxRequest> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    sched::TxRequest r;
+    r.proc = 0;
+    r.input.add(rng.uniform(0, kKeys - 1));
+    r.input.add(rng.uniform(1, 9));
+    out.push_back(std::move(r));
+  }
+  return out;
+}
+
+TEST(EngineTracingTest, StandaloneSamplingRecordsEveryNthBatch) {
+  RecorderGuard guard;
+  sched::EngineConfig cfg;
+  cfg.workers = 2;
+  cfg.trace_sample_n = 2;
+  db::Database db(cfg);
+  bump_setup(db);
+
+  Rng rng(5);
+  for (int i = 0; i < 8; ++i) db.execute(bump_batch(6, rng));
+
+  const auto events = FlightRecorder::instance().snapshot();
+  ASSERT_FALSE(events.empty());
+  std::set<std::uint64_t> done_batches;
+  std::uint64_t predicts = 0, executes = 0;
+  for (const SpanEvent& e : events) {
+    EXPECT_EQ(e.batch_seq % 2, 0u) << "unsampled batch leaked into the ring";
+    EXPECT_EQ(e.replica, kNoReplica);  // standalone: no consensus identity
+    if (e.kind == SpanKind::kBatchDone) done_batches.insert(e.batch_seq);
+    if (e.kind == SpanKind::kPredict) ++predicts;
+    if (e.kind == SpanKind::kExecute) ++executes;
+  }
+  // 8 batches at 1/2 sampling: exactly the even batch ids, each with its
+  // per-tx prediction and execution spans.
+  EXPECT_EQ(done_batches.size(), 4u);
+  EXPECT_GE(predicts, 4u * 1u);
+  EXPECT_GE(executes, 4u * 6u);  // every sampled tx commits exactly once
+
+  const auto report = validate_spans(events);
+  EXPECT_TRUE(report.ok()) << (report.errors.empty() ? "" : report.errors[0]);
+}
+
+TEST(EngineTracingTest, UnsampledRunEmitsNothing) {
+  RecorderGuard guard;
+  sched::EngineConfig cfg;
+  cfg.workers = 2;
+  cfg.trace_sample_n = 0;  // recorder on, engine not sampling
+  db::Database db(cfg);
+  bump_setup(db);
+  Rng rng(6);
+  for (int i = 0; i < 4; ++i) db.execute(bump_batch(6, rng));
+  EXPECT_TRUE(FlightRecorder::instance().snapshot().empty());
+}
+
+// --- end-to-end: replicated + durable ---------------------------------------
+
+consensus::ReplicatedDb::SetupFn replicated_setup() {
+  return [](db::Database& d) { bump_setup(d); };
+}
+
+TEST(EndToEndTracingTest, ThreeReplicaDurableChainValidates) {
+  FlightRecorder::Options opts;
+  opts.lane_capacity = 1 << 14;  // hold the whole run: no eviction noise
+  RecorderGuard guard(opts);
+
+  dur::FaultVfs vfs(7);
+  consensus::RecoveryOptions rec;
+  rec.checkpoint_interval = 4;
+  rec.vfs = &vfs;
+  rec.dur_dir = "dur";
+  sched::EngineConfig cfg;
+  cfg.workers = 2;
+  cfg.trace_sample_n = 1;  // sample every batch
+  consensus::ReplicatedDb rdb(3, 12345, replicated_setup(), cfg, {}, rec);
+  rdb.run_ms(1000);
+  ASSERT_GE(rdb.raft().leader(), 0);
+
+  Rng rng(17);
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(rdb.submit_with_retry(bump_batch(5, rng)));
+    rdb.run_ms(100);
+  }
+  rdb.run_ms(500);
+  ASSERT_TRUE(rdb.converged());
+
+  const auto events = FlightRecorder::instance().snapshot();
+  const auto report = validate_spans(events);
+  EXPECT_TRUE(report.ok()) << (report.errors.empty() ? "" : report.errors[0]);
+  EXPECT_GE(report.batches, 5u);
+  EXPECT_GT(report.flows, 0u);
+
+  // Pick one agreed batch and assert the full chain is present on all three
+  // replicas: submit at the client, then agree → engine → WAL fsync →
+  // batch done per replica.
+  std::uint64_t probe = 0;
+  for (const SpanEvent& e : events) {
+    if (e.kind == SpanKind::kAgree) probe = e.batch_seq;
+  }
+  ASSERT_NE(probe, 0u);
+  std::set<std::uint32_t> agreed, fsynced, finished;
+  bool submitted = false;
+  for (const SpanEvent& e : events) {
+    if (e.batch_seq != probe) continue;
+    switch (e.kind) {
+      case SpanKind::kSubmit: submitted = true; break;
+      case SpanKind::kAgree: agreed.insert(e.replica); break;
+      case SpanKind::kWalFsync: fsynced.insert(e.replica); break;
+      case SpanKind::kBatchDone: finished.insert(e.replica); break;
+      default: break;
+    }
+  }
+  EXPECT_TRUE(submitted);
+  EXPECT_EQ(agreed.size(), 3u);
+  EXPECT_EQ(fsynced.size(), 3u);
+  EXPECT_EQ(finished.size(), 3u);
+
+  // The span-tree rendering names every replica and the WAL barrier.
+  const std::string tree = format_span_tree(events, probe);
+  ASSERT_FALSE(tree.empty());
+  EXPECT_NE(tree.find("submit"), std::string::npos);
+  EXPECT_NE(tree.find("replica 0"), std::string::npos);
+  EXPECT_NE(tree.find("replica 1"), std::string::npos);
+  EXPECT_NE(tree.find("replica 2"), std::string::npos);
+  EXPECT_NE(tree.find("wal_fsync"), std::string::npos);
+
+  // Perfetto export carries per-replica processes and flow arrows.
+  const std::string json = to_perfetto_json(events);
+  EXPECT_NE(json.find("\"name\":\"replica 0\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"replica 2\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"s\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"f\""), std::string::npos);
+}
+
+// The acceptance scenario: a sampled TPC-C batch yields one connected span
+// tree from submit to fsync-commit across all three replicas, accepted by
+// the trace checker (flow pairing + connectivity included).
+TEST(EndToEndTracingTest, SampledTpccBatchConnectsAcrossReplicas) {
+  FlightRecorder::Options opts;
+  opts.lane_capacity = 1 << 14;
+  RecorderGuard guard(opts);
+
+  db::Database gen_db(sched::EngineConfig{});
+  workloads::tpcc::Workload gen(gen_db, workloads::tpcc::Scale::tiny(1));
+
+  dur::FaultVfs vfs(21);
+  consensus::RecoveryOptions rec;
+  rec.checkpoint_interval = 4;
+  rec.vfs = &vfs;
+  rec.dur_dir = "dur";
+  sched::EngineConfig cfg;
+  cfg.workers = 2;
+  cfg.trace_sample_n = 2;  // head sampling on: every 2nd submitted batch
+  consensus::ReplicatedDb rdb(
+      3, 777,
+      [](db::Database& d) {
+        workloads::tpcc::Workload wl(d, workloads::tpcc::Scale::tiny(1));
+      },
+      cfg, {}, rec);
+  rdb.run_ms(1000);
+  ASSERT_GE(rdb.raft().leader(), 0);
+
+  Rng rng(3);
+  for (int i = 0; i < 6; ++i) {
+    ASSERT_TRUE(rdb.submit_with_retry(gen.batch(8, rng)));
+    rdb.run_ms(100);
+  }
+  rdb.run_ms(500);
+  ASSERT_TRUE(rdb.converged());
+
+  const auto events = FlightRecorder::instance().snapshot();
+  const auto report = validate_spans(events);
+  EXPECT_TRUE(report.ok()) << (report.errors.empty() ? "" : report.errors[0]);
+  EXPECT_GT(report.flows, 0u);
+
+  // Only the head-sampled batches are recorded, and each recorded batch is
+  // complete: submit, three agrees, three WAL fsyncs, three batch-dones.
+  std::set<std::uint64_t> batches;
+  for (const SpanEvent& e : events) {
+    if (e.kind == SpanKind::kAgree) batches.insert(e.batch_seq);
+  }
+  ASSERT_GE(batches.size(), 2u);
+  EXPECT_LT(batches.size(), 6u);  // sampling dropped the odd batches
+  for (const std::uint64_t b : batches) {
+    std::set<std::uint32_t> agreed, fsynced, finished;
+    bool submitted = false;
+    for (const SpanEvent& e : events) {
+      if (e.batch_seq != b) continue;
+      switch (e.kind) {
+        case SpanKind::kSubmit: submitted = true; break;
+        case SpanKind::kAgree: agreed.insert(e.replica); break;
+        case SpanKind::kWalFsync: fsynced.insert(e.replica); break;
+        case SpanKind::kBatchDone: finished.insert(e.replica); break;
+        default: break;
+      }
+    }
+    EXPECT_TRUE(submitted) << "batch " << b;
+    EXPECT_EQ(agreed.size(), 3u) << "batch " << b;
+    EXPECT_EQ(fsynced.size(), 3u) << "batch " << b;
+    EXPECT_EQ(finished.size(), 3u) << "batch " << b;
+    EXPECT_FALSE(format_span_tree(events, b).empty());
+  }
+}
+
+// --- validator negatives -----------------------------------------------------
+
+SpanEvent stamped(std::uint64_t seq, SpanKind kind, std::uint64_t batch,
+                  std::uint32_t replica = kNoReplica) {
+  SpanEvent ev = make_event(kind, batch);
+  ev.seq = seq;
+  ev.replica = replica;
+  return ev;
+}
+
+TEST(ValidatorTest, AcceptsAMinimalWellFormedChain) {
+  std::vector<SpanEvent> evs;
+  evs.push_back(stamped(1, SpanKind::kSubmit, 1));
+  evs.push_back(stamped(2, SpanKind::kAgree, 1, 0));
+  auto predict = stamped(3, SpanKind::kPredict, 1, 0);
+  predict.slot = 0;
+  evs.push_back(predict);
+  auto exec = stamped(4, SpanKind::kExecute, 1, 0);
+  exec.slot = 0;
+  evs.push_back(exec);
+  evs.push_back(stamped(5, SpanKind::kWalFsync, 1, 0));
+  evs.push_back(stamped(6, SpanKind::kBatchDone, 1, 0));
+  const auto report = validate_spans(evs);
+  EXPECT_TRUE(report.ok()) << (report.errors.empty() ? "" : report.errors[0]);
+  EXPECT_EQ(report.batches, 1u);
+}
+
+TEST(ValidatorTest, RejectsDuplicateCausalStamps) {
+  std::vector<SpanEvent> evs;
+  evs.push_back(stamped(1, SpanKind::kSubmit, 1));
+  evs.push_back(stamped(1, SpanKind::kAgree, 1, 0));
+  EXPECT_FALSE(validate_spans(evs).ok());
+}
+
+TEST(ValidatorTest, RejectsAgreeBeforeSubmit) {
+  std::vector<SpanEvent> evs;
+  evs.push_back(stamped(1, SpanKind::kAgree, 1, 0));
+  evs.push_back(stamped(2, SpanKind::kSubmit, 1));
+  EXPECT_FALSE(validate_spans(evs).ok());
+}
+
+TEST(ValidatorTest, RejectsEngineSpanBeforeAgreement) {
+  std::vector<SpanEvent> evs;
+  evs.push_back(stamped(1, SpanKind::kSubmit, 1));
+  evs.push_back(stamped(2, SpanKind::kPredict, 1, 0));
+  evs.push_back(stamped(3, SpanKind::kAgree, 1, 0));
+  EXPECT_FALSE(validate_spans(evs).ok());
+}
+
+TEST(ValidatorTest, RejectsWalFsyncBeforeEngineFinished) {
+  std::vector<SpanEvent> evs;
+  evs.push_back(stamped(1, SpanKind::kSubmit, 1));
+  evs.push_back(stamped(2, SpanKind::kAgree, 1, 0));
+  evs.push_back(stamped(3, SpanKind::kWalFsync, 1, 0));
+  evs.push_back(stamped(4, SpanKind::kEnqueue, 1, 0));
+  EXPECT_FALSE(validate_spans(evs).ok());
+}
+
+TEST(ValidatorTest, RejectsDoubleCommitOfOneSlot) {
+  std::vector<SpanEvent> evs;
+  evs.push_back(stamped(1, SpanKind::kAgree, 1, 0));
+  auto a = stamped(2, SpanKind::kExecute, 1, 0);
+  a.slot = 3;
+  auto b = stamped(3, SpanKind::kExecute, 1, 0);
+  b.slot = 3;
+  evs.push_back(a);
+  evs.push_back(b);
+  EXPECT_FALSE(validate_spans(evs).ok());
+}
+
+TEST(ValidatorTest, RejectsAbortAfterCommitOfSameSlot) {
+  std::vector<SpanEvent> evs;
+  evs.push_back(stamped(1, SpanKind::kAgree, 1, 0));
+  auto commit = stamped(2, SpanKind::kExecute, 1, 0);
+  commit.slot = 3;
+  commit.round = 1;
+  auto abort = stamped(3, SpanKind::kAbort, 1, 0);
+  abort.slot = 3;
+  abort.round = 2;
+  evs.push_back(commit);
+  evs.push_back(abort);
+  EXPECT_FALSE(validate_spans(evs).ok());
+}
+
+TEST(ValidatorTest, RecvWithoutSendRejectedUnlessPartial) {
+  std::vector<SpanEvent> evs;
+  evs.push_back(stamped(1, SpanKind::kSubmit, 1));
+  auto recv = stamped(2, SpanKind::kMsgRecv, 1, 1);
+  recv.peer = 0;
+  evs.push_back(recv);
+  EXPECT_FALSE(validate_spans(evs).ok());
+  ValidateOptions partial;
+  partial.allow_partial = true;
+  EXPECT_TRUE(validate_spans(evs, partial).ok());
+}
+
+TEST(ValidatorTest, ConnectivityRequiresMessageTraffic) {
+  // Two replicas agree but no message traffic links them: the later one is
+  // unreachable, which the full check rejects and allow_partial tolerates.
+  std::vector<SpanEvent> evs;
+  evs.push_back(stamped(1, SpanKind::kSubmit, 1));
+  evs.push_back(stamped(2, SpanKind::kAgree, 1, 0));
+  evs.push_back(stamped(3, SpanKind::kAgree, 1, 1));
+  EXPECT_FALSE(validate_spans(evs).ok());
+
+  // Adding the send/recv pair from replica 0 to replica 1 repairs it.
+  auto send = stamped(10, SpanKind::kMsgSend, 1, 0);
+  send.peer = 1;
+  auto recv = stamped(11, SpanKind::kMsgRecv, 1, 1);
+  recv.peer = 0;
+  std::vector<SpanEvent> linked;
+  linked.push_back(stamped(1, SpanKind::kSubmit, 1));
+  linked.push_back(stamped(2, SpanKind::kAgree, 1, 0));
+  send.seq = 3;
+  recv.seq = 4;
+  linked.push_back(send);
+  linked.push_back(recv);
+  linked.push_back(stamped(5, SpanKind::kAgree, 1, 1));
+  const auto report = validate_spans(linked);
+  EXPECT_TRUE(report.ok()) << (report.errors.empty() ? "" : report.errors[0]);
+  EXPECT_EQ(report.flows, 1u);
+}
+
+}  // namespace
+}  // namespace prog::obs::tracing

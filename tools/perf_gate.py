@@ -1,16 +1,29 @@
 #!/usr/bin/env python3
-"""Soft perf gate for bench_hotpath (ISSUE 4 satellite).
+"""Soft perf gate for checked-in bench baselines.
 
-Compares a fresh BENCH_hotpath.json against the checked-in baseline and
-gates on the *speedup ratio* (legacy us / new us), not on absolute times:
-CI runners differ wildly in clock speed, but the legacy and new arms run
-in the same process on the same host, so the ratio is the portable signal.
+Compares a freshly produced bench JSON against the checked-in baseline and
+gates on per-case regression of the bench's declared gate metric. Any bench
+binary that emits the shape below can be gated — bench_hotpath and
+bench_durability both do:
+
+  {
+    "bench": "<name>",                    # must match between the two files
+    "gate": {"field": "<case field>",     # which per-case number to compare
+             "direction": "lower"},       # "lower" or "higher" is better
+    "cases": {"<case>": {"<field>": 123.4, ...}, ...}
+  }
+
+When the doc carries no "gate" object the legacy bench_hotpath convention is
+assumed: field "speedup", higher is better. Ratio metrics (old speedup) are
+host-portable; absolute metrics (cpu_us_per_batch, records/s) are not — CI
+passes looser --warn/--fail for those, and the tight thresholds are reserved
+for quiet reference hosts (see EXPERIMENTS.md).
 
 Policy (per case):
-  - speedup drop >= --fail (default 25%) relative to baseline  -> exit 1
-  - speedup drop >= --warn (default 10%)                       -> warn only
-  - case present in baseline but missing from the run          -> exit 1
-  - new case not in the baseline                               -> note only
+  - regression >= --fail (default 25%) relative to baseline     -> exit 1
+  - regression >= --warn (default 10%)                          -> warn only
+  - case present in baseline but missing from the run           -> exit 1
+  - new case not in the baseline                                -> note only
 
 When the baseline file itself does not exist (a fresh branch, a renamed
 bench, a CI cache miss) the gate warns and passes: there is nothing to
@@ -20,8 +33,8 @@ is corruption, not absence.
 
 Usage:
   tools/perf_gate.py --baseline BENCH_hotpath.json --run /tmp/run.json
-  tools/perf_gate.py --baseline BENCH_hotpath.json --run run.json \
-      --warn 0.10 --fail 0.25
+  tools/perf_gate.py --baseline BENCH_durability.json --run run.json \
+      --warn 0.25 --fail 0.60
 """
 
 from __future__ import annotations
@@ -38,21 +51,35 @@ def load(path: str) -> dict:
             doc = json.load(f)
     except (OSError, json.JSONDecodeError) as e:
         sys.exit(f"perf_gate: cannot read {path}: {e}")
-    if doc.get("bench") != "hotpath" or "cases" not in doc:
-        sys.exit(f"perf_gate: {path} is not a bench_hotpath result")
+    if not isinstance(doc.get("bench"), str) or "cases" not in doc:
+        sys.exit(f"perf_gate: {path} is not a bench result "
+                 "(missing \"bench\"/\"cases\")")
     return doc
+
+
+def gate_spec(doc: dict, path: str) -> tuple[str, bool]:
+    """Returns (field, lower_is_better) from the doc's gate object."""
+    gate = doc.get("gate")
+    if gate is None:
+        return "speedup", False  # legacy bench_hotpath convention
+    field = gate.get("field")
+    direction = gate.get("direction")
+    if not isinstance(field, str) or direction not in ("lower", "higher"):
+        sys.exit(f"perf_gate: {path} carries a malformed \"gate\" object "
+                 "(want {\"field\": str, \"direction\": \"lower\"|\"higher\"})")
+    return field, direction == "lower"
 
 
 def main() -> int:
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("--baseline", required=True,
-                    help="checked-in BENCH_hotpath.json")
+                    help="checked-in baseline JSON (e.g. BENCH_hotpath.json)")
     ap.add_argument("--run", required=True,
-                    help="freshly produced BENCH_hotpath.json")
+                    help="freshly produced bench JSON")
     ap.add_argument("--warn", type=float, default=0.10,
-                    help="warn at this fractional speedup drop (default 0.10)")
+                    help="warn at this fractional regression (default 0.10)")
     ap.add_argument("--fail", type=float, default=0.25,
-                    help="fail at this fractional speedup drop (default 0.25)")
+                    help="fail at this fractional regression (default 0.25)")
     args = ap.parse_args()
 
     if not os.path.exists(args.baseline):
@@ -63,6 +90,15 @@ def main() -> int:
 
     base = load(args.baseline)
     run = load(args.run)
+    if base["bench"] != run["bench"]:
+        sys.exit(f"perf_gate: bench mismatch: baseline is "
+                 f"\"{base['bench']}\", run is \"{run['bench']}\"")
+    field, lower_better = gate_spec(base, args.baseline)
+    run_field, run_lower = gate_spec(run, args.run)
+    if (field, lower_better) != (run_field, run_lower):
+        sys.exit("perf_gate: gate spec mismatch between baseline and run "
+                 f"({field}/{lower_better} vs {run_field}/{run_lower}) — "
+                 "refresh the baseline after changing a bench's gate")
     base_cases = base["cases"]
     run_cases = run["cases"]
 
@@ -73,28 +109,37 @@ def main() -> int:
             print(f"FAIL  {name}: present in baseline but missing from run")
             failed = True
             continue
-        bs, rs = float(b["speedup"]), float(r["speedup"])
-        if bs <= 0:
-            print(f"FAIL  {name}: baseline speedup {bs} is not positive")
+        if field not in b or field not in r:
+            print(f"FAIL  {name}: gate field \"{field}\" missing")
             failed = True
             continue
-        drop = (bs - rs) / bs
+        bv, rv = float(b[field]), float(r[field])
+        if bv <= 0:
+            print(f"FAIL  {name}: baseline {field} {bv} is not positive")
+            failed = True
+            continue
+        # Regression is always "how much worse than baseline", as a fraction
+        # of baseline, regardless of which direction is better.
+        drop = (rv - bv) / bv if lower_better else (bv - rv) / bv
         tag = "ok   "
         if drop >= args.fail:
             tag, failed = "FAIL ", True
         elif drop >= args.warn:
             tag = "WARN "
-        print(f"{tag} {name}: baseline {bs:.3f}x -> run {rs:.3f}x "
+        print(f"{tag} {name}: {field} baseline {bv:.3f} -> run {rv:.3f} "
               f"({'-' if drop >= 0 else '+'}{abs(drop) * 100:.1f}%)")
 
     for name in sorted(set(run_cases) - set(base_cases)):
+        val = run_cases[name].get(field)
         print(f"note  {name}: new case, no baseline entry "
-              f"(run speedup {float(run_cases[name]['speedup']):.3f}x)")
+              f"(run {field} {float(val):.3f})" if val is not None else
+              f"note  {name}: new case, no baseline entry")
 
     if failed:
-        print(f"perf_gate: FAIL (speedup regression >= {args.fail * 100:.0f}% "
-              "vs baseline; refresh the baseline only with a full-mode run "
-              "on a quiet host — see EXPERIMENTS.md)")
+        print(f"perf_gate: FAIL ({field} regression >= "
+              f"{args.fail * 100:.0f}% vs baseline; refresh the baseline "
+              "only with a full-mode run on a quiet host — see "
+              "EXPERIMENTS.md)")
         return 1
     print("perf_gate: ok")
     return 0

@@ -4,12 +4,22 @@
 //   progmon --workload tpcc --batches 200 --batch-size 200 --refresh 25
 //   progmon --workload catalog --export-prom metrics.prom --check-prom
 //   progmon --workload micro --trace trace.json        # open in Perfetto
+//   progmon --workload tpcc --trace-sample 8 --trace-batch 16
+//   progmon --workload tpcc --trace-sample 8 --check-spans
 //
 // The dashboard differences successive registry snapshots, so the panel
 // shows *windowed* rates and percentiles (since the previous refresh), not
 // lifetime averages. --export-prom / --export-json dump the final
 // cumulative snapshot; --trace records every batch's BatchTrace and writes
 // a Chrome trace_event file loadable in https://ui.perfetto.dev.
+//
+// Causal tracing (DESIGN.md §11): --trace-sample N turns on the obs::tracing
+// flight recorder and head-samples every Nth batch. --trace-batch SEQ prints
+// the sampled batch's span tree (per-phase durations, attempt counts);
+// --check-spans runs the span/flow-event validator over the recorded stream
+// and exits 1 on any structural violation (the CI tracing job's teeth);
+// --trace-perfetto FILE dumps the recorded spans as a second Perfetto file
+// (real timestamps, flow arrows — complementary to --trace's modeled view).
 #include <cstdint>
 #include <cstdio>
 #include <cstring>
@@ -25,6 +35,8 @@
 #include "obs/dashboard.hpp"
 #include "obs/export.hpp"
 #include "obs/trace_export.hpp"
+#include "obs/tracing/tracing.hpp"
+#include "obs/tracing/validator.hpp"
 #include "sched/trace.hpp"
 #include "workloads/microbench.hpp"
 #include "workloads/tpcc.hpp"
@@ -45,6 +57,11 @@ struct Args {
   std::string export_json;
   std::string trace_file;
   bool check_prom = false;
+  unsigned trace_sample = 0;   ///< 0 = flight recorder off
+  std::uint64_t trace_batch = 0;  ///< print this batch's span tree (0 = off)
+  bool trace_batch_set = false;
+  bool check_spans = false;
+  std::string trace_perfetto;
 };
 
 int usage(const char* argv0) {
@@ -64,7 +81,15 @@ int usage(const char* argv0) {
       << "  --trace FILE                    write Chrome trace_event JSON "
          "(Perfetto)\n"
       << "  --check-prom                    validate the exposition dump; "
-         "exit 1 on failure\n";
+         "exit 1 on failure\n"
+      << "  --trace-sample N                flight-record every Nth batch "
+         "(0 = off)\n"
+      << "  --trace-batch SEQ               print the span tree of batch SEQ "
+         "(implies --trace-sample 1 when unset)\n"
+      << "  --check-spans                   validate the recorded span "
+         "stream; exit 1 on failure\n"
+      << "  --trace-perfetto FILE           write the recorded spans as "
+         "Perfetto JSON (real timestamps + flow arrows)\n";
   return 2;
 }
 
@@ -98,9 +123,24 @@ bool parse(int argc, char** argv, Args& a) {
       a.trace_file = v;
     } else if (f == "--check-prom") {
       a.check_prom = true;
+    } else if (f == "--trace-sample" && (v = need(i))) {
+      a.trace_sample = static_cast<unsigned>(std::stoul(v));
+    } else if (f == "--trace-batch" && (v = need(i))) {
+      a.trace_batch = std::stoull(v);
+      a.trace_batch_set = true;
+    } else if (f == "--check-spans") {
+      a.check_spans = true;
+    } else if (f == "--trace-perfetto" && (v = need(i))) {
+      a.trace_perfetto = v;
     } else {
       return false;
     }
+  }
+  // Any span consumer needs the recorder on; --trace-batch without an
+  // explicit rate samples everything so the requested batch is present.
+  if ((a.trace_batch_set || a.check_spans || !a.trace_perfetto.empty()) &&
+      a.trace_sample == 0) {
+    a.trace_sample = 1;
   }
   return a.workload == "tpcc" || a.workload == "catalog" ||
          a.workload == "micro";
@@ -143,6 +183,7 @@ struct Runner {
     sched::EngineConfig cfg;
     cfg.workers = a.workers;
     cfg.telemetry = true;
+    cfg.trace_sample_n = a.trace_sample;
     return cfg;
   }
 
@@ -166,6 +207,11 @@ int main(int argc, char** argv) {
 
   Runner runner(args);
   Rng rng(args.seed);
+  if (args.trace_sample > 0) {
+    // Enabled after the workload loaders ran, so the recorded stream holds
+    // only the measured batches.
+    obs::tracing::FlightRecorder::instance().enable();
+  }
   obs::Dashboard dash("progmon · " + args.workload);
   obs::ChromeTraceWriter tracer(args.workers);
   sched::BatchTrace trace;
@@ -223,6 +269,47 @@ int main(int argc, char** argv) {
   if (!args.trace_file.empty() &&
       !write_file(args.trace_file, tracer.json())) {
     rc = 1;
+  }
+
+  if (args.trace_sample > 0) {
+    auto& rec = obs::tracing::FlightRecorder::instance();
+    rec.disable();
+    const std::vector<obs::tracing::SpanEvent> spans = rec.snapshot();
+    std::cout << "progmon: flight recorder holds " << spans.size()
+              << " spans (sample 1/" << args.trace_sample << ")\n";
+    if (args.check_spans) {
+      const obs::tracing::ValidateReport vr =
+          obs::tracing::validate_spans(spans);
+      if (!vr.ok()) {
+        for (const std::string& e : vr.errors) {
+          std::cerr << "progmon: span validator: " << e << "\n";
+        }
+        std::cerr << "progmon: span stream INVALID (" << vr.errors.size()
+                  << " errors over " << vr.events << " events)\n";
+        rc = 1;
+      } else {
+        std::cout << "progmon: span stream OK (" << vr.events << " events, "
+                  << vr.batches << " batches, " << vr.flows << " flows)\n";
+      }
+    }
+    if (args.trace_batch_set) {
+      const std::string tree =
+          obs::tracing::format_span_tree(spans, args.trace_batch);
+      if (tree.empty()) {
+        std::cerr << "progmon: batch " << args.trace_batch
+                  << " has no recorded spans (is it a sampled batch? "
+                     "sample rate is 1/"
+                  << args.trace_sample << ")\n";
+        rc = 1;
+      } else {
+        std::cout << tree;
+      }
+    }
+    if (!args.trace_perfetto.empty() &&
+        !write_file(args.trace_perfetto,
+                    obs::tracing::to_perfetto_json(spans))) {
+      rc = 1;
+    }
   }
   return rc;
 }
