@@ -15,6 +15,13 @@
 // unsampled batches must cost one predictable branch per site, and the
 // sampled 1/64th a bounded handful of ring stores.
 //
+// The third arm runs the same gate over the *pipelined* apply path
+// (DESIGN.md §14): pipeline_depth=2, each batch staged through
+// prepare_batch()/execute_prepared() with the double-buffered lock-table
+// banks rotating. Telemetry must stay under kMaxPipelinedOverheadPct there
+// too — the staged path has its own instrument sites (per-stage spans, bank
+// stats) and this arm catches one of them going hot.
+//
 // Methodology: identical request streams (same seed, fresh context per run)
 // executed with real worker threads, timed in *process CPU time*
 // (CLOCK_PROCESS_CPUTIME_ID, all threads): instrument cost is CPU work, and
@@ -44,6 +51,7 @@ namespace {
 
 constexpr double kMaxOverheadPct = 3.0;
 constexpr double kMaxTracingOverheadPct = 5.0;
+constexpr double kMaxPipelinedOverheadPct = 5.0;
 /// CI sampling rate for the tracing arm (EXPERIMENTS.md tracing runbook).
 constexpr unsigned kTraceSampleN = 64;
 
@@ -87,13 +95,19 @@ RunCost run_once(const prog::benchutil::CaseFactory& factory,
                  int warmup, int measured) {
   auto ctx = factory(cfg);
   RunCost out;
+  const bool staged = cfg.pipeline_depth > 0;
+  auto run_one = [&](std::vector<prog::sched::TxRequest> batch) {
+    if (!staged) return ctx->database().execute(std::move(batch));
+    ctx->database().prepare_batch(std::move(batch));
+    return ctx->database().execute_prepared();
+  };
   for (int i = 0; i < warmup; ++i) {
-    ctx->database().execute(ctx->make_batch(batch_size));
+    run_one(ctx->make_batch(batch_size));
   }
   for (int i = 0; i < measured; ++i) {
     auto batch = ctx->make_batch(batch_size);
     const double t0 = process_cpu_us();
-    const auto r = ctx->database().execute(std::move(batch));
+    const auto r = run_one(std::move(batch));
     out.batch_us.push_back(process_cpu_us() - t0);
     out.committed += r.committed;
     out.rounds += r.rounds;
@@ -135,11 +149,13 @@ int main() {
   struct Arm {
     const char* label;
     bool tracing;
+    unsigned pipeline_depth;
     double budget;
   };
   const Arm arms[] = {
-      {"telemetry", false, kMaxOverheadPct},
-      {"telemetry+tracing/64", true, kMaxTracingOverheadPct},
+      {"telemetry", false, 0, kMaxOverheadPct},
+      {"telemetry+tracing/64", true, 0, kMaxTracingOverheadPct},
+      {"telemetry, pipelined/2", false, 2, kMaxPipelinedOverheadPct},
   };
 
   benchutil::Table table({"workload", "config", "batch size",
@@ -165,11 +181,13 @@ int main() {
         auto run_off = [&]() {
           sched::EngineConfig off = base;
           off.telemetry = false;
+          off.pipeline_depth = arm.pipeline_depth;
           return run_once(c.factory, off, c.batch_size, warmup, measured);
         };
         auto run_on = [&]() {
           sched::EngineConfig on = base;
           on.telemetry = true;
+          on.pipeline_depth = arm.pipeline_depth;
           if (arm.tracing) {
             on.trace_sample_n = kTraceSampleN;
             obs::tracing::FlightRecorder::instance().enable();
@@ -239,7 +257,8 @@ int main() {
   }
   std::cout << "=== Ablation: instrumentation overhead guard (telemetry "
             << benchutil::fmt(kMaxOverheadPct, 1) << "%, tracing "
-            << benchutil::fmt(kMaxTracingOverheadPct, 1) << "%) ===\n";
+            << benchutil::fmt(kMaxTracingOverheadPct, 1) << "%, pipelined "
+            << benchutil::fmt(kMaxPipelinedOverheadPct, 1) << "%) ===\n";
   table.print();
   if (failures != 0) return 1;
   std::cout << "instrumentation overhead within budget\n";

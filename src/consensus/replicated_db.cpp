@@ -1,6 +1,8 @@
 #include "consensus/replicated_db.hpp"
 
 #include <algorithm>
+#include <chrono>
+#include <thread>
 #include <unordered_set>
 #include <utility>
 
@@ -60,6 +62,9 @@ ReplicatedDb::ReplicatedDb(unsigned replicas, std::uint64_t seed,
         on_install(follower, leader, upto);
       });
   dur_.resize(replicas);
+  queues_.resize(replicas);
+  durable_mark_.resize(replicas, 0);
+  qfw_seen_.resize(replicas, 0);
   if (opts_.vfs != nullptr) {
     dm_.emplace(dur::DurMetrics::create(*registry_));
     for (unsigned i = 0; i < replicas; ++i) {
@@ -74,7 +79,29 @@ ReplicatedDb::ReplicatedDb(unsigned replicas, std::uint64_t seed,
     // incarnation's WAL + checkpoints) is recovered before the first batch,
     // so a ReplicatedDb can be torn down and rebuilt over the same Vfs.
     for (unsigned i = 0; i < replicas; ++i) durable_restart(i);
+    // Commit queues come up only after recovery settled the boundary: the
+    // queue's initial watermark is everything recovery proved durable.
+    for (unsigned i = 0; i < replicas; ++i) make_commit_queue(i);
   }
+  rm_.pipeline_depth->set(config_.pipeline_depth);
+}
+
+void ReplicatedDb::make_commit_queue(NodeId i) {
+  if (opts_.vfs == nullptr || config_.pipeline_depth == 0) return;
+  const std::uint64_t recovered = cluster_.applied(i).size();
+  durable_mark_[i] = recovered;
+  qfw_seen_[i] = 0;
+  queues_[i] = std::make_unique<dur::DurableCommitQueue>(
+      *dur_[i], i, config_.pipeline_depth, recovered);
+}
+
+void ReplicatedDb::quiesce_queue(NodeId i, LogIndex idx) {
+  if (queues_[i] == nullptr) return;
+  if (queues_[i]->watermark() < idx) {
+    ++stats_.pipeline_fsync_stalls;
+    rm_.pipeline_stall_fsync->inc();
+  }
+  queues_[i]->flush();
 }
 
 std::unique_ptr<db::Database> ReplicatedDb::build_replica() const {
@@ -138,6 +165,7 @@ bool ReplicatedDb::submit_with_retry(std::vector<sched::TxRequest> batch,
     if (cluster_.submit(cmd)) {
       ++next_cmd_;
       rm_.batches_submitted->inc();
+      if (durable()) wait_durable_ack(waited, deadline);
       return true;
     }
     if (waited >= deadline) {
@@ -153,6 +181,80 @@ bool ReplicatedDb::submit_with_retry(std::vector<sched::TxRequest> batch,
                              std::max<SimTime>(opts_.retry_max_step_ms, 1));
     ++stats_.submit_retries;
     rm_.submit_retries->inc();
+  }
+}
+
+bool ReplicatedDb::durable_quorum_at(LogIndex idx) const noexcept {
+  if (opts_.vfs == nullptr || idx == 0) return true;
+  const unsigned n = cluster_.size();
+  unsigned durable = 0;
+  for (unsigned i = 0; i < n; ++i) {
+    if (durable_watermark(i) >= idx) ++durable;
+  }
+  return durable >= n / 2 + 1;
+}
+
+void ReplicatedDb::wait_durable_ack(SimTime& waited, SimTime deadline) {
+  // Durable ack semantics: leader acceptance is NOT an ack in durable mode.
+  // The ack waits for the durable watermark — a quorum of replicas with the
+  // batch past a WAL group-commit barrier — so a crash between agreement
+  // and fsync can never lose an acked transaction. The acceptance already
+  // happened: whatever the wait finds, this never turns into a failure (the
+  // command is in the leader's log and will commit or be superseded on its
+  // own terms); an expired deadline just means the caller resumes driving
+  // virtual time itself.
+  const int leader = cluster_.leader();
+  if (leader < 0) return;
+  const RaftNode& n = cluster_.node(static_cast<NodeId>(leader));
+  const LogIndex idx =
+      n.snapshot_index() + static_cast<LogIndex>(n.log().size());
+  const unsigned quorum_n = cluster_.size() / 2 + 1;
+  bool quorum = durable_quorum_at(idx);
+  while (!quorum && waited < deadline) {
+    cluster_.run_ms(1);
+    ++waited;
+    quorum = durable_quorum_at(idx);
+    if (quorum || config_.pipeline_depth == 0) continue;
+    // The fsync barriers run on real commit-queue threads. While the batch
+    // is still replicating/applying in virtual time there is nothing to
+    // wait on; once a quorum of replicas has *enqueued* the record, only
+    // the barrier latency remains — park on the slowest queue's watermark
+    // condition variable (event-driven, wakes on the fsync) instead of
+    // burning sleep quanta in a poll loop.
+    unsigned pushed = 0;
+    for (unsigned i = 0; i < cluster_.size(); ++i) {
+      if (queues_[i] != nullptr ? queues_[i]->pushed_mark() >= idx
+                                : durable_mark_[i] >= idx) {
+        ++pushed;
+      }
+    }
+    if (pushed < quorum_n) continue;
+    // One bounded park per virtual step, never a wall-only inner loop: the
+    // outer run_ms(1) must keep flowing so replicas that are still
+    // replicating (e.g. the non-quorum straggler) continue to make
+    // progress in virtual time while we wait out the barrier latency.
+    for (unsigned i = 0; i < cluster_.size(); ++i) {
+      if (queues_[i] != nullptr && queues_[i]->pushed_mark() >= idx &&
+          queues_[i]->watermark() < idx) {
+        queues_[i]->wait_watermark(idx, std::chrono::microseconds(500));
+        break;
+      }
+    }
+    quorum = durable_quorum_at(idx);
+  }
+  if (!quorum) return;
+  ++stats_.submit_acked_durable;
+  rm_.submit_acked_durable->inc();
+  if (trace_sampled(idx)) {
+    unsigned reached = 0;
+    for (unsigned i = 0; i < cluster_.size(); ++i) {
+      if (durable_watermark(i) >= idx) ++reached;
+    }
+    obs::tracing::SpanEvent ev;
+    ev.kind = obs::tracing::SpanKind::kAckDurable;
+    ev.batch_seq = idx;
+    ev.arg = reached;
+    obs::tracing::emit(ev);
   }
 }
 
@@ -228,20 +330,46 @@ void ReplicatedDb::apply(NodeId node, LogIndex idx, Command cmd) {
   }
   // Copy: every replica consumes its own instance of the batch.
   std::vector<sched::TxRequest> batch = pool_batch(cmd);
-  replicas_[node]->execute(std::move(batch));
+  if (config_.pipeline_depth > 0) {
+    // Pipelined apply (DESIGN.md §14): stage P (predict + lock-table
+    // population against the previous batch's snapshot) runs split from
+    // stage X (worker execution), rotating the double-buffered lock-table
+    // banks. Determinism forces P(N) to wait for X(N-1)'s snapshot
+    // boundary, so every pipelined batch counts one structural
+    // waiting-on-snapshot stall; the real overlap this buys is P/X of
+    // batch N against stage D (the async fsync of N-1 and earlier).
+    rm_.pipeline_stall_snapshot->inc();
+    replicas_[node]->prepare_batch(std::move(batch));
+    replicas_[node]->execute_prepared();
+  } else {
+    replicas_[node]->execute(std::move(batch));
+  }
   rm_.batches_applied->inc();
   if (opts_.divergence_check) check_divergence(node, idx);
   if (quarantined_[node] != 0) return;  // divergence handling took over
   if (dur_[node] != nullptr) {
-    // Group commit: one WAL record (and one fsync barrier) per agreed
-    // batch, carrying the post-apply state hash for replay verification.
+    // Group commit: one WAL record per agreed batch, carrying the
+    // post-apply state hash for replay verification. At depth 0 the fsync
+    // barrier runs inline on the apply path; at depth > 0 the record goes
+    // to the async commit queue and the durable watermark advances once
+    // the queue's shared barrier covers it.
     dur::WalRecord rec;
     rec.seq = idx;
     rec.term = cluster_.node(node).committed_term_at(idx);
     rec.command = cmd;
     rec.state_hash = replicas_[node]->state_hash();
     rec.batch = pool_batch(cmd);
-    dur_[node]->append_batch(rec);
+    if (queues_[node] != nullptr) {
+      queues_[node]->push(std::move(rec), trace_sampled(idx));
+      const std::uint64_t qfw = queues_[node]->queue_full_waits();
+      if (qfw > qfw_seen_[node]) {
+        rm_.pipeline_stall_queue_full->inc(qfw - qfw_seen_[node]);
+        qfw_seen_[node] = qfw;
+      }
+    } else {
+      dur_[node]->append_batch(rec);
+      durable_mark_[node] = idx;
+    }
   }
   if (opts_.checkpoint_interval > 0 && idx % opts_.checkpoint_interval == 0) {
     take_checkpoint(node, idx);
@@ -293,7 +421,14 @@ void ReplicatedDb::take_checkpoint(NodeId node, LogIndex idx) {
   // Stats baseline at the boundary: carried + live. Deterministic (counts
   // only), so every replica's checkpoint at `idx` carries the same values.
   cp.engine_stats = replica_engine_stats(node);
-  if (dur_[node] != nullptr) dur_[node]->persist_checkpoint(to_durable(cp));
+  if (dur_[node] != nullptr) {
+    // Durable-watermark gate: checkpoint publication rotates the WAL tail,
+    // so every record still in the async commit queue must reach its
+    // barrier first (counted as a waiting-on-fsync stall when the
+    // watermark lags the boundary).
+    quiesce_queue(node, idx);
+    dur_[node]->persist_checkpoint(to_durable(cp));
+  }
   cp_stores_[node].add(std::move(cp), opts_.max_checkpoints);
   ++stats_.checkpoints_taken;
   rm_.checkpoints->inc();
@@ -334,6 +469,13 @@ void ReplicatedDb::crash_replica(NodeId i) {
     cp_stores_[i].clear();
     cp_stores_[i].set_anchor(-1);
   }
+  if (queues_[i] != nullptr) {
+    // Crash semantics for the async durability stage: records still queued
+    // (agreed but never fsynced) die with the process, exactly like an OS
+    // write-back queue. Recovery finds only what reached the platter.
+    queues_[i]->stop_discard();
+    queues_[i].reset();
+  }
 }
 
 void ReplicatedDb::restart_replica(NodeId i) {
@@ -348,6 +490,7 @@ void ReplicatedDb::restart_replica(NodeId i) {
   cluster_.node(i).wipe();
   if (dur_[i] != nullptr) {
     durable_restart(i);
+    make_commit_queue(i);
     return;
   }
   const Checkpoint* cp = cp_stores_[i].latest();
@@ -538,8 +681,15 @@ void ReplicatedDb::on_install(NodeId follower, NodeId leader, LogIndex upto) {
   if (dur_[follower] != nullptr) {
     // Persist the transferred image and rotate the WAL to its boundary, so
     // a crash right after the install recovers locally instead of repeating
-    // the transfer.
+    // the transfer. The commit queue must quiesce first (the rotation pulls
+    // the WAL tail out from under it) and restarts at the transferred
+    // boundary: the checkpoint makes everything below `upto` durable.
+    quiesce_queue(follower, upto);
     dur_[follower]->persist_checkpoint(to_durable(*cp));
+    if (queues_[follower] != nullptr) {
+      queues_[follower].reset();  // graceful: already drained
+      make_commit_queue(follower);
+    }
   }
   quarantined_[follower] = 0;
   ++stats_.snapshot_installs;
@@ -653,6 +803,7 @@ void ReplicatedDb::refresh_gauges() {
                      static_cast<std::int64_t>(min_applied));
   rm_.replicas_down->set(down);
   rm_.replicas_quarantined->set(quar);
+  rm_.pipeline_depth->set(config_.pipeline_depth);
 }
 
 std::string ReplicatedDb::deterministic_counter_snapshot(unsigned i) const {

@@ -38,6 +38,7 @@
 #include "consensus/checkpoint.hpp"
 #include "consensus/raft.hpp"
 #include "db/database.hpp"
+#include "dur/commit_queue.hpp"
 #include "dur/storage.hpp"
 #include "obs/metrics.hpp"
 #include "obs/replica_metrics.hpp"
@@ -104,6 +105,11 @@ struct RecoveryStats {
   std::uint64_t replay_hash_mismatches = 0;
   /// Restarts recovered from local disk (checkpoint and/or WAL).
   std::uint64_t durable_recoveries = 0;
+  /// Durable-mode acks released by the durable watermark (a quorum of
+  /// replicas fsynced the batch), not merely by leader acceptance.
+  std::uint64_t submit_acked_durable = 0;
+  /// Checkpoint publications that waited on the async fsync watermark.
+  std::uint64_t pipeline_fsync_stalls = 0;
 };
 
 class ReplicatedDb {
@@ -182,6 +188,22 @@ class ReplicatedDb {
     return dm_.has_value() ? &*dm_ : nullptr;
   }
 
+  /// Replica `i`'s durable watermark: the highest batch sequence known to
+  /// have passed a WAL group-commit barrier there. With the async commit
+  /// queue (pipeline_depth > 0) this is the queue's watermark; with inline
+  /// appends it tracks apply directly. 0 when not durable.
+  std::uint64_t durable_watermark(unsigned i) const noexcept {
+    if (queues_[i] != nullptr) return queues_[i]->watermark();
+    return durable_mark_[i];
+  }
+  /// True when a majority of replicas have durable_watermark() >= idx.
+  bool durable_quorum_at(LogIndex idx) const noexcept;
+  /// Per-replica async commit queue; nullptr when not durable or depth 0.
+  /// Exposed for the chaos harness (pause/resume around an injected kill).
+  dur::DurableCommitQueue* commit_queue(unsigned i) noexcept {
+    return queues_[i].get();
+  }
+
   db::Database& replica(unsigned i) { return *replicas_[i]; }
   RaftCluster& raft() noexcept { return cluster_; }
   const RecoveryStats& recovery_stats() const noexcept { return stats_; }
@@ -251,6 +273,19 @@ class ReplicatedDb {
   /// recovered boundary. Falls back to leader catch-up for whatever the
   /// disk could not vouch for.
   void durable_restart(NodeId i);
+  /// (Re)creates replica `i`'s async commit queue seeded with the current
+  /// applied boundary as its watermark. No-op unless durable and
+  /// pipeline_depth > 0.
+  void make_commit_queue(NodeId i);
+  /// Durable-mode ack gate: after acceptance, drives virtual time (within
+  /// the remaining submit deadline) until a quorum of durable watermarks
+  /// covers the accepted index, then counts the ack and emits kAckDurable.
+  /// Never fails the submission.
+  void wait_durable_ack(SimTime& waited, SimTime deadline);
+  /// Quiesces replica `i`'s commit queue before direct storage access that
+  /// rotates the WAL tail (checkpoint publication), counting the wait as a
+  /// waiting-on-fsync pipeline stall when the watermark lags `idx`.
+  void quiesce_queue(NodeId i, LogIndex idx);
 
   sched::EngineConfig config_;
   RecoveryOptions opts_;
@@ -277,6 +312,16 @@ class ReplicatedDb {
   /// Per-replica durable storage; empty slots when not durable. Declared
   /// before cluster_: apply callbacks write through it.
   std::vector<std::unique_ptr<dur::DurableReplicaStorage>> dur_;
+  /// Per-replica async commit queues (stage D of the pipelined apply);
+  /// populated only when durable and pipeline_depth > 0. Declared after
+  /// dur_ (queue destructors drain into the storage) and before cluster_.
+  std::vector<std::unique_ptr<dur::DurableCommitQueue>> queues_;
+  /// Inline durable watermark per replica (durable mode at depth 0, where
+  /// append_batch fsyncs on the apply path): batch seq of the last inline
+  /// group commit. The commit queue supersedes it at depth > 0.
+  std::vector<std::uint64_t> durable_mark_;
+  /// Last observed queue_full_waits per replica (for counter deltas).
+  std::vector<std::uint64_t> qfw_seen_;
   /// Last member: its callbacks touch everything above.
   RaftCluster cluster_;
 };

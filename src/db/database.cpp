@@ -53,6 +53,16 @@ sched::BatchResult Database::execute(
   return engine_->run_batch(std::move(requests));
 }
 
+void Database::prepare_batch(std::vector<sched::TxRequest> requests) {
+  PROG_CHECK_MSG(engine_ != nullptr, "prepare_batch() before finalize()");
+  engine_->prepare_batch(std::move(requests));
+}
+
+sched::BatchResult Database::execute_prepared() {
+  PROG_CHECK_MSG(engine_ != nullptr, "execute_prepared() before finalize()");
+  return engine_->execute_prepared();
+}
+
 sched::BatchResult Database::execute_traced(
     std::vector<sched::TxRequest> requests, sched::BatchTrace* trace) {
   PROG_CHECK_MSG(engine_ != nullptr, "execute_traced() before finalize()");

@@ -55,6 +55,14 @@ class Database {
   sched::BatchResult execute_traced(std::vector<sched::TxRequest> requests,
                                     sched::BatchTrace* trace);
 
+  /// Stage P of the pipelined replica apply (DESIGN.md §14): classify,
+  /// predict and populate the batch's lock-table bank without executing.
+  /// Pair with execute_prepared(); outcome-identical to execute().
+  void prepare_batch(std::vector<sched::TxRequest> requests);
+
+  /// Stage X: runs the prepared batch to completion.
+  sched::BatchResult execute_prepared();
+
   store::VersionedStore& store() noexcept { return store_; }
   const store::VersionedStore& store() const noexcept { return store_; }
 

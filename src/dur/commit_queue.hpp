@@ -1,0 +1,136 @@
+// Async group-commit queue: stage D of the pipelined replica apply
+// (DESIGN.md §14).
+//
+// The apply thread hands each agreed batch's WalRecord to push(), which
+// returns as soon as the record is enqueued — the fsync barrier no longer
+// sits on the apply critical path. A dedicated durability thread drains the
+// queue: it swaps out *everything* pending, appends each record without a
+// barrier (DurableReplicaStorage::append_batch_nosync), then issues ONE
+// sync_wal() for the whole group — the classic group-commit coalescing, now
+// across batches instead of across transactions. After the barrier it emits
+// one kWalFsync span per traced record (stamped before the watermark moves:
+// the span validator's fsync ≤ ack rule leans on that order) and advances
+// the durable watermark to the last drained sequence. Client acks and
+// checkpoint publication gate on the watermark, never on raw queue state.
+//
+// Backpressure: push() blocks while `window` records are pending (the
+// bounded in-flight window == EngineConfig::pipeline_depth), counting each
+// blocked entry in queue_full_waits — the pipeline stall telemetry reads it.
+//
+// Failure semantics: a failed sync_wal() still advances the watermark. The
+// alternative (holding the watermark back) deadlocks every flush() and ack
+// behind an unrecoverable barrier; treating it as a lying drive — records
+// possibly not durable, recovery's checkpoint chain + leader catch-up covers
+// the loss — matches what the fault-injection model (kFsyncNoop) already
+// forces recovery to survive.
+//
+// Lifecycle: the destructor drains gracefully (clean shutdown keeps the
+// cold-start contract: everything acked is on the platter). stop_discard()
+// is the crash path — pending unsynced records are dropped on the floor,
+// exactly what process death does to an OS write-back queue. pause()/
+// resume() freeze the drain for tests that need a replica alive but not
+// fsyncing (the ack-semantics chaos test kills it in that window).
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "dur/storage.hpp"
+
+namespace prog::dur {
+
+class DurableCommitQueue {
+ public:
+  /// `window` bounds the pending records before push() blocks (>= 1).
+  /// `initial_watermark` seeds the durable watermark — the recovered final
+  /// sequence on restart, 0 on a blank directory. `storage` must outlive
+  /// the queue and is touched only from the queue's own thread after
+  /// construction (callers must flush() before using it directly, e.g. for
+  /// persist_checkpoint, which rotates the WAL tail under the queue).
+  DurableCommitQueue(DurableReplicaStorage& storage, std::uint32_t replica,
+                     std::size_t window, std::uint64_t initial_watermark);
+  ~DurableCommitQueue();
+
+  DurableCommitQueue(const DurableCommitQueue&) = delete;
+  DurableCommitQueue& operator=(const DurableCommitQueue&) = delete;
+
+  /// Enqueues one agreed batch for async append+fsync. Blocks while the
+  /// in-flight window is full. `traced` requests a kWalFsync span for this
+  /// record after its group's barrier.
+  void push(WalRecord rec, bool traced);
+
+  /// Highest batch sequence the durability thread has pushed through a
+  /// group-commit barrier (monotone; see the header note on failed syncs).
+  std::uint64_t watermark() const noexcept {
+    return watermark_.load(std::memory_order_acquire);
+  }
+
+  /// Highest batch sequence ever handed to push() (== the watermark once
+  /// the queue drains). The ack path uses it to tell "still replicating in
+  /// virtual time" from "applied, only the fsync barrier outstanding" — the
+  /// latter is the only state worth blocking wall-clock time on.
+  std::uint64_t pushed_mark() const noexcept {
+    return pushed_mark_.load(std::memory_order_acquire);
+  }
+
+  /// Blocks until watermark() >= seq, the queue stops, or `timeout`
+  /// elapses; returns watermark() >= seq. Event-driven (condition variable,
+  /// not polling): the durable-ack wait parks here for exactly the fsync
+  /// latency instead of burning sleep quanta. A paused queue simply times
+  /// out — callers bound their total wait.
+  bool wait_watermark(std::uint64_t seq, std::chrono::microseconds timeout);
+
+  /// Blocks until every record pushed so far has gone through its barrier.
+  /// Required before any direct storage access that moves the WAL tail
+  /// (persist_checkpoint). Deadlocks if called while paused — resume first.
+  void flush();
+
+  /// Test hooks: freeze / unfreeze the drain. Paused, records accumulate
+  /// (push() still blocks at the window) and the watermark stands still —
+  /// the agree-but-not-durable window the ack-semantics chaos test targets.
+  void pause();
+  void resume();
+
+  /// Crash semantics: stops the thread and discards pending (never-synced)
+  /// records. The queue is dead afterwards; destroy it.
+  void stop_discard();
+
+  /// Times push() found the window full and had to block (stall telemetry).
+  std::uint64_t queue_full_waits() const noexcept {
+    return queue_full_waits_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Item {
+    WalRecord rec;
+    bool traced = false;
+  };
+
+  void run();
+
+  DurableReplicaStorage& storage_;
+  const std::uint32_t replica_;
+  const std::size_t window_;
+
+  std::mutex mu_;
+  std::condition_variable cv_worker_;  ///< wakes the durability thread
+  std::condition_variable cv_caller_; ///< wakes push()/flush() waiters
+  std::vector<Item> pending_;
+  bool stop_ = false;
+  bool discard_ = false;
+  bool paused_ = false;
+  bool draining_ = false;  ///< worker is mid-group (swapped out, not synced)
+
+  std::atomic<std::uint64_t> watermark_;
+  std::atomic<std::uint64_t> pushed_mark_;
+  std::atomic<std::uint64_t> queue_full_waits_{0};
+
+  std::thread thread_;  ///< last: joins against everything above
+};
+
+}  // namespace prog::dur

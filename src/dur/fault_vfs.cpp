@@ -1,6 +1,9 @@
 #include "dur/fault_vfs.hpp"
 
+#include <chrono>
+#include <mutex>
 #include <set>
+#include <thread>
 
 namespace prog::dur {
 
@@ -57,6 +60,7 @@ void FaultVfs::count_syscall(const std::string& path) {
 }
 
 std::unique_ptr<VfsFile> FaultVfs::open_append(const std::string& path) {
+  std::lock_guard<std::mutex> lk(mu_);
   if (files_.find(path) == files_.end()) {
     files_.emplace(path, FileState{});
     count_syscall(path);  // creation mutates the directory
@@ -65,16 +69,19 @@ std::unique_ptr<VfsFile> FaultVfs::open_append(const std::string& path) {
 }
 
 std::string FaultVfs::read_all(const std::string& path) {
+  std::lock_guard<std::mutex> lk(mu_);
   auto it = files_.find(path);
   if (it == files_.end()) throw IoError("read_all: no such file: " + path);
   return it->second.data;
 }
 
 bool FaultVfs::exists(const std::string& path) {
+  std::lock_guard<std::mutex> lk(mu_);
   return files_.find(path) != files_.end();
 }
 
 std::vector<std::string> FaultVfs::list(const std::string& dir) {
+  std::lock_guard<std::mutex> lk(mu_);
   const std::string prefix = dir.empty() || dir.back() == '/' ? dir : dir + "/";
   std::set<std::string> names;
   for (const auto& [p, st] : files_) {
@@ -87,6 +94,7 @@ std::vector<std::string> FaultVfs::list(const std::string& dir) {
 }
 
 void FaultVfs::remove(const std::string& path) {
+  std::lock_guard<std::mutex> lk(mu_);
   auto it = files_.find(path);
   if (it == files_.end()) throw IoError("remove: no such file: " + path);
   files_.erase(it);
@@ -94,6 +102,7 @@ void FaultVfs::remove(const std::string& path) {
 }
 
 void FaultVfs::rename(const std::string& from, const std::string& to) {
+  std::lock_guard<std::mutex> lk(mu_);
   auto it = files_.find(from);
   if (it == files_.end()) throw IoError("rename: no such file: " + from);
   FileState st = std::move(it->second);
@@ -103,6 +112,7 @@ void FaultVfs::rename(const std::string& from, const std::string& to) {
 }
 
 void FaultVfs::truncate(const std::string& path, std::uint64_t size) {
+  std::lock_guard<std::mutex> lk(mu_);
   auto it = files_.find(path);
   if (it == files_.end()) throw IoError("truncate: no such file: " + path);
   FileState& st = it->second;
@@ -114,6 +124,7 @@ void FaultVfs::truncate(const std::string& path, std::uint64_t size) {
 }
 
 void FaultVfs::arm(const std::string& prefix, FaultPlan plan) {
+  std::lock_guard<std::mutex> lk(mu_);
   armed_.emplace(prefix, plan);
   syscalls_ = 0;
   frozen_ = false;
@@ -121,6 +132,7 @@ void FaultVfs::arm(const std::string& prefix, FaultPlan plan) {
 }
 
 void FaultVfs::power_fail(const std::string& prefix) {
+  std::lock_guard<std::mutex> lk(mu_);
   // Death snapshot: the freeze-point capture, or the current state when the
   // syscall budget never ran out (death is "now").
   std::map<std::string, FileState> dead;
@@ -194,6 +206,7 @@ void FaultVfs::power_fail(const std::string& prefix) {
 
 void FaultVfs::corrupt(const std::string& path, std::uint64_t offset,
                        std::uint8_t mask) {
+  std::lock_guard<std::mutex> lk(mu_);
   auto it = files_.find(path);
   if (it == files_.end()) throw IoError("corrupt: no such file: " + path);
   FileState& st = it->second;
@@ -212,12 +225,21 @@ void FaultVfs::corrupt(const std::string& path, std::uint64_t offset,
 // --- FaultFile ---------------------------------------------------------------
 
 void FaultFile::append(std::string_view data) {
+  std::lock_guard<std::mutex> lk(vfs_.mu_);
   FaultVfs::FileState& st = vfs_.state_of(path_);
   st.data.append(data.data(), data.size());
   vfs_.count_syscall(path_);
 }
 
 void FaultFile::sync() {
+  // The simulated flush-barrier latency sleeps OUTSIDE the lock: each
+  // replica's commit-queue thread models its own drive, so concurrent
+  // fsyncs must overlap instead of serializing behind one another.
+  const std::uint64_t delay = vfs_.sync_delay();
+  if (delay > 0) {
+    std::this_thread::sleep_for(std::chrono::microseconds(delay));
+  }
+  std::lock_guard<std::mutex> lk(vfs_.mu_);
   FaultVfs::FileState& st = vfs_.state_of(path_);
   const bool lying = vfs_.armed_.has_value() &&
                      vfs_.under_armed(path_) &&
@@ -227,6 +249,7 @@ void FaultFile::sync() {
 }
 
 std::uint64_t FaultFile::size() const {
+  std::lock_guard<std::mutex> lk(vfs_.mu_);
   return vfs_.state_of(path_).data.size();
 }
 

@@ -30,8 +30,10 @@
 // (process crashes keep `data`; only power_fail drops to `synced`).
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <map>
+#include <mutex>
 #include <optional>
 #include <string>
 
@@ -92,8 +94,26 @@ class FaultVfs final : public Vfs {
 
   /// True once the armed syscall budget has run out (the process is dead
   /// storage-wise; only power_fail + recovery brings the prefix back).
-  bool crash_triggered() const noexcept { return frozen_; }
-  std::uint64_t syscalls() const noexcept { return syscalls_; }
+  bool crash_triggered() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return frozen_;
+  }
+  std::uint64_t syscalls() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return syscalls_;
+  }
+
+  /// Simulated fsync latency: every file sync() sleeps this long before
+  /// acknowledging (0 = instant, the default). Models a real drive's
+  /// flush-barrier cost so the pipeline bench can sweep fsync latency
+  /// deterministically on the in-memory VFS. Thread-safe (relaxed atomic):
+  /// the async commit queue syncs from its own thread.
+  void set_sync_delay(std::uint64_t micros) noexcept {
+    sync_delay_us_.store(micros, std::memory_order_relaxed);
+  }
+  std::uint64_t sync_delay() const noexcept {
+    return sync_delay_us_.load(std::memory_order_relaxed);
+  }
 
  private:
   struct FileState {
@@ -103,18 +123,24 @@ class FaultVfs final : public Vfs {
 
   friend class FaultFile;
 
+  // All private helpers assume mu_ is held. The async commit queues
+  // (DESIGN.md §14) write through the Vfs from their own threads while the
+  // sim thread persists metadata and checkpoints, so every public entry
+  // point locks.
   void count_syscall(const std::string& path);
   bool under_armed(const std::string& path) const {
     return armed_.has_value() && path.rfind(armed_->first, 0) == 0;
   }
   FileState& state_of(const std::string& path);
 
+  mutable std::mutex mu_;
   Rng rng_;
   std::map<std::string, FileState> files_;
   /// (prefix, plan) while armed.
   std::optional<std::pair<std::string, FaultPlan>> armed_;
   std::uint64_t syscalls_ = 0;     ///< counted since the last arm()
   bool frozen_ = false;            ///< syscall budget exhausted
+  std::atomic<std::uint64_t> sync_delay_us_{0};
   /// Platter images captured at the freeze point (path -> state).
   std::map<std::string, FileState> death_image_;
 };

@@ -157,6 +157,45 @@ void DurableReplicaStorage::append_batch(const WalRecord& rec) {
   }
 }
 
+std::size_t DurableReplicaStorage::append_batch_nosync(const WalRecord& rec) {
+  if (tail_ == nullptr) open_tail(tail_start_);
+  const std::string& path = tail_->path();
+  std::uint64_t pre = 0;
+  try {
+    pre = tail_->size();
+    const std::size_t n = tail_->append(rec);
+    if (m_ != nullptr) {
+      m_->wal_bytes->inc(n);
+      m_->wal_records->inc();
+    }
+    return n;
+  } catch (const IoError&) {
+    count_io_error();
+    // Same frame-boundary rollback as append_batch: a half-written record
+    // must not poison the appends that follow it.
+    try {
+      vfs_.truncate(path, pre);
+      open_tail(tail_start_);
+    } catch (const IoError&) {
+      count_io_error();
+      tail_.reset();
+    }
+    return 0;
+  }
+}
+
+bool DurableReplicaStorage::sync_wal() {
+  if (tail_ == nullptr) return true;  // degraded tail: nothing to sync
+  try {
+    tail_->sync();
+    if (m_ != nullptr) m_->wal_fsyncs->inc();
+    return true;
+  } catch (const IoError&) {
+    count_io_error();
+    return false;
+  }
+}
+
 void DurableReplicaStorage::persist_checkpoint(const CheckpointImage& cp) {
   try {
     const std::size_t n =

@@ -83,6 +83,22 @@ class DurableReplicaStorage {
   /// ticks, and the batch is simply not durable here.
   void append_batch(const WalRecord& rec);
 
+  /// Appends one agreed batch WITHOUT the group-commit barrier — the async
+  /// commit queue's write half (DESIGN.md §14). Several appends may share
+  /// one sync_wal() barrier, which is the whole point of group-commit
+  /// coalescing. Emits no tracing span (the queue emits one per record
+  /// after the shared sync). IoError is absorbed with the same
+  /// truncate-to-frame-boundary rollback as append_batch. Returns the
+  /// framed byte count (0 when the append failed and was rolled back).
+  std::size_t append_batch_nosync(const WalRecord& rec);
+
+  /// The group-commit barrier for records appended via append_batch_nosync.
+  /// Returns false when the file system refused the fsync — for the
+  /// caller's durable watermark that is equivalent to a lying drive (one of
+  /// the injected fault modes): the records may not be durable, and
+  /// recovery's checkpoint chain plus leader catch-up covers the loss.
+  bool sync_wal();
+
   /// Publishes `cp` atomically, rotates the WAL to a fresh segment at the
   /// checkpoint boundary, and prunes slots/segments per retention.
   void persist_checkpoint(const CheckpointImage& cp);

@@ -182,6 +182,23 @@ std::string Dashboard::render() const {
         "   quarantines " +
         fmt_si(static_cast<double>(val("replica_quarantines_total|"))));
   }
+  // Pipelined-apply section (DESIGN.md §14): configured depth plus the
+  // windowed stall-cause breakdown. The three causes are disjoint by
+  // construction — snapshot (prepare waited on the previous batch's
+  // boundary), fsync (a checkpoint waited on the durable watermark), and
+  // queue-full (an apply blocked on the commit-queue window).
+  if (cell("replica_pipeline_depth|") != nullptr) {
+    const double s_snap = delta("replica_pipeline_stall_snapshot_total|");
+    const double s_fsync = delta("replica_pipeline_stall_fsync_total|");
+    const double s_qfull = delta("replica_pipeline_stall_queue_full_total|");
+    const double stalls = s_snap + s_fsync + s_qfull;
+    lines.push_back(
+        "pipeline  depth " +
+        fmt_si(static_cast<double>(val("replica_pipeline_depth|"))) +
+        "   stalls " + fmt_si(stalls) + "  (snapshot " + pct(s_snap, stalls) +
+        "  fsync " + pct(s_fsync, stalls) + "  queue-full " +
+        pct(s_qfull, stalls) + ")");
+  }
 
   std::size_t width = title_.size() + 4;
   for (const std::string& l : lines) width = std::max(width, l.size() + 4);

@@ -37,6 +37,20 @@ ReplicaMetrics ReplicaMetrics::create(Registry& reg) {
       c("replica_batches_submitted_total", "Batches accepted by submit");
   m.batches_applied = c("replica_batches_applied_total",
                         "Batch applications across all replicas");
+  m.submit_acked_durable =
+      c("replica_submit_acked_durable_total",
+        "Acks released by a quorum of durable WAL-fsync watermarks");
+
+  m.pipeline_stall_snapshot =
+      c("replica_pipeline_stall_snapshot_total",
+        "Pipelined batches whose prepare waited on the previous batch's "
+        "snapshot boundary");
+  m.pipeline_stall_fsync =
+      c("replica_pipeline_stall_fsync_total",
+        "Checkpoint publications that waited on the async fsync watermark");
+  m.pipeline_stall_queue_full =
+      c("replica_pipeline_stall_queue_full_total",
+        "Applies that blocked on a full commit-queue in-flight window");
 
   m.chaos_crashes =
       c("chaos_crashes_total", "Injected full-replica crashes (memory loss)");
@@ -54,6 +68,9 @@ ReplicaMetrics ReplicaMetrics::create(Registry& reg) {
   m.replicas_down = &reg.gauge("replica_down", "Replicas currently crashed");
   m.replicas_quarantined =
       &reg.gauge("replica_quarantined", "Replicas currently quarantined");
+  m.pipeline_depth = &reg.gauge(
+      "replica_pipeline_depth",
+      "Configured apply-pipeline depth (0 = legacy serial apply)");
   return m;
 }
 

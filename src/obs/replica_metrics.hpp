@@ -24,6 +24,15 @@ struct ReplicaMetrics {
   Counter* submit_timeouts = nullptr;  ///< submit_with_retry deadline expiries
   Counter* batches_submitted = nullptr;
   Counter* batches_applied = nullptr;  ///< across all replicas
+  /// Durable-mode acks released by the durable watermark: submit_with_retry
+  /// observed a quorum of replica WAL fsync watermarks at/past the batch.
+  Counter* submit_acked_durable = nullptr;
+
+  // --- pipelined apply (DESIGN.md §14) -------------------------------------
+  /// Stall-cause breakdown of the pipelined apply path.
+  Counter* pipeline_stall_snapshot = nullptr;    ///< waiting-on-snapshot
+  Counter* pipeline_stall_fsync = nullptr;       ///< waiting-on-fsync barrier
+  Counter* pipeline_stall_queue_full = nullptr;  ///< commit-queue window full
 
   // --- chaos-event counters (incremented by consensus::run_chaos) ----------
   Counter* chaos_crashes = nullptr;
@@ -38,6 +47,8 @@ struct ReplicaMetrics {
   Gauge* batch_lag = nullptr;
   Gauge* replicas_down = nullptr;
   Gauge* replicas_quarantined = nullptr;
+  /// Configured EngineConfig::pipeline_depth (0 = legacy serial apply).
+  Gauge* pipeline_depth = nullptr;
 
   static ReplicaMetrics create(Registry& reg);
 };

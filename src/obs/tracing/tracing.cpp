@@ -24,6 +24,8 @@ const char* to_string(SpanKind k) noexcept {
     case SpanKind::kWalFsync: return "wal_fsync";
     case SpanKind::kBatchDone: return "batch_done";
     case SpanKind::kAnomaly: return "anomaly";
+    case SpanKind::kPrepare: return "prepare";
+    case SpanKind::kAckDurable: return "ack_durable";
   }
   return "?";
 }
@@ -385,12 +387,13 @@ std::string format_span_tree(const std::vector<SpanEvent>& events,
   for (const auto& [replica, evs] : per_replica) {
     // Phase rollups for the summary line.
     std::int64_t predict_us = 0, exec_us = 0, enqueue_us = 0, mf_us = 0,
-                 sf_us = 0, wal_us = 0;
+                 sf_us = 0, wal_us = 0, prepare_us = 0;
     std::uint64_t execs = 0, aborts = 0, msgs = 0;
     std::uint16_t rounds = 0;
     for (const SpanEvent* e : evs) {
       switch (e->kind) {
         case SpanKind::kPredict: predict_us += e->dur_us; break;
+        case SpanKind::kPrepare: prepare_us += e->dur_us; break;
         case SpanKind::kEnqueue: enqueue_us += e->dur_us; break;
         case SpanKind::kExecute: exec_us += e->dur_us; ++execs; break;
         case SpanKind::kAbort: ++aborts; break;
@@ -422,10 +425,12 @@ std::string format_span_tree(const std::vector<SpanEvent>& events,
       if (e->kind == SpanKind::kAnomaly) os << "  !" << to_string(e->anomaly);
       os << "  seq#" << e->seq << "\n";
     }
-    os << "  └ phases: predict=" << predict_us << "us enqueue=" << enqueue_us
-       << "us exec=" << exec_us << "us (" << execs << " commits, " << aborts
-       << " aborts) mf=" << mf_us << "us (" << rounds
-       << " rounds) sf=" << sf_us << "us wal_fsync=" << wal_us << "us\n";
+    os << "  └ phases: predict=" << predict_us << "us";
+    if (prepare_us > 0) os << " prepare=" << prepare_us << "us";
+    os << " enqueue=" << enqueue_us << "us exec=" << exec_us << "us ("
+       << execs << " commits, " << aborts << " aborts) mf=" << mf_us
+       << "us (" << rounds << " rounds) sf=" << sf_us
+       << "us wal_fsync=" << wal_us << "us\n";
   }
   return os.str();
 }

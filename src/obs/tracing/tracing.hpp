@@ -52,6 +52,10 @@ enum class SpanKind : std::uint8_t {
   kWalFsync,  // WAL append + group-commit fsync barrier (arg = bytes)
   kBatchDone, // batch finished at this replica (arg = committed count)
   kAnomaly,   // anomaly marker (see Anomaly)
+  kPrepare,   // pipelined stage P: predict + lock-table population for the
+              // batch, before its execute phase (arg = lock-table entries)
+  kAckDurable,// client ack released by the durable watermark: a quorum of
+              // replicas fsynced the batch (arg = quorum size reached)
 };
 
 const char* to_string(SpanKind k) noexcept;

@@ -52,6 +52,11 @@ ValidateReport validate_spans(const std::vector<SpanEvent>& events,
   for (const SpanEvent* e : ordered) by_batch[e->batch_seq].push_back(e);
   rep.batches = by_batch.size();
 
+  // (batch, replica) → causal stamp, filled by the per-batch walk below and
+  // consumed by the cross-batch pipeline-overlap count at the end.
+  std::map<std::pair<std::uint64_t, std::uint32_t>, std::uint64_t>
+      prepare_stamp, fsync_stamp;
+
   for (const auto& [batch, evs] : by_batch) {
     // 2. one submit, before every agree.
     const SpanEvent* submit = nullptr;
@@ -110,6 +115,13 @@ ValidateReport validate_spans(const std::vector<SpanEvent>& events,
             agree_seq = e->seq;
             agreed.push_back({e->seq, replica});
             break;
+          case SpanKind::kPrepare:
+            if (prepare_stamp.find({batch, replica}) == prepare_stamp.end()) {
+              prepare_stamp[{batch, replica}] = e->seq;
+            }
+            if (first_engine_seq == 0) first_engine_seq = e->seq;
+            last_engine_seq = e->seq;
+            break;
           case SpanKind::kPredict:
           case SpanKind::kEnqueue:
           case SpanKind::kMfRound:
@@ -138,6 +150,7 @@ ValidateReport validate_spans(const std::vector<SpanEvent>& events,
             break;
           case SpanKind::kWalFsync:
             wal_seq = e->seq;
+            fsync_stamp[{batch, replica}] = e->seq;
             break;
           default:
             break;
@@ -191,6 +204,41 @@ ValidateReport validate_spans(const std::vector<SpanEvent>& events,
         reached.insert(r);
       }
     }
+
+    // 7. fsync ≤ ack: a durable ack must be preceded by a quorum (majority
+    // of the replicas that agreed on the batch) of WAL fsync spans — the
+    // durable-watermark gate the pipelined apply path enforces. Skipped
+    // under allow_partial: the fsync spans may have been evicted.
+    if (!opts.allow_partial) {
+      std::set<std::uint32_t> agree_replicas;
+      for (const auto& [seq, r] : agreed) agree_replicas.insert(r);
+      for (const SpanEvent* e : evs) {
+        if (e->kind != SpanKind::kAckDurable) continue;
+        if (agree_replicas.empty()) break;  // standalone trace: vacuous
+        std::size_t durable = 0;
+        for (const std::uint32_t r : agree_replicas) {
+          auto it = fsync_stamp.find({batch, r});
+          if (it != fsync_stamp.end() && it->second < e->seq) ++durable;
+        }
+        const std::size_t quorum = agree_replicas.size() / 2 + 1;
+        if (durable < quorum) {
+          err("batch " + std::to_string(batch) + ": durable ack (seq#" +
+              std::to_string(e->seq) + ") preceded by only " +
+              std::to_string(durable) + "/" + std::to_string(quorum) +
+              " quorum WAL fsyncs");
+        }
+      }
+    }
+  }
+
+  // Pipeline overlap witnesses: prepare(N) stamped before the same
+  // replica's fsync(N-1). Not an error — the evidence the pipelined apply
+  // overlapped stage P with stage D.
+  for (const auto& [key, pseq] : prepare_stamp) {
+    const auto& [batch, replica] = key;
+    if (batch == 0) continue;
+    auto it = fsync_stamp.find({batch - 1, replica});
+    if (it != fsync_stamp.end() && pseq < it->second) ++rep.pipeline_overlaps;
   }
   return rep;
 }

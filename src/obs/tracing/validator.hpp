@@ -16,7 +16,14 @@
 //     every abort happens in an earlier-or-equal round;
 //   * connectivity: each replica that agrees on a batch after the first must
 //     be reachable through recorded message traffic from a replica that
-//     agreed earlier — the "connected span tree" acceptance criterion.
+//     agreed earlier — the "connected span tree" acceptance criterion;
+//   * fsync ≤ ack: a batch carrying a durable-ack span (kAckDurable) must
+//     show a quorum — majority of the replicas that agreed on it — of
+//     kWalFsync events stamped before the ack (the durable watermark gate).
+//
+// The report additionally counts pipeline overlap witnesses: prepare(N)
+// spans stamped before the same replica's fsync(N-1) — evidence the
+// pipelined apply path actually overlapped stages (never an error).
 #pragma once
 
 #include <cstdint>
@@ -38,6 +45,11 @@ struct ValidateReport {
   std::uint64_t events = 0;
   std::uint64_t batches = 0;   ///< distinct batch_seq values seen
   std::uint64_t flows = 0;     ///< matched send→recv pairs
+  /// Pipeline overlap witnesses (not errors): kPrepare of batch N at a
+  /// replica stamped before that replica's kWalFsync of batch N-1 — the
+  /// prepare(N) ∥ fsync(N-1) overlap the pipelined apply path exists to
+  /// create. Always 0 for serial (depth-0) traces.
+  std::uint64_t pipeline_overlaps = 0;
   bool ok() const { return errors.empty(); }
 };
 

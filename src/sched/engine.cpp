@@ -118,6 +118,12 @@ Engine::Engine(store::VersionedStore& store, std::vector<ProcEntry> procs,
     registry_ = std::make_shared<obs::Registry>();
     metrics_.emplace(obs::EngineMetrics::create(*registry_));
   }
+  if (config_.pipeline_depth > 0) {
+    // Second per-batch lock-table bank: batches alternate banks so stage P
+    // of the pipeline owns a bank the previous batch is not draining.
+    lock_table_alt_ = std::make_unique<LockTable>(
+        LockTable::Options{config_.shared_read_locks, 64});
+  }
   ready_slots_ = config_.workers + 1;  // slot 0 = queuer, i+1 = worker i
   ready_ = std::make_unique<WorkStealingDeque<TxIdx>[]>(ready_slots_);
   skip_tables_.resize(procs_.size());
@@ -281,7 +287,8 @@ void Engine::enqueue_tx(TxIdx idx) {
     if (!needs_lock(key, s)) continue;
     const bool write = sorted_contains(s.pred.write_keys, key);
     TxIdx pred = idx;
-    if (lock_table_.enqueue(idx, key, write, trace_ != nullptr ? &pred : nullptr)) {
+    if (active_lt_->enqueue(idx, key, write,
+                            trace_ != nullptr ? &pred : nullptr)) {
       ++granted_now;
     } else if (trace_ != nullptr && pred != idx) {
       s.trace_preds.push_back(pred);
@@ -303,7 +310,8 @@ void Engine::do_enqueue_partition(unsigned partition) {
       if (TKeyHash{}(key) % parts != partition) continue;
       const bool write = sorted_contains(s.pred.write_keys, key);
       TxIdx pred = idx;
-      if (lock_table_.enqueue(idx, key, write, trace_ != nullptr ? &pred : nullptr)) {
+      if (active_lt_->enqueue(idx, key, write,
+                              trace_ != nullptr ? &pred : nullptr)) {
         if (s.locks_remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
           // Each participant owns exactly one deque (its partition index),
           // so this push is an owner push even though the phase is parallel.
@@ -354,7 +362,7 @@ void Engine::enqueue_all(const std::vector<TxIdx>& order) {
   // The lock table is drained here (between rounds): the arena table retires
   // the previous round's slots and resets its bump arena in O(1), and the
   // census may be rebuilt without changing any in-flight decision.
-  lock_table_.begin_batch();
+  active_lt_->begin_batch();
   compute_conflict_census(order);
   if (!config_.parallel_enqueue) {
     for (TxIdx i : order) enqueue_tx(i);
@@ -377,7 +385,7 @@ void Engine::enqueue_all(const std::vector<TxIdx>& order) {
   const std::int64_t us = sw.elapsed_micros();
   if (span_live_) {
     span(obs::tracing::SpanKind::kEnqueue, obs::tracing::kBatchSlot, us,
-         current_round_, lock_table_.entry_count());
+         current_round_, active_lt_->entry_count());
   }
   if (trace_ != nullptr) trace_->enqueue_us += us;
   if (metrics_) {
@@ -386,7 +394,7 @@ void Engine::enqueue_all(const std::vector<TxIdx>& order) {
     // entry_count() is the O(1) atomic counter — no shard scan (the gauge
     // regression test pins LockTable::Stats::shard_scans at zero here).
     metrics_->phase_enqueue_us->observe(us);
-    const auto entries = static_cast<std::int64_t>(lock_table_.entry_count());
+    const auto entries = static_cast<std::int64_t>(active_lt_->entry_count());
     metrics_->lock_table_depth->set(entries);
     metrics_->ready_queue_depth->set(static_cast<std::int64_t>(ready_depth()));
     metrics_->locks_enqueued->observe(entries);
@@ -402,7 +410,7 @@ void Engine::release_locks(TxIdx idx, unsigned slot) {
   granted.clear();
   for (const TKey& key : s.pred.keys) {
     if (!needs_lock(key, s)) continue;
-    lock_table_.release(idx, key, granted);
+    active_lt_->release(idx, key, granted);
   }
   for (TxIdx g : granted) {
     if (slots_[g].locks_remaining.fetch_sub(1, std::memory_order_acq_rel) ==
@@ -614,12 +622,14 @@ void Engine::handle_failed_sf(const std::vector<TxIdx>& failed,
   result.reexecuted += failed.size();
 }
 
-BatchResult Engine::run_batch(std::vector<TxRequest> requests) {
-  Stopwatch wall;
+void Engine::batch_preamble(std::vector<TxRequest> requests) {
   batch_ = next_batch_++;
-  BatchResult result;
-  result.batch = batch_;
-
+  // Bank rotation: with the second bank configured, even-numbered batches
+  // use it. A pure function of the agreed sequence — every replica (and
+  // every pipeline depth) rotates identically.
+  active_lt_ = lock_table_alt_ != nullptr && batch_ % 2 == 0
+                   ? lock_table_alt_.get()
+                   : &lock_table_;
   requests_ = std::move(requests);
   // Slot-reuse contract (DESIGN.md §10): slots_ grows monotonically and is
   // never destroyed between batches — each TxnSlot's Prediction keeps its
@@ -685,17 +695,46 @@ BatchResult Engine::run_batch(std::vector<TxRequest> requests) {
     }
   }
 
+}
+
+void Engine::finish_seq_batch(BatchResult& result, const Stopwatch& wall) {
+  for (unsigned c = 0; c < 3; ++c) {
+    result.committed += ctr_committed_[c].load();
+    result.rolled_back += ctr_rolled_back_[c].load();
+  }
+  result.outputs = std::move(outputs_);
+  result.wall_micros = wall.elapsed_micros();
+  span(obs::tracing::SpanKind::kBatchDone, obs::tracing::kBatchSlot,
+       result.wall_micros, current_round_, result.committed);
+  finalize_stats(result);
+}
+
+std::vector<TxIdx> Engine::build_update_order() const {
+  // DTs ahead of ITs when configured (both in agreed order).
+  std::vector<TxIdx> order;
+  order.reserve(prep_list_.size());
+  if (config_.dt_before_it) {
+    for (TxIdx i : prep_list_) {
+      if (slots_[i].klass == sym::TxClass::kDependent) order.push_back(i);
+    }
+    for (TxIdx i : prep_list_) {
+      if (slots_[i].klass != sym::TxClass::kDependent) order.push_back(i);
+    }
+  } else {
+    order = prep_list_;
+  }
+  return order;
+}
+
+BatchResult Engine::run_batch(std::vector<TxRequest> requests) {
+  Stopwatch wall;
+  batch_preamble(std::move(requests));
+  BatchResult result;
+  result.batch = batch_;
+
   if (config_.system == System::kSeq) {
     run_seq_batch(result);
-    for (unsigned c = 0; c < 3; ++c) {
-      result.committed += ctr_committed_[c].load();
-      result.rolled_back += ctr_rolled_back_[c].load();
-    }
-    result.outputs = std::move(outputs_);
-    result.wall_micros = wall.elapsed_micros();
-    span(obs::tracing::SpanKind::kBatchDone, obs::tracing::kBatchSlot,
-         result.wall_micros, current_round_, result.committed);
-    finalize_stats(result);
+    finish_seq_batch(result, wall);
     return result;
   }
 
@@ -715,22 +754,79 @@ BatchResult Engine::run_batch(std::vector<TxRequest> requests) {
     phase_us_[0] = psw.elapsed_micros();
   }
 
-  // Enqueue into the lock table: DTs ahead of ITs (both in agreed order).
-  std::vector<TxIdx> order;
-  order.reserve(prep_list_.size());
-  if (config_.dt_before_it) {
-    for (TxIdx i : prep_list_) {
-      if (slots_[i].klass == sym::TxClass::kDependent) order.push_back(i);
-    }
-    for (TxIdx i : prep_list_) {
-      if (slots_[i].klass != sym::TxClass::kDependent) order.push_back(i);
-    }
-  } else {
-    order = prep_list_;
-  }
+  const std::vector<TxIdx> order = build_update_order();
   remaining_.store(order.size(), std::memory_order_release);
   enqueue_all(order);
 
+  execute_phase2_and_tail(result, wall);
+  return result;
+}
+
+void Engine::prepare_batch(std::vector<TxRequest> requests) {
+  PROG_CHECK_MSG(!staged_,
+                 "prepare_batch: a prepared batch is already pending");
+  staged_wall_.reset();
+  batch_preamble(std::move(requests));
+  staged_result_ = BatchResult{};
+  staged_result_.batch = batch_;
+  staged_ = true;
+  // kSeq executes everything in execute_prepared; classification is all the
+  // staging there is.
+  if (config_.system == System::kSeq) return;
+
+  Stopwatch psw;
+  prep_snapshot_ = batch_ - 1;
+  if (config_.system == System::kCalvin) {
+    const BatchId lag = config_.calvin_prepare_lag;
+    prep_snapshot_ = batch_ - 1 > lag ? batch_ - 1 - lag : 0;
+  }
+  prep_tickets_.reset(prep_list_.size());
+  // Staged preparation runs on the calling thread alone: the pipeline driver
+  // overlaps this stage with the previous batch's async group-commit, and
+  // the workers stay parked until execute_prepared (they run the ROT drain
+  // and phase 2 there). Claiming every ticket here is outcome-identical to
+  // the worker-parallel claim — the schedule never depends on which thread
+  // computed a prediction.
+  while (auto i = prep_tickets_.claim()) prepare_tx(prep_list_[*i]);
+
+  staged_order_ = build_update_order();
+  remaining_.store(staged_order_.size(), std::memory_order_release);
+  enqueue_all(staged_order_);
+  phase_us_[0] = psw.elapsed_micros();
+  span(obs::tracing::SpanKind::kPrepare, obs::tracing::kBatchSlot,
+       phase_us_[0], 0, active_lt_->entry_count());
+}
+
+BatchResult Engine::execute_prepared() {
+  PROG_CHECK_MSG(staged_, "execute_prepared: no prepared batch is pending");
+  staged_ = false;
+  const Stopwatch wall = staged_wall_;
+  BatchResult result = std::move(staged_result_);
+
+  if (config_.system == System::kSeq) {
+    run_seq_batch(result);
+    finish_seq_batch(result, wall);
+    return result;
+  }
+
+  // ROT drain: the prep tickets were exhausted during prepare_batch, so the
+  // claim loops no-op and the phase reduces to the per-worker ROT queues —
+  // executed against the batch-boundary snapshot exactly as in phase 1 of
+  // the combined path.
+  {
+    Stopwatch psw;
+    run_phase(Phase::kRotPrepare, [&] {
+      while (auto i = prep_tickets_.claim()) prepare_tx(prep_list_[*i]);
+    });
+    phase_us_[0] += psw.elapsed_micros();
+  }
+
+  execute_phase2_and_tail(result, wall);
+  return result;
+}
+
+void Engine::execute_phase2_and_tail(BatchResult& result,
+                                     const Stopwatch& wall) {
   // Phase 2: parallel execution of update transactions.
   {
     Stopwatch xsw;
@@ -807,7 +903,7 @@ BatchResult Engine::run_batch(std::vector<TxRequest> requests) {
     std::sort(failed.begin(), failed.end());
   }
 
-  PROG_CHECK_MSG(lock_table_.empty(),
+  PROG_CHECK_MSG(active_lt_->empty(),
                  "lock table must drain by the end of the batch");
 
   for (unsigned c = 0; c < 3; ++c) {
@@ -842,7 +938,6 @@ BatchResult Engine::run_batch(std::vector<TxRequest> requests) {
   }
 
   finalize_stats(result);
-  return result;
 }
 
 void Engine::finalize_stats(const BatchResult& result) {

@@ -43,6 +43,7 @@
 
 #include "analysis/conflict_matrix.hpp"
 #include "common/queues.hpp"
+#include "common/stopwatch.hpp"
 #include "common/sync.hpp"
 #include "lang/interp.hpp"
 #include "obs/engine_metrics.hpp"
@@ -165,6 +166,16 @@ struct EngineConfig {
   /// times are uncontended even on a single-core host. Results are
   /// identical (the schedule is deterministic); only timings differ.
   bool serial_measurement = false;
+  /// Cross-batch pipelined replica apply (DESIGN.md §14). 0 = legacy serial
+  /// apply (the ablation). >0 enables the staged prepare_batch /
+  /// execute_prepared entry points with double-buffered lock-table banks,
+  /// and bounds the async durability stage's in-flight window (the number
+  /// of agreed-but-not-yet-fsynced batches a replica may accumulate before
+  /// the apply thread stalls on the group-commit queue). The schedule is
+  /// unchanged: prepare consumes only the agreed order and the previous
+  /// batch's snapshot boundary, so every deterministic counter and state
+  /// hash is byte-identical to depth 0 (the PipelineEquivalence test).
+  unsigned pipeline_depth = 0;
 };
 
 struct BatchResult {
@@ -243,6 +254,23 @@ class Engine {
   /// statistics. Called from a single thread (the queuer).
   BatchResult run_batch(std::vector<TxRequest> requests);
 
+  /// Stage P of the pipelined apply path (DESIGN.md §14): classifies the
+  /// batch, predicts every update transaction's key-set against the
+  /// previous batch's snapshot boundary, and populates this batch's
+  /// lock-table bank — all on the calling thread, with the workers parked.
+  /// Must be paired with execute_prepared(); at most one batch may be
+  /// prepared-but-unexecuted at a time. The commit outcome is byte-identical
+  /// to run_batch: preparation consumes only the agreed order and the
+  /// batch-boundary snapshot, both pure functions of the batch sequence.
+  void prepare_batch(std::vector<TxRequest> requests);
+
+  /// Stage X: runs the prepared batch to completion (ROT drain, parallel
+  /// execution, failed-transaction rounds) and returns its statistics.
+  BatchResult execute_prepared();
+
+  /// True while a prepared batch awaits execute_prepared().
+  bool has_prepared() const noexcept { return staged_; }
+
   /// The id the next batch will execute under (first batch is 1; loaders
   /// write the initial state as batch 0).
   BatchId next_batch() const noexcept { return next_batch_; }
@@ -267,6 +295,11 @@ class Engine {
   /// Diagnostic accessor (tests): the arena lock table. Its Stats expose
   /// the shard-scan counter the telemetry-gauge regression test pins at 0.
   const LockTable& lock_table() const noexcept { return lock_table_; }
+  /// Second lock-table bank, or nullptr at pipeline_depth 0. Tests use it
+  /// to assert both banks rotate into service and drain (DESIGN.md §14).
+  const LockTable* alt_lock_table() const noexcept {
+    return lock_table_alt_.get();
+  }
 
  private:
   enum class Phase : std::uint8_t {
@@ -328,6 +361,20 @@ class Engine {
   void handle_failed_sf(const std::vector<TxIdx>& failed,
                         BatchResult& result);
 
+  /// Shared per-batch preamble (run_batch and prepare_batch): assigns the
+  /// batch id, rotates the lock-table bank, resets all per-batch state and
+  /// counters, decides the span identity, and classifies the requests.
+  void batch_preamble(std::vector<TxRequest> requests);
+  /// Builds the enqueue order over prep_list_ (DTs ahead of ITs when
+  /// configured; agreed order within each group).
+  std::vector<TxIdx> build_update_order() const;
+  /// kSeq baseline tail shared by run_batch and the staged path.
+  void finish_seq_batch(BatchResult& result, const Stopwatch& wall);
+  /// Everything from phase 2 onward (shared by run_batch and
+  /// execute_prepared): parallel execution, failed-transaction rounds,
+  /// drain check, counter fold, GC and finalize_stats.
+  void execute_phase2_and_tail(BatchResult& result, const Stopwatch& wall);
+
   void release_locks(TxIdx idx, unsigned slot);
   sym::TxClass effective_class(const ProcEntry& entry) const;
   /// A key needs a lock-table entry unless its table is provably immutable
@@ -362,6 +409,22 @@ class Engine {
   std::vector<std::unordered_set<TableId>> skip_tables_;
 
   LockTable lock_table_;
+  /// Second epoch-arena bank (pipeline_depth > 0 only): batches alternate
+  /// between the two banks so a future deeper schedule can populate batch
+  /// N+1's bank while batch N's is still live. Even on the current
+  /// snapshot-coupled schedule the rotation runs for real — the randomized
+  /// bank-rotation stress in hotpath_test covers reset-while-other-live.
+  std::unique_ptr<LockTable> lock_table_alt_;
+  /// The bank the running batch enqueues into / releases from. Always
+  /// &lock_table_ at pipeline_depth 0.
+  LockTable* active_lt_ = &lock_table_;
+
+  // --- staged (pipelined) batch state -------------------------------------
+  /// True between prepare_batch() and execute_prepared().
+  bool staged_ = false;
+  BatchResult staged_result_;
+  std::vector<TxIdx> staged_order_;
+  Stopwatch staged_wall_;
 
   /// Per-participant ready deques (DESIGN.md §10): slot 0 is the queuer,
   /// slot i+1 is worker i. Owners push/pop LIFO; idle participants steal

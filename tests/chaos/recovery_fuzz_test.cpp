@@ -156,6 +156,46 @@ INSTANTIATE_TEST_SUITE_P(
              dur::to_string(std::get<1>(info.param));
     });
 
+/// Pipelined-apply matrix cell: the same crash-recovery contract must hold
+/// with the async commit queue in the write path (pipeline_depth > 0),
+/// where agreed-but-unsynced records die in the queue instead of in the
+/// page cache. Every fault mode, two fixed seeds.
+TEST(RecoveryFuzzTest, PipelinedApplyRecoversAcrossFaultModes) {
+  constexpr dur::FaultMode kModes[] = {
+      dur::FaultMode::kTornTail, dur::FaultMode::kPartialWrite,
+      dur::FaultMode::kBitFlip, dur::FaultMode::kFsyncNoop};
+  for (const std::uint64_t seed : {101u, 505u}) {
+    for (const dur::FaultMode mode : kModes) {
+      workloads::micro::CatalogOptions wopts;
+      wopts.catalog_keys = 120;
+      wopts.accounts = 240;
+      wopts.reads_per_tx = 4;
+      db::Database gen_db(small_cfg());
+      workloads::micro::CatalogWorkload gen(gen_db, wopts);
+      RecoveryFuzzOptions opts;
+      opts.warmup_rounds = 6;
+      opts.armed_rounds = 7;
+      opts.post_rounds = 3;
+      opts.batch_size = 6;
+      opts.mode = mode;
+      opts.recovery.checkpoint_interval = 3;
+      opts.config = small_cfg();
+      opts.config.pipeline_depth = 2;
+      const RecoveryFuzzReport rep = run_recovery_fuzz(
+          [wopts](db::Database& d) {
+            workloads::micro::CatalogWorkload wl(d, wopts);
+          },
+          [&](std::size_t n, Rng& rng) {
+            return gen.batch(n, /*reprices=*/2, rng);
+          },
+          opts, seed);
+      EXPECT_TRUE(rep.ok()) << "seed " << seed << " mode "
+                            << dur::to_string(mode) << " depth=2\n"
+                            << dump_trace(rep);
+    }
+  }
+}
+
 TEST(RecoveryFuzzTest, SameSeedReproducesIdenticalRun) {
   auto once = [] {
     RecoveryFuzzOptions opts;

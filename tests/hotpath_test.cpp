@@ -611,6 +611,73 @@ TEST(HotPathEngineTest, ParallelEnqueuePreservesResults) {
   EXPECT_EQ(a->engine_stats().rounds, b->engine_stats().rounds);
 }
 
+TEST(HotPathEngineTest, BankRotationRandomizedStress) {
+  // Double-buffered lock-table banks (DESIGN.md §14): at pipeline_depth > 0
+  // consecutive batches alternate between two epoch-arena banks so batch
+  // N+1's prepare can populate one bank while batch N's execution drains
+  // the other. This stress drives randomly shaped hot-catalog batches
+  // through a pipelined database — randomly choosing the staged
+  // prepare/execute path or the direct execute path per batch, both of
+  // which rotate banks — and checks after every batch that the run stays
+  // byte-identical to a serial depth-0 database and that the just-retired
+  // bank really drained (a leaked entry would poison the batch after next,
+  // not the next one, which is exactly what a fixed-schedule test misses).
+  sched::EngineConfig serial_cfg;
+  serial_cfg.workers = 4;
+  serial_cfg.telemetry = true;
+  sched::EngineConfig piped_cfg = serial_cfg;
+  piped_cfg.pipeline_depth = 2;
+
+  workloads::micro::CatalogOptions wopts;
+  wopts.catalog_keys = 100;
+  wopts.accounts = 500;
+  wopts.zipf_theta = 1.1;
+
+  for (std::uint64_t seed : {5u, 66u, 777u}) {
+    db::Database serial(serial_cfg);
+    workloads::micro::CatalogWorkload serial_wl(serial, wopts);
+    db::Database piped(piped_cfg);
+    workloads::micro::CatalogWorkload piped_wl(piped, wopts);
+    ASSERT_NE(piped.engine().alt_lock_table(), nullptr);
+    EXPECT_EQ(serial.engine().alt_lock_table(), nullptr);
+
+    Rng shape(seed);          // batch shapes + path choice
+    Rng rng_a(seed ^ 0x9e37); // transaction stream, one per database
+    Rng rng_b(seed ^ 0x9e37);
+    for (int i = 0; i < 24; ++i) {
+      const std::size_t n = static_cast<std::size_t>(shape.uniform(1, 160));
+      const std::size_t reprices =
+          static_cast<std::size_t>(shape.uniform(0, static_cast<int>(n) / 3));
+      const bool staged = shape.uniform(0, 1) == 1;
+      const auto sr = serial.execute(serial_wl.batch(n, reprices, rng_a));
+      sched::BatchResult pr;
+      if (staged) {
+        piped.prepare_batch(piped_wl.batch(n, reprices, rng_b));
+        pr = piped.execute_prepared();
+      } else {
+        pr = piped.execute(piped_wl.batch(n, reprices, rng_b));
+      }
+      ASSERT_EQ(sr.committed, pr.committed) << "seed " << seed << " batch " << i;
+      ASSERT_EQ(sr.rounds, pr.rounds) << "seed " << seed << " batch " << i;
+      ASSERT_EQ(serial.state_hash(), piped.state_hash())
+          << "seed " << seed << " batch " << i;
+      // Both banks fully drained after every rotation.
+      EXPECT_EQ(piped.engine().lock_table().verify_drained(), 0u)
+          << "seed " << seed << " batch " << i;
+      EXPECT_EQ(piped.engine().alt_lock_table()->verify_drained(), 0u)
+          << "seed " << seed << " batch " << i;
+    }
+    // Both banks actually rotated into service and did real work.
+    const sched::LockTable::Stats primary = piped.engine().lock_table().stats();
+    const sched::LockTable::Stats alt = piped.engine().alt_lock_table()->stats();
+    EXPECT_GT(primary.arena_grows + primary.rehashes, 0u) << "seed " << seed;
+    EXPECT_GT(alt.arena_grows + alt.rehashes, 0u) << "seed " << seed;
+    EXPECT_EQ(serial.telemetry()->serialize_deterministic(),
+              piped.telemetry()->serialize_deterministic())
+        << "seed " << seed;
+  }
+}
+
 TEST(HotPathEngineTest, TelemetryGaugeNeverScansShards) {
   // Regression (DESIGN.md §10): the lock-depth gauge reads the maintained
   // O(1) counter. Before the overhaul, every telemetry sample walked every

@@ -1,0 +1,408 @@
+// Cross-batch pipelined replica apply (DESIGN.md §14).
+//
+// Layers:
+//   - PipelineEquivalence: the load-bearing determinism proof. The staged
+//     prepare_batch/execute_prepared path with double-buffered lock-table
+//     banks (pipeline_depth = 2) must produce byte-identical per-batch state
+//     hashes, identical batch results, and identical deterministic engine
+//     counters to the legacy serial run_batch path (depth 0) — on TPC-C,
+//     RUBiS and the hot catalog across 1/2/8 workers;
+//   - durable cluster equivalence: a 3-replica durable ReplicatedDb at
+//     depth 2 (async commit queues, watermark-gated acks) converges to the
+//     same state hashes and counter snapshots as the depth-0 cluster, its
+//     span stream passes the validator, and the trace carries pipeline
+//     overlap witnesses (prepare(N) stamped before fsync(N-1));
+//   - ack durability: a replica killed between agreement and fsync (queue
+//     paused, then crash + power fail) must not lose any acked transaction —
+//     acks gate on a quorum of durable watermarks, not on agreement.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+#include "consensus/replicated_db.hpp"
+#include "db/database.hpp"
+#include "dur/fault_vfs.hpp"
+#include "obs/tracing/tracing.hpp"
+#include "obs/tracing/validator.hpp"
+#include "workloads/microbench.hpp"
+#include "workloads/rubis.hpp"
+#include "workloads/tpcc.hpp"
+
+namespace prog {
+namespace {
+
+using obs::tracing::FlightRecorder;
+using obs::tracing::SpanEvent;
+using obs::tracing::SpanKind;
+
+struct RecorderGuard {
+  RecorderGuard() {
+    FlightRecorder::Options opts;
+    opts.lane_capacity = 1 << 14;
+    FlightRecorder::instance().enable(opts);
+  }
+  ~RecorderGuard() {
+    FlightRecorder::instance().set_dump_handler(nullptr);
+    FlightRecorder::instance().disable();
+  }
+};
+
+void expect_stats_equal(const sched::EngineStats& a,
+                        const sched::EngineStats& b, const char* what) {
+  EXPECT_EQ(a.batches, b.batches) << what;
+  EXPECT_EQ(a.committed, b.committed) << what;
+  EXPECT_EQ(a.rolled_back, b.rolled_back) << what;
+  EXPECT_EQ(a.validation_aborts, b.validation_aborts) << what;
+  EXPECT_EQ(a.rounds, b.rounds) << what;
+  EXPECT_EQ(a.mf_fallback_txns, b.mf_fallback_txns) << what;
+  EXPECT_EQ(a.mf_fallback_batches, b.mf_fallback_batches) << what;
+  for (int c = 0; c < 3; ++c) {
+    EXPECT_EQ(a.committed_by_class[c], b.committed_by_class[c]) << what;
+    EXPECT_EQ(a.rolled_back_by_class[c], b.rolled_back_by_class[c]) << what;
+    EXPECT_EQ(a.validation_aborts_by_class[c], b.validation_aborts_by_class[c])
+        << what;
+  }
+}
+
+/// Runs `rounds` identical batches through a serial (depth 0, run_batch)
+/// database and a pipelined (depth 2, prepare_batch + execute_prepared)
+/// database and asserts byte-identical evolution: per-batch state hash,
+/// per-batch result counts, and the full deterministic counter block.
+template <typename MakeWorkload, typename MakeBatch>
+void run_equivalence(unsigned workers, MakeWorkload make_workload,
+                     MakeBatch make_batch, int rounds, const char* what) {
+  sched::EngineConfig serial_cfg;
+  serial_cfg.workers = workers;
+  sched::EngineConfig piped_cfg = serial_cfg;
+  piped_cfg.pipeline_depth = 2;
+
+  db::Database serial(serial_cfg);
+  auto serial_wl = make_workload(serial);
+  db::Database piped(piped_cfg);
+  auto piped_wl = make_workload(piped);
+  ASSERT_EQ(serial.state_hash(), piped.state_hash()) << what;
+
+  Rng rng_a(4242), rng_b(4242);
+  for (int i = 0; i < rounds; ++i) {
+    const auto batch = make_batch(*serial_wl, rng_a);
+    const auto batch_copy = make_batch(*piped_wl, rng_b);
+    const sched::BatchResult sr = serial.execute(batch);
+    piped.prepare_batch(batch_copy);
+    ASSERT_TRUE(piped.engine().has_prepared());
+    const sched::BatchResult pr = piped.execute_prepared();
+    EXPECT_FALSE(piped.engine().has_prepared());
+    EXPECT_EQ(sr.committed, pr.committed) << what << " batch " << i;
+    EXPECT_EQ(sr.rolled_back, pr.rolled_back) << what << " batch " << i;
+    EXPECT_EQ(sr.validation_aborts, pr.validation_aborts)
+        << what << " batch " << i;
+    EXPECT_EQ(sr.sf_fallbacks, pr.sf_fallbacks) << what << " batch " << i;
+    ASSERT_EQ(serial.state_hash(), piped.state_hash())
+        << what << " diverged at batch " << i;
+  }
+  expect_stats_equal(serial.engine_stats(), piped.engine_stats(), what);
+}
+
+class PipelineEquivalenceTest : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(PipelineEquivalenceTest, TpccByteIdenticalToSerial) {
+  const unsigned workers = GetParam();
+  run_equivalence(
+      workers,
+      [](db::Database& d) {
+        return std::make_unique<workloads::tpcc::Workload>(
+            d, workloads::tpcc::Scale::tiny(1));
+      },
+      [](const workloads::tpcc::Workload& wl, Rng& rng) {
+        return wl.batch(24, rng);
+      },
+      10, "tpcc");
+}
+
+TEST_P(PipelineEquivalenceTest, RubisByteIdenticalToSerial) {
+  const unsigned workers = GetParam();
+  run_equivalence(
+      workers,
+      [](db::Database& d) {
+        return std::make_unique<workloads::rubis::Workload>(
+            d, workloads::rubis::Scale::small());
+      },
+      [](const workloads::rubis::Workload& wl, Rng& rng) {
+        return wl.batch(24, rng);
+      },
+      10, "rubis");
+}
+
+TEST_P(PipelineEquivalenceTest, CatalogByteIdenticalToSerial) {
+  const unsigned workers = GetParam();
+  workloads::micro::CatalogOptions wopts;
+  wopts.catalog_keys = 100;
+  wopts.accounts = 300;
+  wopts.reads_per_tx = 4;
+  run_equivalence(
+      workers,
+      [wopts](db::Database& d) {
+        return std::make_unique<workloads::micro::CatalogWorkload>(d, wopts);
+      },
+      [](const workloads::micro::CatalogWorkload& wl, Rng& rng) {
+        return wl.batch(24, /*reprices=*/2, rng);
+      },
+      10, "catalog");
+}
+
+INSTANTIATE_TEST_SUITE_P(Workers, PipelineEquivalenceTest,
+                         ::testing::Values(1u, 2u, 8u),
+                         [](const auto& info) {
+                           return "w" + std::to_string(info.param);
+                         });
+
+// --- staged-path misuse guards ----------------------------------------------
+
+TEST(PipelineStagingTest, ExecuteWithoutPrepareThrows) {
+  sched::EngineConfig cfg;
+  cfg.pipeline_depth = 2;
+  db::Database db(cfg);
+  workloads::micro::CatalogOptions wopts;
+  workloads::micro::CatalogWorkload wl(db, wopts);
+  EXPECT_THROW(db.execute_prepared(), InvariantError);
+}
+
+TEST(PipelineStagingTest, DoublePrepareThrows) {
+  sched::EngineConfig cfg;
+  cfg.pipeline_depth = 2;
+  db::Database db(cfg);
+  workloads::micro::CatalogOptions wopts;
+  workloads::micro::CatalogWorkload wl(db, wopts);
+  Rng rng(7);
+  db.prepare_batch(wl.batch(4, 1, rng));
+  EXPECT_THROW(db.prepare_batch(wl.batch(4, 1, rng)), InvariantError);
+  // Leave the staged batch clean for teardown.
+  (void)db.execute_prepared();
+}
+
+// --- durable cluster equivalence ---------------------------------------------
+
+namespace {
+
+workloads::micro::CatalogOptions cluster_wopts() {
+  workloads::micro::CatalogOptions wopts;
+  wopts.catalog_keys = 100;
+  wopts.accounts = 300;
+  wopts.reads_per_tx = 4;
+  return wopts;
+}
+
+struct ClusterRun {
+  std::vector<std::uint64_t> hashes;
+  std::string counters;
+  consensus::RecoveryStats stats;
+  std::uint64_t acked = 0;
+};
+
+/// Runs a 3-replica durable cluster to quiescence. With `fsync_hiccup`, one
+/// non-leader commit queue is paused for two mid-run batches: durable acks
+/// still clear (the other two replicas form the fsync quorum — validator
+/// rule 7 only demands a majority), and the laggard's deferred fsyncs land
+/// AFTER it has already prepared the next batch, which is exactly the
+/// prepare(N) ∥ fsync(N-1) overlap the trace witnesses must capture.
+/// Without the hiccup, ack-gated submission keeps all three fsyncs ahead of
+/// the next prepare and no overlap witness exists (asserted separately).
+ClusterRun run_cluster(unsigned pipeline_depth, int rounds,
+                       std::uint64_t sync_delay_us,
+                       bool fsync_hiccup = false) {
+  const auto wopts = cluster_wopts();
+  db::Database gen_db{sched::EngineConfig{}};
+  workloads::micro::CatalogWorkload gen(gen_db, wopts);
+
+  dur::FaultVfs vfs(99);
+  vfs.set_sync_delay(sync_delay_us);
+  consensus::RecoveryOptions rec;
+  // No checkpoint inside the run: publication flushes the commit queue,
+  // which would wait on the paused victim during the hiccup window.
+  rec.checkpoint_interval = 100;
+  rec.vfs = &vfs;
+  rec.dur_dir = "dur";
+  sched::EngineConfig cfg;
+  cfg.workers = 2;
+  cfg.trace_sample_n = 1;
+  cfg.pipeline_depth = pipeline_depth;
+  consensus::ReplicatedDb rdb(
+      3, 777, [wopts](db::Database& d) {
+        workloads::micro::CatalogWorkload wl(d, wopts);
+      },
+      cfg, {}, rec);
+  rdb.run_ms(1000);
+
+  int victim = -1;
+  Rng rng(31);
+  for (int i = 0; i < rounds; ++i) {
+    if (fsync_hiccup && i == rounds / 2) {
+      const int leader = rdb.raft().leader();
+      EXPECT_GE(leader, 0);
+      victim = (leader + 1) % 3;
+      // Exactly `pipeline_depth` batches fit the paused window before
+      // push() would stall the apply thread; the hiccup spans exactly two.
+      // The victim must enter the pause fully caught up — any backlog it
+      // applies while paused eats into that window.
+      for (int d = 0; d < 40 && !rdb.converged(); ++d) rdb.run_ms(50);
+      EXPECT_TRUE(rdb.converged());
+      if (auto* q = rdb.commit_queue(static_cast<unsigned>(victim))) {
+        q->flush();
+        q->pause();
+      }
+    }
+    if (victim >= 0 && i == rounds / 2 + 2) {
+      if (auto* q = rdb.commit_queue(static_cast<unsigned>(victim))) {
+        q->resume();
+      }
+      victim = -1;
+    }
+    EXPECT_TRUE(rdb.submit_with_retry(gen.batch(8, 2, rng)));
+    rdb.run_ms(50);
+  }
+  if (victim >= 0) {
+    if (auto* q = rdb.commit_queue(static_cast<unsigned>(victim))) {
+      q->resume();
+    }
+  }
+  rdb.run_ms(2000);
+  EXPECT_TRUE(rdb.converged());
+
+  ClusterRun out;
+  out.hashes = rdb.state_hashes();
+  out.counters = rdb.deterministic_counter_snapshot(0);
+  EXPECT_EQ(out.counters, rdb.deterministic_counter_snapshot(1));
+  EXPECT_EQ(out.counters, rdb.deterministic_counter_snapshot(2));
+  out.stats = rdb.recovery_stats();
+  out.acked = rdb.replica_metrics().submit_acked_durable->value();
+  return out;
+}
+
+}  // namespace
+
+TEST(PipelineClusterTest, PipelinedClusterMatchesSerialByteForByte) {
+  RecorderGuard guard;
+  const ClusterRun serial = run_cluster(/*pipeline_depth=*/0, 12,
+                                        /*sync_delay_us=*/0);
+  FlightRecorder::instance().clear();
+  const ClusterRun piped = run_cluster(/*pipeline_depth=*/2, 12,
+                                       /*sync_delay_us=*/500,
+                                       /*fsync_hiccup=*/true);
+
+  ASSERT_EQ(serial.hashes.size(), piped.hashes.size());
+  for (std::size_t i = 0; i < serial.hashes.size(); ++i) {
+    EXPECT_EQ(serial.hashes[i], piped.hashes[i]) << "replica " << i;
+  }
+  // The telemetry witness: deterministic counters byte-identical between
+  // the serial ablation and the pipelined run.
+  EXPECT_EQ(serial.counters, piped.counters);
+  // Acks in durable mode gate on the durable watermark in BOTH modes.
+  EXPECT_GE(serial.acked, 12u);
+  EXPECT_GE(piped.acked, 12u);
+
+  // The pipelined trace passes every causal check (including fsync <= ack)
+  // and carries cross-batch overlap witnesses: prepare(N) stamped before
+  // the same replica's fsync(N-1) — the overlap the pipeline exists for.
+  const auto events = FlightRecorder::instance().snapshot();
+  const auto report = obs::tracing::validate_spans(events);
+  EXPECT_TRUE(report.ok()) << (report.errors.empty() ? "" : report.errors[0]);
+  EXPECT_GT(report.pipeline_overlaps, 0u);
+  bool saw_prepare = false, saw_ack = false;
+  for (const SpanEvent& e : events) {
+    saw_prepare |= e.kind == SpanKind::kPrepare;
+    saw_ack |= e.kind == SpanKind::kAckDurable;
+  }
+  EXPECT_TRUE(saw_prepare);
+  EXPECT_TRUE(saw_ack);
+}
+
+TEST(PipelineClusterTest, SerialTraceHasNoOverlapWitnesses) {
+  RecorderGuard guard;
+  (void)run_cluster(/*pipeline_depth=*/0, 8, /*sync_delay_us=*/0);
+  const auto events = FlightRecorder::instance().snapshot();
+  const auto report = obs::tracing::validate_spans(events);
+  EXPECT_TRUE(report.ok()) << (report.errors.empty() ? "" : report.errors[0]);
+  EXPECT_EQ(report.pipeline_overlaps, 0u);
+}
+
+// --- ack durability under a crash between agree and fsync --------------------
+
+/// The scenario the durable-watermark ack exists for: a replica agrees on
+/// batches but its fsyncs are stuck (paused commit queue); it is then
+/// killed and power-failed, losing every record still in the queue. Because
+/// acks waited for a QUORUM of durable watermarks (the two healthy
+/// replicas), no acked transaction may be lost: the cluster still converges
+/// to a state containing every acked batch, and the restarted victim
+/// catches back up to it.
+TEST(PipelineClusterTest, CrashBetweenAgreeAndFsyncLosesNoAckedTransaction) {
+  const auto wopts = cluster_wopts();
+  db::Database gen_db{sched::EngineConfig{}};
+  workloads::micro::CatalogWorkload gen(gen_db, wopts);
+
+  dur::FaultVfs vfs(7);
+  consensus::RecoveryOptions rec;
+  rec.checkpoint_interval = 100;  // no checkpoint flush barrier in-window
+  rec.vfs = &vfs;
+  rec.dur_dir = "dur";
+  sched::EngineConfig cfg;
+  cfg.workers = 2;
+  // Window larger than everything submitted while paused: push() must never
+  // block on the victim, or the whole sim thread would stall.
+  cfg.pipeline_depth = 64;
+  consensus::ReplicatedDb rdb(
+      3, 2024, [wopts](db::Database& d) {
+        workloads::micro::CatalogWorkload wl(d, wopts);
+      },
+      cfg, {}, rec);
+  rdb.run_ms(1000);
+  const int leader = rdb.raft().leader();
+  ASSERT_GE(leader, 0);
+  const consensus::NodeId victim = leader == 0 ? 1 : 0;
+
+  Rng rng(13);
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(rdb.submit_with_retry(gen.batch(6, 2, rng)));
+    rdb.run_ms(50);
+  }
+
+  // Freeze the victim's durability stage: it keeps agreeing and executing,
+  // but nothing it applies from here on reaches its platter.
+  ASSERT_NE(rdb.commit_queue(victim), nullptr);
+  rdb.commit_queue(victim)->pause();
+  const std::uint64_t acked_before =
+      rdb.replica_metrics().submit_acked_durable->value();
+  for (int i = 0; i < 6; ++i) {
+    ASSERT_TRUE(rdb.submit_with_retry(gen.batch(6, 2, rng)));
+    rdb.run_ms(50);
+  }
+  // Every one of those submissions was acked by the durable quorum of the
+  // two healthy replicas, with the victim's watermark frozen.
+  EXPECT_GE(rdb.replica_metrics().submit_acked_durable->value(),
+            acked_before + 6);
+
+  // Kill it between agree and fsync: the paused queue's records are exactly
+  // the agreed-but-unsynced window, and the power failure burns them.
+  rdb.crash_replica(victim);
+  vfs.power_fail("dur/r" + std::to_string(victim));
+  rdb.run_ms(300);
+  rdb.restart_replica(victim);
+  for (int d = 0; d < 20 && !rdb.converged(); ++d) rdb.run_ms(2000);
+
+  ASSERT_TRUE(rdb.converged());
+  const auto hashes = rdb.state_hashes();
+  EXPECT_EQ(hashes[0], hashes[1]);
+  EXPECT_EQ(hashes[1], hashes[2]);
+  // The surviving state contains every acked batch: it is exactly the
+  // witness replay of the full agreed sequence.
+  EXPECT_EQ(hashes[victim], rdb.witness_state_hash());
+  EXPECT_EQ(rdb.deterministic_counter_snapshot(victim),
+            rdb.deterministic_counter_snapshot(static_cast<unsigned>(leader)));
+  EXPECT_EQ(rdb.raft().applied(victim).size(), rdb.batches_submitted());
+}
+
+}  // namespace
+}  // namespace prog

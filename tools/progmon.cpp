@@ -20,6 +20,13 @@
 // and exits 1 on any structural violation (the CI tracing job's teeth);
 // --trace-perfetto FILE dumps the recorded spans as a second Perfetto file
 // (real timestamps, flow arrows — complementary to --trace's modeled view).
+//
+// Pipelined apply (DESIGN.md §14): --cluster-depth N swaps the single
+// Database for a 3-replica durable cluster (simulated fsync latency via
+// --fsync-us) with apply-pipeline depth N, and the dashboard grows the
+// pipeline panel: configured depth plus the windowed stall-cause breakdown
+// (snapshot-boundary / fsync-watermark / queue-full). The --trace* options
+// are single-node only.
 #include <cstdint>
 #include <cstdio>
 #include <cstring>
@@ -31,7 +38,9 @@
 
 #include "common/rng.hpp"
 #include "common/stopwatch.hpp"
+#include "consensus/replicated_db.hpp"
 #include "db/database.hpp"
+#include "dur/fault_vfs.hpp"
 #include "obs/dashboard.hpp"
 #include "obs/export.hpp"
 #include "obs/trace_export.hpp"
@@ -62,6 +71,8 @@ struct Args {
   bool trace_batch_set = false;
   bool check_spans = false;
   std::string trace_perfetto;
+  int cluster_depth = -1;       ///< >= 0: 3-replica cluster, pipeline depth N
+  std::uint64_t fsync_us = 200; ///< simulated fsync latency (cluster mode)
 };
 
 int usage(const char* argv0) {
@@ -89,7 +100,12 @@ int usage(const char* argv0) {
       << "  --check-spans                   validate the recorded span "
          "stream; exit 1 on failure\n"
       << "  --trace-perfetto FILE           write the recorded spans as "
-         "Perfetto JSON (real timestamps + flow arrows)\n";
+         "Perfetto JSON (real timestamps + flow arrows)\n"
+      << "  --cluster-depth N               run a 3-replica durable cluster "
+         "with apply-pipeline depth N (0 = serial) and show the pipeline "
+         "panel\n"
+      << "  --fsync-us N                    simulated fsync latency in "
+         "cluster mode (default 200)\n";
   return 2;
 }
 
@@ -132,6 +148,10 @@ bool parse(int argc, char** argv, Args& a) {
       a.check_spans = true;
     } else if (f == "--trace-perfetto" && (v = need(i))) {
       a.trace_perfetto = v;
+    } else if (f == "--cluster-depth" && (v = need(i))) {
+      a.cluster_depth = std::stoi(v);
+    } else if (f == "--fsync-us" && (v = need(i))) {
+      a.fsync_us = std::stoull(v);
     } else {
       return false;
     }
@@ -199,11 +219,138 @@ struct Runner {
   }
 };
 
+/// Cluster mode (--cluster-depth): a 3-replica durable ReplicatedDb on a
+/// FaultVfs with simulated fsync latency. The dashboard ingests the
+/// cluster registry merged with the leader's engine registry, so the
+/// engine rows and the replica/pipeline panels render together.
+int run_cluster(const Args& args) {
+  namespace wl = workloads;
+  db::Database gen_db{sched::EngineConfig{}};
+  std::unique_ptr<wl::tpcc::Workload> tpcc_gen;
+  std::unique_ptr<wl::micro::CatalogWorkload> cat_gen;
+  std::unique_ptr<wl::micro::Workload> micro_gen;
+  consensus::ReplicatedDb::SetupFn setup;
+  if (args.workload == "tpcc") {
+    tpcc_gen = std::make_unique<wl::tpcc::Workload>(
+        gen_db, wl::tpcc::Scale::tiny(args.warehouses));
+    setup = [w = args.warehouses](db::Database& d) {
+      wl::tpcc::Workload ld(d, wl::tpcc::Scale::tiny(w));
+    };
+  } else if (args.workload == "catalog") {
+    cat_gen = std::make_unique<wl::micro::CatalogWorkload>(
+        gen_db, wl::micro::CatalogOptions{});
+    setup = [](db::Database& d) {
+      wl::micro::CatalogWorkload ld(d, wl::micro::CatalogOptions{});
+    };
+  } else {
+    wl::micro::Options opts;
+    opts.zipf_theta = 0.9;
+    micro_gen = std::make_unique<wl::micro::Workload>(gen_db, opts);
+    setup = [opts](db::Database& d) { wl::micro::Workload ld(d, opts); };
+  }
+
+  dur::FaultVfs vfs(args.seed);
+  vfs.set_sync_delay(args.fsync_us);
+  consensus::RecoveryOptions rec;
+  rec.checkpoint_interval = 16;
+  rec.vfs = &vfs;
+  rec.dur_dir = "dur";
+  sched::EngineConfig cfg;
+  cfg.workers = args.workers;
+  cfg.telemetry = true;
+  cfg.pipeline_depth = static_cast<unsigned>(args.cluster_depth);
+  consensus::ReplicatedDb rdb(3, args.seed, setup, cfg, {}, rec);
+  rdb.run_ms(1000);
+
+  auto merged_snapshot = [&rdb] {
+    std::vector<obs::MetricSnapshot> snap = rdb.telemetry().snapshot();
+    const int leader = rdb.raft().leader();
+    const obs::Registry* er =
+        rdb.replica(leader < 0 ? 0 : static_cast<unsigned>(leader))
+            .telemetry();
+    if (er != nullptr) {
+      const auto engine = er->snapshot();
+      snap.insert(snap.end(), engine.begin(), engine.end());
+    }
+    return snap;
+  };
+
+  obs::Dashboard dash("progmon · " + args.workload + " · 3 replicas · depth " +
+                      std::to_string(args.cluster_depth));
+  Rng rng(args.seed);
+  Stopwatch tick_sw;
+  std::uint64_t batch_no = 0;
+  for (unsigned b = 0; b < args.batches; ++b) {
+    ++batch_no;
+    std::vector<sched::TxRequest> batch;
+    if (tpcc_gen) {
+      batch = tpcc_gen->batch(args.batch_size, rng);
+    } else if (cat_gen) {
+      const std::size_t reprices =
+          batch_no % 8 == 0 ? args.batch_size / 64 + 1 : 0;
+      batch = cat_gen->batch(args.batch_size, reprices, rng);
+    } else {
+      batch = micro_gen->batch(args.batch_size, rng);
+    }
+    if (!rdb.submit_with_retry(std::move(batch))) {
+      std::cerr << "progmon: cluster submit failed at batch " << b << "\n";
+      return 1;
+    }
+    if (args.refresh != 0 && (b + 1) % args.refresh == 0) {
+      const double elapsed_s =
+          static_cast<double>(tick_sw.elapsed_micros()) / 1e6;
+      tick_sw = Stopwatch();
+      dash.tick(merged_snapshot(), elapsed_s);
+      std::cout << dash.render() << std::flush;
+    }
+  }
+  rdb.run_ms(2000);
+  if (!rdb.converged()) {
+    std::cerr << "progmon: cluster failed to converge\n";
+    return 1;
+  }
+  std::cout << "progmon: " << args.batches << " batches, "
+            << rdb.recovery_stats().submit_acked_durable
+            << " durable acks, pipeline depth " << args.cluster_depth << "\n";
+
+  int rc = 0;
+  if (!args.export_prom.empty() || args.check_prom) {
+    const std::string text = obs::to_prometheus(merged_snapshot());
+    if (args.check_prom) {
+      std::string err;
+      if (!obs::validate_prometheus(text, &err)) {
+        std::cerr << "progmon: exposition format INVALID: " << err << "\n";
+        rc = 1;
+      } else {
+        std::cout << "progmon: exposition format OK ("
+                  << merged_snapshot().size() << " series)\n";
+      }
+    }
+    if (!args.export_prom.empty() && !write_file(args.export_prom, text)) {
+      rc = 1;
+    }
+  }
+  if (!args.export_json.empty() &&
+      !write_file(args.export_json, obs::to_json(merged_snapshot()))) {
+    rc = 1;
+  }
+  return rc;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   Args args;
   if (!parse(argc, argv, args)) return usage(argv[0]);
+
+  if (args.cluster_depth >= 0) {
+    if (args.trace_sample > 0 || !args.trace_file.empty()) {
+      std::cerr << "progmon: --trace* options are single-node only (drop "
+                   "--cluster-depth)\n";
+      return 2;
+    }
+    return run_cluster(args);
+  }
 
   Runner runner(args);
   Rng rng(args.seed);
