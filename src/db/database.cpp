@@ -2,6 +2,7 @@
 
 #include "analysis/dataflow.hpp"
 #include "common/check.hpp"
+#include "lang/bytecode/bytecode.hpp"
 #include "store/snapshot.hpp"
 
 namespace prog::db {
@@ -12,6 +13,9 @@ Database::~Database() = default;
 
 sched::ProcId Database::register_procedure(
     lang::Proc proc, const sym::Profiler::Options& opts) {
+  // Normally a no-op (ProcBuilder::build already compiled); covers Procs
+  // assembled by other paths so registration always yields VM-ready code.
+  bytecode::ensure_compiled(proc);
   auto owned = std::make_shared<const lang::Proc>(std::move(proc));
   std::shared_ptr<const sym::TxProfile> profile =
       sym::Profiler::profile(*owned, opts);

@@ -13,11 +13,16 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "common/check.hpp"
 #include "common/types.hpp"
+
+namespace prog::bytecode {
+struct Program;  // lang/bytecode/bytecode.hpp
+}
 
 namespace prog::lang {
 
@@ -104,6 +109,9 @@ struct Proc {
   std::vector<VarType> var_types;
   std::vector<std::string> var_names;
   std::vector<Stmt> body;
+  /// Compiled bytecode (lang/bytecode). Attached by ProcBuilder::build() /
+  /// bytecode::ensure_compiled(); nullptr means the interpreter tree-walks.
+  std::shared_ptr<const bytecode::Program> code;
 
   const SExpr& expr(ExprId id) const {
     PROG_CHECK(id >= 0 && static_cast<std::size_t>(id) < exprs.size());

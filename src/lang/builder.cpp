@@ -1,5 +1,7 @@
 #include "lang/builder.hpp"
 
+#include "lang/bytecode/bytecode.hpp"
+
 namespace prog::lang {
 
 // --- Val operators ---------------------------------------------------------
@@ -237,6 +239,10 @@ Proc ProcBuilder::build() && {
   PROG_CHECK_MSG(!built_, "builder already consumed");
   PROG_CHECK_MSG(blocks_.size() == 1, "unbalanced blocks at build()");
   built_ = true;
+  // Compile to bytecode here so every construction path (workload templates,
+  // Database::register_procedure, tests) executes through the VM; failure
+  // degrades to tree-walking, never breaks registration.
+  bytecode::ensure_compiled(proc_);
   return std::move(proc_);
 }
 

@@ -1,0 +1,167 @@
+// Flat bytecode for stored procedures — the compiled form of lang::Proc.
+//
+// The tree-walking interpreter (lang/interp.cpp) chases AST pointers and
+// re-dispatches on every node; on the evaluated workloads that indirection is
+// the dominant per-transaction cost now that the scheduler hot path is
+// allocation-free (DESIGN.md §10) and the replica apply is pipelined (§14).
+// Procedures are registered offline, so we lower each Proc once into a linear
+// register-based program and execute that with a threaded-dispatch VM:
+//
+//   - one flat instruction array (no pointer chasing, predictable fetch);
+//   - a register file: registers [0, num_vars) are the procedure's scalar
+//     variables, the rest hold expression temporaries (stack-disciplined,
+//     sized at compile time — no runtime growth);
+//   - constants folded at compile time into a deduplicated pool;
+//   - key-expression fusion: GET/PUT/DEL whose key is a constant, a scalar
+//     parameter or a variable compile to a single instruction instead of an
+//     eval sequence (the common case in every evaluated workload).
+//
+// The VM reproduces the tree-walker byte for byte: identical ExecResult
+// (committed flag, emitted values, first-access read/write order, buffered
+// ops) and identical wrap-around/division/short-circuit semantics. The
+// bytecode_test differential fuzzer and the engine-level equivalence matrix
+// enforce this; EngineConfig::tree_walk_ablation keeps the tree-walker
+// selectable as the oracle for one release (DESIGN.md §15).
+//
+// The same instruction encoding doubles as the substrate for compiled
+// *prediction programs* (lang/bytecode/pred_program.hpp) that replace the
+// sym::TxProfile PSC-tree walk.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+#include "lang/interp.hpp"
+
+namespace prog::bytecode {
+
+enum class Op : std::uint8_t {
+  // --- value movement ------------------------------------------------------
+  kLoadC,   // regs[a] = pool[imm]
+  kLoadP,   // regs[a] = input.scalar(imm)
+  kLoadE,   // regs[a] = input.elem(imm, regs[b])
+  kMov,     // regs[a] = regs[b]
+  // --- arithmetic / comparison (regs[a] = regs[b] op regs[c]) --------------
+  kAdd,     // two's-complement wrap-around, like the tree-walker
+  kSub,
+  kMul,
+  kDiv,     // total: regs[c] == 0 -> 0 (exec code guards evaluation order
+  kMod,     //        with explicit jumps; prediction code uses these bare)
+  kMin,
+  kMax,
+  kEq,
+  kNe,
+  kLt,
+  kLe,
+  kGt,
+  kGe,
+  kAndV,    // non-short-circuit and/or (prediction programs only: expr::eval
+  kOrV,     // evaluates both operands unconditionally)
+  // --- unary (regs[a] = op regs[b]) ----------------------------------------
+  kNeg,
+  kNot,     // regs[a] = regs[b] == 0
+  kBool,    // regs[a] = regs[b] != 0
+  // --- row handles ---------------------------------------------------------
+  kField,   // regs[a] = handles[b] ? handles[b]->get_or(imm, 0) : 0
+  kExists,  // regs[a] = handles[b] != nullptr
+  // --- control flow --------------------------------------------------------
+  kJmp,     // pc = imm
+  kJz,      // if regs[b] == 0: pc = imm
+  kJnz,     // if regs[b] != 0: pc = imm
+  kForHead, // if regs[b] >= regs[c]: pc = imm; else bound-check against
+            // pool[imm2] via iteration counter regs[d], then regs[a]=regs[b]
+  kForNext, // ++regs[b]; pc = imm
+  // --- data access (key modes: R = regs[b], C = pool[c], P = scalar(c)) ----
+  kGetR,    // handles[a] = buffered read of {imm, key}
+  kGetC,
+  kGetP,
+  kPutR,    // upsert-merge {imm, key}; fields = put_fields[imm2, imm2+a)
+  kPutC,
+  kPutP,
+  kDelR,    // buffer a tombstone for {imm, key}
+  kDelC,
+  kDelP,
+  // --- effects / termination ----------------------------------------------
+  kEmit,    // out.emitted.push_back(regs[b])
+  kAbortIf, // if regs[b] != 0: finish(committed=false)
+  kHalt,    // finish(committed=true)
+  // --- prediction programs only (pred_program.hpp) -------------------------
+  kPivF,    // regs[a] = pivot_row[b] ? pivot_row[b]->get_or(imm, 0) : 0
+  kPivEx,   // regs[a] = pivot_row[b] != nullptr
+  kPKeyR,   // predicted read of {imm, key}; c > 0: resolve pivot slot c-1
+  kPKeyC,   //   (key modes: R = regs[b], C = pool[imm2], P = scalar(imm2))
+  kPKeyP,
+  kPWrR,    // predicted write of {imm, key} (same key modes)
+  kPWrC,
+  kPWrP,
+};
+
+const char* to_string(Op op) noexcept;
+
+/// One instruction. 16 bytes; operand meaning per opcode above. `imm` holds
+/// jump targets, table ids and field ids; `imm2` holds pool/side-table
+/// indices and secondary immediates.
+struct Insn {
+  Op op = Op::kHalt;
+  std::uint16_t a = 0;
+  std::uint16_t b = 0;
+  std::uint16_t c = 0;
+  std::uint16_t d = 0;
+  std::int32_t imm = 0;
+  std::int32_t imm2 = 0;
+};
+
+/// One field assignment of a compiled PUT: the value was pre-evaluated into
+/// `reg` by the instructions preceding the kPut*.
+struct PutField {
+  FieldId field = 0;
+  std::uint16_t reg = 0;
+};
+
+/// A compiled procedure. Immutable after compile(); shared by every thread.
+struct Program {
+  std::string name;               // procedure name (errors, disassembly)
+  std::vector<Insn> code;
+  std::vector<Value> pool;        // deduplicated constants
+  std::vector<PutField> put_fields;
+  std::uint16_t num_vars = 0;     // registers [0, num_vars) are variables
+  std::uint16_t num_regs = 0;     // total register file size
+  std::uint32_t num_params = 0;   // arity check mirrors Interp::run_into
+};
+
+/// Lowers `proc` to bytecode. Deterministic; throws InvariantError on an
+/// internal inconsistency (callers treat that as "keep tree-walking").
+std::shared_ptr<const Program> compile(const lang::Proc& proc);
+
+/// Compiles `proc.code` in place when absent. Returns false when compilation
+/// failed and the procedure will be tree-walked (never throws).
+bool ensure_compiled(lang::Proc& proc) noexcept;
+
+/// Executes `p` exactly like lang::Interp::run_into runs the AST: `out` is
+/// fully overwritten, scratch state is thread-local and reused across calls.
+/// `max_steps` maps the interpreter's statement budget onto an instruction
+/// budget (x8 — statements lower to a handful of instructions).
+/// `borrow_rows` enables the borrowed-pointer read path (ReadView::get_raw);
+/// disabling it forces the legacy shared_ptr copy per access (bench_interp
+/// measures the delta).
+void run(const Program& p, const lang::TxInput& input,
+         const store::ReadView& base, std::uint64_t max_steps,
+         lang::ExecResult& out, bool borrow_rows = true);
+
+/// Multi-line listing, one instruction per line (tools/progmon
+/// --dump-bytecode).
+std::string disassemble(const Program& p);
+
+namespace detail {
+/// Shared listing core — exec and prediction programs use the same encoding.
+std::string disassemble_code(const std::string& name,
+                             const std::vector<Insn>& code,
+                             const std::vector<Value>& pool,
+                             const std::vector<PutField>* put_fields,
+                             std::uint16_t num_vars, std::uint16_t num_regs);
+}  // namespace detail
+
+}  // namespace prog::bytecode

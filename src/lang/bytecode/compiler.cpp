@@ -1,0 +1,655 @@
+// Proc -> bytecode lowering. Offline (registration time), so clarity wins
+// over compile speed; the output must make the VM reproduce the tree-walker
+// byte for byte, including evaluation order, wrap-around arithmetic, the
+// zero-divisor short circuit and &&/|| short-circuiting (see interp.cpp).
+#include "lang/bytecode/bytecode.hpp"
+
+#include <limits>
+#include <map>
+#include <optional>
+#include <sstream>
+
+#include "common/check.hpp"
+#include "lang/ast.hpp"
+
+namespace prog::bytecode {
+
+namespace {
+
+using lang::EKind;
+using lang::ExprId;
+using lang::Proc;
+using lang::SExpr;
+using lang::SKind;
+using lang::Stmt;
+
+/// Exact interpreter arithmetic (interp.cpp wrap_* helpers).
+Value wrap_add(Value a, Value b) {
+  return static_cast<Value>(static_cast<std::uint64_t>(a) +
+                            static_cast<std::uint64_t>(b));
+}
+Value wrap_sub(Value a, Value b) {
+  return static_cast<Value>(static_cast<std::uint64_t>(a) -
+                            static_cast<std::uint64_t>(b));
+}
+Value wrap_mul(Value a, Value b) {
+  return static_cast<Value>(static_cast<std::uint64_t>(a) *
+                            static_cast<std::uint64_t>(b));
+}
+
+class Compiler {
+ public:
+  explicit Compiler(const Proc& proc) : proc_(proc) {
+    PROG_CHECK_MSG(proc.var_types.size() <= 0xFFFF,
+                   "bytecode: too many variables");
+    prog_.name = proc.name;
+    prog_.num_vars = static_cast<std::uint16_t>(proc.var_types.size());
+    prog_.num_params = static_cast<std::uint32_t>(proc.params.size());
+    top_ = prog_.num_vars;
+    max_regs_ = top_;
+  }
+
+  std::shared_ptr<const Program> compile() && {
+    compile_block(proc_.body);
+    emit(Op::kHalt);
+    prog_.num_regs = max_regs_;
+    return std::make_shared<const Program>(std::move(prog_));
+  }
+
+ private:
+  // --- emission helpers ----------------------------------------------------
+  std::int32_t here() const {
+    return static_cast<std::int32_t>(prog_.code.size());
+  }
+
+  Insn& emit(Op op, std::uint16_t a = 0, std::uint16_t b = 0,
+             std::uint16_t c = 0, std::uint16_t d = 0, std::int32_t imm = 0,
+             std::int32_t imm2 = 0) {
+    prog_.code.push_back(Insn{op, a, b, c, d, imm, imm2});
+    return prog_.code.back();
+  }
+
+  /// Emits a jump whose target is patched later; returns its code index.
+  std::int32_t emit_jump(Op op, std::uint16_t src = 0) {
+    emit(op, 0, src, 0, 0, /*imm=*/-1);
+    return here() - 1;
+  }
+
+  void patch(std::int32_t jump_at, std::int32_t target) {
+    prog_.code[static_cast<std::size_t>(jump_at)].imm = target;
+  }
+
+  std::int32_t pool_index(Value v) {
+    auto [it, inserted] = pool_dedup_.try_emplace(
+        v, static_cast<std::int32_t>(prog_.pool.size()));
+    if (inserted) prog_.pool.push_back(v);
+    return it->second;
+  }
+
+  /// Pool index narrowed to the 16-bit `c` operand (fused key modes).
+  std::uint16_t pool_index16(Value v) {
+    const std::int32_t idx = pool_index(v);
+    PROG_CHECK_MSG(idx <= 0xFFFF, "bytecode: constant pool overflow");
+    return static_cast<std::uint16_t>(idx);
+  }
+
+  // --- register allocation (stack discipline above the variables) ----------
+  std::uint16_t alloc() {
+    PROG_CHECK_MSG(top_ < 0xFFFF, "bytecode: register file overflow");
+    const std::uint16_t r = top_++;
+    if (top_ > max_regs_) max_regs_ = top_;
+    return r;
+  }
+  std::uint16_t mark() const { return top_; }
+  void release(std::uint16_t m) { top_ = m; }
+
+  // --- constant folding ----------------------------------------------------
+  /// Mirrors Frame::eval over constant subtrees. Division/modulo folding
+  /// skips the INT64_MIN / -1 case (hardware trap) — the runtime tree-walker
+  /// would trap there too, but a compiler must not.
+  std::optional<Value> fold(ExprId id) const {
+    const SExpr& e = proc_.expr(id);
+    switch (e.kind) {
+      case EKind::kConst:
+        return e.cval;
+      case EKind::kParam:
+      case EKind::kParamElem:
+      case EKind::kVar:
+      case EKind::kField:
+        return std::nullopt;
+      case EKind::kNot: {
+        const auto a = fold(e.a);
+        if (!a) return std::nullopt;
+        return *a == 0 ? 1 : 0;
+      }
+      default:
+        break;
+    }
+    const auto a = fold(e.a);
+    const auto b = fold(e.b);
+    if (!a || !b) return std::nullopt;
+    switch (e.kind) {
+      case EKind::kAdd:
+        return wrap_add(*a, *b);
+      case EKind::kSub:
+        return wrap_sub(*a, *b);
+      case EKind::kMul:
+        return wrap_mul(*a, *b);
+      case EKind::kDiv:
+        if (*b == 0) return 0;
+        if (*a == std::numeric_limits<Value>::min() && *b == -1) {
+          return std::nullopt;
+        }
+        return *a / *b;
+      case EKind::kMod:
+        if (*b == 0) return 0;
+        if (*a == std::numeric_limits<Value>::min() && *b == -1) {
+          return std::nullopt;
+        }
+        return *a % *b;
+      case EKind::kMin:
+        return *a < *b ? *a : *b;
+      case EKind::kMax:
+        return *a > *b ? *a : *b;
+      case EKind::kEq:
+        return *a == *b ? 1 : 0;
+      case EKind::kNe:
+        return *a != *b ? 1 : 0;
+      case EKind::kLt:
+        return *a < *b ? 1 : 0;
+      case EKind::kLe:
+        return *a <= *b ? 1 : 0;
+      case EKind::kGt:
+        return *a > *b ? 1 : 0;
+      case EKind::kGe:
+        return *a >= *b ? 1 : 0;
+      case EKind::kAnd:
+        return (*a != 0 && *b != 0) ? 1 : 0;
+      case EKind::kOr:
+        return (*a != 0 || *b != 0) ? 1 : 0;
+      default:
+        return std::nullopt;
+    }
+  }
+
+  // --- expression lowering -------------------------------------------------
+  /// Compiles `id`; the result lives in the returned register. Variable
+  /// references compile to their home register (no move); everything else
+  /// lands in `prefer` when given, else a fresh temporary. `prefer` (a
+  /// variable's home register during kAssign) is only ever written after
+  /// every operand read, so `x = f(x)` stays correct.
+  std::uint16_t compile_expr(ExprId id,
+                             std::optional<std::uint16_t> prefer = {}) {
+    if (const auto c = fold(id)) {
+      const std::uint16_t dst = prefer ? *prefer : alloc();
+      emit(Op::kLoadC, dst, 0, 0, 0, pool_index(*c));
+      return dst;
+    }
+    const SExpr& e = proc_.expr(id);
+    switch (e.kind) {
+      case EKind::kConst: {
+        const std::uint16_t dst = prefer ? *prefer : alloc();
+        emit(Op::kLoadC, dst, 0, 0, 0, pool_index(e.cval));
+        return dst;
+      }
+      case EKind::kParam: {
+        const std::uint16_t dst = prefer ? *prefer : alloc();
+        emit(Op::kLoadP, dst, 0, 0, 0,
+             static_cast<std::int32_t>(e.param));
+        return dst;
+      }
+      case EKind::kParamElem: {
+        const std::uint16_t m = mark();
+        const std::uint16_t idx = compile_expr(e.a);
+        release(m);
+        const std::uint16_t dst = prefer ? *prefer : alloc();
+        emit(Op::kLoadE, dst, idx, 0, 0,
+             static_cast<std::int32_t>(e.param));
+        return dst;
+      }
+      case EKind::kVar:
+        return static_cast<std::uint16_t>(e.var);
+      case EKind::kField: {
+        const std::uint16_t dst = prefer ? *prefer : alloc();
+        if (e.field == lang::kExistsField) {
+          emit(Op::kExists, dst, static_cast<std::uint16_t>(e.var));
+        } else {
+          emit(Op::kField, dst, static_cast<std::uint16_t>(e.var), 0, 0,
+               static_cast<std::int32_t>(e.field));
+        }
+        return dst;
+      }
+      case EKind::kNot: {
+        const std::uint16_t m = mark();
+        const std::uint16_t src = compile_expr(e.a);
+        release(m);
+        const std::uint16_t dst = prefer ? *prefer : alloc();
+        emit(Op::kNot, dst, src);
+        return dst;
+      }
+      case EKind::kDiv:
+      case EKind::kMod:
+        return compile_div(e, prefer);
+      case EKind::kAnd:
+      case EKind::kOr:
+        return compile_logical(e, prefer);
+      default:
+        break;
+    }
+    // Plain binary operator: left, then right, exactly like the tree.
+    const std::uint16_t m = mark();
+    const std::uint16_t lhs = compile_expr(e.a);
+    const std::uint16_t rhs = compile_expr(e.b);
+    release(m);
+    const std::uint16_t dst = prefer ? *prefer : alloc();
+    emit(binary_op(e.kind), dst, lhs, rhs);
+    return dst;
+  }
+
+  static Op binary_op(EKind k) {
+    switch (k) {
+      case EKind::kAdd:
+        return Op::kAdd;
+      case EKind::kSub:
+        return Op::kSub;
+      case EKind::kMul:
+        return Op::kMul;
+      case EKind::kMin:
+        return Op::kMin;
+      case EKind::kMax:
+        return Op::kMax;
+      case EKind::kEq:
+        return Op::kEq;
+      case EKind::kNe:
+        return Op::kNe;
+      case EKind::kLt:
+        return Op::kLt;
+      case EKind::kLe:
+        return Op::kLe;
+      case EKind::kGt:
+        return Op::kGt;
+      case EKind::kGe:
+        return Op::kGe;
+      default:
+        throw InvariantError("bytecode: not a plain binary operator");
+    }
+  }
+
+  /// kDiv/kMod evaluate the divisor first and never evaluate the dividend
+  /// when it is zero (interp.cpp). Jump scheme preserves that order, so an
+  /// exception-throwing dividend (array index out of range) surfaces — or
+  /// doesn't — exactly like the tree.
+  std::uint16_t compile_div(const SExpr& e,
+                            std::optional<std::uint16_t> prefer) {
+    const std::uint16_t m = mark();
+    const std::uint16_t rhs = compile_expr(e.b);
+    const std::int32_t jz = emit_jump(Op::kJz, rhs);
+    const std::uint16_t lhs = compile_expr(e.a);
+    release(m);
+    const std::uint16_t dst = prefer ? *prefer : alloc();
+    emit(e.kind == EKind::kDiv ? Op::kDiv : Op::kMod, dst, lhs, rhs);
+    const std::int32_t done = emit_jump(Op::kJmp);
+    patch(jz, here());
+    emit(Op::kLoadC, dst, 0, 0, 0, pool_index(0));
+    patch(done, here());
+    return dst;
+  }
+
+  /// Short-circuit &&/|| (the tree uses C++ && / ||).
+  std::uint16_t compile_logical(const SExpr& e,
+                                std::optional<std::uint16_t> prefer) {
+    const bool is_and = e.kind == EKind::kAnd;
+    const std::uint16_t m = mark();
+    const std::uint16_t lhs = compile_expr(e.a);
+    const std::int32_t skip =
+        emit_jump(is_and ? Op::kJz : Op::kJnz, lhs);
+    const std::uint16_t rhs = compile_expr(e.b);
+    release(m);
+    const std::uint16_t dst = prefer ? *prefer : alloc();
+    emit(Op::kBool, dst, rhs);
+    const std::int32_t done = emit_jump(Op::kJmp);
+    patch(skip, here());
+    emit(Op::kLoadC, dst, 0, 0, 0, pool_index(is_and ? 0 : 1));
+    patch(done, here());
+    return dst;
+  }
+
+  // --- key-expression fusion -----------------------------------------------
+  /// GET/PUT/DEL key operands compile into the access instruction itself
+  /// when they are constants (post-folding), scalar parameters, or variables
+  /// (already registers). `ops[0..2]` are the R/C/P opcode variants.
+  struct KeyOperand {
+    Op op;
+    std::uint16_t b = 0;  // R: key register
+    std::uint16_t c = 0;  // C: pool index; P: parameter slot
+  };
+
+  KeyOperand key_operand(ExprId id, Op r, Op c, Op p) {
+    if (const auto v = fold(id)) return {c, 0, pool_index16(*v)};
+    const SExpr& e = proc_.expr(id);
+    if (e.kind == EKind::kParam) {
+      PROG_CHECK(e.param <= 0xFFFF);
+      return {p, 0, static_cast<std::uint16_t>(e.param)};
+    }
+    if (e.kind == EKind::kVar) {
+      return {r, static_cast<std::uint16_t>(e.var), 0};
+    }
+    return {r, compile_expr(id), 0};
+  }
+
+  // --- statement lowering --------------------------------------------------
+  void compile_block(const std::vector<Stmt>& block) {
+    for (const Stmt& s : block) compile_stmt(s);
+  }
+
+  void compile_stmt(const Stmt& s) {
+    const std::uint16_t m = mark();
+    switch (s.kind) {
+      case SKind::kAssign: {
+        const std::uint16_t var = static_cast<std::uint16_t>(s.var);
+        const std::uint16_t r = compile_expr(s.a, var);
+        if (r != var) emit(Op::kMov, var, r);
+        break;
+      }
+      case SKind::kGet: {
+        const KeyOperand k = key_operand(s.a, Op::kGetR, Op::kGetC, Op::kGetP);
+        emit(k.op, static_cast<std::uint16_t>(s.var), k.b, k.c, 0,
+             static_cast<std::int32_t>(s.table));
+        break;
+      }
+      case SKind::kPut: {
+        // Key first (tree evaluation order), then every field value into
+        // live temporaries, then one kPut referencing the side table.
+        const KeyOperand k = key_operand(s.a, Op::kPutR, Op::kPutC, Op::kPutP);
+        const std::int32_t fields_at =
+            static_cast<std::int32_t>(prog_.put_fields.size());
+        PROG_CHECK_MSG(s.fields.size() <= 0xFFFF,
+                       "bytecode: PUT field list overflow");
+        for (const auto& [field, eid] : s.fields) {
+          prog_.put_fields.push_back({field, compile_expr(eid)});
+        }
+        emit(k.op, static_cast<std::uint16_t>(s.fields.size()), k.b, k.c, 0,
+             static_cast<std::int32_t>(s.table), fields_at);
+        break;
+      }
+      case SKind::kDel: {
+        const KeyOperand k = key_operand(s.a, Op::kDelR, Op::kDelC, Op::kDelP);
+        emit(k.op, 0, k.b, k.c, 0, static_cast<std::int32_t>(s.table));
+        break;
+      }
+      case SKind::kIf: {
+        const std::uint16_t cond = compile_expr(s.a);
+        release(m);
+        const std::int32_t jz = emit_jump(Op::kJz, cond);
+        compile_block(s.body);
+        if (s.else_body.empty()) {
+          patch(jz, here());
+        } else {
+          const std::int32_t done = emit_jump(Op::kJmp);
+          patch(jz, here());
+          compile_block(s.else_body);
+          patch(done, here());
+        }
+        break;
+      }
+      case SKind::kFor: {
+        // cur/end/iters live across the body; the loop variable's home
+        // register is refreshed from cur at each head (tree semantics:
+        // the body may clobber the variable, iteration still advances).
+        const std::uint16_t cur = alloc();
+        const std::uint16_t end = alloc();
+        const std::uint16_t iters = alloc();
+        const std::uint16_t rlo = compile_expr(s.a, cur);
+        if (rlo != cur) emit(Op::kMov, cur, rlo);
+        const std::uint16_t rhi = compile_expr(s.b, end);
+        if (rhi != end) emit(Op::kMov, end, rhi);
+        emit(Op::kLoadC, iters, 0, 0, 0, pool_index(0));
+        const std::int32_t head = here();
+        emit(Op::kForHead, static_cast<std::uint16_t>(s.var), cur, end, iters,
+             /*imm=*/-1, pool_index(s.max_iters));
+        compile_block(s.body);
+        emit(Op::kForNext, 0, cur, 0, 0, head);
+        patch(head, here());
+        break;
+      }
+      case SKind::kAbortIf: {
+        const std::uint16_t cond = compile_expr(s.a);
+        emit(Op::kAbortIf, 0, cond);
+        break;
+      }
+      case SKind::kEmit: {
+        const std::uint16_t r = compile_expr(s.a);
+        emit(Op::kEmit, 0, r);
+        break;
+      }
+    }
+    release(m);
+  }
+
+  const Proc& proc_;
+  Program prog_;
+  std::map<Value, std::int32_t> pool_dedup_;
+  std::uint16_t top_ = 0;
+  std::uint16_t max_regs_ = 0;
+};
+
+}  // namespace
+
+std::shared_ptr<const Program> compile(const lang::Proc& proc) {
+  return Compiler(proc).compile();
+}
+
+bool ensure_compiled(lang::Proc& proc) noexcept {
+  if (proc.code != nullptr) return true;
+  try {
+    proc.code = compile(proc);
+    return true;
+  } catch (...) {
+    proc.code = nullptr;  // tree-walk fallback; differential tests would
+    return false;         // catch a compiler that fails on real workloads
+  }
+}
+
+const char* to_string(Op op) noexcept {
+  switch (op) {
+    case Op::kLoadC: return "loadc";
+    case Op::kLoadP: return "loadp";
+    case Op::kLoadE: return "loade";
+    case Op::kMov: return "mov";
+    case Op::kAdd: return "add";
+    case Op::kSub: return "sub";
+    case Op::kMul: return "mul";
+    case Op::kDiv: return "div";
+    case Op::kMod: return "mod";
+    case Op::kMin: return "min";
+    case Op::kMax: return "max";
+    case Op::kEq: return "eq";
+    case Op::kNe: return "ne";
+    case Op::kLt: return "lt";
+    case Op::kLe: return "le";
+    case Op::kGt: return "gt";
+    case Op::kGe: return "ge";
+    case Op::kAndV: return "andv";
+    case Op::kOrV: return "orv";
+    case Op::kNeg: return "neg";
+    case Op::kNot: return "not";
+    case Op::kBool: return "bool";
+    case Op::kField: return "field";
+    case Op::kExists: return "exists";
+    case Op::kJmp: return "jmp";
+    case Op::kJz: return "jz";
+    case Op::kJnz: return "jnz";
+    case Op::kForHead: return "forhead";
+    case Op::kForNext: return "fornext";
+    case Op::kGetR: return "get.r";
+    case Op::kGetC: return "get.c";
+    case Op::kGetP: return "get.p";
+    case Op::kPutR: return "put.r";
+    case Op::kPutC: return "put.c";
+    case Op::kPutP: return "put.p";
+    case Op::kDelR: return "del.r";
+    case Op::kDelC: return "del.c";
+    case Op::kDelP: return "del.p";
+    case Op::kEmit: return "emit";
+    case Op::kAbortIf: return "abortif";
+    case Op::kHalt: return "halt";
+    case Op::kPivF: return "pivf";
+    case Op::kPivEx: return "pivex";
+    case Op::kPKeyR: return "pkey.r";
+    case Op::kPKeyC: return "pkey.c";
+    case Op::kPKeyP: return "pkey.p";
+    case Op::kPWrR: return "pwr.r";
+    case Op::kPWrC: return "pwr.c";
+    case Op::kPWrP: return "pwr.p";
+  }
+  return "?";
+}
+
+namespace detail {
+
+/// Shared listing core: exec and prediction programs use the same encoding.
+std::string disassemble_code(const std::string& name,
+                             const std::vector<Insn>& code,
+                             const std::vector<Value>& pool,
+                             const std::vector<PutField>* put_fields,
+                             std::uint16_t num_vars, std::uint16_t num_regs) {
+  std::ostringstream os;
+  os << name << ": " << code.size() << " insns, " << pool.size()
+     << " consts, " << num_regs << " regs (" << num_vars << " vars)\n";
+  for (std::size_t pc = 0; pc < code.size(); ++pc) {
+    const Insn& i = code[pc];
+    os << "  " << pc << ":\t" << to_string(i.op);
+    switch (i.op) {
+      case Op::kLoadC:
+        os << " r" << i.a << ", " << pool[static_cast<std::size_t>(i.imm)];
+        break;
+      case Op::kLoadP:
+        os << " r" << i.a << ", in" << i.imm;
+        break;
+      case Op::kLoadE:
+        os << " r" << i.a << ", in" << i.imm << "[r" << i.b << "]";
+        break;
+      case Op::kMov:
+      case Op::kNeg:
+      case Op::kNot:
+      case Op::kBool:
+        os << " r" << i.a << ", r" << i.b;
+        break;
+      case Op::kAdd:
+      case Op::kSub:
+      case Op::kMul:
+      case Op::kDiv:
+      case Op::kMod:
+      case Op::kMin:
+      case Op::kMax:
+      case Op::kEq:
+      case Op::kNe:
+      case Op::kLt:
+      case Op::kLe:
+      case Op::kGt:
+      case Op::kGe:
+      case Op::kAndV:
+      case Op::kOrV:
+        os << " r" << i.a << ", r" << i.b << ", r" << i.c;
+        break;
+      case Op::kField:
+        os << " r" << i.a << ", h" << i.b << ".f" << i.imm;
+        break;
+      case Op::kExists:
+        os << " r" << i.a << ", h" << i.b;
+        break;
+      case Op::kPivF:
+        os << " r" << i.a << ", piv" << i.b << ".f" << i.imm;
+        break;
+      case Op::kPivEx:
+        os << " r" << i.a << ", piv" << i.b;
+        break;
+      case Op::kJmp:
+        os << " -> " << i.imm;
+        break;
+      case Op::kJz:
+      case Op::kJnz:
+      case Op::kAbortIf:
+      case Op::kEmit:
+        os << " r" << i.b;
+        if (i.op == Op::kJz || i.op == Op::kJnz) os << " -> " << i.imm;
+        break;
+      case Op::kForHead:
+        os << " var=r" << i.a << " cur=r" << i.b << " end=r" << i.c
+           << " max=" << pool[static_cast<std::size_t>(i.imm2)] << " -> "
+           << i.imm;
+        break;
+      case Op::kForNext:
+        os << " r" << i.b << " -> " << i.imm;
+        break;
+      case Op::kGetR:
+      case Op::kPKeyR:
+      case Op::kPWrR:
+        os << (i.op == Op::kGetR ? " h" : " ")
+           << (i.op == Op::kGetR ? std::to_string(i.a) : "") << " t" << i.imm
+           << "[r" << i.b << "]";
+        break;
+      case Op::kGetC:
+      case Op::kGetP: {
+        os << " h" << i.a << ", t" << i.imm;
+        if (i.op == Op::kGetC) {
+          os << "[" << pool[i.c] << "]";
+        } else {
+          os << "[in" << i.c << "]";
+        }
+        break;
+      }
+      case Op::kPKeyC:
+      case Op::kPWrC:
+        os << " t" << i.imm << "[" << pool[static_cast<std::size_t>(i.imm2)]
+           << "]";
+        break;
+      case Op::kPKeyP:
+      case Op::kPWrP:
+        os << " t" << i.imm << "[in" << i.imm2 << "]";
+        break;
+      case Op::kPutR:
+      case Op::kPutC:
+      case Op::kPutP:
+      case Op::kDelR:
+      case Op::kDelC:
+      case Op::kDelP: {
+        os << " t" << i.imm;
+        if (i.op == Op::kPutR || i.op == Op::kDelR) {
+          os << "[r" << i.b << "]";
+        } else if (i.op == Op::kPutC || i.op == Op::kDelC) {
+          os << "[" << pool[i.c] << "]";
+        } else {
+          os << "[in" << i.c << "]";
+        }
+        if (put_fields != nullptr &&
+            (i.op == Op::kPutR || i.op == Op::kPutC || i.op == Op::kPutP)) {
+          os << " {";
+          for (std::uint16_t f = 0; f < i.a; ++f) {
+            const PutField& pf =
+                (*put_fields)[static_cast<std::size_t>(i.imm2) + f];
+            os << (f == 0 ? "" : ", ") << "f" << pf.field << "=r" << pf.reg;
+          }
+          os << "}";
+        }
+        break;
+      }
+      case Op::kHalt:
+        break;
+    }
+    if (i.op == Op::kPKeyR || i.op == Op::kPKeyC || i.op == Op::kPKeyP) {
+      if (i.c > 0) os << " pivot=" << (i.c - 1);
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace detail
+
+std::string disassemble(const Program& p) {
+  return detail::disassemble_code(p.name, p.code, p.pool, &p.put_fields,
+                                  p.num_vars, p.num_regs);
+}
+
+}  // namespace prog::bytecode

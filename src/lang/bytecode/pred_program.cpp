@@ -1,0 +1,473 @@
+// TxProfile -> prediction bytecode lowering, and the VM that runs it.
+//
+// Compiled into prog_sym (not prog_lang): the compiler reads sym::TxProfile
+// and expr::Expr, and making prog_lang depend on prog_sym would be a cycle.
+// The instruction encoding and disassembly core are shared with the exec
+// bytecode (lang/bytecode/bytecode.hpp).
+#include "lang/bytecode/pred_program.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "common/check.hpp"
+#include "expr/expr.hpp"
+#include "sym/profile.hpp"
+
+namespace prog::bytecode {
+
+namespace {
+
+using expr::Expr;
+using sym::GetSite;
+using sym::ProfileNode;
+using sym::TxProfile;
+using sym::WriteRef;
+
+class PredCompiler {
+ public:
+  explicit PredCompiler(const TxProfile& profile) : profile_(profile) {
+    prog_.name = profile.proc().name;
+    prog_.num_params =
+        static_cast<std::uint32_t>(profile.proc().params.size());
+  }
+
+  std::shared_ptr<const PredProgram> compile() && {
+    compile_node(&profile_.root());
+    PROG_CHECK_MSG(pivot_slot_.size() <= 0xFFFF,
+                   "pred bytecode: too many pivot sites");
+    prog_.num_pivots = static_cast<std::uint16_t>(pivot_slot_.size());
+    prog_.num_regs = max_regs_;
+    return std::make_shared<const PredProgram>(std::move(prog_));
+  }
+
+ private:
+  std::int32_t here() const {
+    return static_cast<std::int32_t>(prog_.code.size());
+  }
+
+  Insn& emit(Op op, std::uint16_t a = 0, std::uint16_t b = 0,
+             std::uint16_t c = 0, std::uint16_t d = 0, std::int32_t imm = 0,
+             std::int32_t imm2 = 0) {
+    prog_.code.push_back(Insn{op, a, b, c, d, imm, imm2});
+    return prog_.code.back();
+  }
+
+  std::int32_t pool_index(Value v) {
+    auto [it, inserted] = pool_dedup_.try_emplace(
+        v, static_cast<std::int32_t>(prog_.pool.size()));
+    if (inserted) prog_.pool.push_back(v);
+    return it->second;
+  }
+
+  std::uint16_t alloc() {
+    PROG_CHECK_MSG(top_ < 0xFFFF, "pred bytecode: register file overflow");
+    const std::uint16_t r = top_++;
+    if (top_ > max_regs_) max_regs_ = top_;
+    return r;
+  }
+
+  // --- expression lowering -------------------------------------------------
+  /// Compiles `e` into a fresh stack-allocated register. Evaluation order
+  /// matches expr::eval exactly: both operands of every binary operator are
+  /// evaluated (no short-circuit — kAndV/kOrV), division and modulo are
+  /// total (the VM's bare kDiv/kMod map 0 divisors to 0, like apply_binary).
+  std::uint16_t compile_expr(const Expr* e) {
+    PROG_CHECK(e != nullptr);
+    switch (e->op) {
+      case expr::Op::kConst: {
+        const std::uint16_t r = alloc();
+        emit(Op::kLoadC, r, 0, 0, 0, pool_index(e->cval));
+        return r;
+      }
+      case expr::Op::kInput: {
+        const std::uint16_t r = alloc();
+        emit(Op::kLoadP, r, 0, 0, 0, static_cast<std::int32_t>(e->slot));
+        return r;
+      }
+      case expr::Op::kInputElem: {
+        const std::uint16_t r = compile_expr(e->lhs);
+        emit(Op::kLoadE, r, r, 0, 0, static_cast<std::int32_t>(e->slot));
+        return r;
+      }
+      case expr::Op::kPivotField: {
+        // The tree walker PROG_CHECKs this at run time ("prediction
+        // referenced an unresolved pivot site"); here the same invariant is
+        // verified per path at compile time, so the VM needs no check.
+        PROG_CHECK_MSG(
+            std::find(resolved_.begin(), resolved_.end(), e->slot) !=
+                resolved_.end(),
+            "pred bytecode: pivot site used before resolution on a path");
+        const std::uint16_t slot = pivot_slot_.at(e->slot);
+        const std::uint16_t r = alloc();
+        if (e->field == lang::kExistsField) {
+          emit(Op::kPivEx, r, slot);
+        } else {
+          emit(Op::kPivF, r, slot, 0, 0,
+               static_cast<std::int32_t>(e->field));
+        }
+        return r;
+      }
+      case expr::Op::kNeg: {
+        const std::uint16_t r = compile_expr(e->lhs);
+        emit(Op::kNeg, r, r);
+        return r;
+      }
+      case expr::Op::kNot: {
+        const std::uint16_t r = compile_expr(e->lhs);
+        emit(Op::kNot, r, r);
+        return r;
+      }
+      default: {
+        const std::uint16_t ra = compile_expr(e->lhs);
+        const std::uint16_t rb = compile_expr(e->rhs);
+        emit(binary_op(e->op), ra, ra, rb);
+        top_ = static_cast<std::uint16_t>(ra + 1);  // pop rb
+        return ra;
+      }
+    }
+  }
+
+  static Op binary_op(expr::Op op) {
+    switch (op) {
+      case expr::Op::kAdd: return Op::kAdd;
+      case expr::Op::kSub: return Op::kSub;
+      case expr::Op::kMul: return Op::kMul;
+      case expr::Op::kDiv: return Op::kDiv;
+      case expr::Op::kMod: return Op::kMod;
+      case expr::Op::kMin: return Op::kMin;
+      case expr::Op::kMax: return Op::kMax;
+      case expr::Op::kEq: return Op::kEq;
+      case expr::Op::kNe: return Op::kNe;
+      case expr::Op::kLt: return Op::kLt;
+      case expr::Op::kLe: return Op::kLe;
+      case expr::Op::kGt: return Op::kGt;
+      case expr::Op::kGe: return Op::kGe;
+      case expr::Op::kAnd: return Op::kAndV;
+      case expr::Op::kOr: return Op::kOrV;
+      default:
+        throw InvariantError("pred bytecode: not a binary operator");
+    }
+  }
+
+  // --- key-expression fusion -----------------------------------------------
+  /// Key operand of a kPKey*/kPWr*: constants and scalar parameters fuse
+  /// into the instruction (imm2); anything else evaluates into a register.
+  struct KeyOperand {
+    Op op;
+    std::uint16_t b = 0;    // R: key register
+    std::int32_t imm2 = 0;  // C: pool index; P: parameter slot
+  };
+
+  KeyOperand key_operand(const Expr* e, Op r, Op c, Op p) {
+    if (e->is_const()) return {c, 0, pool_index(e->cval)};
+    if (e->op == expr::Op::kInput) {
+      return {p, 0, static_cast<std::int32_t>(e->slot)};
+    }
+    const std::uint16_t reg = compile_expr(e);
+    top_ = reg;  // released: the emitting instruction is its only reader
+    return {r, reg, 0};
+  }
+
+  // --- tree lowering -------------------------------------------------------
+  /// DFS over the PSC tree in exactly the order the tree walk visits it.
+  /// Every root-to-leaf path becomes a straight-line run ending in kHalt; a
+  /// missing child (the walk's `node == nullptr` exit) is an empty leaf.
+  void compile_node(const ProfileNode* node) {
+    if (node == nullptr) {
+      emit(Op::kHalt);
+      return;
+    }
+    for (const GetSite& g : node->seg.gets) {
+      std::uint16_t pivot1 = 0;  // c operand: slot + 1; 0 = not a pivot
+      if (profile_.used_sites().contains(g.id)) {
+        auto [it, inserted] = pivot_slot_.try_emplace(
+            g.id, static_cast<std::uint16_t>(pivot_slot_.size()));
+        pivot1 = static_cast<std::uint16_t>(it->second + 1);
+        resolved_.push_back(g.id);
+      }
+      const KeyOperand k =
+          key_operand(g.key, Op::kPKeyR, Op::kPKeyC, Op::kPKeyP);
+      emit(k.op, 0, k.b, pivot1, 0, static_cast<std::int32_t>(g.table),
+           k.imm2);
+    }
+    for (const WriteRef& w : node->seg.writes) {
+      const KeyOperand k =
+          key_operand(w.key, Op::kPWrR, Op::kPWrC, Op::kPWrP);
+      emit(k.op, 0, k.b, 0, 0, static_cast<std::int32_t>(w.table), k.imm2);
+    }
+    if (node->is_leaf()) {
+      emit(Op::kHalt);
+      return;
+    }
+    const std::uint16_t cond = compile_expr(node->cond);
+    top_ = cond;  // released
+    Insn& jz = emit(Op::kJz, 0, cond, 0, 0, /*imm=*/-1);
+    const std::int32_t jz_at = here() - 1;
+    (void)jz;
+    const std::size_t resolved_mark = resolved_.size();
+    compile_node(node->then_child.get());
+    resolved_.resize(resolved_mark);
+    prog_.code[static_cast<std::size_t>(jz_at)].imm = here();
+    compile_node(node->else_child.get());
+    resolved_.resize(resolved_mark);
+  }
+
+  const TxProfile& profile_;
+  PredProgram prog_;
+  std::map<Value, std::int32_t> pool_dedup_;
+  std::map<std::uint32_t, std::uint16_t> pivot_slot_;  // site id -> slot
+  std::vector<std::uint32_t> resolved_;  // sites resolved on the current path
+  std::uint16_t top_ = 0;
+  std::uint16_t max_regs_ = 0;
+};
+
+// --- the prediction VM -----------------------------------------------------
+
+struct PredScratch {
+  std::vector<Value> regs;
+  std::vector<const store::Row*> rows;  // pivot slots
+  std::vector<store::RowPtr> keep;      // pins from non-borrowing views
+};
+
+PredScratch& scratch() {
+  static thread_local PredScratch s;
+  return s;
+}
+
+}  // namespace
+
+std::shared_ptr<const PredProgram> compile_prediction(
+    const sym::TxProfile& profile) {
+  return PredCompiler(profile).compile();
+}
+
+bool ensure_pred_compiled(sym::TxProfile& profile) noexcept {
+  if (profile.pred_code_ != nullptr) return true;
+  try {
+    profile.pred_code_ = compile_prediction(profile);
+    return true;
+  } catch (...) {
+    profile.pred_code_ = nullptr;  // tree-walk fallback; the differential
+    return false;                  // tests would catch real-workload failures
+  }
+}
+
+void predict_run(const PredProgram& p, const lang::TxInput& input,
+                 const store::ReadView& view, sym::Prediction& out) {
+  out.clear();
+  PredScratch& sc = scratch();
+  // Grow-only: registers and pivot slots are never zeroed between runs. The
+  // compiler emits every definition before any use along each path (pivot
+  // slots are guarded by the compile-time resolution check), so a stale
+  // value from the previous prediction is unreachable — reusing the buffers
+  // saves two fills per prediction, which is measurable at IT scale.
+  if (sc.regs.size() < p.num_regs) sc.regs.resize(p.num_regs);
+  if (sc.rows.size() < p.num_pivots) sc.rows.resize(p.num_pivots);
+  sc.keep.clear();
+  Value* const regs = sc.regs.data();
+  const Value* const pool = p.pool.data();
+  const Insn* ip = p.code.data();
+
+  const auto pkey = [&](const Insn& in, Value kv) {
+    const TKey key{static_cast<TableId>(in.imm), static_cast<Key>(kv)};
+    out.keys.push_back(key);
+    if (in.c != 0) {
+      store::RowPtr keepalive;
+      const store::Row* row = view.get_raw(key, keepalive);
+      if (keepalive != nullptr) sc.keep.push_back(std::move(keepalive));
+      out.pivots.push_back({key, row != nullptr ? (row->hash() | 1) : 0});
+      sc.rows[in.c - 1] = row;
+    }
+  };
+  const auto pwr = [&](const Insn& in, Value kv) {
+    const TKey key{static_cast<TableId>(in.imm), static_cast<Key>(kv)};
+    out.keys.push_back(key);
+    out.write_keys.push_back(key);
+  };
+
+  // Prediction programs are loop-free (the PSC tree is finite), so the run
+  // is bounded by the code size — no step budget needed. Dispatch mirrors
+  // the exec VM (vm.cpp): computed-goto under GCC/Clang so each opcode site
+  // gets its own predictable indirect branch, portable switch fallback
+  // elsewhere or under PROG_BYTECODE_SWITCH_DISPATCH.
+  const Insn* const code = p.code.data();
+  const Insn* in;
+
+#if defined(__GNUC__) && !defined(PROG_BYTECODE_SWITCH_DISPATCH)
+  // Label order must match the Op enumerator order exactly.
+  static const void* const jt[] = {
+      &&L_kLoadC, &&L_kLoadP, &&L_kLoadE, &&L_kMov,   &&L_kAdd,   &&L_kSub,
+      &&L_kMul,   &&L_kDiv,   &&L_kMod,   &&L_kMin,   &&L_kMax,   &&L_kEq,
+      &&L_kNe,    &&L_kLt,    &&L_kLe,    &&L_kGt,    &&L_kGe,    &&L_kAndV,
+      &&L_kOrV,   &&L_kNeg,   &&L_kNot,   &&L_kBool,  &&L_kField, &&L_kExists,
+      &&L_kJmp,   &&L_kJz,    &&L_kJnz,   &&L_kForHead, &&L_kForNext,
+      &&L_kGetR,  &&L_kGetC,  &&L_kGetP,  &&L_kPutR,  &&L_kPutC,  &&L_kPutP,
+      &&L_kDelR,  &&L_kDelC,  &&L_kDelP,  &&L_kEmit,  &&L_kAbortIf,
+      &&L_kHalt,  &&L_kPivF,  &&L_kPivEx, &&L_kPKeyR, &&L_kPKeyC, &&L_kPKeyP,
+      &&L_kPWrR,  &&L_kPWrC,  &&L_kPWrP,
+  };
+#define VM_CASE(name) L_##name:
+#define VM_NEXT()                                  \
+  do {                                             \
+    in = ip++;                                     \
+    goto* jt[static_cast<std::size_t>(in->op)];    \
+  } while (0)
+  VM_NEXT();
+#else
+#define VM_CASE(name) case Op::name:
+#define VM_NEXT() break
+  for (;;) {
+    in = ip++;
+    switch (in->op) {
+#endif
+
+  VM_CASE(kLoadC) { regs[in->a] = pool[in->imm]; }
+  VM_NEXT();
+  VM_CASE(kLoadP) { regs[in->a] = input.scalar(static_cast<std::size_t>(in->imm)); }
+  VM_NEXT();
+  VM_CASE(kLoadE) {
+    const Value idx = regs[in->b];
+    regs[in->a] = input.elem(static_cast<std::size_t>(in->imm), idx);
+  }
+  VM_NEXT();
+  VM_CASE(kAdd) {
+    regs[in->a] = static_cast<Value>(static_cast<std::uint64_t>(regs[in->b]) +
+                                     static_cast<std::uint64_t>(regs[in->c]));
+  }
+  VM_NEXT();
+  VM_CASE(kSub) {
+    regs[in->a] = static_cast<Value>(static_cast<std::uint64_t>(regs[in->b]) -
+                                     static_cast<std::uint64_t>(regs[in->c]));
+  }
+  VM_NEXT();
+  VM_CASE(kMul) {
+    regs[in->a] = static_cast<Value>(static_cast<std::uint64_t>(regs[in->b]) *
+                                     static_cast<std::uint64_t>(regs[in->c]));
+  }
+  VM_NEXT();
+  VM_CASE(kDiv) {
+    const Value b = regs[in->b], c = regs[in->c];
+    regs[in->a] = c == 0 ? 0 : b / c;
+  }
+  VM_NEXT();
+  VM_CASE(kMod) {
+    const Value b = regs[in->b], c = regs[in->c];
+    regs[in->a] = c == 0 ? 0 : b % c;
+  }
+  VM_NEXT();
+  VM_CASE(kMin) {
+    const Value b = regs[in->b], c = regs[in->c];
+    regs[in->a] = b < c ? b : c;
+  }
+  VM_NEXT();
+  VM_CASE(kMax) {
+    const Value b = regs[in->b], c = regs[in->c];
+    regs[in->a] = b > c ? b : c;
+  }
+  VM_NEXT();
+  VM_CASE(kEq) { regs[in->a] = regs[in->b] == regs[in->c] ? 1 : 0; }
+  VM_NEXT();
+  VM_CASE(kNe) { regs[in->a] = regs[in->b] != regs[in->c] ? 1 : 0; }
+  VM_NEXT();
+  VM_CASE(kLt) { regs[in->a] = regs[in->b] < regs[in->c] ? 1 : 0; }
+  VM_NEXT();
+  VM_CASE(kLe) { regs[in->a] = regs[in->b] <= regs[in->c] ? 1 : 0; }
+  VM_NEXT();
+  VM_CASE(kGt) { regs[in->a] = regs[in->b] > regs[in->c] ? 1 : 0; }
+  VM_NEXT();
+  VM_CASE(kGe) { regs[in->a] = regs[in->b] >= regs[in->c] ? 1 : 0; }
+  VM_NEXT();
+  VM_CASE(kAndV) { regs[in->a] = (regs[in->b] != 0 && regs[in->c] != 0) ? 1 : 0; }
+  VM_NEXT();
+  VM_CASE(kOrV) { regs[in->a] = (regs[in->b] != 0 || regs[in->c] != 0) ? 1 : 0; }
+  VM_NEXT();
+  VM_CASE(kNeg) { regs[in->a] = -regs[in->b]; }
+  VM_NEXT();
+  VM_CASE(kNot) { regs[in->a] = regs[in->b] == 0 ? 1 : 0; }
+  VM_NEXT();
+  VM_CASE(kPivF) {
+    const store::Row* row = sc.rows[in->b];
+    regs[in->a] =
+        row != nullptr ? row->get_or(static_cast<FieldId>(in->imm), 0) : 0;
+  }
+  VM_NEXT();
+  VM_CASE(kPivEx) { regs[in->a] = sc.rows[in->b] != nullptr ? 1 : 0; }
+  VM_NEXT();
+  VM_CASE(kJz) {
+    if (regs[in->b] == 0) ip = code + in->imm;
+  }
+  VM_NEXT();
+  VM_CASE(kPKeyR) { pkey(*in, regs[in->b]); }
+  VM_NEXT();
+  VM_CASE(kPKeyC) { pkey(*in, pool[in->imm2]); }
+  VM_NEXT();
+  VM_CASE(kPKeyP) { pkey(*in, input.scalar(static_cast<std::size_t>(in->imm2))); }
+  VM_NEXT();
+  VM_CASE(kPWrR) { pwr(*in, regs[in->b]); }
+  VM_NEXT();
+  VM_CASE(kPWrC) { pwr(*in, pool[in->imm2]); }
+  VM_NEXT();
+  VM_CASE(kPWrP) { pwr(*in, input.scalar(static_cast<std::size_t>(in->imm2))); }
+  VM_NEXT();
+  VM_CASE(kHalt) {
+    // Identical normalization to the tree walk's dedup lambda, with a
+    // sortedness fast path: many profiles emit keys in non-descending
+    // order already (read-modify-write lowers to adjacent read/write
+    // probes of the same key), so the sort pass can be skipped and the
+    // unique pass alone squeezes the duplicates out. The check bails at
+    // the first inversion, so unsorted (TPC-C-sized) key sets pay a few
+    // comparisons before the real sort.
+    const auto dedup = [](auto& v) {
+      bool sorted = true;
+      for (std::size_t i = 1; i < v.size(); ++i) {
+        if (v[i] < v[i - 1]) {
+          sorted = false;
+          break;
+        }
+      }
+      if (!sorted) std::sort(v.begin(), v.end());
+      v.erase(std::unique(v.begin(), v.end()), v.end());
+    };
+    dedup(out.keys);
+    dedup(out.write_keys);
+    return;
+  }
+
+  VM_CASE(kMov)
+  VM_CASE(kBool)
+  VM_CASE(kField)
+  VM_CASE(kExists)
+  VM_CASE(kJmp)
+  VM_CASE(kJnz)
+  VM_CASE(kForHead)
+  VM_CASE(kForNext)
+  VM_CASE(kGetR)
+  VM_CASE(kGetC)
+  VM_CASE(kGetP)
+  VM_CASE(kPutR)
+  VM_CASE(kPutC)
+  VM_CASE(kPutP)
+  VM_CASE(kDelR)
+  VM_CASE(kDelC)
+  VM_CASE(kDelP)
+  VM_CASE(kEmit)
+  VM_CASE(kAbortIf) {
+    throw InvariantError("pred bytecode: exec opcode in a prediction program");
+  }
+
+#if defined(__GNUC__) && !defined(PROG_BYTECODE_SWITCH_DISPATCH)
+#else
+    }
+  }
+#endif
+#undef VM_CASE
+#undef VM_NEXT
+  throw InvariantError("pred bytecode: fell off the end of the program");
+}
+
+std::string disassemble_prediction(const PredProgram& p) {
+  return detail::disassemble_code(p.name + " (prediction)", p.code, p.pool,
+                                  nullptr, 0, p.num_regs);
+}
+
+}  // namespace prog::bytecode

@@ -1,0 +1,69 @@
+// Compiled prediction programs — the flat form of sym::TxProfile PSC trees.
+//
+// predict_into() is on the per-transaction critical path of every batch (the
+// queuer runs it for each enqueued invocation; ROT prepare runs it on the
+// workers). The tree walk re-dispatches expr::eval over hash-consed Expr
+// nodes at every step; here each profile is lowered once — at profiling or
+// deserialization time — into straight-line bytecode sharing the instruction
+// encoding of lang/bytecode:
+//
+//   - each root-to-leaf path becomes a jump-free run of instructions ending
+//     in kHalt (the PSC tree is a tree, not a DAG, so no joins are needed);
+//   - key expressions that are constants or scalar parameters fuse into the
+//     kPKey*/kPWr* emitting instruction itself;
+//   - pivot GET sites resolve into a dense slot array (kPKey* with c > 0);
+//     kPivF/kPivEx read those slots, and the compiler verifies statically
+//     that every slot is resolved before use on every path — the tree
+//     walker's "unresolved pivot site" runtime check, moved offline.
+//
+// Output contract: byte-identical sym::Prediction (keys, write_keys, pivots,
+// including pivot observation order) to TxProfile::predict_into's tree walk.
+// Enforced by the bytecode_test equivalence matrix; the tree walk stays
+// selectable via EngineConfig::tree_walk_ablation (DESIGN.md §15).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+#include "lang/ast.hpp"
+#include "lang/bytecode/bytecode.hpp"
+#include "store/store.hpp"
+
+namespace prog::sym {
+class TxProfile;
+struct Prediction;
+}  // namespace prog::sym
+
+namespace prog::bytecode {
+
+/// A compiled prediction program. Immutable; shared by every thread.
+struct PredProgram {
+  std::string name;            // procedure name (errors, disassembly)
+  std::vector<Insn> code;
+  std::vector<Value> pool;     // deduplicated constants
+  std::uint16_t num_regs = 0;  // expression temporaries only (no variables)
+  std::uint16_t num_pivots = 0;  // pivot slot array size
+  std::uint32_t num_params = 0;
+};
+
+/// Lowers `profile`'s PSC tree. Deterministic; throws InvariantError on an
+/// internal inconsistency (callers treat that as "keep tree-walking").
+std::shared_ptr<const PredProgram> compile_prediction(
+    const sym::TxProfile& profile);
+
+/// Compiles `profile.pred_code_` in place when absent. Returns false when
+/// compilation failed and the profile will be tree-walked (never throws).
+bool ensure_pred_compiled(sym::TxProfile& profile) noexcept;
+
+/// Runs `p` exactly like TxProfile::predict_into walks the tree: clears and
+/// fills `out` in place, reads only pivot items from `view`.
+void predict_run(const PredProgram& p, const lang::TxInput& input,
+                 const store::ReadView& view, sym::Prediction& out);
+
+/// Multi-line listing (tools/progmon --dump-bytecode).
+std::string disassemble_prediction(const PredProgram& p);
+
+}  // namespace prog::bytecode

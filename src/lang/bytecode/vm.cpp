@@ -1,0 +1,463 @@
+// The threaded-dispatch VM executing compiled procedures.
+//
+// Semantics contract: byte-identical to lang::Interp (interp.cpp) — same
+// ExecResult content and ordering, same exceptions, same buffered-read
+// freeze-at-GET behavior. Any divergence is a bug; the bytecode_test
+// differential fuzzer and the engine equivalence matrix are the enforcement.
+//
+// Dispatch is computed-goto under GCC/Clang (one indirect branch per
+// instruction, which the BTB predicts per-site) with a portable switch
+// fallback. Scratch state is thread-local and reused across transactions,
+// like the tree-walker's Frame scratch (DESIGN.md §10).
+//
+// Row handles are borrowed `const Row*` instead of shared_ptr copies
+// (DESIGN.md §15): reads against a batch-boundary snapshot resolve through
+// ReadView::get_raw, which SnapshotView serves without touching the
+// refcount — versions visible at a batch boundary are only freed by
+// gc_before(), which runs with every worker quiesced. Views that cannot
+// guarantee pinning fall back to the keep-alive default, collected in
+// scratch until the transaction ends.
+#include "lang/bytecode/bytecode.hpp"
+
+#include <algorithm>
+#include <array>
+#include <deque>
+#include <optional>
+
+#include "common/check.hpp"
+
+namespace prog::bytecode {
+
+namespace {
+
+/// Per-transaction-key bookkeeping, one slot per distinct key touched. The
+/// tree-walker answers "seen this key before?" four different ways — reads
+/// dedup, writes dedup, write-buffer lookup, and the commit-time buffer walk
+/// — each with a linear scan, which is O(keys²) per transaction (TPC-C
+/// new-order touches ~30 distinct keys). The VM folds all four into one
+/// open-addressed, generation-stamped table: a slot is live iff its `gen`
+/// matches the current transaction, so "clearing" the table between
+/// transactions is a single counter bump. Results are byte-identical: the
+/// read/write lists still record first-occurrence order, and the buffer
+/// still holds exactly one entry per key, exactly as the linear scans do.
+struct KeySlot {
+  TKey key{};
+  std::uint32_t gen = 0;
+  std::int32_t buf_idx = -1;  // index into VmScratch::buffer, -1 = none
+  /// Base-snapshot read already performed for this key (kBaseProbed).
+  /// Within one execution the snapshot is immutable, so a re-probe (the PUT
+  /// half of every read-modify-write re-reads the row its GET just fetched)
+  /// returns the identical row — serve it from here instead of paying the
+  /// store's shard lock + hash probe again. Absence (nullptr) caches too.
+  const store::Row* base_row = nullptr;
+  std::uint8_t flags = 0;
+};
+
+enum : std::uint8_t {
+  kReadNoted = 1,   // key already appended to out.reads
+  kWriteNoted = 2,  // key already appended to out.writes
+  kBaseProbed = 4,  // base_row is valid (possibly nullptr = absent)
+};
+
+struct VmScratch {
+  std::vector<Value> regs;
+  std::vector<const store::Row*> handles;
+  /// Keep-alive pins for rows obtained from non-borrowing views.
+  std::vector<store::RowPtr> keep;
+  /// Read-after-write freezes: the tree-walker hands out a copy of the
+  /// buffered row at GET time (later PUTs must not show through the old
+  /// handle); a deque gives those copies stable addresses.
+  std::deque<store::Row> frozen;
+  std::vector<std::pair<TKey, std::optional<store::Row>>> buffer;
+  /// Open-addressed KeySlot table; size is always a power of two, grown at
+  /// 50% load so probe chains stay short.
+  std::vector<KeySlot> key_table = std::vector<KeySlot>(256);
+  std::uint32_t key_gen = 0;
+  std::uint32_t key_count = 0;  // live slots this transaction
+};
+
+VmScratch& scratch() {
+  static thread_local VmScratch s;
+  return s;
+}
+
+/// Returns the slot holding `key` this transaction, or the empty slot where
+/// it belongs. Linear probing; the caller maintains the <=50% load factor
+/// that guarantees an empty slot exists.
+KeySlot* probe(std::vector<KeySlot>& table, TKey key, std::uint32_t gen) {
+  const std::size_t mask = table.size() - 1;
+  std::size_t i = TKeyHash{}(key) & mask;
+  for (;; i = (i + 1) & mask) {
+    KeySlot& s = table[i];
+    if (s.gen != gen || s.key == key) return &s;
+  }
+}
+
+void grow_key_table(VmScratch& sc) {
+  std::vector<KeySlot> next(sc.key_table.size() * 2);
+  for (const KeySlot& s : sc.key_table) {
+    if (s.gen != sc.key_gen) continue;  // dead slot from an older transaction
+    KeySlot* dst = probe(next, s.key, sc.key_gen);
+    *dst = s;
+  }
+  sc.key_table = std::move(next);
+}
+
+[[noreturn]] void throw_step_limit() {
+  throw InvariantError("Interp: step limit exceeded (runaway loop?)");
+}
+
+/// Mirrors Frame::finish: ops are built by walking the deduplicated write
+/// list and moving the matching buffer entries (every written key has a
+/// buffer entry, found through its KeySlot instead of a linear scan).
+void finish(lang::ExecResult& out, VmScratch& sc, bool committed) {
+  out.committed = committed;
+  if (!committed) return;
+  out.ops.reserve(sc.buffer.size());
+  for (const TKey& k : out.writes) {
+    KeySlot* s = probe(sc.key_table, k, sc.key_gen);
+    PROG_CHECK(s->gen == sc.key_gen && s->buf_idx >= 0);
+    out.ops.push_back(
+        {k, std::move(sc.buffer[static_cast<std::size_t>(s->buf_idx)].second)});
+  }
+}
+
+/// Runs the instruction loop. Returns the committed flag (AbortIf is a
+/// plain return here — no unwind needed, unlike the recursive tree-walker).
+bool exec_loop(const Program& p, const lang::TxInput& input,
+               const store::ReadView& base, std::uint64_t max_steps,
+               lang::ExecResult& out, VmScratch& sc, bool borrow_rows) {
+  const Insn* const code = p.code.data();
+  const Value* const pool = p.pool.data();
+  const PutField* const put_fields = p.put_fields.data();
+  Value* const regs = sc.regs.data();
+  const store::Row** const handles = sc.handles.data();
+
+  // Statement budget -> instruction budget: statements lower to a handful
+  // of instructions, so x8 keeps the runaway-loop net at the same order of
+  // magnitude without per-statement bookkeeping.
+  std::uint64_t budget = max_steps >= (~std::uint64_t{0} >> 3)
+                             ? ~std::uint64_t{0}
+                             : max_steps * 8 + 16;
+
+  const auto slot_of = [&](TKey key) -> KeySlot& {
+    if ((sc.key_count + 1) * 2 > sc.key_table.size()) grow_key_table(sc);
+    KeySlot& s = *probe(sc.key_table, key, sc.key_gen);
+    if (s.gen != sc.key_gen) {  // first touch of this key: claim the slot
+      s = KeySlot{key, sc.key_gen, -1, nullptr, 0};
+      ++sc.key_count;
+    }
+    return s;
+  };
+
+  const auto base_read = [&](TKey key, KeySlot& s) -> const store::Row* {
+    if (s.flags & kBaseProbed) return s.base_row;
+    store::RowPtr keepalive;
+    const store::Row* row = borrow_rows ? base.get_raw(key, keepalive)
+                                        : (keepalive = base.get(key)).get();
+    if (keepalive != nullptr) sc.keep.push_back(std::move(keepalive));
+    s.flags |= kBaseProbed;
+    s.base_row = row;
+    return row;
+  };
+
+  const auto do_get = [&](TKey key, std::uint16_t var) {
+    KeySlot& s = slot_of(key);
+    if (!(s.flags & kReadNoted)) {
+      s.flags |= kReadNoted;
+      out.reads.push_back(key);
+    }
+    if (s.buf_idx >= 0) {
+      std::optional<store::Row>& buf =
+          sc.buffer[static_cast<std::size_t>(s.buf_idx)].second;
+      handles[var] = buf.has_value() ? &sc.frozen.emplace_back(*buf) : nullptr;
+      return;
+    }
+    handles[var] = base_read(key, s);
+  };
+
+  const auto note_write = [&](TKey key, KeySlot& s) {
+    if (!(s.flags & kWriteNoted)) {
+      s.flags |= kWriteNoted;
+      out.writes.push_back(key);
+    }
+  };
+
+  const auto do_put = [&](TKey key, const Insn& in) {
+    const PutField* f = put_fields + in.imm2;
+    KeySlot& s = slot_of(key);
+    if (s.buf_idx >= 0) {
+      std::optional<store::Row>& buf =
+          sc.buffer[static_cast<std::size_t>(s.buf_idx)].second;
+      if (!buf.has_value()) buf.emplace();
+      for (std::uint16_t i = 0; i < in.a; ++i) {
+        buf->set(f[i].field, regs[f[i].reg]);
+      }
+    } else {
+      store::Row next;
+      if (const store::Row* cur = base_read(key, s)) next = *cur;
+      for (std::uint16_t i = 0; i < in.a; ++i) {
+        next.set(f[i].field, regs[f[i].reg]);
+      }
+      s.buf_idx = static_cast<std::int32_t>(sc.buffer.size());
+      sc.buffer.emplace_back(key, std::move(next));
+    }
+    note_write(key, s);
+  };
+
+  const auto do_del = [&](TKey key) {
+    KeySlot& s = slot_of(key);
+    if (s.buf_idx >= 0) {
+      sc.buffer[static_cast<std::size_t>(s.buf_idx)].second.reset();
+    } else {
+      s.buf_idx = static_cast<std::int32_t>(sc.buffer.size());
+      sc.buffer.emplace_back(key, std::nullopt);
+    }
+    note_write(key, s);
+  };
+
+  const auto key_of = [&](TableId table, Value v) {
+    return TKey{table, static_cast<Key>(v)};
+  };
+
+  const Insn* ip = code;
+  const Insn* in;
+
+#if defined(__GNUC__) && !defined(PROG_BYTECODE_SWITCH_DISPATCH)
+  // Label order must match the Op enumerator order exactly.
+  static const void* const jt[] = {
+      &&L_kLoadC, &&L_kLoadP, &&L_kLoadE, &&L_kMov,   &&L_kAdd,   &&L_kSub,
+      &&L_kMul,   &&L_kDiv,   &&L_kMod,   &&L_kMin,   &&L_kMax,   &&L_kEq,
+      &&L_kNe,    &&L_kLt,    &&L_kLe,    &&L_kGt,    &&L_kGe,    &&L_kAndV,
+      &&L_kOrV,   &&L_kNeg,   &&L_kNot,   &&L_kBool,  &&L_kField, &&L_kExists,
+      &&L_kJmp,   &&L_kJz,    &&L_kJnz,   &&L_kForHead, &&L_kForNext,
+      &&L_kGetR,  &&L_kGetC,  &&L_kGetP,  &&L_kPutR,  &&L_kPutC,  &&L_kPutP,
+      &&L_kDelR,  &&L_kDelC,  &&L_kDelP,  &&L_kEmit,  &&L_kAbortIf,
+      &&L_kHalt,  &&L_kPivF,  &&L_kPivEx, &&L_kPKeyR, &&L_kPKeyC, &&L_kPKeyP,
+      &&L_kPWrR,  &&L_kPWrC,  &&L_kPWrP,
+  };
+#define VM_CASE(name) L_##name:
+#define VM_NEXT()                                               \
+  do {                                                          \
+    if (--budget == 0) throw_step_limit();                      \
+    in = ip++;                                                  \
+    goto* jt[static_cast<std::size_t>(in->op)];                 \
+  } while (0)
+  VM_NEXT();
+#else
+#define VM_CASE(name) case Op::name:
+#define VM_NEXT() break
+  for (;;) {
+    if (--budget == 0) throw_step_limit();
+    in = ip++;
+    switch (in->op) {
+#endif
+
+  VM_CASE(kLoadC) { regs[in->a] = pool[in->imm]; }
+  VM_NEXT();
+  VM_CASE(kLoadP) {
+    regs[in->a] = input.scalar(static_cast<std::size_t>(in->imm));
+  }
+  VM_NEXT();
+  VM_CASE(kLoadE) {
+    const Value idx = regs[in->b];
+    regs[in->a] = input.elem(static_cast<std::size_t>(in->imm), idx);
+  }
+  VM_NEXT();
+  VM_CASE(kMov) { regs[in->a] = regs[in->b]; }
+  VM_NEXT();
+  VM_CASE(kAdd) {
+    regs[in->a] = static_cast<Value>(static_cast<std::uint64_t>(regs[in->b]) +
+                                     static_cast<std::uint64_t>(regs[in->c]));
+  }
+  VM_NEXT();
+  VM_CASE(kSub) {
+    regs[in->a] = static_cast<Value>(static_cast<std::uint64_t>(regs[in->b]) -
+                                     static_cast<std::uint64_t>(regs[in->c]));
+  }
+  VM_NEXT();
+  VM_CASE(kMul) {
+    regs[in->a] = static_cast<Value>(static_cast<std::uint64_t>(regs[in->b]) *
+                                     static_cast<std::uint64_t>(regs[in->c]));
+  }
+  VM_NEXT();
+  VM_CASE(kDiv) {
+    const Value b = regs[in->b], c = regs[in->c];
+    regs[in->a] = c == 0 ? 0 : b / c;
+  }
+  VM_NEXT();
+  VM_CASE(kMod) {
+    const Value b = regs[in->b], c = regs[in->c];
+    regs[in->a] = c == 0 ? 0 : b % c;
+  }
+  VM_NEXT();
+  VM_CASE(kMin) {
+    const Value b = regs[in->b], c = regs[in->c];
+    regs[in->a] = b < c ? b : c;
+  }
+  VM_NEXT();
+  VM_CASE(kMax) {
+    const Value b = regs[in->b], c = regs[in->c];
+    regs[in->a] = b > c ? b : c;
+  }
+  VM_NEXT();
+  VM_CASE(kEq) { regs[in->a] = regs[in->b] == regs[in->c] ? 1 : 0; }
+  VM_NEXT();
+  VM_CASE(kNe) { regs[in->a] = regs[in->b] != regs[in->c] ? 1 : 0; }
+  VM_NEXT();
+  VM_CASE(kLt) { regs[in->a] = regs[in->b] < regs[in->c] ? 1 : 0; }
+  VM_NEXT();
+  VM_CASE(kLe) { regs[in->a] = regs[in->b] <= regs[in->c] ? 1 : 0; }
+  VM_NEXT();
+  VM_CASE(kGt) { regs[in->a] = regs[in->b] > regs[in->c] ? 1 : 0; }
+  VM_NEXT();
+  VM_CASE(kGe) { regs[in->a] = regs[in->b] >= regs[in->c] ? 1 : 0; }
+  VM_NEXT();
+  VM_CASE(kAndV) {
+    regs[in->a] = (regs[in->b] != 0 && regs[in->c] != 0) ? 1 : 0;
+  }
+  VM_NEXT();
+  VM_CASE(kOrV) {
+    regs[in->a] = (regs[in->b] != 0 || regs[in->c] != 0) ? 1 : 0;
+  }
+  VM_NEXT();
+  VM_CASE(kNeg) { regs[in->a] = -regs[in->b]; }
+  VM_NEXT();
+  VM_CASE(kNot) { regs[in->a] = regs[in->b] == 0 ? 1 : 0; }
+  VM_NEXT();
+  VM_CASE(kBool) { regs[in->a] = regs[in->b] != 0 ? 1 : 0; }
+  VM_NEXT();
+  VM_CASE(kField) {
+    const store::Row* row = handles[in->b];
+    regs[in->a] =
+        row != nullptr ? row->get_or(static_cast<FieldId>(in->imm), 0) : 0;
+  }
+  VM_NEXT();
+  VM_CASE(kExists) { regs[in->a] = handles[in->b] != nullptr ? 1 : 0; }
+  VM_NEXT();
+  VM_CASE(kJmp) { ip = code + in->imm; }
+  VM_NEXT();
+  VM_CASE(kJz) {
+    if (regs[in->b] == 0) ip = code + in->imm;
+  }
+  VM_NEXT();
+  VM_CASE(kJnz) {
+    if (regs[in->b] != 0) ip = code + in->imm;
+  }
+  VM_NEXT();
+  VM_CASE(kForHead) {
+    if (regs[in->b] >= regs[in->c]) {
+      ip = code + in->imm;
+    } else {
+      if (++regs[in->d] > pool[in->imm2]) {
+        throw InvariantError(
+            "for loop exceeded its declared static bound in " + p.name);
+      }
+      regs[in->a] = regs[in->b];
+    }
+  }
+  VM_NEXT();
+  VM_CASE(kForNext) {
+    ++regs[in->b];
+    ip = code + in->imm;
+  }
+  VM_NEXT();
+  VM_CASE(kGetR) {
+    do_get(key_of(static_cast<TableId>(in->imm), regs[in->b]), in->a);
+  }
+  VM_NEXT();
+  VM_CASE(kGetC) {
+    do_get(key_of(static_cast<TableId>(in->imm), pool[in->c]), in->a);
+  }
+  VM_NEXT();
+  VM_CASE(kGetP) {
+    do_get(key_of(static_cast<TableId>(in->imm), input.scalar(in->c)), in->a);
+  }
+  VM_NEXT();
+  VM_CASE(kPutR) {
+    do_put(key_of(static_cast<TableId>(in->imm), regs[in->b]), *in);
+  }
+  VM_NEXT();
+  VM_CASE(kPutC) {
+    do_put(key_of(static_cast<TableId>(in->imm), pool[in->c]), *in);
+  }
+  VM_NEXT();
+  VM_CASE(kPutP) {
+    do_put(key_of(static_cast<TableId>(in->imm), input.scalar(in->c)), *in);
+  }
+  VM_NEXT();
+  VM_CASE(kDelR) {
+    do_del(key_of(static_cast<TableId>(in->imm), regs[in->b]));
+  }
+  VM_NEXT();
+  VM_CASE(kDelC) {
+    do_del(key_of(static_cast<TableId>(in->imm), pool[in->c]));
+  }
+  VM_NEXT();
+  VM_CASE(kDelP) {
+    do_del(key_of(static_cast<TableId>(in->imm), input.scalar(in->c)));
+  }
+  VM_NEXT();
+  VM_CASE(kEmit) { out.emitted.push_back(regs[in->b]); }
+  VM_NEXT();
+  VM_CASE(kAbortIf) {
+    if (regs[in->b] != 0) return false;
+  }
+  VM_NEXT();
+  VM_CASE(kHalt) { return true; }
+  VM_CASE(kPivF)
+  VM_CASE(kPivEx)
+  VM_CASE(kPKeyR)
+  VM_CASE(kPKeyC)
+  VM_CASE(kPKeyP)
+  VM_CASE(kPWrR)
+  VM_CASE(kPWrC)
+  VM_CASE(kPWrP) {
+    throw InvariantError("bytecode: prediction opcode in an exec program");
+  }
+
+#if defined(__GNUC__) && !defined(PROG_BYTECODE_SWITCH_DISPATCH)
+#else
+    }
+  }
+#endif
+#undef VM_CASE
+#undef VM_NEXT
+  throw InvariantError("bytecode: fell off the end of the program");
+}
+
+}  // namespace
+
+void run(const Program& p, const lang::TxInput& input,
+         const store::ReadView& base, std::uint64_t max_steps,
+         lang::ExecResult& out, bool borrow_rows) {
+  if (input.args.size() != p.num_params) {
+    throw UsageError("argument count mismatch for procedure " + p.name);
+  }
+  VmScratch& sc = scratch();
+  // Grow-only: registers and handle slots are never zeroed between runs.
+  // The compiler emits every definition before any use along each path (a
+  // handle register only exists once its GET has executed), so stale values
+  // from the previous transaction are unreachable and the two fills per
+  // execution can be skipped.
+  if (sc.regs.size() < p.num_regs) sc.regs.resize(p.num_regs);
+  if (sc.handles.size() < p.num_vars) sc.handles.resize(p.num_vars);
+  sc.keep.clear();
+  sc.frozen.clear();
+  sc.buffer.clear();
+  if (++sc.key_gen == 0) {  // generation wrapped: stale stamps could collide
+    for (KeySlot& s : sc.key_table) s.gen = 0;
+    sc.key_gen = 1;
+  }
+  sc.key_count = 0;
+  out.committed = false;
+  out.emitted.clear();
+  out.reads.clear();
+  out.writes.clear();
+  out.ops.clear();
+  const bool committed =
+      exec_loop(p, input, base, max_steps, out, sc, borrow_rows);
+  finish(out, sc, committed);
+}
+
+}  // namespace prog::bytecode

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "common/check.hpp"
+#include "lang/bytecode/bytecode.hpp"
 
 namespace prog::lang {
 
@@ -259,6 +260,10 @@ ExecResult Interp::run(const Proc& proc, const TxInput& input,
 
 void Interp::run_into(const Proc& proc, const TxInput& input,
                       const store::ReadView& base, ExecResult& out) const {
+  if (proc.code != nullptr && !opts_.tree_walk) {
+    bytecode::run(*proc.code, input, base, opts_.max_steps, out);
+    return;
+  }
   if (input.args.size() != proc.params.size()) {
     throw UsageError("argument count mismatch for procedure " + proc.name);
   }

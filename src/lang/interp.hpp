@@ -37,6 +37,10 @@ class Interp {
   struct Options {
     /// Hard cap on interpreted statements — catches runaway loops.
     std::uint64_t max_steps = 1u << 22;
+    /// Differential oracle (DESIGN.md §15): walk the AST even when the
+    /// procedure carries compiled bytecode. Wired to
+    /// EngineConfig::tree_walk_ablation.
+    bool tree_walk = false;
   };
 
   Interp() : Interp(Options{}) {}

@@ -34,6 +34,15 @@ EngineMetrics EngineMetrics::create(Registry& reg) {
       &reg.counter("engine_mf_fallback_batches_total",
                    "Batches in which the MF round cap triggered", det);
 
+  m.it_memo_hits = &reg.counter(
+      "engine_it_memo_hits_total",
+      "IT prediction-memo hits (timing-dependent: per-participant banks)",
+      Determinism::kTimingDependent);
+  m.it_memo_misses = &reg.counter(
+      "engine_it_memo_misses_total",
+      "IT prediction-memo misses (timing-dependent: per-participant banks)",
+      Determinism::kTimingDependent);
+
   m.batch_wall_us =
       &reg.histogram("engine_batch_wall_us", "Batch wall-clock duration");
   auto phase = [&](const char* name) {

@@ -28,6 +28,13 @@ struct EngineMetrics {
   Counter* mf_fallback_txns = nullptr;
   Counter* mf_fallback_batches = nullptr;
 
+  // --- timing-dependent counters -------------------------------------------
+  /// IT prediction-memo outcomes (EngineConfig::it_memo). Timing-dependent:
+  /// the hit distribution depends on which participant thread claimed which
+  /// prepare ticket, even though the predictions themselves are identical.
+  Counter* it_memo_hits = nullptr;
+  Counter* it_memo_misses = nullptr;
+
   // --- timing-dependent histograms (µs unless noted) -----------------------
   Histogram* txn_latency_us[kTxClasses] = {};  ///< per-attempt service time
   Histogram* batch_wall_us = nullptr;

@@ -82,6 +82,8 @@ Engine::Engine(store::VersionedStore& store, std::vector<ProcEntry> procs,
         if (config.workers == 0) config.workers = 1;
         return config;
       }()),
+      interp_(lang::Interp::Options{
+          .tree_walk = config_.tree_walk_ablation}),
       lock_table_(LockTable::Options{config_.shared_read_locks, 64}),
       barrier_(config_.workers + 1) {
   for (const ProcEntry& e : procs_) {
@@ -126,6 +128,10 @@ Engine::Engine(store::VersionedStore& store, std::vector<ProcEntry> procs,
   }
   ready_slots_ = config_.workers + 1;  // slot 0 = queuer, i+1 = worker i
   ready_ = std::make_unique<WorkStealingDeque<TxIdx>[]>(ready_slots_);
+  if (config_.it_memo) {
+    it_memo_.resize(ready_slots_);
+    for (auto& bank : it_memo_) bank.resize(kMemoWays);
+  }
   skip_tables_.resize(procs_.size());
   rot_queues_.resize(config_.workers);
   workers_.reserve(config_.workers);
@@ -194,7 +200,7 @@ sym::TxClass Engine::effective_class(const ProcEntry& entry) const {
   return k;
 }
 
-void Engine::prepare_tx(TxIdx idx) {
+void Engine::prepare_tx(TxIdx idx, unsigned part) {
   TxnSlot& s = slots_[idx];
   Stopwatch sw;
   if (config_.accept_client_predictions && s.req->client_pred != nullptr &&
@@ -216,7 +222,12 @@ void Engine::prepare_tx(TxIdx idx) {
                      s.pred);
   } else {
     store::SnapshotView view(store_, prep_snapshot_);
-    s.entry->profile->predict_into(s.req->input, view, s.pred);
+    if (config_.it_memo && s.klass == sym::TxClass::kIndependent) {
+      predict_it_memo(s, view, part);
+    } else {
+      s.entry->profile->predict_into(s.req->input, view, s.pred,
+                                     config_.tree_walk_ablation);
+    }
   }
   const std::int64_t us = sw.elapsed_micros();
   ctr_all_prepare_us_.fetch_add(us, std::memory_order_relaxed);
@@ -227,6 +238,51 @@ void Engine::prepare_tx(TxIdx idx) {
     ctr_prepare_us_.fetch_add(us, std::memory_order_relaxed);
     ctr_prepared_.fetch_add(1, std::memory_order_relaxed);
   }
+}
+
+void Engine::predict_it_memo(TxnSlot& s, const store::ReadView& view,
+                             unsigned part) {
+  // ITs read no pivots, so the prediction is a pure function of (procedure,
+  // input) — the snapshot the view is pinned to cannot matter. That is what
+  // makes a cross-batch memo sound; it_memo_check re-proves it per hit.
+  static thread_local std::vector<Value> flat;
+  flat.clear();
+  std::uint64_t h = mix64(0x9e3779b97f4a7c15ull ^ s.req->proc);
+  for (const lang::Arg& a : s.req->input.args) {
+    if (a.is_array) {
+      for (const Value v : a.array) {
+        flat.push_back(v);
+        h = mix64(h ^ static_cast<std::uint64_t>(v));
+      }
+    } else {
+      flat.push_back(a.scalar);
+      h = mix64(h ^ static_cast<std::uint64_t>(a.scalar));
+    }
+  }
+  MemoEntry& e = it_memo_[part][h & (kMemoWays - 1)];
+  if (e.valid && e.proc == s.req->proc && e.hash == h && e.flat == flat) {
+    s.pred = e.pred;  // copy-assign reuses the slot arena's spill buffers
+    it_memo_hits_.fetch_add(1, std::memory_order_relaxed);
+    if (metrics_) metrics_->it_memo_hits->inc();
+    if (config_.it_memo_check) {
+      sym::Prediction fresh;
+      s.entry->profile->predict_into(s.req->input, view, fresh,
+                                     config_.tree_walk_ablation);
+      PROG_CHECK_MSG(fresh.keys == s.pred.keys &&
+                         fresh.write_keys == s.pred.write_keys,
+                     "IT memo returned a stale prediction");
+    }
+    return;
+  }
+  s.entry->profile->predict_into(s.req->input, view, s.pred,
+                                 config_.tree_walk_ablation);
+  it_memo_misses_.fetch_add(1, std::memory_order_relaxed);
+  if (metrics_) metrics_->it_memo_misses->inc();
+  e.valid = true;
+  e.proc = s.req->proc;
+  e.hash = h;
+  e.flat = flat;
+  e.pred = s.pred;
 }
 
 void Engine::capture_output(TxIdx idx, std::vector<Value> emitted) {
@@ -268,7 +324,9 @@ void Engine::execute_rot(TxIdx idx) {
 void Engine::do_rot_prepare(unsigned worker_idx) {
   for (TxIdx t : rot_queues_[worker_idx]) execute_rot(t);
   if (config_.multi_queue_prepare) {
-    while (auto i = prep_tickets_.claim()) prepare_tx(prep_list_[*i]);
+    while (auto i = prep_tickets_.claim()) {
+      prepare_tx(prep_list_[*i], worker_idx + 1);
+    }
   }
 }
 

@@ -166,6 +166,24 @@ struct EngineConfig {
   /// times are uncontended even on a single-core host. Results are
   /// identical (the schedule is deterministic); only timings differ.
   bool serial_measurement = false;
+  /// Differential oracle (DESIGN.md §15): run the AST tree-walker and the
+  /// PSC-tree walk instead of the compiled bytecode VMs for both execution
+  /// and prediction. Commit outcomes, state hashes and deterministic
+  /// counters must be byte-identical either way (the bytecode_test
+  /// equivalence matrix runs whole workloads under both settings).
+  bool tree_walk_ablation = false;
+  /// Memoize IT key-set predictions per participant thread: an IT's
+  /// prediction is a pure function of its input (no pivot reads), so a
+  /// repeated (procedure, input) pair can reuse the previous key-set
+  /// instead of re-running the prediction program. Direct-mapped cache,
+  /// full-input compare on hit (a hash collision must not poison
+  /// determinism). Hit/miss counts are exposed as timing-dependent
+  /// telemetry (the distribution depends on thread scheduling); the
+  /// predictions themselves are identical either way.
+  bool it_memo = false;
+  /// Debug assertion: recompute every memo hit and PROG_CHECK the cached
+  /// prediction matches. Used by the determinism tests.
+  bool it_memo_check = false;
   /// Cross-batch pipelined replica apply (DESIGN.md §14). 0 = legacy serial
   /// apply (the ablation). >0 enables the staged prepare_batch /
   /// execute_prepared entry points with double-buffered lock-table banks,
@@ -349,8 +367,13 @@ class Engine {
   void enqueue_all(const std::vector<TxIdx>& order);
 
   /// Computes klass + key-set prediction for slot `idx` against
-  /// `prep_snapshot_`. Thread-safe across distinct slots.
-  void prepare_tx(TxIdx idx);
+  /// `prep_snapshot_`. Thread-safe across distinct slots. `part` names the
+  /// calling participant (0 = queuer, 1..W = worker index + 1) and selects
+  /// its private IT-memo bank; it never affects the computed prediction.
+  void prepare_tx(TxIdx idx, unsigned part = 0);
+  /// The EngineConfig::it_memo fast path for independent transactions.
+  void predict_it_memo(TxnSlot& s, const store::ReadView& view,
+                       unsigned part);
   void execute_ready_tx(TxIdx idx, unsigned slot);
   void execute_rot(TxIdx idx);
 
@@ -485,6 +508,33 @@ class Engine {
 
   std::mutex failed_mu_;
   std::vector<TxIdx> failed_;
+
+  // --- IT prediction memoization (EngineConfig::it_memo) ------------------
+  struct MemoEntry {
+    bool valid = false;
+    ProcId proc = 0;
+    std::uint64_t hash = 0;
+    std::vector<Value> flat;  // flattened input, compared in full on hit
+    sym::Prediction pred;
+  };
+  static constexpr std::size_t kMemoWays = 128;  // per participant
+  /// [participant][way]; each participant owns its bank exclusively, so
+  /// lookups and fills are race-free without synchronization.
+  std::vector<std::vector<MemoEntry>> it_memo_;
+  std::atomic<std::uint64_t> it_memo_hits_{0};
+  std::atomic<std::uint64_t> it_memo_misses_{0};
+
+ public:
+  /// IT-memo observability (timing-dependent: the hit distribution depends
+  /// on which participant claimed which prepare ticket).
+  std::uint64_t it_memo_hits() const noexcept {
+    return it_memo_hits_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t it_memo_misses() const noexcept {
+    return it_memo_misses_.load(std::memory_order_relaxed);
+  }
+
+ private:
 
   std::mutex commit_mu_;
   std::vector<TxIdx> commit_order_;

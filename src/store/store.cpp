@@ -41,6 +41,17 @@ RowPtr VersionedStore::get(TKey key, BatchId snapshot) const {
   return v != nullptr ? v->row : nullptr;
 }
 
+const Row* VersionedStore::get_ptr(TKey key, BatchId snapshot) const {
+  access_delay();
+  stats_.gets.fetch_add(1, std::memory_order_relaxed);
+  const Shard& shard = shard_for(key);
+  std::shared_lock lock(shard.mu);
+  auto it = shard.map.find(key);
+  if (it == shard.map.end()) return nullptr;
+  const Version* v = visible(it->second, snapshot);
+  return v != nullptr ? v->row.get() : nullptr;
+}
+
 void VersionedStore::put(TKey key, Row row, BatchId batch) {
   access_delay();
   stats_.puts.fetch_add(1, std::memory_order_relaxed);

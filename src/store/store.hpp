@@ -41,6 +41,17 @@ class ReadView {
   virtual ~ReadView() = default;
   /// nullptr means "no such record (at this snapshot)".
   virtual RowPtr get(TKey key) const = 0;
+
+  /// Borrowing read for the bytecode VM hot loop (DESIGN.md §15): returns a
+  /// raw pointer valid for the duration of the current batch phase. The
+  /// default implementation pins the row via `keepalive` so the borrow is
+  /// safe against any view; views whose rows are already pinned elsewhere
+  /// (SnapshotView — snapshot versions are never replaced mid-batch and GC
+  /// runs quiesced) override this to skip the refcount round-trip.
+  virtual const Row* get_raw(TKey key, RowPtr& keepalive) const {
+    keepalive = get(key);
+    return keepalive.get();
+  }
 };
 
 class VersionedStore {
@@ -55,6 +66,13 @@ class VersionedStore {
 
   /// Latest version with batch <= snapshot, or nullptr (absent/tombstone).
   RowPtr get(TKey key, BatchId snapshot = kLatest) const;
+
+  /// Borrowing variant of get(): returns the raw row pointer without
+  /// touching the shared_ptr control block. Only safe when the caller can
+  /// guarantee the version outlives the borrow — i.e. fixed snapshots whose
+  /// versions are never replaced and with GC quiesced (the engine's batch
+  /// snapshots). Counted in stats().gets like get().
+  const Row* get_ptr(TKey key, BatchId snapshot = kLatest) const;
 
   /// Installs `row` as the version for `batch`. A second put for the same
   /// (key, batch) replaces it — the lock table serializes such writers.
@@ -139,6 +157,10 @@ class SnapshotView final : public ReadView {
       : store_(store), snapshot_(snapshot) {}
 
   RowPtr get(TKey key) const override { return store_.get(key, snapshot_); }
+  const Row* get_raw(TKey key, RowPtr& keepalive) const override {
+    (void)keepalive;  // snapshot versions are pinned by the store itself
+    return store_.get_ptr(key, snapshot_);
+  }
   BatchId snapshot() const noexcept { return snapshot_; }
 
  private:

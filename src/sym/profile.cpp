@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "common/check.hpp"
+#include "lang/bytecode/pred_program.hpp"
 
 namespace prog::sym {
 
@@ -95,8 +96,12 @@ Prediction TxProfile::predict(const lang::TxInput& input,
 }
 
 void TxProfile::predict_into(const lang::TxInput& input,
-                             const store::ReadView& view,
-                             Prediction& out) const {
+                             const store::ReadView& view, Prediction& out,
+                             bool tree_walk) const {
+  if (pred_code_ != nullptr && !tree_walk) {
+    bytecode::predict_run(*pred_code_, input, view, out);
+    return;
+  }
   PROG_CHECK(root_ != nullptr);
   out.clear();
   PredictCtx ctx(input);

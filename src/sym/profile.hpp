@@ -25,6 +25,15 @@
 #include "store/store.hpp"
 
 namespace prog::sym {
+class TxProfile;
+}
+
+namespace prog::bytecode {
+struct PredProgram;  // lang/bytecode/pred_program.hpp
+bool ensure_pred_compiled(sym::TxProfile& profile) noexcept;
+}  // namespace prog::bytecode
+
+namespace prog::sym {
 
 /// Paper taxonomy: read-only / independent / dependent transactions.
 enum class TxClass : std::uint8_t { kReadOnly, kIndependent, kDependent };
@@ -144,6 +153,19 @@ class TxProfile {
     return metrics_.pivot_sites;
   }
 
+  /// GET sites whose value feeds a later key or branch (the pivot sites).
+  const std::unordered_set<std::uint32_t>& used_sites() const noexcept {
+    return used_sites_;
+  }
+
+  /// Compiled prediction program (lang/bytecode/pred_program.hpp); nullptr
+  /// means predict_into tree-walks. Attached by Profiler::profile and
+  /// profile deserialization via bytecode::ensure_pred_compiled.
+  const std::shared_ptr<const bytecode::PredProgram>& pred_code()
+      const noexcept {
+    return pred_code_;
+  }
+
   /// Predicts the concrete key-set of `input` against `view` (normally the
   /// snapshot produced by the previous batch). Reads only pivot items.
   Prediction predict(const lang::TxInput& input,
@@ -151,8 +173,10 @@ class TxProfile {
 
   /// Allocation-free variant: clears and fills `out` in place, reusing its
   /// buffers. The engine's hot path calls this with the slot's arena.
+  /// `tree_walk` forces the PSC-tree walk even when a compiled prediction
+  /// program is attached (EngineConfig::tree_walk_ablation, DESIGN.md §15).
   void predict_into(const lang::TxInput& input, const store::ReadView& view,
-                    Prediction& out) const;
+                    Prediction& out, bool tree_walk = false) const;
 
   /// Re-checks the recorded pivot observations against `view`; true when
   /// every pivot still has the same version (the DT may execute safely).
@@ -167,6 +191,7 @@ class TxProfile {
   friend class Profiler;
   friend class Engine;     // the symbolic-execution engine (symexec.cpp)
   friend class ProfileIO;  // serialization (serialize.cpp)
+  friend bool bytecode::ensure_pred_compiled(TxProfile&) noexcept;
 
   const lang::Proc* proc_ = nullptr;
   bool complete_ = true;
@@ -178,6 +203,7 @@ class TxProfile {
   SeMetrics metrics_;
   std::vector<TableId> tables_touched_;
   std::vector<TableId> tables_written_;
+  std::shared_ptr<const bytecode::PredProgram> pred_code_;
 };
 
 }  // namespace prog::sym

@@ -7,6 +7,7 @@
 
 #include "common/check.hpp"
 #include "expr/expr.hpp"
+#include "lang/bytecode/pred_program.hpp"
 
 namespace prog::sym {
 
@@ -247,6 +248,7 @@ class ProfileIO {
     }
     profile->root_ = take(root_id);
     index_sites(*profile, profile->root_.get());
+    bytecode::ensure_pred_compiled(*profile);
     return profile;
   }
 

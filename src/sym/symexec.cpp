@@ -7,6 +7,7 @@
 
 #include "common/check.hpp"
 #include "common/stopwatch.hpp"
+#include "lang/bytecode/pred_program.hpp"
 
 namespace prog::sym {
 
@@ -720,7 +721,9 @@ class Engine {
 
 std::unique_ptr<TxProfile> Profiler::profile(const lang::Proc& proc,
                                              const Options& opts) {
-  return Engine(proc, opts).run();
+  std::unique_ptr<TxProfile> p = Engine(proc, opts).run();
+  bytecode::ensure_pred_compiled(*p);
+  return p;
 }
 
 }  // namespace prog::sym

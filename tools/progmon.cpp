@@ -36,11 +36,14 @@
 #include <string>
 #include <vector>
 
+#include "common/check.hpp"
 #include "common/rng.hpp"
 #include "common/stopwatch.hpp"
 #include "consensus/replicated_db.hpp"
 #include "db/database.hpp"
 #include "dur/fault_vfs.hpp"
+#include "lang/bytecode/bytecode.hpp"
+#include "lang/bytecode/pred_program.hpp"
 #include "obs/dashboard.hpp"
 #include "obs/export.hpp"
 #include "obs/trace_export.hpp"
@@ -73,6 +76,7 @@ struct Args {
   std::string trace_perfetto;
   int cluster_depth = -1;       ///< >= 0: 3-replica cluster, pipeline depth N
   std::uint64_t fsync_us = 200; ///< simulated fsync latency (cluster mode)
+  std::string dump_bytecode;    ///< print PROC's compiled programs and exit
 };
 
 int usage(const char* argv0) {
@@ -105,7 +109,9 @@ int usage(const char* argv0) {
          "with apply-pipeline depth N (0 = serial) and show the pipeline "
          "panel\n"
       << "  --fsync-us N                    simulated fsync latency in "
-         "cluster mode (default 200)\n";
+         "cluster mode (default 200)\n"
+      << "  --dump-bytecode PROC            print PROC's compiled execution "
+         "and prediction bytecode (from the selected --workload) and exit\n";
   return 2;
 }
 
@@ -152,6 +158,8 @@ bool parse(int argc, char** argv, Args& a) {
       a.cluster_depth = std::stoi(v);
     } else if (f == "--fsync-us" && (v = need(i))) {
       a.fsync_us = std::stoull(v);
+    } else if (f == "--dump-bytecode" && (v = need(i))) {
+      a.dump_bytecode = v;
     } else {
       return false;
     }
@@ -337,11 +345,43 @@ int run_cluster(const Args& args) {
   return rc;
 }
 
+/// --dump-bytecode PROC: print the compiled execution program and, when the
+/// PSC tree lowered, the prediction program, then exit. Disassembly comes
+/// straight from the registered (and therefore actually executed) programs,
+/// not a recompilation.
+int dump_bytecode(const Args& args) {
+  Runner runner(args);
+  sched::ProcId id;
+  try {
+    id = runner.db.find_procedure(args.dump_bytecode);
+  } catch (const UsageError&) {
+    std::cerr << "progmon: unknown procedure '" << args.dump_bytecode
+              << "' in workload '" << args.workload << "'; registered:\n";
+    for (sched::ProcId i = 0; i < runner.db.procedure_count(); ++i) {
+      std::cerr << "  " << runner.db.procedure(i).name << "\n";
+    }
+    return 1;
+  }
+  const lang::Proc& proc = runner.db.procedure(id);
+  PROG_CHECK(proc.code != nullptr);  // compiled at registration
+  std::cout << bytecode::disassemble(*proc.code);
+  const sym::TxProfile& profile = runner.db.profile(id);
+  if (profile.pred_code() != nullptr) {
+    std::cout << "\n" << bytecode::disassemble_prediction(*profile.pred_code());
+  } else {
+    std::cout << "\n(prediction: tree-walk fallback; the PSC tree did not "
+                 "lower)\n";
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   Args args;
   if (!parse(argc, argv, args)) return usage(argv[0]);
+
+  if (!args.dump_bytecode.empty()) return dump_bytecode(args);
 
   if (args.cluster_depth >= 0) {
     if (args.trace_sample > 0 || !args.trace_file.empty()) {
